@@ -1,0 +1,543 @@
+(* Benchmark harness regenerating every figure and table of the paper's
+   evaluation (§VI). Run everything:
+
+     dune exec bench/main.exe            # all experiments, paper-style rows
+     dune exec bench/main.exe -- fig5    # one experiment
+     dune exec bench/main.exe -- all --scale 2   # larger sweeps
+
+   Datasets are scaled down relative to the paper (a pure-OCaml prover on
+   one shared core vs. the authors' i9-11900K + Snarkjs WASM); every sweep
+   keeps the same independent variable as the corresponding figure so the
+   scaling *shapes* are comparable. EXPERIMENTS.md records paper-vs-measured.
+
+   The [micro] experiment registers one Bechamel Test.make group per
+   figure/table, benchmarking the kernel each experiment is dominated by. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module G1 = Zkdet_curve.G1
+module Pairing = Zkdet_curve.Pairing
+module Mimc = Zkdet_mimc.Mimc
+module Poseidon = Zkdet_poseidon.Poseidon
+module Sha256 = Zkdet_hash.Sha256
+module Domain = Zkdet_poly.Domain
+module Poly = Zkdet_poly.Poly
+module Srs = Zkdet_kzg.Srs
+module Kzg = Zkdet_kzg.Kzg
+module Cs = Zkdet_plonk.Cs
+module Preprocess = Zkdet_plonk.Preprocess
+module Prover = Zkdet_plonk.Prover
+module Verifier = Zkdet_plonk.Verifier
+module Proof = Zkdet_plonk.Proof
+module Env = Zkdet_core.Env
+module Circuits = Zkdet_core.Circuits
+module Transform = Zkdet_core.Transform
+module Exchange = Zkdet_core.Exchange
+module Zkcp = Zkdet_core.Zkcp
+module Logreg = Zkdet_apps.Logreg
+module Transformer = Zkdet_apps.Transformer
+module Chain = Zkdet_chain.Chain
+module Erc721 = Zkdet_contracts.Erc721
+module Verifier_contract = Zkdet_contracts.Verifier_contract
+
+let rng = Random.State.make [| 0xbe9c |]
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '-')
+
+(* The shared environment for proof-generation experiments; sized for the
+   largest Table I circuit. Built once on first use. *)
+let shared_env = lazy (
+  let (), t = wall (fun () -> ()) in
+  ignore t;
+  let env, t = wall (fun () -> Env.create ~log2_max_gates:16 ~seed:[| 0xbe9c |] ()) in
+  Printf.printf "[shared universal setup: 2^16 constraints, %.1fs]\n%!" t;
+  env)
+
+(* ---------------------------------------------------------------- *)
+(* Figure 5: circuit setup time vs. number of constraints            *)
+(* ---------------------------------------------------------------- *)
+
+(* A synthetic circuit with exactly the requested number of rows, like the
+   paper's constraint-count sweep. *)
+let filler_circuit ~gates () =
+  let cs = Cs.create () in
+  let pub = Cs.public_input cs (Fr.of_int gates) in
+  let acc = ref (Cs.constant cs Fr.zero) in
+  for _ = 1 to gates - 4 do
+    acc := Cs.add_const cs !acc Fr.one
+  done;
+  ignore pub;
+  cs
+
+let fig5 ~scale () =
+  header "Figure 5: time consumed for circuit setup";
+  Printf.printf "%14s %14s %16s %12s\n" "constraints" "srs-gen (s)"
+    "preprocess (s)" "total (s)";
+  let max_log2 = min 17 (13 + scale) in
+  let logs = List.init (max_log2 - 9) (fun i -> i + 10) in
+  List.iter
+    (fun log2 ->
+      let n = 1 lsl log2 in
+      let srs, srs_t =
+        wall (fun () -> Srs.unsafe_generate ~st:rng ~size:(n + 8) ())
+      in
+      let compiled = Cs.compile (filler_circuit ~gates:n ()) in
+      let _pk, pre_t = wall (fun () -> Preprocess.setup srs compiled) in
+      Printf.printf "%14d %14.2f %16.2f %12.2f\n%!" n srs_t pre_t (srs_t +. pre_t))
+    logs;
+  print_endline
+    "shape check: setup grows quasi-linearly in the constraint count\n\
+     (paper: < 2 min at 2^20 constraints on an i9-11900K)."
+
+(* ---------------------------------------------------------------- *)
+(* Figure 6: proof generation time vs. data size                     *)
+(* ---------------------------------------------------------------- *)
+
+let fig6_sizes ~scale = List.init (3 + scale) (fun i -> 2 lsl i) (* 2,4,8,(16..) *)
+
+let fig6 ~scale () =
+  header "Figure 6: time consumed for proof generation";
+  let env = Lazy.force shared_env in
+  Printf.printf "%10s %12s %14s %14s\n" "entries" "bytes" "pi_e/pi_p (s)"
+    "pi_t dup (s)";
+  List.iter
+    (fun n ->
+      let data = Array.init n (fun i -> Fr.of_int (i + 1)) in
+      let sealed = Transform.seal ~st:rng data in
+      let _, enc_t = wall (fun () -> Transform.prove_encryption env sealed) in
+      let (_, _), dup_t = wall (fun () -> Transform.duplicate env sealed) in
+      Printf.printf "%10d %12d %14.2f %14.2f\n%!" n (32 * n) enc_t dup_t)
+    (fig6_sizes ~scale);
+  (* pi_k is independent of the data size *)
+  let sealed = Transform.seal ~st:rng [| Fr.of_int 1; Fr.of_int 2 |] in
+  let k_v, _ = Exchange.buyer_blinding ~st:rng () in
+  ignore (Exchange.prove_key env sealed ~k_v);
+  let _, k_t = wall (fun () -> Exchange.prove_key env sealed ~k_v) in
+  Printf.printf "pi_k (any size): %.2f s  (paper: ~120 ms, constant)\n" k_t;
+  (* Ablation (§IV-B): decoupling pi_e from pi_t. A second transformation
+     of the same dataset reuses the existing pi_e; the naive protocol
+     re-proves the encryption every time. *)
+  let n = List.nth (fig6_sizes ~scale) 1 in
+  let data = Array.init n (fun i -> Fr.of_int (i + 1)) in
+  let sealed = Transform.seal ~st:rng data in
+  let (_, _), decoupled_t = wall (fun () -> Transform.duplicate env sealed) in
+  let _, monolithic_extra =
+    wall (fun () -> Transform.prove_encryption env sealed)
+  in
+  Printf.printf
+    "ablation (decoupled proofs, n=%d): pi_t alone %.2f s vs pi_t + re-proved \
+     pi_e %.2f s (%.2fx)\n"
+    n decoupled_t
+    (decoupled_t +. monolithic_extra)
+    ((decoupled_t +. monolithic_extra) /. decoupled_t);
+  print_endline
+    "shape check: pi_e/pi_t grow with data size; pi_k flat\n\
+     (paper: ~3 min at 5 MB for pi_e; ~10 s for dup/agg/part at 5 MB)."
+
+(* ---------------------------------------------------------------- *)
+(* Figure 7: running time, ZKDET vs ZKCP verification                 *)
+(* ---------------------------------------------------------------- *)
+
+let fig7 ~scale () =
+  header "Figure 7: running time of ZKDET and ZKCP (verification)";
+  let env = Lazy.force shared_env in
+  (* ZKDET's on-chain verification is the pi_k statement: 2 pairings and a
+     fixed number of group operations, independent of the data size. The
+     ZKCP comparator in the paper is Groth16-based [10]: 3 pairings plus
+     one G1 exponentiation per public input, where the whole ciphertext
+     (l = entries) is public input — modeled here with real curve ops
+     (see DESIGN.md's substitution table). *)
+  let sealed2 = Transform.seal ~st:rng [| Fr.of_int 5; Fr.of_int 6 |] in
+  let k_v, h_v = Exchange.buyer_blinding ~st:rng () in
+  let k_c, pi_k = Exchange.prove_key env sealed2 ~k_v in
+  let zkcp_groth16_verify ~l () =
+    (* full-width scalars: each public input costs a ~254-bit G1
+       exponentiation, as in the Groth16 verification equation *)
+    let base_scalar = Fr.inv (Fr.of_int 3) in
+    let acc = ref G1.generator in
+    for i = 1 to l do
+      acc := G1.add !acc (G1.mul G1.generator (Fr.add base_scalar (Fr.of_int i)))
+    done;
+    let f1 = Pairing.pairing !acc Zkdet_curve.G2.generator in
+    let f2 = Pairing.pairing G1.generator Zkdet_curve.G2.generator in
+    let f3 = Pairing.pairing (G1.double G1.generator) Zkdet_curve.G2.generator in
+    ignore (Pairing.Gt.mul f1 (Pairing.Gt.mul f2 f3))
+  in
+  (* Part A: the REAL comparator — actual Groth16 (lib/groth16) over the
+     actual ZKCP circuit, per-circuit trusted setup included. *)
+  Printf.printf "real Groth16 ZKCP verification (circuit-specific setup):\n";
+  Printf.printf "%10s %14s %12s %18s %20s\n" "entries" "g16 setup(s)"
+    "g16 prove(s)" "g16 verify (s)" "zkdet verify (s)";
+  List.iter
+    (fun n ->
+      let data = Array.init n (fun i -> Fr.of_int (i + 3)) in
+      let s = Transform.seal ~st:rng data in
+      let compiled =
+        Cs.compile
+          (Zkcp.circuit ~data ~key:s.Transform.key ~nonce:s.Transform.nonce
+             ~predicate:Circuits.Trivial)
+      in
+      let g16_pk, setup_t =
+        wall (fun () -> Zkdet_groth16.Groth16.setup ~st:rng compiled)
+      in
+      let g16_proof, prove_t =
+        wall (fun () -> Zkdet_groth16.Groth16.prove ~st:rng g16_pk compiled)
+      in
+      let ok_g16, g16_verify_t =
+        wall (fun () ->
+            Zkdet_groth16.Groth16.verify g16_pk.Zkdet_groth16.Groth16.vk
+              compiled.Cs.public_values g16_proof)
+      in
+      assert ok_g16;
+      let ok_zkdet, zkdet_t =
+        wall (fun () ->
+            Exchange.verify_key env ~k_c ~c_k:sealed2.Transform.c_k ~h_v pi_k)
+      in
+      assert ok_zkdet;
+      Printf.printf "%10d %14.1f %12.1f %18.3f %20.3f\n%!" n setup_t prove_t
+        g16_verify_t zkdet_t)
+    [ 2; 8; 16 ];
+  (* Part B: extend the sweep with the comparator's verification-equation
+     cost (3 pairings + l full-width G1 exponentiations) so large l is
+     reachable without proving megabyte circuits. *)
+  Printf.printf
+    "\nmodeled sweep (3 pairings + l G1 exponentiations, real curve ops):\n";
+  Printf.printf "%10s %20s %22s %14s\n" "entries" "zkdet verify (s)"
+    "zkcp verify (s)" "proof bytes";
+  let sizes = List.init (5 + scale) (fun i -> 16 lsl (2 * i)) in
+  List.iter
+    (fun n ->
+      let ok_zkdet, zkdet_t =
+        wall (fun () ->
+            Exchange.verify_key env ~k_c ~c_k:sealed2.Transform.c_k ~h_v pi_k)
+      in
+      assert ok_zkdet;
+      let (), zkcp_t = wall (zkcp_groth16_verify ~l:n) in
+      Printf.printf "%10d %20.3f %22.3f %14d\n%!" n zkdet_t zkcp_t
+        (Proof.size_bytes pi_k))
+    sizes;
+  print_endline
+    "shape check: ZKDET verification is constant in the input size; ZKCP\n\
+     pays one exponentiation per public input and overtakes ZKDET quickly\n\
+     (paper: ZKDET < 0.1 s flat while ZKCP grows with the input)."
+
+(* ---------------------------------------------------------------- *)
+(* Ablation: FairSwap dispute gas vs ZKDET on-chain verification      *)
+(* ---------------------------------------------------------------- *)
+
+let fairswap_ablation () =
+  header "Ablation (§VII): FairSwap dispute cost vs ZKDET on-chain verification";
+  let env = Lazy.force shared_env in
+  let alice = Chain.Address.of_seed "alice" and bob = Chain.Address.of_seed "bob" in
+  (* constant ZKDET side: one pi_k settlement through the escrow *)
+  let chain = Chain.create () in
+  List.iter (fun a -> Chain.faucet chain a 1_000_000_000) [ alice; bob ];
+  let verifier, _ =
+    Verifier_contract.deploy chain ~deployer:alice (Exchange.key_vk env)
+  in
+  let escrow, _ = Zkdet_contracts.Escrow.deploy chain ~deployer:alice verifier in
+  let sealed = Transform.seal ~st:rng [| Fr.of_int 1; Fr.of_int 2 |] in
+  let k_v, h_v = Exchange.buyer_blinding ~st:rng () in
+  let deal, _ =
+    Zkdet_contracts.Escrow.lock escrow chain ~buyer:bob ~seller:alice
+      ~amount:1_000 ~h_v ~key_commitment:sealed.Transform.c_k ~timeout_blocks:10
+  in
+  let k_c, pi_k = Exchange.prove_key env sealed ~k_v in
+  let settle =
+    Zkdet_contracts.Escrow.settle escrow chain ~seller:alice
+      ~deal_id:(Option.get deal) ~k_c ~proof:pi_k
+  in
+  let zkdet_gas = settle.Chain.gas_used in
+  Printf.printf "%12s %22s %22s\n" "blocks" "fairswap dispute gas" "zkdet settle gas";
+  List.iter
+    (fun n ->
+      let chain = Chain.create () in
+      List.iter (fun a -> Chain.faucet chain a 1_000_000_000) [ alice; bob ];
+      let fs, _ = Zkdet_contracts.Fairswap_escrow.deploy chain ~deployer:alice in
+      let advertised = Array.init n (fun i -> Fr.of_int (9000 + i)) in
+      let actual = Array.init n (fun i -> Fr.of_int i) in
+      let seller = Zkdet_core.Fairswap.seller_cheat ~st:rng advertised actual in
+      let r_c, r_d = Zkdet_core.Fairswap.roots seller in
+      let id, _ =
+        Zkdet_contracts.Fairswap_escrow.lock fs chain ~buyer:bob ~seller:alice
+          ~amount:1_000 ~root_ciphertext:r_c ~root_plaintext:r_d
+          ~depth:seller.Zkdet_core.Fairswap.depth
+          ~h_k:(Poseidon.hash [ seller.Zkdet_core.Fairswap.key ])
+          ~dispute_window:5
+      in
+      let id = Option.get id in
+      ignore
+        (Zkdet_contracts.Fairswap_escrow.reveal_key fs chain ~seller:alice
+           ~deal_id:id ~key:seller.Zkdet_core.Fairswap.key);
+      let pom =
+        Option.get
+          (Zkdet_core.Fairswap.buyer_check ~key:seller.Zkdet_core.Fairswap.key
+             ~ciphertext:seller.Zkdet_core.Fairswap.ciphertext
+             ~ciphertext_tree:seller.Zkdet_core.Fairswap.ciphertext_tree
+             ~advertised_tree:seller.Zkdet_core.Fairswap.plaintext_tree)
+      in
+      let r =
+        Zkdet_contracts.Fairswap_escrow.complain fs chain ~buyer:bob ~deal_id:id
+          pom
+      in
+      Printf.printf "%12d %22d %22d\n%!" n r.Chain.gas_used zkdet_gas)
+    [ 8; 64; 512; 4096 ];
+  Printf.printf
+    "throughput: at a 30M-gas block limit, %d ZKDET settlements fit per\n\
+     block regardless of the traded data volume (the abstract's \"high\n\
+     throughput despite large data volumes\").\n"
+    (30_000_000 / zkdet_gas);
+  print_endline
+    "shape check: FairSwap's on-chain dispute grows with the data size\n\
+     (Merkle depth); ZKDET's settlement is constant (the paper's §VII\n\
+     motivation for zero-knowledge over authenticated data structures)."
+
+(* ---------------------------------------------------------------- *)
+(* Table I: proofs of transformation for data processing apps         *)
+(* ---------------------------------------------------------------- *)
+
+let table1 ~scale () =
+  header "Table I: proof of transformation for data processing applications";
+  let env = Lazy.force shared_env in
+  Printf.printf "%-22s %10s %14s %18s %12s\n" "task" "entries/"
+    "constraints" "proof gen (s)" "proof (KB)";
+  Printf.printf "%-22s %10s %14s %18s %12s\n" "" "params" "" "" "";
+  let logreg_row n_samples =
+    let c =
+      { Logreg.n_samples; n_features = 1; learning_rate = 0.1; epsilon = 0.05 }
+    in
+    Logreg.register c;
+    let xs, ys = Logreg.synthetic_dataset c in
+    let source = Transform.seal ~st:rng (Logreg.encode_source xs ys) in
+    let spec = Logreg.spec c in
+    let (_, link), t = wall (fun () -> Transform.process env source ~spec) in
+    let constraints =
+      let cs = Cs.create () in
+      let s_ws = Array.map (Cs.fresh cs) source.Transform.data in
+      let d_ws =
+        Array.map (Cs.fresh cs) (spec.Circuits.reference source.Transform.data)
+      in
+      spec.Circuits.check cs s_ws d_ws;
+      Cs.num_gates (Cs.compile cs)
+    in
+    Printf.printf "%-22s %10d %14d %18.1f %12.2f\n%!" "Logistic Regression"
+      (Logreg.source_size c) constraints t
+      (float_of_int (Proof.size_bytes link.Transform.proof) /. 1024.0)
+  in
+  let transformer_row (tc : Transformer.config) =
+    Transformer.register tc;
+    let input = Transformer.synthetic_input tc in
+    let source = Transform.seal ~st:rng input in
+    let spec = Transformer.spec tc in
+    let (_, link), t = wall (fun () -> Transform.process env source ~spec) in
+    let constraints =
+      let cs = Cs.create () in
+      let s_ws = Array.map (Cs.fresh cs) input in
+      let d_ws = Array.map (Cs.fresh cs) (spec.Circuits.reference input) in
+      spec.Circuits.check cs s_ws d_ws;
+      Cs.num_gates (Cs.compile cs)
+    in
+    Printf.printf "%-22s %10d %14d %18.1f %12.2f\n%!" "Transformer"
+      (Transformer.parameter_count tc)
+      constraints t
+      (float_of_int (Proof.size_bytes link.Transform.proof) /. 1024.0)
+  in
+  logreg_row 2;
+  logreg_row 3;
+  if scale > 1 then logreg_row 4;
+  transformer_row Transformer.default_config;
+  if scale > 1 then
+    transformer_row { Transformer.default_config with Transformer.d_ff = 4 };
+  print_endline
+    "shape check: proof generation grows with the task size; proof size is\n\
+     constant (paper: 2.41-2.45 KB across 495 entries .. 1M parameters)."
+
+(* ---------------------------------------------------------------- *)
+(* Table II: gas consumption of smart contracts                       *)
+(* ---------------------------------------------------------------- *)
+
+let table2 () =
+  header "Table II: gas consumption of smart contracts in ZKDET";
+  let env = Lazy.force shared_env in
+  let chain = Chain.create () in
+  let alice = Chain.Address.of_seed "alice" and bob = Chain.Address.of_seed "bob" in
+  List.iter (fun a -> Chain.faucet chain a 1_000_000_000) [ alice; bob ];
+  let nft, deploy_r = Erc721.deploy chain ~deployer:alice in
+  let _verifier, verifier_r =
+    Verifier_contract.deploy chain ~deployer:alice (Exchange.key_vk env)
+  in
+  let commitments () = (Fr.random rng, Fr.random rng) in
+  let mint () =
+    let ck, cd = commitments () in
+    Erc721.mint nft chain ~sender:alice ~recipient:alice
+      ~uri:"zb6c9f2e8d7a5b4c3e2f1a0d9c8b7a6f5e4d3c2b1a09f8e7d6c5b4a3f2e1d0c9"
+      ~key_commitment:ck ~data_commitment:cd ~proof_refs:[ "zb_pi_e" ]
+  in
+  let t1 = Option.get (fst (mint ())) in
+  let t2 = Option.get (fst (mint ())) in
+  let _warm_bob =
+    let ck, cd = commitments () in
+    Erc721.mint nft chain ~sender:alice ~recipient:bob ~uri:"zb_w"
+      ~key_commitment:ck ~data_commitment:cd ~proof_refs:[]
+  in
+  let _, mint_r = mint () in
+  let derived transform prev =
+    let ck, cd = commitments () in
+    snd
+      (Erc721.mint_derived nft chain ~sender:alice ~prev_ids:prev ~transform
+         ~uri:"zb6c9f2e8d7a5b4c3e2f1a0d9c8b7a6f5e4d3c2b1a09f8e7d6c5b4a3f2e1d0c9"
+         ~key_commitment:ck ~data_commitment:cd ~proof_refs:[ "zb_pi_t" ])
+  in
+  let agg_r = derived Erc721.Aggregation [ t1; t2 ] in
+  let dup_r = derived Erc721.Duplication [ t1 ] in
+  let part_r =
+    let child () =
+      let ck, cd = commitments () in
+      ("zb6c9f2e8d7a5b4c3e2f1a0d9c8b7a6f5e4d3c2b1a0", ck, cd, [ "zb_pi_t" ])
+    in
+    snd
+      (Erc721.mint_partition nft chain ~sender:alice ~parent:t1
+         ~children:[ child (); child () ])
+  in
+  let transfer_r =
+    Erc721.transfer_from nft chain ~sender:alice ~from:alice ~to_:bob ~token_id:t2
+  in
+  let burn_r = Erc721.burn nft chain ~sender:alice ~token_id:t1 in
+  let row name paper (r : Chain.receipt) =
+    (match r.Chain.status with
+    | Ok () -> ()
+    | Error e -> Printf.printf "!! %s failed: %s\n" name e);
+    Printf.printf "%-28s %12d %12d %9.1f%%\n" name paper r.Chain.gas_used
+      (100.0 *. float_of_int (r.Chain.gas_used - paper) /. float_of_int paper)
+  in
+  Printf.printf "%-28s %12s %12s %10s\n" "operation" "paper" "measured" "delta";
+  row "ZKDET contract deployment" 1_020_954 deploy_r;
+  row "Verifier contract deploym." 1_644_969 verifier_r;
+  row "Token minting" 106_048 mint_r;
+  row "Token transferring" 36_574 transfer_r;
+  row "Token burning" 50_084 burn_r;
+  row "Transform: aggregation" 96_780 agg_r;
+  row "Transform: duplication" 94_012 dup_r;
+  (match part_r.Chain.status with
+  | Ok () ->
+    Printf.printf "%-28s %12d %12d %9.1f%%  (tx %d / 2 children)\n"
+      "Transform: partition" 83_124 (part_r.Chain.gas_used / 2)
+      (100.0
+      *. float_of_int ((part_r.Chain.gas_used / 2) - 83_124)
+      /. float_of_int 83_124)
+      part_r.Chain.gas_used
+  | Error e -> Printf.printf "!! partition failed: %s\n" e);
+  ignore (Chain.mine chain);
+  Printf.printf "chain validates after the workload: %b\n" (Chain.validate chain)
+
+(* ---------------------------------------------------------------- *)
+(* Micro-benchmarks: one Bechamel group per figure/table              *)
+(* ---------------------------------------------------------------- *)
+
+let micro () =
+  header "Bechamel micro-benchmarks (kernel of each experiment)";
+  let open Bechamel in
+  let open Toolkit in
+  let env = Lazy.force shared_env in
+  let srs256 = Srs.truncate env.Env.srs 257 in
+  let poly255 = Poly.random rng 255 in
+  let a = Fr.random rng and b = Fr.random rng in
+  let p = G1.random rng in
+  let perm_state = [| a; b; Fr.one |] in
+  let sealed = Transform.seal ~st:rng [| a; b |] in
+  let k_v, h_v = Exchange.buyer_blinding ~st:rng () in
+  let k_c, pi_k = Exchange.prove_key env sealed ~k_v in
+  let vk = Exchange.key_vk env in
+  let publics = Circuits.key_publics ~k_c ~c_k:sealed.Transform.c_k ~h_v in
+  let d10 = Domain.create 10 in
+  let coeffs = Poly.random rng 1024 in
+  let stage name f = Test.make ~name (Staged.stage f) in
+  let groups =
+    [ Test.make_grouped ~name:"fig5-setup-kernels"
+        [ stage "kzg-commit-255" (fun () -> Kzg.commit srs256 poly255);
+          stage "fft-2^10" (fun () -> Domain.fft d10 coeffs) ];
+      Test.make_grouped ~name:"fig6-prover-kernels"
+        [ stage "fr-mul" (fun () -> Fr.mul a b);
+          stage "g1-add" (fun () -> G1.add p p);
+          stage "mimc-block" (fun () -> Mimc.encrypt_block a b);
+          stage "poseidon-permute" (fun () -> Poseidon.permute perm_state) ];
+      Test.make_grouped ~name:"fig7-verifier-kernels"
+        [ stage "pairing" (fun () -> Pairing.pairing G1.generator Zkdet_curve.G2.generator);
+          stage "plonk-verify-pi_k" (fun () -> Verifier.verify vk publics pi_k) ];
+      Test.make_grouped ~name:"table1-gadget-kernels"
+        [ stage "sha256-1KiB" (fun () -> Sha256.digest (String.make 1024 'x'));
+          stage "logreg-train-ref" (fun () ->
+              let c = { Logreg.n_samples = 4; n_features = 2;
+                        learning_rate = 0.1; epsilon = 0.05 } in
+              let xs, ys = Logreg.synthetic_dataset c in
+              Logreg.train c xs ys) ];
+      Test.make_grouped ~name:"table2-contract-kernels"
+        [ stage "mint-gas-metering" (fun () ->
+              let chain = Chain.create () in
+              let alice = Chain.Address.of_seed "a" in
+              Chain.faucet chain alice 10_000_000;
+              let nft, _ = Erc721.deploy chain ~deployer:alice in
+              Erc721.mint nft chain ~sender:alice ~recipient:alice ~uri:"zb_x"
+                ~key_commitment:Fr.one ~data_commitment:Fr.one ~proof_refs:[]) ] ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.3) () in
+  List.iter
+    (fun group ->
+      let raw = Benchmark.all cfg [ instance ] group in
+      let results = Analyze.all ols instance raw in
+      let rows =
+        Hashtbl.fold
+          (fun name ols_result acc ->
+            match Analyze.OLS.estimates ols_result with
+            | Some [ est ] -> (name, est) :: acc
+            | _ -> acc)
+          results []
+      in
+      List.iter
+        (fun (name, ns) ->
+          if ns > 1e6 then Printf.printf "%-48s %12.2f ms\n" name (ns /. 1e6)
+          else if ns > 1e3 then Printf.printf "%-48s %12.2f us\n" name (ns /. 1e3)
+          else Printf.printf "%-48s %12.0f ns\n" name ns)
+        (List.sort compare rows))
+    groups
+
+(* ---------------------------------------------------------------- *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let scale =
+    let rec find = function
+      | "--scale" :: v :: _ -> ( try int_of_string v with _ -> 1)
+      | _ :: rest -> find rest
+      | [] -> 1
+    in
+    find args
+  in
+  let which =
+    List.filter
+      (fun a ->
+        List.mem a
+          [ "fig5"; "fig6"; "fig7"; "fairswap"; "table1"; "table2"; "micro"; "all" ])
+      args
+  in
+  let which = if which = [] then [ "all" ] else which in
+  let run = List.mem "all" which in
+  let t0 = Unix.gettimeofday () in
+  Printf.printf "ZKDET benchmark harness (scale=%d)\n" scale;
+  if run || List.mem "fig5" which then fig5 ~scale ();
+  if run || List.mem "fig6" which then fig6 ~scale ();
+  if run || List.mem "fig7" which then fig7 ~scale ();
+  if run || List.mem "fairswap" which then fairswap_ablation ();
+  if run || List.mem "table1" which then table1 ~scale ();
+  if run || List.mem "table2" which then table2 ();
+  if run || List.mem "micro" which then micro ();
+  Printf.printf "\ntotal bench wall time: %.1f s\n" (Unix.gettimeofday () -. t0)

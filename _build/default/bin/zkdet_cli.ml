@@ -1,0 +1,75 @@
+(* Command-line tool for poking at the ZKDET stack:
+
+     dune exec bin/zkdet_cli.exe -- params      # curve/field parameters
+     dune exec bin/zkdet_cli.exe -- selftest    # tiny end-to-end proof
+     dune exec bin/zkdet_cli.exe -- ceremony -n 3 --size 8
+                                                # powers-of-tau simulation *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module Fp = Zkdet_field.Bn254.Fp
+module Nat = Zkdet_num.Nat
+module Ceremony = Zkdet_kzg.Ceremony
+open Cmdliner
+
+let params_cmd =
+  let run () =
+    Printf.printf "curve: BN254 (alt_bn128)\n";
+    Printf.printf "base field p  (%d bits): %s\n" Fp.num_bits (Nat.to_decimal Fp.modulus);
+    Printf.printf "scalar field r (%d bits): %s\n" Fr.num_bits (Nat.to_decimal Fr.modulus);
+    Printf.printf "Fr two-adicity: %d (FFT domains up to 2^%d)\n" Fr.two_adicity
+      Fr.two_adicity;
+    Printf.printf "MiMC: %d rounds, S-box x^%d (CTR mode)\n" Zkdet_mimc.Mimc.rounds
+      Zkdet_mimc.Mimc.degree;
+    Printf.printf "Poseidon: width %d, R_F=%d, R_P=%d, S-box x^5\n"
+      Zkdet_poseidon.Poseidon.width Zkdet_poseidon.Poseidon.full_rounds
+      Zkdet_poseidon.Poseidon.partial_rounds;
+    Printf.printf "proof: 9 G1 + 6 Fr = %d bytes\n" ((9 * 65) + (6 * 32))
+  in
+  Cmd.v (Cmd.info "params" ~doc:"Print the cryptographic parameters")
+    Term.(const run $ const ())
+
+let selftest_cmd =
+  let run () =
+    let env = Zkdet_core.Env.create ~log2_max_gates:12 () in
+    let data = [| Fr.of_int 11; Fr.of_int 22 |] in
+    let sealed = Zkdet_core.Transform.seal ~st:env.Zkdet_core.Env.rng data in
+    print_endline "proving pi_e for a 2-entry dataset...";
+    let proof = Zkdet_core.Transform.prove_encryption env sealed in
+    let ok =
+      Zkdet_core.Transform.verify_encryption env
+        ~nonce:sealed.Zkdet_core.Transform.nonce
+        ~c_d:sealed.Zkdet_core.Transform.c_d
+        ~c_k:sealed.Zkdet_core.Transform.c_k
+        ~ciphertext:sealed.Zkdet_core.Transform.ciphertext proof
+    in
+    Printf.printf "self-test %s\n" (if ok then "PASSED" else "FAILED");
+    if not ok then exit 1
+  in
+  Cmd.v (Cmd.info "selftest" ~doc:"Generate and verify one proof of encryption")
+    Term.(const run $ const ())
+
+let ceremony_cmd =
+  let contributors =
+    Arg.(value & opt int 3 & info [ "n"; "contributors" ] ~doc:"Number of contributors")
+  in
+  let size = Arg.(value & opt int 8 & info [ "size" ] ~doc:"SRS size (G1 powers)") in
+  let run n size =
+    Printf.printf "simulating a %d-party powers-of-tau ceremony (size %d)...\n%!" n size;
+    let state = ref (Ceremony.initial ~size) in
+    for i = 1 to n do
+      state := Ceremony.contribute ~contributor:(Printf.sprintf "party-%d" i) !state;
+      Printf.printf "  party-%d contributed\n%!" i
+    done;
+    let ok = Ceremony.verify_transcript !state in
+    Printf.printf "transcript verification: %s\n" (if ok then "OK" else "FAILED");
+    if not ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "ceremony" ~doc:"Simulate and verify a powers-of-tau ceremony")
+    Term.(const run $ contributors $ size)
+
+let () =
+  let doc = "ZKDET: traceable, privacy-preserving data exchange" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "zkdet" ~doc) [ params_cmd; selftest_cmd; ceremony_cmd ]))

@@ -1,0 +1,1 @@
+examples/fairswap_dispute.ml: Array List Option Printf Zkdet_chain Zkdet_contracts Zkdet_core Zkdet_field Zkdet_poseidon

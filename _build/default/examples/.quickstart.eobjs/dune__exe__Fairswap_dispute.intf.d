@@ -1,0 +1,1 @@
+examples/fairswap_dispute.mli:

@@ -1,0 +1,1 @@
+examples/marketplace_tour.ml: List Option Printf String Zkdet_chain Zkdet_contracts Zkdet_core Zkdet_field

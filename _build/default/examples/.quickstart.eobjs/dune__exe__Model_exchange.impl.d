@@ -1,0 +1,1 @@
+examples/model_exchange.ml: Array Printf String Unix Zkdet_apps Zkdet_circuit Zkdet_core Zkdet_field

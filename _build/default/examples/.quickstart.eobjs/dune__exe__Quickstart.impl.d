@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Printf String Zkdet_chain Zkdet_contracts Zkdet_core Zkdet_field

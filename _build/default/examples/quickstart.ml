@@ -1,0 +1,64 @@
+(* Quickstart: the whole ZKDET pipeline in one file.
+
+     dune exec examples/quickstart.exe
+
+   A data owner publishes an encrypted dataset as an NFT, a buyer audits
+   its proofs straight from chain + storage, and the two run the
+   key-secure exchange: payment against the key, with the key itself
+   never touching the chain. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module Env = Zkdet_core.Env
+module Circuits = Zkdet_core.Circuits
+module Marketplace = Zkdet_core.Marketplace
+module Transform = Zkdet_core.Transform
+module Chain = Zkdet_chain.Chain
+
+let step fmt = Printf.printf ("\n== " ^^ fmt ^^ "\n%!")
+
+let () =
+  step "universal setup (simulated powers-of-tau, one-time)";
+  let env = Env.create ~log2_max_gates:13 () in
+
+  step "bootstrap: chain, storage network, NFT registry, verifier, escrow";
+  let operator = Chain.Address.of_seed "operator" in
+  let m = Marketplace.bootstrap env ~operator in
+
+  let alice = Chain.Address.of_seed "alice" in
+  let bob = Chain.Address.of_seed "bob" in
+
+  step "alice publishes a dataset (encrypt, commit, prove, upload, mint)";
+  let data = Array.init 2 (fun i -> Fr.of_int ((i + 1) * 111)) in
+  let token, sealed =
+    match Marketplace.publish m ~owner:alice data with
+    | Ok r -> r
+    | Error e -> failwith e
+  in
+  Printf.printf "   minted data NFT #%d\n" token;
+  Printf.printf "   dataset commitment c_d = %s...\n"
+    (String.sub (Fr.to_string sealed.Transform.c_d) 0 24);
+
+  step "bob audits the token: fetches ciphertext + pi_e, re-verifies";
+  (match Marketplace.audit_provenance m ~auditor_id:bob token with
+  | Ok n -> Printf.printf "   audit OK (%d token(s) verified)\n" n
+  | Error _ -> failwith "audit failed");
+
+  step "key-secure exchange: phase 1 (pi_p) + escrow + phase 2 (pi_k)";
+  let total = Array.fold_left Fr.add Fr.zero data in
+  let recovered =
+    match
+      Marketplace.trade m ~seller:alice ~buyer:bob ~token_id:token ~sealed
+        ~predicate:(Circuits.Sum_equals total) ~price:50_000
+    with
+    | Ok d -> d
+    | Error _ -> failwith "trade failed"
+  in
+  Printf.printf "   bob decrypted %d entries; first = %s\n"
+    (Array.length recovered)
+    (Fr.to_string recovered.(0));
+  Printf.printf "   token #%d owner is now bob: %b\n" token
+    (Zkdet_contracts.Erc721.owner_of m.Marketplace.nft token = Some bob);
+  Printf.printf "   chain validates: %b, blocks: %d\n"
+    (Chain.validate m.Marketplace.chain)
+    (Chain.block_count m.Marketplace.chain);
+  print_endline "\nquickstart complete."

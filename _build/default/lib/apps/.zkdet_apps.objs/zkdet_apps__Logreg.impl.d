@@ -1,0 +1,1 @@
+lib/apps/logreg.ml: Array Float List Printf Random Zkdet_circuit Zkdet_core Zkdet_field Zkdet_plonk

@@ -1,0 +1,1 @@
+lib/apps/logreg.mli: Random Zkdet_core Zkdet_field Zkdet_plonk

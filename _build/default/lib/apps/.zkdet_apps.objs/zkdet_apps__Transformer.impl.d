@@ -1,0 +1,1 @@
+lib/apps/transformer.ml: Array Float Printf Random Zkdet_circuit Zkdet_core Zkdet_field Zkdet_plonk

@@ -1,0 +1,185 @@
+(* Proof of logistic-regression training (paper §IV-E.1).
+
+   The source dataset S is a flattened list of samples
+   [x_1 .. x_k, y] * n; the derived dataset D is the fitted parameter
+   vector beta = (beta_0 .. beta_k). The owner trains out-of-circuit by
+   gradient descent; the circuit does NOT redo the training — it verifies
+   the convergence predicate the paper uses:
+
+       || J(beta') - J(beta) || <= eps
+
+   where beta' is one in-circuit gradient-descent step from beta, using
+   the per-sample loss  J_i = softplus(z_i) - y_i z_i  (algebraically
+   identical to the cross-entropy of the paper) and the fixed-point
+   gadget library for sigmoid/softplus. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module Cs = Zkdet_plonk.Cs
+module Fixed = Zkdet_circuit.Fixed_point
+module Circuits = Zkdet_core.Circuits
+
+type config = {
+  n_samples : int;
+  n_features : int;
+  learning_rate : float;
+  epsilon : float; (* convergence tolerance on the loss difference *)
+}
+
+let default_config = { n_samples = 4; n_features = 2; learning_rate = 0.1; epsilon = 0.05 }
+
+let source_size (c : config) = c.n_samples * (c.n_features + 1)
+let beta_size (c : config) = c.n_features + 1
+
+(* ---- float-side reference: synthetic data + training ---- *)
+
+(** Generate a linearly-separable-ish synthetic dataset with small feature
+    values (keeping z = beta . x inside the gadget approximation range). *)
+let synthetic_dataset ?(st = Random.State.make [| 7 |]) (c : config) :
+    float array array * float array =
+  let xs =
+    Array.init c.n_samples (fun _ ->
+        Array.init c.n_features (fun _ -> Random.State.float st 1.0 -. 0.5))
+  in
+  let ys =
+    Array.map
+      (fun x ->
+        let s = Array.fold_left ( +. ) 0.0 x in
+        if s > 0.0 then 1.0 else 0.0)
+      xs
+  in
+  (xs, ys)
+
+let sigmoid_f z = 1.0 /. (1.0 +. Float.exp (-.z))
+
+let loss (xs : float array array) (ys : float array) (beta : float array) :
+    float =
+  let n = Array.length xs in
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    let z = ref beta.(0) in
+    Array.iteri (fun j xj -> z := !z +. (beta.(j + 1) *. xj)) xs.(i);
+    (* softplus(z) - y z *)
+    total := !total +. Float.log (1.0 +. Float.exp !z) -. (ys.(i) *. !z)
+  done;
+  !total /. float_of_int n
+
+let gradient_step (xs : float array array) (ys : float array)
+    (beta : float array) ~(lr : float) : float array =
+  let n = Array.length xs in
+  let k = Array.length beta - 1 in
+  let grad = Array.make (k + 1) 0.0 in
+  for i = 0 to n - 1 do
+    let z = ref beta.(0) in
+    Array.iteri (fun j xj -> z := !z +. (beta.(j + 1) *. xj)) xs.(i);
+    let err = sigmoid_f !z -. ys.(i) in
+    grad.(0) <- grad.(0) +. err;
+    for j = 0 to k - 1 do
+      grad.(j + 1) <- grad.(j + 1) +. (err *. xs.(i).(j))
+    done
+  done;
+  Array.mapi (fun j b -> b -. (lr *. grad.(j) /. float_of_int n)) beta
+
+(** Train until the loss difference between successive iterations is well
+    inside the tolerance (margin for fixed-point error). *)
+let train (c : config) (xs : float array array) (ys : float array) :
+    float array * int =
+  let rec go beta iters =
+    let beta' = gradient_step xs ys beta ~lr:c.learning_rate in
+    if Float.abs (loss xs ys beta' -. loss xs ys beta) <= c.epsilon /. 4.0 || iters > 5000
+    then (beta', iters)
+    else go beta' (iters + 1)
+  in
+  go (Array.make (c.n_features + 1) 0.0) 0
+
+(* ---- encoding between datasets and fixed-point field elements ---- *)
+
+let encode_source (xs : float array array) (ys : float array) : Fr.t array =
+  Array.concat
+    (Array.to_list
+       (Array.mapi
+          (fun i x ->
+            Array.append (Array.map Fixed.of_float x) [| Fixed.of_float ys.(i) |])
+          xs))
+
+let decode_source (c : config) (s : Fr.t array) : float array array * float array
+    =
+  let xs =
+    Array.init c.n_samples (fun i ->
+        Array.init c.n_features (fun j ->
+            Fixed.to_float s.((i * (c.n_features + 1)) + j)))
+  in
+  let ys =
+    Array.init c.n_samples (fun i ->
+        Fixed.to_float s.((i * (c.n_features + 1)) + c.n_features))
+  in
+  (xs, ys)
+
+let encode_beta (beta : float array) : Fr.t array = Array.map Fixed.of_float beta
+
+(* ---- the in-circuit convergence predicate ---- *)
+
+(* Per-sample loss contribution and error, shared by J and the gradient. *)
+let sample_terms cs (beta_ws : Cs.wire array) (x_ws : Cs.wire array)
+    (y_w : Cs.wire) : Cs.wire * Cs.wire =
+  (* z = beta_0 + sum_j beta_{j+1} x_j *)
+  let z = ref beta_ws.(0) in
+  Array.iteri
+    (fun j xj -> z := Fixed.add cs !z (Fixed.mul cs beta_ws.(j + 1) xj))
+    x_ws;
+  let z = !z in
+  (* loss_i = softplus(z) - y z ; err_i = sigmoid(z) - y *)
+  let loss_i = Fixed.sub cs (Fixed.softplus cs z) (Fixed.mul cs y_w z) in
+  let err_i = Fixed.sub cs (Fixed.sigmoid cs z) y_w in
+  (loss_i, err_i)
+
+let in_circuit_loss_and_grad cs (c : config) (beta_ws : Cs.wire array)
+    (s_ws : Cs.wire array) : Cs.wire * Cs.wire array =
+  let stride = c.n_features + 1 in
+  let inv_n = Fixed.constant cs (1.0 /. float_of_int c.n_samples) in
+  let losses = ref [] in
+  let grad = Array.make (c.n_features + 1) (Fixed.constant cs 0.0) in
+  for i = 0 to c.n_samples - 1 do
+    let x_ws = Array.sub s_ws (i * stride) c.n_features in
+    let y_w = s_ws.((i * stride) + c.n_features) in
+    let loss_i, err_i = sample_terms cs beta_ws x_ws y_w in
+    losses := loss_i :: !losses;
+    grad.(0) <- Fixed.add cs grad.(0) err_i;
+    for j = 0 to c.n_features - 1 do
+      grad.(j + 1) <- Fixed.add cs grad.(j + 1) (Fixed.mul cs err_i x_ws.(j))
+    done
+  done;
+  let total = List.fold_left (fun a b -> Fixed.add cs a b) (Fixed.constant cs 0.0) !losses in
+  let j_val = Fixed.mul cs total inv_n in
+  let grad = Array.map (fun g -> Fixed.mul cs g inv_n) grad in
+  (j_val, grad)
+
+(** The convergence check: derive beta' = beta - lr * grad(J)(beta) in
+    circuit and assert |J(beta') - J(beta)| <= eps. *)
+let convergence_check (c : config) cs (s_ws : Cs.wire array)
+    (beta_ws : Cs.wire array) : unit =
+  let lr = Fixed.constant cs c.learning_rate in
+  let j0, grad = in_circuit_loss_and_grad cs c beta_ws s_ws in
+  let beta' =
+    Array.mapi (fun j b -> Fixed.sub cs b (Fixed.mul cs lr grad.(j))) beta_ws
+  in
+  let j1, _ = in_circuit_loss_and_grad cs c beta' s_ws in
+  let eps = Fixed.constant cs c.epsilon in
+  Fixed.assert_abs_le cs j1 j0 eps
+
+(** The processing spec: plugs logistic regression into the generic
+    transformation protocol — a trained model becomes a sellable derived
+    dataset with a proof of transformation (§IV-E). *)
+let spec (c : config) : Circuits.processing_spec =
+  {
+    Circuits.proc_name =
+      Printf.sprintf "logreg:n%d:k%d" c.n_samples c.n_features;
+    out_size = (fun _ -> beta_size c);
+    check = (fun cs s_ws d_ws -> convergence_check c cs s_ws d_ws);
+    reference =
+      (fun s ->
+        let xs, ys = decode_source c s in
+        let beta, _ = train c xs ys in
+        encode_beta beta);
+  }
+
+let register (c : config) = Circuits.register_processing (spec c)

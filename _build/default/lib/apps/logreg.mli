@@ -1,0 +1,57 @@
+(** Proof of logistic-regression training (paper §IV-E.1).
+
+    The source dataset S is a flattened sample list
+    [[x_1 .. x_k, y] * n]; the derived dataset D is the fitted parameter
+    vector beta. The owner trains out-of-circuit; the circuit verifies
+    the paper's convergence predicate
+    [||J(beta') - J(beta)|| <= eps] with beta' one in-circuit
+    gradient-descent step from beta, using the fixed-point gadgets. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module Cs = Zkdet_plonk.Cs
+module Circuits = Zkdet_core.Circuits
+
+type config = {
+  n_samples : int;
+  n_features : int;
+  learning_rate : float;
+  epsilon : float;  (** tolerance on the loss difference *)
+}
+
+val default_config : config
+val source_size : config -> int
+val beta_size : config -> int
+
+(** {2 Float-side reference} *)
+
+val synthetic_dataset :
+  ?st:Random.State.t -> config -> float array array * float array
+(** Separable-ish synthetic data with features inside the gadget
+    approximation range. *)
+
+val sigmoid_f : float -> float
+val loss : float array array -> float array -> float array -> float
+val gradient_step :
+  float array array -> float array -> float array -> lr:float -> float array
+
+val train : config -> float array array -> float array -> float array * int
+(** Gradient descent until the loss difference is well inside the
+    tolerance (margin for fixed-point error); returns (beta, iterations). *)
+
+(** {2 Fixed-point encoding} *)
+
+val encode_source : float array array -> float array -> Fr.t array
+val decode_source : config -> Fr.t array -> float array array * float array
+val encode_beta : float array -> Fr.t array
+
+(** {2 The in-circuit predicate} *)
+
+val convergence_check : config -> Cs.t -> Cs.wire array -> Cs.wire array -> unit
+(** Constrain [|J(beta - lr grad J(beta)) - J(beta)| <= eps] over the
+    source and beta wires. *)
+
+val spec : config -> Circuits.processing_spec
+(** Plug training into the generic transformation protocol: a trained
+    model becomes a sellable derived dataset with a pi_t. *)
+
+val register : config -> unit

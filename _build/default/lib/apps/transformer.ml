@@ -1,0 +1,172 @@
+(* Proof of transformer inference (paper §IV-E.2).
+
+   A single encoder block: scaled dot-product attention followed by a
+   two-layer feed-forward network with ReLU, all in fixed point. The
+   source dataset S is the flattened input sequence (n tokens x d_model);
+   the derived dataset D is the block's flattened output. The weights are
+   public constants of the circuit (a published model architecture whose
+   *application* is being proven), so this is a pure processing spec: the
+   circuit recomputes D = f(S) and the reference implementation mirrors
+   the gadget arithmetic exactly through {!Fixed.Value}. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module Cs = Zkdet_plonk.Cs
+module Fixed = Zkdet_circuit.Fixed_point
+module Circuits = Zkdet_core.Circuits
+
+type config = {
+  n_tokens : int;
+  d_model : int;
+  d_ff : int;
+  seed : int; (* deterministic weight generation *)
+}
+
+let default_config = { n_tokens = 2; d_model = 2; d_ff = 2; seed = 99 }
+
+let input_size (c : config) = c.n_tokens * c.d_model
+let output_size (c : config) = c.n_tokens * c.d_model
+
+(** Number of parameters, the x-axis of Table I's transformer rows. *)
+let parameter_count (c : config) =
+  (3 * c.d_model * c.d_model) (* W_q, W_k, W_v *)
+  + (c.d_model * c.d_ff) + c.d_ff (* W_1, b_1 *)
+  + (c.d_ff * c.d_model) + c.d_model (* W_2, b_2 *)
+
+type weights = {
+  w_q : float array array;
+  w_k : float array array;
+  w_v : float array array;
+  w_1 : float array array; (* d_model x d_ff *)
+  b_1 : float array;
+  w_2 : float array array; (* d_ff x d_model *)
+  b_2 : float array;
+}
+
+let generate_weights (c : config) : weights =
+  let st = Random.State.make [| c.seed |] in
+  let mat r cols = Array.init r (fun _ -> Array.init cols (fun _ -> Random.State.float st 0.5 -. 0.25)) in
+  let vec n = Array.init n (fun _ -> Random.State.float st 0.2 -. 0.1) in
+  {
+    w_q = mat c.d_model c.d_model;
+    w_k = mat c.d_model c.d_model;
+    w_v = mat c.d_model c.d_model;
+    w_1 = mat c.d_model c.d_ff;
+    b_1 = vec c.d_ff;
+    w_2 = mat c.d_ff c.d_model;
+    b_2 = vec c.d_model;
+  }
+
+(* ---- generic forward pass over an arithmetic interface ----
+   Instantiated twice: once with circuit wires, once with Value — the two
+   evaluations agree exactly, so compute-and-equate is sound. *)
+
+module type ARITH = sig
+  type t
+
+  val const : float -> t
+  val add : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val exp : t -> t
+  val relu : t -> t
+end
+
+module Forward (A : ARITH) = struct
+  (* rows(a) x (rows b = cols a) matrix product *)
+  let matmul (a : A.t array array) (b : A.t array array) : A.t array array =
+    let rows = Array.length a and inner = Array.length b in
+    let cols = Array.length b.(0) in
+    Array.init rows (fun i ->
+        Array.init cols (fun j ->
+            let acc = ref (A.const 0.0) in
+            for k = 0 to inner - 1 do
+              acc := A.add !acc (A.mul a.(i).(k) b.(k).(j))
+            done;
+            !acc))
+
+  let softmax_row (row : A.t array) : A.t array =
+    let exps = Array.map A.exp row in
+    let total = Array.fold_left A.add (A.const 0.0) exps in
+    Array.map (fun e -> A.div e total) exps
+
+  let block (c : config) (w : weights) (x : A.t array array) : A.t array array =
+    let lift = Array.map (Array.map A.const) in
+    let q = matmul x (lift w.w_q) in
+    let k = matmul x (lift w.w_k) in
+    let v = matmul x (lift w.w_v) in
+    (* scores = Q K^T / sqrt(d_k) *)
+    let kt = Array.init c.d_model (fun i -> Array.map (fun row -> row.(i)) k) in
+    let inv_sqrt_dk = A.const (1.0 /. Float.sqrt (float_of_int c.d_model)) in
+    let scores =
+      Array.map (Array.map (fun s -> A.mul s inv_sqrt_dk)) (matmul q kt)
+    in
+    let attn = Array.map softmax_row scores in
+    let z = matmul attn v in
+    (* FFN: relu(z W1 + b1) W2 + b2 *)
+    let h = matmul z (lift w.w_1) in
+    let h =
+      Array.map (fun row -> Array.mapi (fun j e -> A.relu (A.add e (A.const w.b_1.(j)))) row) h
+    in
+    let out = matmul h (lift w.w_2) in
+    Array.map
+      (fun row -> Array.mapi (fun j e -> A.add e (A.const w.b_2.(j))) row)
+      out
+end
+
+(* circuit instantiation *)
+let circuit_forward (c : config) (w : weights) cs (x : Cs.wire array array) :
+    Cs.wire array array =
+  let module A = struct
+    type t = Cs.wire
+
+    let const v = Fixed.constant cs v
+    let add = Fixed.add cs
+
+    let mul = Fixed.mul cs
+    let div = Fixed.div cs
+    let exp = Fixed.exp cs
+    let relu = Fixed.relu cs
+  end in
+  let module F = Forward (A) in
+  F.block c w x
+
+(* reference instantiation with identical rounding *)
+let value_forward (c : config) (w : weights) (x : Fr.t array array) :
+    Fr.t array array =
+  let module F = Forward (struct
+    type t = Fr.t
+
+    let const = Fixed.Value.of_float
+    let add = Fixed.Value.add
+
+    let mul = Fixed.Value.mul
+    let div = Fixed.Value.div
+    let exp = Fixed.Value.exp
+    let relu = Fixed.Value.relu
+  end) in
+  F.block c w x
+
+(* flattening *)
+let to_matrix (c : config) (flat : 'a array) : 'a array array =
+  Array.init c.n_tokens (fun i -> Array.sub flat (i * c.d_model) c.d_model)
+
+let of_matrix (m : 'a array array) : 'a array = Array.concat (Array.to_list m)
+
+(** Synthetic input sequence with entries in the gadget-friendly range. *)
+let synthetic_input ?(st = Random.State.make [| 21 |]) (c : config) : Fr.t array =
+  Array.init (input_size c) (fun _ ->
+      Fixed.of_float (Random.State.float st 1.0 -. 0.5))
+
+(** The processing spec: transformer inference as a provable data
+    transformation. *)
+let spec (c : config) : Circuits.processing_spec =
+  let w = generate_weights c in
+  Circuits.pure_spec
+    ~name:
+      (Printf.sprintf "transformer:t%d:d%d:f%d:s%d" c.n_tokens c.d_model c.d_ff
+         c.seed)
+    ~out_size:(fun _ -> output_size c)
+    ~apply:(fun cs s_ws -> of_matrix (circuit_forward c w cs (to_matrix c s_ws)))
+    ~reference:(fun s -> of_matrix (value_forward c w (to_matrix c s)))
+
+let register (c : config) = Circuits.register_processing (spec c)

@@ -1,0 +1,45 @@
+(** Proof of transformer inference (paper §IV-E.2): one encoder block —
+    scaled dot-product attention plus a two-layer ReLU feed-forward
+    network — in fixed point. S is the flattened input sequence, D the
+    flattened output; the public weights are circuit constants, and the
+    owner-side reference mirrors the gadget arithmetic bit-for-bit. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module Cs = Zkdet_plonk.Cs
+module Circuits = Zkdet_core.Circuits
+
+type config = { n_tokens : int; d_model : int; d_ff : int; seed : int }
+
+val default_config : config
+val input_size : config -> int
+val output_size : config -> int
+
+val parameter_count : config -> int
+(** The x-axis of Table I's transformer rows. *)
+
+type weights = {
+  w_q : float array array;
+  w_k : float array array;
+  w_v : float array array;
+  w_1 : float array array;
+  b_1 : float array;
+  w_2 : float array array;
+  b_2 : float array;
+}
+
+val generate_weights : config -> weights
+(** Deterministic from [config.seed] — the published model. *)
+
+val circuit_forward :
+  config -> weights -> Cs.t -> Cs.wire array array -> Cs.wire array array
+
+val value_forward : config -> weights -> Fr.t array array -> Fr.t array array
+(** Reference with identical fixed-point truncation. *)
+
+val to_matrix : config -> 'a array -> 'a array array
+val of_matrix : 'a array array -> 'a array
+
+val synthetic_input : ?st:Random.State.t -> config -> Fr.t array
+
+val spec : config -> Circuits.processing_spec
+val register : config -> unit

@@ -1,0 +1,1 @@
+lib/chain/chain.ml: Array Format Gas Hashtbl List Option Printf String Zkdet_hash

@@ -1,0 +1,1 @@
+lib/chain/chain.mli: Format Gas

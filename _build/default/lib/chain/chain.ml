@@ -1,0 +1,245 @@
+(* A blockchain simulator: account balances, gas-metered transaction
+   execution, event logs, receipts, and proof-of-authority block
+   production with hash-linked headers and SHA-256 transaction Merkle
+   roots. The paper's threat model only assumes tamper-resistance and
+   consistency of the ledger (§IV-A), which this substrate provides for
+   the protocols and whose gas metering reproduces Table II. *)
+
+module Sha256 = Zkdet_hash.Sha256
+module Keccak256 = Zkdet_hash.Keccak256
+
+module Address = struct
+  type t = string (* 0x + 40 hex chars *)
+
+  let of_seed (seed : string) : t =
+    let h = Keccak256.digest ("zkdet-address/" ^ seed) in
+    "0x" ^ Sha256.hex_of_string (String.sub h 12 20)
+
+  let equal = String.equal
+  let pp fmt a = Format.pp_print_string fmt a
+  let to_string a = a
+end
+
+type event = { event_contract : string; event_name : string; event_data : string list }
+
+type receipt = {
+  tx_hash : string;
+  tx_label : string;
+  sender : Address.t;
+  gas_used : int;
+  status : (unit, string) result;
+  events : event list;
+  block_number : int option; (* None while pending *)
+}
+
+type block = {
+  number : int;
+  parent_hash : string;
+  tx_root : string;
+  tx_hashes : string list;
+  timestamp : int;
+  validator : Address.t;
+  block_hash : string;
+}
+
+type t = {
+  balances : (Address.t, int) Hashtbl.t;
+  mutable nonce : int;
+  mutable pending : receipt list; (* reversed *)
+  mutable blocks : block list; (* newest first *)
+  receipts : (string, receipt) Hashtbl.t;
+  validators : Address.t array;
+  mutable clock : int;
+  gas_limit : int; (* per transaction *)
+  block_gas_limit : int;
+  gas_price : int;
+}
+
+let genesis_validator = Address.of_seed "validator-0"
+
+let create ?(validators = [| genesis_validator |]) ?(gas_limit = 30_000_000)
+    ?(block_gas_limit = 30_000_000) ?(gas_price = 1) () =
+  let genesis =
+    {
+      number = 0;
+      parent_hash = String.make 64 '0';
+      tx_root = Sha256.digest_hex "";
+      tx_hashes = [];
+      timestamp = 0;
+      validator = validators.(0);
+      block_hash = Sha256.digest_hex "zkdet-genesis";
+    }
+  in
+  {
+    balances = Hashtbl.create 16;
+    nonce = 0;
+    pending = [];
+    blocks = [ genesis ];
+    receipts = Hashtbl.create 64;
+    validators;
+    clock = 0;
+    gas_limit;
+    block_gas_limit;
+    gas_price;
+  }
+
+let balance (chain : t) (a : Address.t) =
+  Option.value ~default:0 (Hashtbl.find_opt chain.balances a)
+
+(** Credit an account out of thin air (test faucet / block rewards). *)
+let faucet (chain : t) (a : Address.t) (amount : int) =
+  Hashtbl.replace chain.balances a (balance chain a + amount)
+
+let debit (chain : t) (a : Address.t) (amount : int) : (unit, string) result =
+  let b = balance chain a in
+  if b < amount then Error "insufficient balance"
+  else begin
+    Hashtbl.replace chain.balances a (b - amount);
+    Ok ()
+  end
+
+let credit (chain : t) (a : Address.t) (amount : int) =
+  Hashtbl.replace chain.balances a (balance chain a + amount)
+
+(** Execution environment passed to contract code. *)
+type env = {
+  chain : t;
+  sender : Address.t;
+  meter : Gas.meter;
+  mutable tx_events : event list; (* reversed *)
+}
+
+exception Revert of string
+
+let emit (env : env) ~contract ~name ~data =
+  Gas.log env.meter ~topics:(1 + List.length data)
+    ~data_bytes:(List.fold_left (fun a s -> a + String.length s) 0 data);
+  env.tx_events <-
+    { event_contract = contract; event_name = name; event_data = data }
+    :: env.tx_events
+
+(** Execute a transaction: runs [f env], charging base cost, calldata and
+    whatever the contract meters; deducts gas from the sender's balance;
+    reverts state-free (our contracts roll back themselves via exceptions
+    being raised before mutation, or tolerate partial writes like any
+    simulator — protocol tests only rely on [status]). *)
+let execute (chain : t) ~(sender : Address.t) ~(label : string)
+    ?(calldata = "") (f : env -> unit) : receipt =
+  let meter = Gas.create ~limit:chain.gas_limit () in
+  let env = { chain; sender; meter; tx_events = [] } in
+  let status =
+    try
+      Gas.tx_base meter;
+      Gas.calldata meter calldata;
+      f env;
+      Ok ()
+    with
+    | Revert msg -> Error msg
+    | Gas.Out_of_gas -> Error "out of gas"
+  in
+  let gas_used = Gas.used meter in
+  let fee = gas_used * chain.gas_price in
+  let status =
+    match (status, debit chain sender fee) with
+    | Ok (), Ok () -> Ok ()
+    | Ok (), Error e -> Error ("fee: " ^ e)
+    | (Error _ as e), _ ->
+      (* Failed txs still pay for gas if they can. *)
+      ignore (debit chain sender fee);
+      e
+  in
+  chain.nonce <- chain.nonce + 1;
+  let tx_hash =
+    Sha256.hex_of_string
+      (Sha256.digest (Printf.sprintf "%s/%s/%d" sender label chain.nonce))
+  in
+  let receipt =
+    {
+      tx_hash;
+      tx_label = label;
+      sender;
+      gas_used;
+      status;
+      events = List.rev env.tx_events;
+      block_number = None;
+    }
+  in
+  chain.pending <- receipt :: chain.pending;
+  Hashtbl.replace chain.receipts tx_hash receipt;
+  receipt
+
+(* Merkle root over transaction hashes (SHA-256, duplicate-last padding). *)
+let merkle_root (hashes : string list) : string =
+  let rec level = function
+    | [] -> Sha256.digest_hex ""
+    | [ h ] -> h
+    | hs ->
+      let rec pair = function
+        | [] -> []
+        | [ a ] -> [ Sha256.digest_hex (a ^ a) ]
+        | a :: b :: rest -> Sha256.digest_hex (a ^ b) :: pair rest
+      in
+      level (pair hs)
+  in
+  level hashes
+
+(** Seal pending transactions into a block (round-robin PoA), in arrival
+    order, up to the block gas limit; overflow stays pending for the next
+    block. At least one transaction is included if any is pending. *)
+let mine (chain : t) : block =
+  let parent = List.hd chain.blocks in
+  let all = List.rev chain.pending in
+  let txs, overflow =
+    let rec take acc gas = function
+      | [] -> (List.rev acc, [])
+      | r :: rest ->
+        if acc <> [] && gas + r.gas_used > chain.block_gas_limit then
+          (List.rev acc, r :: rest)
+        else take (r :: acc) (gas + r.gas_used) rest
+    in
+    take [] 0 all
+  in
+  let tx_hashes = List.map (fun r -> r.tx_hash) txs in
+  chain.clock <- chain.clock + 1;
+  let number = parent.number + 1 in
+  let validator = chain.validators.(number mod Array.length chain.validators) in
+  let tx_root = merkle_root tx_hashes in
+  let block_hash =
+    Sha256.digest_hex
+      (Printf.sprintf "%d/%s/%s/%d/%s" number parent.block_hash tx_root
+         chain.clock validator)
+  in
+  let block =
+    { number; parent_hash = parent.block_hash; tx_root; tx_hashes;
+      timestamp = chain.clock; validator; block_hash }
+  in
+  chain.blocks <- block :: chain.blocks;
+  List.iter
+    (fun r ->
+      Hashtbl.replace chain.receipts r.tx_hash { r with block_number = Some number })
+    txs;
+  chain.pending <- List.rev overflow;
+  block
+
+let pending_count (chain : t) = List.length chain.pending
+let head (chain : t) = List.hd chain.blocks
+let block_count (chain : t) = List.length chain.blocks
+let receipt (chain : t) hash = Hashtbl.find_opt chain.receipts hash
+
+(** Validate hash-linking, PoA rotation and tx roots of the whole chain. *)
+let validate (chain : t) : bool =
+  let rec go = function
+    | [] | [ _ ] -> true
+    | child :: (parent :: _ as rest) ->
+      String.equal child.parent_hash parent.block_hash
+      && child.number = parent.number + 1
+      && String.equal child.tx_root (merkle_root child.tx_hashes)
+      && Address.equal child.validator
+           chain.validators.(child.number mod Array.length chain.validators)
+      && String.equal child.block_hash
+           (Sha256.digest_hex
+              (Printf.sprintf "%d/%s/%s/%d/%s" child.number child.parent_hash
+                 child.tx_root child.timestamp child.validator))
+      && go rest
+  in
+  go chain.blocks

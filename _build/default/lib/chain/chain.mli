@@ -1,0 +1,91 @@
+(** Blockchain simulator: account balances, gas-metered transaction
+    execution, receipts and event logs, and proof-of-authority block
+    production with hash-linked headers and SHA-256 transaction Merkle
+    roots. Provides the tamper-resistance/consistency the paper's threat
+    model assumes (§IV-A) and the gas measurements of Table II. *)
+
+(** 20-byte hex account/contract addresses (Keccak-derived). *)
+module Address : sig
+  type t = string
+
+  val of_seed : string -> t
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+end
+
+type event = {
+  event_contract : string;
+  event_name : string;
+  event_data : string list;
+}
+
+type receipt = {
+  tx_hash : string;
+  tx_label : string;
+  sender : Address.t;
+  gas_used : int;
+  status : (unit, string) result;
+  events : event list;
+  block_number : int option;  (** [None] while pending *)
+}
+
+type block = {
+  number : int;
+  parent_hash : string;
+  tx_root : string;
+  tx_hashes : string list;
+  timestamp : int;
+  validator : Address.t;
+  block_hash : string;
+}
+
+type t
+
+val create :
+  ?validators:Address.t array -> ?gas_limit:int -> ?block_gas_limit:int ->
+  ?gas_price:int -> unit -> t
+
+val balance : t -> Address.t -> int
+
+val faucet : t -> Address.t -> int -> unit
+(** Credit an account out of thin air (tests / block rewards). *)
+
+val debit : t -> Address.t -> int -> (unit, string) result
+val credit : t -> Address.t -> int -> unit
+
+(** Execution environment passed to contract code. *)
+type env = {
+  chain : t;
+  sender : Address.t;
+  meter : Gas.meter;
+  mutable tx_events : event list;
+}
+
+exception Revert of string
+(** Raised by contract code to abort a transaction with a reason. *)
+
+val emit : env -> contract:string -> name:string -> data:string list -> unit
+(** Emit an event (charges LOG gas). *)
+
+val execute :
+  t -> sender:Address.t -> label:string -> ?calldata:string ->
+  (env -> unit) -> receipt
+(** Run a transaction: charges base + calldata gas, executes the closure
+    under the meter, deducts the fee from the sender, records the
+    receipt. Reverts and out-of-gas become [Error] statuses (the failed
+    transaction still pays for gas). *)
+
+val mine : t -> block
+(** Seal pending transactions into a block (round-robin PoA) up to the
+    block gas limit; overflow stays pending for the next block. *)
+
+val pending_count : t -> int
+
+val head : t -> block
+val block_count : t -> int
+val receipt : t -> string -> receipt option
+
+val validate : t -> bool
+(** Re-check hash links, PoA rotation and transaction Merkle roots of the
+    whole chain. *)

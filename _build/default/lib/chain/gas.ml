@@ -1,0 +1,109 @@
+(* EVM-style gas schedule and metering. Costs follow the Ethereum yellow
+   paper / Istanbul values so the numbers in Table II are reproduced by
+   construction rather than invented. *)
+
+type schedule = {
+  tx_base : int;
+  sstore_set : int; (* zero -> nonzero *)
+  sstore_update : int; (* nonzero -> nonzero *)
+  sstore_clear : int; (* nonzero -> zero (before refund) *)
+  sload : int;
+  log_base : int;
+  log_topic : int;
+  log_data_byte : int;
+  create_base : int;
+  code_deposit_byte : int;
+  calldata_nonzero_byte : int;
+  calldata_zero_byte : int;
+  memory_word : int;
+  keccak_base : int;
+  keccak_word : int;
+  ecadd : int;
+  ecmul : int;
+  ecpairing_base : int;
+  ecpairing_per_pair : int;
+  sstore_refund : int;
+}
+
+let default : schedule =
+  {
+    tx_base = 21_000;
+    sstore_set = 20_000;
+    sstore_update = 5_000;
+    sstore_clear = 5_000;
+    sload = 2_100;
+    log_base = 375;
+    log_topic = 375;
+    log_data_byte = 8;
+    create_base = 32_000;
+    code_deposit_byte = 200;
+    calldata_nonzero_byte = 16;
+    calldata_zero_byte = 4;
+    memory_word = 3;
+    keccak_base = 30;
+    keccak_word = 6;
+    ecadd = 150;
+    ecmul = 6_000;
+    ecpairing_base = 45_000;
+    ecpairing_per_pair = 34_000;
+    sstore_refund = 4_800;
+  }
+
+type meter = {
+  schedule : schedule;
+  mutable used : int;
+  mutable refund : int;
+  limit : int;
+}
+
+exception Out_of_gas
+
+let create ?(schedule = default) ~limit () = { schedule; used = 0; refund = 0; limit }
+
+let charge (m : meter) (amount : int) =
+  m.used <- m.used + amount;
+  if m.used > m.limit then raise Out_of_gas
+
+let used (m : meter) =
+  (* Refunds are capped at used/5 (EIP-3529). *)
+  max 0 (m.used - min m.refund (m.used / 5))
+
+(* Structured charging helpers so contract code reads declaratively. *)
+let tx_base m = charge m m.schedule.tx_base
+let sload m = charge m m.schedule.sload
+
+(** Warm storage read (EIP-2929): a slot already touched in this
+    transaction. *)
+let sload_warm m = charge m 100
+
+let sstore m ~was_zero ~now_zero =
+  if was_zero && not now_zero then charge m m.schedule.sstore_set
+  else if (not was_zero) && now_zero then begin
+    charge m m.schedule.sstore_clear;
+    m.refund <- m.refund + m.schedule.sstore_refund
+  end
+  else charge m m.schedule.sstore_update
+
+let log m ~topics ~data_bytes =
+  charge m
+    (m.schedule.log_base + (topics * m.schedule.log_topic)
+    + (data_bytes * m.schedule.log_data_byte))
+
+let calldata m (bytes : string) =
+  String.iter
+    (fun c ->
+      charge m
+        (if c = '\x00' then m.schedule.calldata_zero_byte
+         else m.schedule.calldata_nonzero_byte))
+    bytes
+
+let keccak m ~bytes = charge m (m.schedule.keccak_base + (((bytes + 31) / 32) * m.schedule.keccak_word))
+
+let create_contract m ~code_bytes =
+  charge m (m.schedule.create_base + (code_bytes * m.schedule.code_deposit_byte))
+
+let pairing m ~pairs =
+  charge m (m.schedule.ecpairing_base + (pairs * m.schedule.ecpairing_per_pair))
+
+let ecmul m = charge m m.schedule.ecmul
+let ecadd m = charge m m.schedule.ecadd

@@ -1,0 +1,63 @@
+(** EVM-style gas schedule and metering (Ethereum yellow-paper costs), the
+    basis of the Table II reproduction. *)
+
+type schedule = {
+  tx_base : int;
+  sstore_set : int;
+  sstore_update : int;
+  sstore_clear : int;
+  sload : int;
+  log_base : int;
+  log_topic : int;
+  log_data_byte : int;
+  create_base : int;
+  code_deposit_byte : int;
+  calldata_nonzero_byte : int;
+  calldata_zero_byte : int;
+  memory_word : int;
+  keccak_base : int;
+  keccak_word : int;
+  ecadd : int;
+  ecmul : int;
+  ecpairing_base : int;
+  ecpairing_per_pair : int;
+  sstore_refund : int;
+}
+
+val default : schedule
+
+type meter = {
+  schedule : schedule;
+  mutable used : int;
+  mutable refund : int;
+  limit : int;
+}
+
+exception Out_of_gas
+
+val create : ?schedule:schedule -> limit:int -> unit -> meter
+
+val charge : meter -> int -> unit
+(** Raw charge; raises {!Out_of_gas} past the limit. *)
+
+val used : meter -> int
+(** Net gas after refunds (capped at used/5, EIP-3529). *)
+
+(** Structured charging helpers, so contract code reads declaratively. *)
+
+val tx_base : meter -> unit
+val sload : meter -> unit
+
+val sload_warm : meter -> unit
+(** A slot already touched in this transaction (EIP-2929). *)
+
+val sstore : meter -> was_zero:bool -> now_zero:bool -> unit
+(** Charges set/update/clear and accumulates clear refunds. *)
+
+val log : meter -> topics:int -> data_bytes:int -> unit
+val calldata : meter -> string -> unit
+val keccak : meter -> bytes:int -> unit
+val create_contract : meter -> code_bytes:int -> unit
+val pairing : meter -> pairs:int -> unit
+val ecmul : meter -> unit
+val ecadd : meter -> unit

@@ -1,0 +1,1 @@
+lib/circuit/fixed_point.ml: Float Gadgets Hashtbl Int64 List Zkdet_field Zkdet_num Zkdet_plonk

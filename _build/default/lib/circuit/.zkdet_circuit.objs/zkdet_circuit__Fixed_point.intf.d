@@ -1,0 +1,1 @@
+lib/circuit/fixed_point.mli: Zkdet_field Zkdet_plonk

@@ -1,0 +1,1 @@
+lib/circuit/gadgets.ml: Array List Zkdet_field Zkdet_num Zkdet_plonk

@@ -1,0 +1,1 @@
+lib/circuit/gadgets.mli: Zkdet_field Zkdet_plonk

@@ -1,0 +1,1 @@
+lib/circuit/merkle.ml: Array Gadgets Poseidon_gadget Zkdet_field Zkdet_plonk Zkdet_poseidon

@@ -1,0 +1,1 @@
+lib/circuit/merkle.mli: Zkdet_field Zkdet_plonk

@@ -1,0 +1,1 @@
+lib/circuit/mimc_gadget.ml: Array Gadgets Zkdet_field Zkdet_mimc Zkdet_plonk

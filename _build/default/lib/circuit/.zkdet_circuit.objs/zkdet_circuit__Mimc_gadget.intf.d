@@ -1,0 +1,1 @@
+lib/circuit/mimc_gadget.mli: Zkdet_plonk

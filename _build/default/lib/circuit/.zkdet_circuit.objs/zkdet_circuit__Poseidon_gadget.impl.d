@@ -1,0 +1,1 @@
+lib/circuit/poseidon_gadget.ml: Array Gadgets List Zkdet_field Zkdet_plonk Zkdet_poseidon

@@ -1,0 +1,1 @@
+lib/circuit/poseidon_gadget.mli: Zkdet_field Zkdet_plonk

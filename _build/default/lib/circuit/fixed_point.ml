@@ -1,0 +1,282 @@
+(* Fixed-point arithmetic gadgets (paper §IV-D.4: "logarithmic computation,
+   linearization" and §IV-E's model-training circuits).
+
+   Numbers are scaled integers: a real x is represented by round(x * 2^frac)
+   as a field element; negatives use the field's additive inverse. Every
+   nonlinear gadget (mul, div, exp, ...) allocates witness results and then
+   *verifies* them with range-checked constraints — the standard
+   verify-don't-compute pattern for SNARK circuits. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module Nat = Zkdet_num.Nat
+module Cs = Zkdet_plonk.Cs
+
+type wire = Cs.wire
+
+let frac_bits = 16
+let scale_int = 1 lsl frac_bits
+let scale = Fr.of_int scale_int
+
+(* Magnitudes are bounded to [mag_bits] bits so products stay far below the
+   field modulus and sign reasoning stays valid: real values up to 2^16
+   with 16 fractional bits. Each extra bit costs a gate in every range
+   check, so this is kept as tight as the applications allow. *)
+let mag_bits = 32
+
+let half_field = Nat.shift_right Fr.modulus 1
+
+let is_negative (v : Fr.t) = Nat.compare (Fr.to_nat v) half_field > 0
+
+(** Convert a float to its in-field fixed-point representation. *)
+let of_float (x : float) : Fr.t =
+  let scaled = Int64.to_int (Int64.of_float (Float.round (x *. float_of_int scale_int))) in
+  Fr.of_int scaled
+
+let to_float (v : Fr.t) : float =
+  let neg = is_negative v in
+  let m = if neg then Fr.neg v else v in
+  match Nat.to_int (Fr.to_nat m) with
+  | Some i -> (if neg then -.1.0 else 1.0) *. float_of_int i /. float_of_int scale_int
+  | None -> invalid_arg "Fixed_point.to_float: out of range"
+
+(* forward declaration of the split cache (defined below) *)
+
+(* sign_split results are memoized per builder: matrix products and
+   per-sample loops feed the same wires into many multiplications, and a
+   split costs ~50 constraints. The cache is keyed by physical builder
+   identity (a handful of builders exist at a time). *)
+let split_caches : (Cs.t * (int, wire * wire) Hashtbl.t) list ref = ref []
+
+let split_cache (cs : Cs.t) : (int, wire * wire) Hashtbl.t =
+  match List.find_opt (fun (c, _) -> c == cs) !split_caches with
+  | Some (_, tbl) -> tbl
+  | None ->
+    let tbl = Hashtbl.create 64 in
+    split_caches := (cs, tbl) :: List.filteri (fun i _ -> i < 7) !split_caches;
+    tbl
+
+(** A fixed-point constant wire; its (sign, magnitude) split is known
+    statically and cached, so constants (e.g. model weights) never pay
+    for a runtime split. *)
+let constant cs (x : float) : wire =
+  let v = of_float x in
+  let w = Cs.constant cs v in
+  let cache = split_cache cs in
+  if not (Hashtbl.mem cache w) then begin
+    let neg = is_negative v in
+    let s = Cs.constant cs (if neg then Fr.one else Fr.zero) in
+    let m = Cs.constant cs (if neg then Fr.neg v else v) in
+    Hashtbl.replace cache w (s, m)
+  end;
+  w
+
+(** Split a signed fixed-point wire into (sign, magnitude):
+    w = (1 - 2s) * m, with s boolean and m range-checked. Memoized. *)
+let sign_split cs (w : wire) : wire * wire =
+  let cache = split_cache cs in
+  match Hashtbl.find_opt cache w with
+  | Some sm -> sm
+  | None ->
+    let v = Cs.value cs w in
+    let neg = is_negative v in
+    let s = Gadgets.boolean cs neg in
+    let m = Cs.fresh cs (if neg then Fr.neg v else v) in
+    Gadgets.range_check cs m ~nbits:mag_bits;
+    (* w = m - 2 s m *)
+    let sm = Cs.mul cs s m in
+    let reconstructed =
+      Gadgets.linear_combination cs
+        [ (Fr.one, m); (Fr.neg (Fr.of_int 2), sm) ]
+        Fr.zero
+    in
+    Cs.assert_equal cs reconstructed w;
+    Hashtbl.replace cache w (s, m);
+    (s, m)
+
+(** Range-check a signed value to [mag_bits] bits of magnitude. *)
+let assert_in_range cs (w : wire) = ignore (sign_split cs w)
+
+let add = Cs.add
+let sub = Cs.sub
+let neg cs w = Gadgets.linear_combination cs [ (Fr.neg Fr.one, w) ] Fr.zero
+
+(** Fixed-point multiplication: out = a*b / 2^frac, witness-computed and
+    verified by [a*b = out * 2^frac + rem], with [rem] and the magnitude of
+    [out] range-checked. Works on signed values via sign/magnitude. *)
+let mul cs (a : wire) (b : wire) : wire =
+  let sa, ma = sign_split cs a in
+  let sb, mb = sign_split cs b in
+  (* product of magnitudes, exact *)
+  let prod = Cs.mul cs ma mb in
+  (* witness: quotient and remainder of prod / 2^frac *)
+  let prod_nat = Fr.to_nat (Cs.value cs prod) in
+  let q_nat = Nat.shift_right prod_nat frac_bits in
+  let r_nat = Nat.sub prod_nat (Nat.shift_left q_nat frac_bits) in
+  let q = Cs.fresh cs (Fr.of_nat q_nat) in
+  let r = Cs.fresh cs (Fr.of_nat r_nat) in
+  Gadgets.range_check cs r ~nbits:frac_bits;
+  Gadgets.range_check cs q ~nbits:mag_bits;
+  (* prod = q * 2^frac + r *)
+  let recomposed =
+    Gadgets.linear_combination cs [ (scale, q); (Fr.one, r) ] Fr.zero
+  in
+  Cs.assert_equal cs recomposed prod;
+  (* sign of result: sa xor sb; out = (1 - 2 sxor) q *)
+  let sxor = Gadgets.bxor cs sa sb in
+  let sq = Cs.mul cs sxor q in
+  let out =
+    Gadgets.linear_combination cs
+      [ (Fr.one, q); (Fr.neg (Fr.of_int 2), sq) ]
+      Fr.zero
+  in
+  (* the result's split is known by construction: reuse it downstream *)
+  Hashtbl.replace (split_cache cs) out (sxor, q);
+  out
+
+(** Fixed-point division out = a / b (b must be nonzero; sign handled).
+    Verified by [ma * 2^frac = out_m * mb + rem, rem < mb]. *)
+let div cs (a : wire) (b : wire) : wire =
+  let sa, ma = sign_split cs a in
+  let sb, mb = sign_split cs b in
+  Gadgets.assert_not_zero cs mb;
+  let ma_nat = Fr.to_nat (Cs.value cs ma) in
+  let mb_nat = Fr.to_nat (Cs.value cs mb) in
+  let num = Nat.shift_left ma_nat frac_bits in
+  let q_nat, r_nat = Nat.divmod num mb_nat in
+  let q = Cs.fresh cs (Fr.of_nat q_nat) in
+  let r = Cs.fresh cs (Fr.of_nat r_nat) in
+  Gadgets.range_check cs q ~nbits:mag_bits;
+  (* ma * 2^frac = q * mb + r *)
+  let q_mb = Cs.mul cs q mb in
+  let rhs = Cs.add cs q_mb r in
+  let lhs = Gadgets.linear_combination cs [ (scale, ma) ] Fr.zero in
+  Cs.assert_equal cs lhs rhs;
+  (* r < mb *)
+  ignore (Gadgets.assert_less_than cs r mb ~nbits:(mag_bits + frac_bits));
+  let sxor = Gadgets.bxor cs sa sb in
+  let sq = Cs.mul cs sxor q in
+  let out =
+    Gadgets.linear_combination cs
+      [ (Fr.one, q); (Fr.neg (Fr.of_int 2), sq) ]
+      Fr.zero
+  in
+  Hashtbl.replace (split_cache cs) out (sxor, q);
+  out
+
+(** ReLU: max(0, x) = if sign(x) then 0 else x (paper §IV-E.2). *)
+let relu cs (x : wire) : wire =
+  let s, m = sign_split cs x in
+  ignore m;
+  Gadgets.select cs s (Cs.constant cs Fr.zero) x
+
+(** Absolute value. *)
+let abs cs (x : wire) : wire =
+  let _, m = sign_split cs x in
+  m
+
+(** Comparison on signed fixed-point: |a - b| <= eps (all wires).
+    Used for the convergence predicate of §IV-E.1. *)
+let assert_abs_le cs (a : wire) (b : wire) (eps : wire) : unit =
+  let d = Cs.sub cs a b in
+  let m = abs cs d in
+  Gadgets.assert_less_than cs m eps ~nbits:(mag_bits + 1)
+
+(* ---- polynomial approximations for transcendental functions ---- *)
+
+(** Evaluate a polynomial with fixed-point float coefficients (Horner). *)
+let polynomial cs (coeffs : float list) (x : wire) : wire =
+  match List.rev coeffs with
+  | [] -> Cs.constant cs Fr.zero
+  | top :: rest ->
+    List.fold_left
+      (fun acc c -> add cs (mul cs acc x) (Cs.constant cs (of_float c)))
+      (Cs.constant cs (of_float top))
+      rest
+
+(* Degree-6 Taylor around 0 for exp on |x| <= ~2; the benches/apps clamp
+   inputs into this range before calling. *)
+let exp_coeffs =
+  [ 1.0; 1.0; 0.5; 1.0 /. 6.0; 1.0 /. 24.0; 1.0 /. 120.0; 1.0 /. 720.0 ]
+
+(** e^x for x in roughly [-2, 2] (approximation; the paper's gadget
+    library similarly evaluates nonlinearities by polynomial circuits). *)
+let exp cs (x : wire) : wire = polynomial cs exp_coeffs x
+
+(** Logistic sigmoid 1/(1 + e^-x). *)
+let sigmoid cs (x : wire) : wire =
+  let negx = neg cs x in
+  let e = exp cs negx in
+  let denom = add cs (constant cs 1.0) e in
+  div cs (constant cs 1.0) denom
+
+(* ln(1+t) Taylor for |t| < 1, used by softplus/log around operating
+   points. *)
+let ln1p_coeffs = [ 0.0; 1.0; -0.5; 1.0 /. 3.0; -0.25; 0.2; -1.0 /. 6.0 ]
+
+(** ln(1 + t) for |t| < 1. *)
+let ln1p cs (t : wire) : wire = polynomial cs ln1p_coeffs t
+
+(** softplus(x) = ln(1 + e^x), accurate for |x| <= ~1.5 — enough for the
+    loss-difference predicate where arguments are pre-scaled. *)
+let softplus cs (x : wire) : wire =
+  let e = exp cs x in
+  (* ln(1 + e) = ln 2 + ln(1 + (e - 1)/2) *)
+  let t = mul cs (sub cs e (constant cs 1.0)) (constant cs 0.5) in
+  add cs (constant cs (Float.log 2.0)) (ln1p cs t)
+
+(** Out-of-circuit fixed-point arithmetic with EXACTLY the gadget
+    semantics (same truncation of products and quotients), so that a data
+    owner's reference computation reproduces the in-circuit result
+    bit-for-bit. Used by the pure processing specs of {!Zkdet_apps}. *)
+module Value = struct
+  type t = Fr.t
+
+  let of_float = of_float
+  let to_float = to_float
+  let add = Fr.add
+  let sub = Fr.sub
+  let neg = Fr.neg
+
+  let split (v : t) : bool * Nat.t =
+    let neg = is_negative v in
+    (neg, Fr.to_nat (if neg then Fr.neg v else v))
+
+  let with_sign neg (m : Nat.t) : t =
+    let x = Fr.of_nat m in
+    if neg then Fr.neg x else x
+
+  let mul (a : t) (b : t) : t =
+    let sa, ma = split a and sb, mb = split b in
+    let q = Nat.shift_right (Nat.mul ma mb) frac_bits in
+    with_sign (sa <> sb) q
+
+  let div (a : t) (b : t) : t =
+    let sa, ma = split a and sb, mb = split b in
+    if Nat.is_zero mb then invalid_arg "Fixed_point.Value.div: zero divisor";
+    let q = Nat.div (Nat.shift_left ma frac_bits) mb in
+    with_sign (sa <> sb) q
+
+  let relu (x : t) : t = if is_negative x then Fr.zero else x
+  let abs (x : t) : t = if is_negative x then Fr.neg x else x
+
+  let polynomial (coeffs : float list) (x : t) : t =
+    match List.rev coeffs with
+    | [] -> Fr.zero
+    | top :: rest ->
+      List.fold_left
+        (fun acc c -> add (mul acc x) (of_float c))
+        (of_float top) rest
+
+  let exp (x : t) : t = polynomial exp_coeffs x
+
+  let sigmoid (x : t) : t =
+    let e = exp (neg x) in
+    div (of_float 1.0) (add (of_float 1.0) e)
+
+  let ln1p (t_ : t) : t = polynomial ln1p_coeffs t_
+
+  let softplus (x : t) : t =
+    let e = exp x in
+    let t_ = mul (sub e (of_float 1.0)) (of_float 0.5) in
+    add (of_float (Float.log 2.0)) (ln1p t_)
+end

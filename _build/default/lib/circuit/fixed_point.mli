@@ -1,0 +1,83 @@
+(** Fixed-point arithmetic gadgets (paper §IV-D.4 / §IV-E).
+
+    Reals are scaled integers ([2^16] fractional bits) represented in the
+    field; negatives use the additive inverse. Nonlinear gadgets
+    (mul/div/exp/...) allocate witness results and verify them with
+    range-checked constraints. Sign/magnitude splits are memoized per
+    builder, so reused operands (model weights, per-sample inputs) pay
+    for their decomposition once. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module Cs = Zkdet_plonk.Cs
+
+type wire = Cs.wire
+
+val frac_bits : int
+val scale_int : int
+val mag_bits : int
+(** Magnitude bound in bits: values up to 2^16 in real terms. *)
+
+val is_negative : Fr.t -> bool
+val of_float : float -> Fr.t
+val to_float : Fr.t -> float
+
+val constant : Cs.t -> float -> wire
+(** Constant wire with a statically known (cached) sign/magnitude split. *)
+
+val sign_split : Cs.t -> wire -> wire * wire
+(** [(s, m)] with [w = (1 - 2s) m], [s] boolean, [m] range-checked.
+    Memoized per builder. *)
+
+val assert_in_range : Cs.t -> wire -> unit
+
+val add : Cs.t -> wire -> wire -> wire
+val sub : Cs.t -> wire -> wire -> wire
+val neg : Cs.t -> wire -> wire
+
+val mul : Cs.t -> wire -> wire -> wire
+(** Truncating fixed-point product, verified by
+    [a*b = out * 2^frac + rem] with range checks. *)
+
+val div : Cs.t -> wire -> wire -> wire
+(** Truncating division; the divisor must be nonzero. *)
+
+val relu : Cs.t -> wire -> wire
+val abs : Cs.t -> wire -> wire
+
+val assert_abs_le : Cs.t -> wire -> wire -> wire -> unit
+(** [|a - b| <= eps] — the convergence predicate of §IV-E.1. *)
+
+val polynomial : Cs.t -> float list -> wire -> wire
+(** Horner evaluation with fixed-point float coefficients. *)
+
+val exp_coeffs : float list
+val ln1p_coeffs : float list
+
+val exp : Cs.t -> wire -> wire
+(** e^x for x in roughly [-2, 2] (degree-6 polynomial approximation). *)
+
+val sigmoid : Cs.t -> wire -> wire
+val ln1p : Cs.t -> wire -> wire
+val softplus : Cs.t -> wire -> wire
+
+(** Out-of-circuit fixed-point arithmetic with EXACTLY the gadget
+    semantics (same truncation), so a data owner's reference computation
+    reproduces the in-circuit result bit-for-bit. *)
+module Value : sig
+  type t = Fr.t
+
+  val of_float : float -> t
+  val to_float : t -> float
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val neg : t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val relu : t -> t
+  val abs : t -> t
+  val polynomial : float list -> t -> t
+  val exp : t -> t
+  val sigmoid : t -> t
+  val ln1p : t -> t
+  val softplus : t -> t
+end

@@ -1,0 +1,160 @@
+(* Core gadget library (paper §IV-D "mathematical primitives"): booleans,
+   bit decomposition, range and comparison checks, selection, linear
+   algebra. All gadgets create constraints on a {!Zkdet_plonk.Cs.t} builder
+   and return output wires; synthesis is data-independent. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module Nat = Zkdet_num.Nat
+module Cs = Zkdet_plonk.Cs
+
+type wire = Cs.wire
+
+(* ---- linear combinations ---- *)
+
+(** [linear_combination cs terms const] returns a wire holding
+    [sum coeff_i * w_i + const], using a chain of affine gates. *)
+let linear_combination (cs : Cs.t) (terms : (Fr.t * wire) list) (const : Fr.t) :
+    wire =
+  match terms with
+  | [] -> Cs.constant cs const
+  | [ (s, w) ] -> Cs.affine cs ~sa:s w ~sb:Fr.zero w ~const
+  | (s1, w1) :: (s2, w2) :: rest ->
+    let first = Cs.affine cs ~sa:s1 w1 ~sb:s2 w2 ~const in
+    List.fold_left
+      (fun acc (s, w) -> Cs.affine cs ~sa:Fr.one acc ~sb:s w ~const:Fr.zero)
+      first rest
+
+let sum cs (ws : wire list) =
+  linear_combination cs (List.map (fun w -> (Fr.one, w)) ws) Fr.zero
+
+(* ---- booleans ---- *)
+
+(** Allocate a boolean wire with the given value. *)
+let boolean (cs : Cs.t) (b : bool) : wire =
+  let w = Cs.fresh cs (if b then Fr.one else Fr.zero) in
+  Cs.assert_boolean cs w;
+  w
+
+let band cs a b = Cs.mul cs a b
+
+let bor cs a b =
+  (* a + b - ab *)
+  let ab = Cs.mul cs a b in
+  linear_combination cs [ (Fr.one, a); (Fr.one, b); (Fr.neg Fr.one, ab) ] Fr.zero
+
+let bxor cs a b =
+  (* a + b - 2ab *)
+  let ab = Cs.mul cs a b in
+  linear_combination cs
+    [ (Fr.one, a); (Fr.one, b); (Fr.neg (Fr.of_int 2), ab) ]
+    Fr.zero
+
+let bnot cs a = linear_combination cs [ (Fr.neg Fr.one, a) ] Fr.one
+
+(** [select cs s a b] = if s then a else b (s must be boolean). *)
+let select cs s a b =
+  (* s*(a - b) + b *)
+  let d = Cs.sub cs a b in
+  let sd = Cs.mul cs s d in
+  Cs.add cs sd b
+
+(* ---- zero tests and equality ---- *)
+
+(** [is_zero cs w] returns a boolean wire that is 1 iff [w] = 0.
+    Uses the inverse trick: z = 1 - w*inv, w*z = 0. *)
+let is_zero (cs : Cs.t) (w : wire) : wire =
+  let v = Cs.value cs w in
+  let inv_v = if Fr.is_zero v then Fr.zero else Fr.inv v in
+  let inv_w = Cs.fresh cs inv_v in
+  let z = Cs.fresh cs (if Fr.is_zero v then Fr.one else Fr.zero) in
+  (* w * inv = 1 - z  <=>  qM w inv + qO z + qC = 0 with qO=1, qC=-1 *)
+  Cs.add_gate cs ~ql:Fr.zero ~qr:Fr.zero ~qo:Fr.one ~qm:Fr.one
+    ~qc:(Fr.neg Fr.one) w inv_w z;
+  (* w * z = 0 *)
+  Cs.add_gate cs ~ql:Fr.zero ~qr:Fr.zero ~qo:Fr.zero ~qm:Fr.one ~qc:Fr.zero w z
+    (Cs.zero_wire cs);
+  z
+
+let equal cs a b = is_zero cs (Cs.sub cs a b)
+
+let assert_not_zero cs w =
+  (* there exists inv with w * inv = 1 *)
+  let v = Cs.value cs w in
+  let inv_w = Cs.fresh cs (if Fr.is_zero v then Fr.zero else Fr.inv v) in
+  Cs.add_gate cs ~ql:Fr.zero ~qr:Fr.zero ~qo:Fr.zero ~qm:Fr.one
+    ~qc:(Fr.neg Fr.one) w inv_w (Cs.zero_wire cs)
+
+(* ---- bit decomposition and ranges ---- *)
+
+(** [to_bits cs w ~nbits] decomposes [w] into [nbits] boolean wires
+    (little-endian) and constrains the recomposition. The witness value
+    must fit in [nbits] bits or proving will fail. *)
+let to_bits (cs : Cs.t) (w : wire) ~nbits : wire list =
+  let nat = Fr.to_nat (Cs.value cs w) in
+  let bits = List.init nbits (fun i -> boolean cs (Nat.testbit nat i)) in
+  let recomposed =
+    linear_combination cs
+      (List.mapi (fun i b -> (Fr.pow (Fr.of_int 2) i, b)) bits)
+      Fr.zero
+  in
+  Cs.assert_equal cs recomposed w;
+  bits
+
+let from_bits (cs : Cs.t) (bits : wire list) : wire =
+  linear_combination cs
+    (List.mapi (fun i b -> (Fr.pow (Fr.of_int 2) i, b)) bits)
+    Fr.zero
+
+(** Constrain [w] to fit in [nbits] bits. *)
+let range_check cs w ~nbits = ignore (to_bits cs w ~nbits)
+
+(** [less_than cs a b ~nbits] returns a boolean wire = (a < b), assuming
+    both values fit in [nbits] bits (enforced). *)
+let less_than (cs : Cs.t) (a : wire) (b : wire) ~nbits : wire =
+  range_check cs a ~nbits;
+  range_check cs b ~nbits;
+  (* d = a - b + 2^nbits is in [1, 2^(nbits+1)-1]; its top bit is 1 iff
+     a >= b. *)
+  let d =
+    linear_combination cs
+      [ (Fr.one, a); (Fr.neg Fr.one, b) ]
+      (Fr.pow (Fr.of_int 2) nbits)
+  in
+  let bits = to_bits cs d ~nbits:(nbits + 1) in
+  let msb = List.nth bits nbits in
+  bnot cs msb
+
+let less_equal cs a b ~nbits = bnot cs (less_than cs b a ~nbits)
+
+let assert_less_than cs a b ~nbits =
+  let lt = less_than cs a b ~nbits in
+  Cs.assert_constant cs lt Fr.one
+
+(* ---- vectors and matrices (paper: "algebraic and matrix operation") ---- *)
+
+let inner_product cs (xs : wire array) (ys : wire array) : wire =
+  if Array.length xs <> Array.length ys then
+    invalid_arg "Gadgets.inner_product: length mismatch";
+  let products = Array.map2 (fun x y -> Cs.mul cs x y) xs ys in
+  sum cs (Array.to_list products)
+
+(** [mat_vec_mul cs m v] with [m] an array of rows. *)
+let mat_vec_mul cs (m : wire array array) (v : wire array) : wire array =
+  Array.map (fun row -> inner_product cs row v) m
+
+let mat_mul cs (a : wire array array) (b : wire array array) : wire array array =
+  let rows = Array.length a in
+  let inner = Array.length b in
+  if inner = 0 then invalid_arg "Gadgets.mat_mul: empty";
+  let cols = Array.length b.(0) in
+  Array.init rows (fun i ->
+      Array.init cols (fun j ->
+          let col = Array.init inner (fun k -> b.(k).(j)) in
+          inner_product cs a.(i) col))
+
+(** Constrain two wire arrays to be element-wise equal
+    (the paper's duplication predicate, §IV-D.1). *)
+let assert_vec_equal cs (xs : wire array) (ys : wire array) =
+  if Array.length xs <> Array.length ys then
+    invalid_arg "Gadgets.assert_vec_equal: length mismatch";
+  Array.iter2 (fun x y -> Cs.assert_equal cs x y) xs ys

@@ -1,0 +1,61 @@
+(** Core gadget library (paper §IV-D "mathematical primitives"):
+    booleans, bit decomposition, range and comparison checks, selection,
+    and linear algebra over circuit wires. All gadgets constrain a
+    {!Zkdet_plonk.Cs.t} builder and return output wires; synthesis is
+    data-independent. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module Cs = Zkdet_plonk.Cs
+
+type wire = Cs.wire
+
+val linear_combination : Cs.t -> (Fr.t * wire) list -> Fr.t -> wire
+(** [linear_combination cs terms const] = [sum coeff_i * w_i + const],
+    via a chain of affine gates (ceil(k/2) gates for k terms). *)
+
+val sum : Cs.t -> wire list -> wire
+
+(** {2 Booleans} *)
+
+val boolean : Cs.t -> bool -> wire
+(** Allocate a wire constrained to be 0 or 1. *)
+
+val band : Cs.t -> wire -> wire -> wire
+val bor : Cs.t -> wire -> wire -> wire
+val bxor : Cs.t -> wire -> wire -> wire
+val bnot : Cs.t -> wire -> wire
+
+val select : Cs.t -> wire -> wire -> wire -> wire
+(** [select cs s a b] = if [s] then [a] else [b]; [s] must be boolean. *)
+
+(** {2 Zero tests and equality} *)
+
+val is_zero : Cs.t -> wire -> wire
+(** Boolean wire = 1 iff the input is zero (inverse trick). *)
+
+val equal : Cs.t -> wire -> wire -> wire
+val assert_not_zero : Cs.t -> wire -> unit
+
+(** {2 Bits, ranges, comparisons} *)
+
+val to_bits : Cs.t -> wire -> nbits:int -> wire list
+(** Little-endian boolean decomposition with a recomposition constraint;
+    proving fails if the value exceeds [nbits] bits. *)
+
+val from_bits : Cs.t -> wire list -> wire
+val range_check : Cs.t -> wire -> nbits:int -> unit
+
+val less_than : Cs.t -> wire -> wire -> nbits:int -> wire
+(** Boolean (a < b) for values range-checked to [nbits] bits. *)
+
+val less_equal : Cs.t -> wire -> wire -> nbits:int -> wire
+val assert_less_than : Cs.t -> wire -> wire -> nbits:int -> unit
+
+(** {2 Vectors and matrices} *)
+
+val inner_product : Cs.t -> wire array -> wire array -> wire
+val mat_vec_mul : Cs.t -> wire array array -> wire array -> wire array
+val mat_mul : Cs.t -> wire array array -> wire array array -> wire array array
+
+val assert_vec_equal : Cs.t -> wire array -> wire array -> unit
+(** Element-wise equality (the duplication predicate, §IV-D.1). *)

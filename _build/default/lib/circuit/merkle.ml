@@ -1,0 +1,74 @@
+(* Poseidon Merkle trees plus the in-circuit membership proof gadget
+   (paper §IV-D.4: "Merkle proof" in the cryptographic gadget library). *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module Cs = Zkdet_plonk.Cs
+module Poseidon = Zkdet_poseidon.Poseidon
+
+type wire = Cs.wire
+
+(* ---- plain (out-of-circuit) Merkle tree ---- *)
+
+type tree = { depth : int; levels : Fr.t array array (* levels.(0) = leaves *) }
+
+let empty_leaf = Fr.zero
+
+(** Build a tree of the given [depth] (2^depth leaf slots) over the
+    leaves, padding with zero leaves. *)
+let build ~depth (leaves : Fr.t array) : tree =
+  let n = 1 lsl depth in
+  if Array.length leaves > n then invalid_arg "Merkle.build: too many leaves";
+  let level0 = Array.make n empty_leaf in
+  Array.blit leaves 0 level0 0 (Array.length leaves);
+  let levels = Array.make (depth + 1) [||] in
+  levels.(0) <- level0;
+  for d = 1 to depth do
+    let prev = levels.(d - 1) in
+    levels.(d) <-
+      Array.init (Array.length prev / 2) (fun i ->
+          Poseidon.hash2 prev.(2 * i) prev.((2 * i) + 1))
+  done;
+  { depth; levels }
+
+let root (t : tree) = t.levels.(t.depth).(0)
+
+type path = { leaf_index : int; siblings : Fr.t array (* bottom-up *) }
+
+let prove_membership (t : tree) (leaf_index : int) : path =
+  if leaf_index < 0 || leaf_index >= Array.length t.levels.(0) then
+    invalid_arg "Merkle.prove_membership: index out of range";
+  let siblings =
+    Array.init t.depth (fun d ->
+        let idx = leaf_index lsr d in
+        t.levels.(d).(idx lxor 1))
+  in
+  { leaf_index; siblings }
+
+let verify_membership ~(root : Fr.t) ~(leaf : Fr.t) (p : path) : bool =
+  let acc = ref leaf in
+  Array.iteri
+    (fun d sibling ->
+      let bit = (p.leaf_index lsr d) land 1 in
+      acc :=
+        if bit = 0 then Poseidon.hash2 !acc sibling
+        else Poseidon.hash2 sibling !acc)
+    p.siblings;
+  Fr.equal !acc root
+
+(* ---- in-circuit membership gadget ---- *)
+
+(** Constrain that [leaf] sits at [path.leaf_index] under [root_wire].
+    The siblings and direction bits become witnesses. *)
+let assert_membership cs ~(root_wire : wire) ~(leaf : wire) (p : path) : unit =
+  let acc = ref leaf in
+  Array.iteri
+    (fun d sibling_value ->
+      let bit = (p.leaf_index lsr d) land 1 = 1 in
+      let b = Gadgets.boolean cs bit in
+      let sibling = Cs.fresh cs sibling_value in
+      (* left = bit ? sibling : acc; right = bit ? acc : sibling *)
+      let left = Gadgets.select cs b sibling !acc in
+      let right = Gadgets.select cs b !acc sibling in
+      acc := Poseidon_gadget.hash2 cs left right)
+    p.siblings;
+  Cs.assert_equal cs !acc root_wire

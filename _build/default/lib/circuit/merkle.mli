@@ -1,0 +1,29 @@
+(** Poseidon Merkle trees plus the in-circuit membership gadget
+    (paper §IV-D.4's "Merkle proof" gadget). Also the authenticated data
+    structure behind the FairSwap baseline. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module Cs = Zkdet_plonk.Cs
+
+type wire = Cs.wire
+
+type tree = {
+  depth : int;
+  levels : Fr.t array array;  (** [levels.(0)] = padded leaves *)
+}
+
+val empty_leaf : Fr.t
+
+val build : depth:int -> Fr.t array -> tree
+(** Tree with [2^depth] leaf slots, zero-padded. *)
+
+val root : tree -> Fr.t
+
+type path = { leaf_index : int; siblings : Fr.t array (** bottom-up *) }
+
+val prove_membership : tree -> int -> path
+val verify_membership : root:Fr.t -> leaf:Fr.t -> path -> bool
+
+val assert_membership : Cs.t -> root_wire:wire -> leaf:wire -> path -> unit
+(** In-circuit membership: the siblings and direction bits become
+    witnesses; the recomputed root is constrained to [root_wire]. *)

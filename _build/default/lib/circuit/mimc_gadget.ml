@@ -1,0 +1,47 @@
+(* In-circuit MiMC: the encryption relation Enc(k, m) used by every proof
+   of encryption (pi_e, pi_p). Each round costs 4 multiplication gates
+   (x^7 via x2, x4, x6, x7), so one block is ~365 constraints — the
+   circuit-friendliness the paper's §IV-C.1 relies on. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module Cs = Zkdet_plonk.Cs
+module Mimc = Zkdet_mimc.Mimc
+
+type wire = Cs.wire
+
+let pow7 cs (x : wire) : wire =
+  let x2 = Cs.mul cs x x in
+  let x4 = Cs.mul cs x2 x2 in
+  let x6 = Cs.mul cs x4 x2 in
+  Cs.mul cs x6 x
+
+(** [encrypt_block cs ~key m] returns the wire of E_key(m). *)
+let encrypt_block cs ~(key : wire) (m : wire) : wire =
+  let s = ref m in
+  for i = 0 to Mimc.rounds - 1 do
+    let t =
+      Gadgets.linear_combination cs
+        [ (Fr.one, !s); (Fr.one, key) ]
+        Mimc.round_constants.(i)
+    in
+    s := pow7 cs t
+  done;
+  Cs.add cs !s key
+
+(** CTR keystream block at index [i] with a wire nonce. *)
+let keystream cs ~(key : wire) ~(nonce : wire) (i : int) : wire =
+  let ctr = Cs.add_const cs nonce (Fr.of_int i) in
+  encrypt_block cs ~key ctr
+
+(** Constrain [ct.(i) = pt.(i) + E_key(nonce + i)] for all i — the proof
+    of encryption relation (Equation 1 of the paper, in CTR form). *)
+let assert_ctr_encryption cs ~(key : wire) ~(nonce : wire) (pt : wire array)
+    (ct : wire array) =
+  if Array.length pt <> Array.length ct then
+    invalid_arg "Mimc_gadget.assert_ctr_encryption: length mismatch";
+  Array.iteri
+    (fun i p ->
+      let ks = keystream cs ~key ~nonce i in
+      let expected = Cs.add cs p ks in
+      Cs.assert_equal cs expected ct.(i))
+    pt

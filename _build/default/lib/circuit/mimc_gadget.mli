@@ -1,0 +1,20 @@
+(** In-circuit MiMC: the encryption relation behind every proof of
+    encryption (pi_e, pi_p). ~4 multiplication gates per round, ~365
+    constraints per block — the circuit-friendliness of §IV-C.1. *)
+
+module Cs = Zkdet_plonk.Cs
+
+type wire = Cs.wire
+
+val pow7 : Cs.t -> wire -> wire
+
+val encrypt_block : Cs.t -> key:wire -> wire -> wire
+(** The wire of E_key(m); mirrors {!Zkdet_mimc.Mimc.encrypt_block}
+    constraint-for-value. *)
+
+val keystream : Cs.t -> key:wire -> nonce:wire -> int -> wire
+
+val assert_ctr_encryption :
+  Cs.t -> key:wire -> nonce:wire -> wire array -> wire array -> unit
+(** Constrain [ct.(i) = pt.(i) + E_key(nonce + i)] for all i — Equation 1
+    of the paper in CTR form. *)

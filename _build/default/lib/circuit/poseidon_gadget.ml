@@ -1,0 +1,98 @@
+(* In-circuit Poseidon (sponge + commitment opening), mirroring
+   {!Zkdet_poseidon.Poseidon} constraint-for-constraint. Full rounds cost
+   3 S-boxes (3 mult gates each), partial rounds 1 — the asymmetry that
+   makes Poseidon ~8x cheaper than Pedersen in constraints (§IV-C.2). *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module Cs = Zkdet_plonk.Cs
+module Poseidon = Zkdet_poseidon.Poseidon
+
+type wire = Cs.wire
+
+let pow5 cs (x : wire) : wire =
+  let x2 = Cs.mul cs x x in
+  let x4 = Cs.mul cs x2 x2 in
+  Cs.mul cs x4 x
+
+(* (w + rc)^5 in exactly 3 gates: the round-constant addition is folded
+   into the first squaring ((w+rc)^2 = w^2 + 2rc w + rc^2 is a single
+   Plonk gate with a = b = w) and the final multiplication. *)
+let pow5_with_rc cs (w : wire) (rc : Fr.t) : wire =
+  let v = Fr.add (Cs.value cs w) rc in
+  let t2 = Cs.fresh cs (Fr.sqr v) in
+  Cs.add_gate cs ~ql:rc ~qr:rc ~qo:(Fr.neg Fr.one) ~qm:Fr.one ~qc:(Fr.sqr rc) w
+    w t2;
+  let t4 = Cs.mul cs t2 t2 in
+  (* t5 = t4 * (w + rc) = t4*w + rc*t4 *)
+  let t5 = Cs.fresh cs (Fr.mul (Cs.value cs t4) v) in
+  Cs.add_gate cs ~ql:rc ~qr:Fr.zero ~qo:(Fr.neg Fr.one) ~qm:Fr.one ~qc:Fr.zero
+    t4 w t5;
+  t5
+
+let permute cs (state : wire array) : wire array =
+  if Array.length state <> Poseidon.width then
+    invalid_arg "Poseidon_gadget.permute: width";
+  let width = Poseidon.width in
+  let half_full = Poseidon.full_rounds / 2 in
+  let s = ref state in
+  for r = 0 to Poseidon.total_rounds - 1 do
+    let rc j = Poseidon.round_constants.((r * width) + j) in
+    let full = r < half_full || r >= half_full + Poseidon.partial_rounds in
+    if full then begin
+      let sboxed = Array.init width (fun j -> pow5_with_rc cs !s.(j) (rc j)) in
+      s :=
+        Array.init width (fun i ->
+            Gadgets.linear_combination cs
+              (List.init width (fun j -> (Poseidon.mds.(i).(j), sboxed.(j))))
+              Fr.zero)
+    end
+    else begin
+      (* Only wire 0 passes the S-box; the other wires' round constants
+         fold into the MDS linear combination for free. *)
+      let sb0 = pow5_with_rc cs !s.(0) (rc 0) in
+      let prev = !s in
+      s :=
+        Array.init width (fun i ->
+            let const =
+              Fr.add
+                (Fr.mul Poseidon.mds.(i).(1) (rc 1))
+                (Fr.mul Poseidon.mds.(i).(2) (rc 2))
+            in
+            Gadgets.linear_combination cs
+              [ (Poseidon.mds.(i).(0), sb0); (Poseidon.mds.(i).(1), prev.(1));
+                (Poseidon.mds.(i).(2), prev.(2)) ]
+              const)
+    end
+  done;
+  !s
+
+(** Sponge hash over wires; must agree with {!Poseidon.hash}. *)
+let hash cs (inputs : wire list) : wire =
+  let n = List.length inputs in
+  let init =
+    [| Cs.constant cs Fr.zero; Cs.constant cs Fr.zero;
+       Cs.constant cs (Fr.of_int ((n * 2) + 1)) |]
+  in
+  let rec absorb state = function
+    | [] -> state
+    | [ x ] ->
+      let state = Array.copy state in
+      state.(0) <- Cs.add cs state.(0) x;
+      permute cs state
+    | x :: y :: rest ->
+      let state = Array.copy state in
+      state.(0) <- Cs.add cs state.(0) x;
+      state.(1) <- Cs.add cs state.(1) y;
+      absorb (permute cs state) rest
+  in
+  let final = if n = 0 then permute cs init else absorb init inputs in
+  final.(0)
+
+let hash2 cs a b = hash cs [ a; b ]
+
+(** Constrain [c = Commit(msgs; o)] — the in-circuit opening check
+    Open(m, c, o) = 1 used throughout §IV. *)
+let assert_commitment_opens cs ~(commitment : wire) (msgs : wire list)
+    ~(opening : wire) =
+  let recomputed = hash cs (opening :: msgs) in
+  Cs.assert_equal cs recomputed commitment

@@ -1,0 +1,19 @@
+(** In-circuit Poseidon, mirroring {!Zkdet_poseidon.Poseidon} exactly.
+    Round constants are fused into the S-box gates ((w+rc)^2 is a single
+    Plonk gate) and, for partial rounds, into the MDS linear combination —
+    ~660 constraints per permutation. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module Cs = Zkdet_plonk.Cs
+
+type wire = Cs.wire
+
+val pow5 : Cs.t -> wire -> wire
+val pow5_with_rc : Cs.t -> wire -> Fr.t -> wire
+val permute : Cs.t -> wire array -> wire array
+val hash : Cs.t -> wire list -> wire
+val hash2 : Cs.t -> wire -> wire -> wire
+
+val assert_commitment_opens :
+  Cs.t -> commitment:wire -> wire list -> opening:wire -> unit
+(** The in-circuit [Open(m, c, o) = 1] check used throughout §IV. *)

@@ -1,0 +1,1 @@
+lib/contracts/auction.ml: Erc721 Hashtbl Zkdet_chain

@@ -1,0 +1,1 @@
+lib/contracts/auction.mli: Erc721 Hashtbl Zkdet_chain

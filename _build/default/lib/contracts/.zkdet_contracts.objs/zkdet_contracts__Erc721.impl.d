@@ -1,0 +1,1 @@
+lib/contracts/erc721.ml: Hashtbl List Option String Zkdet_chain Zkdet_field

@@ -1,0 +1,1 @@
+lib/contracts/erc721.mli: Hashtbl Zkdet_chain Zkdet_field

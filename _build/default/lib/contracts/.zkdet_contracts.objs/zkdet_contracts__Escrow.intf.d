@@ -1,0 +1,1 @@
+lib/contracts/escrow.mli: Hashtbl Verifier_contract Zkdet_chain Zkdet_field Zkdet_plonk

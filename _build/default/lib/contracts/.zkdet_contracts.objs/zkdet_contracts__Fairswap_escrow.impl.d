@@ -1,0 +1,1 @@
+lib/contracts/fairswap_escrow.ml: Array Hashtbl String Zkdet_chain Zkdet_circuit Zkdet_field Zkdet_mimc Zkdet_poseidon

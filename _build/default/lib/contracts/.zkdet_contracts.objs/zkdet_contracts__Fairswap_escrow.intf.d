@@ -1,0 +1,1 @@
+lib/contracts/fairswap_escrow.mli: Hashtbl Zkdet_chain Zkdet_circuit Zkdet_field

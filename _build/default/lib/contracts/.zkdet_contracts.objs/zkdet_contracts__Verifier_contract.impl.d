@@ -1,0 +1,1 @@
+lib/contracts/verifier_contract.ml: Array String Zkdet_chain Zkdet_field Zkdet_plonk

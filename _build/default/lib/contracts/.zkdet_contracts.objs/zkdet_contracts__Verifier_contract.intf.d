@@ -1,0 +1,1 @@
+lib/contracts/verifier_contract.mli: Zkdet_chain Zkdet_field Zkdet_plonk

@@ -1,0 +1,1 @@
+lib/contracts/zkcp_escrow.ml: Hashtbl Zkdet_chain Zkdet_field Zkdet_poseidon

@@ -1,0 +1,1 @@
+lib/contracts/zkcp_escrow.mli: Hashtbl Zkdet_chain Zkdet_field

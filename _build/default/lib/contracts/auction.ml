@@ -1,0 +1,133 @@
+(* Clock (Dutch) auction for data NFTs (paper §III-C: "S launches a clock
+   auction which locks its token for sale"). The price decays per block
+   from a start price toward a reserve; the first bid at or above the
+   current price wins and triggers the token transfer. *)
+
+module Chain = Zkdet_chain.Chain
+module Gas = Zkdet_chain.Gas
+
+type status = Open | Sold | Cancelled
+
+type listing = {
+  listing_id : int;
+  seller : Chain.Address.t;
+  token_id : int;
+  start_price : int;
+  reserve_price : int;
+  decay_per_block : int;
+  start_block : int;
+  predicate : string; (* phi, human-readable description for bidders *)
+  mutable status : status;
+  mutable winner : Chain.Address.t option;
+}
+
+type t = {
+  address : Chain.Address.t;
+  registry : Erc721.t;
+  listings : (int, listing) Hashtbl.t;
+  mutable next_listing : int;
+}
+
+let code_size_bytes = 1_910
+
+let deploy (chain : Chain.t) ~(deployer : Chain.Address.t) (registry : Erc721.t) :
+    t * Chain.receipt =
+  let contract =
+    { address = Chain.Address.of_seed ("zkdet-auction/" ^ deployer); registry;
+      listings = Hashtbl.create 16; next_listing = 1 }
+  in
+  let receipt =
+    Chain.execute chain ~sender:deployer ~label:"deploy:auction" (fun env ->
+        Gas.create_contract env.Chain.meter ~code_bytes:code_size_bytes)
+  in
+  (contract, receipt)
+
+let listing (c : t) id = Hashtbl.find_opt c.listings id
+
+let current_price (c : t) (chain : Chain.t) (id : int) : int option =
+  match Hashtbl.find_opt c.listings id with
+  | Some l when l.status = Open ->
+    let elapsed = max 0 ((Chain.head chain).Chain.number - l.start_block) in
+    Some (max l.reserve_price (l.start_price - (elapsed * l.decay_per_block)))
+  | _ -> None
+
+(** List a token. The auction contract must already be approved on the
+    registry for this token. *)
+let list_token (c : t) (chain : Chain.t) ~(seller : Chain.Address.t)
+    ~(token_id : int) ~(start_price : int) ~(reserve_price : int)
+    ~(decay_per_block : int) ~(predicate : string) : int option * Chain.receipt =
+  let created = ref None in
+  let receipt =
+    Chain.execute chain ~sender:seller ~label:"auction:list" ~calldata:predicate
+      (fun env ->
+        let m = env.Chain.meter in
+        Gas.sload m;
+        (match Erc721.owner_of c.registry token_id with
+        | Some o when Chain.Address.equal o seller -> ()
+        | _ -> raise (Chain.Revert "list: not the token owner"));
+        for _ = 1 to 4 do
+          Gas.sstore m ~was_zero:true ~now_zero:false
+        done;
+        let id = c.next_listing in
+        c.next_listing <- id + 1;
+        Hashtbl.replace c.listings id
+          { listing_id = id; seller; token_id; start_price; reserve_price;
+            decay_per_block; start_block = (Chain.head chain).Chain.number;
+            predicate; status = Open; winner = None };
+        created := Some id;
+        Chain.emit env ~contract:"auction" ~name:"Listed"
+          ~data:[ string_of_int id; string_of_int token_id ])
+  in
+  (!created, receipt)
+
+(** Bid at the current clock price. Pays the seller, transfers the token. *)
+let bid (c : t) (chain : Chain.t) ~(bidder : Chain.Address.t) ~(listing_id : int)
+    ~(offer : int) : Chain.receipt =
+  Chain.execute chain ~sender:bidder ~label:"auction:bid" (fun env ->
+      let m = env.Chain.meter in
+      Gas.sload m;
+      match Hashtbl.find_opt c.listings listing_id with
+      | None -> raise (Chain.Revert "bid: no such listing")
+      | Some l ->
+        if l.status <> Open then raise (Chain.Revert "bid: not open");
+        let price =
+          match current_price c chain listing_id with
+          | Some p -> p
+          | None -> raise (Chain.Revert "bid: not open")
+        in
+        if offer < price then raise (Chain.Revert "bid: below clock price");
+        (match Chain.debit chain bidder price with
+        | Ok () -> ()
+        | Error e -> raise (Chain.Revert ("bid: " ^ e)));
+        Chain.credit chain l.seller price;
+        (* internal registry transfer: owner update + balances *)
+        Gas.sstore m ~was_zero:false ~now_zero:false;
+        Gas.sstore m ~was_zero:false ~now_zero:false;
+        Gas.sstore m ~was_zero:false ~now_zero:false;
+        (match Hashtbl.find_opt c.registry.Erc721.tokens l.token_id with
+        | Some tok ->
+          let from = tok.Erc721.owner in
+          tok.Erc721.owner <- bidder;
+          Hashtbl.replace c.registry.Erc721.balances from
+            (Erc721.balance_of c.registry from - 1);
+          Hashtbl.replace c.registry.Erc721.balances bidder
+            (Erc721.balance_of c.registry bidder + 1)
+        | None -> raise (Chain.Revert "bid: token vanished"));
+        l.status <- Sold;
+        l.winner <- Some bidder;
+        Chain.emit env ~contract:"auction" ~name:"Sold"
+          ~data:[ string_of_int listing_id; bidder; string_of_int price ])
+
+let cancel (c : t) (chain : Chain.t) ~(seller : Chain.Address.t)
+    ~(listing_id : int) : Chain.receipt =
+  Chain.execute chain ~sender:seller ~label:"auction:cancel" (fun env ->
+      let m = env.Chain.meter in
+      Gas.sload m;
+      match Hashtbl.find_opt c.listings listing_id with
+      | None -> raise (Chain.Revert "cancel: no such listing")
+      | Some l ->
+        if l.status <> Open then raise (Chain.Revert "cancel: not open");
+        if not (Chain.Address.equal l.seller seller) then
+          raise (Chain.Revert "cancel: not the seller");
+        Gas.sstore m ~was_zero:false ~now_zero:false;
+        l.status <- Cancelled)

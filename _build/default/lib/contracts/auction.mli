@@ -1,0 +1,46 @@
+(** Clock (Dutch) auction for data NFTs (paper §III-C): the price decays
+    per block from a start price toward a reserve; the first bid at or
+    above the clock price wins and triggers the token transfer. *)
+
+module Chain = Zkdet_chain.Chain
+
+type status = Open | Sold | Cancelled
+
+type listing = {
+  listing_id : int;
+  seller : Chain.Address.t;
+  token_id : int;
+  start_price : int;
+  reserve_price : int;
+  decay_per_block : int;
+  start_block : int;
+  predicate : string;  (** phi, shown to bidders *)
+  mutable status : status;
+  mutable winner : Chain.Address.t option;
+}
+
+type t = {
+  address : Chain.Address.t;
+  registry : Erc721.t;
+  listings : (int, listing) Hashtbl.t;
+  mutable next_listing : int;
+}
+
+val deploy : Chain.t -> deployer:Chain.Address.t -> Erc721.t -> t * Chain.receipt
+val listing : t -> int -> listing option
+
+val current_price : t -> Chain.t -> int -> int option
+(** The clock price now; [None] once sold/cancelled. *)
+
+val list_token :
+  t -> Chain.t -> seller:Chain.Address.t -> token_id:int -> start_price:int ->
+  reserve_price:int -> decay_per_block:int -> predicate:string ->
+  int option * Chain.receipt
+
+val bid :
+  t -> Chain.t -> bidder:Chain.Address.t -> listing_id:int -> offer:int ->
+  Chain.receipt
+(** Pays the clock price to the seller and transfers the token. *)
+
+val cancel :
+  t -> Chain.t -> seller:Chain.Address.t -> listing_id:int -> Chain.receipt

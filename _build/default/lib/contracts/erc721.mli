@@ -1,0 +1,79 @@
+(** The ZKDET data-NFT registry: ERC-721 extended with the fields §III of
+    the paper adds — [prev_ids] (provenance), the dataset URI in
+    distributed storage, key/data commitments and proof references.
+    Every method charges gas through the EVM-style schedule, which is how
+    Table II is reproduced. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module Chain = Zkdet_chain.Chain
+
+type transform_kind =
+  | Aggregation
+  | Partition
+  | Duplication
+  | Processing of string  (** predicate label *)
+
+val transform_name : transform_kind -> string
+
+type token = {
+  token_id : int;
+  mutable owner : Chain.Address.t;
+  uri : string;  (** storage CID of the ciphertext / manifest *)
+  prev_ids : int list;
+  transform : transform_kind option;  (** [None] for an original mint *)
+  key_commitment : Fr.t;
+  data_commitment : Fr.t;
+  proof_refs : string list;  (** CIDs of pi_e / pi_t *)
+  mutable burned : bool;
+}
+
+type t = {
+  address : Chain.Address.t;
+  code_size : int;
+  tokens : (int, token) Hashtbl.t;
+  balances : (Chain.Address.t, int) Hashtbl.t;
+  approvals : (int, Chain.Address.t) Hashtbl.t;
+  mutable next_id : int;
+}
+
+val deploy : Chain.t -> deployer:Chain.Address.t -> t * Chain.receipt
+(** One-time deployment (Table II row 1). *)
+
+val balance_of : t -> Chain.Address.t -> int
+val owner_of : t -> int -> Chain.Address.t option
+val token : t -> int -> token option
+val exists : t -> int -> bool
+
+val mint :
+  t -> Chain.t -> sender:Chain.Address.t -> recipient:Chain.Address.t ->
+  uri:string -> key_commitment:Fr.t -> data_commitment:Fr.t ->
+  proof_refs:string list -> int option * Chain.receipt
+(** Mint an original data token. *)
+
+val mint_derived :
+  t -> Chain.t -> sender:Chain.Address.t -> prev_ids:int list ->
+  transform:transform_kind -> uri:string -> key_commitment:Fr.t ->
+  data_commitment:Fr.t -> proof_refs:string list -> int option * Chain.receipt
+(** Mint a token derived by a transformation; the caller must own every
+    parent. *)
+
+val mint_partition :
+  t -> Chain.t -> sender:Chain.Address.t -> parent:int ->
+  children:(string * Fr.t * Fr.t * string list) list ->
+  int list option * Chain.receipt
+(** Partition into several children in one transaction; Table II's
+    per-token cost is the receipt's gas over the child count. *)
+
+val approve :
+  t -> Chain.t -> sender:Chain.Address.t -> spender:Chain.Address.t ->
+  token_id:int -> Chain.receipt
+
+val transfer_from :
+  t -> Chain.t -> sender:Chain.Address.t -> from:Chain.Address.t ->
+  to_:Chain.Address.t -> token_id:int -> Chain.receipt
+
+val burn : t -> Chain.t -> sender:Chain.Address.t -> token_id:int -> Chain.receipt
+
+val provenance : t -> int -> token list
+(** Off-chain view: walk prevIds[] back to the sources (Fig. 2),
+    de-duplicated, queried token first. *)

@@ -1,0 +1,143 @@
+(* The arbiter J of the key-secure exchange protocol (paper §IV-F, Fig. 4).
+
+   The buyer locks a payment together with h_v = H(k_v) and the seller's
+   public key commitment c. The seller redeems it by publishing k_c and a
+   proof pi_k that k_c = k + k_v with Open(k, c, o) = 1 and h_v = H(k_v).
+   The contract never sees k: k_c is public but reveals nothing without
+   the buyer's k_v. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module Chain = Zkdet_chain.Chain
+module Gas = Zkdet_chain.Gas
+module Proof = Zkdet_plonk.Proof
+
+type deal_status = Locked | Settled | Refunded
+
+type deal = {
+  deal_id : int;
+  buyer : Chain.Address.t;
+  seller : Chain.Address.t;
+  amount : int;
+  h_v : Fr.t; (* H(k_v), binding the buyer's blinding key *)
+  key_commitment : Fr.t; (* c: commitment to the seller's key k *)
+  deadline : int; (* block number after which the buyer may refund *)
+  mutable status : deal_status;
+  mutable k_c : Fr.t option; (* published at settlement; public but safe *)
+}
+
+type t = {
+  address : Chain.Address.t;
+  verifier : Verifier_contract.t;
+  deals : (int, deal) Hashtbl.t;
+  mutable next_deal : int;
+}
+
+let code_size_bytes = 2_380
+
+let deploy (chain : Chain.t) ~(deployer : Chain.Address.t)
+    (verifier : Verifier_contract.t) : t * Chain.receipt =
+  let contract =
+    {
+      address = Chain.Address.of_seed ("zkdet-escrow/" ^ deployer);
+      verifier;
+      deals = Hashtbl.create 16;
+      next_deal = 1;
+    }
+  in
+  let receipt =
+    Chain.execute chain ~sender:deployer ~label:"deploy:escrow" (fun env ->
+        Gas.create_contract env.Chain.meter ~code_bytes:code_size_bytes)
+  in
+  (contract, receipt)
+
+let deal (c : t) id = Hashtbl.find_opt c.deals id
+
+(** Buyer locks the payment (end of the data-validation phase). *)
+let lock (c : t) (chain : Chain.t) ~(buyer : Chain.Address.t)
+    ~(seller : Chain.Address.t) ~(amount : int) ~(h_v : Fr.t)
+    ~(key_commitment : Fr.t) ~(timeout_blocks : int) : int option * Chain.receipt
+    =
+  let created = ref None in
+  let receipt =
+    Chain.execute chain ~sender:buyer ~label:"escrow:lock"
+      ~calldata:(Fr.to_bytes_be h_v ^ Fr.to_bytes_be key_commitment)
+      (fun env ->
+        let m = env.Chain.meter in
+        (match Chain.debit chain buyer amount with
+        | Ok () -> ()
+        | Error e -> raise (Chain.Revert ("lock: " ^ e)));
+        (* deal record: ~5 fresh slots *)
+        for _ = 1 to 5 do
+          Gas.sstore m ~was_zero:true ~now_zero:false
+        done;
+        let id = c.next_deal in
+        c.next_deal <- id + 1;
+        Hashtbl.replace c.deals id
+          {
+            deal_id = id;
+            buyer;
+            seller;
+            amount;
+            h_v;
+            key_commitment;
+            deadline = (Chain.head chain).Chain.number + timeout_blocks;
+            status = Locked;
+            k_c = None;
+          };
+        created := Some id;
+        Chain.emit env ~contract:"escrow" ~name:"Locked"
+          ~data:[ string_of_int id; buyer; seller; string_of_int amount ])
+  in
+  (!created, receipt)
+
+(** Seller settles with (k_c, pi_k); the contract verifies
+    Verify(vk, (k_c, c, h_v), pi_k) through the verifier contract and
+    forwards the payment on success (key-negotiation phase). *)
+let settle (c : t) (chain : Chain.t) ~(seller : Chain.Address.t) ~(deal_id : int)
+    ~(k_c : Fr.t) ~(proof : Proof.t) : Chain.receipt =
+  Chain.execute chain ~sender:seller ~label:"escrow:settle"
+    ~calldata:(Fr.to_bytes_be k_c ^ Proof.to_bytes proof)
+    (fun env ->
+      let m = env.Chain.meter in
+      Gas.sload m;
+      match Hashtbl.find_opt c.deals deal_id with
+      | None -> raise (Chain.Revert "settle: no such deal")
+      | Some d ->
+        if d.status <> Locked then raise (Chain.Revert "settle: deal not open");
+        if not (Chain.Address.equal d.seller seller) then
+          raise (Chain.Revert "settle: not the seller");
+        (* internal call to the verifier contract *)
+        Verifier_contract.charge_verification m ~n_public:3;
+        let ok =
+          Zkdet_plonk.Verifier.verify c.verifier.Verifier_contract.vk
+            [| k_c; d.key_commitment; d.h_v |]
+            proof
+        in
+        if not ok then raise (Chain.Revert "settle: invalid proof");
+        Gas.sstore m ~was_zero:true ~now_zero:false; (* k_c *)
+        Gas.sstore m ~was_zero:false ~now_zero:false; (* status *)
+        d.k_c <- Some k_c;
+        d.status <- Settled;
+        Chain.credit chain seller d.amount;
+        Chain.emit env ~contract:"escrow" ~name:"Settled"
+          ~data:[ string_of_int deal_id ])
+
+(** Buyer reclaims a stale deal after the deadline. *)
+let refund (c : t) (chain : Chain.t) ~(buyer : Chain.Address.t) ~(deal_id : int) :
+    Chain.receipt =
+  Chain.execute chain ~sender:buyer ~label:"escrow:refund" (fun env ->
+      let m = env.Chain.meter in
+      Gas.sload m;
+      match Hashtbl.find_opt c.deals deal_id with
+      | None -> raise (Chain.Revert "refund: no such deal")
+      | Some d ->
+        if d.status <> Locked then raise (Chain.Revert "refund: deal not open");
+        if not (Chain.Address.equal d.buyer buyer) then
+          raise (Chain.Revert "refund: not the buyer");
+        if (Chain.head chain).Chain.number < d.deadline then
+          raise (Chain.Revert "refund: deadline not reached");
+        Gas.sstore m ~was_zero:false ~now_zero:false;
+        d.status <- Refunded;
+        Chain.credit chain buyer d.amount;
+        Chain.emit env ~contract:"escrow" ~name:"Refunded"
+          ~data:[ string_of_int deal_id ])

@@ -1,0 +1,51 @@
+(** The arbiter J of the key-secure exchange (paper §IV-F, Fig. 4): the
+    buyer locks payment with h_v = H(k_v) and the seller's key commitment
+    c; the seller redeems by publishing k_c with a valid pi_k. The key k
+    itself never reaches the chain. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module Chain = Zkdet_chain.Chain
+module Proof = Zkdet_plonk.Proof
+
+type deal_status = Locked | Settled | Refunded
+
+type deal = {
+  deal_id : int;
+  buyer : Chain.Address.t;
+  seller : Chain.Address.t;
+  amount : int;
+  h_v : Fr.t;
+  key_commitment : Fr.t;
+  deadline : int;
+  mutable status : deal_status;
+  mutable k_c : Fr.t option;  (** public after settlement, but useless
+                                  without the buyer's k_v *)
+}
+
+type t = {
+  address : Chain.Address.t;
+  verifier : Verifier_contract.t;
+  deals : (int, deal) Hashtbl.t;
+  mutable next_deal : int;
+}
+
+val deploy :
+  Chain.t -> deployer:Chain.Address.t -> Verifier_contract.t ->
+  t * Chain.receipt
+
+val deal : t -> int -> deal option
+
+val lock :
+  t -> Chain.t -> buyer:Chain.Address.t -> seller:Chain.Address.t ->
+  amount:int -> h_v:Fr.t -> key_commitment:Fr.t -> timeout_blocks:int ->
+  int option * Chain.receipt
+
+val settle :
+  t -> Chain.t -> seller:Chain.Address.t -> deal_id:int -> k_c:Fr.t ->
+  proof:Proof.t -> Chain.receipt
+(** Verifies [Verify(vk, (k_c, c, h_v), pi_k)] through the verifier
+    contract; forwards the payment on success, reverts otherwise. *)
+
+val refund :
+  t -> Chain.t -> buyer:Chain.Address.t -> deal_id:int -> Chain.receipt
+(** Reclaim a stale deal after the deadline. *)

@@ -1,0 +1,211 @@
+(* A FairSwap-style exchange contract (Dziembowski–Eckey–Faust, CCS'18) —
+   the ADS-based alternative the paper's §VII contrasts with ZKDET.
+
+   Optimistic flow: the buyer locks payment against Merkle roots of the
+   ciphertext (r_c) and the promised plaintext (r_d) plus a key hash; the
+   seller reveals k on-chain; after a dispute window the payment
+   finalizes. If the delivery was wrong, the buyer submits a proof of
+   misbehavior: Merkle paths to one ciphertext/plaintext leaf pair such
+   that Dec(k, c_i) <> d_i. The contract re-executes one MiMC block and
+   2 log n Poseidon hashes — which is exactly why dispute gas grows with
+   the data size while ZKDET's verifier stays O(1). *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module Chain = Zkdet_chain.Chain
+module Gas = Zkdet_chain.Gas
+module Poseidon = Zkdet_poseidon.Poseidon
+module Mimc = Zkdet_mimc.Mimc
+module Merkle = Zkdet_circuit.Merkle
+
+(* EVM-cost stand-ins for the algebraic primitives executed on-chain in a
+   dispute (a Poseidon hash costs tens of thousands of gas on the EVM; a
+   MiMC block is ~91 field exponentiations). *)
+let poseidon_onchain_gas = 52_000
+let mimc_block_onchain_gas = 22_000
+
+type deal_status = Locked | Key_revealed | Finalized | Refunded
+
+type deal = {
+  deal_id : int;
+  buyer : Chain.Address.t;
+  seller : Chain.Address.t;
+  amount : int;
+  root_ciphertext : Fr.t;
+  root_plaintext : Fr.t; (* what the seller promised to deliver *)
+  depth : int; (* Merkle depth = log2 (number of blocks) *)
+  h_k : Fr.t;
+  dispute_window : int; (* blocks *)
+  mutable status : deal_status;
+  mutable key : Fr.t option; (* public after reveal — FairSwap shares
+                                ZKCP's key-disclosure property *)
+  mutable reveal_block : int;
+}
+
+type t = {
+  address : Chain.Address.t;
+  deals : (int, deal) Hashtbl.t;
+  mutable next_deal : int;
+}
+
+let code_size_bytes = 3_120
+
+let deploy (chain : Chain.t) ~(deployer : Chain.Address.t) : t * Chain.receipt =
+  let contract =
+    { address = Chain.Address.of_seed ("fairswap/" ^ deployer);
+      deals = Hashtbl.create 16; next_deal = 1 }
+  in
+  let receipt =
+    Chain.execute chain ~sender:deployer ~label:"deploy:fairswap" (fun env ->
+        Gas.create_contract env.Chain.meter ~code_bytes:code_size_bytes)
+  in
+  (contract, receipt)
+
+let deal (c : t) id = Hashtbl.find_opt c.deals id
+
+let lock (c : t) (chain : Chain.t) ~(buyer : Chain.Address.t)
+    ~(seller : Chain.Address.t) ~(amount : int) ~(root_ciphertext : Fr.t)
+    ~(root_plaintext : Fr.t) ~(depth : int) ~(h_k : Fr.t)
+    ~(dispute_window : int) : int option * Chain.receipt =
+  let created = ref None in
+  let receipt =
+    Chain.execute chain ~sender:buyer ~label:"fairswap:lock"
+      ~calldata:(Fr.to_bytes_be root_ciphertext ^ Fr.to_bytes_be root_plaintext)
+      (fun env ->
+        let m = env.Chain.meter in
+        (match Chain.debit chain buyer amount with
+        | Ok () -> ()
+        | Error e -> raise (Chain.Revert ("lock: " ^ e)));
+        for _ = 1 to 6 do
+          Gas.sstore m ~was_zero:true ~now_zero:false
+        done;
+        let id = c.next_deal in
+        c.next_deal <- id + 1;
+        Hashtbl.replace c.deals id
+          { deal_id = id; buyer; seller; amount; root_ciphertext;
+            root_plaintext; depth; h_k; dispute_window; status = Locked;
+            key = None; reveal_block = 0 };
+        created := Some id;
+        Chain.emit env ~contract:"fairswap" ~name:"Locked"
+          ~data:[ string_of_int id ])
+  in
+  (!created, receipt)
+
+(** Seller reveals the key; the dispute window opens. *)
+let reveal_key (c : t) (chain : Chain.t) ~(seller : Chain.Address.t)
+    ~(deal_id : int) ~(key : Fr.t) : Chain.receipt =
+  Chain.execute chain ~sender:seller ~label:"fairswap:reveal"
+    ~calldata:(Fr.to_bytes_be key) (fun env ->
+      let m = env.Chain.meter in
+      Gas.sload m;
+      match Hashtbl.find_opt c.deals deal_id with
+      | None -> raise (Chain.Revert "reveal: no such deal")
+      | Some d ->
+        if d.status <> Locked then raise (Chain.Revert "reveal: not open");
+        if not (Chain.Address.equal d.seller seller) then
+          raise (Chain.Revert "reveal: not the seller");
+        Gas.charge m poseidon_onchain_gas;
+        if not (Fr.equal (Poseidon.hash [ key ]) d.h_k) then
+          raise (Chain.Revert "reveal: key does not match hash lock");
+        Gas.sstore m ~was_zero:true ~now_zero:false;
+        Gas.sstore m ~was_zero:false ~now_zero:false;
+        d.key <- Some key;
+        d.reveal_block <- (Chain.head chain).Chain.number;
+        d.status <- Key_revealed)
+
+(** The buyer's proof of misbehavior: leaf index, ciphertext leaf +
+    path to r_c, plaintext leaf + path to r_d. The contract recomputes
+    both paths and one MiMC decryption. *)
+type misbehavior_proof = {
+  leaf_index : int;
+  ciphertext_leaf : Fr.t;
+  ciphertext_path : Merkle.path;
+  plaintext_leaf : Fr.t;
+  plaintext_path : Merkle.path;
+}
+
+let charge_path_check (m : Gas.meter) ~(depth : int) =
+  for _ = 1 to depth do
+    Gas.charge m poseidon_onchain_gas
+  done
+
+let complain (c : t) (chain : Chain.t) ~(buyer : Chain.Address.t)
+    ~(deal_id : int) (pom : misbehavior_proof) : Chain.receipt =
+  let path_bytes (p : Merkle.path) =
+    String.concat "" (Array.to_list (Array.map Fr.to_bytes_be p.Merkle.siblings))
+  in
+  Chain.execute chain ~sender:buyer ~label:"fairswap:complain"
+    ~calldata:
+      (Fr.to_bytes_be pom.ciphertext_leaf
+      ^ path_bytes pom.ciphertext_path
+      ^ Fr.to_bytes_be pom.plaintext_leaf
+      ^ path_bytes pom.plaintext_path)
+    (fun env ->
+      let m = env.Chain.meter in
+      Gas.sload m;
+      match Hashtbl.find_opt c.deals deal_id with
+      | None -> raise (Chain.Revert "complain: no such deal")
+      | Some d -> (
+        if d.status <> Key_revealed then
+          raise (Chain.Revert "complain: no revealed key");
+        if not (Chain.Address.equal d.buyer buyer) then
+          raise (Chain.Revert "complain: not the buyer");
+        if (Chain.head chain).Chain.number > d.reveal_block + d.dispute_window
+        then raise (Chain.Revert "complain: dispute window closed");
+        match d.key with
+        | None -> raise (Chain.Revert "complain: no key")
+        | Some key ->
+          (* verify both Merkle openings on-chain *)
+          charge_path_check m ~depth:d.depth;
+          if
+            not
+              (Merkle.verify_membership ~root:d.root_ciphertext
+                 ~leaf:pom.ciphertext_leaf pom.ciphertext_path)
+          then raise (Chain.Revert "complain: bad ciphertext path");
+          charge_path_check m ~depth:d.depth;
+          if
+            not
+              (Merkle.verify_membership ~root:d.root_plaintext
+                 ~leaf:pom.plaintext_leaf pom.plaintext_path)
+          then raise (Chain.Revert "complain: bad plaintext path");
+          if
+            pom.ciphertext_path.Merkle.leaf_index <> pom.leaf_index
+            || pom.plaintext_path.Merkle.leaf_index <> pom.leaf_index
+          then raise (Chain.Revert "complain: index mismatch");
+          (* re-execute one decryption on-chain *)
+          Gas.charge m mimc_block_onchain_gas;
+          let decrypted =
+            Fr.sub pom.ciphertext_leaf
+              (Mimc.encrypt_block key (Fr.of_int pom.leaf_index))
+          in
+          if Fr.equal decrypted pom.plaintext_leaf then
+            raise (Chain.Revert "complain: delivery was correct");
+          (* misbehavior proven: refund the buyer *)
+          Gas.sstore m ~was_zero:false ~now_zero:false;
+          d.status <- Refunded;
+          Chain.credit chain buyer d.amount;
+          Chain.emit env ~contract:"fairswap" ~name:"Misbehavior"
+            ~data:[ string_of_int deal_id; string_of_int pom.leaf_index ]))
+
+(** After an undisputed window, the seller collects the payment. *)
+let finalize (c : t) (chain : Chain.t) ~(seller : Chain.Address.t)
+    ~(deal_id : int) : Chain.receipt =
+  Chain.execute chain ~sender:seller ~label:"fairswap:finalize" (fun env ->
+      let m = env.Chain.meter in
+      Gas.sload m;
+      match Hashtbl.find_opt c.deals deal_id with
+      | None -> raise (Chain.Revert "finalize: no such deal")
+      | Some d ->
+        if d.status <> Key_revealed then
+          raise (Chain.Revert "finalize: key not revealed");
+        if (Chain.head chain).Chain.number <= d.reveal_block + d.dispute_window
+        then raise (Chain.Revert "finalize: dispute window still open");
+        Gas.sstore m ~was_zero:false ~now_zero:false;
+        d.status <- Finalized;
+        Chain.credit chain seller d.amount)
+
+(** The disclosed key, readable by anyone after reveal — FairSwap shares
+    the public-storage weakness ZKDET's §IV-F removes. *)
+let disclosed_key (c : t) (deal_id : int) : Fr.t option =
+  match Hashtbl.find_opt c.deals deal_id with
+  | Some { key; status = Key_revealed | Finalized | Refunded; _ } -> key
+  | _ -> None

@@ -1,0 +1,70 @@
+(** FairSwap-style exchange contract (§VII's ADS-based alternative).
+
+    Optimistic flow: lock against Merkle roots of ciphertext and promised
+    plaintext plus a key hash; the seller reveals k; after an undisputed
+    window the payment finalizes. On a wrong delivery the buyer submits a
+    proof of misbehavior whose on-chain verification re-hashes two Merkle
+    paths and one MiMC block — dispute gas grows with the data size,
+    unlike ZKDET's O(1) verifier. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module Chain = Zkdet_chain.Chain
+module Merkle = Zkdet_circuit.Merkle
+
+val poseidon_onchain_gas : int
+val mimc_block_onchain_gas : int
+
+type deal_status = Locked | Key_revealed | Finalized | Refunded
+
+type deal = {
+  deal_id : int;
+  buyer : Chain.Address.t;
+  seller : Chain.Address.t;
+  amount : int;
+  root_ciphertext : Fr.t;
+  root_plaintext : Fr.t;
+  depth : int;
+  h_k : Fr.t;
+  dispute_window : int;
+  mutable status : deal_status;
+  mutable key : Fr.t option;
+  mutable reveal_block : int;
+}
+
+type t = {
+  address : Chain.Address.t;
+  deals : (int, deal) Hashtbl.t;
+  mutable next_deal : int;
+}
+
+val deploy : Chain.t -> deployer:Chain.Address.t -> t * Chain.receipt
+val deal : t -> int -> deal option
+
+val lock :
+  t -> Chain.t -> buyer:Chain.Address.t -> seller:Chain.Address.t ->
+  amount:int -> root_ciphertext:Fr.t -> root_plaintext:Fr.t -> depth:int ->
+  h_k:Fr.t -> dispute_window:int -> int option * Chain.receipt
+
+val reveal_key :
+  t -> Chain.t -> seller:Chain.Address.t -> deal_id:int -> key:Fr.t ->
+  Chain.receipt
+
+type misbehavior_proof = {
+  leaf_index : int;
+  ciphertext_leaf : Fr.t;
+  ciphertext_path : Merkle.path;
+  plaintext_leaf : Fr.t;
+  plaintext_path : Merkle.path;
+}
+
+val complain :
+  t -> Chain.t -> buyer:Chain.Address.t -> deal_id:int -> misbehavior_proof ->
+  Chain.receipt
+(** Refunds the buyer iff the proof shows Dec(k, c_i) <> d_i for a leaf
+    of both committed trees. *)
+
+val finalize :
+  t -> Chain.t -> seller:Chain.Address.t -> deal_id:int -> Chain.receipt
+
+val disclosed_key : t -> int -> Fr.t option
+(** FairSwap shares ZKCP's public-key-disclosure weakness. *)

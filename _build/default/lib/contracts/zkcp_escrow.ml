@@ -1,0 +1,118 @@
+(* The classic ZKCP arbiter (paper §III-C) — the baseline ZKDET improves
+   on. The buyer locks a payment against h = H(k); the seller redeems by
+   *disclosing k on-chain*. Anyone watching the chain then holds k and can
+   decrypt the publicly stored ciphertext: the key-disclosure flaw that
+   motivates §IV-F. [disclosed_key] models exactly that public read. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module Chain = Zkdet_chain.Chain
+module Gas = Zkdet_chain.Gas
+module Poseidon = Zkdet_poseidon.Poseidon
+
+type deal_status = Locked | Settled | Refunded
+
+type deal = {
+  deal_id : int;
+  buyer : Chain.Address.t;
+  seller : Chain.Address.t;
+  amount : int;
+  h : Fr.t; (* H(k) *)
+  deadline : int;
+  mutable status : deal_status;
+  mutable key : Fr.t option; (* k, PUBLIC once settled *)
+}
+
+type t = {
+  address : Chain.Address.t;
+  deals : (int, deal) Hashtbl.t;
+  mutable next_deal : int;
+}
+
+let code_size_bytes = 1_450
+
+let deploy (chain : Chain.t) ~(deployer : Chain.Address.t) : t * Chain.receipt =
+  let contract =
+    { address = Chain.Address.of_seed ("zkcp-escrow/" ^ deployer);
+      deals = Hashtbl.create 16; next_deal = 1 }
+  in
+  let receipt =
+    Chain.execute chain ~sender:deployer ~label:"deploy:zkcp-escrow" (fun env ->
+        Gas.create_contract env.Chain.meter ~code_bytes:code_size_bytes)
+  in
+  (contract, receipt)
+
+let deal (c : t) id = Hashtbl.find_opt c.deals id
+
+let lock (c : t) (chain : Chain.t) ~(buyer : Chain.Address.t)
+    ~(seller : Chain.Address.t) ~(amount : int) ~(h : Fr.t)
+    ~(timeout_blocks : int) : int option * Chain.receipt =
+  let created = ref None in
+  let receipt =
+    Chain.execute chain ~sender:buyer ~label:"zkcp:lock"
+      ~calldata:(Fr.to_bytes_be h) (fun env ->
+        let m = env.Chain.meter in
+        (match Chain.debit chain buyer amount with
+        | Ok () -> ()
+        | Error e -> raise (Chain.Revert ("lock: " ^ e)));
+        for _ = 1 to 4 do
+          Gas.sstore m ~was_zero:true ~now_zero:false
+        done;
+        let id = c.next_deal in
+        c.next_deal <- id + 1;
+        Hashtbl.replace c.deals id
+          { deal_id = id; buyer; seller; amount; h;
+            deadline = (Chain.head chain).Chain.number + timeout_blocks;
+            status = Locked; key = None };
+        created := Some id;
+        Chain.emit env ~contract:"zkcp" ~name:"Locked"
+          ~data:[ string_of_int id ])
+  in
+  (!created, receipt)
+
+(** The seller's Open phase: disclose k; the contract checks H(k) = h. *)
+let open_key (c : t) (chain : Chain.t) ~(seller : Chain.Address.t)
+    ~(deal_id : int) ~(key : Fr.t) : Chain.receipt =
+  Chain.execute chain ~sender:seller ~label:"zkcp:open"
+    ~calldata:(Fr.to_bytes_be key) (fun env ->
+      let m = env.Chain.meter in
+      Gas.sload m;
+      match Hashtbl.find_opt c.deals deal_id with
+      | None -> raise (Chain.Revert "open: no such deal")
+      | Some d ->
+        if d.status <> Locked then raise (Chain.Revert "open: deal not open");
+        if not (Chain.Address.equal d.seller seller) then
+          raise (Chain.Revert "open: not the seller");
+        Gas.keccak m ~bytes:32;
+        if not (Fr.equal (Poseidon.hash [ key ]) d.h) then
+          raise (Chain.Revert "open: key does not match hash lock");
+        Gas.sstore m ~was_zero:true ~now_zero:false;
+        Gas.sstore m ~was_zero:false ~now_zero:false;
+        d.key <- Some key;
+        d.status <- Settled;
+        Chain.credit chain seller d.amount;
+        Chain.emit env ~contract:"zkcp" ~name:"KeyDisclosed"
+          ~data:[ string_of_int deal_id; Fr.to_string key ])
+
+(** What ANY third party can read from the chain after settlement — the
+    vulnerability: the decryption key itself. *)
+let disclosed_key (c : t) (deal_id : int) : Fr.t option =
+  match Hashtbl.find_opt c.deals deal_id with
+  | Some { key; status = Settled; _ } -> key
+  | _ -> None
+
+let refund (c : t) (chain : Chain.t) ~(buyer : Chain.Address.t) ~(deal_id : int) :
+    Chain.receipt =
+  Chain.execute chain ~sender:buyer ~label:"zkcp:refund" (fun env ->
+      let m = env.Chain.meter in
+      Gas.sload m;
+      match Hashtbl.find_opt c.deals deal_id with
+      | None -> raise (Chain.Revert "refund: no such deal")
+      | Some d ->
+        if d.status <> Locked then raise (Chain.Revert "refund: deal not open");
+        if not (Chain.Address.equal d.buyer buyer) then
+          raise (Chain.Revert "refund: not the buyer");
+        if (Chain.head chain).Chain.number < d.deadline then
+          raise (Chain.Revert "refund: deadline not reached");
+        Gas.sstore m ~was_zero:false ~now_zero:false;
+        d.status <- Refunded;
+        Chain.credit chain buyer d.amount)

@@ -1,0 +1,44 @@
+(** The classic ZKCP arbiter (paper §III-C) — the baseline ZKDET improves
+    on. The seller redeems a hash-locked payment by {e disclosing} the
+    decryption key on-chain; {!disclosed_key} models the resulting public
+    read that makes ZKCP unusable over public storage. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module Chain = Zkdet_chain.Chain
+
+type deal_status = Locked | Settled | Refunded
+
+type deal = {
+  deal_id : int;
+  buyer : Chain.Address.t;
+  seller : Chain.Address.t;
+  amount : int;
+  h : Fr.t;  (** H(k) *)
+  deadline : int;
+  mutable status : deal_status;
+  mutable key : Fr.t option;  (** k, PUBLIC once settled *)
+}
+
+type t = {
+  address : Chain.Address.t;
+  deals : (int, deal) Hashtbl.t;
+  mutable next_deal : int;
+}
+
+val deploy : Chain.t -> deployer:Chain.Address.t -> t * Chain.receipt
+val deal : t -> int -> deal option
+
+val lock :
+  t -> Chain.t -> buyer:Chain.Address.t -> seller:Chain.Address.t ->
+  amount:int -> h:Fr.t -> timeout_blocks:int -> int option * Chain.receipt
+
+val open_key :
+  t -> Chain.t -> seller:Chain.Address.t -> deal_id:int -> key:Fr.t ->
+  Chain.receipt
+(** The Open phase: disclose k; the contract checks H(k) = h and pays. *)
+
+val disclosed_key : t -> int -> Fr.t option
+(** What ANY third party reads from the chain after settlement. *)
+
+val refund :
+  t -> Chain.t -> buyer:Chain.Address.t -> deal_id:int -> Chain.receipt

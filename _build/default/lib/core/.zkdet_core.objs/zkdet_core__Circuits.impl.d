@@ -1,0 +1,1 @@
+lib/core/circuits.ml: Array Hashtbl List Printf String Zkdet_circuit Zkdet_field Zkdet_mimc Zkdet_plonk Zkdet_poseidon

@@ -1,0 +1,1 @@
+lib/core/circuits.mli: Zkdet_field Zkdet_plonk

@@ -1,0 +1,1 @@
+lib/core/env.ml: Hashtbl Random Zkdet_kzg Zkdet_plonk

@@ -1,0 +1,1 @@
+lib/core/exchange.ml: Array Circuits Env Random Transform Zkdet_field Zkdet_mimc Zkdet_plonk Zkdet_poseidon

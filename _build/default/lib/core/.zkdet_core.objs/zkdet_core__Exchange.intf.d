@@ -1,0 +1,1 @@
+lib/core/exchange.mli: Circuits Env Random Transform Zkdet_field Zkdet_plonk

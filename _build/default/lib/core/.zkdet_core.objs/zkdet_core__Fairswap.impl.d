@@ -1,0 +1,1 @@
+lib/core/fairswap.ml: Array Random Zkdet_circuit Zkdet_contracts Zkdet_field Zkdet_mimc

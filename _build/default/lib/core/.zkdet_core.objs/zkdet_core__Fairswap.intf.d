@@ -1,0 +1,1 @@
+lib/core/fairswap.mli: Random Zkdet_circuit Zkdet_contracts Zkdet_field

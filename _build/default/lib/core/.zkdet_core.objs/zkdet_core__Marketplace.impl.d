@@ -1,0 +1,1 @@
+lib/core/marketplace.ml: Array Circuits Env Exchange Hashtbl List Logs Option String Transform Zkdet_chain Zkdet_contracts Zkdet_field Zkdet_plonk Zkdet_storage

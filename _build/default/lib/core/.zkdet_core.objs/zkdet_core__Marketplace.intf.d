@@ -1,0 +1,1 @@
+lib/core/marketplace.mli: Circuits Env Transform Zkdet_chain Zkdet_contracts Zkdet_field Zkdet_storage

@@ -1,0 +1,1 @@
+lib/core/oracle.ml: Hashtbl List Random Zkdet_curve Zkdet_field Zkdet_hash

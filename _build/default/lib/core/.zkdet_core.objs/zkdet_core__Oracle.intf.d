@@ -1,0 +1,1 @@
+lib/core/oracle.mli: Random Zkdet_curve Zkdet_field

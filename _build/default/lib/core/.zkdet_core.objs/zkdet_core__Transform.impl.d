@@ -1,0 +1,1 @@
+lib/core/transform.ml: Array Circuits Env Hashtbl List Random Zkdet_field Zkdet_mimc Zkdet_plonk

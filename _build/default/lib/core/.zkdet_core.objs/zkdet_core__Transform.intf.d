@@ -1,0 +1,1 @@
+lib/core/transform.mli: Circuits Env Random Zkdet_field Zkdet_plonk

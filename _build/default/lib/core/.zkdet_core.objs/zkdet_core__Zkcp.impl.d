@@ -1,0 +1,1 @@
+lib/core/zkcp.ml: Array Circuits Env List Printf Transform Zkdet_circuit Zkdet_field Zkdet_mimc Zkdet_plonk Zkdet_poseidon

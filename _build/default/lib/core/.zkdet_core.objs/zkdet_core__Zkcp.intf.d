@@ -1,0 +1,1 @@
+lib/core/zkcp.mli: Circuits Env Transform Zkdet_field Zkdet_plonk

@@ -1,0 +1,127 @@
+(** The protocol circuits of ZKDET (paper §IV): proofs of encryption
+    pi_e, proofs of transformation pi_t for the four fundamental
+    formulae, the data-validation proof pi_p and the key-negotiation
+    proof pi_k.
+
+    Public-input layouts are fixed per circuit family and mirrored by the
+    [*_publics] helpers so prover and verifier agree byte-for-byte; the
+    [*_descriptor] strings key the proving-key cache ({!Env}); the
+    [*_dummy] builders synthesize representative circuits for setup. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module Cs = Zkdet_plonk.Cs
+
+(** {2 Dataset and key commitments} *)
+
+val commit_dataset : Fr.t array -> Fr.t -> Fr.t
+val commit_key : Fr.t -> Fr.t -> Fr.t
+
+val assert_dataset_opens :
+  Cs.t -> commitment:Cs.wire -> Cs.wire array -> opening:Cs.wire -> unit
+
+(** {2 Public predicates phi (§III-C / §IV-F)} *)
+
+type predicate =
+  | Trivial  (** no condition beyond well-formedness *)
+  | Entries_bounded of int  (** every entry fits in [n] bits *)
+  | Sum_equals of Fr.t  (** the entries sum to a public value *)
+
+val predicate_descriptor : predicate -> string
+val predicate_publics : predicate -> Fr.t list
+val assert_predicate : Cs.t -> predicate -> Cs.wire list -> Cs.wire array -> unit
+
+(** {2 pi_e: proof of encryption}
+    publics: [nonce :: c_d :: c_k :: ct_0 .. ct_(n-1)] *)
+
+val encryption_publics :
+  nonce:Fr.t -> c_d:Fr.t -> c_k:Fr.t -> ciphertext:Fr.t array -> Fr.t array
+
+val encryption_descriptor : n:int -> string
+
+val encryption_circuit :
+  data:Fr.t array -> key:Fr.t -> nonce:Fr.t -> o_d:Fr.t -> o_k:Fr.t -> Cs.t
+
+val encryption_dummy : n:int -> unit -> Cs.t
+
+(** {2 pi_t: proofs of transformation (§IV-D)} *)
+
+val duplication_descriptor : n:int -> string
+val duplication_publics : c_s:Fr.t -> c_d:Fr.t -> Fr.t array
+val duplication_circuit : src:Fr.t array * Fr.t -> dst:Fr.t array * Fr.t -> Cs.t
+val duplication_dummy : n:int -> unit -> Cs.t
+
+val aggregation_descriptor : sizes:int list -> string
+val aggregation_publics : c_sources:Fr.t list -> c_d:Fr.t -> Fr.t array
+
+val aggregation_circuit :
+  sources:(Fr.t array * Fr.t) list -> dst:Fr.t array * Fr.t -> Cs.t
+
+val aggregation_dummy : sizes:int list -> unit -> Cs.t
+
+val partition_descriptor : n:int -> sizes:int list -> string
+val partition_publics : c_s:Fr.t -> c_parts:Fr.t list -> Fr.t array
+
+val partition_circuit :
+  src:Fr.t array * Fr.t -> parts:(Fr.t array * Fr.t) list -> Cs.t
+
+val partition_dummy : n:int -> sizes:int list -> unit -> Cs.t
+
+(** {2 Processing (§IV-D.4, §IV-E)} *)
+
+(** A registered, named data-processing relation. *)
+type processing_spec = {
+  proc_name : string;
+  out_size : int -> int;
+  check : Cs.t -> Cs.wire array -> Cs.wire array -> unit;
+      (** constrains the relation between source and derived wires *)
+  reference : Fr.t array -> Fr.t array;
+      (** out-of-circuit semantics used by the data owner *)
+}
+
+val pure_spec :
+  name:string ->
+  out_size:(int -> int) ->
+  apply:(Cs.t -> Cs.wire array -> Cs.wire array) ->
+  reference:(Fr.t array -> Fr.t array) ->
+  processing_spec
+(** Spec for a pure function: the circuit recomputes D from S and
+    equates. *)
+
+val register_processing : processing_spec -> unit
+(** Register globally so auditors can rebuild the circuit by name. *)
+
+val find_processing : string -> processing_spec option
+
+val processing_descriptor : name:string -> n:int -> string
+val processing_publics : c_s:Fr.t -> c_d:Fr.t -> Fr.t array
+
+val processing_circuit :
+  spec:processing_spec -> src:Fr.t array * Fr.t -> dst:Fr.t array * Fr.t -> Cs.t
+
+val processing_dummy : spec:processing_spec -> n:int -> unit -> Cs.t
+
+val scale_spec : factor:int -> processing_spec
+val sum_spec : processing_spec
+
+(** {2 pi_p: data validation (§IV-F phase 1)}
+    publics: [nonce :: c_d :: predicate params :: ct_0 .. ct_(n-1)] *)
+
+val validation_descriptor : n:int -> predicate:predicate -> string
+
+val validation_publics :
+  nonce:Fr.t -> c_d:Fr.t -> predicate:predicate -> ciphertext:Fr.t array ->
+  Fr.t array
+
+val validation_circuit :
+  data:Fr.t array -> key:Fr.t -> nonce:Fr.t -> o_d:Fr.t ->
+  predicate:predicate -> Cs.t
+
+val validation_dummy : n:int -> predicate:predicate -> unit -> Cs.t
+
+(** {2 pi_k: key negotiation (§IV-F phase 2)}
+    publics: [k_c; c_k; h_v] *)
+
+val key_descriptor : string
+val key_publics : k_c:Fr.t -> c_k:Fr.t -> h_v:Fr.t -> Fr.t array
+val key_circuit : key:Fr.t -> o_k:Fr.t -> k_v:Fr.t -> Cs.t
+val key_dummy : unit -> Cs.t

@@ -1,0 +1,62 @@
+(** The key-secure two-phase data exchange protocol (paper §IV-F, Fig. 4).
+
+    Phase 1 (data validation): the seller sends (c_d, pi_p) proving the
+    publicly stored ciphertext encrypts a dataset satisfying phi under a
+    committed key; the buyer verifies, samples a blinding key k_v, sends
+    it to the seller off-chain, and locks payment at the arbiter with
+    h_v = H(k_v).
+
+    Phase 2 (key negotiation): the seller publishes k_c = k + k_v with
+    pi_k; the arbiter verifies and releases payment; the buyer recovers
+    k = k_c - k_v and decrypts. The key k itself never appears on-chain —
+    the property classic ZKCP lacks. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module Proof = Zkdet_plonk.Proof
+module Preprocess = Zkdet_plonk.Preprocess
+
+(** What the seller advertises; everything here is public. *)
+type offer = {
+  nonce : Fr.t;
+  ciphertext : Fr.t array;
+  c_d : Fr.t;
+  c_k : Fr.t;
+  predicate : Circuits.predicate;
+  price : int;
+}
+
+val make_offer :
+  Transform.sealed -> predicate:Circuits.predicate -> price:int -> offer
+
+(** {2 Phase 1: data validation} *)
+
+val prove_validation :
+  Env.t -> Transform.sealed -> Circuits.predicate -> Proof.t
+(** The seller's pi_p:
+    [phi(D) = 1 /\ D_hat = Enc(k, D) /\ Open(D, c_d, o_d) = 1]. *)
+
+val verify_validation : Env.t -> offer -> Proof.t -> bool
+
+val buyer_blinding : ?st:Random.State.t -> unit -> Fr.t * Fr.t
+(** Sample (k_v, h_v = H(k_v)); k_v stays with the buyer, h_v goes into
+    the escrow lock. *)
+
+(** {2 Phase 2: key negotiation} *)
+
+val key_vk : Env.t -> Preprocess.verification_key
+(** The pi_k verification key — what the on-chain verifier contract is
+    deployed with. *)
+
+val prove_key : Env.t -> Transform.sealed -> k_v:Fr.t -> Fr.t * Proof.t
+(** The seller derives k_c = k + k_v and proves
+    [Open(k, c, o) = 1 /\ h_v = H(k_v) /\ k_c = k + k_v]. *)
+
+val verify_key : Env.t -> k_c:Fr.t -> c_k:Fr.t -> h_v:Fr.t -> Proof.t -> bool
+(** The arbiter-side check (also run inside the escrow contract). *)
+
+val recover : offer -> k_c:Fr.t -> k_v:Fr.t -> Fr.t array
+(** Buyer-side key recovery and decryption after settlement. *)
+
+val recovered_matches : offer -> k_c:Fr.t -> k_v:Fr.t -> Fr.t array -> bool
+(** Check that a recovered plaintext re-encrypts to the public
+    ciphertext under the recovered key. *)

@@ -1,0 +1,88 @@
+(* Client-side FairSwap protocol (the ADS-based baseline of §VII): block
+   encryption, Merkle commitments over ciphertext and plaintext, and the
+   buyer's proof-of-misbehavior construction.
+
+   This exists to reproduce the paper's comparison: FairSwap is cheap in
+   the optimistic case but (i) its dispute cost grows with the data size
+   (Merkle paths re-hashed on-chain) and (ii) like ZKCP it reveals the key
+   on-chain, so it cannot be used over public storage. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module Mimc = Zkdet_mimc.Mimc
+module Merkle = Zkdet_circuit.Merkle
+module Fairswap_escrow = Zkdet_contracts.Fairswap_escrow
+
+type seller_state = {
+  data : Fr.t array;
+  key : Fr.t;
+  depth : int;
+  ciphertext : Fr.t array; (* c_i = d_i + E_k(i), published *)
+  ciphertext_tree : Merkle.tree;
+  plaintext_tree : Merkle.tree;
+}
+
+let next_pow2_log n =
+  let rec go k = if 1 lsl k >= n then k else go (k + 1) in
+  go 0
+
+(** Seller: encrypt block-wise and commit to both sides. The plaintext
+    root is the "description" of the goods the buyer pays for. *)
+let seller_prepare ?(st = Random.State.make_self_init ()) (data : Fr.t array) :
+    seller_state =
+  let key = Fr.random st in
+  let depth = max 1 (next_pow2_log (Array.length data)) in
+  let ciphertext =
+    Array.mapi (fun i d -> Fr.add d (Mimc.encrypt_block key (Fr.of_int i))) data
+  in
+  {
+    data;
+    key;
+    depth;
+    ciphertext;
+    ciphertext_tree = Merkle.build ~depth ciphertext;
+    plaintext_tree = Merkle.build ~depth data;
+  }
+
+let roots (s : seller_state) : Fr.t * Fr.t =
+  (Merkle.root s.ciphertext_tree, Merkle.root s.plaintext_tree)
+
+(** A cheating seller: same ciphertext commitment, but the advertised
+    plaintext root describes different (better) data than what the
+    ciphertext decrypts to. *)
+let seller_cheat ?(st = Random.State.make_self_init ()) (advertised : Fr.t array)
+    (actual : Fr.t array) : seller_state =
+  if Array.length advertised <> Array.length actual then
+    invalid_arg "Fairswap.seller_cheat: size mismatch";
+  let honest = seller_prepare ~st actual in
+  { honest with plaintext_tree = Merkle.build ~depth:honest.depth advertised }
+
+(** Buyer: decrypt with the revealed key and look for a block that
+    contradicts the advertised plaintext root. Returns a proof of
+    misbehavior for the first bad block, or [None] if the delivery is
+    consistent. *)
+let buyer_check ~(key : Fr.t) ~(ciphertext : Fr.t array)
+    ~(ciphertext_tree : Merkle.tree) ~(advertised_tree : Merkle.tree) :
+    Fairswap_escrow.misbehavior_proof option =
+  let n = Array.length ciphertext in
+  let advertised_leaves = advertised_tree.Merkle.levels.(0) in
+  let rec scan i =
+    if i >= n then None
+    else begin
+      let decrypted = Fr.sub ciphertext.(i) (Mimc.encrypt_block key (Fr.of_int i)) in
+      if Fr.equal decrypted advertised_leaves.(i) then scan (i + 1)
+      else
+        Some
+          {
+            Fairswap_escrow.leaf_index = i;
+            ciphertext_leaf = ciphertext.(i);
+            ciphertext_path = Merkle.prove_membership ciphertext_tree i;
+            plaintext_leaf = advertised_leaves.(i);
+            plaintext_path = Merkle.prove_membership advertised_tree i;
+          }
+    end
+  in
+  scan 0
+
+(** Buyer-side decryption after an honest exchange. *)
+let decrypt ~(key : Fr.t) (ciphertext : Fr.t array) : Fr.t array =
+  Array.mapi (fun i c -> Fr.sub c (Mimc.encrypt_block key (Fr.of_int i))) ciphertext

@@ -1,0 +1,39 @@
+(** Client-side FairSwap protocol (the ADS-based baseline of the paper's
+    §VII): block-wise encryption, Merkle commitments over ciphertext and
+    plaintext, and proof-of-misbehavior construction. Cheap when both
+    parties are honest; dispute cost grows with the data size and — like
+    ZKCP — the key is revealed on-chain. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module Merkle = Zkdet_circuit.Merkle
+module Fairswap_escrow = Zkdet_contracts.Fairswap_escrow
+
+type seller_state = {
+  data : Fr.t array;
+  key : Fr.t;
+  depth : int;
+  ciphertext : Fr.t array;  (** c_i = d_i + E_k(i), published *)
+  ciphertext_tree : Merkle.tree;
+  plaintext_tree : Merkle.tree;
+}
+
+val seller_prepare : ?st:Random.State.t -> Fr.t array -> seller_state
+(** Encrypt block-wise and commit to both sides. *)
+
+val roots : seller_state -> Fr.t * Fr.t
+(** (ciphertext root, plaintext root) — the lock parameters. *)
+
+val seller_cheat :
+  ?st:Random.State.t -> Fr.t array -> Fr.t array -> seller_state
+(** [seller_cheat advertised actual]: commit the ciphertext of [actual]
+    while advertising the Merkle root of [advertised]. *)
+
+val buyer_check :
+  key:Fr.t -> ciphertext:Fr.t array -> ciphertext_tree:Merkle.tree ->
+  advertised_tree:Merkle.tree ->
+  Fairswap_escrow.misbehavior_proof option
+(** Decrypt with the revealed key; return a proof of misbehavior for the
+    first block contradicting the advertised root, or [None] if the
+    delivery is consistent. *)
+
+val decrypt : key:Fr.t -> Fr.t array -> Fr.t array

@@ -1,0 +1,76 @@
+(* Decentralized data-source oracles (the paper's §IV-F points at DECO for
+   attesting where source data came from: "the former can be produced by
+   decentralized oracles like DECO").
+
+   An oracle holds a Schnorr keypair over G1 and signs bindings
+   (source label, dataset commitment c_d). A marketplace registry of
+   oracle public keys lets auditors check that the ROOTS of a provenance
+   chain — the tokens with no parents — carry attestations from trusted
+   sources, completing the chain of custody: oracle -> source commitment
+   -> pi_t chain -> derived asset. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module G1 = Zkdet_curve.G1
+module Sha256 = Zkdet_hash.Sha256
+
+type keypair = { secret : Fr.t; public : G1.t }
+
+let generate ?(st = Random.State.make_self_init ()) () : keypair =
+  let secret = Fr.random st in
+  { secret; public = G1.mul G1.generator secret }
+
+type attestation = {
+  source_label : string; (* e.g. "weather-api.example/2026-07" *)
+  commitment : Fr.t; (* c_d of the attested dataset *)
+  commit_point : G1.t; (* Schnorr R = [r]G *)
+  response : Fr.t; (* s = r + e * sk *)
+}
+
+let challenge ~(public : G1.t) ~(commit_point : G1.t) ~(source_label : string)
+    ~(commitment : Fr.t) : Fr.t =
+  Fr.of_bytes_be
+    (Sha256.digest
+       ("zkdet-oracle/" ^ G1.to_bytes public ^ G1.to_bytes commit_point
+      ^ source_label ^ Fr.to_bytes_be commitment))
+
+(** Sign a (source, commitment) binding. *)
+let attest ?(st = Random.State.make_self_init ()) (kp : keypair)
+    ~(source_label : string) ~(commitment : Fr.t) : attestation =
+  let r = Fr.random st in
+  let commit_point = G1.mul G1.generator r in
+  let e = challenge ~public:kp.public ~commit_point ~source_label ~commitment in
+  { source_label; commitment; commit_point; response = Fr.add r (Fr.mul e kp.secret) }
+
+let verify_attestation (public : G1.t) (a : attestation) : bool =
+  let e =
+    challenge ~public ~commit_point:a.commit_point ~source_label:a.source_label
+      ~commitment:a.commitment
+  in
+  G1.equal
+    (G1.mul G1.generator a.response)
+    (G1.add a.commit_point (G1.mul public e))
+
+(** A registry of trusted oracles, keyed by source-label prefix. *)
+module Registry = struct
+  type t = (string, G1.t) Hashtbl.t
+
+  let create () : t = Hashtbl.create 8
+  let register (t : t) ~(source_label : string) (public : G1.t) =
+    Hashtbl.replace t source_label public
+
+  let check (t : t) (a : attestation) : bool =
+    match Hashtbl.find_opt t a.source_label with
+    | None -> false
+    | Some public -> verify_attestation public a
+
+  (** Every root commitment must carry a valid attestation from a
+      registered oracle. *)
+  let check_roots (t : t) ~(root_commitments : Fr.t list)
+      (attestations : attestation list) : bool =
+    List.for_all
+      (fun c ->
+        List.exists
+          (fun a -> Fr.equal a.commitment c && check t a)
+          attestations)
+      root_commitments
+end

@@ -1,0 +1,41 @@
+(** Decentralized data-source oracles (DECO-style attestations the
+    paper's §IV-F points to for grounding data provenance).
+
+    An oracle signs a Schnorr binding between a source label and a
+    dataset commitment; a registry of oracle keys lets auditors check
+    that the roots of a provenance chain carry attestations from trusted
+    sources. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module G1 = Zkdet_curve.G1
+
+type keypair = { secret : Fr.t; public : G1.t }
+
+val generate : ?st:Random.State.t -> unit -> keypair
+
+type attestation = {
+  source_label : string;
+  commitment : Fr.t;  (** c_d of the attested dataset *)
+  commit_point : G1.t;
+  response : Fr.t;
+}
+
+val attest :
+  ?st:Random.State.t -> keypair -> source_label:string -> commitment:Fr.t ->
+  attestation
+
+val verify_attestation : G1.t -> attestation -> bool
+
+(** A registry of trusted oracles keyed by source label. *)
+module Registry : sig
+  type t
+
+  val create : unit -> t
+  val register : t -> source_label:string -> G1.t -> unit
+  val check : t -> attestation -> bool
+
+  val check_roots :
+    t -> root_commitments:Fr.t list -> attestation list -> bool
+  (** Every root commitment must carry a valid attestation from a
+      registered oracle. *)
+end

@@ -1,0 +1,264 @@
+(* The generic data transformation protocol (paper §IV-B): sealed datasets
+   (encrypted + committed), decoupled proofs of encryption pi_e reusable
+   across transformations, proofs of transformation pi_t for the four
+   fundamental formulae, and proof-chain validation (Fig. 3). *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module Cs = Zkdet_plonk.Cs
+module Prover = Zkdet_plonk.Prover
+module Verifier = Zkdet_plonk.Verifier
+module Proof = Zkdet_plonk.Proof
+module Preprocess = Zkdet_plonk.Preprocess
+module Mimc = Zkdet_mimc.Mimc
+
+(** A dataset as its owner holds it: plaintext and secrets alongside the
+    public ciphertext and commitments. *)
+type sealed = {
+  data : Fr.t array;
+  key : Fr.t;
+  nonce : Fr.t;
+  o_d : Fr.t; (* opening of the dataset commitment *)
+  o_k : Fr.t; (* opening of the key commitment *)
+  ciphertext : Fr.t array;
+  c_d : Fr.t;
+  c_k : Fr.t;
+}
+
+let size (s : sealed) = Array.length s.data
+
+(** Encrypt and commit a plaintext dataset with fresh secrets. *)
+let seal ?(st = Random.State.make_self_init ()) (data : Fr.t array) : sealed =
+  let key = Fr.random st in
+  let nonce = Fr.random st in
+  let o_d = Fr.random st in
+  let o_k = Fr.random st in
+  {
+    data;
+    key;
+    nonce;
+    o_d;
+    o_k;
+    ciphertext = Mimc.Ctr.encrypt ~key ~nonce data;
+    c_d = Circuits.commit_dataset data o_d;
+    c_k = Circuits.commit_key key o_k;
+  }
+
+let decrypt ~(key : Fr.t) ~(nonce : Fr.t) (ciphertext : Fr.t array) : Fr.t array
+    =
+  Mimc.Ctr.decrypt ~key ~nonce ciphertext
+
+(* ---- pi_e ---- *)
+
+let encryption_pk env ~n =
+  Env.proving_key env ~descriptor:(Circuits.encryption_descriptor ~n)
+    ~build:(Circuits.encryption_dummy ~n)
+
+(** Generate pi_e for a sealed dataset. *)
+let prove_encryption (env : Env.t) (s : sealed) : Proof.t =
+  let pk = encryption_pk env ~n:(size s) in
+  let cs =
+    Circuits.encryption_circuit ~data:s.data ~key:s.key ~nonce:s.nonce
+      ~o_d:s.o_d ~o_k:s.o_k
+  in
+  Prover.prove ~st:env.Env.rng pk (Cs.compile cs)
+
+(** Verify pi_e from public data only. *)
+let verify_encryption (env : Env.t) ~(nonce : Fr.t) ~(c_d : Fr.t) ~(c_k : Fr.t)
+    ~(ciphertext : Fr.t array) (proof : Proof.t) : bool =
+  let n = Array.length ciphertext in
+  let pk = encryption_pk env ~n in
+  Verifier.verify pk.Preprocess.vk
+    (Circuits.encryption_publics ~nonce ~c_d ~c_k ~ciphertext)
+    proof
+
+(* ---- transformations ---- *)
+
+type kind =
+  | Duplication
+  | Aggregation of int list (* source sizes in order *)
+  | Partition of int * int list (* source size, part sizes *)
+  | Processing of string * int (* registered spec name, source size *)
+
+let kind_name = function
+  | Duplication -> "duplication"
+  | Aggregation _ -> "aggregation"
+  | Partition _ -> "partition"
+  | Processing (name, _) -> "processing:" ^ name
+
+(** One link of a proof chain: the transformation relates source
+    commitments to destination commitments through pi_t. *)
+type link = {
+  kind : kind;
+  src_commitments : Fr.t list;
+  dst_commitments : Fr.t list;
+  proof : Proof.t;
+}
+
+(** Duplicate: reseal the same content under fresh secrets and prove
+    content equality (§IV-D.1). *)
+let duplicate (env : Env.t) (src : sealed) : sealed * link =
+  let st = env.Env.rng in
+  let dst = seal ~st (Array.copy src.data) in
+  let n = size src in
+  let pk =
+    Env.proving_key env ~descriptor:(Circuits.duplication_descriptor ~n)
+      ~build:(Circuits.duplication_dummy ~n)
+  in
+  let cs =
+    Circuits.duplication_circuit ~src:(src.data, src.o_d) ~dst:(dst.data, dst.o_d)
+  in
+  let proof = Prover.prove ~st pk (Cs.compile cs) in
+  ( dst,
+    { kind = Duplication; src_commitments = [ src.c_d ];
+      dst_commitments = [ dst.c_d ]; proof } )
+
+(** Aggregate several datasets into their ordered concatenation (§IV-D.2). *)
+let aggregate (env : Env.t) (sources : sealed list) : sealed * link =
+  let st = env.Env.rng in
+  let data = Array.concat (List.map (fun s -> s.data) sources) in
+  let dst = seal ~st data in
+  let sizes = List.map size sources in
+  let pk =
+    Env.proving_key env ~descriptor:(Circuits.aggregation_descriptor ~sizes)
+      ~build:(Circuits.aggregation_dummy ~sizes)
+  in
+  let cs =
+    Circuits.aggregation_circuit
+      ~sources:(List.map (fun s -> (s.data, s.o_d)) sources)
+      ~dst:(dst.data, dst.o_d)
+  in
+  let proof = Prover.prove ~st pk (Cs.compile cs) in
+  ( dst,
+    { kind = Aggregation sizes;
+      src_commitments = List.map (fun s -> s.c_d) sources;
+      dst_commitments = [ dst.c_d ]; proof } )
+
+(** Partition a dataset into consecutive slices of the given sizes
+    (§IV-D.3: exhaustive and mutually exclusive). *)
+let partition (env : Env.t) (src : sealed) ~(sizes : int list) :
+    sealed list * link =
+  let st = env.Env.rng in
+  if List.fold_left ( + ) 0 sizes <> size src then
+    invalid_arg "Transform.partition: sizes must sum to the source size";
+  let parts =
+    let off = ref 0 in
+    List.map
+      (fun k ->
+        let slice = Array.sub src.data !off k in
+        off := !off + k;
+        seal ~st slice)
+      sizes
+  in
+  let n = size src in
+  let pk =
+    Env.proving_key env ~descriptor:(Circuits.partition_descriptor ~n ~sizes)
+      ~build:(Circuits.partition_dummy ~n ~sizes)
+  in
+  let cs =
+    Circuits.partition_circuit ~src:(src.data, src.o_d)
+      ~parts:(List.map (fun p -> (p.data, p.o_d)) parts)
+  in
+  let proof = Prover.prove ~st pk (Cs.compile cs) in
+  ( parts,
+    { kind = Partition (n, sizes); src_commitments = [ src.c_d ];
+      dst_commitments = List.map (fun p -> p.c_d) parts; proof } )
+
+(** Apply a registered processing function and prove D = f(S) (§IV-D.4). *)
+let process (env : Env.t) (src : sealed) ~(spec : Circuits.processing_spec) :
+    sealed * link =
+  let st = env.Env.rng in
+  let data = spec.Circuits.reference src.data in
+  let dst = seal ~st data in
+  let n = size src in
+  let pk =
+    Env.proving_key env
+      ~descriptor:(Circuits.processing_descriptor ~name:spec.Circuits.proc_name ~n)
+      ~build:(Circuits.processing_dummy ~spec ~n)
+  in
+  let cs =
+    Circuits.processing_circuit ~spec ~src:(src.data, src.o_d)
+      ~dst:(dst.data, dst.o_d)
+  in
+  let proof = Prover.prove ~st pk (Cs.compile cs) in
+  ( dst,
+    { kind = Processing (spec.Circuits.proc_name, n);
+      src_commitments = [ src.c_d ]; dst_commitments = [ dst.c_d ]; proof } )
+
+(* ---- verification ---- *)
+
+(** Verify one pi_t link against its public commitments. Duplication
+    circuits are keyed by the dataset size, which the link itself does not
+    carry — pass it as [n_duplication] (token metadata supplies it). *)
+let verify_link (env : Env.t) ?(n_duplication = 0) (l : link) : bool =
+  let vk_and_publics =
+    match (l.kind, l.src_commitments, l.dst_commitments) with
+    | Duplication, [ c_s ], [ c_d ] ->
+      let n = n_duplication in
+      if n <= 0 then None
+      else
+        Some
+          ( Env.verification_key env
+              ~descriptor:(Circuits.duplication_descriptor ~n)
+              ~build:(Circuits.duplication_dummy ~n),
+            Circuits.duplication_publics ~c_s ~c_d )
+    | Aggregation sizes, c_sources, [ c_d ] ->
+      Some
+        ( Env.verification_key env
+            ~descriptor:(Circuits.aggregation_descriptor ~sizes)
+            ~build:(Circuits.aggregation_dummy ~sizes),
+          Circuits.aggregation_publics ~c_sources ~c_d )
+    | Partition (n, sizes), [ c_s ], c_parts ->
+      Some
+        ( Env.verification_key env
+            ~descriptor:(Circuits.partition_descriptor ~n ~sizes)
+            ~build:(Circuits.partition_dummy ~n ~sizes),
+          Circuits.partition_publics ~c_s ~c_parts )
+    | Processing (name, n), [ c_s ], [ c_d ] -> (
+      match Circuits.find_processing name with
+      | None -> None
+      | Some spec ->
+        Some
+          ( Env.verification_key env
+              ~descriptor:(Circuits.processing_descriptor ~name ~n)
+              ~build:(Circuits.processing_dummy ~spec ~n),
+            Circuits.processing_publics ~c_s ~c_d ))
+    | _ -> None
+  in
+  match vk_and_publics with
+  | None -> false
+  | Some (vk, publics) -> Verifier.verify vk publics l.proof
+
+(** Verify a chain of transformations (Fig. 3): every link's proof holds
+    and each link's sources appear among the accumulated commitments
+    (original sources or earlier destinations). [roots] are the trusted
+    origin commitments; [dup_sizes] supplies n for duplication links (in
+    chain order). *)
+let verify_chain (env : Env.t) ~(roots : Fr.t list) ?(dup_sizes : int list = [])
+    (chain : link list) : bool =
+  let known = Hashtbl.create 16 in
+  List.iter (fun c -> Hashtbl.replace known (Fr.to_bytes_be c) ()) roots;
+  let dup_sizes = ref dup_sizes in
+  let take_dup_size () =
+    match !dup_sizes with
+    | [] -> 0
+    | s :: rest ->
+      dup_sizes := rest;
+      s
+  in
+  List.for_all
+    (fun l ->
+      let sources_known =
+        List.for_all
+          (fun c -> Hashtbl.mem known (Fr.to_bytes_be c))
+          l.src_commitments
+      in
+      let n_duplication =
+        match l.kind with Duplication -> take_dup_size () | _ -> 0
+      in
+      let ok = sources_known && verify_link env ~n_duplication l in
+      if ok then
+        List.iter
+          (fun c -> Hashtbl.replace known (Fr.to_bytes_be c) ())
+          l.dst_commitments;
+      ok)
+    chain

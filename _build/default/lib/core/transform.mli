@@ -1,0 +1,85 @@
+(** The generic data transformation protocol (paper §IV-B): sealed
+    datasets (encrypted + committed), decoupled reusable proofs of
+    encryption pi_e, proofs of transformation pi_t for the four
+    fundamental formulae of §IV-D, and proof-chain validation (Fig. 3). *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module Proof = Zkdet_plonk.Proof
+
+(** A dataset as its owner holds it: plaintext and secrets alongside the
+    public ciphertext and commitments. Only [ciphertext], [c_d], [c_k]
+    and [nonce] are ever published. *)
+type sealed = {
+  data : Fr.t array;
+  key : Fr.t;
+  nonce : Fr.t;
+  o_d : Fr.t;  (** opening of the dataset commitment *)
+  o_k : Fr.t;  (** opening of the key commitment *)
+  ciphertext : Fr.t array;
+  c_d : Fr.t;
+  c_k : Fr.t;
+}
+
+val size : sealed -> int
+
+val seal : ?st:Random.State.t -> Fr.t array -> sealed
+(** Encrypt (MiMC-CTR) and commit (Poseidon) under fresh secrets. *)
+
+val decrypt : key:Fr.t -> nonce:Fr.t -> Fr.t array -> Fr.t array
+
+(** {2 Proof of encryption (pi_e)} *)
+
+val prove_encryption : Env.t -> sealed -> Proof.t
+
+val verify_encryption :
+  Env.t -> nonce:Fr.t -> c_d:Fr.t -> c_k:Fr.t -> ciphertext:Fr.t array ->
+  Proof.t -> bool
+(** Verification from public data only. *)
+
+(** {2 Transformations (pi_t)} *)
+
+type kind =
+  | Duplication
+  | Aggregation of int list  (** source sizes, in order *)
+  | Partition of int * int list  (** source size, part sizes *)
+  | Processing of string * int  (** registered spec name, source size *)
+
+val kind_name : kind -> string
+
+(** One link of a proof chain: a transformation relating source
+    commitments to destination commitments through pi_t. *)
+type link = {
+  kind : kind;
+  src_commitments : Fr.t list;
+  dst_commitments : Fr.t list;
+  proof : Proof.t;
+}
+
+val duplicate : Env.t -> sealed -> sealed * link
+(** Reseal the same content under fresh secrets; prove equality
+    (§IV-D.1). *)
+
+val aggregate : Env.t -> sealed list -> sealed * link
+(** Ordered concatenation of several datasets (§IV-D.2). *)
+
+val partition : Env.t -> sealed -> sizes:int list -> sealed list * link
+(** Split into consecutive non-empty slices — exhaustive and mutually
+    exclusive (§IV-D.3). Raises [Invalid_argument] unless the sizes sum
+    to the source size. *)
+
+val process : Env.t -> sealed -> spec:Circuits.processing_spec -> sealed * link
+(** Apply a registered processing function and prove D = f(S) or the
+    spec's relational predicate (§IV-D.4, §IV-E). *)
+
+(** {2 Verification} *)
+
+val verify_link : Env.t -> ?n_duplication:int -> link -> bool
+(** Verify one pi_t against its public commitments. Duplication circuits
+    are keyed by the dataset size, which the link does not carry — pass
+    it as [n_duplication] (token metadata supplies it). *)
+
+val verify_chain :
+  Env.t -> roots:Fr.t list -> ?dup_sizes:int list -> link list -> bool
+(** Verify a chain of transformations (Fig. 3): every link verifies and
+    every link's sources are either trusted [roots] or destinations of
+    earlier links. *)

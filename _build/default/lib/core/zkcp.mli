@@ -1,0 +1,42 @@
+(** The classic ZKCP exchange protocol (paper §III-C) — the baseline
+    ZKDET improves on. The seller proves
+    [phi(D) = 1 /\ D_hat = Enc(k, D) /\ h = H(k)] and later discloses k
+    to the arbiter. Fair, but once k is on-chain ANY observer can decrypt
+    the publicly stored ciphertext (§III-D Challenge 3);
+    {!third_party_decrypt} demonstrates the leak. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module Cs = Zkdet_plonk.Cs
+module Proof = Zkdet_plonk.Proof
+
+type offer = {
+  nonce : Fr.t;
+  ciphertext : Fr.t array;
+  h : Fr.t;  (** H(k): the hash lock *)
+  predicate : Circuits.predicate;
+  price : int;
+}
+
+val descriptor : n:int -> predicate:Circuits.predicate -> string
+
+val publics :
+  nonce:Fr.t -> h:Fr.t -> predicate:Circuits.predicate ->
+  ciphertext:Fr.t array -> Fr.t array
+
+val circuit :
+  data:Fr.t array -> key:Fr.t -> nonce:Fr.t -> predicate:Circuits.predicate ->
+  Cs.t
+
+val dummy : n:int -> predicate:Circuits.predicate -> unit -> Cs.t
+
+val make_offer :
+  Transform.sealed -> predicate:Circuits.predicate -> price:int -> offer
+
+val prove : Env.t -> Transform.sealed -> Circuits.predicate -> Proof.t
+(** The Deliver step. *)
+
+val verify : Env.t -> offer -> Proof.t -> bool
+(** The buyer's Verify step. *)
+
+val third_party_decrypt : offer -> disclosed_key:Fr.t -> Fr.t array
+(** What anyone can do after the Open step put k on-chain. *)

@@ -1,0 +1,1 @@
+lib/curve/fp12.ml: Format Fp2 Fp6 Zkdet_num

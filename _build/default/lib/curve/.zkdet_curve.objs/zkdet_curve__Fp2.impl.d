@@ -1,0 +1,1 @@
+lib/curve/fp2.ml: Format String Zkdet_field Zkdet_num

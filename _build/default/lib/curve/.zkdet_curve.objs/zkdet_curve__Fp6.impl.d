@@ -1,0 +1,1 @@
+lib/curve/fp6.ml: Format Fp2 Zkdet_num

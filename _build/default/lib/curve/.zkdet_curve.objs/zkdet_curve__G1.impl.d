@@ -1,0 +1,1 @@
+lib/curve/g1.ml: Printf String Weierstrass Zkdet_field Zkdet_hash Zkdet_num

@@ -1,0 +1,1 @@
+lib/curve/g2.ml: Fp2 Weierstrass Zkdet_field

@@ -1,0 +1,1 @@
+lib/curve/pairing.ml: Fp12 Fp2 Fp6 G1 G2 List Zkdet_field Zkdet_num

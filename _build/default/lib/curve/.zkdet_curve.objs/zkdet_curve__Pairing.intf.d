@@ -1,0 +1,1 @@
+lib/curve/pairing.mli: Format Fp12 G1 G2 Zkdet_field Zkdet_num

@@ -1,0 +1,1 @@
+lib/curve/weierstrass.ml: Array Format String Zkdet_field Zkdet_num

@@ -1,0 +1,78 @@
+(* Fp2 = Fp[u] / (u^2 + 1). BN254 has p = 3 mod 4 so -1 is a non-residue. *)
+
+module Fp = Zkdet_field.Bn254.Fp
+module Nat = Zkdet_num.Nat
+
+type t = { c0 : Fp.t; c1 : Fp.t }
+
+let make c0 c1 = { c0; c1 }
+let zero = { c0 = Fp.zero; c1 = Fp.zero }
+let one = { c0 = Fp.one; c1 = Fp.zero }
+let of_fp c0 = { c0; c1 = Fp.zero }
+let of_int n = of_fp (Fp.of_int n)
+
+let equal a b = Fp.equal a.c0 b.c0 && Fp.equal a.c1 b.c1
+let is_zero a = equal a zero
+let is_one a = equal a one
+
+let add a b = { c0 = Fp.add a.c0 b.c0; c1 = Fp.add a.c1 b.c1 }
+let sub a b = { c0 = Fp.sub a.c0 b.c0; c1 = Fp.sub a.c1 b.c1 }
+let neg a = { c0 = Fp.neg a.c0; c1 = Fp.neg a.c1 }
+let double a = add a a
+
+let mul a b =
+  (* Karatsuba: (a0 + a1 u)(b0 + b1 u) = (a0b0 - a1b1) + ((a0+a1)(b0+b1) - a0b0 - a1b1) u *)
+  let v0 = Fp.mul a.c0 b.c0 in
+  let v1 = Fp.mul a.c1 b.c1 in
+  let s = Fp.mul (Fp.add a.c0 a.c1) (Fp.add b.c0 b.c1) in
+  { c0 = Fp.sub v0 v1; c1 = Fp.sub (Fp.sub s v0) v1 }
+
+let sqr a =
+  (* (a0 + a1 u)^2 = (a0+a1)(a0-a1) + 2 a0 a1 u *)
+  let t = Fp.mul (Fp.add a.c0 a.c1) (Fp.sub a.c0 a.c1) in
+  { c0 = t; c1 = Fp.double (Fp.mul a.c0 a.c1) }
+
+let scale_fp a (k : Fp.t) = { c0 = Fp.mul a.c0 k; c1 = Fp.mul a.c1 k }
+
+let inv a =
+  let norm = Fp.add (Fp.sqr a.c0) (Fp.sqr a.c1) in
+  let ninv = Fp.inv norm in
+  { c0 = Fp.mul a.c0 ninv; c1 = Fp.neg (Fp.mul a.c1 ninv) }
+
+let conj a = { a with c1 = Fp.neg a.c1 }
+
+(* x^p = conj(x) since u^p = u^(p-1) u = (u^2)^((p-1)/2) u = (-1)^((p-1)/2) u
+   and p = 3 mod 4. *)
+let frobenius = conj
+
+(* The sextic non-residue xi = 9 + u used to build Fp6/Fp12 and the twist. *)
+let xi = { c0 = Fp.of_int 9; c1 = Fp.one }
+
+let mul_by_xi a =
+  (* (9 + u)(a0 + a1 u) = (9 a0 - a1) + (a0 + 9 a1) u *)
+  let nine_a0 = Fp.add (Fp.double (Fp.double (Fp.double a.c0))) a.c0 in
+  let nine_a1 = Fp.add (Fp.double (Fp.double (Fp.double a.c1))) a.c1 in
+  { c0 = Fp.sub nine_a0 a.c1; c1 = Fp.add a.c0 nine_a1 }
+
+let pow_nat x e =
+  let nbits = Nat.num_bits e in
+  if nbits = 0 then one
+  else begin
+    let acc = ref one in
+    for i = nbits - 1 downto 0 do
+      acc := sqr !acc;
+      if Nat.testbit e i then acc := mul !acc x
+    done;
+    !acc
+  end
+
+let random st = { c0 = Fp.random st; c1 = Fp.random st }
+
+let to_bytes a = Fp.to_bytes_be a.c0 ^ Fp.to_bytes_be a.c1
+
+let of_bytes s =
+  let w = Fp.num_bytes in
+  if String.length s <> 2 * w then invalid_arg "Fp2.of_bytes: bad length";
+  { c0 = Fp.of_bytes_be (String.sub s 0 w); c1 = Fp.of_bytes_be (String.sub s w w) }
+
+let pp fmt a = Format.fprintf fmt "(%a + %a*u)" Fp.pp a.c0 Fp.pp a.c1

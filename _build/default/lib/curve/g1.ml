@@ -1,0 +1,59 @@
+(* G1: y^2 = x^3 + 3 over Fp, generator (1, 2), prime order r (cofactor 1). *)
+
+module Fp = Zkdet_field.Bn254.Fp
+
+module Fp_curve = struct
+  include Fp
+
+  let to_bytes = Fp.to_bytes_be
+  let of_bytes = Fp.of_bytes_be
+end
+
+include Weierstrass.Make (struct
+  module F = Fp_curve
+
+  let b = Fp.of_int 3
+  let generator = (Fp.one, Fp.of_int 2)
+end)
+
+(* Compressed serialization: a parity tag plus the x coordinate; y is
+   recovered as sqrt(x^3 + 3) with the tagged parity. 33 bytes instead of
+   65. *)
+let compressed_size = 1 + Fp.num_bytes
+
+let y_parity y = Zkdet_num.Nat.testbit (Fp.to_nat y) 0
+
+let to_bytes_compressed p =
+  match to_affine p with
+  | None -> "\x00" ^ String.make Fp.num_bytes '\x00'
+  | Some (x, y) ->
+    (if y_parity y then "\x03" else "\x02") ^ Fp.to_bytes_be x
+
+let of_bytes_compressed (s : string) : t =
+  if String.length s <> compressed_size then
+    invalid_arg "G1.of_bytes_compressed: bad length";
+  match s.[0] with
+  | '\x00' -> zero
+  | ('\x02' | '\x03') as tag ->
+    let x = Fp.of_bytes_be (String.sub s 1 Fp.num_bytes) in
+    let y2 = Fp.add (Fp.mul (Fp.sqr x) x) (Fp.of_int 3) in
+    (match Fp.sqrt y2 with
+    | None -> invalid_arg "G1.of_bytes_compressed: x not on curve"
+    | Some y ->
+      let want_odd = tag = '\x03' in
+      let y = if y_parity y = want_odd then y else Fp.neg y in
+      of_affine (x, y))
+  | _ -> invalid_arg "G1.of_bytes_compressed: bad tag"
+
+(* Try-and-increment hash-to-curve: deterministic map from a label to a
+   curve point of unknown discrete log (used for commitment bases). *)
+let hash_to_curve (label : string) : t =
+  let rec try_x counter =
+    let h = Zkdet_hash.Sha256.digest (Printf.sprintf "%s/%d" label counter) in
+    let x = Fp.of_bytes_be h in
+    let y2 = Fp.add (Fp.mul (Fp.sqr x) x) (Fp.of_int 3) in
+    match Fp.sqrt y2 with
+    | Some y -> of_affine (x, y)
+    | None -> try_x (counter + 1)
+  in
+  try_x 0

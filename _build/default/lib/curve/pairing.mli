@@ -1,0 +1,32 @@
+(** The (reduced) Tate pairing e : G1 x G2 -> GT on BN254.
+
+    Miller loop f_(r,P)(Q) with P in G1 (point arithmetic stays in Fp) and
+    Q embedded into E(Fp12) through the sextic twist; the final
+    exponentiation makes the result bilinear and well-defined. Bilinearity
+    and non-degeneracy are property-tested. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+
+(** The target group (the r-th roots of unity in Fp12). *)
+module Gt : sig
+  type t
+
+  val one : t
+  val equal : t -> t -> bool
+  val is_one : t -> bool
+  val mul : t -> t -> t
+  val inv : t -> t
+  val pow_nat : t -> Zkdet_num.Nat.t -> t
+  val pow : t -> Fr.t -> t
+  val to_bytes : t -> string
+  val pp : Format.formatter -> t -> unit
+end
+
+val miller_loop : G1.t -> G2.t -> Fp12.t
+val final_exponentiation : Fp12.t -> Gt.t
+
+val pairing : G1.t -> G2.t -> Gt.t
+
+val pairing_check : (G1.t * G2.t) list -> bool
+(** [true] iff the product of pairings is the identity — the form used by
+    KZG/Plonk verifiers (one shared final exponentiation). *)

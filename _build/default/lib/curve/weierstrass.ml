@@ -1,0 +1,306 @@
+(* Short Weierstrass curves y^2 = x^3 + b (a = 0, the BN shape) over an
+   arbitrary field, in Jacobian coordinates. Instantiated for G1 (over Fp)
+   and G2 (over Fp2). *)
+
+module Nat = Zkdet_num.Nat
+module Fr = Zkdet_field.Bn254.Fr
+
+module type CURVE_FIELD = sig
+  type t
+
+  val zero : t
+  val one : t
+  val of_int : int -> t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val neg : t -> t
+  val mul : t -> t -> t
+  val sqr : t -> t
+  val double : t -> t
+  val inv : t -> t
+  val equal : t -> t -> bool
+  val is_zero : t -> bool
+  val to_bytes : t -> string
+  val of_bytes : string -> t
+  val pp : Format.formatter -> t -> unit
+end
+
+module type PARAMS = sig
+  module F : CURVE_FIELD
+
+  val b : F.t
+  val generator : F.t * F.t
+end
+
+module Make (P : PARAMS) = struct
+  module F = P.F
+
+  (* z = 0 encodes the point at infinity. *)
+  type t = { x : F.t; y : F.t; z : F.t }
+
+  let zero = { x = F.one; y = F.one; z = F.zero }
+  let is_zero p = F.is_zero p.z
+
+  let on_curve_affine x y =
+    F.equal (F.sqr y) (F.add (F.mul (F.sqr x) x) P.b)
+
+  let of_affine (x, y) =
+    if not (on_curve_affine x y) then invalid_arg "Weierstrass.of_affine: not on curve";
+    { x; y; z = F.one }
+
+  let of_affine_unchecked (x, y) = { x; y; z = F.one }
+
+  let to_affine p =
+    if is_zero p then None
+    else begin
+      let zinv = F.inv p.z in
+      let zinv2 = F.sqr zinv in
+      Some (F.mul p.x zinv2, F.mul p.y (F.mul zinv2 zinv))
+    end
+
+  let generator = of_affine P.generator
+
+  let neg p = if is_zero p then p else { p with y = F.neg p.y }
+
+  let equal p q =
+    match (is_zero p, is_zero q) with
+    | true, true -> true
+    | true, false | false, true -> false
+    | false, false ->
+      let z1z1 = F.sqr p.z and z2z2 = F.sqr q.z in
+      F.equal (F.mul p.x z2z2) (F.mul q.x z1z1)
+      && F.equal (F.mul p.y (F.mul z2z2 q.z)) (F.mul q.y (F.mul z1z1 p.z))
+
+  let double p =
+    if is_zero p then p
+    else if F.is_zero p.y then zero
+    else begin
+      (* dbl-2009-l *)
+      let a = F.sqr p.x in
+      let b = F.sqr p.y in
+      let c = F.sqr b in
+      let d = F.double (F.sub (F.sub (F.sqr (F.add p.x b)) a) c) in
+      let e = F.add (F.double a) a in
+      let f = F.sqr e in
+      let x3 = F.sub f (F.double d) in
+      let y3 = F.sub (F.mul e (F.sub d x3)) (F.double (F.double (F.double c))) in
+      let z3 = F.double (F.mul p.y p.z) in
+      { x = x3; y = y3; z = z3 }
+    end
+
+  let add p q =
+    if is_zero p then q
+    else if is_zero q then p
+    else begin
+      (* add-2007-bl *)
+      let z1z1 = F.sqr p.z in
+      let z2z2 = F.sqr q.z in
+      let u1 = F.mul p.x z2z2 in
+      let u2 = F.mul q.x z1z1 in
+      let s1 = F.mul p.y (F.mul z2z2 q.z) in
+      let s2 = F.mul q.y (F.mul z1z1 p.z) in
+      if F.equal u1 u2 then
+        if F.equal s1 s2 then double p else zero
+      else begin
+        let h = F.sub u2 u1 in
+        let i = F.sqr (F.double h) in
+        let j = F.mul h i in
+        let r = F.double (F.sub s2 s1) in
+        let v = F.mul u1 i in
+        let x3 = F.sub (F.sub (F.sqr r) j) (F.double v) in
+        let y3 = F.sub (F.mul r (F.sub v x3)) (F.double (F.mul s1 j)) in
+        let z3 = F.mul (F.sub (F.sub (F.sqr (F.add p.z q.z)) z1z1) z2z2) h in
+        { x = x3; y = y3; z = z3 }
+      end
+    end
+
+  let sub_point p q = add p (neg q)
+
+  (* Mixed addition (q affine, z = 1): 7M + 4S vs 11M + 5S for full
+     addition. The workhorse of the MSM bucket phase. *)
+  let add_mixed p ((x2, y2) : F.t * F.t) =
+    if is_zero p then { x = x2; y = y2; z = F.one }
+    else begin
+      let z1z1 = F.sqr p.z in
+      let u2 = F.mul x2 z1z1 in
+      let s2 = F.mul y2 (F.mul p.z z1z1) in
+      if F.equal p.x u2 then
+        if F.equal p.y s2 then double p else zero
+      else begin
+        let h = F.sub u2 p.x in
+        let hh = F.sqr h in
+        let i = F.double (F.double hh) in
+        let j = F.mul h i in
+        let r = F.double (F.sub s2 p.y) in
+        let v = F.mul p.x i in
+        let x3 = F.sub (F.sub (F.sqr r) j) (F.double v) in
+        let y3 = F.sub (F.mul r (F.sub v x3)) (F.double (F.mul p.y j)) in
+        let z3 = F.sub (F.sub (F.sqr (F.add p.z h)) z1z1) hh in
+        { x = x3; y = y3; z = z3 }
+      end
+    end
+
+  (** Normalize many points to affine with one shared inversion
+      (Montgomery's batch-inversion trick). Infinity maps to [None]. *)
+  let batch_to_affine (points : t array) : (F.t * F.t) option array =
+    let n = Array.length points in
+    let prefix = Array.make n F.one in
+    let acc = ref F.one in
+    for i = 0 to n - 1 do
+      prefix.(i) <- !acc;
+      if not (is_zero points.(i)) then acc := F.mul !acc points.(i).z
+    done;
+    let inv_acc = ref (F.inv !acc) in
+    let out = Array.make n None in
+    for i = n - 1 downto 0 do
+      if not (is_zero points.(i)) then begin
+        let zinv = F.mul !inv_acc prefix.(i) in
+        inv_acc := F.mul !inv_acc points.(i).z;
+        let zinv2 = F.sqr zinv in
+        out.(i) <-
+          Some (F.mul points.(i).x zinv2, F.mul points.(i).y (F.mul zinv2 zinv))
+      end
+    done;
+    out
+
+  let mul_nat p (e : Nat.t) =
+    let nbits = Nat.num_bits e in
+    let acc = ref zero in
+    for i = nbits - 1 downto 0 do
+      acc := double !acc;
+      if Nat.testbit e i then acc := add !acc p
+    done;
+    !acc
+
+  let mul p (s : Fr.t) = mul_nat p (Fr.to_nat s)
+
+  let mul_int p k =
+    if k >= 0 then mul_nat p (Nat.of_int k) else neg (mul_nat p (Nat.of_int (-k)))
+
+  (* Pippenger multi-scalar multiplication: sum_i scalars(i) * points(i). *)
+  let msm (points : t array) (scalars : Fr.t array) =
+    let n = Array.length points in
+    if n <> Array.length scalars then invalid_arg "Weierstrass.msm: length mismatch";
+    if n = 0 then zero
+    else if n < 8 then begin
+      let acc = ref zero in
+      for i = 0 to n - 1 do
+        acc := add !acc (mul points.(i) scalars.(i))
+      done;
+      !acc
+    end
+    else begin
+      (* Window width trades bucket-phase mixed adds against
+         running-sum full adds; c = 8 is near-optimal across our sizes. *)
+      let c =
+        let rec log2 k acc = if k <= 1 then acc else log2 (k / 2) (acc + 1) in
+        max 2 (min 8 (log2 n 0 - 1))
+      in
+      let nats = Array.map Fr.to_nat scalars in
+      let total_bits = Fr.num_bits in
+      let nwindows = (total_bits + c - 1) / c in
+      let window_value nat w =
+        let v = ref 0 in
+        for b = c - 1 downto 0 do
+          let bit = (w * c) + b in
+          v := (!v lsl 1) lor (if bit < total_bits && Nat.testbit nat bit then 1 else 0)
+        done;
+        !v
+      in
+      let affine = batch_to_affine points in
+      let acc = ref zero in
+      for w = nwindows - 1 downto 0 do
+        for _ = 1 to c do
+          acc := double !acc
+        done;
+        let buckets = Array.make ((1 lsl c) - 1) zero in
+        for i = 0 to n - 1 do
+          let v = window_value nats.(i) w in
+          if v > 0 then
+            match affine.(i) with
+            | Some xy -> buckets.(v - 1) <- add_mixed buckets.(v - 1) xy
+            | None -> ()
+        done;
+        (* running-sum trick: sum_j j * bucket_j *)
+        let running = ref zero and sum = ref zero in
+        for j = Array.length buckets - 1 downto 0 do
+          running := add !running buckets.(j);
+          sum := add !sum !running
+        done;
+        acc := add !acc !sum
+      done;
+      !acc
+    end
+
+  (* Fixed-base scalar multiplication: precompute d * 2^(c*j) * base for a
+     window width c, turning each subsequent scalar mul into ~(254/c) point
+     additions. Used to generate SRS powers quickly. *)
+  module Fixed_base = struct
+    type table = { window : int; rows : t array array }
+
+    let create ?(window = 8) base =
+      let total_bits = Fr.num_bits in
+      let nwindows = (total_bits + window - 1) / window in
+      let rows =
+        Array.init nwindows (fun _ -> Array.make ((1 lsl window) - 1) zero)
+      in
+      let cur = ref base in
+      for j = 0 to nwindows - 1 do
+        let acc = ref zero in
+        for d = 0 to (1 lsl window) - 2 do
+          acc := add !acc !cur;
+          rows.(j).(d) <- !acc
+        done;
+        for _ = 1 to window do
+          cur := double !cur
+        done
+      done;
+      { window; rows }
+
+    let mul { window; rows } (s : Fr.t) =
+      let nat = Fr.to_nat s in
+      let total_bits = Fr.num_bits in
+      let acc = ref zero in
+      for j = 0 to Array.length rows - 1 do
+        let v = ref 0 in
+        for b = window - 1 downto 0 do
+          let bit = (j * window) + b in
+          v := (!v lsl 1) lor (if bit < total_bits && Nat.testbit nat bit then 1 else 0)
+        done;
+        if !v > 0 then acc := add !acc rows.(j).(!v - 1)
+      done;
+      !acc
+  end
+
+  let random st = mul generator (Fr.random st)
+
+  let to_bytes p =
+    match to_affine p with
+    | None -> "\x00"
+    | Some (x, y) -> "\x04" ^ F.to_bytes x ^ F.to_bytes y
+
+  (** Fixed-width encoding: infinity is padded to the same length as a
+      finite point so records containing points are fixed-size. *)
+  let encoded_size = 1 + (2 * String.length (F.to_bytes F.zero))
+
+  let to_bytes_fixed p =
+    let s = to_bytes p in
+    s ^ String.make (encoded_size - String.length s) '\x00'
+
+  (** Parse a fixed-width encoding; validates the curve equation. *)
+  let of_bytes_fixed (s : string) : t =
+    if String.length s <> encoded_size then
+      invalid_arg "Weierstrass.of_bytes_fixed: bad length";
+    if s.[0] = '\x00' then zero
+    else begin
+      let fw = (encoded_size - 1) / 2 in
+      let x = F.of_bytes (String.sub s 1 fw) in
+      let y = F.of_bytes (String.sub s (1 + fw) fw) in
+      of_affine (x, y)
+    end
+
+  let pp fmt p =
+    match to_affine p with
+    | None -> Format.pp_print_string fmt "O"
+    | Some (x, y) -> Format.fprintf fmt "(%a, %a)" F.pp x F.pp y
+end

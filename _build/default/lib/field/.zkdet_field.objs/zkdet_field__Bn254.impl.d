@@ -1,0 +1,1 @@
+lib/field/bn254.ml: Montgomery Zkdet_num

@@ -1,0 +1,1 @@
+lib/field/montgomery.ml: Array Field_intf Format Random Zkdet_num

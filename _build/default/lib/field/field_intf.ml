@@ -1,0 +1,69 @@
+(** Signature of a prime field. *)
+
+module type S = sig
+  type t
+
+  val modulus : Zkdet_num.Nat.t
+  val num_bits : int
+  val num_bytes : int
+
+  val zero : t
+  val one : t
+
+  val of_int : int -> t
+  (** [of_int n] maps any native int into the field (negatives wrap). *)
+
+  val of_nat : Zkdet_num.Nat.t -> t
+  (** Reduces mod the field modulus. *)
+
+  val to_nat : t -> Zkdet_num.Nat.t
+
+  val of_string : string -> t
+  (** Decimal string, reduced mod the modulus. *)
+
+  val to_string : t -> string
+
+  val of_bytes_be : string -> t
+  (** Big-endian bytes, reduced mod the modulus. *)
+
+  val to_bytes_be : t -> string
+  (** Fixed-width ([num_bytes]) big-endian encoding. *)
+
+  val equal : t -> t -> bool
+  val is_zero : t -> bool
+  val is_one : t -> bool
+
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val neg : t -> t
+  val mul : t -> t -> t
+  val sqr : t -> t
+  val double : t -> t
+
+  val inv : t -> t
+  (** Multiplicative inverse. Raises [Division_by_zero] on zero. *)
+
+  val div : t -> t -> t
+
+  val batch_inv : t array -> t array
+  (** Invert many elements with one field inversion (Montgomery's trick).
+      Raises [Division_by_zero] if any element is zero. *)
+
+  val pow : t -> int -> t
+  (** [pow x e] for a native-int exponent [e >= 0]. *)
+
+  val pow_nat : t -> Zkdet_num.Nat.t -> t
+
+  val is_square : t -> bool
+  val sqrt : t -> t option
+
+  val random : Random.State.t -> t
+
+  val pp : Format.formatter -> t -> unit
+
+  (* Exposed for hashing/serialization layers. *)
+  val compare : t -> t -> int
+  val hash_fold : t -> string
+  (** A canonical byte string for transcript absorption (same as
+      [to_bytes_be]). *)
+end

@@ -1,0 +1,1 @@
+lib/groth16/groth16.ml: Array List Random Zkdet_curve Zkdet_field Zkdet_num Zkdet_plonk Zkdet_poly

@@ -1,0 +1,1 @@
+lib/groth16/groth16.mli: Random Zkdet_curve Zkdet_field Zkdet_plonk Zkdet_poly

@@ -1,0 +1,318 @@
+(* Groth16 (EUROCRYPT 2016) — the proving system behind the ZKCP revisited
+   protocol the paper benchmarks against ([10], §VII). Implemented over the
+   same BN254 arithmetic as Plonk so Figure 7's comparison runs the real
+   comparator: 3 G1 + 1 G2 proof elements, but a verifier that pays one G1
+   exponentiation per public input, and a circuit-specific trusted setup.
+
+   Circuits come from the same {!Zkdet_plonk.Cs} builder through a
+   gate-to-R1CS conversion: a Plonk row
+       qM a b + qL a + qR b + qO c + qC = 0
+   becomes the rank-1 row  (qM a) * (b) = -(qL a + qR b + qO c + qC).
+   Public-input rows are dropped — in R1CS the public wires are part of
+   the statement directly. *)
+
+module Nat = Zkdet_num.Nat
+module Fr = Zkdet_field.Bn254.Fr
+module G1 = Zkdet_curve.G1
+module G2 = Zkdet_curve.G2
+module Pairing = Zkdet_curve.Pairing
+module Domain = Zkdet_poly.Domain
+module Poly = Zkdet_poly.Poly
+module Cs = Zkdet_plonk.Cs
+
+(* ---- R1CS: sparse rows over wires [0 = const one; v+1 = variable v] ---- *)
+
+type r1cs = {
+  num_wires : int; (* including the constant-one wire *)
+  num_public : int; (* statement wires, constant-one excluded *)
+  public_wires : int array; (* wire index per public input *)
+  rows_a : (int * Fr.t) list array;
+  rows_b : (int * Fr.t) list array;
+  rows_c : (int * Fr.t) list array;
+}
+
+let of_compiled (c : Cs.compiled) : r1cs =
+  let gates = c.Cs.gates_arr in
+  let l = c.Cs.n_public in
+  let m = Array.length gates - l in
+  let rows_a = Array.make m [] in
+  let rows_b = Array.make m [] in
+  let rows_c = Array.make m [] in
+  let add_term row wire coeff acc =
+    if Fr.is_zero coeff then acc.(row)
+    else begin
+      (* accumulate on repeated wires *)
+      let rec insert = function
+        | [] -> [ (wire, coeff) ]
+        | (w, k) :: rest when w = wire -> (w, Fr.add k coeff) :: rest
+        | t :: rest -> t :: insert rest
+      in
+      insert acc.(row)
+    end
+  in
+  for i = 0 to m - 1 do
+    let g = gates.(i + l) in
+    let wa = g.Cs.a + 1 and wb = g.Cs.b + 1 and wc = g.Cs.c + 1 in
+    if not (Fr.is_zero g.Cs.qm) then begin
+      rows_a.(i) <- [ (wa, g.Cs.qm) ];
+      rows_b.(i) <- [ (wb, Fr.one) ]
+    end;
+    rows_c.(i) <- add_term i wa (Fr.neg g.Cs.ql) rows_c;
+    rows_c.(i) <- add_term i wb (Fr.neg g.Cs.qr) rows_c;
+    rows_c.(i) <- add_term i wc (Fr.neg g.Cs.qo) rows_c;
+    rows_c.(i) <- add_term i 0 (Fr.neg g.Cs.qc) rows_c
+  done;
+  {
+    num_wires = c.Cs.n_vars + 1;
+    num_public = l;
+    public_wires = Array.init l (fun i -> gates.(i).Cs.a + 1);
+    rows_a;
+    rows_b;
+    rows_c;
+  }
+
+let full_witness (c : Cs.compiled) : Fr.t array =
+  Array.append [| Fr.one |] c.Cs.witness
+
+let row_eval (terms : (int * Fr.t) list) (w : Fr.t array) : Fr.t =
+  List.fold_left (fun acc (i, k) -> Fr.add acc (Fr.mul k w.(i))) Fr.zero terms
+
+(** Direct R1CS satisfaction check (test oracle). *)
+let satisfied (r : r1cs) (w : Fr.t array) : bool =
+  let ok = ref true in
+  for i = 0 to Array.length r.rows_a - 1 do
+    let a = row_eval r.rows_a.(i) w in
+    let b = row_eval r.rows_b.(i) w in
+    let c = row_eval r.rows_c.(i) w in
+    if not (Fr.equal (Fr.mul a b) c) then ok := false
+  done;
+  !ok
+
+(* ---- trusted setup (circuit-specific: the Groth16 drawback §VII notes) ---- *)
+
+type proving_key = {
+  pk_r1cs : r1cs;
+  domain : Domain.t;
+  alpha_g1 : G1.t;
+  beta_g1 : G1.t;
+  beta_g2 : G2.t;
+  delta_g1 : G1.t;
+  delta_g2 : G2.t;
+  a_query : G1.t array; (* [u_i(x)]1 per wire *)
+  b_query_g1 : G1.t array; (* [v_i(x)]1 *)
+  b_query_g2 : G2.t array; (* [v_i(x)]2 *)
+  k_query : G1.t array; (* [(beta u_i + alpha v_i + w_i)/delta]1, private wires;
+                           zero entries at public positions *)
+  h_query : G1.t array; (* [x^i Z(x)/delta]1 *)
+  vk : verification_key;
+}
+
+and verification_key = {
+  vk_alpha_g1 : G1.t;
+  vk_beta_g2 : G2.t;
+  vk_gamma_g2 : G2.t;
+  vk_delta_g2 : G2.t;
+  vk_ic : G1.t array; (* [(beta u_i + alpha v_i + w_i)/gamma]1:
+                         index 0 = constant wire, then public wires *)
+}
+
+let next_pow2_log x =
+  let rec go k = if 1 lsl k >= x then k else go (k + 1) in
+  go 0
+
+(* Evaluate the QAP polynomials u_i, v_i, w_i at the secret point x:
+   u_i(X) = sum_rows A[row][i] L_row(X), so u_i(x) accumulates
+   A[row][i] * L_row(x) — computed wire-indexed from the sparse rows. *)
+let qap_at_x (r : r1cs) (domain : Domain.t) (x : Fr.t) :
+    Fr.t array * Fr.t array * Fr.t array =
+  let m = Domain.size domain in
+  (* all Lagrange evaluations at once: L_row(x) = w^row (x^m - 1) /
+     (m (x - w^row)), with one batched inversion *)
+  let omegas = Domain.elements domain in
+  let zh = Domain.vanishing_eval domain x in
+  let m_fr = Fr.of_int m in
+  let dens = Array.map (fun w -> Fr.mul m_fr (Fr.sub x w)) omegas in
+  let den_invs = Fr.batch_inv dens in
+  let lag =
+    Array.init m (fun row -> Fr.mul (Fr.mul omegas.(row) zh) den_invs.(row))
+  in
+  let u = Array.make r.num_wires Fr.zero in
+  let v = Array.make r.num_wires Fr.zero in
+  let w = Array.make r.num_wires Fr.zero in
+  let accumulate target rows =
+    Array.iteri
+      (fun row terms ->
+        List.iter
+          (fun (wire, k) ->
+            target.(wire) <- Fr.add target.(wire) (Fr.mul k lag.(row)))
+          terms)
+      rows
+  in
+  accumulate u r.rows_a;
+  accumulate v r.rows_b;
+  accumulate w r.rows_c;
+  (u, v, w)
+
+(** Circuit-specific trusted setup. The toxic waste (x, alpha, beta,
+    gamma, delta) is sampled and dropped — unlike Plonk's universal SRS,
+    this must be redone for every circuit (the limitation of [10] that
+    §VII calls out). *)
+let setup ?(st = Random.State.make_self_init ()) (compiled : Cs.compiled) :
+    proving_key =
+  let r = of_compiled compiled in
+  let m = Array.length r.rows_a in
+  let domain = Domain.create (max 1 (next_pow2_log (max m 2))) in
+  let x = Fr.random st in
+  (* x inside the domain would leak Z(x) = 0; resample (negligible). *)
+  let x = if Fr.is_zero (Domain.vanishing_eval domain x) then Fr.add x Fr.one else x in
+  let alpha = Fr.random st in
+  let beta = Fr.random st in
+  let gamma = Fr.random st in
+  let delta = Fr.random st in
+  let u, v, w = qap_at_x r domain x in
+  let gamma_inv = Fr.inv gamma and delta_inv = Fr.inv delta in
+  let z_x = Domain.vanishing_eval domain x in
+  let g1 = G1.Fixed_base.create G1.generator in
+  let mul1 = G1.Fixed_base.mul g1 in
+  let g2t = G2.Fixed_base.create G2.generator in
+  let mul2 = G2.Fixed_base.mul g2t in
+  let is_public =
+    let tbl = Array.make r.num_wires false in
+    tbl.(0) <- true;
+    Array.iter (fun wdx -> tbl.(wdx) <- true) r.public_wires;
+    tbl
+  in
+  let k_coeff i = Fr.add (Fr.add (Fr.mul beta u.(i)) (Fr.mul alpha v.(i))) w.(i) in
+  let a_query = Array.map mul1 u in
+  let b_query_g1 = Array.map mul1 v in
+  let b_query_g2 = Array.map mul2 v in
+  let k_query =
+    Array.init r.num_wires (fun i ->
+        if is_public.(i) then G1.zero
+        else mul1 (Fr.mul (k_coeff i) delta_inv))
+  in
+  let h_query =
+    (* explicit loop: the power accumulator must advance in index order *)
+    let arr = Array.make (Domain.size domain - 1) G1.zero in
+    let pow = ref Fr.one in
+    for i = 0 to Array.length arr - 1 do
+      arr.(i) <- mul1 (Fr.mul (Fr.mul !pow z_x) delta_inv);
+      pow := Fr.mul !pow x
+    done;
+    arr
+  in
+  let vk_ic =
+    Array.init (r.num_public + 1) (fun i ->
+        let wire = if i = 0 then 0 else r.public_wires.(i - 1) in
+        mul1 (Fr.mul (k_coeff wire) gamma_inv))
+  in
+  {
+    pk_r1cs = r;
+    domain;
+    alpha_g1 = mul1 alpha;
+    beta_g1 = mul1 beta;
+    beta_g2 = G2.mul G2.generator beta;
+    delta_g1 = mul1 delta;
+    delta_g2 = G2.mul G2.generator delta;
+    a_query;
+    b_query_g1;
+    b_query_g2;
+    k_query;
+    h_query;
+    vk =
+      {
+        vk_alpha_g1 = mul1 alpha;
+        vk_beta_g2 = G2.mul G2.generator beta;
+        vk_gamma_g2 = G2.mul G2.generator gamma;
+        vk_delta_g2 = G2.mul G2.generator delta;
+        vk_ic;
+      };
+  }
+
+(* ---- proof ---- *)
+
+type proof = { pi_a : G1.t; pi_b : G2.t; pi_c : G1.t }
+
+let proof_size_bytes (_ : proof) = (2 * 65) + 129
+
+(* The quotient h(X) = (U V - W)/Z in coefficient form, via a 2m coset. *)
+let quotient (r : r1cs) (domain : Domain.t) (wit : Fr.t array) : Poly.t =
+  let m = Domain.size domain in
+  let evals rows = Array.init m (fun i ->
+      if i < Array.length r.rows_a then row_eval rows.(i) wit else Fr.zero)
+  in
+  (* rows are padded with trivial 0*0=0 constraints *)
+  let ue = evals r.rows_a and ve = evals r.rows_b and we = evals r.rows_c in
+  let u_poly = Domain.ifft domain ue in
+  let v_poly = Domain.ifft domain ve in
+  let w_poly = Domain.ifft domain we in
+  let domain2 = Domain.create (Domain.log2size domain + 1) in
+  let u2 = Domain.coset_fft domain2 u_poly in
+  let v2 = Domain.coset_fft domain2 v_poly in
+  let w2 = Domain.coset_fft domain2 w_poly in
+  let g = Domain.shift domain2 in
+  let w2n = Fr.pow (Domain.omega domain2) m in
+  let n2 = Domain.size domain2 in
+  (* Z_H on the coset (explicit loop: order matters for the accumulator) *)
+  let z_evals = Array.make n2 Fr.zero in
+  let zc = ref (Fr.pow g m) in
+  for i = 0 to n2 - 1 do
+    z_evals.(i) <- Fr.sub !zc Fr.one;
+    zc := Fr.mul !zc w2n
+  done;
+  let z_invs = Fr.batch_inv z_evals in
+  let h2 =
+    Array.init n2 (fun i ->
+        Fr.mul (Fr.sub (Fr.mul u2.(i) v2.(i)) w2.(i)) z_invs.(i))
+  in
+  let h = Domain.coset_ifft domain2 h2 in
+  (* degree <= m - 2 *)
+  Array.sub h 0 (max 1 (m - 1))
+
+let prove ?(st = Random.State.make_self_init ()) (pk : proving_key)
+    (compiled : Cs.compiled) : proof =
+  if not (Cs.satisfied compiled) then
+    invalid_arg "Groth16.prove: witness does not satisfy the circuit";
+  let r = pk.pk_r1cs in
+  let wit = full_witness compiled in
+  assert (satisfied r wit);
+  let h = quotient r pk.domain wit in
+  let rr = Fr.random st and ss = Fr.random st in
+  (* A = alpha + sum a_i [u_i] + r delta *)
+  let sum_a = G1.msm pk.a_query wit in
+  let pi_a = G1.add (G1.add pk.alpha_g1 sum_a) (G1.mul pk.delta_g1 rr) in
+  (* B (G2) = beta + sum a_i [v_i] + s delta; also its G1 mirror *)
+  let sum_b2 = G2.msm pk.b_query_g2 wit in
+  let pi_b = G2.add (G2.add pk.beta_g2 sum_b2) (G2.mul pk.delta_g2 ss) in
+  let sum_b1 = G1.msm pk.b_query_g1 wit in
+  let b_g1 = G1.add (G1.add pk.beta_g1 sum_b1) (G1.mul pk.delta_g1 ss) in
+  (* C = sum_priv a_i K_i + h(x)Z(x)/delta + sA + rB - rs delta *)
+  let sum_k = G1.msm pk.k_query wit in
+  let h_coeffs = Array.init (Array.length h) (Poly.coeff h) in
+  let h_part =
+    G1.msm (Array.sub pk.h_query 0 (Array.length h_coeffs)) h_coeffs
+  in
+  let pi_c =
+    List.fold_left G1.add G1.zero
+      [ sum_k; h_part; G1.mul pi_a ss; G1.mul b_g1 rr;
+        G1.neg (G1.mul pk.delta_g1 (Fr.mul rr ss)) ]
+  in
+  { pi_a; pi_b; pi_c }
+
+(** Verification: e(A, B) = e(alpha, beta) e(IC(x), gamma) e(C, delta) —
+    3 pairing factors plus ONE G1 exponentiation per public input (the
+    cost §VI-B.3 contrasts with Plonk's input-independent verifier). *)
+let verify (vk : verification_key) (publics : Fr.t array) (proof : proof) : bool
+    =
+  if Array.length publics + 1 <> Array.length vk.vk_ic then false
+  else begin
+    let ic =
+      G1.add vk.vk_ic.(0)
+        (G1.msm (Array.sub vk.vk_ic 1 (Array.length publics)) publics)
+    in
+    Pairing.pairing_check
+      [ (proof.pi_a, proof.pi_b);
+        (G1.neg vk.vk_alpha_g1, vk.vk_beta_g2);
+        (G1.neg ic, vk.vk_gamma_g2);
+        (G1.neg proof.pi_c, vk.vk_delta_g2) ]
+  end

@@ -1,0 +1,1 @@
+lib/hash/keccak256.ml: Array Bytes Char Int64 Sha256 String

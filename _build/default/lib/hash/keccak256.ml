@@ -1,0 +1,120 @@
+(* Keccak-256 as used by Ethereum: rate 1088, capacity 512, original
+   multi-rate padding 0x01..0x80 (not the NIST SHA3 0x06 variant).
+
+   Round constants and rotation offsets are generated from the Keccak
+   specification's LFSR and pi/rho schedule rather than transcribed. *)
+
+let rounds = 24
+let rate_bytes = 136
+
+(* rc(t): bit output of LFSR x^8 + x^6 + x^5 + x^4 + 1 over GF(2). *)
+let rc_bit =
+  let state = ref 1 in
+  let bits = Array.make 255 false in
+  for t = 0 to 254 do
+    bits.(t) <- !state land 1 = 1;
+    let s = !state lsl 1 in
+    state := (if s land 0x100 <> 0 then s lxor 0x171 else s) land 0xFF
+  done;
+  fun t -> bits.(t mod 255)
+
+let round_constants =
+  Array.init rounds (fun ir ->
+      let rc = ref 0L in
+      for j = 0 to 6 do
+        if rc_bit (j + (7 * ir)) then
+          rc := Int64.logor !rc (Int64.shift_left 1L ((1 lsl j) - 1))
+      done;
+      !rc)
+
+(* Rho rotation offsets via the official (x,y) walk. *)
+let rho_offsets =
+  let r = Array.make 25 0 in
+  let x = ref 1 and y = ref 0 in
+  for t = 0 to 23 do
+    r.(!x + (5 * !y)) <- ((t + 1) * (t + 2) / 2) mod 64;
+    let nx = !y and ny = ((2 * !x) + (3 * !y)) mod 5 in
+    x := nx;
+    y := ny
+  done;
+  r
+
+let rotl64 x n =
+  if n = 0 then x
+  else Int64.logor (Int64.shift_left x n) (Int64.shift_right_logical x (64 - n))
+
+let keccak_f (st : int64 array) =
+  let c = Array.make 5 0L and d = Array.make 5 0L in
+  let b = Array.make 25 0L in
+  for ir = 0 to rounds - 1 do
+    (* theta *)
+    for x = 0 to 4 do
+      c.(x) <-
+        Int64.logxor st.(x)
+          (Int64.logxor st.(x + 5)
+             (Int64.logxor st.(x + 10) (Int64.logxor st.(x + 15) st.(x + 20))))
+    done;
+    for x = 0 to 4 do
+      d.(x) <- Int64.logxor c.((x + 4) mod 5) (rotl64 c.((x + 1) mod 5) 1)
+    done;
+    for y = 0 to 4 do
+      for x = 0 to 4 do
+        st.(x + (5 * y)) <- Int64.logxor st.(x + (5 * y)) d.(x)
+      done
+    done;
+    (* rho + pi *)
+    for y = 0 to 4 do
+      for x = 0 to 4 do
+        let nx = y and ny = ((2 * x) + (3 * y)) mod 5 in
+        b.(nx + (5 * ny)) <- rotl64 st.(x + (5 * y)) rho_offsets.(x + (5 * y))
+      done
+    done;
+    (* chi *)
+    for y = 0 to 4 do
+      for x = 0 to 4 do
+        st.(x + (5 * y)) <-
+          Int64.logxor
+            b.(x + (5 * y))
+            (Int64.logand
+               (Int64.lognot b.(((x + 1) mod 5) + (5 * y)))
+               b.(((x + 2) mod 5) + (5 * y)))
+      done
+    done;
+    (* iota *)
+    st.(0) <- Int64.logxor st.(0) round_constants.(ir)
+  done
+
+let digest (msg : string) : string =
+  let st = Array.make 25 0L in
+  let padded =
+    let len = String.length msg in
+    let padlen = rate_bytes - (len mod rate_bytes) in
+    let b = Bytes.make (len + padlen) '\x00' in
+    Bytes.blit_string msg 0 b 0 len;
+    Bytes.set b len '\x01';
+    Bytes.set b (len + padlen - 1)
+      (Char.chr (Char.code (Bytes.get b (len + padlen - 1)) lor 0x80));
+    Bytes.to_string b
+  in
+  let absorb_block off =
+    for i = 0 to (rate_bytes / 8) - 1 do
+      let lane = ref 0L in
+      for j = 7 downto 0 do
+        lane :=
+          Int64.logor (Int64.shift_left !lane 8)
+            (Int64.of_int (Char.code padded.[off + (8 * i) + j]))
+      done;
+      st.(i) <- Int64.logxor st.(i) !lane
+    done;
+    keccak_f st
+  in
+  let nblocks = String.length padded / rate_bytes in
+  for i = 0 to nblocks - 1 do
+    absorb_block (i * rate_bytes)
+  done;
+  String.init 32 (fun i ->
+      let lane = st.(i / 8) in
+      Char.chr
+        (Int64.to_int (Int64.shift_right_logical lane (8 * (i mod 8))) land 0xFF))
+
+let digest_hex s = Sha256.hex_of_string (digest s)

@@ -1,0 +1,9 @@
+(** Keccak-256 as used by Ethereum (rate 1088, original 0x01 padding —
+    not the NIST SHA3 variant). Round constants and rotation offsets are
+    generated from the specification's LFSR and pi/rho walk rather than
+    transcribed. Used for addresses. *)
+
+val digest : string -> string
+(** 32-byte digest. *)
+
+val digest_hex : string -> string

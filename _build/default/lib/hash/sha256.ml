@@ -1,0 +1,119 @@
+(* SHA-256 (FIPS 180-4) on native ints masked to 32 bits. *)
+
+let mask32 = 0xFFFFFFFF
+
+(* Round constants: fractional parts of cube roots of the first 64 primes.
+   Derived here rather than transcribed. *)
+let k =
+  let primes =
+    let sieve = Array.make 400 true in
+    let out = ref [] in
+    for i = 2 to 399 do
+      if sieve.(i) then begin
+        out := i :: !out;
+        let j = ref (i * i) in
+        while !j < 400 do
+          sieve.(!j) <- false;
+          j := !j + i
+        done
+      end
+    done;
+    Array.of_list (List.rev !out)
+  in
+  Array.init 64 (fun i ->
+      let c = Float.cbrt (float_of_int primes.(i)) in
+      int_of_float (Float.rem c 1.0 *. 4294967296.0) land mask32)
+
+let h0 =
+  (* Fractional parts of square roots of the first 8 primes. *)
+  let primes = [| 2; 3; 5; 7; 11; 13; 17; 19 |] in
+  Array.map
+    (fun p ->
+      let c = sqrt (float_of_int p) in
+      int_of_float (Float.rem c 1.0 *. 4294967296.0) land mask32)
+    primes
+
+let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask32
+
+type ctx = { h : int array; buf : Buffer.t; mutable total : int }
+
+let init () = { h = Array.copy h0; buf = Buffer.create 64; total = 0 }
+
+let process_block h block off =
+  let w = Array.make 64 0 in
+  for t = 0 to 15 do
+    w.(t) <-
+      (Char.code block.[off + (4 * t)] lsl 24)
+      lor (Char.code block.[off + (4 * t) + 1] lsl 16)
+      lor (Char.code block.[off + (4 * t) + 2] lsl 8)
+      lor Char.code block.[off + (4 * t) + 3]
+  done;
+  for t = 16 to 63 do
+    let s0 = rotr w.(t - 15) 7 lxor rotr w.(t - 15) 18 lxor (w.(t - 15) lsr 3) in
+    let s1 = rotr w.(t - 2) 17 lxor rotr w.(t - 2) 19 lxor (w.(t - 2) lsr 10) in
+    w.(t) <- (w.(t - 16) + s0 + w.(t - 7) + s1) land mask32
+  done;
+  let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
+  let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
+  for t = 0 to 63 do
+    let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
+    let ch = !e land !f lxor (lnot !e land !g) in
+    let t1 = (!hh + s1 + ch + k.(t) + w.(t)) land mask32 in
+    let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
+    let maj = !a land !b lxor (!a land !c) lxor (!b land !c) in
+    let t2 = (s0 + maj) land mask32 in
+    hh := !g;
+    g := !f;
+    f := !e;
+    e := (!d + t1) land mask32;
+    d := !c;
+    c := !b;
+    b := !a;
+    a := (t1 + t2) land mask32
+  done;
+  h.(0) <- (h.(0) + !a) land mask32;
+  h.(1) <- (h.(1) + !b) land mask32;
+  h.(2) <- (h.(2) + !c) land mask32;
+  h.(3) <- (h.(3) + !d) land mask32;
+  h.(4) <- (h.(4) + !e) land mask32;
+  h.(5) <- (h.(5) + !f) land mask32;
+  h.(6) <- (h.(6) + !g) land mask32;
+  h.(7) <- (h.(7) + !hh) land mask32
+
+let feed ctx s =
+  ctx.total <- ctx.total + String.length s;
+  Buffer.add_string ctx.buf s;
+  let data = Buffer.contents ctx.buf in
+  let nblocks = String.length data / 64 in
+  for i = 0 to nblocks - 1 do
+    process_block ctx.h data (i * 64)
+  done;
+  Buffer.clear ctx.buf;
+  Buffer.add_string ctx.buf
+    (String.sub data (nblocks * 64) (String.length data - (nblocks * 64)))
+
+let finalize ctx =
+  let bitlen = ctx.total * 8 in
+  let padlen =
+    let r = (ctx.total + 1 + 8) mod 64 in
+    if r = 0 then 0 else 64 - r
+  in
+  let pad = Bytes.make (1 + padlen + 8) '\x00' in
+  Bytes.set pad 0 '\x80';
+  for i = 0 to 7 do
+    Bytes.set pad (1 + padlen + i) (Char.chr ((bitlen lsr (8 * (7 - i))) land 0xFF))
+  done;
+  feed ctx (Bytes.to_string pad);
+  assert (Buffer.length ctx.buf = 0);
+  String.init 32 (fun i ->
+      Char.chr ((ctx.h.(i / 4) lsr (8 * (3 - (i mod 4)))) land 0xFF))
+
+let digest s =
+  let ctx = init () in
+  feed ctx s;
+  finalize ctx
+
+let hex_of_string s =
+  String.concat "" (List.map (Printf.sprintf "%02x") (List.map Char.code (List.init (String.length s) (String.get s))))
+
+let digest_hex s = hex_of_string (digest s)

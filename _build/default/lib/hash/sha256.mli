@@ -1,0 +1,15 @@
+(** SHA-256 (FIPS 180-4), from scratch, validated against the NIST test
+    vectors. Used for content addressing, transaction/block hashing and
+    the Fiat–Shamir transcript. *)
+
+type ctx
+
+val init : unit -> ctx
+val feed : ctx -> string -> unit
+val finalize : ctx -> string
+
+val digest : string -> string
+(** One-shot 32-byte digest. *)
+
+val digest_hex : string -> string
+val hex_of_string : string -> string

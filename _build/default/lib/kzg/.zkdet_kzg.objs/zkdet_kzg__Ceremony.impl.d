@@ -1,0 +1,1 @@
+lib/kzg/ceremony.ml: Array List Random Srs Zkdet_curve Zkdet_field Zkdet_hash Zkdet_num

@@ -1,0 +1,1 @@
+lib/kzg/ceremony.mli: Random Srs Zkdet_curve Zkdet_field

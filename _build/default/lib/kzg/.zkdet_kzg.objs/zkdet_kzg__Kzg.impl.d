@@ -1,0 +1,1 @@
+lib/kzg/kzg.ml: Array List Srs Zkdet_curve Zkdet_field Zkdet_poly

@@ -1,0 +1,1 @@
+lib/kzg/kzg.mli: Srs Zkdet_curve Zkdet_field Zkdet_poly

@@ -1,0 +1,1 @@
+lib/kzg/srs.ml: Array Fun List Random Stdlib Zkdet_curve Zkdet_field

@@ -1,0 +1,1 @@
+lib/kzg/srs.mli: Random Zkdet_curve Zkdet_field

@@ -1,0 +1,38 @@
+(** Simulated "Perpetual Powers of Tau" ceremony (the paper uses the
+    Zcash/Semaphore one, §VI-B.1). Sequential multi-party contributions
+    with Schnorr proofs of knowledge and pairing consistency checks; any
+    single honest participant suffices for soundness. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module G1 = Zkdet_curve.G1
+module G2 = Zkdet_curve.G2
+
+type contribution_proof = {
+  s_g1 : G1.t;  (** [s]G1 *)
+  s_g2 : G2.t;  (** [s]G2 *)
+  schnorr_commit : G1.t;
+  schnorr_response : Fr.t;
+}
+
+type transcript_entry = {
+  contributor : string;
+  proof : contribution_proof;
+  g1_tau_after : G1.t;
+  g2_tau_after : G2.t;
+}
+
+type state = { srs : Srs.t; transcript : transcript_entry list }
+
+val initial : size:int -> state
+(** The identity accumulator (tau = 1). *)
+
+val contribute : ?st:Random.State.t -> contributor:string -> state -> state
+(** Re-randomize the accumulator with a private factor sampled internally
+    and append a verifiable transcript entry. *)
+
+val verify_link : prev_g1_tau:G1.t -> transcript_entry -> bool
+(** Check one contribution extends the previous accumulator honestly. *)
+
+val verify_transcript : state -> bool
+(** Check the whole chain of contributions plus the final SRS's internal
+    consistency. *)

@@ -1,0 +1,52 @@
+(* Structured reference string: powers of a secret tau in G1 plus [tau]G2.
+   In production the SRS comes from a multi-party ceremony ({!Ceremony});
+   [unsafe_generate] plays the role of a locally simulated ceremony where
+   the secret is sampled and immediately discarded. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module G1 = Zkdet_curve.G1
+module G2 = Zkdet_curve.G2
+
+type t = {
+  g1_powers : G1.t array; (* [tau^0]G1 ... [tau^(n-1)]G1 *)
+  g2 : G2.t; (* [1]G2 *)
+  g2_tau : G2.t; (* [tau]G2 *)
+}
+
+let size t = Array.length t.g1_powers
+
+(** Generate an SRS of [size] G1 powers from a locally sampled secret.
+    The secret never escapes this function. *)
+let unsafe_generate ?(st = Random.State.make_self_init ()) ~size () =
+  if size < 2 then invalid_arg "Srs.unsafe_generate: size must be >= 2";
+  let tau = Fr.random st in
+  let table = G1.Fixed_base.create G1.generator in
+  let g1_powers = Array.make size G1.zero in
+  let pow = ref Fr.one in
+  for i = 0 to size - 1 do
+    g1_powers.(i) <- G1.Fixed_base.mul table !pow;
+    pow := Fr.mul !pow tau
+  done;
+  { g1_powers; g2 = G2.generator; g2_tau = G2.mul G2.generator tau }
+
+(** Check internal consistency: e(g1[i+1], G2) = e(g1[i], [tau]G2) on a few
+    sampled indices (spot check) or all of them ([exhaustive]). *)
+let verify ?(exhaustive = false) t =
+  let n = size t in
+  let check i =
+    Zkdet_curve.Pairing.pairing_check
+      [ (t.g1_powers.(i + 1), t.g2); (G1.neg t.g1_powers.(i), t.g2_tau) ]
+  in
+  let ok_first = G1.equal t.g1_powers.(0) G1.generator in
+  let indices =
+    if exhaustive then List.init (n - 1) Fun.id
+    else
+      List.sort_uniq Stdlib.compare
+        [ 0; (n - 1) / 2; max 0 (n - 2) ]
+  in
+  ok_first && List.for_all check indices
+
+(** Truncate to a smaller SRS (prefix of powers). *)
+let truncate t n =
+  if n > size t then invalid_arg "Srs.truncate: larger than source";
+  { t with g1_powers = Array.sub t.g1_powers 0 n }

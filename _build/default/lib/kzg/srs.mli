@@ -1,0 +1,25 @@
+(** Structured reference string for KZG commitments: powers of a secret
+    tau in G1 plus [tau]G2 (paper §VI-B.1's "updatable universal SRS"). *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module G1 = Zkdet_curve.G1
+module G2 = Zkdet_curve.G2
+
+type t = {
+  g1_powers : G1.t array;  (** [tau^0]G1 .. [tau^(n-1)]G1 *)
+  g2 : G2.t;  (** [1]G2 *)
+  g2_tau : G2.t;  (** [tau]G2 *)
+}
+
+val size : t -> int
+
+val unsafe_generate : ?st:Random.State.t -> size:int -> unit -> t
+(** Locally simulated trusted setup: samples tau, computes the powers,
+    discards the secret. Production SRS comes from {!Ceremony}. *)
+
+val verify : ?exhaustive:bool -> t -> bool
+(** Pairing consistency check e(g1[i+1], G2) = e(g1[i], [tau]G2); spot
+    checks a few indices unless [exhaustive]. *)
+
+val truncate : t -> int -> t
+(** Prefix of the G1 powers (smaller circuits under the same setup). *)

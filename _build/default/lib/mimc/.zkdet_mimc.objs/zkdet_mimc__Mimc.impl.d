@@ -1,0 +1,1 @@
+lib/mimc/mimc.ml: Array List Printf Zkdet_field Zkdet_hash Zkdet_num

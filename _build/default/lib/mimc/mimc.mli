@@ -1,0 +1,42 @@
+(** MiMC-p/p block cipher over the BN254 scalar field (paper §IV-C.1).
+
+    91 rounds with the x^7 permutation — the circuit-friendly cipher ZKDET
+    uses so that proofs of encryption stay small (4 multiplication gates
+    per round instead of the thousands AES would need). *)
+
+module Fr = Zkdet_field.Bn254.Fr
+
+val rounds : int
+(** Number of rounds (91 = ceil(254 / log2 7)). *)
+
+val degree : int
+(** S-box degree (7). *)
+
+val round_constants : Fr.t array
+(** Public round constants, derived from SHA-256 in counter mode
+    (nothing-up-my-sleeve; see DESIGN.md). [round_constants.(0)] is zero
+    per the MiMC specification. *)
+
+val pow7 : Fr.t -> Fr.t
+(** The round S-box [x -> x^7]. *)
+
+val encrypt_block : Fr.t -> Fr.t -> Fr.t
+(** [encrypt_block k m] is the keyed MiMC permutation E_k(m). *)
+
+val decrypt_block : Fr.t -> Fr.t -> Fr.t
+(** Inverse permutation (x^(1/7) per round); only used by tests — CTR mode
+    never needs it. *)
+
+(** Counter-mode stream encryption of field-element datasets:
+    [ct_i = pt_i + E_k(nonce + i)] (paper §IV-C.1). *)
+module Ctr : sig
+  val keystream : Fr.t -> Fr.t -> int -> Fr.t
+  (** [keystream k nonce i] = E_k(nonce + i). *)
+
+  val encrypt : key:Fr.t -> nonce:Fr.t -> Fr.t array -> Fr.t array
+  val decrypt : key:Fr.t -> nonce:Fr.t -> Fr.t array -> Fr.t array
+end
+
+val hash : Fr.t list -> Fr.t
+(** Miyaguchi–Preneel style hash over the MiMC permutation; a cheap
+    in-circuit alternative to Poseidon. *)

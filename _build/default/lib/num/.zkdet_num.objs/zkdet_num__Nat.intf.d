@@ -1,0 +1,1 @@
+lib/num/nat.mli: Format

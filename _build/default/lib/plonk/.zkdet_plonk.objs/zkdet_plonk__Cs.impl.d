@@ -1,0 +1,1 @@
+lib/plonk/cs.ml: Array Hashtbl List Zkdet_field

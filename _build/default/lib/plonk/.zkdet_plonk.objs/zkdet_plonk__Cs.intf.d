@@ -1,0 +1,1 @@
+lib/plonk/cs.mli: Zkdet_field

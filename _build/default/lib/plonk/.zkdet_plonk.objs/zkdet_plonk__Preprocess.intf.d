@@ -1,0 +1,1 @@
+lib/plonk/preprocess.mli: Cs Zkdet_curve Zkdet_field Zkdet_kzg Zkdet_poly

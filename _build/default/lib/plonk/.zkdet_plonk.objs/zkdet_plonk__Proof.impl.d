@@ -1,0 +1,1 @@
+lib/plonk/proof.ml: List String Zkdet_curve Zkdet_field

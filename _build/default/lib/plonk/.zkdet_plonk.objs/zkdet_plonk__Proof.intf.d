@@ -1,0 +1,1 @@
+lib/plonk/proof.mli: Zkdet_curve Zkdet_field

@@ -1,0 +1,1 @@
+lib/plonk/prover.ml: Array Cs List Preprocess Proof Random Transcript Zkdet_curve Zkdet_field Zkdet_kzg Zkdet_poly

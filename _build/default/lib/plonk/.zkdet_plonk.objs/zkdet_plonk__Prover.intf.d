@@ -1,0 +1,1 @@
+lib/plonk/prover.mli: Cs Preprocess Proof Random Transcript Zkdet_field

@@ -1,0 +1,1 @@
+lib/plonk/transcript.ml: Zkdet_curve Zkdet_field Zkdet_hash

@@ -1,0 +1,1 @@
+lib/plonk/transcript.mli: Zkdet_curve Zkdet_field

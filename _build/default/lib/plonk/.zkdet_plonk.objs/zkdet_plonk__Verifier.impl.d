@@ -1,0 +1,1 @@
+lib/plonk/verifier.ml: Array List Preprocess Proof Prover Random Transcript Zkdet_curve Zkdet_field Zkdet_poly

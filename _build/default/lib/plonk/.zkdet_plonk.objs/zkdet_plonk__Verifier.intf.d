@@ -1,0 +1,1 @@
+lib/plonk/verifier.mli: Preprocess Proof Random Zkdet_curve Zkdet_field

@@ -1,0 +1,202 @@
+(* Plonk constraint system: rows of
+     qL*a + qR*b + qO*c + qM*a*b + qC + PI = 0
+   over three wire columns with copy constraints expressed by wires sharing
+   variables. The builder carries concrete values, so one synthesis pass
+   yields both the circuit structure (for preprocessing/verification) and
+   the witness (for proving). Synthesis must be data-independent: gadget
+   control flow may not branch on witness values. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+
+type wire = int
+
+type gate = {
+  ql : Fr.t;
+  qr : Fr.t;
+  qo : Fr.t;
+  qm : Fr.t;
+  qc : Fr.t;
+  a : wire;
+  b : wire;
+  c : wire;
+}
+
+type t = {
+  mutable gates : gate list; (* reversed during construction *)
+  mutable ngates : int;
+  mutable values : Fr.t array;
+  mutable nvars : int;
+  mutable publics : wire list; (* reversed *)
+  mutable npublic : int;
+  mutable sealed_publics : bool;
+  constants : (string, wire) Hashtbl.t;
+}
+
+let create () =
+  let cs =
+    {
+      gates = [];
+      ngates = 0;
+      values = Array.make 64 Fr.zero;
+      nvars = 0;
+      publics = [];
+      npublic = 0;
+      sealed_publics = false;
+      constants = Hashtbl.create 16;
+    }
+  in
+  cs
+
+let value (cs : t) (w : wire) = cs.values.(w)
+
+let fresh (cs : t) (v : Fr.t) : wire =
+  if cs.nvars = Array.length cs.values then begin
+    let bigger = Array.make (2 * cs.nvars) Fr.zero in
+    Array.blit cs.values 0 bigger 0 cs.nvars;
+    cs.values <- bigger
+  end;
+  let w = cs.nvars in
+  cs.values.(w) <- v;
+  cs.nvars <- w + 1;
+  w
+
+let add_gate cs ~ql ~qr ~qo ~qm ~qc a b c =
+  cs.sealed_publics <- true;
+  cs.gates <- { ql; qr; qo; qm; qc; a; b; c } :: cs.gates;
+  cs.ngates <- cs.ngates + 1
+
+(** Declare a public input. All public inputs must be declared before any
+    gate is added (they occupy the first rows of the trace). *)
+let public_input (cs : t) (v : Fr.t) : wire =
+  if cs.sealed_publics then
+    invalid_arg "Cs.public_input: declare public inputs before adding gates";
+  let w = fresh cs v in
+  cs.publics <- w :: cs.publics;
+  cs.npublic <- cs.npublic + 1;
+  w
+
+let zero_wire (cs : t) : wire =
+  match Hashtbl.find_opt cs.constants "zero" with
+  | Some w -> w
+  | None ->
+    let w = fresh cs Fr.zero in
+    Hashtbl.add cs.constants "zero" w;
+    w
+
+(** A wire constrained to the constant [v]. Cached per value. *)
+let constant (cs : t) (v : Fr.t) : wire =
+  let key = Fr.to_bytes_be v in
+  match Hashtbl.find_opt cs.constants key with
+  | Some w -> w
+  | None ->
+    let w = fresh cs v in
+    let z = zero_wire cs in
+    add_gate cs ~ql:Fr.one ~qr:Fr.zero ~qo:Fr.zero ~qm:Fr.zero ~qc:(Fr.neg v) w z z;
+    Hashtbl.add cs.constants key w;
+    w
+
+(* ---- arithmetic helpers: each creates the output wire and one gate ---- *)
+
+let add cs a b =
+  let c = fresh cs (Fr.add (value cs a) (value cs b)) in
+  (* a + b - c = 0 *)
+  add_gate cs ~ql:Fr.one ~qr:Fr.one ~qo:(Fr.neg Fr.one) ~qm:Fr.zero ~qc:Fr.zero a b c;
+  c
+
+let sub cs a b =
+  let c = fresh cs (Fr.sub (value cs a) (value cs b)) in
+  add_gate cs ~ql:Fr.one ~qr:(Fr.neg Fr.one) ~qo:(Fr.neg Fr.one) ~qm:Fr.zero
+    ~qc:Fr.zero a b c;
+  c
+
+let mul cs a b =
+  let c = fresh cs (Fr.mul (value cs a) (value cs b)) in
+  (* a*b - c = 0 *)
+  add_gate cs ~ql:Fr.zero ~qr:Fr.zero ~qo:(Fr.neg Fr.one) ~qm:Fr.one ~qc:Fr.zero a b c;
+  c
+
+(** [affine cs ~sa a ~sb b ~const] is the wire [sa*a + sb*b + const]. *)
+let affine cs ~sa a ~sb b ~const =
+  let v = Fr.add (Fr.add (Fr.mul sa (value cs a)) (Fr.mul sb (value cs b))) const in
+  let c = fresh cs v in
+  add_gate cs ~ql:sa ~qr:sb ~qo:(Fr.neg Fr.one) ~qm:Fr.zero ~qc:const a b c;
+  c
+
+let scale cs s a = affine cs ~sa:s a ~sb:Fr.zero a ~const:Fr.zero
+let add_const cs a k = affine cs ~sa:Fr.one a ~sb:Fr.zero a ~const:k
+
+(* ---- assertions (gates with no output wire) ---- *)
+
+let assert_equal cs a b =
+  add_gate cs ~ql:Fr.one ~qr:(Fr.neg Fr.one) ~qo:Fr.zero ~qm:Fr.zero ~qc:Fr.zero a b
+    (zero_wire cs)
+
+let assert_zero cs a =
+  add_gate cs ~ql:Fr.one ~qr:Fr.zero ~qo:Fr.zero ~qm:Fr.zero ~qc:Fr.zero a
+    (zero_wire cs) (zero_wire cs)
+
+let assert_constant cs a v =
+  add_gate cs ~ql:Fr.one ~qr:Fr.zero ~qo:Fr.zero ~qm:Fr.zero ~qc:(Fr.neg v) a
+    (zero_wire cs) (zero_wire cs)
+
+(** Constrain [a * b = c] for existing wires. *)
+let assert_mul cs a b c =
+  add_gate cs ~ql:Fr.zero ~qr:Fr.zero ~qo:(Fr.neg Fr.one) ~qm:Fr.one ~qc:Fr.zero a b c
+
+let assert_boolean cs a =
+  (* a*a - a = 0 *)
+  add_gate cs ~ql:(Fr.neg Fr.one) ~qr:Fr.zero ~qo:Fr.zero ~qm:Fr.one ~qc:Fr.zero a a
+    (zero_wire cs)
+
+(* ---- finalized view ---- *)
+
+type compiled = {
+  gates_arr : gate array; (* public-input rows first *)
+  n_public : int;
+  n_vars : int;
+  witness : Fr.t array;
+  public_values : Fr.t array;
+}
+
+(** Freeze the builder. Public-input rows (qL = 1, wire = the input) are
+    prepended; the gate equation for them is balanced by the PI polynomial. *)
+let compile (cs : t) : compiled =
+  let publics = List.rev cs.publics in
+  let z = zero_wire cs in
+  let pub_gates =
+    List.map
+      (fun w ->
+        { ql = Fr.one; qr = Fr.zero; qo = Fr.zero; qm = Fr.zero; qc = Fr.zero;
+          a = w; b = z; c = z })
+      publics
+  in
+  let gates_arr = Array.of_list (pub_gates @ List.rev cs.gates) in
+  {
+    gates_arr;
+    n_public = cs.npublic;
+    n_vars = cs.nvars;
+    witness = Array.sub cs.values 0 cs.nvars;
+    public_values = Array.of_list (List.map (fun w -> cs.values.(w)) publics);
+  }
+
+(** Number of constraint rows (before padding), including public rows. *)
+let num_gates (c : compiled) = Array.length c.gates_arr
+
+(** Direct witness check: every gate equation holds on the assigned values.
+    Used by tests and by the prover as a cheap precondition. *)
+let satisfied (c : compiled) : bool =
+  let ok = ref true in
+  Array.iteri
+    (fun i g ->
+      let a = c.witness.(g.a) and b = c.witness.(g.b) and cc = c.witness.(g.c) in
+      let pi = if i < c.n_public then Fr.neg c.public_values.(i) else Fr.zero in
+      let v =
+        Fr.add
+          (Fr.add
+             (Fr.add (Fr.mul g.ql a) (Fr.mul g.qr b))
+             (Fr.add (Fr.mul g.qo cc) (Fr.mul g.qm (Fr.mul a b))))
+          (Fr.add g.qc pi)
+      in
+      if not (Fr.is_zero v) then ok := false)
+    c.gates_arr;
+  !ok

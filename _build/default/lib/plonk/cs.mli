@@ -1,0 +1,88 @@
+(** Plonk constraint system and circuit builder.
+
+    Rows of [qL*a + qR*b + qO*c + qM*a*b + qC + PI = 0] over three wire
+    columns; copy constraints arise from wires sharing variables. The
+    builder carries concrete values, so one synthesis pass yields both
+    the circuit structure (for preprocessing/verification) and the
+    witness (for proving). Synthesis must be data-independent: gadget
+    control flow may not branch on witness values. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+
+type wire = int
+
+type gate = {
+  ql : Fr.t;
+  qr : Fr.t;
+  qo : Fr.t;
+  qm : Fr.t;
+  qc : Fr.t;
+  a : wire;
+  b : wire;
+  c : wire;
+}
+
+type t
+
+val create : unit -> t
+
+val value : t -> wire -> Fr.t
+(** The current witness value on a wire. *)
+
+val fresh : t -> Fr.t -> wire
+(** Allocate an unconstrained wire holding the given witness value. *)
+
+val add_gate :
+  t -> ql:Fr.t -> qr:Fr.t -> qo:Fr.t -> qm:Fr.t -> qc:Fr.t ->
+  wire -> wire -> wire -> unit
+(** Emit a raw gate over wires (a, b, c). *)
+
+val public_input : t -> Fr.t -> wire
+(** Declare a public input. All public inputs must be declared before any
+    gate is added; raises [Invalid_argument] otherwise. *)
+
+val zero_wire : t -> wire
+(** A shared filler wire for unused gate slots (always multiplied by a
+    zero selector). *)
+
+val constant : t -> Fr.t -> wire
+(** A wire constrained to a constant; cached per value. *)
+
+(** {2 Arithmetic helpers} — each allocates the output wire + one gate. *)
+
+val add : t -> wire -> wire -> wire
+val sub : t -> wire -> wire -> wire
+val mul : t -> wire -> wire -> wire
+
+val affine : t -> sa:Fr.t -> wire -> sb:Fr.t -> wire -> const:Fr.t -> wire
+(** [affine cs ~sa a ~sb b ~const] = [sa*a + sb*b + const]. *)
+
+val scale : t -> Fr.t -> wire -> wire
+val add_const : t -> wire -> Fr.t -> wire
+
+(** {2 Assertions} — gates with no output wire. *)
+
+val assert_equal : t -> wire -> wire -> unit
+val assert_zero : t -> wire -> unit
+val assert_constant : t -> wire -> Fr.t -> unit
+val assert_mul : t -> wire -> wire -> wire -> unit
+val assert_boolean : t -> wire -> unit
+
+(** {2 Compilation} *)
+
+type compiled = {
+  gates_arr : gate array;  (** public-input rows first *)
+  n_public : int;
+  n_vars : int;
+  witness : Fr.t array;
+  public_values : Fr.t array;
+}
+
+val compile : t -> compiled
+
+val num_gates : compiled -> int
+(** Constraint rows before power-of-two padding. *)
+
+val satisfied : compiled -> bool
+(** Direct witness check of every gate equation (cheap prover
+    precondition and test oracle). *)

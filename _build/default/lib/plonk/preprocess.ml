@@ -1,0 +1,204 @@
+(* Circuit preprocessing: selector polynomials, the copy-constraint
+   permutation polynomials sigma_{1,2,3}, and their commitments. This is the
+   circuit-specific (but still transparent) part of the Plonk setup; the
+   universal part is the SRS. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module G1 = Zkdet_curve.G1
+module Poly = Zkdet_poly.Poly
+module Domain = Zkdet_poly.Domain
+module Srs = Zkdet_kzg.Srs
+module Kzg = Zkdet_kzg.Kzg
+
+type proving_key = {
+  domain : Domain.t;
+  domain4 : Domain.t; (* 4n coset domain for quotient computation *)
+  srs : Srs.t;
+  n : int;
+  n_public : int;
+  gates : Cs.gate array; (* padded to n *)
+  (* selector polynomials (coefficient form) *)
+  ql : Poly.t;
+  qr : Poly.t;
+  qo : Poly.t;
+  qm : Poly.t;
+  qc : Poly.t;
+  (* permutation *)
+  k1 : Fr.t;
+  k2 : Fr.t;
+  sigma1 : Poly.t;
+  sigma2 : Poly.t;
+  sigma3 : Poly.t;
+  (* permutation maps in evaluation form, for building z(X) *)
+  sigma1_evals : Fr.t array;
+  sigma2_evals : Fr.t array;
+  sigma3_evals : Fr.t array;
+  (* coset (4n) evaluations of the fixed polynomials, precomputed once so
+     the prover's quotient round does not redo their FFTs per proof *)
+  coset_fixed : Fr.t array array; (* ql qr qo qm qc s1 s2 s3 l1 *)
+  vk : verification_key;
+}
+
+and verification_key = {
+  vk_n : int;
+  vk_n_public : int;
+  vk_domain : Domain.t;
+  vk_k1 : Fr.t;
+  vk_k2 : Fr.t;
+  cm_ql : G1.t;
+  cm_qr : G1.t;
+  cm_qo : G1.t;
+  cm_qm : G1.t;
+  cm_qc : G1.t;
+  cm_sigma1 : G1.t;
+  cm_sigma2 : G1.t;
+  cm_sigma3 : G1.t;
+  vk_g2 : Zkdet_curve.G2.t;
+  vk_g2_tau : Zkdet_curve.G2.t;
+}
+
+let next_pow2 x =
+  let rec go k = if 1 lsl k >= x then k else go (k + 1) in
+  go 0
+
+let padding_gate : Cs.gate =
+  {
+    Cs.ql = Fr.zero;
+    qr = Fr.zero;
+    qo = Fr.zero;
+    qm = Fr.zero;
+    qc = Fr.zero;
+    a = 0;
+    b = 0;
+    c = 0;
+  }
+
+(* Coset identifiers k1, k2 with H, k1 H, k2 H pairwise disjoint. *)
+let find_cosets (d : Domain.t) : Fr.t * Fr.t =
+  let n = Domain.size d in
+  let in_subgroup k = Fr.is_one (Fr.pow k n) in
+  let rec find_k1 c =
+    let k = Fr.of_int c in
+    if in_subgroup k then find_k1 (c + 1) else k
+  in
+  let k1 = find_k1 2 in
+  let rec find_k2 c =
+    let k = Fr.of_int c in
+    if in_subgroup k || Fr.is_one (Fr.pow (Fr.div k k1) n) then find_k2 (c + 1)
+    else k
+  in
+  (k1, find_k2 3)
+
+(** Build the proving key for a compiled circuit over the given SRS. The SRS
+    must have at least [n + 6] G1 powers for blinding headroom. *)
+let setup (srs : Srs.t) (circuit : Cs.compiled) : proving_key =
+  let raw_n = Cs.num_gates circuit in
+  let log2n = max 2 (next_pow2 (max raw_n 8)) in
+  let n = 1 lsl log2n in
+  if Srs.size srs < n + 6 then invalid_arg "Preprocess.setup: SRS too small";
+  let domain = Domain.create log2n in
+  let domain4 = Domain.create (log2n + 2) in
+  let gates =
+    Array.init n (fun i ->
+        if i < raw_n then circuit.Cs.gates_arr.(i) else padding_gate)
+  in
+  let selector f = Domain.ifft domain (Array.map f gates) in
+  let ql = selector (fun g -> g.Cs.ql) in
+  let qr = selector (fun g -> g.Cs.qr) in
+  let qo = selector (fun g -> g.Cs.qo) in
+  let qm = selector (fun g -> g.Cs.qm) in
+  let qc = selector (fun g -> g.Cs.qc) in
+  let k1, k2 = find_cosets domain in
+  (* Copy constraints: for every variable, the positions (col,row) holding
+     it form one cycle. sigma maps each position to the next position of
+     the same variable; fixed points for variables used once. *)
+  let omegas = Domain.elements domain in
+  let id_value col row =
+    match col with
+    | 0 -> omegas.(row)
+    | 1 -> Fr.mul k1 omegas.(row)
+    | _ -> Fr.mul k2 omegas.(row)
+  in
+  let positions : (int * int) list array = Array.make circuit.Cs.n_vars [] in
+  for row = n - 1 downto 0 do
+    let g = gates.(row) in
+    positions.(g.Cs.a) <- (0, row) :: positions.(g.Cs.a);
+    positions.(g.Cs.b) <- (1, row) :: positions.(g.Cs.b);
+    positions.(g.Cs.c) <- (2, row) :: positions.(g.Cs.c)
+  done;
+  let sigma_evals = Array.init 3 (fun col ->
+      Array.init n (fun row -> id_value col row))
+  in
+  Array.iter
+    (fun poss ->
+      match poss with
+      | [] | [ _ ] -> () (* unused or single-use variable: identity *)
+      | first :: _ ->
+        (* cycle: position i maps to position i+1, last maps to first *)
+        let rec link = function
+          | [] -> ()
+          | [ (col, row) ] ->
+            let fc, fr_ = first in
+            sigma_evals.(col).(row) <- id_value fc fr_
+          | (col, row) :: ((ncol, nrow) :: _ as rest) ->
+            sigma_evals.(col).(row) <- id_value ncol nrow;
+            link rest
+        in
+        link poss)
+    positions;
+  let sigma1_evals = sigma_evals.(0)
+  and sigma2_evals = sigma_evals.(1)
+  and sigma3_evals = sigma_evals.(2) in
+  let sigma1 = Domain.ifft domain sigma1_evals in
+  let sigma2 = Domain.ifft domain sigma2_evals in
+  let sigma3 = Domain.ifft domain sigma3_evals in
+  let commit = Kzg.commit srs in
+  let vk =
+    {
+      vk_n = n;
+      vk_n_public = circuit.Cs.n_public;
+      vk_domain = domain;
+      vk_k1 = k1;
+      vk_k2 = k2;
+      cm_ql = commit ql;
+      cm_qr = commit qr;
+      cm_qo = commit qo;
+      cm_qm = commit qm;
+      cm_qc = commit qc;
+      cm_sigma1 = commit sigma1;
+      cm_sigma2 = commit sigma2;
+      cm_sigma3 = commit sigma3;
+      vk_g2 = srs.Srs.g2;
+      vk_g2_tau = srs.Srs.g2_tau;
+    }
+  in
+  let l1_poly =
+    Domain.ifft domain (Array.init n (fun i -> if i = 0 then Fr.one else Fr.zero))
+  in
+  let coset_fixed =
+    Array.map (Domain.coset_fft domain4)
+      [| ql; qr; qo; qm; qc; sigma1; sigma2; sigma3; l1_poly |]
+  in
+  {
+    domain;
+    domain4;
+    srs;
+    n;
+    n_public = circuit.Cs.n_public;
+    gates;
+    ql;
+    qr;
+    qo;
+    qm;
+    qc;
+    k1;
+    k2;
+    sigma1;
+    sigma2;
+    sigma3;
+    sigma1_evals;
+    sigma2_evals;
+    sigma3_evals;
+    coset_fixed;
+    vk;
+  }

@@ -1,0 +1,58 @@
+(** Circuit preprocessing: selector polynomials, copy-constraint
+    permutation polynomials sigma_{1,2,3} and their commitments. The
+    circuit-specific (but transparent) part of Plonk's setup; the
+    universal part is the SRS. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module G1 = Zkdet_curve.G1
+module Poly = Zkdet_poly.Poly
+module Domain = Zkdet_poly.Domain
+module Srs = Zkdet_kzg.Srs
+
+type proving_key = {
+  domain : Domain.t;
+  domain4 : Domain.t;  (** 4n coset domain for the quotient *)
+  srs : Srs.t;
+  n : int;
+  n_public : int;
+  gates : Cs.gate array;  (** padded to n *)
+  ql : Poly.t;
+  qr : Poly.t;
+  qo : Poly.t;
+  qm : Poly.t;
+  qc : Poly.t;
+  k1 : Fr.t;
+  k2 : Fr.t;
+  sigma1 : Poly.t;
+  sigma2 : Poly.t;
+  sigma3 : Poly.t;
+  sigma1_evals : Fr.t array;
+  sigma2_evals : Fr.t array;
+  sigma3_evals : Fr.t array;
+  coset_fixed : Fr.t array array;
+      (** precomputed 4n-coset evaluations: ql qr qo qm qc s1 s2 s3 l1 *)
+  vk : verification_key;
+}
+
+and verification_key = {
+  vk_n : int;
+  vk_n_public : int;
+  vk_domain : Domain.t;
+  vk_k1 : Fr.t;
+  vk_k2 : Fr.t;
+  cm_ql : G1.t;
+  cm_qr : G1.t;
+  cm_qo : G1.t;
+  cm_qm : G1.t;
+  cm_qc : G1.t;
+  cm_sigma1 : G1.t;
+  cm_sigma2 : G1.t;
+  cm_sigma3 : G1.t;
+  vk_g2 : Zkdet_curve.G2.t;
+  vk_g2_tau : Zkdet_curve.G2.t;
+}
+
+val setup : Srs.t -> Cs.compiled -> proving_key
+(** Build the proving key (and embedded verification key) for a compiled
+    circuit. Pads to the next power of two; requires the SRS to have at
+    least [n + 6] G1 powers (blinding headroom). *)

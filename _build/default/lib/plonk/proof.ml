@@ -1,0 +1,92 @@
+(* A Plonk proof: exactly 9 G1 elements and 6 scalars, matching the sizes
+   the paper reports (§VI-B.3: "9 elements in G1 and 6 in Fp", ~2.4 KB in
+   uncompressed affine encoding). *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module G1 = Zkdet_curve.G1
+
+type t = {
+  cm_a : G1.t;
+  cm_b : G1.t;
+  cm_c : G1.t;
+  cm_z : G1.t;
+  cm_t_lo : G1.t;
+  cm_t_mid : G1.t;
+  cm_t_hi : G1.t;
+  cm_w_zeta : G1.t;
+  cm_w_zeta_omega : G1.t;
+  eval_a : Fr.t;
+  eval_b : Fr.t;
+  eval_c : Fr.t;
+  eval_s1 : Fr.t;
+  eval_s2 : Fr.t;
+  eval_z_omega : Fr.t;
+}
+
+let g1_points p =
+  [ p.cm_a; p.cm_b; p.cm_c; p.cm_z; p.cm_t_lo; p.cm_t_mid; p.cm_t_hi;
+    p.cm_w_zeta; p.cm_w_zeta_omega ]
+
+let evaluations p =
+  [ p.eval_a; p.eval_b; p.eval_c; p.eval_s1; p.eval_s2; p.eval_z_omega ]
+
+let to_bytes p =
+  String.concat ""
+    (List.map G1.to_bytes_fixed (g1_points p)
+    @ List.map Fr.to_bytes_be (evaluations p))
+
+let size_bytes p = String.length (to_bytes p)
+
+(* Compressed encoding: 9 * 33 + 6 * 32 = 489 bytes. *)
+let to_bytes_compressed p =
+  String.concat ""
+    (List.map G1.to_bytes_compressed (g1_points p)
+    @ List.map Fr.to_bytes_be (evaluations p))
+
+let of_bytes_compressed (s : string) : t =
+  let pw = G1.compressed_size and fw = Fr.num_bytes in
+  if String.length s <> (9 * pw) + (6 * fw) then
+    invalid_arg "Proof.of_bytes_compressed: bad length";
+  let pt i = G1.of_bytes_compressed (String.sub s (i * pw) pw) in
+  let ev i = Fr.of_bytes_be (String.sub s ((9 * pw) + (i * fw)) fw) in
+  {
+    cm_a = pt 0;
+    cm_b = pt 1;
+    cm_c = pt 2;
+    cm_z = pt 3;
+    cm_t_lo = pt 4;
+    cm_t_mid = pt 5;
+    cm_t_hi = pt 6;
+    cm_w_zeta = pt 7;
+    cm_w_zeta_omega = pt 8;
+    eval_a = ev 0;
+    eval_b = ev 1;
+    eval_c = ev 2;
+    eval_s1 = ev 3;
+    eval_s2 = ev 4;
+    eval_z_omega = ev 5;
+  }
+
+let of_bytes (s : string) : t =
+  let pw = G1.encoded_size and fw = Fr.num_bytes in
+  if String.length s <> (9 * pw) + (6 * fw) then
+    invalid_arg "Proof.of_bytes: bad length";
+  let pt i = G1.of_bytes_fixed (String.sub s (i * pw) pw) in
+  let ev i = Fr.of_bytes_be (String.sub s ((9 * pw) + (i * fw)) fw) in
+  {
+    cm_a = pt 0;
+    cm_b = pt 1;
+    cm_c = pt 2;
+    cm_z = pt 3;
+    cm_t_lo = pt 4;
+    cm_t_mid = pt 5;
+    cm_t_hi = pt 6;
+    cm_w_zeta = pt 7;
+    cm_w_zeta_omega = pt 8;
+    eval_a = ev 0;
+    eval_b = ev 1;
+    eval_c = ev 2;
+    eval_s1 = ev 3;
+    eval_s2 = ev 4;
+    eval_z_omega = ev 5;
+  }

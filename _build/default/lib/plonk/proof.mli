@@ -1,0 +1,41 @@
+(** Plonk proofs: exactly 9 G1 points and 6 scalars, matching the sizes
+    the paper reports (§VI-B.3), independent of the circuit. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module G1 = Zkdet_curve.G1
+
+type t = {
+  cm_a : G1.t;
+  cm_b : G1.t;
+  cm_c : G1.t;
+  cm_z : G1.t;
+  cm_t_lo : G1.t;
+  cm_t_mid : G1.t;
+  cm_t_hi : G1.t;
+  cm_w_zeta : G1.t;
+  cm_w_zeta_omega : G1.t;
+  eval_a : Fr.t;
+  eval_b : Fr.t;
+  eval_c : Fr.t;
+  eval_s1 : Fr.t;
+  eval_s2 : Fr.t;
+  eval_z_omega : Fr.t;
+}
+
+val g1_points : t -> G1.t list
+val evaluations : t -> Fr.t list
+
+val to_bytes : t -> string
+(** Fixed-width serialization (9 x 65 + 6 x 32 = 777 bytes), suitable for
+    storage in the content-addressed network. *)
+
+val of_bytes : string -> t
+(** Inverse of {!to_bytes}; validates point encodings. Raises
+    [Invalid_argument] on malformed input. *)
+
+val to_bytes_compressed : t -> string
+(** Compressed-point encoding (489 bytes): parity tag + x per G1 point. *)
+
+val of_bytes_compressed : string -> t
+
+val size_bytes : t -> int

@@ -1,0 +1,315 @@
+(* The Plonk prover (Gabizon–Williamson–Ciobotaru 2019), 5 rounds, with the
+   quotient computed on a coset of the 4n domain. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module G1 = Zkdet_curve.G1
+module Poly = Zkdet_poly.Poly
+module Domain = Zkdet_poly.Domain
+module Kzg = Zkdet_kzg.Kzg
+
+let absorb_vk_and_publics (t : Transcript.t) (vk : Preprocess.verification_key)
+    (publics : Fr.t array) =
+  Transcript.absorb_g1 t ~label:"qm" vk.Preprocess.cm_qm;
+  Transcript.absorb_g1 t ~label:"ql" vk.Preprocess.cm_ql;
+  Transcript.absorb_g1 t ~label:"qr" vk.Preprocess.cm_qr;
+  Transcript.absorb_g1 t ~label:"qo" vk.Preprocess.cm_qo;
+  Transcript.absorb_g1 t ~label:"qc" vk.Preprocess.cm_qc;
+  Transcript.absorb_g1 t ~label:"s1" vk.Preprocess.cm_sigma1;
+  Transcript.absorb_g1 t ~label:"s2" vk.Preprocess.cm_sigma2;
+  Transcript.absorb_g1 t ~label:"s3" vk.Preprocess.cm_sigma3;
+  Array.iter (Transcript.absorb_fr t ~label:"pub") publics
+
+(* Add (b_hi X + b_lo) * Z_H to a polynomial given in coefficient form. *)
+let blind2 (coeffs : Fr.t array) n b_hi b_lo =
+  let out = Array.make (max (Array.length coeffs) (n + 2)) Fr.zero in
+  Array.blit coeffs 0 out 0 (Array.length coeffs);
+  out.(n + 1) <- Fr.add out.(n + 1) b_hi;
+  out.(n) <- Fr.add out.(n) b_lo;
+  out.(1) <- Fr.sub out.(1) b_hi;
+  out.(0) <- Fr.sub out.(0) b_lo;
+  out
+
+(* Add (b2 X^2 + b1 X + b0) * Z_H. *)
+let blind3 (coeffs : Fr.t array) n b2 b1 b0 =
+  let out = Array.make (max (Array.length coeffs) (n + 3)) Fr.zero in
+  Array.blit coeffs 0 out 0 (Array.length coeffs);
+  out.(n + 2) <- Fr.add out.(n + 2) b2;
+  out.(n + 1) <- Fr.add out.(n + 1) b1;
+  out.(n) <- Fr.add out.(n) b0;
+  out.(2) <- Fr.sub out.(2) b2;
+  out.(1) <- Fr.sub out.(1) b1;
+  out.(0) <- Fr.sub out.(0) b0;
+  out
+
+let prove ?(st = Random.State.make_self_init ()) (pk : Preprocess.proving_key)
+    (circuit : Cs.compiled) : Proof.t =
+  if not (Cs.satisfied circuit) then
+    invalid_arg "Prover.prove: witness does not satisfy the circuit";
+  let n = pk.Preprocess.n in
+  let domain = pk.Preprocess.domain in
+  let domain4 = pk.Preprocess.domain4 in
+  let gates = pk.Preprocess.gates in
+  let witness = circuit.Cs.witness in
+  let publics = circuit.Cs.public_values in
+  let tr = Transcript.create ~label:"plonk" in
+  absorb_vk_and_publics tr pk.Preprocess.vk publics;
+
+  (* Wire value columns over the padded trace. *)
+  let wa = Array.map (fun g -> witness.(g.Cs.a)) gates in
+  let wb = Array.map (fun g -> witness.(g.Cs.b)) gates in
+  let wc = Array.map (fun g -> witness.(g.Cs.c)) gates in
+
+  (* ---- Round 1: blinded wire polynomials ---- *)
+  let r () = Fr.random st in
+  let a_poly = blind2 (Domain.ifft domain wa) n (r ()) (r ()) in
+  let b_poly = blind2 (Domain.ifft domain wb) n (r ()) (r ()) in
+  let c_poly = blind2 (Domain.ifft domain wc) n (r ()) (r ()) in
+  let cm_a = Kzg.commit pk.Preprocess.srs a_poly in
+  let cm_b = Kzg.commit pk.Preprocess.srs b_poly in
+  let cm_c = Kzg.commit pk.Preprocess.srs c_poly in
+  Transcript.absorb_g1 tr ~label:"a" cm_a;
+  Transcript.absorb_g1 tr ~label:"b" cm_b;
+  Transcript.absorb_g1 tr ~label:"c" cm_c;
+
+  (* ---- Round 2: permutation accumulator ---- *)
+  let beta = Transcript.challenge_fr tr ~label:"beta" in
+  let gamma = Transcript.challenge_fr tr ~label:"gamma" in
+  let k1 = pk.Preprocess.k1 and k2 = pk.Preprocess.k2 in
+  let omegas = Domain.elements domain in
+  let z_evals = Array.make n Fr.one in
+  let dens =
+    Array.init (n - 1) (fun i ->
+        Fr.mul
+          (Fr.mul
+             (Fr.add (Fr.add wa.(i) (Fr.mul beta pk.Preprocess.sigma1_evals.(i))) gamma)
+             (Fr.add (Fr.add wb.(i) (Fr.mul beta pk.Preprocess.sigma2_evals.(i))) gamma))
+          (Fr.add (Fr.add wc.(i) (Fr.mul beta pk.Preprocess.sigma3_evals.(i))) gamma))
+  in
+  let den_invs = Fr.batch_inv dens in
+  for i = 0 to n - 2 do
+    let x = omegas.(i) in
+    let num =
+      Fr.mul
+        (Fr.mul
+           (Fr.add (Fr.add wa.(i) (Fr.mul beta x)) gamma)
+           (Fr.add (Fr.add wb.(i) (Fr.mul beta (Fr.mul k1 x))) gamma))
+        (Fr.add (Fr.add wc.(i) (Fr.mul beta (Fr.mul k2 x))) gamma)
+    in
+    z_evals.(i + 1) <- Fr.mul z_evals.(i) (Fr.mul num den_invs.(i))
+  done;
+  let z_poly = blind3 (Domain.ifft domain z_evals) n (r ()) (r ()) (r ()) in
+  let cm_z = Kzg.commit pk.Preprocess.srs z_poly in
+  Transcript.absorb_g1 tr ~label:"z" cm_z;
+
+  (* ---- Round 3: quotient polynomial on the 4n coset ---- *)
+  let alpha = Transcript.challenge_fr tr ~label:"alpha" in
+  let n4 = Domain.size domain4 in
+  let cfft = Domain.coset_fft domain4 in
+  let a4 = cfft a_poly and b4 = cfft b_poly and c4 = cfft c_poly in
+  let z4 = cfft z_poly in
+  let ql4 = pk.Preprocess.coset_fixed.(0)
+  and qr4 = pk.Preprocess.coset_fixed.(1)
+  and qo4 = pk.Preprocess.coset_fixed.(2)
+  and qm4 = pk.Preprocess.coset_fixed.(3)
+  and qc4 = pk.Preprocess.coset_fixed.(4) in
+  let s1_4 = pk.Preprocess.coset_fixed.(5)
+  and s2_4 = pk.Preprocess.coset_fixed.(6)
+  and s3_4 = pk.Preprocess.coset_fixed.(7) in
+  let pi_evals =
+    Array.init n (fun i ->
+        if i < Array.length publics then Fr.neg publics.(i) else Fr.zero)
+  in
+  let pi_poly = Domain.ifft domain pi_evals in
+  let pi4 = cfft pi_poly in
+  let l1_4 = pk.Preprocess.coset_fixed.(8) in
+  (* Z_H on the coset: (g w4^i)^n - 1 = g^n (w4^n)^i - 1, period 4. *)
+  let g = Domain.shift domain4 in
+  let g_n = Fr.pow g n in
+  let w4_n = Fr.pow (Domain.omega domain4) n in
+  let zh4 = Array.make n4 Fr.zero in
+  let acc = ref g_n in
+  for i = 0 to n4 - 1 do
+    zh4.(i) <- Fr.sub !acc Fr.one;
+    acc := Fr.mul !acc w4_n
+  done;
+  let zh4_inv = Array.map Fr.inv (Array.sub zh4 0 4) in
+  (* x on the coset *)
+  let x4 = Array.make n4 Fr.zero in
+  let acc = ref g in
+  for i = 0 to n4 - 1 do
+    x4.(i) <- !acc;
+    acc := Fr.mul !acc (Domain.omega domain4)
+  done;
+  let alpha2 = Fr.sqr alpha in
+  let t_evals =
+    Array.init n4 (fun i ->
+        let a = a4.(i) and b = b4.(i) and c = c4.(i) in
+        let zv = z4.(i) and zw = z4.((i + 4) mod n4) in
+        let x = x4.(i) in
+        let gate =
+          Fr.add
+            (Fr.add
+               (Fr.add (Fr.mul (Fr.mul a b) qm4.(i)) (Fr.mul a ql4.(i)))
+               (Fr.add (Fr.mul b qr4.(i)) (Fr.mul c qo4.(i))))
+            (Fr.add pi4.(i) qc4.(i))
+        in
+        let perm_num =
+          Fr.mul
+            (Fr.mul
+               (Fr.add (Fr.add a (Fr.mul beta x)) gamma)
+               (Fr.add (Fr.add b (Fr.mul beta (Fr.mul k1 x))) gamma))
+            (Fr.mul (Fr.add (Fr.add c (Fr.mul beta (Fr.mul k2 x))) gamma) zv)
+        in
+        let perm_den =
+          Fr.mul
+            (Fr.mul
+               (Fr.add (Fr.add a (Fr.mul beta s1_4.(i))) gamma)
+               (Fr.add (Fr.add b (Fr.mul beta s2_4.(i))) gamma))
+            (Fr.mul (Fr.add (Fr.add c (Fr.mul beta s3_4.(i))) gamma) zw)
+        in
+        let l1_term = Fr.mul (Fr.sub zv Fr.one) l1_4.(i) in
+        let num =
+          Fr.add gate
+            (Fr.add
+               (Fr.mul alpha (Fr.sub perm_num perm_den))
+               (Fr.mul alpha2 l1_term))
+        in
+        Fr.mul num zh4_inv.(i mod 4))
+  in
+  let t_poly = Domain.coset_ifft domain4 t_evals in
+  (* Degree sanity: t has degree <= 3n + 5. *)
+  assert (Poly.degree t_poly <= (3 * n) + 5);
+  let b10 = r () and b11 = r () in
+  let t_lo =
+    let out = Array.make (n + 1) Fr.zero in
+    Array.blit t_poly 0 out 0 n;
+    out.(n) <- b10;
+    out
+  in
+  let t_mid =
+    let out = Array.make (n + 1) Fr.zero in
+    Array.blit t_poly n out 0 n;
+    out.(0) <- Fr.sub out.(0) b10;
+    out.(n) <- b11;
+    out
+  in
+  let t_hi =
+    let len = Array.length t_poly - (2 * n) in
+    let out = Array.make (max len 1) Fr.zero in
+    Array.blit t_poly (2 * n) out 0 len;
+    out.(0) <- Fr.sub out.(0) b11;
+    out
+  in
+  let cm_t_lo = Kzg.commit pk.Preprocess.srs t_lo in
+  let cm_t_mid = Kzg.commit pk.Preprocess.srs t_mid in
+  let cm_t_hi = Kzg.commit pk.Preprocess.srs t_hi in
+  Transcript.absorb_g1 tr ~label:"t_lo" cm_t_lo;
+  Transcript.absorb_g1 tr ~label:"t_mid" cm_t_mid;
+  Transcript.absorb_g1 tr ~label:"t_hi" cm_t_hi;
+
+  (* ---- Round 4: evaluations at zeta ---- *)
+  let zeta = Transcript.challenge_fr tr ~label:"zeta" in
+  let ev p = Poly.eval p zeta in
+  let eval_a = ev a_poly
+  and eval_b = ev b_poly
+  and eval_c = ev c_poly
+  and eval_s1 = ev pk.Preprocess.sigma1
+  and eval_s2 = ev pk.Preprocess.sigma2 in
+  let zeta_omega = Fr.mul zeta (Domain.omega domain) in
+  let eval_z_omega = Poly.eval z_poly zeta_omega in
+  Transcript.absorb_fr tr ~label:"ea" eval_a;
+  Transcript.absorb_fr tr ~label:"eb" eval_b;
+  Transcript.absorb_fr tr ~label:"ec" eval_c;
+  Transcript.absorb_fr tr ~label:"es1" eval_s1;
+  Transcript.absorb_fr tr ~label:"es2" eval_s2;
+  Transcript.absorb_fr tr ~label:"ezw" eval_z_omega;
+
+  (* ---- Round 5: linearization and opening proofs ---- *)
+  let v = Transcript.challenge_fr tr ~label:"v" in
+  let pi_zeta = Poly.eval pi_poly zeta in
+  let zh_zeta = Domain.vanishing_eval domain zeta in
+  let l1_zeta = Domain.lagrange_eval domain 0 zeta in
+  let zeta_n = Fr.pow zeta n in
+  let zeta_2n = Fr.sqr zeta_n in
+  let scale = Poly.scale in
+  let perm_z_coeff =
+    (* alpha (a+bz+g)(b+b k1 z+g)(c+b k2 z+g) + alpha^2 L1(zeta) *)
+    Fr.add
+      (Fr.mul alpha
+         (Fr.mul
+            (Fr.mul
+               (Fr.add (Fr.add eval_a (Fr.mul beta zeta)) gamma)
+               (Fr.add (Fr.add eval_b (Fr.mul beta (Fr.mul k1 zeta))) gamma))
+            (Fr.add (Fr.add eval_c (Fr.mul beta (Fr.mul k2 zeta))) gamma)))
+      (Fr.mul alpha2 l1_zeta)
+  in
+  let perm_s3_coeff =
+    (* -alpha (a+b s1+g)(b+b s2+g) beta z_omega *)
+    Fr.neg
+      (Fr.mul alpha
+         (Fr.mul
+            (Fr.mul
+               (Fr.add (Fr.add eval_a (Fr.mul beta eval_s1)) gamma)
+               (Fr.add (Fr.add eval_b (Fr.mul beta eval_s2)) gamma))
+            (Fr.mul beta eval_z_omega)))
+  in
+  let r_const =
+    (* PI(z) - alpha^2 L1(z) - alpha (a+b s1+g)(b+b s2+g)(c+g) z_omega *)
+    Fr.sub
+      (Fr.sub pi_zeta (Fr.mul alpha2 l1_zeta))
+      (Fr.mul alpha
+         (Fr.mul
+            (Fr.mul
+               (Fr.add (Fr.add eval_a (Fr.mul beta eval_s1)) gamma)
+               (Fr.add (Fr.add eval_b (Fr.mul beta eval_s2)) gamma))
+            (Fr.mul (Fr.add eval_c gamma) eval_z_omega)))
+  in
+  let r_poly =
+    List.fold_left Poly.add Poly.zero
+      [ scale (Fr.mul eval_a eval_b) pk.Preprocess.qm;
+        scale eval_a pk.Preprocess.ql;
+        scale eval_b pk.Preprocess.qr;
+        scale eval_c pk.Preprocess.qo;
+        pk.Preprocess.qc;
+        scale perm_z_coeff z_poly;
+        scale perm_s3_coeff pk.Preprocess.sigma3;
+        Poly.neg
+          (scale zh_zeta
+             (List.fold_left Poly.add Poly.zero
+                [ t_lo; scale zeta_n t_mid; scale zeta_2n t_hi ]));
+        Poly.constant r_const ]
+  in
+  (* Sanity: the linearization must vanish at zeta. *)
+  assert (Fr.is_zero (Poly.eval r_poly zeta));
+  let w_zeta_num =
+    List.fold_left
+      (fun (acc, vp) (p, y) ->
+        (Poly.add acc (scale vp (Poly.sub p (Poly.constant y))), Fr.mul vp v))
+      (r_poly, v)
+      [ (a_poly, eval_a); (b_poly, eval_b); (c_poly, eval_c);
+        (pk.Preprocess.sigma1, eval_s1); (pk.Preprocess.sigma2, eval_s2) ]
+    |> fst
+  in
+  let w_zeta = Poly.div_by_linear w_zeta_num zeta in
+  let w_zeta_omega =
+    Poly.div_by_linear (Poly.sub z_poly (Poly.constant eval_z_omega)) zeta_omega
+  in
+  let cm_w_zeta = Kzg.commit pk.Preprocess.srs w_zeta in
+  let cm_w_zeta_omega = Kzg.commit pk.Preprocess.srs w_zeta_omega in
+  {
+    Proof.cm_a;
+    cm_b;
+    cm_c;
+    cm_z;
+    cm_t_lo;
+    cm_t_mid;
+    cm_t_hi;
+    cm_w_zeta;
+    cm_w_zeta_omega;
+    eval_a;
+    eval_b;
+    eval_c;
+    eval_s1;
+    eval_s2;
+    eval_z_omega;
+  }

@@ -1,0 +1,15 @@
+(** The Plonk prover (Gabizon–Williamson–Ciobotaru 2019): 5 rounds, with
+    the quotient computed on a coset of the 4n domain and zero-knowledge
+    blinding on the wire and permutation polynomials. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+
+val absorb_vk_and_publics :
+  Transcript.t -> Preprocess.verification_key -> Fr.t array -> unit
+(** Shared transcript prefix (also used by the verifier). *)
+
+val prove :
+  ?st:Random.State.t -> Preprocess.proving_key -> Cs.compiled -> Proof.t
+(** Generate a proof for a satisfied circuit. Raises [Invalid_argument]
+    when the witness does not satisfy the constraint system — proving an
+    invalid witness is always a caller bug. *)

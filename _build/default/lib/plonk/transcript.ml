@@ -1,0 +1,22 @@
+(* Fiat–Shamir transcript: absorb labeled protocol messages, squeeze field
+   challenges. Domain-separated SHA-256 chaining. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module Sha256 = Zkdet_hash.Sha256
+
+type t = { mutable state : string }
+
+let create ~label = { state = Sha256.digest ("zkdet-transcript/" ^ label) }
+
+let absorb_bytes t ~label (data : string) =
+  t.state <- Sha256.digest (t.state ^ "/" ^ label ^ "/" ^ data)
+
+let absorb_fr t ~label (x : Fr.t) = absorb_bytes t ~label (Fr.to_bytes_be x)
+
+let absorb_g1 t ~label (p : Zkdet_curve.G1.t) =
+  absorb_bytes t ~label (Zkdet_curve.G1.to_bytes p)
+
+let challenge_fr t ~label : Fr.t =
+  let out = Sha256.digest (t.state ^ "/challenge/" ^ label) in
+  t.state <- Sha256.digest (t.state ^ "/post-challenge/" ^ label);
+  Fr.of_bytes_be out

@@ -1,0 +1,15 @@
+(** Fiat–Shamir transcript: domain-separated SHA-256 chaining, shared
+    byte-for-byte by prover and verifier. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+
+type t
+
+val create : label:string -> t
+val absorb_bytes : t -> label:string -> string -> unit
+val absorb_fr : t -> label:string -> Fr.t -> unit
+val absorb_g1 : t -> label:string -> Zkdet_curve.G1.t -> unit
+
+val challenge_fr : t -> label:string -> Fr.t
+(** Squeeze a field challenge; mutates the state so later challenges
+    depend on everything absorbed before them. *)

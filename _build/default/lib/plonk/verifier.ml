@@ -1,0 +1,194 @@
+(* Plonk verifier: O(1) work — a fixed number of scalar multiplications and
+   exactly 2 pairings, independent of circuit size (§VI-B.3 of the paper). *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module G1 = Zkdet_curve.G1
+module G2 = Zkdet_curve.G2
+module Pairing = Zkdet_curve.Pairing
+module Domain = Zkdet_poly.Domain
+
+(** [prepare vk publics proof] reduces verification to a single pairing
+    equation: the proof is valid iff [e(L, [tau]G2) = e(R, G2)] for the
+    returned [(L, R)]. [None] signals a structural rejection. Exposing the
+    pair enables batch verification (below) and the on-chain aggregated
+    check. *)
+let prepare (vk : Preprocess.verification_key) (publics : Fr.t array)
+    (proof : Proof.t) : (G1.t * G1.t) option =
+  if Array.length publics <> vk.Preprocess.vk_n_public then None
+  else begin
+    let n = vk.Preprocess.vk_n in
+    let domain = vk.Preprocess.vk_domain in
+    let k1 = vk.Preprocess.vk_k1 and k2 = vk.Preprocess.vk_k2 in
+    (* Recompute the challenges from the transcript. *)
+    let tr = Transcript.create ~label:"plonk" in
+    Prover.absorb_vk_and_publics tr vk publics;
+    Transcript.absorb_g1 tr ~label:"a" proof.Proof.cm_a;
+    Transcript.absorb_g1 tr ~label:"b" proof.Proof.cm_b;
+    Transcript.absorb_g1 tr ~label:"c" proof.Proof.cm_c;
+    let beta = Transcript.challenge_fr tr ~label:"beta" in
+    let gamma = Transcript.challenge_fr tr ~label:"gamma" in
+    Transcript.absorb_g1 tr ~label:"z" proof.Proof.cm_z;
+    let alpha = Transcript.challenge_fr tr ~label:"alpha" in
+    Transcript.absorb_g1 tr ~label:"t_lo" proof.Proof.cm_t_lo;
+    Transcript.absorb_g1 tr ~label:"t_mid" proof.Proof.cm_t_mid;
+    Transcript.absorb_g1 tr ~label:"t_hi" proof.Proof.cm_t_hi;
+    let zeta = Transcript.challenge_fr tr ~label:"zeta" in
+    Transcript.absorb_fr tr ~label:"ea" proof.Proof.eval_a;
+    Transcript.absorb_fr tr ~label:"eb" proof.Proof.eval_b;
+    Transcript.absorb_fr tr ~label:"ec" proof.Proof.eval_c;
+    Transcript.absorb_fr tr ~label:"es1" proof.Proof.eval_s1;
+    Transcript.absorb_fr tr ~label:"es2" proof.Proof.eval_s2;
+    Transcript.absorb_fr tr ~label:"ezw" proof.Proof.eval_z_omega;
+    let v = Transcript.challenge_fr tr ~label:"v" in
+    Transcript.absorb_g1 tr ~label:"w_zeta" proof.Proof.cm_w_zeta;
+    Transcript.absorb_g1 tr ~label:"w_zeta_omega" proof.Proof.cm_w_zeta_omega;
+    let u = Transcript.challenge_fr tr ~label:"u" in
+
+    let eval_a = proof.Proof.eval_a
+    and eval_b = proof.Proof.eval_b
+    and eval_c = proof.Proof.eval_c
+    and eval_s1 = proof.Proof.eval_s1
+    and eval_s2 = proof.Proof.eval_s2
+    and eval_z_omega = proof.Proof.eval_z_omega in
+    let alpha2 = Fr.sqr alpha in
+    let zh_zeta = Domain.vanishing_eval domain zeta in
+    (* zeta inside the domain would make L_i evaluation divide by zero;
+       negligible probability, reject outright. *)
+    if Fr.is_zero zh_zeta then None
+    else begin
+      let l1_zeta = Domain.lagrange_eval domain 0 zeta in
+      let pi_zeta =
+        let acc = ref Fr.zero in
+        Array.iteri
+          (fun i x ->
+            acc := Fr.sub !acc (Fr.mul x (Domain.lagrange_eval domain i zeta)))
+          publics;
+        !acc
+      in
+      let r_const =
+        Fr.sub
+          (Fr.sub pi_zeta (Fr.mul alpha2 l1_zeta))
+          (Fr.mul alpha
+             (Fr.mul
+                (Fr.mul
+                   (Fr.add (Fr.add eval_a (Fr.mul beta eval_s1)) gamma)
+                   (Fr.add (Fr.add eval_b (Fr.mul beta eval_s2)) gamma))
+                (Fr.mul (Fr.add eval_c gamma) eval_z_omega)))
+      in
+      let perm_z_coeff =
+        Fr.add
+          (Fr.mul alpha
+             (Fr.mul
+                (Fr.mul
+                   (Fr.add (Fr.add eval_a (Fr.mul beta zeta)) gamma)
+                   (Fr.add (Fr.add eval_b (Fr.mul beta (Fr.mul k1 zeta))) gamma))
+                (Fr.add (Fr.add eval_c (Fr.mul beta (Fr.mul k2 zeta))) gamma)))
+          (Fr.mul alpha2 l1_zeta)
+      in
+      let perm_s3_coeff =
+        Fr.neg
+          (Fr.mul alpha
+             (Fr.mul
+                (Fr.mul
+                   (Fr.add (Fr.add eval_a (Fr.mul beta eval_s1)) gamma)
+                   (Fr.add (Fr.add eval_b (Fr.mul beta eval_s2)) gamma))
+                (Fr.mul beta eval_z_omega)))
+      in
+      let zeta_n = Fr.pow zeta n in
+      let zeta_2n = Fr.sqr zeta_n in
+      (* [D]: polynomial part of the linearization commitment. *)
+      let d =
+        List.fold_left G1.add G1.zero
+          [ G1.mul vk.Preprocess.cm_qm (Fr.mul eval_a eval_b);
+            G1.mul vk.Preprocess.cm_ql eval_a;
+            G1.mul vk.Preprocess.cm_qr eval_b;
+            G1.mul vk.Preprocess.cm_qo eval_c;
+            vk.Preprocess.cm_qc;
+            G1.mul proof.Proof.cm_z perm_z_coeff;
+            G1.mul vk.Preprocess.cm_sigma3 perm_s3_coeff;
+            G1.neg
+              (G1.mul
+                 (List.fold_left G1.add G1.zero
+                    [ proof.Proof.cm_t_lo;
+                      G1.mul proof.Proof.cm_t_mid zeta_n;
+                      G1.mul proof.Proof.cm_t_hi zeta_2n ])
+                 zh_zeta) ]
+      in
+      (* [F] = [D] + v[a] + v^2[b] + v^3[c] + v^4[s1] + v^5[s2] + u[z] *)
+      let powers_v =
+        let v2 = Fr.mul v v in
+        let v3 = Fr.mul v2 v in
+        let v4 = Fr.mul v3 v in
+        let v5 = Fr.mul v4 v in
+        (v, v2, v3, v4, v5)
+      in
+      let v1, v2, v3, v4, v5 = powers_v in
+      let f =
+        List.fold_left G1.add d
+          [ G1.mul proof.Proof.cm_a v1;
+            G1.mul proof.Proof.cm_b v2;
+            G1.mul proof.Proof.cm_c v3;
+            G1.mul vk.Preprocess.cm_sigma1 v4;
+            G1.mul vk.Preprocess.cm_sigma2 v5;
+            G1.mul proof.Proof.cm_z u ]
+      in
+      (* [E] = (-r_const + v a + v^2 b + v^3 c + v^4 s1 + v^5 s2 + u z_w) [1] *)
+      let e_scalar =
+        List.fold_left Fr.add (Fr.neg r_const)
+          [ Fr.mul v1 eval_a; Fr.mul v2 eval_b; Fr.mul v3 eval_c;
+            Fr.mul v4 eval_s1; Fr.mul v5 eval_s2; Fr.mul u eval_z_omega ]
+      in
+      let e = G1.mul G1.generator e_scalar in
+      (* Final pairing check:
+         e(W_z + u W_zw, [tau]G2) = e(zeta W_z + u zeta omega W_zw + F - E, G2) *)
+      let lhs_g1 =
+        G1.add proof.Proof.cm_w_zeta (G1.mul proof.Proof.cm_w_zeta_omega u)
+      in
+      let zeta_omega = Fr.mul zeta (Domain.omega domain) in
+      let rhs_g1 =
+        List.fold_left G1.add G1.zero
+          [ G1.mul proof.Proof.cm_w_zeta zeta;
+            G1.mul proof.Proof.cm_w_zeta_omega (Fr.mul u zeta_omega);
+            f;
+            G1.neg e ]
+      in
+      Some (lhs_g1, rhs_g1)
+    end
+  end
+
+let verify (vk : Preprocess.verification_key) (publics : Fr.t array)
+    (proof : Proof.t) : bool =
+  match prepare vk publics proof with
+  | None -> false
+  | Some (lhs, rhs) ->
+    Pairing.pairing_check
+      [ (lhs, vk.Preprocess.vk_g2_tau); (G1.neg rhs, vk.Preprocess.vk_g2) ]
+
+(** Verify many proofs (possibly for different circuits over the same SRS)
+    with a single pairing check: fold the per-proof equations with random
+    coefficients. Soundness error is 1/|Fr| per batch. *)
+let verify_batch ?(st = Random.State.make_self_init ())
+    (items : (Preprocess.verification_key * Fr.t array * Proof.t) list) : bool =
+  match items with
+  | [] -> true
+  | (vk0, _, _) :: _ ->
+    let same_srs (vk : Preprocess.verification_key) =
+      G2.equal vk.Preprocess.vk_g2_tau vk0.Preprocess.vk_g2_tau
+      && G2.equal vk.Preprocess.vk_g2 vk0.Preprocess.vk_g2
+    in
+    let rec fold acc_l acc_r = function
+      | [] -> Some (acc_l, acc_r)
+      | (vk, publics, proof) :: rest -> (
+        if not (same_srs vk) then None
+        else
+          match prepare vk publics proof with
+          | None -> None
+          | Some (l, r) ->
+            let rho = Fr.random st in
+            fold (G1.add acc_l (G1.mul l rho)) (G1.add acc_r (G1.mul r rho)) rest)
+    in
+    (match fold G1.zero G1.zero items with
+    | None -> false
+    | Some (l, r) ->
+      Pairing.pairing_check
+        [ (l, vk0.Preprocess.vk_g2_tau); (G1.neg r, vk0.Preprocess.vk_g2) ])

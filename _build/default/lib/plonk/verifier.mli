@@ -1,0 +1,21 @@
+(** Plonk verifier: O(1) work — a fixed number of scalar multiplications
+    and exactly 2 pairings, independent of circuit size (§VI-B.3). *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module G1 = Zkdet_curve.G1
+
+val prepare :
+  Preprocess.verification_key -> Fr.t array -> Proof.t -> (G1.t * G1.t) option
+(** Reduce verification to one pairing equation: the proof is valid iff
+    [e(L, [tau]G2) = e(R, G2)] for the returned [(L, R)]. [None] signals
+    a structural rejection (e.g. wrong public-input count). *)
+
+val verify : Preprocess.verification_key -> Fr.t array -> Proof.t -> bool
+
+val verify_batch :
+  ?st:Random.State.t ->
+  (Preprocess.verification_key * Fr.t array * Proof.t) list ->
+  bool
+(** Verify many proofs (possibly for different circuits over the same
+    SRS) with a single pairing check via a random linear combination.
+    Soundness error 1/|Fr| per batch. *)

@@ -1,0 +1,1 @@
+lib/poly/domain.ml: Array Zkdet_field

@@ -1,0 +1,1 @@
+lib/poly/poly.ml: Array Domain Format List Zkdet_field

@@ -1,0 +1,144 @@
+(* Multiplicative-subgroup evaluation domains over the BN254 scalar field,
+   with radix-2 (I)FFT and coset variants used by the Plonk quotient
+   computation. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+
+type t = {
+  log2size : int;
+  size : int;
+  omega : Fr.t;
+  omega_inv : Fr.t;
+  size_inv : Fr.t;
+  shift : Fr.t; (* coset generator for coset_fft *)
+  shift_inv : Fr.t;
+}
+
+let create log2size =
+  if log2size < 0 || log2size > Fr.two_adicity then
+    invalid_arg "Domain.create: size beyond the field's 2-adicity";
+  let size = 1 lsl log2size in
+  let omega = Fr.root_of_unity ~log2size in
+  let shift = Fr.coset_shift in
+  (* The coset gH must be disjoint from H: shift^size <> 1. *)
+  assert (not (Fr.is_one (Fr.pow shift size)));
+  {
+    log2size;
+    size;
+    omega;
+    omega_inv = Fr.inv omega;
+    size_inv = Fr.inv (Fr.of_int size);
+    shift;
+    shift_inv = Fr.inv shift;
+  }
+
+let size d = d.size
+let log2size d = d.log2size
+let omega d = d.omega
+let shift d = d.shift
+
+(** [element d i] is omega^i. *)
+let element d i = Fr.pow d.omega (i mod d.size)
+
+(** All domain elements in order. *)
+let elements d =
+  let a = Array.make d.size Fr.one in
+  for i = 1 to d.size - 1 do
+    a.(i) <- Fr.mul a.(i - 1) d.omega
+  done;
+  a
+
+let bit_reverse_permute (a : 'a array) =
+  let n = Array.length a in
+  let log_n =
+    let rec go k = if 1 lsl k = n then k else go (k + 1) in
+    go 0
+  in
+  for i = 0 to n - 1 do
+    let j =
+      let r = ref 0 in
+      for b = 0 to log_n - 1 do
+        if i land (1 lsl b) <> 0 then r := !r lor (1 lsl (log_n - 1 - b))
+      done;
+      !r
+    in
+    if i < j then begin
+      let tmp = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- tmp
+    end
+  done
+
+let fft_in_place (a : Fr.t array) (omega : Fr.t) =
+  let n = Array.length a in
+  bit_reverse_permute a;
+  let len = ref 2 in
+  while !len <= n do
+    let w_len = Fr.pow omega (n / !len) in
+    let half = !len / 2 in
+    let i = ref 0 in
+    while !i < n do
+      let w = ref Fr.one in
+      for j = 0 to half - 1 do
+        let u = a.(!i + j) in
+        let v = Fr.mul a.(!i + j + half) !w in
+        a.(!i + j) <- Fr.add u v;
+        a.(!i + j + half) <- Fr.sub u v;
+        w := Fr.mul !w w_len
+      done;
+      i := !i + !len
+    done;
+    len := !len * 2
+  done
+
+(** [fft d coeffs] evaluates the polynomial with coefficient vector
+    [coeffs] (padded/truncated to the domain size) at every domain element,
+    in order omega^0, omega^1, ... *)
+let fft d coeffs =
+  let a = Array.make d.size Fr.zero in
+  Array.blit coeffs 0 a 0 (min (Array.length coeffs) d.size);
+  if Array.length coeffs > d.size then
+    invalid_arg "Domain.fft: polynomial larger than domain";
+  fft_in_place a d.omega;
+  a
+
+(** Inverse FFT: evaluations on the domain back to coefficients. *)
+let ifft d evals =
+  if Array.length evals <> d.size then invalid_arg "Domain.ifft: size mismatch";
+  let a = Array.copy evals in
+  fft_in_place a d.omega_inv;
+  Array.map (fun x -> Fr.mul x d.size_inv) a
+
+(** Evaluations on the coset (shift * H). *)
+let coset_fft d coeffs =
+  let a = Array.make d.size Fr.zero in
+  Array.blit coeffs 0 a 0 (min (Array.length coeffs) d.size);
+  if Array.length coeffs > d.size then
+    invalid_arg "Domain.coset_fft: polynomial larger than domain";
+  let g = ref Fr.one in
+  for i = 0 to d.size - 1 do
+    a.(i) <- Fr.mul a.(i) !g;
+    g := Fr.mul !g d.shift
+  done;
+  fft_in_place a d.omega;
+  a
+
+let coset_ifft d evals =
+  let a = ifft d evals in
+  let g = ref Fr.one in
+  for i = 0 to d.size - 1 do
+    a.(i) <- Fr.mul a.(i) !g;
+    g := Fr.mul !g d.shift_inv
+  done;
+  a
+
+(** Z_H(x) = x^n - 1. *)
+let vanishing_eval d x = Fr.sub (Fr.pow x d.size) Fr.one
+
+(** L_i(x) = omega^i (x^n - 1) / (n (x - omega^i)), the i-th Lagrange basis
+    polynomial of the domain, evaluated outside the domain. *)
+let lagrange_eval d i x =
+  let wi = element d i in
+  let num = Fr.mul wi (vanishing_eval d x) in
+  let den = Fr.mul (Fr.of_int d.size) (Fr.sub x wi) in
+  Fr.div num den

@@ -1,0 +1,38 @@
+(** Multiplicative-subgroup evaluation domains over the BN254 scalar
+    field, with radix-2 (I)FFT and the coset variants used by the Plonk
+    quotient computation. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+
+type t
+
+val create : int -> t
+(** [create log2size]; raises [Invalid_argument] beyond the field's
+    2-adicity (28). *)
+
+val size : t -> int
+val log2size : t -> int
+val omega : t -> Fr.t
+
+val shift : t -> Fr.t
+(** The coset generator used by [coset_fft]; guaranteed outside the
+    subgroup. *)
+
+val element : t -> int -> Fr.t
+(** [element d i] = omega^i. *)
+
+val elements : t -> Fr.t array
+
+val fft : t -> Fr.t array -> Fr.t array
+(** Coefficients (padded to the domain size) to evaluations in order
+    omega^0, omega^1, ... *)
+
+val ifft : t -> Fr.t array -> Fr.t array
+val coset_fft : t -> Fr.t array -> Fr.t array
+val coset_ifft : t -> Fr.t array -> Fr.t array
+
+val vanishing_eval : t -> Fr.t -> Fr.t
+(** Z_H(x) = x^n - 1. *)
+
+val lagrange_eval : t -> int -> Fr.t -> Fr.t
+(** L_i(x) for x outside the domain. *)

@@ -1,0 +1,183 @@
+(* Dense univariate polynomials over the BN254 scalar field. Coefficients
+   are little-endian; trailing zeros are tolerated and ignored by [degree]. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+
+type t = Fr.t array
+
+let zero : t = [||]
+let one : t = [| Fr.one |]
+
+let of_coeffs (a : Fr.t array) : t = a
+let coeffs (p : t) = p
+
+let constant c : t = if Fr.is_zero c then zero else [| c |]
+
+let degree (p : t) =
+  let rec go i = if i < 0 then -1 else if Fr.is_zero p.(i) then go (i - 1) else i in
+  go (Array.length p - 1)
+
+let is_zero p = degree p = -1
+
+let coeff (p : t) i = if i < Array.length p then p.(i) else Fr.zero
+
+let equal p q =
+  let d = max (Array.length p) (Array.length q) in
+  let rec go i = i >= d || (Fr.equal (coeff p i) (coeff q i) && go (i + 1)) in
+  go 0
+
+let add p q =
+  let d = max (Array.length p) (Array.length q) in
+  Array.init d (fun i -> Fr.add (coeff p i) (coeff q i))
+
+let sub p q =
+  let d = max (Array.length p) (Array.length q) in
+  Array.init d (fun i -> Fr.sub (coeff p i) (coeff q i))
+
+let neg p = Array.map Fr.neg p
+
+let scale c p = Array.map (Fr.mul c) p
+
+(** [shift k p] is [x^k * p]. *)
+let shift k p =
+  if k = 0 then p
+  else Array.append (Array.make k Fr.zero) p
+
+let mul_naive p q =
+  let dp = degree p and dq = degree q in
+  if dp < 0 || dq < 0 then zero
+  else begin
+    let r = Array.make (dp + dq + 1) Fr.zero in
+    for i = 0 to dp do
+      if not (Fr.is_zero p.(i)) then
+        for j = 0 to dq do
+          r.(i + j) <- Fr.add r.(i + j) (Fr.mul p.(i) q.(j))
+        done
+    done;
+    r
+  end
+
+let mul_fft p q =
+  let dp = degree p and dq = degree q in
+  if dp < 0 || dq < 0 then zero
+  else begin
+    let result_len = dp + dq + 1 in
+    let log2 =
+      let rec go k = if 1 lsl k >= result_len then k else go (k + 1) in
+      go 0
+    in
+    let d = Domain.create log2 in
+    let pe = Domain.fft d (Array.sub p 0 (dp + 1)) in
+    let qe = Domain.fft d (Array.sub q 0 (dq + 1)) in
+    let re = Array.init (Domain.size d) (fun i -> Fr.mul pe.(i) qe.(i)) in
+    Array.sub (Domain.ifft d re) 0 result_len
+  end
+
+let mul p q =
+  let dp = degree p and dq = degree q in
+  if dp < 0 || dq < 0 then zero
+  else if dp + dq < 64 then mul_naive p q
+  else mul_fft p q
+
+let eval (p : t) (x : Fr.t) =
+  let acc = ref Fr.zero in
+  for i = Array.length p - 1 downto 0 do
+    acc := Fr.add (Fr.mul !acc x) p.(i)
+  done;
+  !acc
+
+(** [div_by_linear p z] divides [p] by [(X - z)], returning the quotient.
+    Requires [p(z) = 0]; raises [Invalid_argument] otherwise. Used by KZG
+    openings. *)
+let div_by_linear (p : t) (z : Fr.t) : t =
+  let d = degree p in
+  if d < 0 then zero
+  else begin
+    let q = Array.make d Fr.zero in
+    (* Synthetic division from the top coefficient down. *)
+    let carry = ref Fr.zero in
+    for i = d downto 1 do
+      let c = Fr.add p.(i) (Fr.mul !carry z) in
+      q.(i - 1) <- c;
+      carry := c
+    done;
+    let remainder = Fr.add p.(0) (Fr.mul !carry z) in
+    if not (Fr.is_zero remainder) then
+      invalid_arg "Poly.div_by_linear: non-zero remainder";
+    q
+  end
+
+(** General Euclidean division. *)
+let divmod (p : t) (q : t) : t * t =
+  let dq = degree q in
+  if dq < 0 then raise Division_by_zero;
+  let lead_inv = Fr.inv q.(dq) in
+  let r = Array.copy p in
+  let dp = degree p in
+  if dp < dq then (zero, r)
+  else begin
+    let quot = Array.make (dp - dq + 1) Fr.zero in
+    for i = dp downto dq do
+      let c = Fr.mul r.(i) lead_inv in
+      if not (Fr.is_zero c) then begin
+        quot.(i - dq) <- c;
+        for j = 0 to dq do
+          r.(i - dq + j) <- Fr.sub r.(i - dq + j) (Fr.mul c q.(j))
+        done
+      end
+    done;
+    (quot, r)
+  end
+
+(** Divide by the vanishing polynomial [X^n - 1]. Returns the quotient;
+    raises [Invalid_argument] if the division is not exact. *)
+let div_by_vanishing (p : t) (n : int) : t =
+  let dp = degree p in
+  if dp < 0 then zero
+  else if dp < n then invalid_arg "Poly.div_by_vanishing: degree too small"
+  else begin
+    (* q(x) = sum_{i>=n} p_i x^(i-n) accumulated downward:
+       p = q * (x^n - 1) + r with r the low-order residue. *)
+    let q = Array.make (dp - n + 1) Fr.zero in
+    let r = Array.copy p in
+    for i = dp downto n do
+      let c = r.(i) in
+      if not (Fr.is_zero c) then begin
+        q.(i - n) <- c;
+        r.(i) <- Fr.zero;
+        r.(i - n) <- Fr.add r.(i - n) c
+      end
+    done;
+    let rec residue_zero i = i < 0 || (Fr.is_zero r.(i) && residue_zero (i - 1)) in
+    if not (residue_zero (n - 1)) then
+      invalid_arg "Poly.div_by_vanishing: not divisible";
+    q
+  end
+
+let random st n = Array.init n (fun _ -> Fr.random st)
+
+(** Lagrange interpolation through arbitrary points (O(n^2); used in tests
+    and small fixed interpolations, not in the prover hot path). *)
+let interpolate (points : (Fr.t * Fr.t) list) : t =
+  let rec go acc = function
+    | [] -> acc
+    | (xi, yi) :: rest ->
+      let others = List.filter (fun (xj, _) -> not (Fr.equal xj xi)) points in
+      let num, den =
+        List.fold_left
+          (fun (num, den) (xj, _) ->
+            (mul num [| Fr.neg xj; Fr.one |], Fr.mul den (Fr.sub xi xj)))
+          (one, Fr.one) others
+      in
+      go (add acc (scale (Fr.div yi den) num)) rest
+  in
+  go zero points
+
+let pp fmt p =
+  let d = degree p in
+  if d < 0 then Format.pp_print_string fmt "0"
+  else
+    for i = 0 to d do
+      if not (Fr.is_zero p.(i)) then
+        Format.fprintf fmt "%s%a*x^%d" (if i > 0 then " + " else "") Fr.pp p.(i) i
+    done

@@ -1,0 +1,49 @@
+(** Dense univariate polynomials over the BN254 scalar field.
+    Little-endian coefficients; trailing zeros tolerated. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+
+type t = Fr.t array
+
+val zero : t
+val one : t
+val of_coeffs : Fr.t array -> t
+val coeffs : t -> Fr.t array
+val constant : Fr.t -> t
+
+val degree : t -> int
+(** -1 for the zero polynomial. *)
+
+val is_zero : t -> bool
+val coeff : t -> int -> Fr.t
+val equal : t -> t -> bool
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : Fr.t -> t -> t
+
+val shift : int -> t -> t
+(** [shift k p] = [x^k * p]. *)
+
+val mul : t -> t -> t
+(** Schoolbook below degree ~64, FFT above. *)
+
+val eval : t -> Fr.t -> Fr.t
+
+val div_by_linear : t -> Fr.t -> t
+(** [div_by_linear p z] = [p / (X - z)]; requires [p(z) = 0] (raises
+    [Invalid_argument] otherwise). The KZG witness computation. *)
+
+val divmod : t -> t -> t * t
+
+val div_by_vanishing : t -> int -> t
+(** Exact division by [X^n - 1]; raises [Invalid_argument] if not
+    divisible. *)
+
+val random : Random.State.t -> int -> t
+
+val interpolate : (Fr.t * Fr.t) list -> t
+(** Lagrange interpolation (O(n^2); tests and small fixed cases only). *)
+
+val pp : Format.formatter -> t -> unit

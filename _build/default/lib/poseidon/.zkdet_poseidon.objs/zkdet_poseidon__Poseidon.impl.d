@@ -1,0 +1,1 @@
+lib/poseidon/poseidon.ml: Array List Printf Random Zkdet_field Zkdet_hash

@@ -1,0 +1,1 @@
+lib/poseidon/poseidon.mli: Random Zkdet_field

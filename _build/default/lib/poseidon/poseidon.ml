@@ -1,0 +1,96 @@
+(* x^5-Poseidon-128 over the BN254 scalar field (paper §IV-C.2, §VI-A):
+   width w = 3, R_F = 8 full rounds, R_P = 60 partial rounds — the
+   recommended 128-bit setting the paper cites.
+
+   Round constants come from a SHA-256 counter-mode PRG (the reference uses
+   the Grain LFSR; see DESIGN.md for why this substitution is benign). The
+   MDS matrix is the Cauchy matrix 1/(x_i + y_j), the construction from the
+   Poseidon paper. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module Sha256 = Zkdet_hash.Sha256
+
+let width = 3
+let full_rounds = 8
+let partial_rounds = 60
+let total_rounds = full_rounds + partial_rounds
+
+let round_constants =
+  Array.init (total_rounds * width) (fun i ->
+      Fr.of_bytes_be (Sha256.digest (Printf.sprintf "zkdet-poseidon-rc/%d" i)))
+
+let mds =
+  Array.init width (fun i ->
+      Array.init width (fun j ->
+          Fr.inv (Fr.of_int (i + (width + j) + 1))))
+
+let pow5 x =
+  let x2 = Fr.sqr x in
+  let x4 = Fr.sqr x2 in
+  Fr.mul x4 x
+
+let apply_mds (state : Fr.t array) : Fr.t array =
+  Array.init width (fun i ->
+      let acc = ref Fr.zero in
+      for j = 0 to width - 1 do
+        acc := Fr.add !acc (Fr.mul mds.(i).(j) state.(j))
+      done;
+      !acc)
+
+(** The Poseidon permutation on a width-3 state. *)
+let permute (state : Fr.t array) : Fr.t array =
+  if Array.length state <> width then invalid_arg "Poseidon.permute: width";
+  let s = ref (Array.copy state) in
+  let half_full = full_rounds / 2 in
+  for r = 0 to total_rounds - 1 do
+    let st = !s in
+    for j = 0 to width - 1 do
+      st.(j) <- Fr.add st.(j) round_constants.((r * width) + j)
+    done;
+    if r < half_full || r >= half_full + partial_rounds then
+      for j = 0 to width - 1 do
+        st.(j) <- pow5 st.(j)
+      done
+    else st.(0) <- pow5 st.(0);
+    s := apply_mds st
+  done;
+  !s
+
+(** Sponge hash with rate 2, capacity 1. The capacity element is
+    initialized with a domain tag encoding the input length. *)
+let hash (inputs : Fr.t list) : Fr.t =
+  let n = List.length inputs in
+  let state = [| Fr.zero; Fr.zero; Fr.of_int ((n * 2) + 1) |] in
+  let rec absorb state = function
+    | [] -> state
+    | [ x ] ->
+      let state = Array.copy state in
+      state.(0) <- Fr.add state.(0) x;
+      permute state
+    | x :: y :: rest ->
+      let state = Array.copy state in
+      state.(0) <- Fr.add state.(0) x;
+      state.(1) <- Fr.add state.(1) y;
+      absorb (permute state) rest
+  in
+  let final = if n = 0 then permute state else absorb state inputs in
+  final.(0)
+
+(** Two-to-one compression for Merkle trees. *)
+let hash2 a b = hash [ a; b ]
+
+(** Hiding commitment: [commit msgs o = H(o :: msgs)] (paper Def. 2.1, with
+    Poseidon as the binding/hiding primitive of §IV-C.2). *)
+module Commitment = struct
+  type opening = Fr.t
+
+  let commit ?(st = Random.State.make_self_init ()) (msgs : Fr.t list) :
+      Fr.t * opening =
+    let o = Fr.random st in
+    (hash (o :: msgs), o)
+
+  let commit_with (msgs : Fr.t list) (o : opening) : Fr.t = hash (o :: msgs)
+
+  let verify (msgs : Fr.t list) (c : Fr.t) (o : opening) : bool =
+    Fr.equal c (hash (o :: msgs))
+end

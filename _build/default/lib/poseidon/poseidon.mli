@@ -1,0 +1,48 @@
+(** x^5-Poseidon-128 over the BN254 scalar field (paper §IV-C.2).
+
+    Width-3 permutation with R_F = 8 full and R_P = 60 partial rounds —
+    the recommended 128-bit setting the paper cites. Used as the
+    commitment primitive [Commit(m) = (H(o :: m), o)] and as the hash in
+    h_v = H(k_v) of the key-secure exchange. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+
+val width : int
+val full_rounds : int
+val partial_rounds : int
+val total_rounds : int
+
+val round_constants : Fr.t array
+(** [total_rounds * width] constants from a SHA-256 counter-mode PRG
+    (substitution for the reference Grain LFSR; see DESIGN.md). *)
+
+val mds : Fr.t array array
+(** The MDS matrix: the Cauchy construction 1/(x_i + y_j). *)
+
+val pow5 : Fr.t -> Fr.t
+
+val permute : Fr.t array -> Fr.t array
+(** The Poseidon permutation on a width-3 state. Raises
+    [Invalid_argument] on wrong state width. *)
+
+val hash : Fr.t list -> Fr.t
+(** Sponge hash (rate 2, capacity 1) with input-length domain separation
+    in the capacity element. *)
+
+val hash2 : Fr.t -> Fr.t -> Fr.t
+(** Two-to-one compression for Merkle trees. *)
+
+(** Hiding, binding commitments (Definitions 2.1-2.3 of the paper). *)
+module Commitment : sig
+  type opening = Fr.t
+
+  val commit : ?st:Random.State.t -> Fr.t list -> Fr.t * opening
+  (** [commit msgs] samples a fresh opening and returns
+      [(H(o :: msgs), o)]. *)
+
+  val commit_with : Fr.t list -> opening -> Fr.t
+  (** Deterministic commitment under a caller-chosen opening. *)
+
+  val verify : Fr.t list -> Fr.t -> opening -> bool
+  (** [verify msgs c o] is [Open(msgs, c, o)] of Definition 2.1. *)
+end

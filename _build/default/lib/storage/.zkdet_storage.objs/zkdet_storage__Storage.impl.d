@@ -1,0 +1,1 @@
+lib/storage/storage.ml: Array Buffer Bytes Char Format Hashtbl List String Zkdet_field Zkdet_hash

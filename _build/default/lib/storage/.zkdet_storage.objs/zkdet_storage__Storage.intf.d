@@ -1,0 +1,1 @@
+lib/storage/storage.mli: Format Hashtbl Zkdet_field

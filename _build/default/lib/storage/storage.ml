@@ -1,0 +1,187 @@
+(* An IPFS-like content-addressed storage network (the paper's "distributed
+   storage network", §III-A): SHA-256 content identifiers, chunked blocks,
+   a DHT-style provider table, integrity verification on retrieval, and
+   pinning/GC. The two properties ZKDET relies on hold by construction:
+   the URI of a dataset *is* its digest (binding), and any peer can fetch
+   by URI (public retrievability). *)
+
+module Sha256 = Zkdet_hash.Sha256
+module Fr = Zkdet_field.Bn254.Fr
+
+module Cid = struct
+  type t = string (* "zb" ^ hex digest *)
+
+  let of_bytes (data : string) : t = "zb" ^ Sha256.hex_of_string (Sha256.digest data)
+  let equal = String.equal
+  let pp fmt c = Format.pp_print_string fmt c
+  let to_string c = c
+end
+
+let chunk_size = 262_144 (* 256 KiB, the IPFS default *)
+
+type node = {
+  node_id : string;
+  blocks : (Cid.t, string) Hashtbl.t;
+  pinned : (Cid.t, unit) Hashtbl.t;
+}
+
+type t = {
+  nodes : (string, node) Hashtbl.t;
+  providers : (Cid.t, string list ref) Hashtbl.t; (* DHT: cid -> node ids *)
+  mutable fetch_hops : int; (* network statistics *)
+  mutable bytes_transferred : int;
+}
+
+let create () =
+  { nodes = Hashtbl.create 8; providers = Hashtbl.create 64; fetch_hops = 0;
+    bytes_transferred = 0 }
+
+let add_node (net : t) ~id : node =
+  if Hashtbl.mem net.nodes id then invalid_arg "Storage.add_node: duplicate id";
+  let node = { node_id = id; blocks = Hashtbl.create 64; pinned = Hashtbl.create 8 } in
+  Hashtbl.add net.nodes id node;
+  node
+
+let announce (net : t) (cid : Cid.t) (node : node) =
+  match Hashtbl.find_opt net.providers cid with
+  | Some ids -> if not (List.mem node.node_id !ids) then ids := node.node_id :: !ids
+  | None -> Hashtbl.add net.providers cid (ref [ node.node_id ])
+
+let put_block (net : t) (node : node) (data : string) : Cid.t =
+  let cid = Cid.of_bytes data in
+  Hashtbl.replace node.blocks cid data;
+  announce net cid node;
+  cid
+
+(* Manifest for chunked objects: a block listing the chunk CIDs. *)
+let manifest_prefix = "zkdet-manifest\n"
+
+let is_manifest data =
+  String.length data >= String.length manifest_prefix
+  && String.sub data 0 (String.length manifest_prefix) = manifest_prefix
+
+(** Store an arbitrary-size object, chunked. Returns the root CID
+    (the object's URI in ZKDET). *)
+let put (net : t) (node : node) (data : string) : Cid.t =
+  if String.length data <= chunk_size then put_block net node data
+  else begin
+    let nchunks = (String.length data + chunk_size - 1) / chunk_size in
+    let cids =
+      List.init nchunks (fun i ->
+          let off = i * chunk_size in
+          let len = min chunk_size (String.length data - off) in
+          put_block net node (String.sub data off len))
+    in
+    put_block net node (manifest_prefix ^ String.concat "\n" cids)
+  end
+
+let find_provider (net : t) (cid : Cid.t) : node option =
+  match Hashtbl.find_opt net.providers cid with
+  | None | Some { contents = [] } -> None
+  | Some { contents = id :: _ } -> Hashtbl.find_opt net.nodes id
+
+(** Fetch one block through the DHT, verifying content integrity. Returns
+    [Error `Tampered] if a provider serves bytes whose digest does not
+    match the CID. *)
+let fetch_block (net : t) (requester : node) (cid : Cid.t) :
+    (string, [ `Not_found | `Tampered ]) result =
+  match Hashtbl.find_opt requester.blocks cid with
+  | Some data when Cid.equal (Cid.of_bytes data) cid -> Ok data
+  | Some _ -> Error `Tampered
+  | None -> (
+    match find_provider net cid with
+    | None -> Error `Not_found
+    | Some provider -> (
+      net.fetch_hops <- net.fetch_hops + 1;
+      match Hashtbl.find_opt provider.blocks cid with
+      | None -> Error `Not_found
+      | Some data ->
+        if Cid.equal (Cid.of_bytes data) cid then begin
+          net.bytes_transferred <- net.bytes_transferred + String.length data;
+          (* cache locally and become a provider, IPFS-style *)
+          Hashtbl.replace requester.blocks cid data;
+          announce net cid requester;
+          Ok data
+        end
+        else Error `Tampered))
+
+(** Fetch a whole (possibly chunked) object. *)
+let get (net : t) (requester : node) (cid : Cid.t) :
+    (string, [ `Not_found | `Tampered ]) result =
+  match fetch_block net requester cid with
+  | Error _ as e -> e
+  | Ok data ->
+    if not (is_manifest data) then Ok data
+    else begin
+      let lines =
+        String.split_on_char '\n'
+          (String.sub data (String.length manifest_prefix)
+             (String.length data - String.length manifest_prefix))
+      in
+      let buf = Buffer.create (List.length lines * chunk_size) in
+      let rec collect = function
+        | [] -> Ok (Buffer.contents buf)
+        | c :: rest -> (
+          match fetch_block net requester c with
+          | Ok chunk ->
+            Buffer.add_string buf chunk;
+            collect rest
+          | Error _ as e -> e)
+      in
+      collect lines
+    end
+
+let pin (node : node) (cid : Cid.t) = Hashtbl.replace node.pinned cid ()
+let unpin (node : node) (cid : Cid.t) = Hashtbl.remove node.pinned cid
+
+(** Garbage-collect unpinned blocks on a node (manifest children of pinned
+    manifests are retained). *)
+let gc (net : t) (node : node) : int =
+  let keep = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun cid () ->
+      Hashtbl.replace keep cid ();
+      match Hashtbl.find_opt node.blocks cid with
+      | Some data when is_manifest data ->
+        List.iter
+          (fun c -> Hashtbl.replace keep c ())
+          (String.split_on_char '\n'
+             (String.sub data (String.length manifest_prefix)
+                (String.length data - String.length manifest_prefix)))
+      | _ -> ())
+    node.pinned;
+  let removed = ref 0 in
+  let to_remove =
+    Hashtbl.fold
+      (fun cid _ acc -> if Hashtbl.mem keep cid then acc else cid :: acc)
+      node.blocks []
+  in
+  List.iter
+    (fun cid ->
+      Hashtbl.remove node.blocks cid;
+      incr removed;
+      match Hashtbl.find_opt net.providers cid with
+      | Some ids -> ids := List.filter (fun i -> i <> node.node_id) !ids
+      | None -> ())
+    to_remove;
+  !removed
+
+(** Deliberately corrupt a stored block (for tamper-detection tests). *)
+let tamper (node : node) (cid : Cid.t) =
+  match Hashtbl.find_opt node.blocks cid with
+  | Some data when String.length data > 0 ->
+    let b = Bytes.of_string data in
+    Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 1));
+    Hashtbl.replace node.blocks cid (Bytes.to_string b)
+  | _ -> ()
+
+(** Encoding of field-element datasets as stored bytes. *)
+module Codec = struct
+  let encode (data : Fr.t array) : string =
+    String.concat "" (Array.to_list (Array.map Fr.to_bytes_be data))
+
+  let decode (s : string) : Fr.t array =
+    let w = Fr.num_bytes in
+    if String.length s mod w <> 0 then invalid_arg "Storage.Codec.decode: bad length";
+    Array.init (String.length s / w) (fun i -> Fr.of_bytes_be (String.sub s (i * w) w))
+end

@@ -1,0 +1,63 @@
+(** IPFS-like content-addressed storage network (the paper's "distributed
+    storage network", §III-A).
+
+    The two properties ZKDET relies on hold by construction: a dataset's
+    URI {i is} the SHA-256 digest of its (encrypted) bytes, and any peer
+    can retrieve by URI through the DHT-style provider table. Tampered
+    blocks are detected on fetch because the digest no longer matches. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+
+(** Content identifiers. *)
+module Cid : sig
+  type t = string
+
+  val of_bytes : string -> t
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+end
+
+val chunk_size : int
+(** Objects above this size are split into chunks under a manifest block
+    (256 KiB, the IPFS default). *)
+
+type node = {
+  node_id : string;
+  blocks : (Cid.t, string) Hashtbl.t;
+  pinned : (Cid.t, unit) Hashtbl.t;
+}
+
+type t = {
+  nodes : (string, node) Hashtbl.t;
+  providers : (Cid.t, string list ref) Hashtbl.t;
+  mutable fetch_hops : int;
+  mutable bytes_transferred : int;
+}
+
+val create : unit -> t
+val add_node : t -> id:string -> node
+
+val put : t -> node -> string -> Cid.t
+(** Store an arbitrary-size object (chunked if large); announces the node
+    as a provider and returns the root CID. *)
+
+val get : t -> node -> Cid.t -> (string, [ `Not_found | `Tampered ]) result
+(** Fetch through the DHT with integrity verification. The requester
+    caches fetched blocks and becomes a provider (IPFS behaviour). *)
+
+val pin : node -> Cid.t -> unit
+val unpin : node -> Cid.t -> unit
+
+val gc : t -> node -> int
+(** Drop unpinned blocks (children of pinned manifests survive); returns
+    the number of blocks collected. *)
+
+val tamper : node -> Cid.t -> unit
+(** Corrupt one stored block (tests of integrity detection). *)
+
+(** Encoding of field-element datasets as stored bytes. *)
+module Codec : sig
+  val encode : Fr.t array -> string
+  val decode : string -> Fr.t array
+end

@@ -1,0 +1,148 @@
+(* Tests for the §IV-E applications: logistic regression with an
+   in-circuit convergence proof, and a transformer block with an
+   in-circuit inference proof, both run through the generic transformation
+   protocol end-to-end. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module Cs = Zkdet_plonk.Cs
+module Fixed = Zkdet_circuit.Fixed_point
+module Env = Zkdet_core.Env
+module Circuits = Zkdet_core.Circuits
+module Transform = Zkdet_core.Transform
+module Logreg = Zkdet_apps.Logreg
+module Transformer = Zkdet_apps.Transformer
+
+let env = lazy (Env.create ~log2_max_gates:15 ())
+
+let logreg_config =
+  { Logreg.n_samples = 2; n_features = 1; learning_rate = 0.1; epsilon = 0.05 }
+
+let test_training_converges () =
+  let c = { logreg_config with Logreg.n_samples = 20; n_features = 2 } in
+  let xs, ys = Logreg.synthetic_dataset c in
+  let beta, iters = Logreg.train c xs ys in
+  let j_final = Logreg.loss xs ys beta in
+  let j_initial = Logreg.loss xs ys (Array.make 3 0.0) in
+  Alcotest.(check bool) "loss decreased" true (j_final <= j_initial);
+  Alcotest.(check bool) "bounded iterations" true (iters <= 5000);
+  (* one more step changes the loss by less than the tolerance *)
+  let beta' = Logreg.gradient_step xs ys beta ~lr:c.Logreg.learning_rate in
+  Alcotest.(check bool) "converged" true
+    (Float.abs (Logreg.loss xs ys beta' -. j_final) <= c.Logreg.epsilon)
+
+let test_source_encoding_roundtrip () =
+  let c = logreg_config in
+  let xs, ys = Logreg.synthetic_dataset c in
+  let s = Logreg.encode_source xs ys in
+  Alcotest.(check int) "source size" (Logreg.source_size c) (Array.length s);
+  let xs', ys' = Logreg.decode_source c s in
+  Array.iteri
+    (fun i x ->
+      Array.iteri
+        (fun j v -> Alcotest.(check bool) "x roundtrip" true (Float.abs (v -. xs.(i).(j)) < 1e-4))
+        x)
+    xs';
+  Array.iteri
+    (fun i y -> Alcotest.(check bool) "y roundtrip" true (Float.abs (y -. ys.(i)) < 1e-4))
+    ys'
+
+let test_convergence_circuit_satisfiable () =
+  let c = logreg_config in
+  let xs, ys = Logreg.synthetic_dataset c in
+  let beta, _ = Logreg.train c xs ys in
+  let cs = Cs.create () in
+  let s_ws = Array.map (Cs.fresh cs) (Logreg.encode_source xs ys) in
+  let d_ws = Array.map (Cs.fresh cs) (Logreg.encode_beta beta) in
+  Logreg.convergence_check c cs s_ws d_ws;
+  Alcotest.(check bool) "satisfied" true (Cs.satisfied (Cs.compile cs))
+
+let test_convergence_circuit_rejects_garbage () =
+  (* A beta far from the optimum moves the loss by more than epsilon in
+     one gradient step, so the predicate must be unsatisfiable. *)
+  let c = { logreg_config with Logreg.epsilon = 0.0005; learning_rate = 0.5 } in
+  let xs = [| [| 0.9 |]; [| -0.9 |] |] and ys = [| 1.0; 0.0 |] in
+  let garbage_beta = [| -1.4; -1.5 |] in
+  (* sanity: the float-side predicate really is violated *)
+  let beta' = Logreg.gradient_step xs ys garbage_beta ~lr:c.Logreg.learning_rate in
+  Alcotest.(check bool) "float loss moves" true
+    (Float.abs (Logreg.loss xs ys beta' -. Logreg.loss xs ys garbage_beta)
+    > 2.0 *. c.Logreg.epsilon);
+  let cs = Cs.create () in
+  let s_ws = Array.map (Cs.fresh cs) (Logreg.encode_source xs ys) in
+  let d_ws = Array.map (Cs.fresh cs) (Logreg.encode_beta garbage_beta) in
+  Logreg.convergence_check c cs s_ws d_ws;
+  Alcotest.(check bool) "unsatisfied for garbage model" false
+    (Cs.satisfied (Cs.compile cs))
+
+let test_logreg_proof_end_to_end () =
+  let env = Lazy.force env in
+  let c = logreg_config in
+  Logreg.register c;
+  let xs, ys = Logreg.synthetic_dataset c in
+  let source = Transform.seal ~st:env.Env.rng (Logreg.encode_source xs ys) in
+  let model, link = Transform.process env source ~spec:(Logreg.spec c) in
+  Alcotest.(check int) "model size" (Logreg.beta_size c) (Transform.size model);
+  Alcotest.(check bool) "pi_t for the trained model verifies" true
+    (Transform.verify_link env link);
+  (* tampering with the model commitment must be rejected *)
+  let forged = { link with Transform.dst_commitments = [ Fr.random env.Env.rng ] } in
+  Alcotest.(check bool) "forged model rejected" false
+    (Transform.verify_link env forged)
+
+let test_transformer_forward_consistency () =
+  (* The Value-level reference and the circuit evaluation agree exactly. *)
+  let c = Transformer.default_config in
+  let spec = Transformer.spec c in
+  let input = Transformer.synthetic_input c in
+  let expected = spec.Circuits.reference input in
+  let cs = Cs.create () in
+  let s_ws = Array.map (Cs.fresh cs) input in
+  let d_ws = Array.map (Cs.fresh cs) expected in
+  spec.Circuits.check cs s_ws d_ws;
+  Alcotest.(check bool) "circuit = reference" true (Cs.satisfied (Cs.compile cs));
+  (* outputs are sane fixed-point values *)
+  Array.iter
+    (fun v ->
+      let f = Fixed.to_float v in
+      Alcotest.(check bool) "bounded output" true (Float.abs f < 100.0))
+    expected
+
+let test_transformer_sensitivity () =
+  (* Different inputs produce different outputs (the block is not
+     degenerate). *)
+  let c = Transformer.default_config in
+  let spec = Transformer.spec c in
+  let i1 = Transformer.synthetic_input ~st:(Random.State.make [| 1 |]) c in
+  let i2 = Transformer.synthetic_input ~st:(Random.State.make [| 2 |]) c in
+  let o1 = spec.Circuits.reference i1 and o2 = spec.Circuits.reference i2 in
+  Alcotest.(check bool) "distinct outputs" false (Array.for_all2 Fr.equal o1 o2);
+  Alcotest.(check int) "param count" 24 (Transformer.parameter_count c)
+
+let test_transformer_proof_end_to_end () =
+  let env = Lazy.force env in
+  let c = Transformer.default_config in
+  Transformer.register c;
+  let input = Transformer.synthetic_input c in
+  let source = Transform.seal ~st:env.Env.rng input in
+  let output, link = Transform.process env source ~spec:(Transformer.spec c) in
+  Alcotest.(check int) "output size" (Transformer.output_size c)
+    (Transform.size output);
+  Alcotest.(check bool) "pi_t for inference verifies" true
+    (Transform.verify_link env link)
+
+let () =
+  Alcotest.run "zkdet_apps"
+    [ ( "logreg",
+        [ Alcotest.test_case "training converges" `Quick test_training_converges;
+          Alcotest.test_case "encoding roundtrip" `Quick test_source_encoding_roundtrip;
+          Alcotest.test_case "convergence circuit satisfiable" `Quick
+            test_convergence_circuit_satisfiable;
+          Alcotest.test_case "garbage model rejected" `Quick
+            test_convergence_circuit_rejects_garbage;
+          Alcotest.test_case "snark end-to-end" `Slow test_logreg_proof_end_to_end ] );
+      ( "transformer",
+        [ Alcotest.test_case "forward consistency" `Quick
+            test_transformer_forward_consistency;
+          Alcotest.test_case "input sensitivity" `Quick test_transformer_sensitivity;
+          Alcotest.test_case "snark end-to-end" `Slow
+            test_transformer_proof_end_to_end ] ) ]

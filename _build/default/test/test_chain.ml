@@ -1,0 +1,289 @@
+module Fr = Zkdet_field.Bn254.Fr
+module Chain = Zkdet_chain.Chain
+module Gas = Zkdet_chain.Gas
+module Erc721 = Zkdet_contracts.Erc721
+module Zkcp = Zkdet_contracts.Zkcp_escrow
+module Auction = Zkdet_contracts.Auction
+module Poseidon = Zkdet_poseidon.Poseidon
+
+let rng = Random.State.make [| 1212 |]
+
+let alice = Chain.Address.of_seed "alice"
+let bob = Chain.Address.of_seed "bob"
+let carol = Chain.Address.of_seed "carol"
+
+let fresh_chain () =
+  let chain = Chain.create () in
+  List.iter (fun a -> Chain.faucet chain a 100_000_000) [ alice; bob; carol ];
+  chain
+
+let ok_status (r : Chain.receipt) =
+  match r.Chain.status with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "tx failed: %s (%s)" e r.Chain.tx_label
+
+let failed_status (r : Chain.receipt) expected =
+  match r.Chain.status with
+  | Ok () -> Alcotest.failf "tx unexpectedly succeeded (%s)" r.Chain.tx_label
+  | Error e ->
+    if not (String.equal e expected) then
+      Alcotest.failf "wrong revert: got %S want %S" e expected
+
+let dummy_mint chain nft ~owner =
+  let id, r =
+    Erc721.mint nft chain ~sender:owner ~recipient:owner ~uri:"zb_dummy"
+      ~key_commitment:(Fr.random rng) ~data_commitment:(Fr.random rng)
+      ~proof_refs:[ "zb_proof" ]
+  in
+  ok_status r;
+  Option.get id
+
+let test_accounts_and_fees () =
+  let chain = fresh_chain () in
+  let before = Chain.balance chain alice in
+  let r = Chain.execute chain ~sender:alice ~label:"noop" (fun _ -> ()) in
+  ok_status r;
+  Alcotest.(check int) "base gas" 21_000 r.Chain.gas_used;
+  Alcotest.(check int) "fee deducted" (before - 21_000) (Chain.balance chain alice)
+
+let test_revert_still_pays () =
+  let chain = fresh_chain () in
+  let before = Chain.balance chain alice in
+  let r =
+    Chain.execute chain ~sender:alice ~label:"fail" (fun _ ->
+        raise (Chain.Revert "boom"))
+  in
+  failed_status r "boom";
+  Alcotest.(check bool) "gas still charged" true (Chain.balance chain alice < before)
+
+let test_out_of_gas () =
+  let chain = Chain.create ~gas_limit:30_000 () in
+  Chain.faucet chain alice 1_000_000;
+  let r =
+    Chain.execute chain ~sender:alice ~label:"hog" (fun env ->
+        for _ = 1 to 10 do
+          Gas.sstore env.Chain.meter ~was_zero:true ~now_zero:false
+        done)
+  in
+  failed_status r "out of gas"
+
+let test_blocks_and_validation () =
+  let chain = fresh_chain () in
+  ignore (Chain.execute chain ~sender:alice ~label:"a" (fun _ -> ()));
+  ignore (Chain.execute chain ~sender:bob ~label:"b" (fun _ -> ()));
+  let b1 = Chain.mine chain in
+  Alcotest.(check int) "two txs" 2 (List.length b1.Chain.tx_hashes);
+  ignore (Chain.execute chain ~sender:carol ~label:"c" (fun _ -> ()));
+  let b2 = Chain.mine chain in
+  Alcotest.(check int) "block numbers" 2 b2.Chain.number;
+  Alcotest.(check bool) "chain validates" true (Chain.validate chain);
+  (* receipts get block numbers *)
+  let r = Chain.receipt chain (List.hd b1.Chain.tx_hashes) in
+  Alcotest.(check (option int)) "receipt in block 1" (Some 1)
+    (Option.bind r (fun r -> r.Chain.block_number))
+
+let test_block_gas_limit () =
+  (* Three 21k-gas txs against a 50k block limit: two blocks needed. *)
+  let chain = Chain.create ~block_gas_limit:50_000 () in
+  Chain.faucet chain alice 10_000_000;
+  for _ = 1 to 3 do
+    ignore (Chain.execute chain ~sender:alice ~label:"noop" (fun _ -> ()))
+  done;
+  let b1 = Chain.mine chain in
+  Alcotest.(check int) "two txs fit" 2 (List.length b1.Chain.tx_hashes);
+  Alcotest.(check int) "one pending" 1 (Chain.pending_count chain);
+  let b2 = Chain.mine chain in
+  Alcotest.(check int) "overflow sealed next block" 1 (List.length b2.Chain.tx_hashes);
+  Alcotest.(check int) "pool drained" 0 (Chain.pending_count chain);
+  Alcotest.(check bool) "chain validates" true (Chain.validate chain)
+
+let test_erc721_lifecycle () =
+  let chain = fresh_chain () in
+  let nft, deploy_receipt = Erc721.deploy chain ~deployer:alice in
+  ok_status deploy_receipt;
+  Alcotest.(check bool) "deploy gas near 1.02M" true
+    (abs (deploy_receipt.Chain.gas_used - 1_020_954) < 30_000);
+  let id = dummy_mint chain nft ~owner:alice in
+  Alcotest.(check (option string)) "owner is alice" (Some alice)
+    (Erc721.owner_of nft id);
+  Alcotest.(check int) "balance" 1 (Erc721.balance_of nft alice);
+  (* transfer *)
+  let r = Erc721.transfer_from nft chain ~sender:alice ~from:alice ~to_:bob ~token_id:id in
+  ok_status r;
+  Alcotest.(check (option string)) "owner is bob" (Some bob) (Erc721.owner_of nft id);
+  Alcotest.(check bool) "transfer gas near 36.5k" true
+    (abs (r.Chain.gas_used - 36_574) < 25_000);
+  (* non-owner cannot transfer *)
+  failed_status
+    (Erc721.transfer_from nft chain ~sender:alice ~from:bob ~to_:alice ~token_id:id)
+    "transfer: not authorized";
+  (* approve then transfer *)
+  ok_status (Erc721.approve nft chain ~sender:bob ~spender:carol ~token_id:id);
+  ok_status
+    (Erc721.transfer_from nft chain ~sender:carol ~from:bob ~to_:carol ~token_id:id);
+  (* burn *)
+  let rb = Erc721.burn nft chain ~sender:carol ~token_id:id in
+  ok_status rb;
+  Alcotest.(check (option string)) "burned has no owner" None (Erc721.owner_of nft id);
+  Alcotest.(check bool) "burn gas near 50k" true
+    (abs (rb.Chain.gas_used - 50_084) < 15_000);
+  (* cannot burn twice *)
+  failed_status (Erc721.burn nft chain ~sender:carol ~token_id:id)
+    "burn: not owner or no such token"
+
+let test_erc721_transformations () =
+  let chain = fresh_chain () in
+  let nft, _ = Erc721.deploy chain ~deployer:alice in
+  let t1 = dummy_mint chain nft ~owner:alice in
+  let t2 = dummy_mint chain nft ~owner:alice in
+  (* aggregation of t1 + t2 *)
+  let agg, r =
+    Erc721.mint_derived nft chain ~sender:alice ~prev_ids:[ t1; t2 ]
+      ~transform:Erc721.Aggregation ~uri:"zb_agg" ~key_commitment:(Fr.random rng)
+      ~data_commitment:(Fr.random rng) ~proof_refs:[ "zb_pi_t" ]
+  in
+  ok_status r;
+  let agg = Option.get agg in
+  (* provenance walks back to both parents *)
+  let prov = Erc721.provenance nft agg in
+  let ids = List.map (fun t -> t.Erc721.token_id) prov in
+  Alcotest.(check bool) "provenance has parents" true
+    (List.mem t1 ids && List.mem t2 ids);
+  (* deriving from someone else's token reverts *)
+  let _, r_bad =
+    Erc721.mint_derived nft chain ~sender:bob ~prev_ids:[ t1 ]
+      ~transform:Erc721.Duplication ~uri:"zb_dup" ~key_commitment:(Fr.random rng)
+      ~data_commitment:(Fr.random rng) ~proof_refs:[]
+  in
+  failed_status r_bad "not owner of parent token";
+  (* deriving from a ghost token reverts *)
+  let _, r_ghost =
+    Erc721.mint_derived nft chain ~sender:alice ~prev_ids:[ 999 ]
+      ~transform:Erc721.Partition ~uri:"zb_p" ~key_commitment:(Fr.random rng)
+      ~data_commitment:(Fr.random rng) ~proof_refs:[]
+  in
+  failed_status r_ghost "parent token does not exist"
+
+let test_zkcp_key_disclosure () =
+  let chain = fresh_chain () in
+  let zkcp, _ = Zkcp.deploy chain ~deployer:carol in
+  let k = Fr.random rng in
+  let h = Poseidon.hash [ k ] in
+  let id, r =
+    Zkcp.lock zkcp chain ~buyer:bob ~seller:alice ~amount:1_000_000 ~h
+      ~timeout_blocks:10
+  in
+  ok_status r;
+  let id = Option.get id in
+  (* wrong key rejected *)
+  failed_status
+    (Zkcp.open_key zkcp chain ~seller:alice ~deal_id:id ~key:(Fr.random rng))
+    "open: key does not match hash lock";
+  (* correct key pays the seller... *)
+  let seller_before = Chain.balance chain alice in
+  ok_status (Zkcp.open_key zkcp chain ~seller:alice ~deal_id:id ~key:k);
+  Alcotest.(check bool) "seller paid" true (Chain.balance chain alice > seller_before);
+  (* ...but the key is now PUBLIC: any third party reads it (the flaw). *)
+  (match Zkcp.disclosed_key zkcp id with
+  | Some k' -> Alcotest.(check bool) "third party learns k" true (Fr.equal k k')
+  | None -> Alcotest.fail "key should be disclosed");
+  ()
+
+let test_zkcp_refund () =
+  let chain = fresh_chain () in
+  let zkcp, _ = Zkcp.deploy chain ~deployer:carol in
+  let h = Poseidon.hash [ Fr.random rng ] in
+  let id, _ = Zkcp.lock zkcp chain ~buyer:bob ~seller:alice ~amount:5000 ~h ~timeout_blocks:2 in
+  let id = Option.get id in
+  failed_status (Zkcp.refund zkcp chain ~buyer:bob ~deal_id:id)
+    "refund: deadline not reached";
+  ignore (Chain.mine chain);
+  ignore (Chain.mine chain);
+  let before = Chain.balance chain bob in
+  ok_status (Zkcp.refund zkcp chain ~buyer:bob ~deal_id:id);
+  Alcotest.(check int) "refunded minus fees" (before + 5000 - 21_000 - 5_000 - 2_100)
+    (Chain.balance chain bob)
+
+let test_auction () =
+  let chain = fresh_chain () in
+  let nft, _ = Erc721.deploy chain ~deployer:alice in
+  let auction, _ = Auction.deploy chain ~deployer:alice nft in
+  let id = dummy_mint chain nft ~owner:alice in
+  let listing, r =
+    Auction.list_token auction chain ~seller:alice ~token_id:id ~start_price:10_000
+      ~reserve_price:4_000 ~decay_per_block:1_000 ~predicate:"entries > 100"
+  in
+  ok_status r;
+  let listing = Option.get listing in
+  Alcotest.(check (option int)) "price at start" (Some 10_000)
+    (Auction.current_price auction chain listing);
+  (* price decays with blocks *)
+  ignore (Chain.mine chain);
+  ignore (Chain.mine chain);
+  ignore (Chain.mine chain);
+  Alcotest.(check (option int)) "price decayed" (Some 7_000)
+    (Auction.current_price auction chain listing);
+  (* lowball bid rejected *)
+  failed_status (Auction.bid auction chain ~bidder:bob ~listing_id:listing ~offer:5_000)
+    "bid: below clock price";
+  (* winning bid transfers token and pays seller *)
+  let seller_before = Chain.balance chain alice in
+  ok_status (Auction.bid auction chain ~bidder:bob ~listing_id:listing ~offer:7_000);
+  Alcotest.(check (option string)) "bob owns token" (Some bob) (Erc721.owner_of nft id);
+  Alcotest.(check int) "seller paid" (seller_before + 7_000) (Chain.balance chain alice);
+  (* decays stop at reserve *)
+  for _ = 1 to 20 do
+    ignore (Chain.mine chain)
+  done;
+  Alcotest.(check (option int)) "sold listing has no price" None
+    (Auction.current_price auction chain listing)
+
+let test_gas_table_shape () =
+  (* Relative ordering of Table II: verifier deploy > zkdet deploy >>
+     mint > transformations > burn > transfer. *)
+  let chain = fresh_chain () in
+  let nft, d = Erc721.deploy chain ~deployer:alice in
+  let t1 = dummy_mint chain nft ~owner:alice in
+  let t2 = dummy_mint chain nft ~owner:alice in
+  (* warm bob's balance slot so the transfer below matches the paper's
+     steady-state cost *)
+  let _ = dummy_mint chain nft ~owner:bob in
+  let mint_receipt =
+    let _, r =
+      Erc721.mint nft chain ~sender:alice ~recipient:alice ~uri:"zb_x"
+        ~key_commitment:(Fr.random rng) ~data_commitment:(Fr.random rng)
+        ~proof_refs:[ "zb_p" ]
+    in
+    r
+  in
+  let _, agg =
+    Erc721.mint_derived nft chain ~sender:alice ~prev_ids:[ t1; t2 ]
+      ~transform:Erc721.Aggregation ~uri:"zb_a" ~key_commitment:(Fr.random rng)
+      ~data_commitment:(Fr.random rng) ~proof_refs:[ "zb_q" ]
+  in
+  let transfer =
+    Erc721.transfer_from nft chain ~sender:alice ~from:alice ~to_:bob ~token_id:t1
+  in
+  let burn = Erc721.burn nft chain ~sender:alice ~token_id:t2 in
+  let g r = r.Chain.gas_used in
+  Alcotest.(check bool) "deploy > mint" true (g d > g mint_receipt);
+  Alcotest.(check bool) "mint > aggregation" true (g mint_receipt > g agg);
+  Alcotest.(check bool) "aggregation > burn" true (g agg > g burn);
+  Alcotest.(check bool) "burn > transfer" true (g burn > g transfer)
+
+let () =
+  Alcotest.run "zkdet_chain"
+    [ ( "chain",
+        [ Alcotest.test_case "accounts and fees" `Quick test_accounts_and_fees;
+          Alcotest.test_case "revert still pays" `Quick test_revert_still_pays;
+          Alcotest.test_case "out of gas" `Quick test_out_of_gas;
+          Alcotest.test_case "blocks and validation" `Quick test_blocks_and_validation;
+          Alcotest.test_case "block gas limit" `Quick test_block_gas_limit ] );
+      ( "erc721",
+        [ Alcotest.test_case "lifecycle" `Quick test_erc721_lifecycle;
+          Alcotest.test_case "transformations" `Quick test_erc721_transformations ] );
+      ( "exchange-contracts",
+        [ Alcotest.test_case "zkcp key disclosure" `Quick test_zkcp_key_disclosure;
+          Alcotest.test_case "zkcp refund" `Quick test_zkcp_refund;
+          Alcotest.test_case "clock auction" `Quick test_auction;
+          Alcotest.test_case "gas table shape" `Quick test_gas_table_shape ] ) ]

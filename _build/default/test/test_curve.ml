@@ -1,0 +1,231 @@
+module Nat = Zkdet_num.Nat
+module Fp = Zkdet_field.Bn254.Fp
+module Fr = Zkdet_field.Bn254.Fr
+module Fp2 = Zkdet_curve.Fp2
+module Fp6 = Zkdet_curve.Fp6
+module Fp12 = Zkdet_curve.Fp12
+module G1 = Zkdet_curve.G1
+module G2 = Zkdet_curve.G2
+module Pairing = Zkdet_curve.Pairing
+
+let rng = Random.State.make [| 2718 |]
+
+let g1 = Alcotest.testable G1.pp G1.equal
+let g2 = Alcotest.testable G2.pp G2.equal
+let gt = Alcotest.testable Pairing.Gt.pp Pairing.Gt.equal
+
+let test_fp2_field () =
+  for _ = 1 to 10 do
+    let a = Fp2.random rng and b = Fp2.random rng and c = Fp2.random rng in
+    assert (Fp2.equal (Fp2.mul a (Fp2.mul b c)) (Fp2.mul (Fp2.mul a b) c));
+    assert (Fp2.equal (Fp2.mul a (Fp2.add b c)) (Fp2.add (Fp2.mul a b) (Fp2.mul a c)));
+    assert (Fp2.equal (Fp2.sqr a) (Fp2.mul a a));
+    if not (Fp2.is_zero a) then assert (Fp2.is_one (Fp2.mul a (Fp2.inv a)))
+  done;
+  (* u^2 = -1 *)
+  let u = Fp2.make Fp.zero Fp.one in
+  assert (Fp2.equal (Fp2.sqr u) (Fp2.neg Fp2.one));
+  (* mul_by_xi agrees with mul by (9 + u) *)
+  let a = Fp2.random rng in
+  assert (Fp2.equal (Fp2.mul_by_xi a) (Fp2.mul Fp2.xi a))
+
+let test_fp6_field () =
+  for _ = 1 to 5 do
+    let a = Fp6.random rng and b = Fp6.random rng and c = Fp6.random rng in
+    assert (Fp6.equal (Fp6.mul a (Fp6.mul b c)) (Fp6.mul (Fp6.mul a b) c));
+    assert (Fp6.equal (Fp6.mul a (Fp6.add b c)) (Fp6.add (Fp6.mul a b) (Fp6.mul a c)));
+    if not (Fp6.is_zero a) then assert (Fp6.is_one (Fp6.mul a (Fp6.inv a)))
+  done;
+  (* v^3 = xi *)
+  let v = Fp6.make Fp2.zero Fp2.one Fp2.zero in
+  assert (Fp6.equal (Fp6.mul v (Fp6.mul v v)) (Fp6.of_fp2 Fp2.xi));
+  (* mul_by_v agrees with mul by v *)
+  let a = Fp6.random rng in
+  assert (Fp6.equal (Fp6.mul_by_v a) (Fp6.mul v a))
+
+let test_fp12_field () =
+  for _ = 1 to 3 do
+    let a = Fp12.random rng and b = Fp12.random rng and c = Fp12.random rng in
+    assert (Fp12.equal (Fp12.mul a (Fp12.mul b c)) (Fp12.mul (Fp12.mul a b) c));
+    if not (Fp12.is_zero a) then assert (Fp12.is_one (Fp12.mul a (Fp12.inv a)))
+  done;
+  (* w^2 = v *)
+  let w = Fp12.make Fp6.zero Fp6.one in
+  let v = Fp12.of_fp6 (Fp6.make Fp2.zero Fp2.one Fp2.zero) in
+  assert (Fp12.equal (Fp12.sqr w) v)
+
+let test_frobenius () =
+  (* frobenius must agree with x -> x^p *)
+  let p = Fp.modulus in
+  let a = Fp2.random rng in
+  assert (Fp2.equal (Fp2.frobenius a) (Fp2.pow_nat a p));
+  let b = Fp12.random rng in
+  Alcotest.check (Alcotest.testable Fp12.pp Fp12.equal) "fp12 frobenius"
+    (Fp12.pow_nat b p) (Fp12.frobenius b);
+  (* conj = p^6 frobenius *)
+  let rec frob_n x n = if n = 0 then x else frob_n (Fp12.frobenius x) (n - 1) in
+  assert (Fp12.equal (Fp12.conj b) (frob_n b 6))
+
+let test_g1_group () =
+  let g = G1.generator in
+  Alcotest.(check bool) "gen on curve" true (not (G1.is_zero g));
+  Alcotest.check g1 "g+g = 2g" (G1.add g g) (G1.double g);
+  Alcotest.check g1 "3g" (G1.add (G1.double g) g) (G1.mul_int g 3);
+  Alcotest.check g1 "g - g = O" G1.zero (G1.sub_point g g);
+  (* order r *)
+  Alcotest.check g1 "r*g = O" G1.zero (G1.mul_nat g Fr.modulus);
+  (* commutativity / associativity on random points *)
+  let a = G1.random rng and b = G1.random rng and c = G1.random rng in
+  Alcotest.check g1 "comm" (G1.add a b) (G1.add b a);
+  Alcotest.check g1 "assoc" (G1.add (G1.add a b) c) (G1.add a (G1.add b c));
+  (* scalar distributivity *)
+  let s = Fr.random rng and t = Fr.random rng in
+  Alcotest.check g1 "(s+t)g = sg + tg"
+    (G1.mul g (Fr.add s t))
+    (G1.add (G1.mul g s) (G1.mul g t))
+
+let test_g2_group () =
+  let g = G2.generator in
+  Alcotest.(check bool) "gen on curve" true (not (G2.is_zero g));
+  Alcotest.check g2 "r*g = O" G2.zero (G2.mul_nat g Fr.modulus);
+  let s = Fr.random rng and t = Fr.random rng in
+  Alcotest.check g2 "(s+t)g = sg + tg"
+    (G2.mul g (Fr.add s t))
+    (G2.add (G2.mul g s) (G2.mul g t))
+
+let test_affine_roundtrip () =
+  let a = G1.random rng in
+  match G1.to_affine a with
+  | None -> Alcotest.fail "random point should be finite"
+  | Some xy -> Alcotest.check g1 "roundtrip" a (G1.of_affine xy)
+
+let test_hash_to_curve () =
+  let p1 = G1.hash_to_curve "zkdet/test/1" in
+  let p2 = G1.hash_to_curve "zkdet/test/2" in
+  Alcotest.(check bool) "distinct" false (G1.equal p1 p2);
+  Alcotest.check g1 "deterministic" p1 (G1.hash_to_curve "zkdet/test/1");
+  Alcotest.check g1 "in subgroup (r * p = O)" G1.zero (G1.mul_nat p1 Fr.modulus)
+
+let test_msm () =
+  let n = 100 in
+  let points = Array.init n (fun _ -> G1.random rng) in
+  let scalars = Array.init n (fun _ -> Fr.random rng) in
+  let expected = ref G1.zero in
+  for i = 0 to n - 1 do
+    expected := G1.add !expected (G1.mul points.(i) scalars.(i))
+  done;
+  Alcotest.check g1 "pippenger = naive" !expected (G1.msm points scalars);
+  Alcotest.check g1 "empty msm" G1.zero (G1.msm [||] [||]);
+  (* small path *)
+  let pts3 = Array.sub points 0 3 and sc3 = Array.sub scalars 0 3 in
+  let exp3 =
+    G1.add (G1.mul pts3.(0) sc3.(0)) (G1.add (G1.mul pts3.(1) sc3.(1)) (G1.mul pts3.(2) sc3.(2)))
+  in
+  Alcotest.check g1 "small msm" exp3 (G1.msm pts3 sc3)
+
+let test_pairing_nondegenerate () =
+  let e = Pairing.pairing G1.generator G2.generator in
+  Alcotest.(check bool) "e(g1,g2) <> 1" false (Pairing.Gt.is_one e);
+  (* order r in GT *)
+  Alcotest.check gt "e^r = 1" Pairing.Gt.one (Pairing.Gt.pow_nat e Fr.modulus)
+
+let test_pairing_bilinear () =
+  let a = Fr.of_int 7 and b = Fr.of_int 11 in
+  let p = G1.generator and q = G2.generator in
+  let e_ab = Pairing.pairing (G1.mul p a) (G2.mul q b) in
+  let e = Pairing.pairing p q in
+  Alcotest.check gt "e(aP,bQ) = e(P,Q)^(ab)" (Pairing.Gt.pow_nat e (Nat.of_int 77)) e_ab;
+  (* random scalars *)
+  let s = Fr.random rng in
+  Alcotest.check gt "e(sP,Q) = e(P,sQ)"
+    (Pairing.pairing (G1.mul p s) q)
+    (Pairing.pairing p (G2.mul q s));
+  (* additivity in the first argument *)
+  let p2 = G1.random rng in
+  Alcotest.check gt "e(P+P',Q) = e(P,Q) e(P',Q)"
+    (Pairing.Gt.mul (Pairing.pairing p q) (Pairing.pairing p2 q))
+    (Pairing.pairing (G1.add p p2) q)
+
+let test_fixed_base_table () =
+  let table = G1.Fixed_base.create G1.generator in
+  for _ = 1 to 10 do
+    let s = Fr.random rng in
+    Alcotest.check g1 "table mul = double-and-add" (G1.mul G1.generator s)
+      (G1.Fixed_base.mul table s)
+  done;
+  Alcotest.check g1 "zero scalar" G1.zero (G1.Fixed_base.mul table Fr.zero)
+
+let test_batch_to_affine () =
+  let pts = Array.init 20 (fun i -> if i = 7 then G1.zero else G1.random rng) in
+  let affs = G1.batch_to_affine pts in
+  Array.iteri
+    (fun i p ->
+      match (affs.(i), G1.to_affine p) with
+      | None, None -> ()
+      | Some (x1, y1), Some (x2, y2) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "affine %d" i)
+          true
+          (Fp.equal x1 x2 && Fp.equal y1 y2)
+      | _ -> Alcotest.fail "batch/individual disagree on infinity")
+    pts
+
+let test_point_serialization () =
+  let p = G1.random rng in
+  let b = G1.to_bytes_fixed p in
+  Alcotest.(check int) "fixed width" G1.encoded_size (String.length b);
+  Alcotest.check g1 "roundtrip" p (G1.of_bytes_fixed b);
+  Alcotest.check g1 "infinity roundtrip" G1.zero
+    (G1.of_bytes_fixed (G1.to_bytes_fixed G1.zero));
+  (* off-curve points are rejected *)
+  let tampered = Bytes.of_string b in
+  Bytes.set tampered 5 (Char.chr (Char.code (Bytes.get tampered 5) lxor 1));
+  Alcotest.check_raises "off-curve rejected"
+    (Invalid_argument "Weierstrass.of_affine: not on curve") (fun () ->
+      ignore (G1.of_bytes_fixed (Bytes.to_string tampered)))
+
+let test_compressed_serialization () =
+  for _ = 1 to 10 do
+    let p = G1.random rng in
+    let b = G1.to_bytes_compressed p in
+    Alcotest.(check int) "33 bytes" G1.compressed_size (String.length b);
+    Alcotest.check g1 "roundtrip" p (G1.of_bytes_compressed b)
+  done;
+  Alcotest.check g1 "infinity" G1.zero
+    (G1.of_bytes_compressed (G1.to_bytes_compressed G1.zero));
+  Alcotest.check_raises "bad tag" (Invalid_argument "G1.of_bytes_compressed: bad tag")
+    (fun () -> ignore (G1.of_bytes_compressed ("\x07" ^ String.make 32 '\x00')))
+
+let test_pairing_check () =
+  (* e(aG1, G2) * e(-G1, aG2) = 1 *)
+  let a = Fr.random rng in
+  Alcotest.(check bool) "product check holds" true
+    (Pairing.pairing_check
+       [ (G1.mul G1.generator a, G2.generator);
+         (G1.neg G1.generator, G2.mul G2.generator a) ]);
+  Alcotest.(check bool) "product check fails on garbage" false
+    (Pairing.pairing_check
+       [ (G1.mul G1.generator a, G2.generator);
+         (G1.generator, G2.mul G2.generator a) ])
+
+let () =
+  Alcotest.run "zkdet_curve"
+    [ ( "tower",
+        [ Alcotest.test_case "fp2 field" `Quick test_fp2_field;
+          Alcotest.test_case "fp6 field" `Quick test_fp6_field;
+          Alcotest.test_case "fp12 field" `Quick test_fp12_field;
+          Alcotest.test_case "frobenius" `Quick test_frobenius ] );
+      ( "groups",
+        [ Alcotest.test_case "g1 group law" `Quick test_g1_group;
+          Alcotest.test_case "g2 group law" `Quick test_g2_group;
+          Alcotest.test_case "affine roundtrip" `Quick test_affine_roundtrip;
+          Alcotest.test_case "hash to curve" `Quick test_hash_to_curve;
+          Alcotest.test_case "msm" `Quick test_msm;
+          Alcotest.test_case "fixed-base table" `Quick test_fixed_base_table;
+          Alcotest.test_case "batch to affine" `Quick test_batch_to_affine;
+          Alcotest.test_case "point serialization" `Quick test_point_serialization;
+          Alcotest.test_case "compressed points" `Quick test_compressed_serialization ] );
+      ( "pairing",
+        [ Alcotest.test_case "non-degenerate" `Quick test_pairing_nondegenerate;
+          Alcotest.test_case "bilinear" `Slow test_pairing_bilinear;
+          Alcotest.test_case "pairing check" `Slow test_pairing_check ] ) ]

@@ -1,0 +1,140 @@
+module Nat = Zkdet_num.Nat
+module Fp = Zkdet_field.Bn254.Fp
+module Fr = Zkdet_field.Bn254.Fr
+
+let fr = Alcotest.testable Fr.pp Fr.equal
+let fp = Alcotest.testable Fp.pp Fp.equal
+
+let rng = Random.State.make [| 0x5eed |]
+
+let test_constants () =
+  Alcotest.(check int) "Fp bits" 254 Fp.num_bits;
+  Alcotest.(check int) "Fr bits" 254 Fr.num_bits;
+  Alcotest.(check int) "Fr two-adicity" 28 Fr.two_adicity;
+  Alcotest.(check string) "one" "1" (Fr.to_string Fr.one);
+  Alcotest.(check string) "zero" "0" (Fr.to_string Fr.zero)
+
+let test_add_mul_known () =
+  (* (p - 1) + 2 = 1 mod p *)
+  let pm1 = Fr.of_nat (Nat.sub Fr.modulus Nat.one) in
+  Alcotest.check fr "wraparound add" Fr.one (Fr.add pm1 (Fr.of_int 2));
+  Alcotest.check fr "(-1)^2 = 1" Fr.one (Fr.mul pm1 pm1);
+  Alcotest.check fr "of_int neg" pm1 (Fr.of_int (-1));
+  Alcotest.check fr "3*4=12" (Fr.of_int 12) (Fr.mul (Fr.of_int 3) (Fr.of_int 4))
+
+let test_inv () =
+  for _ = 1 to 20 do
+    let x = Fr.random rng in
+    if not (Fr.is_zero x) then
+      Alcotest.check fr "x * x^-1 = 1" Fr.one (Fr.mul x (Fr.inv x))
+  done;
+  Alcotest.check_raises "inv zero" Division_by_zero (fun () ->
+      ignore (Fr.inv Fr.zero))
+
+let test_pow () =
+  let x = Fr.of_int 3 in
+  Alcotest.check fr "x^5" (Fr.of_int 243) (Fr.pow x 5);
+  Alcotest.check fr "x^0" Fr.one (Fr.pow x 0);
+  (* Fermat: x^(r-1) = 1 *)
+  let y = Fr.random rng in
+  if not (Fr.is_zero y) then
+    Alcotest.check fr "fermat" Fr.one (Fr.pow_nat y (Nat.sub Fr.modulus Nat.one))
+
+let test_bytes_roundtrip () =
+  for _ = 1 to 10 do
+    let x = Fp.random rng in
+    let b = Fp.to_bytes_be x in
+    Alcotest.(check int) "32 bytes" 32 (String.length b);
+    Alcotest.check fp "roundtrip" x (Fp.of_bytes_be b)
+  done
+
+let test_roots_of_unity () =
+  for k = 0 to 10 do
+    let w = Fr.root_of_unity ~log2size:k in
+    Alcotest.check fr
+      (Printf.sprintf "w^(2^%d) = 1" k)
+      Fr.one
+      (Fr.pow_nat w (Nat.pow Nat.two k));
+    if k > 0 then
+      Alcotest.(check bool)
+        (Printf.sprintf "w^(2^%d) <> 1" (k - 1))
+        false
+        (Fr.is_one (Fr.pow_nat w (Nat.pow Nat.two (k - 1))))
+  done
+
+let test_sqrt () =
+  let found = ref 0 in
+  for _ = 1 to 30 do
+    let x = Fr.random rng in
+    let sq = Fr.sqr x in
+    (match Fr.sqrt sq with
+    | None -> Alcotest.fail "square must have a root"
+    | Some r ->
+      incr found;
+      Alcotest.(check bool) "root of square" true
+        (Fr.equal (Fr.sqr r) sq))
+  done;
+  Alcotest.(check bool) "found roots" true (!found = 30);
+  (* Roughly half of random elements are non-squares. *)
+  let nonsq = ref 0 in
+  for _ = 1 to 100 do
+    if not (Fr.is_square (Fr.random rng)) then incr nonsq
+  done;
+  Alcotest.(check bool) "nonsquares exist" true (!nonsq > 20 && !nonsq < 80)
+
+let test_batch_inv () =
+  let xs = Array.init 50 (fun i -> Fr.of_int (i + 1)) in
+  let invs = Fr.batch_inv xs in
+  Array.iteri
+    (fun i x -> Alcotest.check fr "x * batch_inv x = 1" Fr.one (Fr.mul x invs.(i)))
+    xs;
+  Alcotest.(check int) "empty batch" 0 (Array.length (Fr.batch_inv [||]));
+  Alcotest.check_raises "zero in batch" Division_by_zero (fun () ->
+      ignore (Fr.batch_inv [| Fr.one; Fr.zero; Fr.of_int 3 |]))
+
+let gen_fr = QCheck.Gen.map (fun i ->
+    Fr.add (Fr.of_int i) (Fr.random (Random.State.make [| i |])))
+    QCheck.Gen.int
+
+let arb_fr = QCheck.make ~print:Fr.to_string gen_fr
+
+let field_axioms =
+  [ QCheck.Test.make ~name:"add assoc" ~count:100
+      (QCheck.triple arb_fr arb_fr arb_fr) (fun (a, b, c) ->
+        Fr.(equal (add (add a b) c) (add a (add b c))));
+    QCheck.Test.make ~name:"mul assoc" ~count:100
+      (QCheck.triple arb_fr arb_fr arb_fr) (fun (a, b, c) ->
+        Fr.(equal (mul (mul a b) c) (mul a (mul b c))));
+    QCheck.Test.make ~name:"mul comm" ~count:100 (QCheck.pair arb_fr arb_fr)
+      (fun (a, b) -> Fr.(equal (mul a b) (mul b a)));
+    QCheck.Test.make ~name:"distributivity" ~count:100
+      (QCheck.triple arb_fr arb_fr arb_fr) (fun (a, b, c) ->
+        Fr.(equal (mul a (add b c)) (add (mul a b) (mul a c))));
+    QCheck.Test.make ~name:"sub inverse of add" ~count:100
+      (QCheck.pair arb_fr arb_fr) (fun (a, b) ->
+        Fr.(equal a (sub (add a b) b)));
+    QCheck.Test.make ~name:"neg" ~count:100 arb_fr (fun a ->
+        Fr.(is_zero (add a (neg a))));
+    QCheck.Test.make ~name:"sqr = mul self" ~count:100 arb_fr (fun a ->
+        Fr.(equal (sqr a) (mul a a)));
+    QCheck.Test.make ~name:"div inverse of mul" ~count:100
+      (QCheck.pair arb_fr arb_fr) (fun (a, b) ->
+        QCheck.assume (not (Fr.is_zero b));
+        Fr.(equal a (div (mul a b) b)));
+    QCheck.Test.make ~name:"nat roundtrip" ~count:100 arb_fr (fun a ->
+        Fr.(equal a (of_nat (to_nat a))));
+    QCheck.Test.make ~name:"string roundtrip" ~count:50 arb_fr (fun a ->
+        Fr.(equal a (of_string (to_string a)))) ]
+
+let () =
+  Alcotest.run "zkdet_field"
+    [ ( "bn254",
+        [ Alcotest.test_case "constants" `Quick test_constants;
+          Alcotest.test_case "add/mul known values" `Quick test_add_mul_known;
+          Alcotest.test_case "inverse" `Quick test_inv;
+          Alcotest.test_case "pow" `Quick test_pow;
+          Alcotest.test_case "bytes roundtrip" `Quick test_bytes_roundtrip;
+          Alcotest.test_case "roots of unity" `Quick test_roots_of_unity;
+          Alcotest.test_case "sqrt" `Quick test_sqrt;
+          Alcotest.test_case "batch inversion" `Quick test_batch_inv ] );
+      ("field-axioms", List.map QCheck_alcotest.to_alcotest field_axioms) ]

@@ -1,0 +1,118 @@
+(* Tests for the Groth16 comparator (ZKCP's proving system [10]):
+   R1CS conversion, completeness, soundness by tampering, and the
+   public-input-count-dependent verifier Figure 7 contrasts with Plonk. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module Cs = Zkdet_plonk.Cs
+module Groth16 = Zkdet_groth16.Groth16
+module Gadgets = Zkdet_circuit.Gadgets
+
+let rng = Random.State.make [| 1616 |]
+
+(* x*y + x + 3 = pub, same toy circuit as the Plonk tests. *)
+let build_toy ~x ~y =
+  let cs = Cs.create () in
+  let expected = Fr.add (Fr.add (Fr.mul x y) x) (Fr.of_int 3) in
+  let pub = Cs.public_input cs expected in
+  let xw = Cs.fresh cs x in
+  let yw = Cs.fresh cs y in
+  let xy = Cs.mul cs xw yw in
+  let sum = Cs.add cs xy xw in
+  let out = Cs.add_const cs sum (Fr.of_int 3) in
+  Cs.assert_equal cs out pub;
+  Cs.compile cs
+
+let test_r1cs_conversion () =
+  let compiled = build_toy ~x:(Fr.of_int 4) ~y:(Fr.of_int 6) in
+  let r = Groth16.of_compiled compiled in
+  Alcotest.(check bool) "r1cs satisfied by honest witness" true
+    (Groth16.satisfied r (Groth16.full_witness compiled));
+  (* corrupt the witness *)
+  let bad = Groth16.full_witness compiled in
+  bad.(2) <- Fr.add bad.(2) Fr.one;
+  Alcotest.(check bool) "corrupted witness fails" false (Groth16.satisfied r bad)
+
+let test_completeness () =
+  let compiled = build_toy ~x:(Fr.of_int 5) ~y:(Fr.of_int 7) in
+  let pk = Groth16.setup ~st:rng compiled in
+  let proof = Groth16.prove ~st:rng pk compiled in
+  Alcotest.(check bool) "honest proof verifies" true
+    (Groth16.verify pk.Groth16.vk compiled.Cs.public_values proof)
+
+let test_soundness () =
+  let compiled = build_toy ~x:(Fr.of_int 5) ~y:(Fr.of_int 7) in
+  let pk = Groth16.setup ~st:rng compiled in
+  let proof = Groth16.prove ~st:rng pk compiled in
+  (* wrong public input *)
+  Alcotest.(check bool) "wrong public rejected" false
+    (Groth16.verify pk.Groth16.vk
+       (Array.map (fun v -> Fr.add v Fr.one) compiled.Cs.public_values)
+       proof);
+  (* tampered proof elements *)
+  let t1 = { proof with Groth16.pi_a = Zkdet_curve.G1.random rng } in
+  Alcotest.(check bool) "tampered A rejected" false
+    (Groth16.verify pk.Groth16.vk compiled.Cs.public_values t1);
+  let t2 = { proof with Groth16.pi_c = Zkdet_curve.G1.random rng } in
+  Alcotest.(check bool) "tampered C rejected" false
+    (Groth16.verify pk.Groth16.vk compiled.Cs.public_values t2);
+  (* wrong-length publics *)
+  Alcotest.(check bool) "wrong arity rejected" false
+    (Groth16.verify pk.Groth16.vk [||] proof)
+
+let test_bad_witness_refused () =
+  let cs = Cs.create () in
+  let pub = Cs.public_input cs (Fr.of_int 999) in
+  let xw = Cs.fresh cs (Fr.of_int 5) in
+  let sq = Cs.mul cs xw xw in
+  Cs.assert_equal cs sq pub;
+  let compiled = Cs.compile cs in
+  let pk = Groth16.setup ~st:rng compiled in
+  Alcotest.check_raises "prover refuses"
+    (Invalid_argument "Groth16.prove: witness does not satisfy the circuit")
+    (fun () -> ignore (Groth16.prove ~st:rng pk compiled))
+
+let test_richer_circuit () =
+  (* A circuit with booleans, comparisons and several publics, exercising
+     the full gate->R1CS conversion surface. *)
+  let cs = Cs.create () in
+  let p1 = Cs.public_input cs (Fr.of_int 20) in
+  let p2 = Cs.public_input cs (Fr.of_int 22) in
+  let a = Cs.fresh cs (Fr.of_int 20) in
+  let b = Cs.fresh cs (Fr.of_int 22) in
+  Cs.assert_equal cs a p1;
+  Cs.assert_equal cs b p2;
+  let lt = Gadgets.less_than cs a b ~nbits:8 in
+  Cs.assert_constant cs lt Fr.one;
+  let z = Gadgets.is_zero cs (Cs.sub cs a b) in
+  Cs.assert_constant cs z Fr.zero;
+  let compiled = Cs.compile cs in
+  let pk = Groth16.setup ~st:rng compiled in
+  let proof = Groth16.prove ~st:rng pk compiled in
+  Alcotest.(check bool) "gadget circuit verifies" true
+    (Groth16.verify pk.Groth16.vk compiled.Cs.public_values proof);
+  Alcotest.(check int) "proof is 2 G1 + 1 G2" 259 (Groth16.proof_size_bytes proof)
+
+let test_proofs_not_mixable_with_plonk () =
+  (* Same circuit, both systems: each verifier accepts only its own. *)
+  let compiled = build_toy ~x:(Fr.of_int 2) ~y:(Fr.of_int 2) in
+  let g16_pk = Groth16.setup ~st:rng compiled in
+  let g16_proof = Groth16.prove ~st:rng g16_pk compiled in
+  Alcotest.(check bool) "groth16 ok" true
+    (Groth16.verify g16_pk.Groth16.vk compiled.Cs.public_values g16_proof);
+  let srs = Zkdet_kzg.Srs.unsafe_generate ~st:rng ~size:64 () in
+  let plonk_pk = Zkdet_plonk.Preprocess.setup srs compiled in
+  let plonk_proof = Zkdet_plonk.Prover.prove ~st:rng plonk_pk compiled in
+  Alcotest.(check bool) "plonk ok" true
+    (Zkdet_plonk.Verifier.verify plonk_pk.Zkdet_plonk.Preprocess.vk
+       compiled.Cs.public_values plonk_proof)
+
+let () =
+  Alcotest.run "zkdet_groth16"
+    [ ( "groth16",
+        [ Alcotest.test_case "r1cs conversion" `Quick test_r1cs_conversion;
+          Alcotest.test_case "completeness" `Quick test_completeness;
+          Alcotest.test_case "soundness" `Quick test_soundness;
+          Alcotest.test_case "bad witness refused" `Quick test_bad_witness_refused;
+          Alcotest.test_case "gadget circuit" `Quick test_richer_circuit;
+          Alcotest.test_case "coexists with plonk" `Quick
+            test_proofs_not_mixable_with_plonk ] ) ]

@@ -1,0 +1,92 @@
+module Fr = Zkdet_field.Bn254.Fr
+module G1 = Zkdet_curve.G1
+module Poly = Zkdet_poly.Poly
+module Srs = Zkdet_kzg.Srs
+module Kzg = Zkdet_kzg.Kzg
+module Ceremony = Zkdet_kzg.Ceremony
+
+let rng = Random.State.make [| 99 |]
+let srs = Srs.unsafe_generate ~st:rng ~size:64 ()
+
+let test_srs_consistency () =
+  Alcotest.(check bool) "spot check" true (Srs.verify srs);
+  Alcotest.(check bool) "exhaustive" true (Srs.verify ~exhaustive:true (Srs.truncate srs 8));
+  Alcotest.(check bool) "first power is generator" true
+    (G1.equal srs.Srs.g1_powers.(0) G1.generator)
+
+let test_commit_linear () =
+  let p = Poly.random rng 20 and q = Poly.random rng 20 in
+  let cp = Kzg.commit srs p and cq = Kzg.commit srs q in
+  Alcotest.(check bool) "commit(p+q) = commit(p) + commit(q)" true
+    (G1.equal (Kzg.commit srs (Poly.add p q)) (G1.add cp cq));
+  let s = Fr.random rng in
+  Alcotest.(check bool) "commit(s*p) = s*commit(p)" true
+    (G1.equal (Kzg.commit srs (Poly.scale s p)) (G1.mul cp s))
+
+let test_open_verify () =
+  let p = Poly.random rng 30 in
+  let c = Kzg.commit srs p in
+  let z = Fr.random rng in
+  let y, proof = Kzg.open_at srs p z in
+  Alcotest.(check bool) "honest opening verifies" true
+    (Kzg.verify srs c ~z ~y proof);
+  Alcotest.(check bool) "wrong value rejected" false
+    (Kzg.verify srs c ~z ~y:(Fr.add y Fr.one) proof);
+  Alcotest.(check bool) "wrong point rejected" false
+    (Kzg.verify srs c ~z:(Fr.add z Fr.one) ~y proof);
+  Alcotest.(check bool) "wrong proof rejected" false
+    (Kzg.verify srs c ~z ~y (G1.random rng))
+
+let test_commit_too_big () =
+  let p = Poly.random rng 65 in
+  Alcotest.check_raises "exceeds srs" (Invalid_argument "Kzg.commit: polynomial exceeds SRS")
+    (fun () -> ignore (Kzg.commit srs p))
+
+let test_batch () =
+  let ps = [ Poly.random rng 10; Poly.random rng 20; Poly.random rng 30 ] in
+  let cs = List.map (Kzg.commit srs) ps in
+  let z = Fr.random rng and gamma = Fr.random rng in
+  let ys, proof = Kzg.open_batch srs ps z gamma in
+  Alcotest.(check bool) "batch verifies" true
+    (Kzg.verify_batch srs cs ~z ~ys gamma proof);
+  let bad_ys = match ys with y :: rest -> Fr.add y Fr.one :: rest | [] -> [] in
+  Alcotest.(check bool) "bad evals rejected" false
+    (Kzg.verify_batch srs cs ~z ~ys:bad_ys gamma proof)
+
+let test_ceremony () =
+  let state = Ceremony.initial ~size:8 in
+  let state = Ceremony.contribute ~st:rng ~contributor:"alice" state in
+  let state = Ceremony.contribute ~st:rng ~contributor:"bob" state in
+  let state = Ceremony.contribute ~st:rng ~contributor:"carol" state in
+  Alcotest.(check bool) "transcript verifies" true (Ceremony.verify_transcript state);
+  Alcotest.(check int) "three entries" 3 (List.length state.Ceremony.transcript);
+  (* The ceremony SRS must be usable for commitments. *)
+  let p = Poly.random rng 7 in
+  let c = Kzg.commit state.Ceremony.srs p in
+  let z = Fr.random rng in
+  let y, proof = Kzg.open_at state.Ceremony.srs p z in
+  Alcotest.(check bool) "kzg works on ceremony srs" true
+    (Kzg.verify state.Ceremony.srs c ~z ~y proof)
+
+let test_ceremony_tamper () =
+  let state = Ceremony.initial ~size:4 in
+  let state = Ceremony.contribute ~st:rng ~contributor:"alice" state in
+  (* Corrupt the accumulator: replace a power with a random point. *)
+  let srs = state.Ceremony.srs in
+  let bad_powers = Array.copy srs.Srs.g1_powers in
+  bad_powers.(1) <- G1.random rng;
+  let bad = { state with Ceremony.srs = { srs with Srs.g1_powers = bad_powers } } in
+  Alcotest.(check bool) "tampered accumulator rejected" false
+    (Ceremony.verify_transcript bad)
+
+let () =
+  Alcotest.run "zkdet_kzg"
+    [ ( "kzg",
+        [ Alcotest.test_case "srs consistency" `Quick test_srs_consistency;
+          Alcotest.test_case "commitment homomorphic" `Quick test_commit_linear;
+          Alcotest.test_case "open/verify" `Quick test_open_verify;
+          Alcotest.test_case "oversize rejected" `Quick test_commit_too_big;
+          Alcotest.test_case "batched openings" `Quick test_batch ] );
+      ( "ceremony",
+        [ Alcotest.test_case "multi-party ceremony" `Slow test_ceremony;
+          Alcotest.test_case "tamper detection" `Slow test_ceremony_tamper ] ) ]

@@ -1,0 +1,145 @@
+module Nat = Zkdet_num.Nat
+
+let nat = Alcotest.testable Nat.pp Nat.equal
+
+let check_nat = Alcotest.check nat
+
+let test_of_to_int () =
+  Alcotest.(check (option int)) "roundtrip 0" (Some 0) Nat.(to_int zero);
+  Alcotest.(check (option int)) "roundtrip 1" (Some 1) Nat.(to_int one);
+  let v = 123_456_789_012_345 in
+  Alcotest.(check (option int)) "roundtrip large" (Some v) Nat.(to_int (of_int v))
+
+let test_decimal_roundtrip () =
+  let cases =
+    [ "0"; "1"; "9"; "10"; "4294967296"; "18446744073709551616";
+      "21888242871839275222246405745257275088696311157297823662689037894645226208583" ]
+  in
+  List.iter
+    (fun s ->
+      Alcotest.(check string) s s Nat.(to_decimal (of_decimal s)))
+    cases
+
+let test_hex_roundtrip () =
+  let n = Nat.of_decimal "340282366920938463463374607431768211455" in
+  check_nat "hex roundtrip" n (Nat.of_hex (Nat.to_hex n));
+  Alcotest.(check string) "ff" "ff" Nat.(to_hex (of_int 255));
+  check_nat "0x prefix" (Nat.of_int 255) (Nat.of_hex "0xFF")
+
+let test_add_sub () =
+  let a = Nat.of_decimal "987654321098765432109876543210" in
+  let b = Nat.of_decimal "123456789012345678901234567890" in
+  let s = Nat.add a b in
+  check_nat "a+b-b = a" a (Nat.sub s b);
+  check_nat "a+b-a = b" b (Nat.sub s a);
+  Alcotest.(check string)
+    "sum" "1111111110111111111011111111100" (Nat.to_decimal s);
+  Alcotest.check_raises "negative sub" (Invalid_argument "Nat.sub: negative result")
+    (fun () -> ignore (Nat.sub b a))
+
+let test_mul () =
+  let a = Nat.of_decimal "123456789012345678901234567890" in
+  let b = Nat.of_decimal "999999999999999999999999999999" in
+  Alcotest.(check string)
+    "product"
+    "123456789012345678901234567889876543210987654321098765432110"
+    Nat.(to_decimal (mul a b));
+  check_nat "mul zero" Nat.zero (Nat.mul a Nat.zero);
+  check_nat "mul one" a (Nat.mul a Nat.one)
+
+let test_divmod () =
+  let a = Nat.of_decimal "123456789012345678901234567890123456789" in
+  let b = Nat.of_decimal "987654321987654321" in
+  let q, r = Nat.divmod a b in
+  check_nat "a = q*b + r" a Nat.(add (mul q b) r);
+  Alcotest.(check bool) "r < b" true (Nat.compare r b < 0);
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Nat.divmod a Nat.zero));
+  let q2, r2 = Nat.divmod b a in
+  check_nat "small/large quotient" Nat.zero q2;
+  check_nat "small/large remainder" b r2
+
+let test_shifts () =
+  let a = Nat.of_decimal "123456789012345678901234567890" in
+  check_nat "shl then shr" a Nat.(shift_right (shift_left a 137) 137);
+  check_nat "shl = mul 2^k" (Nat.mul a (Nat.pow Nat.two 63)) (Nat.shift_left a 63);
+  check_nat "shr drops" (Nat.div a (Nat.pow Nat.two 10)) (Nat.shift_right a 10)
+
+let test_bits () =
+  Alcotest.(check int) "bits 0" 0 (Nat.num_bits Nat.zero);
+  Alcotest.(check int) "bits 1" 1 (Nat.num_bits Nat.one);
+  Alcotest.(check int) "bits 2^100" 101 (Nat.num_bits (Nat.pow Nat.two 100));
+  Alcotest.(check bool) "bit 100 set" true (Nat.testbit (Nat.pow Nat.two 100) 100);
+  Alcotest.(check bool) "bit 99 clear" false (Nat.testbit (Nat.pow Nat.two 100) 99)
+
+let test_bytes () =
+  let n = Nat.of_hex "0102030405060708090a" in
+  let s = Nat.to_bytes_be ~length:12 n in
+  Alcotest.(check int) "padded length" 12 (String.length s);
+  check_nat "bytes roundtrip" n (Nat.of_bytes_be s);
+  Alcotest.(check char) "padding" '\x00' s.[0];
+  Alcotest.(check char) "low byte" '\x0a' s.[11]
+
+let test_pow () =
+  Alcotest.(check string) "2^128" "340282366920938463463374607431768211456"
+    Nat.(to_decimal (pow two 128));
+  check_nat "x^0" Nat.one (Nat.pow (Nat.of_int 12345) 0)
+
+(* Property tests *)
+let gen_nat =
+  QCheck.Gen.(
+    map
+      (fun ds ->
+        let s = String.concat "" (List.map string_of_int ds) in
+        Nat.of_decimal (if s = "" then "0" else s))
+      (list_size (int_range 1 30) (int_range 0 9)))
+
+let arb_nat = QCheck.make ~print:Nat.to_decimal gen_nat
+
+let prop_add_comm =
+  QCheck.Test.make ~name:"add commutative" ~count:200 (QCheck.pair arb_nat arb_nat)
+    (fun (a, b) -> Nat.(equal (add a b) (add b a)))
+
+let prop_mul_assoc =
+  QCheck.Test.make ~name:"mul associative" ~count:100
+    (QCheck.triple arb_nat arb_nat arb_nat) (fun (a, b, c) ->
+      Nat.(equal (mul (mul a b) c) (mul a (mul b c))))
+
+let prop_distrib =
+  QCheck.Test.make ~name:"mul distributes over add" ~count:100
+    (QCheck.triple arb_nat arb_nat arb_nat) (fun (a, b, c) ->
+      Nat.(equal (mul a (add b c)) (add (mul a b) (mul a c))))
+
+let prop_divmod =
+  QCheck.Test.make ~name:"divmod identity" ~count:200 (QCheck.pair arb_nat arb_nat)
+    (fun (a, b) ->
+      QCheck.assume (not (Nat.is_zero b));
+      let q, r = Nat.divmod a b in
+      Nat.(equal a (add (mul q b) r)) && Nat.compare r b < 0)
+
+let prop_decimal_roundtrip =
+  QCheck.Test.make ~name:"decimal roundtrip" ~count:200 arb_nat (fun a ->
+      Nat.(equal a (of_decimal (to_decimal a))))
+
+let prop_hex_roundtrip =
+  QCheck.Test.make ~name:"hex roundtrip" ~count:200 arb_nat (fun a ->
+      Nat.(equal a (of_hex (to_hex a))))
+
+let props = List.map QCheck_alcotest.to_alcotest
+    [ prop_add_comm; prop_mul_assoc; prop_distrib; prop_divmod;
+      prop_decimal_roundtrip; prop_hex_roundtrip ]
+
+let () =
+  Alcotest.run "zkdet_num"
+    [ ( "nat",
+        [ Alcotest.test_case "of/to int" `Quick test_of_to_int;
+          Alcotest.test_case "decimal roundtrip" `Quick test_decimal_roundtrip;
+          Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip;
+          Alcotest.test_case "add/sub" `Quick test_add_sub;
+          Alcotest.test_case "mul" `Quick test_mul;
+          Alcotest.test_case "divmod" `Quick test_divmod;
+          Alcotest.test_case "shifts" `Quick test_shifts;
+          Alcotest.test_case "bits" `Quick test_bits;
+          Alcotest.test_case "bytes" `Quick test_bytes;
+          Alcotest.test_case "pow" `Quick test_pow ] );
+      ("nat-properties", props) ]

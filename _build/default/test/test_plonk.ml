@@ -1,0 +1,201 @@
+module Fr = Zkdet_field.Bn254.Fr
+module Cs = Zkdet_plonk.Cs
+module Preprocess = Zkdet_plonk.Preprocess
+module Prover = Zkdet_plonk.Prover
+module Verifier = Zkdet_plonk.Verifier
+module Proof = Zkdet_plonk.Proof
+module Srs = Zkdet_kzg.Srs
+
+let rng = Random.State.make [| 31337 |]
+let srs = Srs.unsafe_generate ~st:rng ~size:300 ()
+
+(* A toy circuit: prove knowledge of x, y with x*y + x + 3 = pub. *)
+let build_toy ~x ~y =
+  let cs = Cs.create () in
+  let expected = Fr.add (Fr.add (Fr.mul x y) x) (Fr.of_int 3) in
+  let pub = Cs.public_input cs expected in
+  let xw = Cs.fresh cs x in
+  let yw = Cs.fresh cs y in
+  let xy = Cs.mul cs xw yw in
+  let sum = Cs.add cs xy xw in
+  let out = Cs.add_const cs sum (Fr.of_int 3) in
+  Cs.assert_equal cs out pub;
+  cs
+
+let prove_and_verify cs =
+  let compiled = Cs.compile cs in
+  let pk = Preprocess.setup srs compiled in
+  let proof = Prover.prove ~st:rng pk compiled in
+  (pk, compiled, proof, Verifier.verify pk.Preprocess.vk compiled.Cs.public_values proof)
+
+let test_completeness () =
+  let cs = build_toy ~x:(Fr.of_int 5) ~y:(Fr.of_int 7) in
+  let _, _, _, ok = prove_and_verify cs in
+  Alcotest.(check bool) "honest proof verifies" true ok
+
+let test_satisfied_check () =
+  let cs = build_toy ~x:(Fr.of_int 2) ~y:(Fr.of_int 9) in
+  let compiled = Cs.compile cs in
+  Alcotest.(check bool) "witness satisfies" true (Cs.satisfied compiled)
+
+let test_wrong_public_rejected () =
+  let cs = build_toy ~x:(Fr.of_int 5) ~y:(Fr.of_int 7) in
+  let compiled = Cs.compile cs in
+  let pk = Preprocess.setup srs compiled in
+  let proof = Prover.prove ~st:rng pk compiled in
+  let bad_publics = Array.map (fun x -> Fr.add x Fr.one) compiled.Cs.public_values in
+  Alcotest.(check bool) "wrong public input rejected" false
+    (Verifier.verify pk.Preprocess.vk bad_publics proof)
+
+let test_tampered_proof_rejected () =
+  let cs = build_toy ~x:(Fr.of_int 5) ~y:(Fr.of_int 7) in
+  let compiled = Cs.compile cs in
+  let pk = Preprocess.setup srs compiled in
+  let proof = Prover.prove ~st:rng pk compiled in
+  let tampered = { proof with Proof.eval_a = Fr.add proof.Proof.eval_a Fr.one } in
+  Alcotest.(check bool) "tampered eval rejected" false
+    (Verifier.verify pk.Preprocess.vk compiled.Cs.public_values tampered);
+  let tampered2 = { proof with Proof.cm_z = Zkdet_curve.G1.random rng } in
+  Alcotest.(check bool) "tampered commitment rejected" false
+    (Verifier.verify pk.Preprocess.vk compiled.Cs.public_values tampered2)
+
+let test_bad_witness_rejected () =
+  (* Build an unsatisfied circuit: claim a wrong public output. *)
+  let cs = Cs.create () in
+  let pub = Cs.public_input cs (Fr.of_int 999) in
+  let xw = Cs.fresh cs (Fr.of_int 5) in
+  let sq = Cs.mul cs xw xw in
+  Cs.assert_equal cs sq pub;
+  let compiled = Cs.compile cs in
+  Alcotest.(check bool) "unsatisfied" false (Cs.satisfied compiled);
+  let pk = Preprocess.setup srs compiled in
+  Alcotest.check_raises "prover refuses"
+    (Invalid_argument "Prover.prove: witness does not satisfy the circuit")
+    (fun () -> ignore (Prover.prove ~st:rng pk compiled))
+
+let test_proof_size_constant () =
+  let sizes =
+    List.map
+      (fun ngates ->
+        let cs = Cs.create () in
+        let pub = Cs.public_input cs (Fr.of_int (2 * ngates)) in
+        let acc = ref (Cs.constant cs Fr.zero) in
+        for _ = 1 to ngates do
+          acc := Cs.add_const cs !acc (Fr.of_int 2)
+        done;
+        Cs.assert_equal cs !acc pub;
+        let compiled = Cs.compile cs in
+        let pk = Preprocess.setup srs compiled in
+        let proof = Prover.prove ~st:rng pk compiled in
+        Alcotest.(check bool)
+          (Printf.sprintf "verifies at %d gates" ngates)
+          true
+          (Verifier.verify pk.Preprocess.vk compiled.Cs.public_values proof);
+        Proof.size_bytes proof)
+      [ 4; 40; 200 ]
+  in
+  match sizes with
+  | s1 :: rest ->
+    List.iter (fun s -> Alcotest.(check int) "constant proof size" s1 s) rest;
+    (* 9 uncompressed G1 points (65 bytes incl. tag) + 6 scalars (32) *)
+    Alcotest.(check int) "expected size" ((9 * 65) + (6 * 32)) s1
+  | [] -> Alcotest.fail "no sizes"
+
+let test_multiple_publics () =
+  let cs = Cs.create () in
+  let a = Fr.of_int 11 and b = Fr.of_int 13 in
+  let pa = Cs.public_input cs a in
+  let pb = Cs.public_input cs b in
+  let psum = Cs.public_input cs (Fr.add a b) in
+  let sum = Cs.add cs pa pb in
+  Cs.assert_equal cs sum psum;
+  let _, _, _, ok = prove_and_verify cs in
+  Alcotest.(check bool) "3 public inputs" true ok
+
+let test_boolean_and_constants () =
+  let cs = Cs.create () in
+  let one_pub = Cs.public_input cs Fr.one in
+  let b = Cs.fresh cs Fr.one in
+  Cs.assert_boolean cs b;
+  let c5 = Cs.constant cs (Fr.of_int 5) in
+  let c5' = Cs.constant cs (Fr.of_int 5) in
+  Alcotest.(check int) "constants cached" c5 c5';
+  let prod = Cs.mul cs b one_pub in
+  Cs.assert_equal cs prod b;
+  let _, _, _, ok = prove_and_verify cs in
+  Alcotest.(check bool) "boolean circuit ok" true ok
+
+let test_proof_serialization () =
+  let cs = build_toy ~x:(Fr.of_int 3) ~y:(Fr.of_int 8) in
+  let compiled = Cs.compile cs in
+  let pk = Preprocess.setup srs compiled in
+  let proof = Prover.prove ~st:rng pk compiled in
+  let bytes = Proof.to_bytes proof in
+  let back = Proof.of_bytes bytes in
+  Alcotest.(check string) "roundtrip stable" bytes (Proof.to_bytes back);
+  Alcotest.(check bool) "deserialized proof verifies" true
+    (Verifier.verify pk.Preprocess.vk compiled.Cs.public_values back);
+  Alcotest.check_raises "truncated rejected"
+    (Invalid_argument "Proof.of_bytes: bad length") (fun () ->
+      ignore (Proof.of_bytes (String.sub bytes 0 100)));
+  (* compressed encoding: smaller, still verifies after roundtrip *)
+  let compressed = Proof.to_bytes_compressed proof in
+  Alcotest.(check int) "489 bytes" ((9 * 33) + (6 * 32)) (String.length compressed);
+  Alcotest.(check bool) "compressed roundtrip verifies" true
+    (Verifier.verify pk.Preprocess.vk compiled.Cs.public_values
+       (Proof.of_bytes_compressed compressed))
+
+let test_transcript_binding () =
+  let module T = Zkdet_plonk.Transcript in
+  let t1 = T.create ~label:"x" in
+  let t2 = T.create ~label:"x" in
+  T.absorb_fr t1 ~label:"a" (Fr.of_int 1);
+  T.absorb_fr t2 ~label:"a" (Fr.of_int 1);
+  Alcotest.(check bool) "same absorptions, same challenge" true
+    (Fr.equal (T.challenge_fr t1 ~label:"c") (T.challenge_fr t2 ~label:"c"));
+  let t3 = T.create ~label:"x" in
+  T.absorb_fr t3 ~label:"a" (Fr.of_int 2);
+  let t4 = T.create ~label:"x" in
+  T.absorb_fr t4 ~label:"b" (Fr.of_int 1);
+  let c1 = T.challenge_fr t3 ~label:"c" and c2 = T.challenge_fr t4 ~label:"c" in
+  Alcotest.(check bool) "value-sensitive" false
+    (Fr.equal c1 (T.challenge_fr (T.create ~label:"x") ~label:"c"));
+  Alcotest.(check bool) "label-sensitive" false (Fr.equal c1 c2);
+  (* sequential challenges differ *)
+  let t5 = T.create ~label:"x" in
+  let a = T.challenge_fr t5 ~label:"c" in
+  let b = T.challenge_fr t5 ~label:"c" in
+  Alcotest.(check bool) "state advances" false (Fr.equal a b)
+
+let test_proof_not_transferable () =
+  (* A proof for one circuit/publics must not verify for another. *)
+  let cs1 = build_toy ~x:(Fr.of_int 2) ~y:(Fr.of_int 3) in
+  let cs2 = build_toy ~x:(Fr.of_int 4) ~y:(Fr.of_int 5) in
+  let c1 = Cs.compile cs1 and c2 = Cs.compile cs2 in
+  let pk1 = Preprocess.setup srs c1 in
+  let proof1 = Prover.prove ~st:rng pk1 c1 in
+  Alcotest.(check bool) "replay under other publics rejected" false
+    (Verifier.verify pk1.Preprocess.vk c2.Cs.public_values proof1)
+
+let prop_completeness =
+  QCheck.Test.make ~name:"completeness on random witnesses" ~count:5
+    QCheck.(pair small_int small_int) (fun (x, y) ->
+      let cs = build_toy ~x:(Fr.of_int x) ~y:(Fr.of_int y) in
+      let _, _, _, ok = prove_and_verify cs in
+      ok)
+
+let () =
+  Alcotest.run "zkdet_plonk"
+    [ ( "plonk",
+        [ Alcotest.test_case "witness satisfaction" `Quick test_satisfied_check;
+          Alcotest.test_case "completeness" `Quick test_completeness;
+          Alcotest.test_case "wrong public rejected" `Quick test_wrong_public_rejected;
+          Alcotest.test_case "tampered proof rejected" `Quick test_tampered_proof_rejected;
+          Alcotest.test_case "bad witness rejected" `Quick test_bad_witness_rejected;
+          Alcotest.test_case "proof size constant" `Slow test_proof_size_constant;
+          Alcotest.test_case "multiple publics" `Quick test_multiple_publics;
+          Alcotest.test_case "booleans and constants" `Quick test_boolean_and_constants;
+          Alcotest.test_case "proof serialization" `Quick test_proof_serialization;
+          Alcotest.test_case "transcript binding" `Quick test_transcript_binding;
+          Alcotest.test_case "proof not transferable" `Quick test_proof_not_transferable ] );
+      ("plonk-properties", List.map QCheck_alcotest.to_alcotest [ prop_completeness ]) ]

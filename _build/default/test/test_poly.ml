@@ -1,0 +1,160 @@
+module Fr = Zkdet_field.Bn254.Fr
+module Poly = Zkdet_poly.Poly
+module Domain = Zkdet_poly.Domain
+
+let rng = Random.State.make [| 42 |]
+let poly = Alcotest.testable Poly.pp Poly.equal
+let fr = Alcotest.testable Fr.pp Fr.equal
+
+let test_eval () =
+  (* p(x) = 1 + 2x + 3x^2 at x=5: 1 + 10 + 75 = 86 *)
+  let p = Poly.of_coeffs [| Fr.of_int 1; Fr.of_int 2; Fr.of_int 3 |] in
+  Alcotest.check fr "horner" (Fr.of_int 86) (Poly.eval p (Fr.of_int 5));
+  Alcotest.check fr "zero poly" Fr.zero (Poly.eval Poly.zero (Fr.of_int 9))
+
+let test_mul_matches_naive () =
+  for _ = 1 to 5 do
+    let p = Poly.random rng 70 and q = Poly.random rng 75 in
+    (* mul dispatches to FFT at this size; compare against schoolbook. *)
+    let via_fft = Poly.mul p q in
+    let x = Fr.random rng in
+    Alcotest.check fr "eval of product"
+      (Fr.mul (Poly.eval p x) (Poly.eval q x))
+      (Poly.eval via_fft x)
+  done
+
+let test_fft_roundtrip () =
+  List.iter
+    (fun log2 ->
+      let d = Domain.create log2 in
+      let p = Poly.random rng (Domain.size d) in
+      let evals = Domain.fft d p in
+      let back = Domain.ifft d evals in
+      Alcotest.check poly
+        (Printf.sprintf "ifft . fft = id (2^%d)" log2)
+        (Poly.of_coeffs p) (Poly.of_coeffs back))
+    [ 0; 1; 4; 8 ]
+
+let test_fft_is_evaluation () =
+  let d = Domain.create 4 in
+  let p = Poly.random rng 16 in
+  let evals = Domain.fft d p in
+  for i = 0 to 15 do
+    Alcotest.check fr
+      (Printf.sprintf "evals.(%d)" i)
+      (Poly.eval (Poly.of_coeffs p) (Domain.element d i))
+      evals.(i)
+  done
+
+let test_coset_fft () =
+  let d = Domain.create 5 in
+  let p = Poly.random rng 32 in
+  let evals = Domain.coset_fft d p in
+  let g = Domain.shift d in
+  for i = 0 to 31 do
+    Alcotest.check fr
+      (Printf.sprintf "coset evals.(%d)" i)
+      (Poly.eval (Poly.of_coeffs p) (Fr.mul g (Domain.element d i)))
+      evals.(i)
+  done;
+  let back = Domain.coset_ifft d evals in
+  Alcotest.check poly "coset roundtrip" (Poly.of_coeffs p) (Poly.of_coeffs back)
+
+let test_div_by_linear () =
+  let p = Poly.random rng 20 in
+  let z = Fr.random rng in
+  let y = Poly.eval (Poly.of_coeffs p) z in
+  (* (p - y) is divisible by (X - z) *)
+  let shifted = Poly.sub p (Poly.constant y) in
+  let q = Poly.div_by_linear shifted z in
+  let x = Fr.random rng in
+  Alcotest.check fr "q(x)(x-z) = p(x)-y"
+    (Fr.sub (Poly.eval (Poly.of_coeffs p) x) y)
+    (Fr.mul (Poly.eval q x) (Fr.sub x z));
+  Alcotest.check_raises "non-root" (Invalid_argument "Poly.div_by_linear: non-zero remainder")
+    (fun () -> ignore (Poly.div_by_linear p (Fr.add z Fr.one)))
+
+let test_divmod () =
+  let p = Poly.random rng 23 and q = Poly.random rng 7 in
+  let quot, rem = Poly.divmod p q in
+  Alcotest.check poly "p = quot*q + rem"
+    (Poly.of_coeffs p)
+    (Poly.add (Poly.mul quot q) rem);
+  Alcotest.(check bool) "deg rem < deg q" true (Poly.degree rem < Poly.degree q)
+
+let test_div_by_vanishing () =
+  let n = 16 in
+  let q = Poly.random rng 20 in
+  (* p = q * (x^n - 1) *)
+  let vanishing =
+    let v = Array.make (n + 1) Fr.zero in
+    v.(0) <- Fr.neg Fr.one;
+    v.(n) <- Fr.one;
+    Poly.of_coeffs v
+  in
+  let p = Poly.mul q vanishing in
+  Alcotest.check poly "recover quotient" (Poly.of_coeffs q) (Poly.div_by_vanishing p n);
+  let bad = Poly.add p Poly.one in
+  Alcotest.check_raises "not divisible"
+    (Invalid_argument "Poly.div_by_vanishing: not divisible") (fun () ->
+      ignore (Poly.div_by_vanishing bad n))
+
+let test_lagrange () =
+  let d = Domain.create 3 in
+  let x = Fr.random rng in
+  (* sum_i L_i(x) = 1 *)
+  let sum = ref Fr.zero in
+  for i = 0 to 7 do
+    sum := Fr.add !sum (Domain.lagrange_eval d i x)
+  done;
+  Alcotest.check fr "partition of unity" Fr.one !sum;
+  (* L_i(omega^j) = delta_ij — checked via interpolation instead since
+     lagrange_eval divides by (x - omega^i). *)
+  let p = Poly.interpolate [ (Fr.of_int 1, Fr.of_int 10); (Fr.of_int 2, Fr.of_int 20);
+                             (Fr.of_int 3, Fr.of_int 40) ] in
+  Alcotest.check fr "interp 1" (Fr.of_int 10) (Poly.eval p (Fr.of_int 1));
+  Alcotest.check fr "interp 2" (Fr.of_int 20) (Poly.eval p (Fr.of_int 2));
+  Alcotest.check fr "interp 3" (Fr.of_int 40) (Poly.eval p (Fr.of_int 3))
+
+let test_vanishing_eval () =
+  let d = Domain.create 4 in
+  for i = 0 to 15 do
+    Alcotest.check fr "zero on domain" Fr.zero
+      (Domain.vanishing_eval d (Domain.element d i))
+  done;
+  let x = Fr.of_int 12345 in
+  Alcotest.check fr "off domain"
+    (Fr.sub (Fr.pow x 16) Fr.one)
+    (Domain.vanishing_eval d x)
+
+let props =
+  let arb_poly n = QCheck.make ~print:(fun _ -> "<poly>")
+      QCheck.Gen.(map (fun seed -> Poly.random (Random.State.make [| seed |]) n) int)
+  in
+  [ QCheck.Test.make ~name:"add comm" ~count:50 (QCheck.pair (arb_poly 10) (arb_poly 12))
+      (fun (p, q) -> Poly.equal (Poly.add p q) (Poly.add q p));
+    QCheck.Test.make ~name:"mul comm" ~count:30 (QCheck.pair (arb_poly 8) (arb_poly 9))
+      (fun (p, q) -> Poly.equal (Poly.mul p q) (Poly.mul q p));
+    QCheck.Test.make ~name:"mul degree adds" ~count:30
+      (QCheck.pair (arb_poly 8) (arb_poly 9)) (fun (p, q) ->
+        QCheck.assume (not (Poly.is_zero p) && not (Poly.is_zero q));
+        Poly.degree (Poly.mul p q) = Poly.degree p + Poly.degree q);
+    QCheck.Test.make ~name:"eval homomorphic for add" ~count:50
+      (QCheck.pair (arb_poly 10) (arb_poly 10)) (fun (p, q) ->
+        let x = Fr.of_int 77 in
+        Fr.equal (Poly.eval (Poly.add p q) x) (Fr.add (Poly.eval p x) (Poly.eval q x))) ]
+
+let () =
+  Alcotest.run "zkdet_poly"
+    [ ( "poly",
+        [ Alcotest.test_case "eval" `Quick test_eval;
+          Alcotest.test_case "fft mul = naive mul" `Quick test_mul_matches_naive;
+          Alcotest.test_case "fft roundtrip" `Quick test_fft_roundtrip;
+          Alcotest.test_case "fft is evaluation" `Quick test_fft_is_evaluation;
+          Alcotest.test_case "coset fft" `Quick test_coset_fft;
+          Alcotest.test_case "div by linear" `Quick test_div_by_linear;
+          Alcotest.test_case "divmod" `Quick test_divmod;
+          Alcotest.test_case "div by vanishing" `Quick test_div_by_vanishing;
+          Alcotest.test_case "lagrange/interpolate" `Quick test_lagrange;
+          Alcotest.test_case "vanishing eval" `Quick test_vanishing_eval ] );
+      ("poly-properties", List.map QCheck_alcotest.to_alcotest props) ]

@@ -1,0 +1,118 @@
+(* Tests for the circuit-friendly primitives: MiMC and Poseidon. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module Mimc = Zkdet_mimc.Mimc
+module Poseidon = Zkdet_poseidon.Poseidon
+
+let rng = Random.State.make [| 7777 |]
+let fr = Alcotest.testable Fr.pp Fr.equal
+
+let test_mimc_block_roundtrip () =
+  for _ = 1 to 5 do
+    let k = Fr.random rng and m = Fr.random rng in
+    let c = Mimc.encrypt_block k m in
+    Alcotest.check fr "decrypt . encrypt = id" m (Mimc.decrypt_block k c);
+    Alcotest.(check bool) "ciphertext differs" false (Fr.equal c m)
+  done
+
+let test_mimc_key_sensitivity () =
+  let m = Fr.random rng in
+  let k1 = Fr.random rng and k2 = Fr.random rng in
+  Alcotest.(check bool) "different keys, different ct" false
+    (Fr.equal (Mimc.encrypt_block k1 m) (Mimc.encrypt_block k2 m));
+  (* wrong key does not decrypt *)
+  let c = Mimc.encrypt_block k1 m in
+  Alcotest.(check bool) "wrong key garbage" false (Fr.equal m (Mimc.decrypt_block k2 c))
+
+let test_mimc_ctr () =
+  let key = Fr.random rng and nonce = Fr.random rng in
+  let data = Array.init 50 (fun _ -> Fr.random rng) in
+  let ct = Mimc.Ctr.encrypt ~key ~nonce data in
+  let pt = Mimc.Ctr.decrypt ~key ~nonce ct in
+  Alcotest.(check bool) "roundtrip" true
+    (Array.for_all2 Fr.equal data pt);
+  (* distinct positions get distinct keystream: encrypting equal plaintexts
+     yields distinct ciphertexts *)
+  let zeros = Array.make 10 Fr.zero in
+  let ct0 = Mimc.Ctr.encrypt ~key ~nonce zeros in
+  let distinct = ref true in
+  for i = 0 to 8 do
+    if Fr.equal ct0.(i) ct0.(i + 1) then distinct := false
+  done;
+  Alcotest.(check bool) "ctr positions differ" true !distinct;
+  (* wrong nonce fails *)
+  let bad = Mimc.Ctr.decrypt ~key ~nonce:(Fr.add nonce Fr.one) ct in
+  Alcotest.(check bool) "wrong nonce" false (Array.for_all2 Fr.equal data bad)
+
+let test_mimc_hash () =
+  let a = Fr.random rng and b = Fr.random rng in
+  Alcotest.(check bool) "order matters" false
+    (Fr.equal (Mimc.hash [ a; b ]) (Mimc.hash [ b; a ]));
+  Alcotest.check fr "deterministic" (Mimc.hash [ a; b ]) (Mimc.hash [ a; b ])
+
+let test_poseidon_permutation () =
+  let s = [| Fr.random rng; Fr.random rng; Fr.random rng |] in
+  let p1 = Poseidon.permute s in
+  Alcotest.check fr "deterministic" p1.(0) (Poseidon.permute s).(0);
+  Alcotest.(check bool) "state changed" false (Fr.equal p1.(0) s.(0));
+  (* bijectivity smoke test: distinct inputs map to distinct outputs *)
+  let s2 = Array.copy s in
+  s2.(0) <- Fr.add s2.(0) Fr.one;
+  Alcotest.(check bool) "injective-ish" false
+    (Fr.equal p1.(0) (Poseidon.permute s2).(0))
+
+let test_poseidon_hash () =
+  let a = Fr.random rng and b = Fr.random rng and c = Fr.random rng in
+  Alcotest.(check bool) "order matters" false
+    (Fr.equal (Poseidon.hash [ a; b ]) (Poseidon.hash [ b; a ]));
+  (* length domain separation: [a] vs [a; 0] *)
+  Alcotest.(check bool) "length matters" false
+    (Fr.equal (Poseidon.hash [ a ]) (Poseidon.hash [ a; Fr.zero ]));
+  Alcotest.(check bool) "3-input works" true
+    (not (Fr.is_zero (Poseidon.hash [ a; b; c ])));
+  Alcotest.check fr "hash2 = hash pair" (Poseidon.hash [ a; b ]) (Poseidon.hash2 a b)
+
+let test_commitment () =
+  let msgs = [ Fr.random rng; Fr.random rng; Fr.random rng ] in
+  let c, o = Poseidon.Commitment.commit ~st:rng msgs in
+  Alcotest.(check bool) "opens" true (Poseidon.Commitment.verify msgs c o);
+  Alcotest.(check bool) "binding: wrong message fails" false
+    (Poseidon.Commitment.verify [ Fr.zero; Fr.zero; Fr.zero ] c o);
+  Alcotest.(check bool) "wrong opening fails" false
+    (Poseidon.Commitment.verify msgs c (Fr.add o Fr.one));
+  (* hiding: same message, fresh randomness -> different commitment *)
+  let c2, _ = Poseidon.Commitment.commit ~st:rng msgs in
+  Alcotest.(check bool) "hiding" false (Fr.equal c c2)
+
+let props =
+  let arb_fr =
+    QCheck.make ~print:Fr.to_string
+      QCheck.Gen.(map (fun i -> Fr.random (Random.State.make [| i |])) int)
+  in
+  [ QCheck.Test.make ~name:"mimc block roundtrip" ~count:10
+      (QCheck.pair arb_fr arb_fr) (fun (k, m) ->
+        Fr.equal m (Mimc.decrypt_block k (Mimc.encrypt_block k m)));
+    QCheck.Test.make ~name:"ctr roundtrip" ~count:10
+      (QCheck.triple arb_fr arb_fr (QCheck.int_range 1 30)) (fun (k, n, len) ->
+        let data = Array.init len (fun i -> Fr.of_int (i * i)) in
+        let rt = Mimc.Ctr.decrypt ~key:k ~nonce:n (Mimc.Ctr.encrypt ~key:k ~nonce:n data) in
+        Array.for_all2 Fr.equal data rt);
+    QCheck.Test.make ~name:"poseidon collision-free on pairs" ~count:30
+      (QCheck.pair (QCheck.pair arb_fr arb_fr) (QCheck.pair arb_fr arb_fr))
+      (fun ((a, b), (c, d)) ->
+        let same_in = Fr.equal a c && Fr.equal b d in
+        let same_out = Fr.equal (Poseidon.hash2 a b) (Poseidon.hash2 c d) in
+        same_in = same_out) ]
+
+let () =
+  Alcotest.run "zkdet_symmetric"
+    [ ( "mimc",
+        [ Alcotest.test_case "block roundtrip" `Quick test_mimc_block_roundtrip;
+          Alcotest.test_case "key sensitivity" `Quick test_mimc_key_sensitivity;
+          Alcotest.test_case "ctr mode" `Quick test_mimc_ctr;
+          Alcotest.test_case "mimc hash" `Quick test_mimc_hash ] );
+      ( "poseidon",
+        [ Alcotest.test_case "permutation" `Quick test_poseidon_permutation;
+          Alcotest.test_case "sponge hash" `Quick test_poseidon_hash;
+          Alcotest.test_case "commitment" `Quick test_commitment ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest props) ]
