@@ -23,13 +23,32 @@ let params_cmd =
     Printf.printf "Poseidon: width %d, R_F=%d, R_P=%d, S-box x^5\n"
       Zkdet_poseidon.Poseidon.width Zkdet_poseidon.Poseidon.full_rounds
       Zkdet_poseidon.Poseidon.partial_rounds;
-    Printf.printf "proof: 9 G1 + 6 Fr = %d bytes\n" ((9 * 65) + (6 * 32))
+    Printf.printf "proof: 9 G1 + 6 Fr = %d bytes\n" ((9 * 65) + (6 * 32));
+    Printf.printf
+      "parallel runtime: %d domain(s) (ZKDET_DOMAINS; host recommends %d)\n"
+      (Zkdet_parallel.Pool.num_domains ())
+      (Domain.recommended_domain_count ())
   in
   Cmd.v (Cmd.info "params" ~doc:"Print the cryptographic parameters")
     Term.(const run $ const ())
 
 let selftest_cmd =
-  let run () =
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "domains" ]
+          ~doc:"Total domains for the parallel runtime (1 = sequential)")
+  in
+  let run domains =
+    (match domains with
+    | Some n when n < 1 ->
+      prerr_endline "zkdet: --domains must be at least 1";
+      exit 2
+    | _ -> ());
+    Option.iter Zkdet_parallel.Pool.set_num_domains domains;
+    Printf.printf "parallel runtime: %d domain(s)\n"
+      (Zkdet_parallel.Pool.num_domains ());
     let env = Zkdet_core.Env.create ~log2_max_gates:12 () in
     let data = [| Fr.of_int 11; Fr.of_int 22 |] in
     let sealed = Zkdet_core.Transform.seal ~st:env.Zkdet_core.Env.rng data in
@@ -46,7 +65,7 @@ let selftest_cmd =
     if not ok then exit 1
   in
   Cmd.v (Cmd.info "selftest" ~doc:"Generate and verify one proof of encryption")
-    Term.(const run $ const ())
+    Term.(const run $ domains)
 
 let ceremony_cmd =
   let contributors =

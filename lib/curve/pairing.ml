@@ -120,11 +120,14 @@ let pairing (p : G1.t) (q : G2.t) : Gt.t =
 
 (** [pairing_check pairs] is [true] iff the product of pairings over
     [pairs] is the identity in GT — the form used by on-chain verifiers
-    (one shared final exponentiation). *)
+    (one shared final exponentiation). The Miller loops are independent
+    and run on the parallel pool; the Fp12 product folds left-to-right,
+    so batched verification is deterministic at any pool size. *)
 let pairing_check (pairs : (G1.t * G2.t) list) : bool =
-  let f =
-    List.fold_left
-      (fun acc (p, q) -> Fp12.mul acc (miller_loop p q))
-      Fp12.one pairs
+  let fs =
+    Zkdet_parallel.Pool.parallel_map_array
+      (fun (p, q) -> miller_loop p q)
+      (Array.of_list pairs)
   in
+  let f = Array.fold_left Fp12.mul Fp12.one fs in
   Gt.is_one (final_exponentiation f)

@@ -4,6 +4,7 @@
 
 module Nat = Zkdet_num.Nat
 module Fr = Zkdet_field.Bn254.Fr
+module Pool = Zkdet_parallel.Pool
 
 module type CURVE_FIELD = sig
   type t
@@ -208,11 +209,10 @@ module Make (P : PARAMS) = struct
         !v
       in
       let affine = batch_to_affine points in
-      let acc = ref zero in
-      for w = nwindows - 1 downto 0 do
-        for _ = 1 to c do
-          acc := double !acc
-        done;
+      (* Window sums are independent of each other — one pool task per
+         window — and each is computed whole, so the result is identical
+         (same Jacobian coordinates) at any pool size. *)
+      let window_sum w =
         let buckets = Array.make ((1 lsl c) - 1) zero in
         for i = 0 to n - 1 do
           let v = window_value nats.(i) w in
@@ -227,7 +227,15 @@ module Make (P : PARAMS) = struct
           running := add !running buckets.(j);
           sum := add !sum !running
         done;
-        acc := add !acc !sum
+        !sum
+      in
+      let sums = Pool.parallel_init nwindows window_sum in
+      let acc = ref zero in
+      for w = nwindows - 1 downto 0 do
+        for _ = 1 to c do
+          acc := double !acc
+        done;
+        acc := add !acc sums.(w)
       done;
       !acc
     end

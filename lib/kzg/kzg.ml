@@ -20,6 +20,12 @@ let commit (srs : Srs.t) (p : Poly.t) : commitment =
     G1.msm (Array.sub srs.Srs.g1_powers 0 (d + 1)) coeffs
   end
 
+(** [commit_batch srs ps] commits to each polynomial, one pool task per
+    commitment (inside a worker the MSM's own window-level parallelism
+    degrades to sequential, so the two levels compose without deadlock). *)
+let commit_batch (srs : Srs.t) (ps : Poly.t array) : commitment array =
+  Zkdet_parallel.Pool.parallel_map_array (commit srs) ps
+
 (** [open_at srs p z] returns [(y, pi)] with [y = p(z)] and [pi] the witness
     commitment [( (p - y)/(X - z) ) (tau)] G1. *)
 let open_at (srs : Srs.t) (p : Poly.t) (z : Fr.t) : Fr.t * opening_proof =

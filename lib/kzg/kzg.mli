@@ -13,6 +13,9 @@ val commit : Srs.t -> Poly.t -> commitment
 (** [commit srs p] = [p(tau)]G1. Raises [Invalid_argument] if [p] exceeds
     the SRS size. *)
 
+val commit_batch : Srs.t -> Poly.t array -> commitment array
+(** Commit to several polynomials, one parallel-pool task each. *)
+
 val open_at : Srs.t -> Poly.t -> Fr.t -> Fr.t * opening_proof
 (** [open_at srs p z] is [(p(z), [q(tau)]G1)] with [q = (p - p(z))/(X - z)]. *)
 

@@ -6,6 +6,7 @@ module G1 = Zkdet_curve.G1
 module Poly = Zkdet_poly.Poly
 module Domain = Zkdet_poly.Domain
 module Kzg = Zkdet_kzg.Kzg
+module Pool = Zkdet_parallel.Pool
 
 let absorb_vk_and_publics (t : Transcript.t) (vk : Preprocess.verification_key)
     (publics : Fr.t array) =
@@ -64,9 +65,8 @@ let prove ?(st = Random.State.make_self_init ()) (pk : Preprocess.proving_key)
   let a_poly = blind2 (Domain.ifft domain wa) n (r ()) (r ()) in
   let b_poly = blind2 (Domain.ifft domain wb) n (r ()) (r ()) in
   let c_poly = blind2 (Domain.ifft domain wc) n (r ()) (r ()) in
-  let cm_a = Kzg.commit pk.Preprocess.srs a_poly in
-  let cm_b = Kzg.commit pk.Preprocess.srs b_poly in
-  let cm_c = Kzg.commit pk.Preprocess.srs c_poly in
+  let cms = Kzg.commit_batch pk.Preprocess.srs [| a_poly; b_poly; c_poly |] in
+  let cm_a = cms.(0) and cm_b = cms.(1) and cm_c = cms.(2) in
   Transcript.absorb_g1 tr ~label:"a" cm_a;
   Transcript.absorb_g1 tr ~label:"b" cm_b;
   Transcript.absorb_g1 tr ~label:"c" cm_c;
@@ -142,7 +142,7 @@ let prove ?(st = Random.State.make_self_init ()) (pk : Preprocess.proving_key)
   done;
   let alpha2 = Fr.sqr alpha in
   let t_evals =
-    Array.init n4 (fun i ->
+    Pool.parallel_init n4 (fun i ->
         let a = a4.(i) and b = b4.(i) and c = c4.(i) in
         let zv = z4.(i) and zw = z4.((i + 4) mod n4) in
         let x = x4.(i) in
@@ -200,9 +200,8 @@ let prove ?(st = Random.State.make_self_init ()) (pk : Preprocess.proving_key)
     out.(0) <- Fr.sub out.(0) b11;
     out
   in
-  let cm_t_lo = Kzg.commit pk.Preprocess.srs t_lo in
-  let cm_t_mid = Kzg.commit pk.Preprocess.srs t_mid in
-  let cm_t_hi = Kzg.commit pk.Preprocess.srs t_hi in
+  let cm_ts = Kzg.commit_batch pk.Preprocess.srs [| t_lo; t_mid; t_hi |] in
+  let cm_t_lo = cm_ts.(0) and cm_t_mid = cm_ts.(1) and cm_t_hi = cm_ts.(2) in
   Transcript.absorb_g1 tr ~label:"t_lo" cm_t_lo;
   Transcript.absorb_g1 tr ~label:"t_mid" cm_t_mid;
   Transcript.absorb_g1 tr ~label:"t_hi" cm_t_hi;
@@ -294,8 +293,8 @@ let prove ?(st = Random.State.make_self_init ()) (pk : Preprocess.proving_key)
   let w_zeta_omega =
     Poly.div_by_linear (Poly.sub z_poly (Poly.constant eval_z_omega)) zeta_omega
   in
-  let cm_w_zeta = Kzg.commit pk.Preprocess.srs w_zeta in
-  let cm_w_zeta_omega = Kzg.commit pk.Preprocess.srs w_zeta_omega in
+  let cm_ws = Kzg.commit_batch pk.Preprocess.srs [| w_zeta; w_zeta_omega |] in
+  let cm_w_zeta = cm_ws.(0) and cm_w_zeta_omega = cm_ws.(1) in
   {
     Proof.cm_a;
     cm_b;

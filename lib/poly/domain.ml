@@ -3,6 +3,10 @@
    computation. *)
 
 module Fr = Zkdet_field.Bn254.Fr
+module Pool = Zkdet_parallel.Pool
+
+(* Transforms below this size are not worth scheduling on the pool. *)
+let par_threshold = 256
 
 type t = {
   log2size : int;
@@ -74,21 +78,39 @@ let fft_in_place (a : Fr.t array) (omega : Fr.t) =
   bit_reverse_permute a;
   let len = ref 2 in
   while !len <= n do
-    let w_len = Fr.pow omega (n / !len) in
-    let half = !len / 2 in
-    let i = ref 0 in
-    while !i < n do
-      let w = ref Fr.one in
-      for j = 0 to half - 1 do
-        let u = a.(!i + j) in
-        let v = Fr.mul a.(!i + j + half) !w in
-        a.(!i + j) <- Fr.add u v;
-        a.(!i + j + half) <- Fr.sub u v;
+    let len_v = !len in
+    let w_len = Fr.pow omega (n / len_v) in
+    let half = len_v / 2 in
+    (* Butterflies of one block, twiddles w_len^jlo .. w_len^(jhi-1).
+       Blocks are disjoint, and within a block the j-ranges are disjoint,
+       so any partition can run concurrently; the field's canonical
+       representation makes the result independent of where each chunk
+       starts its twiddle (Fr.pow equals the running product exactly). *)
+    let butterflies base jlo jhi =
+      let w = ref (if jlo = 0 then Fr.one else Fr.pow w_len jlo) in
+      for j = jlo to jhi - 1 do
+        let u = a.(base + j) in
+        let v = Fr.mul a.(base + j + half) !w in
+        a.(base + j) <- Fr.add u v;
+        a.(base + j + half) <- Fr.sub u v;
         w := Fr.mul !w w_len
+      done
+    in
+    let nblocks = n / len_v in
+    if n < par_threshold then
+      for b = 0 to nblocks - 1 do
+        butterflies (b * len_v) 0 half
+      done
+    else if nblocks >= 8 then
+      (* many small blocks: one or more blocks per task *)
+      Pool.parallel_for 0 nblocks (fun b -> butterflies (b * len_v) 0 half)
+    else
+      (* few large blocks (top layers): split each block's butterflies *)
+      for b = 0 to nblocks - 1 do
+        Pool.parallel_for_chunks 0 half (fun ~lo ~hi ->
+            butterflies (b * len_v) lo hi)
       done;
-      i := !i + !len
-    done;
-    len := !len * 2
+    len := len_v * 2
   done
 
 (** [fft d coeffs] evaluates the polynomial with coefficient vector
@@ -102,12 +124,26 @@ let fft d coeffs =
   fft_in_place a d.omega;
   a
 
+(* Multiply a.(i) by base^i in place, chunked over the pool. *)
+let scale_by_powers (a : Fr.t array) (base : Fr.t) =
+  let n = Array.length a in
+  let chunk ~lo ~hi =
+    let g = ref (if lo = 0 then Fr.one else Fr.pow base lo) in
+    for i = lo to hi - 1 do
+      a.(i) <- Fr.mul a.(i) !g;
+      g := Fr.mul !g base
+    done
+  in
+  if n < par_threshold then chunk ~lo:0 ~hi:n
+  else Pool.parallel_for_chunks 0 n chunk
+
 (** Inverse FFT: evaluations on the domain back to coefficients. *)
 let ifft d evals =
   if Array.length evals <> d.size then invalid_arg "Domain.ifft: size mismatch";
   let a = Array.copy evals in
   fft_in_place a d.omega_inv;
-  Array.map (fun x -> Fr.mul x d.size_inv) a
+  if d.size < par_threshold then Array.map (fun x -> Fr.mul x d.size_inv) a
+  else Pool.parallel_init d.size (fun i -> Fr.mul a.(i) d.size_inv)
 
 (** Evaluations on the coset (shift * H). *)
 let coset_fft d coeffs =
@@ -115,21 +151,13 @@ let coset_fft d coeffs =
   Array.blit coeffs 0 a 0 (min (Array.length coeffs) d.size);
   if Array.length coeffs > d.size then
     invalid_arg "Domain.coset_fft: polynomial larger than domain";
-  let g = ref Fr.one in
-  for i = 0 to d.size - 1 do
-    a.(i) <- Fr.mul a.(i) !g;
-    g := Fr.mul !g d.shift
-  done;
+  scale_by_powers a d.shift;
   fft_in_place a d.omega;
   a
 
 let coset_ifft d evals =
   let a = ifft d evals in
-  let g = ref Fr.one in
-  for i = 0 to d.size - 1 do
-    a.(i) <- Fr.mul a.(i) !g;
-    g := Fr.mul !g d.shift_inv
-  done;
+  scale_by_powers a d.shift_inv;
   a
 
 (** Z_H(x) = x^n - 1. *)

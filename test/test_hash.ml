@@ -15,7 +15,13 @@ let test_sha256_vectors () =
     (Sha256.digest_hex "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
   check_hex "million a"
     "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
-    (Sha256.digest_hex (String.make 1_000_000 'a'))
+    (Sha256.digest_hex (String.make 1_000_000 'a'));
+  (* NIST FIPS 180-4 two-block (896-bit) message vector *)
+  check_hex "896-bit"
+    "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1"
+    (Sha256.digest_hex
+       "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+        ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu")
 
 let test_sha256_streaming () =
   let whole = Sha256.digest_hex "hello world, this is a streaming test!" in
@@ -37,7 +43,11 @@ let test_keccak_vectors () =
     (Keccak256.digest_hex "The quick brown fox jumps over the lazy dog");
   check_hex "fox."
     "578951e24efd62a3d63a86f7cd19aaa53c898fe287d2552133220370240b572d"
-    (Keccak256.digest_hex "The quick brown fox jumps over the lazy dog.")
+    (Keccak256.digest_hex "The quick brown fox jumps over the lazy dog.");
+  (* the value Solidity's keccak256("hello") returns *)
+  check_hex "hello"
+    "1c8aff950685c2ed4bc3174f3472287b56d9517b9c948127319a09a7a36deac8"
+    (Keccak256.digest_hex "hello")
 
 let test_lengths () =
   Alcotest.(check int) "sha256 len" 32 (String.length (Sha256.digest "x"));

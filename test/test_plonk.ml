@@ -177,6 +177,106 @@ let test_proof_not_transferable () =
   Alcotest.(check bool) "replay under other publics rejected" false
     (Verifier.verify pk1.Preprocess.vk c2.Cs.public_values proof1)
 
+(* ---- adversarial soundness: every single-element proof mutation must be
+   rejected (the paper's security claim for the 9 G1 + 6 Fr proof). ---- *)
+
+let g1_mutations (p : Proof.t) =
+  [ ("cm_a", fun q -> { p with Proof.cm_a = q });
+    ("cm_b", fun q -> { p with Proof.cm_b = q });
+    ("cm_c", fun q -> { p with Proof.cm_c = q });
+    ("cm_z", fun q -> { p with Proof.cm_z = q });
+    ("cm_t_lo", fun q -> { p with Proof.cm_t_lo = q });
+    ("cm_t_mid", fun q -> { p with Proof.cm_t_mid = q });
+    ("cm_t_hi", fun q -> { p with Proof.cm_t_hi = q });
+    ("cm_w_zeta", fun q -> { p with Proof.cm_w_zeta = q });
+    ("cm_w_zeta_omega", fun q -> { p with Proof.cm_w_zeta_omega = q }) ]
+
+let fr_mutations (p : Proof.t) =
+  [ ("eval_a", { p with Proof.eval_a = Fr.add p.Proof.eval_a Fr.one });
+    ("eval_b", { p with Proof.eval_b = Fr.add p.Proof.eval_b Fr.one });
+    ("eval_c", { p with Proof.eval_c = Fr.add p.Proof.eval_c Fr.one });
+    ("eval_s1", { p with Proof.eval_s1 = Fr.add p.Proof.eval_s1 Fr.one });
+    ("eval_s2", { p with Proof.eval_s2 = Fr.add p.Proof.eval_s2 Fr.one });
+    ("eval_z_omega",
+     { p with Proof.eval_z_omega = Fr.add p.Proof.eval_z_omega Fr.one }) ]
+
+let test_soundness_single_element_mutations () =
+  let module G1 = Zkdet_curve.G1 in
+  let cs = build_toy ~x:(Fr.of_int 6) ~y:(Fr.of_int 9) in
+  let compiled = Cs.compile cs in
+  let pk = Preprocess.setup srs compiled in
+  let proof = Prover.prove ~st:rng pk compiled in
+  let publics = compiled.Cs.public_values in
+  let verify = Verifier.verify pk.Preprocess.vk in
+  Alcotest.(check bool) "baseline proof verifies" true (verify publics proof);
+  (* each G1 element: replaced by a random point AND nudged by +G, so both
+     far and near mutations are covered *)
+  List.iter
+    (fun (name, set) ->
+      Alcotest.(check bool) (name ^ " <- random point rejected") false
+        (verify publics (set (G1.random rng)));
+      let original =
+        List.nth (Proof.g1_points proof)
+          (match name with
+          | "cm_a" -> 0 | "cm_b" -> 1 | "cm_c" -> 2 | "cm_z" -> 3
+          | "cm_t_lo" -> 4 | "cm_t_mid" -> 5 | "cm_t_hi" -> 6
+          | "cm_w_zeta" -> 7 | _ -> 8)
+      in
+      Alcotest.(check bool) (name ^ " <- +G rejected") false
+        (verify publics (set (G1.add original G1.generator))))
+    (g1_mutations proof);
+  (* each Fr evaluation: +1 *)
+  List.iter
+    (fun (name, mutated) ->
+      Alcotest.(check bool) (name ^ " +1 rejected") false
+        (verify publics mutated))
+    (fr_mutations proof);
+  (* each public input: +1 *)
+  Array.iteri
+    (fun i _ ->
+      let bad = Array.copy publics in
+      bad.(i) <- Fr.add bad.(i) Fr.one;
+      Alcotest.(check bool)
+        (Printf.sprintf "public input %d +1 rejected" i)
+        false (verify bad proof))
+    publics;
+  (* wrong number of public inputs *)
+  Alcotest.(check bool) "extra public input rejected" false
+    (verify (Array.append publics [| Fr.one |]) proof);
+  Alcotest.(check bool) "missing public input rejected" false
+    (verify [||] proof)
+
+let test_soundness_multi_public_circuit () =
+  (* Same sweep over a circuit with several public inputs, so the
+     Lagrange-interpolated PI polynomial is exercised at every index. *)
+  let cs = Cs.create () in
+  let a = Fr.of_int 17 and b = Fr.of_int 23 in
+  let pa = Cs.public_input cs a in
+  let pb = Cs.public_input cs b in
+  let psum = Cs.public_input cs (Fr.add a b) in
+  let sum = Cs.add cs pa pb in
+  Cs.assert_equal cs sum psum;
+  let compiled = Cs.compile cs in
+  let pk = Preprocess.setup srs compiled in
+  let proof = Prover.prove ~st:rng pk compiled in
+  let publics = compiled.Cs.public_values in
+  Alcotest.(check bool) "baseline verifies" true
+    (Verifier.verify pk.Preprocess.vk publics proof);
+  Array.iteri
+    (fun i _ ->
+      let bad = Array.copy publics in
+      bad.(i) <- Fr.sub bad.(i) Fr.one;
+      Alcotest.(check bool)
+        (Printf.sprintf "public %d mutation rejected" i)
+        false
+        (Verifier.verify pk.Preprocess.vk bad proof))
+    publics;
+  List.iter
+    (fun (name, mutated) ->
+      Alcotest.(check bool) (name ^ " rejected") false
+        (Verifier.verify pk.Preprocess.vk publics mutated))
+    (fr_mutations proof)
+
 let prop_completeness =
   QCheck.Test.make ~name:"completeness on random witnesses" ~count:5
     QCheck.(pair small_int small_int) (fun (x, y) ->
@@ -198,4 +298,9 @@ let () =
           Alcotest.test_case "proof serialization" `Quick test_proof_serialization;
           Alcotest.test_case "transcript binding" `Quick test_transcript_binding;
           Alcotest.test_case "proof not transferable" `Quick test_proof_not_transferable ] );
+      ( "soundness",
+        [ Alcotest.test_case "single-element mutations rejected" `Slow
+            test_soundness_single_element_mutations;
+          Alcotest.test_case "multi-public mutations rejected" `Quick
+            test_soundness_multi_public_circuit ] );
       ("plonk-properties", List.map QCheck_alcotest.to_alcotest [ prop_completeness ]) ]

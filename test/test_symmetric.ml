@@ -72,6 +72,51 @@ let test_poseidon_hash () =
     (not (Fr.is_zero (Poseidon.hash [ a; b; c ])));
   Alcotest.check fr "hash2 = hash pair" (Poseidon.hash [ a; b ]) (Poseidon.hash2 a b)
 
+(* ---- pinned golden vectors ----
+   Both primitives derive their round constants from SHA-256 seeds specific
+   to this repo, so they intentionally do not match circomlib outputs. These
+   values pin the current behaviour: any change to the round structure,
+   constants, or field arithmetic that alters outputs must fail here. *)
+
+let check_golden name expected actual =
+  Alcotest.(check string) name expected (Fr.to_string actual)
+
+let test_mimc_golden () =
+  check_golden "encrypt_block k=1 m=2"
+    "8444228835524283573045336180792314680102087277280522808376645811988428861524"
+    (Mimc.encrypt_block Fr.one (Fr.of_int 2));
+  check_golden "encrypt_block k=0 m=0"
+    "16761600473780116302362027308399306507436972581804369611276024472012786543520"
+    (Mimc.encrypt_block Fr.zero Fr.zero);
+  check_golden "hash [1;2;3]"
+    "4032200925160912248689154913477185940300562617443504772715764133089096143144"
+    (Mimc.hash [ Fr.one; Fr.of_int 2; Fr.of_int 3 ]);
+  check_golden "ctr keystream k=7 n=9 block 0"
+    "3442991776160767751171330414712952233227310722135096634489784259252949299677"
+    (Mimc.Ctr.encrypt ~key:(Fr.of_int 7) ~nonce:(Fr.of_int 9)
+       [| Fr.zero |]).(0)
+
+let test_poseidon_golden () =
+  let out = Poseidon.permute [| Fr.zero; Fr.one; Fr.of_int 2 |] in
+  check_golden "permute [0;1;2] lane 0"
+    "17716650623097470098728019323863257709099736444162984075894697163772716395544"
+    out.(0);
+  check_golden "permute [0;1;2] lane 1"
+    "11710453452443438519797836496664980612254408555307227954202141747361881178710"
+    out.(1);
+  check_golden "permute [0;1;2] lane 2"
+    "17974893773944845321123523239596718095601197961795029500294266888469735844759"
+    out.(2);
+  check_golden "hash [1;2]"
+    "3649329003502660771300316802081948589224471071852704003571486804864308768490"
+    (Poseidon.hash [ Fr.one; Fr.of_int 2 ]);
+  check_golden "hash [1]"
+    "9082594177749174948509812272040745202893545318855790306277182376621029507207"
+    (Poseidon.hash [ Fr.one ]);
+  check_golden "hash [1;2;3]"
+    "3327111799187465166530285453183282077736207213940460118749514264599322301579"
+    (Poseidon.hash [ Fr.one; Fr.of_int 2; Fr.of_int 3 ])
+
 let test_commitment () =
   let msgs = [ Fr.random rng; Fr.random rng; Fr.random rng ] in
   let c, o = Poseidon.Commitment.commit ~st:rng msgs in
@@ -110,9 +155,11 @@ let () =
         [ Alcotest.test_case "block roundtrip" `Quick test_mimc_block_roundtrip;
           Alcotest.test_case "key sensitivity" `Quick test_mimc_key_sensitivity;
           Alcotest.test_case "ctr mode" `Quick test_mimc_ctr;
-          Alcotest.test_case "mimc hash" `Quick test_mimc_hash ] );
+          Alcotest.test_case "mimc hash" `Quick test_mimc_hash;
+          Alcotest.test_case "golden vectors" `Quick test_mimc_golden ] );
       ( "poseidon",
         [ Alcotest.test_case "permutation" `Quick test_poseidon_permutation;
           Alcotest.test_case "sponge hash" `Quick test_poseidon_hash;
-          Alcotest.test_case "commitment" `Quick test_commitment ] );
+          Alcotest.test_case "commitment" `Quick test_commitment;
+          Alcotest.test_case "golden vectors" `Quick test_poseidon_golden ] );
       ("properties", List.map QCheck_alcotest.to_alcotest props) ]
