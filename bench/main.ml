@@ -549,6 +549,55 @@ let parallel_bench ~scale () =
      + GC rendezvous); the speedup column is only meaningful with >= 4 cores."
 
 (* ---------------------------------------------------------------- *)
+(* Property-testing engine: generation and shrinking throughput       *)
+(* ---------------------------------------------------------------- *)
+
+let proptest_smoke ~scale () =
+  header "Property-testing engine: generation + shrinking throughput";
+  let module Rng = Zkdet_proptest.Rng in
+  let module Gen = Zkdet_proptest.Gen in
+  let module P = Zkdet_proptest.Proptest in
+  let module Gz = Zkdet_proptest.Gen_zk in
+  let cases = 200 * scale in
+  (* generator throughput: circuit descriptions synthesized through the
+     builder, the inner loop of the differential harness *)
+  let root = Rng.of_seed_and_label 0xbe9cL "bench-proptest" in
+  let built = ref 0 and gates = ref 0 in
+  let (), gen_t =
+    wall (fun () ->
+        for _ = 1 to cases do
+          let d = Gen.generate Gz.circuit_desc (Rng.split root) in
+          let cs, _ = Gz.build_circuit d in
+          let compiled = Cs.compile cs in
+          assert (Cs.satisfied compiled);
+          incr built;
+          gates := !gates + Array.length compiled.Cs.gates_arr
+        done)
+  in
+  Printf.printf
+    "%d circuits generated+built+checked in %.3fs (%.0f/s, avg %.1f gates)\n"
+    !built gen_t
+    (float_of_int !built /. gen_t)
+    (float_of_int !gates /. float_of_int !built);
+  (* shrinking throughput: engine runs that must fail and walk the shrink
+     tree to the minimal list counterexample *)
+  let shrunk = ref 0 in
+  let (), shrink_t =
+    wall (fun () ->
+        for i = 1 to 50 * scale do
+          match
+            P.run ~seed:(Int64.of_int i) ~name:"bench"
+              (Gen.list_size (Gen.int_range 0 40) (Gen.int_range 0 9))
+              (fun l -> List.fold_left ( + ) 0 l < 30)
+          with
+          | Ok () -> ()
+          | Error f -> shrunk := !shrunk + f.P.shrink_steps
+        done)
+  in
+  Printf.printf "50x%d failing runs shrunk in %.3fs (%d shrink steps)\n"
+    scale shrink_t !shrunk
+
+(* ---------------------------------------------------------------- *)
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -565,7 +614,7 @@ let () =
       (fun a ->
         List.mem a
           [ "fig5"; "fig6"; "fig7"; "fairswap"; "table1"; "table2"; "micro";
-            "parallel"; "all" ])
+            "parallel"; "proptest"; "all" ])
       args
   in
   let which = if which = [] then [ "all" ] else which in
@@ -579,5 +628,6 @@ let () =
   if run || List.mem "table1" which then table1 ~scale ();
   if run || List.mem "table2" which then table2 ();
   if run || List.mem "parallel" which then parallel_bench ~scale ();
+  if run || List.mem "proptest" which then proptest_smoke ~scale ();
   if run || List.mem "micro" which then micro ();
   Printf.printf "\ntotal bench wall time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -140,13 +140,12 @@ let execute (chain : t) ~(sender : Address.t) ~(label : string)
   let gas_used = Gas.used meter in
   let fee = gas_used * chain.gas_price in
   let status =
-    match (status, debit chain sender fee) with
+    (* Exactly one debit: failed txs still pay for gas if they can. *)
+    let paid = debit chain sender fee in
+    match (status, paid) with
     | Ok (), Ok () -> Ok ()
     | Ok (), Error e -> Error ("fee: " ^ e)
-    | (Error _ as e), _ ->
-      (* Failed txs still pay for gas if they can. *)
-      ignore (debit chain sender fee);
-      e
+    | (Error _ as e), _ -> e
   in
   chain.nonce <- chain.nonce + 1;
   let tx_hash =

@@ -61,6 +61,13 @@ exception Out_of_gas
 let create ?(schedule = default) ~limit () = { schedule; used = 0; refund = 0; limit }
 
 let charge (m : meter) (amount : int) =
+  if amount < 0 then invalid_arg "Gas.charge: negative amount";
+  (* Saturate instead of wrapping: a charge that would overflow the
+     native int is by definition out of gas, whatever the limit. *)
+  if amount > max_int - m.used then begin
+    m.used <- max_int;
+    raise Out_of_gas
+  end;
   m.used <- m.used + amount;
   if m.used > m.limit then raise Out_of_gas
 

@@ -38,7 +38,9 @@ exception Out_of_gas
 val create : ?schedule:schedule -> limit:int -> unit -> meter
 
 val charge : meter -> int -> unit
-(** Raw charge; raises {!Out_of_gas} past the limit. *)
+(** Raw charge; raises {!Out_of_gas} past the limit. Overflowing charges
+    saturate [used] at [max_int] (still {!Out_of_gas} for any finite
+    limit); negative amounts raise [Invalid_argument]. *)
 
 val used : meter -> int
 (** Net gas after refunds (capped at used/5, EIP-3529). *)

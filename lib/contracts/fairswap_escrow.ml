@@ -197,6 +197,8 @@ let finalize (c : t) (chain : Chain.t) ~(seller : Chain.Address.t)
       | Some d ->
         if d.status <> Key_revealed then
           raise (Chain.Revert "finalize: key not revealed");
+        if not (Chain.Address.equal d.seller seller) then
+          raise (Chain.Revert "finalize: not the seller");
         if (Chain.head chain).Chain.number <= d.reveal_block + d.dispute_window
         then raise (Chain.Revert "finalize: dispute window still open");
         Gas.sstore m ~was_zero:false ~now_zero:false;

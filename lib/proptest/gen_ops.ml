@@ -1,0 +1,112 @@
+(* Operation-sequence generators for model-based contract testing.
+
+   Sequences are pure data: actor/deal/token references are small ints
+   that the harness resolves modulo whatever is live when the op runs, so
+   every generated (and every shrunk) sequence is executable. Invalid
+   transitions are generated on purpose — the property under test is that
+   the real contract and the reference model accept/revert identically. *)
+
+(* ---- ERC-721 ---- *)
+
+type nft_op =
+  | Mint of { owner : int }
+  | Transfer of { by : int; to_ : int; token : int }
+  | Approve of { by : int; spender : int; token : int }
+  | Transfer_from of { by : int; to_ : int; token : int }
+  | Burn of { by : int; token : int }
+
+let pp_nft_op = function
+  | Mint { owner } -> Printf.sprintf "mint owner:%d" owner
+  | Transfer { by; to_; token } -> Printf.sprintf "transfer by:%d to:%d tok:%d" by to_ token
+  | Approve { by; spender; token } ->
+    Printf.sprintf "approve by:%d spender:%d tok:%d" by spender token
+  | Transfer_from { by; to_; token } ->
+    Printf.sprintf "transfer_from by:%d to:%d tok:%d" by to_ token
+  | Burn { by; token } -> Printf.sprintf "burn by:%d tok:%d" by token
+
+let n_actors = 3
+
+let nft_op : nft_op Gen.t =
+  let actor = Gen.int_range 0 (n_actors - 1) in
+  let token = Gen.int_range 0 7 in
+  Gen.frequency
+    [ (3, Gen.map (fun owner -> Mint { owner }) actor);
+      (3, Gen.map3 (fun by to_ token -> Transfer { by; to_; token }) actor actor token);
+      (2, Gen.map3 (fun by spender token -> Approve { by; spender; token }) actor actor token);
+      (2, Gen.map3 (fun by to_ token -> Transfer_from { by; to_; token }) actor actor token);
+      (1, Gen.map2 (fun by token -> Burn { by; token }) actor token) ]
+
+(* ---- escrow (zkcp / fairswap) ---- *)
+
+(* One op language covers both escrows: both have a lock / resolve /
+   dispute / timeout life cycle. [Reveal ~correct] decides whether the
+   revealed key matches the commitment; [Mine] advances the chain so
+   deadline-relative ops become reachable. *)
+type escrow_op =
+  | Lock of { amount : int; window : int }
+  | Reveal of { deal : int; correct : bool }
+  | Complain of { deal : int; by : int }
+  | Refund of { deal : int; by : int }
+  | Finalize of { deal : int; by : int }
+  | Mine of { blocks : int }
+
+let pp_escrow_op = function
+  | Lock { amount; window } -> Printf.sprintf "lock amount:%d window:%d" amount window
+  | Reveal { deal; correct } -> Printf.sprintf "reveal deal:%d correct:%b" deal correct
+  | Complain { deal; by } -> Printf.sprintf "complain deal:%d by:%d" deal by
+  | Refund { deal; by } -> Printf.sprintf "refund deal:%d by:%d" deal by
+  | Finalize { deal; by } -> Printf.sprintf "finalize deal:%d by:%d" deal by
+  | Mine { blocks } -> Printf.sprintf "mine %d" blocks
+
+let escrow_op : escrow_op Gen.t =
+  let deal = Gen.int_range 0 3 in
+  let actor = Gen.int_range 0 (n_actors - 1) in
+  Gen.frequency
+    [ (3,
+       Gen.map2
+         (fun amount window -> Lock { amount; window })
+         (Gen.int_range 1 1000) (Gen.int_range 1 6));
+      (3, Gen.map2 (fun deal correct -> Reveal { deal; correct }) deal Gen.bool);
+      (2, Gen.map2 (fun deal by -> Complain { deal; by }) deal actor);
+      (2, Gen.map2 (fun deal by -> Refund { deal; by }) deal actor);
+      (2, Gen.map2 (fun deal by -> Finalize { deal; by }) deal actor);
+      (3, Gen.map (fun blocks -> Mine { blocks }) (Gen.int_range 1 4)) ]
+
+(* ---- marketplace auction ---- *)
+
+type auction_op =
+  | List_token of { seller : int; start_price : int; floor : int; decay : int }
+  | Bid of { bidder : int; listing : int; offer : int }
+  | Cancel of { by : int; listing : int }
+  | Advance of { blocks : int }
+
+let pp_auction_op = function
+  | List_token { seller; start_price; floor; decay } ->
+    Printf.sprintf "list seller:%d start:%d floor:%d decay:%d" seller start_price floor decay
+  | Bid { bidder; listing; offer } ->
+    Printf.sprintf "bid bidder:%d listing:%d offer:%d" bidder listing offer
+  | Cancel { by; listing } -> Printf.sprintf "cancel by:%d listing:%d" by listing
+  | Advance { blocks } -> Printf.sprintf "advance %d" blocks
+
+let auction_op : auction_op Gen.t =
+  let actor = Gen.int_range 0 (n_actors - 1) in
+  let listing = Gen.int_range 0 3 in
+  Gen.frequency
+    [ (3,
+       Gen.bind (Gen.pair actor (Gen.int_range 10 500)) (fun (seller, start_price) ->
+           Gen.map2
+             (fun floor decay -> List_token { seller; start_price; floor; decay })
+             (Gen.int_range 1 start_price) (Gen.int_range 1 20)));
+      (4,
+       Gen.map3
+         (fun bidder listing offer -> Bid { bidder; listing; offer })
+         actor listing (Gen.int_range 0 600));
+      (2, Gen.map2 (fun by listing -> Cancel { by; listing }) actor listing);
+      (3, Gen.map (fun blocks -> Advance { blocks }) (Gen.int_range 1 8)) ]
+
+(* ---- sequences ---- *)
+
+let ops ?(max = 16) (op : 'a Gen.t) : 'a list Gen.t =
+  Gen.list_size (Gen.int_range 1 max) op
+
+let pp_ops pp sep l = String.concat sep (List.map pp l)

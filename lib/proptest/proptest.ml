@@ -1,0 +1,106 @@
+(* The engine: derive a per-test stream from (seed, name), draw [count]
+   rose trees, evaluate the property at each root, and on the first
+   failure descend the tree greedily — always taking the first child that
+   still fails — until no child fails. The result is locally minimal for
+   the generator's own shrink ordering. *)
+
+exception Failed of string
+
+let default_seed = 31337L
+
+let seed () =
+  match Sys.getenv_opt "ZKDET_TEST_SEED" with
+  | None | Some "" -> default_seed
+  | Some s -> (
+    match Int64.of_string_opt s with
+    | Some v -> v
+    | None -> invalid_arg ("ZKDET_TEST_SEED is not an integer: " ^ s))
+
+let iters () =
+  match Sys.getenv_opt "ZKDET_PROPTEST_ITERS" with
+  | None | Some "" -> 1
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some v when v >= 1 -> v
+    | _ -> invalid_arg ("ZKDET_PROPTEST_ITERS is not a positive integer: " ^ s))
+
+let scaled n = n * iters ()
+
+type 'a failure = {
+  fail_seed : int64;
+  case : int;
+  shrink_steps : int;
+  counterexample : 'a;
+  original : 'a;
+  error : string option;
+}
+
+(* A property outcome: pass, or fail with the exception message if it
+   raised rather than returned false. *)
+let eval prop x =
+  match prop x with
+  | true -> None
+  | false -> Some None
+  | exception e -> Some (Some (Printexc.to_string e))
+
+(* Greedy descent: repeatedly move to the first failing child. Bounded
+   only by the tree depth, which our generators keep logarithmic in the
+   value size. *)
+let shrink prop tree err0 =
+  let steps = ref 0 in
+  let rec go (Gen.Node (x, cs)) err =
+    let failing =
+      Seq.filter_map
+        (fun (Gen.Node (y, _) as c) ->
+          match eval prop y with None -> None | Some e -> Some (c, e))
+        cs
+    in
+    match failing () with
+    | Seq.Nil -> (x, err)
+    | Seq.Cons ((c, e), _) ->
+      incr steps;
+      go c e
+  in
+  let x, err = go tree err0 in
+  (x, err, !steps)
+
+let run ?(count = 100) ?seed:seed_opt ~name gen prop =
+  let fail_seed = match seed_opt with Some s -> s | None -> seed () in
+  let count = count * iters () in
+  let rng = Rng.of_seed_and_label fail_seed name in
+  let rec cases i =
+    if i >= count then Ok ()
+    else
+      (* One private stream per case: shrinking re-reads nothing from
+         the parent stream, so case i is independent of cases < i. *)
+      let case_rng = Rng.split rng in
+      let tree = gen case_rng in
+      match eval prop (Gen.root tree) with
+      | None -> cases (i + 1)
+      | Some err0 ->
+        let original = Gen.root tree in
+        let counterexample, error, shrink_steps = shrink prop tree err0 in
+        Error { fail_seed; case = i; shrink_steps; counterexample; original; error }
+  in
+  cases 0
+
+let check ?count ~name ~print gen prop =
+  match run ?count ~name gen prop with
+  | Ok () -> ()
+  | Error f ->
+    let reason =
+      match f.error with
+      | None -> "property returned false"
+      | Some e -> "property raised " ^ e
+    in
+    raise
+      (Failed
+         (Printf.sprintf
+            "%s: %s\n\
+             counterexample (after %d shrink steps, case %d):\n\
+            \  %s\n\
+             originally:\n\
+            \  %s\n\
+             replay with ZKDET_TEST_SEED=%Ld"
+            name reason f.shrink_steps f.case (print f.counterexample)
+            (print f.original) f.fail_seed))

@@ -1,0 +1,49 @@
+(** The property-test engine: deterministic seeding, replay, and
+    shrinking to a minimal counterexample.
+
+    Every test owns an RNG stream derived from [(seed, test name)], so
+    runs are byte-identical for a given seed regardless of test order or
+    of what other tests draw. The seed comes from [ZKDET_TEST_SEED]
+    (default 31337) and is printed on failure; re-running with
+    [ZKDET_TEST_SEED=<seed>] reproduces the failure exactly. Iteration
+    counts scale by the [ZKDET_PROPTEST_ITERS] multiplier (default 1),
+    the "nightly smoke" knob. *)
+
+exception Failed of string
+(** Raised by {!check} with the replay seed and the shrunk
+    counterexample in the message. *)
+
+val seed : unit -> int64
+(** The active seed ([ZKDET_TEST_SEED] or the 31337 default). *)
+
+val iters : unit -> int
+(** The active iteration multiplier ([ZKDET_PROPTEST_ITERS], >= 1). *)
+
+val scaled : int -> int
+(** [scaled n] = [n * iters ()] — the effective per-test count. *)
+
+type 'a failure = {
+  fail_seed : int64;  (** replay seed *)
+  case : int;  (** 0-based index of the failing case *)
+  shrink_steps : int;  (** successful shrink steps taken *)
+  counterexample : 'a;  (** minimal failing value *)
+  original : 'a;  (** the unshrunk failing value *)
+  error : string option;  (** exception message, if the property raised *)
+}
+
+val run :
+  ?count:int ->
+  ?seed:int64 ->
+  name:string ->
+  'a Gen.t ->
+  ('a -> bool) ->
+  (unit, 'a failure) result
+(** Run the property on [count] (default 100, scaled by {!iters})
+    generated values. On failure, walk the shrink tree greedily to a
+    minimal counterexample. A property fails by returning [false] or
+    raising. *)
+
+val check :
+  ?count:int -> name:string -> print:('a -> string) -> 'a Gen.t ->
+  ('a -> bool) -> unit
+(** Like {!run}, but raises {!Failed} with a replayable report. *)

@@ -1,0 +1,82 @@
+(* SplitMix64 (Steele–Lea–Flood, OOPSLA'14): the standard splittable
+   generator. State is a counter [seed] advanced by an odd [gamma]; output
+   is a strong 64-bit mix of the counter. [split] hands out a child whose
+   (seed, gamma) are themselves mixed draws, giving statistically
+   independent streams. *)
+
+type t = { mutable seed : int64; gamma : int64 }
+
+let golden_gamma = 0x9e3779b97f4a7c15L
+
+(* MurmurHash3-style finalizers used by the reference implementation. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Gammas must be odd; the reference version also repairs weak gammas
+   (too few bit transitions). *)
+let mix_gamma z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xff51afd7ed558ccdL in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xc4ceb9fe1a85ec53L in
+  let z = Int64.logor (Int64.logxor z (Int64.shift_right_logical z 33)) 1L in
+  let transitions =
+    let x = Int64.logxor z (Int64.shift_right_logical z 1) in
+    let rec popcount acc x =
+      if Int64.equal x 0L then acc
+      else popcount (acc + 1) (Int64.logand x (Int64.sub x 1L))
+    in
+    popcount 0 x
+  in
+  if transitions < 24 then Int64.logxor z 0xaaaaaaaaaaaaaaaaL else z
+
+let create seed = { seed = mix64 seed; gamma = golden_gamma }
+
+let next_int64 t =
+  t.seed <- Int64.add t.seed t.gamma;
+  mix64 t.seed
+
+let split t =
+  let seed = next_int64 t in
+  let gamma = mix_gamma (next_int64 t) in
+  { seed; gamma }
+
+let copy t = { seed = t.seed; gamma = t.gamma }
+
+let of_seed_and_label seed label =
+  (* Fold the label into the seed with an FNV-1a pass so distinct labels
+     land in unrelated streams. *)
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    label;
+  let t = create (Int64.logxor seed !h) in
+  split t
+
+let bits t n =
+  if n < 0 || n > 30 then invalid_arg "Rng.bits";
+  Int64.to_int (Int64.logand (next_int64 t) (Int64.of_int ((1 lsl n) - 1)))
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int";
+  (* Rejection sampling on 62 bits: bias is negligible and the stream
+     stays deterministic. *)
+  let mask = Int64.shift_right_logical Int64.minus_one 2 in
+  let rec go () =
+    let v = Int64.to_int (Int64.logand (next_int64 t) mask) in
+    let r = v mod bound in
+    if v - r + (bound - 1) >= 0 then r else go ()
+  in
+  go ()
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let to_random_state t =
+  let a = next_int64 t and b = next_int64 t in
+  Random.State.make
+    [| Int64.to_int (Int64.logand a 0x3fffffffL);
+       Int64.to_int (Int64.shift_right_logical a 32);
+       Int64.to_int (Int64.logand b 0x3fffffffL);
+       Int64.to_int (Int64.shift_right_logical b 32) |]

@@ -112,8 +112,8 @@ let test_transformer_sensitivity () =
      degenerate). *)
   let c = Transformer.default_config in
   let spec = Transformer.spec c in
-  let i1 = Transformer.synthetic_input ~st:(Random.State.make [| 1 |]) c in
-  let i2 = Transformer.synthetic_input ~st:(Random.State.make [| 2 |]) c in
+  let i1 = Transformer.synthetic_input ~st:(Test_util.rng ~salt:"apps-input-a" ()) c in
+  let i2 = Transformer.synthetic_input ~st:(Test_util.rng ~salt:"apps-input-b" ()) c in
   let o1 = spec.Circuits.reference i1 and o2 = spec.Circuits.reference i2 in
   Alcotest.(check bool) "distinct outputs" false (Array.for_all2 Fr.equal o1 o2);
   Alcotest.(check int) "param count" 24 (Transformer.parameter_count c)

@@ -6,7 +6,7 @@ module Zkcp = Zkdet_contracts.Zkcp_escrow
 module Auction = Zkdet_contracts.Auction
 module Poseidon = Zkdet_poseidon.Poseidon
 
-let rng = Random.State.make [| 1212 |]
+let rng = Test_util.rng ~salt:"chain" ()
 
 let alice = Chain.Address.of_seed "alice"
 let bob = Chain.Address.of_seed "bob"
@@ -204,6 +204,60 @@ let test_zkcp_refund () =
   Alcotest.(check int) "refunded minus fees" (before + 5000 - 21_000 - 5_000 - 2_100)
     (Chain.balance chain bob)
 
+let test_zkcp_dispute_timeout () =
+  let chain = fresh_chain () in
+  let zkcp, _ = Zkcp.deploy chain ~deployer:carol in
+  let k = Fr.random rng in
+  let h = Poseidon.hash [ k ] in
+  let id, r =
+    Zkcp.lock zkcp chain ~buyer:bob ~seller:alice ~amount:5_000 ~h ~timeout_blocks:2
+  in
+  ok_status r;
+  let id = Option.get id in
+  (* only the named parties can act *)
+  failed_status (Zkcp.refund zkcp chain ~buyer:carol ~deal_id:id)
+    "refund: not the buyer";
+  failed_status (Zkcp.open_key zkcp chain ~seller:bob ~deal_id:id ~key:k)
+    "open: not the seller";
+  (* before the deadline the buyer cannot bail out *)
+  failed_status (Zkcp.refund zkcp chain ~buyer:bob ~deal_id:id)
+    "refund: deadline not reached";
+  ignore (Chain.mine chain);
+  ignore (Chain.mine chain);
+  ok_status (Zkcp.refund zkcp chain ~buyer:bob ~deal_id:id);
+  (* double refund and late settlement both hit the closed deal *)
+  failed_status (Zkcp.refund zkcp chain ~buyer:bob ~deal_id:id)
+    "refund: deal not open";
+  failed_status (Zkcp.open_key zkcp chain ~seller:alice ~deal_id:id ~key:k)
+    "open: deal not open";
+  failed_status (Zkcp.refund zkcp chain ~buyer:bob ~deal_id:999)
+    "refund: no such deal"
+
+let test_zkcp_double_claim () =
+  let chain = fresh_chain () in
+  let zkcp, _ = Zkcp.deploy chain ~deployer:carol in
+  let k = Fr.random rng in
+  let h = Poseidon.hash [ k ] in
+  let id, _ =
+    Zkcp.lock zkcp chain ~buyer:bob ~seller:alice ~amount:5_000 ~h ~timeout_blocks:2
+  in
+  let id = Option.get id in
+  let seller_before = Chain.balance chain alice in
+  let r1 = Zkcp.open_key zkcp chain ~seller:alice ~deal_id:id ~key:k in
+  ok_status r1;
+  (* the seller cannot be paid twice (the reverted tx still pays gas) *)
+  let r2 = Zkcp.open_key zkcp chain ~seller:alice ~deal_id:id ~key:k in
+  failed_status r2 "open: deal not open";
+  (* nor can the buyer claw back after settlement, even past the deadline *)
+  ignore (Chain.mine chain);
+  ignore (Chain.mine chain);
+  failed_status (Zkcp.refund zkcp chain ~buyer:bob ~deal_id:id)
+    "refund: deal not open";
+  (* exactly one payout: the amount credited once, minus the seller's fees *)
+  Alcotest.(check int) "seller credited once"
+    (seller_before + 5_000 - r1.Chain.gas_used - r2.Chain.gas_used)
+    (Chain.balance chain alice)
+
 let test_auction () =
   let chain = fresh_chain () in
   let nft, _ = Erc721.deploy chain ~deployer:alice in
@@ -285,5 +339,7 @@ let () =
       ( "exchange-contracts",
         [ Alcotest.test_case "zkcp key disclosure" `Quick test_zkcp_key_disclosure;
           Alcotest.test_case "zkcp refund" `Quick test_zkcp_refund;
+          Alcotest.test_case "zkcp dispute timeout" `Quick test_zkcp_dispute_timeout;
+          Alcotest.test_case "zkcp double claim" `Quick test_zkcp_double_claim;
           Alcotest.test_case "clock auction" `Quick test_auction;
           Alcotest.test_case "gas table shape" `Quick test_gas_table_shape ] ) ]

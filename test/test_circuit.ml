@@ -8,7 +8,7 @@ module Poseidon = Zkdet_poseidon.Poseidon
 module Poseidon_gadget = Zkdet_circuit.Poseidon_gadget
 module Merkle = Zkdet_circuit.Merkle
 
-let rng = Random.State.make [| 4242 |]
+let rng = Test_util.rng ~salt:"circuit" ()
 let fr = Alcotest.testable Fr.pp Fr.equal
 
 (* Build a circuit, return (cs, result-of-f) and check satisfiability. *)
@@ -308,7 +308,7 @@ let test_preimage_proof_end_to_end () =
   Cs.assert_equal cs hw pub;
   let compiled = Cs.compile cs in
   Alcotest.(check bool) "satisfied" true (Cs.satisfied compiled);
-  let srs = Zkdet_kzg.Srs.unsafe_generate ~st:rng ~size:2100 () in
+  let srs = Zkdet_kzg.Srs.unsafe_generate ~st:(Test_util.rng ~salt:"circuit-srs" ()) ~size:2100 () in
   let pk = Zkdet_plonk.Preprocess.setup srs compiled in
   let proof = Zkdet_plonk.Prover.prove ~st:rng pk compiled in
   Alcotest.(check bool) "preimage proof verifies" true

@@ -18,7 +18,7 @@ module Poseidon = Zkdet_poseidon.Poseidon
 (* One shared proving environment (universal setup) for the whole suite. *)
 let env = lazy (Env.create ~log2_max_gates:13 ())
 
-let rng = Random.State.make [| 555 |]
+let rng = Test_util.rng ~salt:"core-protocols" ()
 let dataset n = Array.init n (fun i -> Fr.of_int ((7 * i) + 3))
 
 (* ---- sealing / encryption ---- *)

@@ -8,7 +8,7 @@ module G1 = Zkdet_curve.G1
 module G2 = Zkdet_curve.G2
 module Pairing = Zkdet_curve.Pairing
 
-let rng = Random.State.make [| 2718 |]
+let rng = Test_util.rng ~salt:"curve" ()
 
 let g1 = Alcotest.testable G1.pp G1.equal
 let g2 = Alcotest.testable G2.pp G2.equal

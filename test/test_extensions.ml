@@ -16,7 +16,7 @@ module Merkle = Zkdet_circuit.Merkle
 module Verifier = Zkdet_plonk.Verifier
 module Preprocess = Zkdet_plonk.Preprocess
 
-let rng = Random.State.make [| 9090 |]
+let rng = Test_util.rng ~salt:"extensions" ()
 let env = lazy (Env.create ~log2_max_gates:13 ())
 
 let alice = Chain.Address.of_seed "alice"
@@ -31,6 +31,13 @@ let ok_status (r : Chain.receipt) =
   match r.Chain.status with
   | Ok () -> ()
   | Error e -> Alcotest.failf "tx failed: %s (%s)" e r.Chain.tx_label
+
+let failed_status (r : Chain.receipt) expected =
+  match r.Chain.status with
+  | Ok () -> Alcotest.failf "tx unexpectedly succeeded (%s)" r.Chain.tx_label
+  | Error e ->
+    if not (String.equal e expected) then
+      Alcotest.failf "wrong revert: got %S want %S" e expected
 
 (* ---- FairSwap ---- *)
 
@@ -129,6 +136,77 @@ let test_fairswap_cheater_caught () =
   | Error "complain: delivery was correct" -> ()
   | Error e -> Alcotest.failf "wrong revert: %s" e
   | Ok () -> Alcotest.fail "complaint against honest delivery must revert")
+
+(* Shared setup: a cheating seller with a revealed key, so a valid
+   misbehavior proof exists. Returns (chain, escrow, deal id, pom). *)
+let cheating_deal ~dispute_window =
+  let chain = fresh_chain () in
+  let fs, _ = Fairswap_escrow.deploy chain ~deployer:alice in
+  let advertised = Array.init 8 (fun i -> Fr.of_int (1000 + i)) in
+  let actual = Array.init 8 (fun i -> Fr.of_int i) in
+  let seller = Fairswap.seller_cheat ~st:rng advertised actual in
+  let r_c, r_d = Fairswap.roots seller in
+  let id, _ =
+    Fairswap_escrow.lock fs chain ~buyer:bob ~seller:alice ~amount:100_000
+      ~root_ciphertext:r_c ~root_plaintext:r_d ~depth:seller.Fairswap.depth
+      ~h_k:(Zkdet_poseidon.Poseidon.hash [ seller.Fairswap.key ])
+      ~dispute_window
+  in
+  let id = Option.get id in
+  ok_status (Fairswap_escrow.reveal_key fs chain ~seller:alice ~deal_id:id
+               ~key:seller.Fairswap.key);
+  let pom =
+    match
+      Fairswap.buyer_check ~key:seller.Fairswap.key
+        ~ciphertext:seller.Fairswap.ciphertext
+        ~ciphertext_tree:seller.Fairswap.ciphertext_tree
+        ~advertised_tree:seller.Fairswap.plaintext_tree
+    with
+    | Some p -> p
+    | None -> Alcotest.fail "cheating must be detectable"
+  in
+  (chain, fs, id, pom)
+
+let test_fairswap_dispute_window_closes () =
+  let chain, fs, id, pom = cheating_deal ~dispute_window:2 in
+  (* the seller cannot take the money while the window is open *)
+  failed_status (Fairswap_escrow.finalize fs chain ~seller:alice ~deal_id:id)
+    "finalize: dispute window still open";
+  for _ = 1 to 3 do
+    ignore (Chain.mine chain)
+  done;
+  (* a late complaint is rejected even though the proof is valid... *)
+  failed_status (Fairswap_escrow.complain fs chain ~buyer:bob ~deal_id:id pom)
+    "complain: dispute window closed";
+  (* ...and only the recorded seller can collect *)
+  failed_status (Fairswap_escrow.finalize fs chain ~seller:bob ~deal_id:id)
+    "finalize: not the seller";
+  ok_status (Fairswap_escrow.finalize fs chain ~seller:alice ~deal_id:id);
+  (* double claim: the deal is closed for everyone *)
+  failed_status (Fairswap_escrow.finalize fs chain ~seller:alice ~deal_id:id)
+    "finalize: key not revealed";
+  failed_status (Fairswap_escrow.complain fs chain ~buyer:bob ~deal_id:id pom)
+    "complain: no revealed key"
+
+let test_fairswap_refund_double_claim () =
+  let chain, fs, id, pom = cheating_deal ~dispute_window:5 in
+  (* only the buyer may complain *)
+  failed_status (Fairswap_escrow.complain fs chain ~buyer:alice ~deal_id:id pom)
+    "complain: not the buyer";
+  let before = Chain.balance chain bob in
+  let rc = Fairswap_escrow.complain fs chain ~buyer:bob ~deal_id:id pom in
+  ok_status rc;
+  Alcotest.(check int) "refunded exactly once"
+    (before + 100_000 - rc.Chain.gas_used)
+    (Chain.balance chain bob);
+  (* the refunded deal is closed: no second complaint, no seller payout *)
+  failed_status (Fairswap_escrow.complain fs chain ~buyer:bob ~deal_id:id pom)
+    "complain: no revealed key";
+  for _ = 1 to 6 do
+    ignore (Chain.mine chain)
+  done;
+  failed_status (Fairswap_escrow.finalize fs chain ~seller:alice ~deal_id:id)
+    "finalize: key not revealed"
 
 let test_fairswap_dispute_gas_grows () =
   (* The §VII claim ZKDET improves on: dispute gas grows with data size. *)
@@ -311,6 +389,10 @@ let () =
     [ ( "fairswap",
         [ Alcotest.test_case "honest exchange" `Quick test_fairswap_honest;
           Alcotest.test_case "cheater caught" `Quick test_fairswap_cheater_caught;
+          Alcotest.test_case "dispute window closes" `Quick
+            test_fairswap_dispute_window_closes;
+          Alcotest.test_case "refund double claim" `Quick
+            test_fairswap_refund_double_claim;
           Alcotest.test_case "dispute gas grows" `Quick test_fairswap_dispute_gas_grows ] );
       ( "oracle",
         [ Alcotest.test_case "attestation" `Quick test_oracle_attestation;

@@ -5,7 +5,7 @@ module Fr = Zkdet_field.Bn254.Fr
 let fr = Alcotest.testable Fr.pp Fr.equal
 let fp = Alcotest.testable Fp.pp Fp.equal
 
-let rng = Random.State.make [| 0x5eed |]
+let rng = Test_util.rng ~salt:"field" ()
 
 let test_constants () =
   Alcotest.(check int) "Fp bits" 254 Fp.num_bits;

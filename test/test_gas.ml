@@ -1,0 +1,148 @@
+(* Exhaustive coverage of the gas meter: every schedule entry, every
+   structured charging helper, the EIP-3529 refund cap, limit
+   enforcement, and overflow saturation. *)
+
+module Gas = Zkdet_chain.Gas
+
+let s = Gas.default
+
+let fresh ?(limit = max_int) () = Gas.create ~limit ()
+
+let check_used name expected m =
+  Alcotest.(check int) name expected m.Gas.used
+
+(* ---- schedule values (Istanbul / yellow-paper numbers) ---- *)
+
+let test_schedule_values () =
+  let cases =
+    [ ("tx_base", s.Gas.tx_base, 21_000);
+      ("sstore_set", s.Gas.sstore_set, 20_000);
+      ("sstore_update", s.Gas.sstore_update, 5_000);
+      ("sstore_clear", s.Gas.sstore_clear, 5_000);
+      ("sload", s.Gas.sload, 2_100);
+      ("log_base", s.Gas.log_base, 375);
+      ("log_topic", s.Gas.log_topic, 375);
+      ("log_data_byte", s.Gas.log_data_byte, 8);
+      ("create_base", s.Gas.create_base, 32_000);
+      ("code_deposit_byte", s.Gas.code_deposit_byte, 200);
+      ("calldata_nonzero_byte", s.Gas.calldata_nonzero_byte, 16);
+      ("calldata_zero_byte", s.Gas.calldata_zero_byte, 4);
+      ("memory_word", s.Gas.memory_word, 3);
+      ("keccak_base", s.Gas.keccak_base, 30);
+      ("keccak_word", s.Gas.keccak_word, 6);
+      ("ecadd", s.Gas.ecadd, 150);
+      ("ecmul", s.Gas.ecmul, 6_000);
+      ("ecpairing_base", s.Gas.ecpairing_base, 45_000);
+      ("ecpairing_per_pair", s.Gas.ecpairing_per_pair, 34_000);
+      ("sstore_refund", s.Gas.sstore_refund, 4_800) ]
+  in
+  List.iter (fun (name, got, want) -> Alcotest.(check int) name want got) cases
+
+(* ---- structured helpers charge exactly their schedule entries ---- *)
+
+let test_helper_charges () =
+  let m = fresh () in
+  Gas.tx_base m;
+  check_used "tx_base" 21_000 m;
+  let m = fresh () in
+  Gas.sload m;
+  check_used "sload" 2_100 m;
+  let m = fresh () in
+  Gas.sload_warm m;
+  check_used "sload_warm (EIP-2929)" 100 m;
+  let m = fresh () in
+  Gas.ecadd m;
+  Gas.ecmul m;
+  check_used "ecadd + ecmul" (150 + 6_000) m;
+  let m = fresh () in
+  Gas.pairing m ~pairs:3;
+  check_used "pairing 3 pairs" (45_000 + (3 * 34_000)) m;
+  let m = fresh () in
+  Gas.keccak m ~bytes:33;
+  (* 33 bytes -> 2 words *)
+  check_used "keccak 33B = 2 words" (30 + (2 * 6)) m;
+  let m = fresh () in
+  Gas.keccak m ~bytes:0;
+  check_used "keccak 0B" 30 m;
+  let m = fresh () in
+  Gas.create_contract m ~code_bytes:100;
+  check_used "create 100B code" (32_000 + (100 * 200)) m;
+  let m = fresh () in
+  Gas.log m ~topics:2 ~data_bytes:10;
+  check_used "log 2 topics 10B" (375 + (2 * 375) + (10 * 8)) m;
+  let m = fresh () in
+  Gas.calldata m "\x00a\x00b";
+  check_used "calldata 2 zero + 2 nonzero" ((2 * 4) + (2 * 16)) m
+
+let test_sstore_transitions () =
+  let m = fresh () in
+  Gas.sstore m ~was_zero:true ~now_zero:false;
+  check_used "set" 20_000 m;
+  Alcotest.(check int) "set: no refund" 0 m.Gas.refund;
+  let m = fresh () in
+  Gas.sstore m ~was_zero:false ~now_zero:false;
+  check_used "update" 5_000 m;
+  let m = fresh () in
+  Gas.sstore m ~was_zero:true ~now_zero:true;
+  check_used "zero->zero is an update" 5_000 m;
+  let m = fresh () in
+  Gas.sstore m ~was_zero:false ~now_zero:true;
+  check_used "clear" 5_000 m;
+  Alcotest.(check int) "clear refund accrued" 4_800 m.Gas.refund
+
+(* ---- refund cap (EIP-3529: refund <= used/5) ---- *)
+
+let test_refund_cap () =
+  (* One clear: raw used 5000, refund 4800, cap 5000/5 = 1000. *)
+  let m = fresh () in
+  Gas.sstore m ~was_zero:false ~now_zero:true;
+  Alcotest.(check int) "refund capped at used/5" (5_000 - 1_000) (Gas.used m);
+  (* Enough other charges that the full refund fits under the cap. *)
+  let m = fresh () in
+  Gas.charge m 100_000;
+  Gas.sstore m ~was_zero:false ~now_zero:true;
+  Alcotest.(check int) "full refund below cap" (105_000 - 4_800) (Gas.used m);
+  (* Refund can never drive net gas negative. *)
+  let m = fresh () in
+  m.Gas.refund <- 1_000_000;
+  Gas.charge m 10;
+  Alcotest.(check bool) "net gas non-negative" true (Gas.used m >= 0)
+
+(* ---- limits, saturation, and bad input ---- *)
+
+let test_out_of_gas () =
+  let m = fresh ~limit:21_000 () in
+  Gas.tx_base m;
+  (* exactly at the limit is fine *)
+  Alcotest.check_raises "one more unit" Gas.Out_of_gas (fun () -> Gas.charge m 1);
+  (* A failed charge still records the usage (like EVM: gas is consumed). *)
+  Alcotest.(check bool) "usage recorded past limit" true (m.Gas.used > 21_000)
+
+let test_overflow_saturates () =
+  let m = fresh ~limit:max_int () in
+  Gas.charge m (max_int - 10);
+  (* Would wrap negative without the guard; must saturate + raise even
+     with the limit itself at max_int. *)
+  Alcotest.check_raises "overflowing charge" Gas.Out_of_gas (fun () ->
+      Gas.charge m max_int);
+  Alcotest.(check int) "saturated at max_int" max_int m.Gas.used;
+  (* Saturated meters stay saturated and keep raising. *)
+  Alcotest.check_raises "still out of gas" Gas.Out_of_gas (fun () -> Gas.charge m 1)
+
+let test_negative_charge_rejected () =
+  let m = fresh () in
+  Alcotest.check_raises "negative amount"
+    (Invalid_argument "Gas.charge: negative amount") (fun () -> Gas.charge m (-1));
+  check_used "meter untouched" 0 m
+
+let () =
+  Alcotest.run "zkdet_gas"
+    [ ( "gas",
+        [ Alcotest.test_case "schedule values" `Quick test_schedule_values;
+          Alcotest.test_case "helper charges" `Quick test_helper_charges;
+          Alcotest.test_case "sstore transitions" `Quick test_sstore_transitions;
+          Alcotest.test_case "refund cap" `Quick test_refund_cap;
+          Alcotest.test_case "out of gas" `Quick test_out_of_gas;
+          Alcotest.test_case "overflow saturates" `Quick test_overflow_saturates;
+          Alcotest.test_case "negative charge rejected" `Quick
+            test_negative_charge_rejected ] ) ]

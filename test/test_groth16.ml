@@ -7,7 +7,7 @@ module Cs = Zkdet_plonk.Cs
 module Groth16 = Zkdet_groth16.Groth16
 module Gadgets = Zkdet_circuit.Gadgets
 
-let rng = Random.State.make [| 1616 |]
+let rng = Test_util.rng ~salt:"groth16" ()
 
 (* x*y + x + 3 = pub, same toy circuit as the Plonk tests. *)
 let build_toy ~x ~y =
@@ -99,7 +99,7 @@ let test_proofs_not_mixable_with_plonk () =
   let g16_proof = Groth16.prove ~st:rng g16_pk compiled in
   Alcotest.(check bool) "groth16 ok" true
     (Groth16.verify g16_pk.Groth16.vk compiled.Cs.public_values g16_proof);
-  let srs = Zkdet_kzg.Srs.unsafe_generate ~st:rng ~size:64 () in
+  let srs = Zkdet_kzg.Srs.unsafe_generate ~st:(Test_util.rng ~salt:"groth16-srs" ()) ~size:64 () in
   let plonk_pk = Zkdet_plonk.Preprocess.setup srs compiled in
   let plonk_proof = Zkdet_plonk.Prover.prove ~st:rng plonk_pk compiled in
   Alcotest.(check bool) "plonk ok" true

@@ -5,8 +5,8 @@ module Srs = Zkdet_kzg.Srs
 module Kzg = Zkdet_kzg.Kzg
 module Ceremony = Zkdet_kzg.Ceremony
 
-let rng = Random.State.make [| 99 |]
-let srs = Srs.unsafe_generate ~st:rng ~size:64 ()
+let rng = Test_util.rng ~salt:"kzg" ()
+let srs = Srs.unsafe_generate ~st:(Test_util.rng ~salt:"kzg-srs" ()) ~size:64 ()
 
 let test_srs_consistency () =
   Alcotest.(check bool) "spot check" true (Srs.verify srs);

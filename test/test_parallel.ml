@@ -18,7 +18,7 @@ module Prover = Zkdet_plonk.Prover
 module Verifier = Zkdet_plonk.Verifier
 module Proof = Zkdet_plonk.Proof
 
-let srs = Srs.unsafe_generate ~st:(Random.State.make [| 0xcafe |]) ~size:300 ()
+let srs = Srs.unsafe_generate ~st:(Test_util.rng ~salt:"parallel-srs" ()) ~size:300 ()
 
 (* Run the same computation under 1 and 4 total domains. *)
 let both f = (Pool.with_domains 1 f, Pool.with_domains 4 f)

@@ -6,8 +6,8 @@ module Verifier = Zkdet_plonk.Verifier
 module Proof = Zkdet_plonk.Proof
 module Srs = Zkdet_kzg.Srs
 
-let rng = Random.State.make [| 31337 |]
-let srs = Srs.unsafe_generate ~st:rng ~size:300 ()
+let rng = Test_util.rng ~salt:"plonk" ()
+let srs = Srs.unsafe_generate ~st:(Test_util.rng ~salt:"plonk-srs" ()) ~size:300 ()
 
 (* A toy circuit: prove knowledge of x, y with x*y + x + 3 = pub. *)
 let build_toy ~x ~y =

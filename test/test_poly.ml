@@ -2,7 +2,7 @@ module Fr = Zkdet_field.Bn254.Fr
 module Poly = Zkdet_poly.Poly
 module Domain = Zkdet_poly.Domain
 
-let rng = Random.State.make [| 42 |]
+let rng = Test_util.rng ~salt:"poly" ()
 let poly = Alcotest.testable Poly.pp Poly.equal
 let fr = Alcotest.testable Fr.pp Fr.equal
 

@@ -1,0 +1,830 @@
+(* The property-based testing + deterministic fuzzing harness.
+
+   Three families over the zkdet_proptest engine:
+   - differential: every generated circuit proves and verifies under BOTH
+     Plonk and Groth16 from the same builder output; a mutated witness is
+     rejected by both;
+   - metamorphic/algebraic: field/curve laws, pairing bilinearity,
+     FFT/IFFT and polynomial identities, hash sensitivity, storage
+     round-trips at chunk boundaries;
+   - model-based: random operation sequences driven against the real
+     contracts AND a naive OCaml reference model, comparing
+     success/revert, resulting state, and exact balance accounting.
+
+   Failures print a replayable seed (ZKDET_TEST_SEED) and the shrunk
+   counterexample; ZKDET_PROPTEST_ITERS scales the iteration counts. *)
+
+module P = Zkdet_proptest.Proptest
+module Gen = Zkdet_proptest.Gen
+module Rng = Zkdet_proptest.Rng
+module Gz = Zkdet_proptest.Gen_zk
+module Go = Zkdet_proptest.Gen_ops
+module Fr = Zkdet_field.Bn254.Fr
+module Fp = Zkdet_field.Bn254.Fp
+module G1 = Zkdet_curve.G1
+module G2 = Zkdet_curve.G2
+module Pairing = Zkdet_curve.Pairing
+module Poly = Zkdet_poly.Poly
+module Domain = Zkdet_poly.Domain
+module Srs = Zkdet_kzg.Srs
+module Cs = Zkdet_plonk.Cs
+module Preprocess = Zkdet_plonk.Preprocess
+module Prover = Zkdet_plonk.Prover
+module Verifier = Zkdet_plonk.Verifier
+module Groth16 = Zkdet_groth16.Groth16
+module Merkle = Zkdet_circuit.Merkle
+module Mimc = Zkdet_mimc.Mimc
+module Poseidon = Zkdet_poseidon.Poseidon
+module Storage = Zkdet_storage.Storage
+module Chain = Zkdet_chain.Chain
+module Erc721 = Zkdet_contracts.Erc721
+module Zkcp = Zkdet_contracts.Zkcp_escrow
+module Fairswap_escrow = Zkdet_contracts.Fairswap_escrow
+module Auction = Zkdet_contracts.Auction
+module Fairswap = Zkdet_core.Fairswap
+
+(* Wrap an engine check as an alcotest case; the Failed message carries
+   the replay seed and the shrunk counterexample. *)
+let prop ?count name print gen p =
+  Alcotest.test_case name `Quick (fun () ->
+      try P.check ?count ~name ~print gen p
+      with P.Failed msg -> Alcotest.fail msg)
+
+let pp_list pp l = "[" ^ String.concat "; " (List.map pp l) ^ "]"
+let pp2 ppa ppb (a, b) = Printf.sprintf "(%s, %s)" (ppa a) (ppb b)
+let pp3 ppa ppb ppc (a, b, c) =
+  Printf.sprintf "(%s, %s, %s)" (ppa a) (ppb b) (ppc c)
+let pp_fr = Fr.to_string
+let pp_g1 p =
+  match G1.to_affine p with
+  | None -> "inf"
+  | Some (x, y) -> Printf.sprintf "(%s, %s)" (Fp.to_string x) (Fp.to_string y)
+
+(* ---------------------------------------------------------------- *)
+(* Framework self-tests: replay determinism and shrink minimality.   *)
+(* ---------------------------------------------------------------- *)
+
+let selftest_replay () =
+  (* Identical (seed, label) => byte-identical draws, independent of any
+     other stream. *)
+  let draw () =
+    let rng = Rng.of_seed_and_label (P.seed ()) "selftest-replay" in
+    List.init 50 (fun _ -> Rng.next_int64 (Rng.split rng))
+  in
+  Alcotest.(check bool) "int64 stream replays" true (draw () = draw ());
+  let draw_fr () =
+    let rng = Rng.of_seed_and_label (P.seed ()) "selftest-replay-fr" in
+    List.init 20 (fun _ -> Gen.generate Gz.fr (Rng.split rng))
+  in
+  Alcotest.(check bool) "Fr stream replays" true
+    (List.for_all2 Fr.equal (draw_fr ()) (draw_fr ()));
+  (* Different seeds diverge. *)
+  let at seed =
+    let rng = Rng.of_seed_and_label seed "selftest-replay" in
+    List.init 50 (fun _ -> Rng.next_int64 (Rng.split rng))
+  in
+  Alcotest.(check bool) "seeds diverge" false (at 1L = at 2L)
+
+let selftest_run_replay () =
+  (* The engine reports the same failure twice for the same seed. *)
+  let gen = Gen.list (Gen.int_range 0 99) in
+  let p l = List.fold_left ( + ) 0 l < 50 in
+  match (P.run ~seed:7L ~name:"rr" gen p, P.run ~seed:7L ~name:"rr" gen p) with
+  | Error a, Error b ->
+    Alcotest.(check bool) "same counterexample" true
+      (a.P.counterexample = b.P.counterexample && a.P.case = b.P.case
+     && a.P.original = b.P.original)
+  | _ -> Alcotest.fail "expected both runs to fail identically"
+
+let selftest_shrink_int () =
+  match P.run ~name:"shrink-int" (Gen.int_range 0 1000) (fun x -> x < 10) with
+  | Ok () -> Alcotest.fail "property must fail"
+  | Error f -> Alcotest.(check int) "minimal counterexample" 10 f.P.counterexample
+
+let selftest_shrink_list () =
+  (* sum >= 15 fails; the shrunk list must still fail but be locally
+     minimal: dropping any one element makes it pass. *)
+  match
+    P.run ~name:"shrink-list"
+      (Gen.list_size (Gen.int_range 0 20) (Gen.int_range 0 9))
+      (fun l -> List.fold_left ( + ) 0 l < 15)
+  with
+  | Ok () -> Alcotest.fail "property must fail"
+  | Error f ->
+    let l = f.P.counterexample in
+    let sum = List.fold_left ( + ) 0 l in
+    Alcotest.(check bool) "still failing" true (sum >= 15);
+    Alcotest.(check bool) "dropping any element passes" true
+      (List.for_all (fun x -> sum - x < 15) l)
+
+let selftest_seed_env () =
+  match Sys.getenv_opt "ZKDET_TEST_SEED" with
+  | None | Some "" -> Alcotest.(check int) "default seed" 31337 (Int64.to_int (P.seed ()))
+  | Some s -> Alcotest.(check bool) "env seed parsed" true (P.seed () = Int64.of_string s)
+
+(* ---------------------------------------------------------------- *)
+(* Metamorphic / algebraic laws.                                     *)
+(* ---------------------------------------------------------------- *)
+
+let fr_laws =
+  prop ~count:200 "Fr ring laws" (pp3 pp_fr pp_fr pp_fr)
+    (Gen.triple Gz.fr Gz.fr Gz.fr) (fun (a, b, c) ->
+      Fr.equal (Fr.add (Fr.add a b) c) (Fr.add a (Fr.add b c))
+      && Fr.equal (Fr.mul (Fr.mul a b) c) (Fr.mul a (Fr.mul b c))
+      && Fr.equal (Fr.mul a b) (Fr.mul b a)
+      && Fr.equal (Fr.mul a (Fr.add b c)) (Fr.add (Fr.mul a b) (Fr.mul a c))
+      && Fr.equal (Fr.sub a b) (Fr.add a (Fr.neg b))
+      && Fr.equal (Fr.add a Fr.zero) a
+      && Fr.equal (Fr.mul a Fr.one) a)
+
+let fr_inverse =
+  prop ~count:100 "Fr inverses" pp_fr Gz.fr_nonzero (fun a ->
+      Fr.equal (Fr.mul a (Fr.inv a)) Fr.one && Fr.equal (Fr.inv (Fr.inv a)) a)
+
+let fr_pow_hom =
+  prop ~count:50 "Fr pow homomorphism" (pp3 pp_fr string_of_int string_of_int)
+    (Gen.triple Gz.fr (Gen.int_range 0 40) (Gen.int_range 0 40))
+    (fun (a, m, n) ->
+      Fr.equal (Fr.pow a (m + n)) (Fr.mul (Fr.pow a m) (Fr.pow a n)))
+
+let fq_laws =
+  prop ~count:100 "Fq ring laws" (pp3 Fp.to_string Fp.to_string Fp.to_string)
+    (Gen.triple Gz.fq Gz.fq Gz.fq) (fun (a, b, c) ->
+      Fp.equal (Fp.add (Fp.add a b) c) (Fp.add a (Fp.add b c))
+      && Fp.equal (Fp.mul a b) (Fp.mul b a)
+      && Fp.equal (Fp.mul a (Fp.add b c)) (Fp.add (Fp.mul a b) (Fp.mul a c))
+      && (Fp.is_zero a || Fp.equal (Fp.mul a (Fp.inv a)) Fp.one))
+
+let g1_group_laws =
+  prop ~count:60 "G1 group laws" (pp3 pp_g1 pp_g1 pp_g1)
+    (Gen.triple Gz.g1 Gz.g1 Gz.g1) (fun (p, q, r) ->
+      G1.equal (G1.add (G1.add p q) r) (G1.add p (G1.add q r))
+      && G1.equal (G1.add p q) (G1.add q p)
+      && G1.equal (G1.add p G1.zero) p
+      && G1.equal (G1.add p (G1.neg p)) G1.zero
+      && G1.equal (G1.double p) (G1.add p p))
+
+let g1_scalar_distributes =
+  prop ~count:40 "G1 scalar distributivity"
+    (pp3 pp_g1 string_of_int string_of_int)
+    (Gen.triple Gz.g1 (Gen.int_origin ~origin:0 (-50) 50)
+       (Gen.int_origin ~origin:0 (-50) 50)) (fun (p, m, n) ->
+      G1.equal (G1.mul_int p (m + n)) (G1.add (G1.mul_int p m) (G1.mul_int p n))
+      && G1.equal
+           (G1.mul p (Fr.of_int m))
+           (G1.mul_int p m))
+
+let g1_affine_validation =
+  prop ~count:100 "G1 affine validation"
+    (pp2 Fp.to_string Fp.to_string) Gz.g1_raw_candidate (fun (x, y) ->
+      match G1.of_affine (x, y) with
+      | exception Invalid_argument _ -> true (* rejected: off-curve *)
+      | p -> (
+        (* accepted: must round-trip to the same coordinates *)
+        match G1.to_affine p with
+        | Some (x', y') -> Fp.equal x x' && Fp.equal y y'
+        | None -> false))
+
+let g2_group_laws =
+  prop ~count:25 "G2 group laws" (fun _ -> "<g2 triple>")
+    (Gen.triple Gz.g2 Gz.g2 Gz.g2) (fun (p, q, r) ->
+      G2.equal (G2.add (G2.add p q) r) (G2.add p (G2.add q r))
+      && G2.equal (G2.add p q) (G2.add q p)
+      && G2.equal (G2.add p G2.zero) p
+      && G2.equal (G2.add p (G2.neg p)) G2.zero)
+
+let pairing_bilinear =
+  prop ~count:3 "pairing bilinearity" (pp2 string_of_int string_of_int)
+    (Gen.pair (Gen.int_range 1 50) (Gen.int_range 1 50)) (fun (a, b) ->
+      let p = G1.generator and q = G2.generator in
+      let lhs = Pairing.pairing (G1.mul_int p a) (G2.mul_int q b) in
+      let rhs = Pairing.Gt.pow (Pairing.pairing p q) (Fr.of_int (a * b)) in
+      Pairing.Gt.equal lhs rhs)
+
+let fft_roundtrip =
+  prop ~count:20 "FFT . IFFT = id" (fun (k, _) -> Printf.sprintf "2^%d points" k)
+    (Gen.bind (Gen.int_range 0 6) (fun k ->
+         Gen.map (fun l -> (k, Array.of_list l))
+           (Gen.list_size (Gen.return (1 lsl k)) Gz.fr)))
+    (fun (k, xs) ->
+      let d = Domain.create k in
+      let eq a b = Array.for_all2 Fr.equal a b in
+      eq (Domain.ifft d (Domain.fft d (Array.copy xs))) xs
+      && eq (Domain.coset_ifft d (Domain.coset_fft d (Array.copy xs))) xs)
+
+let poly_eval_vs_coeffs =
+  prop ~count:100 "poly eval = Horner" (pp2 (pp_list pp_fr) pp_fr)
+    (Gen.pair (Gen.list_size (Gen.int_range 0 8) Gz.fr) Gz.fr)
+    (fun (coeffs, x) ->
+      let p = Poly.of_coeffs (Array.of_list coeffs) in
+      let horner =
+        List.fold_right (fun c acc -> Fr.add c (Fr.mul x acc)) coeffs Fr.zero
+      in
+      Fr.equal (Poly.eval p x) horner)
+
+let poly_mul_hom =
+  prop ~count:40 "poly mul eval homomorphism"
+    (pp3 (pp_list pp_fr) (pp_list pp_fr) pp_fr)
+    (Gen.triple
+       (Gen.list_size (Gen.int_range 0 6) Gz.fr)
+       (Gen.list_size (Gen.int_range 0 6) Gz.fr)
+       Gz.fr)
+    (fun (ca, cb, x) ->
+      let pa = Poly.of_coeffs (Array.of_list ca)
+      and pb = Poly.of_coeffs (Array.of_list cb) in
+      Fr.equal (Poly.eval (Poly.mul pa pb) x)
+        (Fr.mul (Poly.eval pa x) (Poly.eval pb x)))
+
+let hash_sensitivity =
+  prop ~count:60 "hash determinism and sensitivity" (pp2 pp_fr pp_fr)
+    (Gen.pair Gz.fr Gz.fr) (fun (a, b) ->
+      Fr.equal (Poseidon.hash [ a; b ]) (Poseidon.hash [ a; b ])
+      && Fr.equal (Mimc.hash [ a; b ]) (Mimc.hash [ a; b ])
+      && (Fr.equal a b
+         || (not (Fr.equal (Poseidon.hash [ a ]) (Poseidon.hash [ b ])))
+            && not (Fr.equal (Mimc.hash [ a ]) (Mimc.hash [ b ]))))
+
+let mimc_block_injective =
+  prop ~count:60 "MiMC block cipher injective" (pp3 pp_fr pp_fr pp_fr)
+    (Gen.triple Gz.fr Gz.fr Gz.fr) (fun (k, x, y) ->
+      Fr.equal x y
+      || not (Fr.equal (Mimc.encrypt_block k x) (Mimc.encrypt_block k y)))
+
+let merkle_membership =
+  prop ~count:30 "Merkle membership" Gz.pp_merkle_desc Gz.merkle_desc (fun d ->
+      let tree, path = Gz.build_merkle d in
+      let root = Merkle.root tree in
+      let leaf = tree.Merkle.levels.(0).(d.Gz.index) in
+      Merkle.verify_membership ~root ~leaf path
+      && (not (Merkle.verify_membership ~root ~leaf:(Fr.add leaf Fr.one) path))
+      && not
+           (Merkle.verify_membership ~root:(Fr.add root Fr.one) ~leaf path))
+
+(* Storage round-trips at chunk boundaries. *)
+let storage_roundtrip =
+  let interesting_len =
+    let c = Storage.chunk_size in
+    Gen.frequency
+      [ (3, Gen.oneof_const [ 0; 1; c - 1; c; c + 1; (2 * c) - 1; 2 * c; (2 * c) + 7 ]);
+        (1, Gen.int_range 0 300) ]
+  in
+  prop ~count:25 "storage put/get round-trip" (pp2 string_of_int string_of_int)
+    (Gen.pair interesting_len (Gen.int_range 0 1000)) (fun (len, salt) ->
+      let data = String.init len (fun i -> Char.chr ((i * 131 + salt) land 0xff)) in
+      let net = Storage.create () in
+      let a = Storage.add_node net ~id:"a" in
+      let b = Storage.add_node net ~id:"b" in
+      let cid = Storage.put net a data in
+      let cid2 = Storage.put net a data in
+      Storage.Cid.equal cid cid2
+      && match Storage.get net b cid with Ok d -> String.equal d data | Error _ -> false)
+
+let storage_codec_roundtrip =
+  prop ~count:30 "storage Fr codec round-trip" (pp_list pp_fr)
+    (Gen.list_size (Gen.int_range 0 12) Gz.fr) (fun l ->
+      let arr = Array.of_list l in
+      let back = Storage.Codec.decode (Storage.Codec.encode arr) in
+      Array.length back = Array.length arr && Array.for_all2 Fr.equal back arr)
+
+(* ---------------------------------------------------------------- *)
+(* Differential harness: Plonk vs Groth16 on generated circuits.     *)
+(* ---------------------------------------------------------------- *)
+
+(* Universal SRS shared by all generated circuits (gate counts stay well
+   under the padded-domain bound size - 6). *)
+let srs = lazy (Srs.unsafe_generate ~st:(Test_util.rng ~salt:"properties-srs" ()) ~size:128 ())
+
+(* Proof blinding randomness. Its own stream: determinism of the values
+   under test never depends on how much blinding was drawn. *)
+let prover_st = Test_util.rng ~salt:"properties-prover" ()
+
+let raises_invalid f =
+  match f () with _ -> false | exception Invalid_argument _ -> true
+
+let differential_prop (d : Gz.circuit_desc) =
+  let cs, target = Gz.build_circuit d in
+  let compiled = Cs.compile cs in
+  if not (Cs.satisfied compiled) then failwith "generated circuit not satisfied";
+  (* Plonk: universal setup, prove, verify. *)
+  let pk = Preprocess.setup (Lazy.force srs) compiled in
+  let proof = Prover.prove ~st:prover_st pk compiled in
+  let plonk_ok = Verifier.verify pk.Preprocess.vk compiled.Cs.public_values proof in
+  (* Groth16: circuit-specific setup over the SAME compiled gates. *)
+  let gpk = Groth16.setup ~st:prover_st compiled in
+  let gproof = Groth16.prove ~st:prover_st gpk compiled in
+  let groth_ok = Groth16.verify gpk.Groth16.vk compiled.Cs.public_values gproof in
+  (* Witness mutation: bump the output wire of the last arithmetic gate;
+     BOTH systems must reject the mutated witness. *)
+  let mutation_ok =
+    match target with
+    | None -> true
+    | Some c ->
+      let w = Array.copy compiled.Cs.witness in
+      w.(c) <- Fr.add w.(c) Fr.one;
+      let mutated = { compiled with Cs.witness = w } in
+      (not (Cs.satisfied mutated))
+      && raises_invalid (fun () -> Prover.prove ~st:prover_st pk mutated)
+      && (not (Groth16.satisfied gpk.Groth16.pk_r1cs (Groth16.full_witness mutated)))
+      && raises_invalid (fun () -> Groth16.prove ~st:prover_st gpk mutated)
+  in
+  plonk_ok && groth_ok && mutation_ok
+
+let differential_plonk_groth16 =
+  (* >= 50 generated circuits per default run (scaled by ITERS). *)
+  prop ~count:50 "differential: Plonk vs Groth16" Gz.pp_circuit_desc
+    Gz.circuit_desc differential_prop
+
+(* ---------------------------------------------------------------- *)
+(* Model-based contract testing.                                     *)
+(* ---------------------------------------------------------------- *)
+
+let actors = [| Chain.Address.of_seed "alice"; Chain.Address.of_seed "bob";
+                Chain.Address.of_seed "carol" |]
+let alice = actors.(0)
+let bob = actors.(1)
+let funding = 100_000_000
+
+let fresh_chain () =
+  let chain = Chain.create () in
+  Array.iter (fun a -> Chain.faucet chain a funding) actors;
+  chain
+
+(* Every receipt must at least pay the base transaction cost, and fees
+   must be debited exactly (checked against the model's ledger). *)
+let base_gas_ok (r : Chain.receipt) = r.Chain.gas_used >= 21_000
+
+let succeeded (r : Chain.receipt) =
+  match r.Chain.status with Ok () -> true | Error _ -> false
+
+(* -- ERC-721 vs a naive ownership map -------------------------------- *)
+
+let nft_model_prop (ops : Go.nft_op list) =
+  let chain = fresh_chain () in
+  let nft, _ = Erc721.deploy chain ~deployer:alice in
+  let st = Test_util.rng ~salt:"properties-nft" () in
+  (* reference model *)
+  let owners : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let approvals : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let tokens = ref [] (* newest first *) in
+  let fees = Array.make 3 0 in
+  let ok = ref true in
+  let check b = if not b then ok := false in
+  let resolve_token i =
+    match !tokens with
+    | [] -> 999_999
+    | l -> List.nth l (i mod List.length l)
+  in
+  List.iter
+    (fun op ->
+      match op with
+      | Go.Mint { owner } ->
+        let id, r =
+          Erc721.mint nft chain ~sender:actors.(owner) ~recipient:actors.(owner)
+            ~uri:"zb_prop" ~key_commitment:(Fr.random st)
+            ~data_commitment:(Fr.random st) ~proof_refs:[]
+        in
+        check (succeeded r && base_gas_ok r);
+        fees.(owner) <- fees.(owner) + r.Chain.gas_used;
+        let id = Option.get id in
+        Hashtbl.replace owners id owner;
+        tokens := id :: !tokens
+      | Go.Transfer { by; to_; token } | Go.Transfer_from { by; to_; token } ->
+        let tok = resolve_token token in
+        (* [from] is the true owner when the token exists, so the contract
+           exercises only the authorization check. *)
+        let from_idx = Option.value (Hashtbl.find_opt owners tok) ~default:by in
+        let model_ok =
+          match Hashtbl.find_opt owners tok with
+          | None -> false
+          | Some o -> o = by || Hashtbl.find_opt approvals tok = Some by
+        in
+        let r =
+          Erc721.transfer_from nft chain ~sender:actors.(by)
+            ~from:actors.(from_idx) ~to_:actors.(to_) ~token_id:tok
+        in
+        check (base_gas_ok r);
+        fees.(by) <- fees.(by) + r.Chain.gas_used;
+        check (succeeded r = model_ok);
+        if model_ok then begin
+          Hashtbl.replace owners tok to_;
+          Hashtbl.remove approvals tok
+        end
+      | Go.Approve { by; spender; token } ->
+        let tok = resolve_token token in
+        let model_ok = Hashtbl.find_opt owners tok = Some by in
+        let r =
+          Erc721.approve nft chain ~sender:actors.(by) ~spender:actors.(spender)
+            ~token_id:tok
+        in
+        check (base_gas_ok r);
+        fees.(by) <- fees.(by) + r.Chain.gas_used;
+        check (succeeded r = model_ok);
+        if model_ok then Hashtbl.replace approvals tok spender
+      | Go.Burn { by; token } ->
+        let tok = resolve_token token in
+        (* burn honors only the owner, never approvals *)
+        let model_ok = Hashtbl.find_opt owners tok = Some by in
+        let r = Erc721.burn nft chain ~sender:actors.(by) ~token_id:tok in
+        check (base_gas_ok r);
+        fees.(by) <- fees.(by) + r.Chain.gas_used;
+        check (succeeded r = model_ok);
+        if model_ok then begin
+          Hashtbl.remove owners tok;
+          Hashtbl.remove approvals tok;
+          tokens := List.filter (fun t -> t <> tok) !tokens
+        end)
+    ops;
+  (* final state: ownership, balances, and exact fee accounting (NFT ops
+     move no value, so balance = funding - own gas) *)
+  List.iter
+    (fun tok ->
+      check
+        (Erc721.owner_of nft tok
+        = Option.map (fun i -> actors.(i)) (Hashtbl.find_opt owners tok)))
+    !tokens;
+  Array.iteri
+    (fun i a ->
+      let model_count =
+        Hashtbl.fold (fun _ o acc -> if o = i then acc + 1 else acc) owners 0
+      in
+      check (Erc721.balance_of nft a = model_count);
+      if i > 0 then (* alice also paid the deploy *)
+        check (Chain.balance chain a = funding - fees.(i)))
+    actors;
+  !ok
+
+let nft_model_based =
+  prop ~count:40 "model-based: erc721" (Go.pp_ops Go.pp_nft_op "; ")
+    (Go.ops Go.nft_op) nft_model_prop
+
+(* -- ZKCP escrow vs a status-machine model --------------------------- *)
+
+type zkcp_model = {
+  mutable z_status : [ `Locked | `Settled | `Refunded ];
+  z_amount : int;
+  z_deadline : int;
+}
+
+let zkcp_model_prop (ops : Go.escrow_op list) =
+  let chain = fresh_chain () in
+  let zkcp, _ = Zkcp.deploy chain ~deployer:actors.(2) in
+  let st = Test_util.rng ~salt:"properties-zkcp" () in
+  let k = Fr.random st in
+  let h = Poseidon.hash [ k ] in
+  let wrong_key = Fr.add k Fr.one in
+  let deals = ref [] (* (chain id, model) newest first *) in
+  let fees = Array.make 3 0 in
+  let credits = Array.make 3 0 in
+  (* buyer escrow debits, tracked separately from gas *)
+  let escrowed = ref 0 in
+  let ok = ref true in
+  let check b = if not b then ok := false in
+  let head () = (Chain.head chain).Chain.number in
+  let resolve i =
+    match !deals with
+    | [] -> None
+    | l -> Some (List.nth l (i mod List.length l))
+  in
+  let pay actor (r : Chain.receipt) =
+    check (base_gas_ok r);
+    fees.(actor) <- fees.(actor) + r.Chain.gas_used
+  in
+  List.iter
+    (fun op ->
+      match op with
+      | Go.Lock { amount; window } ->
+        let id, r =
+          Zkcp.lock zkcp chain ~buyer:bob ~seller:alice ~amount ~h
+            ~timeout_blocks:window
+        in
+        pay 1 r;
+        check (succeeded r);
+        escrowed := !escrowed + amount;
+        deals :=
+          (Option.get id,
+           { z_status = `Locked; z_amount = amount; z_deadline = head () + window })
+          :: !deals
+      | Go.Reveal { deal; correct } -> (
+        match resolve deal with
+        | None ->
+          let r =
+            Zkcp.open_key zkcp chain ~seller:alice ~deal_id:999 ~key:k
+          in
+          pay 0 r;
+          check (not (succeeded r))
+        | Some (id, m) ->
+          let key = if correct then k else wrong_key in
+          let r = Zkcp.open_key zkcp chain ~seller:alice ~deal_id:id ~key in
+          pay 0 r;
+          let model_ok = m.z_status = `Locked && correct in
+          check (succeeded r = model_ok);
+          if model_ok then begin
+            m.z_status <- `Settled;
+            credits.(0) <- credits.(0) + m.z_amount
+          end)
+      | Go.Finalize { deal; by } -> (
+        (* an open attempt by an arbitrary actor with the correct key *)
+        match resolve deal with
+        | None -> ()
+        | Some (id, m) ->
+          let r = Zkcp.open_key zkcp chain ~seller:actors.(by) ~deal_id:id ~key:k in
+          pay by r;
+          let model_ok = m.z_status = `Locked && by = 0 in
+          check (succeeded r = model_ok);
+          if model_ok then begin
+            m.z_status <- `Settled;
+            credits.(0) <- credits.(0) + m.z_amount
+          end)
+      | Go.Refund { deal; by } | Go.Complain { deal; by } -> (
+        match resolve deal with
+        | None -> ()
+        | Some (id, m) ->
+          let r = Zkcp.refund zkcp chain ~buyer:actors.(by) ~deal_id:id in
+          pay by r;
+          let model_ok = m.z_status = `Locked && by = 1 && head () >= m.z_deadline in
+          check (succeeded r = model_ok);
+          if model_ok then begin
+            m.z_status <- `Refunded;
+            credits.(1) <- credits.(1) + m.z_amount
+          end)
+      | Go.Mine { blocks } ->
+        for _ = 1 to blocks do
+          ignore (Chain.mine chain)
+        done)
+    ops;
+  (* exact double-entry accounting: buyer paid escrow + gas and got
+     refunds back; seller earned settlements minus gas *)
+  check
+    (Chain.balance chain alice = funding - fees.(0) + credits.(0));
+  check
+    (Chain.balance chain bob = funding - fees.(1) - !escrowed + credits.(1));
+  !ok
+
+let zkcp_model_based =
+  prop ~count:40 "model-based: zkcp escrow" (Go.pp_ops Go.pp_escrow_op "; ")
+    (Go.ops Go.escrow_op) zkcp_model_prop
+
+(* -- FairSwap escrow vs a dispute-window model ----------------------- *)
+
+type fs_model = {
+  mutable f_status : [ `Locked | `Revealed | `Refunded | `Finalized ];
+  f_amount : int;
+  f_window : int;
+  mutable f_reveal_block : int;
+}
+
+let fairswap_model_prop (ops : Go.escrow_op list) =
+  let chain = fresh_chain () in
+  let fs, _ = Fairswap_escrow.deploy chain ~deployer:actors.(2) in
+  let st = Test_util.rng ~salt:"properties-fairswap" () in
+  (* A cheating seller, so a valid misbehavior proof always exists. *)
+  let advertised = Array.init 8 (fun i -> Fr.of_int (1000 + i)) in
+  let actual = Array.init 8 (fun i -> Fr.of_int i) in
+  let seller = Fairswap.seller_cheat ~st advertised actual in
+  let r_c, r_d = Fairswap.roots seller in
+  let h_k = Poseidon.hash [ seller.Fairswap.key ] in
+  let wrong_key = Fr.add seller.Fairswap.key Fr.one in
+  let pom =
+    match
+      Fairswap.buyer_check ~key:seller.Fairswap.key
+        ~ciphertext:seller.Fairswap.ciphertext
+        ~ciphertext_tree:seller.Fairswap.ciphertext_tree
+        ~advertised_tree:seller.Fairswap.plaintext_tree
+    with
+    | Some p -> p
+    | None -> failwith "cheating seller must be detectable"
+  in
+  let deals = ref [] in
+  let fees = Array.make 3 0 in
+  let credits = Array.make 3 0 in
+  let escrowed = ref 0 in
+  let ok = ref true in
+  let check b = if not b then ok := false in
+  let head () = (Chain.head chain).Chain.number in
+  let resolve i =
+    match !deals with
+    | [] -> None
+    | l -> Some (List.nth l (i mod List.length l))
+  in
+  let pay actor (r : Chain.receipt) =
+    check (base_gas_ok r);
+    fees.(actor) <- fees.(actor) + r.Chain.gas_used
+  in
+  List.iter
+    (fun op ->
+      match op with
+      | Go.Lock { amount; window } ->
+        let id, r =
+          Fairswap_escrow.lock fs chain ~buyer:bob ~seller:alice ~amount
+            ~root_ciphertext:r_c ~root_plaintext:r_d ~depth:seller.Fairswap.depth
+            ~h_k ~dispute_window:window
+        in
+        pay 1 r;
+        check (succeeded r);
+        escrowed := !escrowed + amount;
+        deals :=
+          (Option.get id,
+           { f_status = `Locked; f_amount = amount; f_window = window;
+             f_reveal_block = 0 })
+          :: !deals
+      | Go.Reveal { deal; correct } -> (
+        match resolve deal with
+        | None -> ()
+        | Some (id, m) ->
+          let key = if correct then seller.Fairswap.key else wrong_key in
+          let r = Fairswap_escrow.reveal_key fs chain ~seller:alice ~deal_id:id ~key in
+          pay 0 r;
+          let model_ok = m.f_status = `Locked && correct in
+          check (succeeded r = model_ok);
+          if model_ok then begin
+            m.f_status <- `Revealed;
+            m.f_reveal_block <- head ()
+          end)
+      | Go.Complain { deal; by } -> (
+        match resolve deal with
+        | None -> ()
+        | Some (id, m) ->
+          let r = Fairswap_escrow.complain fs chain ~buyer:actors.(by) ~deal_id:id pom in
+          pay by r;
+          let model_ok =
+            m.f_status = `Revealed && by = 1
+            && head () <= m.f_reveal_block + m.f_window
+          in
+          check (succeeded r = model_ok);
+          if model_ok then begin
+            m.f_status <- `Refunded;
+            credits.(1) <- credits.(1) + m.f_amount
+          end)
+      | Go.Finalize { deal; by } -> (
+        match resolve deal with
+        | None -> ()
+        | Some (id, m) ->
+          let r = Fairswap_escrow.finalize fs chain ~seller:actors.(by) ~deal_id:id in
+          pay by r;
+          let model_ok =
+            m.f_status = `Revealed && by = 0
+            && head () > m.f_reveal_block + m.f_window
+          in
+          check (succeeded r = model_ok);
+          if model_ok then begin
+            m.f_status <- `Finalized;
+            credits.(0) <- credits.(0) + m.f_amount
+          end)
+      | Go.Refund { deal; by } -> (
+        (* a complaint attempt, routed through the same dispute logic *)
+        match resolve deal with
+        | None -> ()
+        | Some (id, m) ->
+          let r = Fairswap_escrow.complain fs chain ~buyer:actors.(by) ~deal_id:id pom in
+          pay by r;
+          let model_ok =
+            m.f_status = `Revealed && by = 1
+            && head () <= m.f_reveal_block + m.f_window
+          in
+          check (succeeded r = model_ok);
+          if model_ok then begin
+            m.f_status <- `Refunded;
+            credits.(1) <- credits.(1) + m.f_amount
+          end)
+      | Go.Mine { blocks } ->
+        for _ = 1 to blocks do
+          ignore (Chain.mine chain)
+        done)
+    ops;
+  check (Chain.balance chain alice = funding - fees.(0) + credits.(0));
+  check (Chain.balance chain bob = funding - fees.(1) - !escrowed + credits.(1));
+  !ok
+
+let fairswap_model_based =
+  prop ~count:25 "model-based: fairswap escrow" (Go.pp_ops Go.pp_escrow_op "; ")
+    (Go.ops Go.escrow_op) fairswap_model_prop
+
+(* -- Clock auction vs a price-decay model ---------------------------- *)
+
+type auction_model = {
+  a_seller : int;
+  a_token : int;
+  a_start : int;
+  a_floor : int;
+  a_decay : int;
+  a_start_block : int;
+  mutable a_status : [ `Open | `Sold | `Cancelled ];
+}
+
+let auction_model_prop (ops : Go.auction_op list) =
+  let chain = fresh_chain () in
+  let nft, _ = Erc721.deploy chain ~deployer:alice in
+  let auction, _ = Auction.deploy chain ~deployer:alice nft in
+  let st = Test_util.rng ~salt:"properties-auction" () in
+  let listings = ref [] in
+  let fees = Array.make 3 0 in
+  let sales = Array.make 3 0 in
+  (* value paid by each bidder / earned by each seller *)
+  let spent = Array.make 3 0 in
+  let ok = ref true in
+  let check b = if not b then ok := false in
+  let head () = (Chain.head chain).Chain.number in
+  let price m = max m.a_floor (m.a_start - ((head () - m.a_start_block) * m.a_decay)) in
+  let resolve i =
+    match !listings with
+    | [] -> None
+    | l -> Some (List.nth l (i mod List.length l))
+  in
+  let pay actor (r : Chain.receipt) =
+    check (base_gas_ok r);
+    fees.(actor) <- fees.(actor) + r.Chain.gas_used
+  in
+  List.iter
+    (fun op ->
+      match op with
+      | Go.List_token { seller; start_price; floor; decay } ->
+        let tok, rm =
+          Erc721.mint nft chain ~sender:actors.(seller) ~recipient:actors.(seller)
+            ~uri:"zb_lot" ~key_commitment:(Fr.random st)
+            ~data_commitment:(Fr.random st) ~proof_refs:[]
+        in
+        pay seller rm;
+        check (succeeded rm);
+        let tok = Option.get tok in
+        let id, r =
+          Auction.list_token auction chain ~seller:actors.(seller) ~token_id:tok
+            ~start_price ~reserve_price:floor ~decay_per_block:decay
+            ~predicate:"entries > 0"
+        in
+        pay seller r;
+        check (succeeded r);
+        listings :=
+          (Option.get id,
+           { a_seller = seller; a_token = tok; a_start = start_price;
+             a_floor = floor; a_decay = decay; a_start_block = head ();
+             a_status = `Open })
+          :: !listings
+      | Go.Bid { bidder; listing; offer } -> (
+        match resolve listing with
+        | None ->
+          let r = Auction.bid auction chain ~bidder:actors.(bidder) ~listing_id:999 ~offer in
+          pay bidder r;
+          check (not (succeeded r))
+        | Some (id, m) ->
+          let p = price m in
+          let model_ok = m.a_status = `Open && offer >= p in
+          (* the contract charges the clock price, not the offer *)
+          let r = Auction.bid auction chain ~bidder:actors.(bidder) ~listing_id:id ~offer in
+          pay bidder r;
+          check (succeeded r = model_ok);
+          if model_ok then begin
+            m.a_status <- `Sold;
+            spent.(bidder) <- spent.(bidder) + p;
+            sales.(m.a_seller) <- sales.(m.a_seller) + p;
+            check (Erc721.owner_of nft m.a_token = Some actors.(bidder))
+          end;
+          (* the on-chain clock must agree with the model's *)
+          check
+            (Auction.current_price auction chain id
+            = if m.a_status = `Open then Some (price m) else None))
+      | Go.Cancel { by; listing } -> (
+        match resolve listing with
+        | None -> ()
+        | Some (id, m) ->
+          let r = Auction.cancel auction chain ~seller:actors.(by) ~listing_id:id in
+          pay by r;
+          let model_ok = m.a_status = `Open && by = m.a_seller in
+          check (succeeded r = model_ok);
+          if model_ok then m.a_status <- `Cancelled)
+      | Go.Advance { blocks } ->
+        for _ = 1 to blocks do
+          ignore (Chain.mine chain)
+        done)
+    ops;
+  Array.iteri
+    (fun i a ->
+      if i > 0 then
+        check (Chain.balance chain a = funding - fees.(i) - spent.(i) + sales.(i)))
+    actors;
+  !ok
+
+let auction_model_based =
+  prop ~count:40 "model-based: clock auction" (Go.pp_ops Go.pp_auction_op "; ")
+    (Go.ops Go.auction_op) auction_model_prop
+
+(* ---------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "zkdet_properties"
+    [ ( "framework",
+        [ Alcotest.test_case "replay determinism" `Quick selftest_replay;
+          Alcotest.test_case "run-level replay" `Quick selftest_run_replay;
+          Alcotest.test_case "int shrinks to bound" `Quick selftest_shrink_int;
+          Alcotest.test_case "list shrinks to local minimum" `Quick
+            selftest_shrink_list;
+          Alcotest.test_case "seed env plumbing" `Quick selftest_seed_env ] );
+      ( "metamorphic",
+        [ fr_laws; fr_inverse; fr_pow_hom; fq_laws; g1_group_laws;
+          g1_scalar_distributes; g1_affine_validation; g2_group_laws;
+          pairing_bilinear; fft_roundtrip; poly_eval_vs_coeffs; poly_mul_hom;
+          hash_sensitivity; mimc_block_injective; merkle_membership;
+          storage_roundtrip; storage_codec_roundtrip ] );
+      ("differential", [ differential_plonk_groth16 ]);
+      ( "model-based",
+        [ nft_model_based; zkcp_model_based; fairswap_model_based;
+          auction_model_based ] ) ]

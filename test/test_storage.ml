@@ -1,7 +1,7 @@
 module Storage = Zkdet_storage.Storage
 module Fr = Zkdet_field.Bn254.Fr
 
-let rng = Random.State.make [| 808 |]
+let rng = Test_util.rng ~salt:"storage" ()
 
 let test_put_get () =
   let net = Storage.create () in

@@ -4,7 +4,7 @@ module Fr = Zkdet_field.Bn254.Fr
 module Mimc = Zkdet_mimc.Mimc
 module Poseidon = Zkdet_poseidon.Poseidon
 
-let rng = Random.State.make [| 7777 |]
+let rng = Test_util.rng ~salt:"symmetric" ()
 let fr = Alcotest.testable Fr.pp Fr.equal
 
 let test_mimc_block_roundtrip () =

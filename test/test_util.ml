@@ -1,0 +1,19 @@
+(* Shared deterministic RNG plumbing for the test suites.
+
+   Every suite derives its randomness from the global test seed
+   ([ZKDET_TEST_SEED], default 31337) and a per-suite salt, so:
+   - setting the env var re-seeds the whole suite reproducibly,
+   - suites are independent (no shared mutable state: drawing more in one
+     suite cannot shift another's stream), and
+   - a suite's SRS can use its own salt, decoupled from the test draws
+     that follow it. *)
+
+module Rng = Zkdet_proptest.Rng
+module Proptest = Zkdet_proptest.Proptest
+
+let seed = Proptest.seed
+
+(* A fresh [Random.State.t] for suite [salt], derived from the global
+   seed. Distinct salts give independent streams. *)
+let rng ~salt () : Random.State.t =
+  Rng.to_random_state (Rng.of_seed_and_label (seed ()) salt)
