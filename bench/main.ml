@@ -11,7 +11,11 @@
    scaling *shapes* are comparable. EXPERIMENTS.md records paper-vs-measured.
 
    The [micro] experiment registers one Bechamel Test.make group per
-   figure/table, benchmarking the kernel each experiment is dominated by. *)
+   figure/table, benchmarking the kernel each experiment is dominated by.
+
+   Besides the text tables, every experiment writes a machine-readable
+   BENCH_<experiment>.json sidecar (rows + the telemetry snapshot covering
+   that experiment); [--profile] additionally prints the span tree. *)
 
 module Fr = Zkdet_field.Bn254.Fr
 module G1 = Zkdet_curve.G1
@@ -38,6 +42,8 @@ module Transformer = Zkdet_apps.Transformer
 module Chain = Zkdet_chain.Chain
 module Erc721 = Zkdet_contracts.Erc721
 module Verifier_contract = Zkdet_contracts.Verifier_contract
+module Telemetry = Zkdet_telemetry.Telemetry
+module Json = Zkdet_telemetry.Json
 
 let rng = Random.State.make [| 0xbe9c |]
 
@@ -48,6 +54,34 @@ let wall f =
 
 let header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '-')
+
+(* Machine-readable output: experiments accumulate [emit_row]s mirroring
+   their printed tables; the driver writes them to BENCH_<experiment>.json
+   together with the telemetry snapshot covering that experiment. *)
+let bench_rows : Json.t list ref = ref []
+let emit_row kvs = bench_rows := Json.Obj kvs :: !bench_rows
+let jint k v = (k, Json.Int v)
+let jfloat k v = (k, Json.Float v)
+let jstr k v = (k, Json.String v)
+let jbool k v = (k, Json.Bool v)
+
+let write_bench_json ~scale name =
+  let path = Printf.sprintf "BENCH_%s.json" name in
+  let doc =
+    Json.Obj
+      [ ("schema", Json.String "zkdet-bench");
+        ("version", Json.Int 1);
+        ("experiment", Json.String name);
+        ("scale", Json.Int scale);
+        ("domains", Json.Int (Zkdet_parallel.Pool.num_domains ()));
+        ("rows", Json.List (List.rev !bench_rows));
+        ("telemetry", Telemetry.Report.to_json (Telemetry.snapshot ())) ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string_pretty doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "[wrote %s]\n%!" path
 
 (* The shared environment for proof-generation experiments; sized for the
    largest Table I circuit. Built once on first use. *)
@@ -88,6 +122,9 @@ let fig5 ~scale () =
       in
       let compiled = Cs.compile (filler_circuit ~gates:n ()) in
       let _pk, pre_t = wall (fun () -> Preprocess.setup srs compiled) in
+      emit_row
+        [ jint "constraints" n; jfloat "srs_gen_s" srs_t;
+          jfloat "preprocess_s" pre_t ];
       Printf.printf "%14d %14.2f %16.2f %12.2f\n%!" n srs_t pre_t (srs_t +. pre_t))
     logs;
   print_endline
@@ -111,6 +148,9 @@ let fig6 ~scale () =
       let sealed = Transform.seal ~st:rng data in
       let _, enc_t = wall (fun () -> Transform.prove_encryption env sealed) in
       let (_, _), dup_t = wall (fun () -> Transform.duplicate env sealed) in
+      emit_row
+        [ jint "entries" n; jint "bytes" (32 * n);
+          jfloat "prove_encryption_s" enc_t; jfloat "duplicate_s" dup_t ];
       Printf.printf "%10d %12d %14.2f %14.2f\n%!" n (32 * n) enc_t dup_t)
     (fig6_sizes ~scale);
   (* pi_k is independent of the data size *)
@@ -118,6 +158,7 @@ let fig6 ~scale () =
   let k_v, _ = Exchange.buyer_blinding ~st:rng () in
   ignore (Exchange.prove_key env sealed ~k_v);
   let _, k_t = wall (fun () -> Exchange.prove_key env sealed ~k_v) in
+  emit_row [ jstr "series" "pi_k"; jfloat "prove_key_s" k_t ];
   Printf.printf "pi_k (any size): %.2f s  (paper: ~120 ms, constant)\n" k_t;
   (* Ablation (§IV-B): decoupling pi_e from pi_t. A second transformation
      of the same dataset reuses the existing pi_e; the naive protocol
@@ -129,6 +170,10 @@ let fig6 ~scale () =
   let _, monolithic_extra =
     wall (fun () -> Transform.prove_encryption env sealed)
   in
+  emit_row
+    [ jstr "series" "ablation"; jint "entries" n;
+      jfloat "decoupled_s" decoupled_t;
+      jfloat "monolithic_s" (decoupled_t +. monolithic_extra) ];
   Printf.printf
     "ablation (decoupled proofs, n=%d): pi_t alone %.2f s vs pi_t + re-proved \
      pi_e %.2f s (%.2fx)\n"
@@ -199,6 +244,10 @@ let fig7 ~scale () =
             Exchange.verify_key env ~k_c ~c_k:sealed2.Transform.c_k ~h_v pi_k)
       in
       assert ok_zkdet;
+      emit_row
+        [ jstr "series" "real_groth16"; jint "entries" n;
+          jfloat "g16_setup_s" setup_t; jfloat "g16_prove_s" prove_t;
+          jfloat "g16_verify_s" g16_verify_t; jfloat "zkdet_verify_s" zkdet_t ];
       Printf.printf "%10d %14.1f %12.1f %18.3f %20.3f\n%!" n setup_t prove_t
         g16_verify_t zkdet_t)
     [ 2; 8; 16 ];
@@ -218,6 +267,10 @@ let fig7 ~scale () =
       in
       assert ok_zkdet;
       let (), zkcp_t = wall (zkcp_groth16_verify ~l:n) in
+      emit_row
+        [ jstr "series" "modeled"; jint "entries" n;
+          jfloat "zkdet_verify_s" zkdet_t; jfloat "zkcp_verify_s" zkcp_t;
+          jint "proof_bytes" (Proof.size_bytes pi_k) ];
       Printf.printf "%10d %20.3f %22.3f %14d\n%!" n zkdet_t zkcp_t
         (Proof.size_bytes pi_k))
     sizes;
@@ -285,6 +338,9 @@ let fairswap_ablation () =
         Zkdet_contracts.Fairswap_escrow.complain fs chain ~buyer:bob ~deal_id:id
           pom
       in
+      emit_row
+        [ jint "blocks" n; jint "fairswap_dispute_gas" r.Chain.gas_used;
+          jint "zkdet_settle_gas" zkdet_gas ];
       Printf.printf "%12d %22d %22d\n%!" n r.Chain.gas_used zkdet_gas)
     [ 8; 64; 512; 4096 ];
   Printf.printf
@@ -325,6 +381,10 @@ let table1 ~scale () =
       spec.Circuits.check cs s_ws d_ws;
       Cs.num_gates (Cs.compile cs)
     in
+    emit_row
+      [ jstr "task" "logreg"; jint "entries" (Logreg.source_size c);
+        jint "constraints" constraints; jfloat "prove_s" t;
+        jint "proof_bytes" (Proof.size_bytes link.Transform.proof) ];
     Printf.printf "%-22s %10d %14d %18.1f %12.2f\n%!" "Logistic Regression"
       (Logreg.source_size c) constraints t
       (float_of_int (Proof.size_bytes link.Transform.proof) /. 1024.0)
@@ -342,6 +402,10 @@ let table1 ~scale () =
       spec.Circuits.check cs s_ws d_ws;
       Cs.num_gates (Cs.compile cs)
     in
+    emit_row
+      [ jstr "task" "transformer"; jint "params" (Transformer.parameter_count tc);
+        jint "constraints" constraints; jfloat "prove_s" t;
+        jint "proof_bytes" (Proof.size_bytes link.Transform.proof) ];
     Printf.printf "%-22s %10d %14d %18.1f %12.2f\n%!" "Transformer"
       (Transformer.parameter_count tc)
       constraints t
@@ -411,7 +475,10 @@ let table2 () =
   let row name paper (r : Chain.receipt) =
     (match r.Chain.status with
     | Ok () -> ()
-    | Error e -> Printf.printf "!! %s failed: %s\n" name e);
+    | Error e -> Printf.printf "!! %s failed: %s\n" name (Chain.error_to_string e));
+    emit_row
+      [ jstr "operation" name; jint "paper_gas" paper;
+        jint "measured_gas" r.Chain.gas_used ];
     Printf.printf "%-28s %12d %12d %9.1f%%\n" name paper r.Chain.gas_used
       (100.0 *. float_of_int (r.Chain.gas_used - paper) /. float_of_int paper)
   in
@@ -425,13 +492,16 @@ let table2 () =
   row "Transform: duplication" 94_012 dup_r;
   (match part_r.Chain.status with
   | Ok () ->
+    emit_row
+      [ jstr "operation" "Transform: partition (per child)"; jint "paper_gas" 83_124;
+        jint "measured_gas" (part_r.Chain.gas_used / 2) ];
     Printf.printf "%-28s %12d %12d %9.1f%%  (tx %d / 2 children)\n"
       "Transform: partition" 83_124 (part_r.Chain.gas_used / 2)
       (100.0
       *. float_of_int ((part_r.Chain.gas_used / 2) - 83_124)
       /. float_of_int 83_124)
       part_r.Chain.gas_used
-  | Error e -> Printf.printf "!! partition failed: %s\n" e);
+  | Error e -> Printf.printf "!! partition failed: %s\n" (Chain.error_to_string e));
   ignore (Chain.mine chain);
   Printf.printf "chain validates after the workload: %b\n" (Chain.validate chain)
 
@@ -504,6 +574,7 @@ let micro () =
       in
       List.iter
         (fun (name, ns) ->
+          emit_row [ jstr "name" name; jfloat "ns_per_run" ns ];
           if ns > 1e6 then Printf.printf "%-48s %12.2f ms\n" name (ns /. 1e6)
           else if ns > 1e3 then Printf.printf "%-48s %12.2f us\n" name (ns /. 1e3)
           else Printf.printf "%-48s %12.0f ns\n" name ns)
@@ -538,6 +609,9 @@ let parallel_bench ~scale () =
       let par_proof, par_t =
         wall (fun () -> Pool.with_domains par_domains prove)
       in
+      emit_row
+        [ jint "constraints" n; jfloat "seq_s" seq_t; jfloat "par_s" par_t;
+          jbool "identical" (String.equal seq_proof par_proof) ];
       Printf.printf "%14d %14.2f %14.2f %9.2fx %10b\n%!" n seq_t par_t
         (seq_t /. par_t)
         (String.equal seq_proof par_proof);
@@ -574,6 +648,9 @@ let proptest_smoke ~scale () =
           gates := !gates + Array.length compiled.Cs.gates_arr
         done)
   in
+  emit_row
+    [ jstr "series" "generation"; jint "circuits" !built;
+      jfloat "seconds" gen_t; jint "total_gates" !gates ];
   Printf.printf
     "%d circuits generated+built+checked in %.3fs (%.0f/s, avg %.1f gates)\n"
     !built gen_t
@@ -594,8 +671,39 @@ let proptest_smoke ~scale () =
           | Error f -> shrunk := !shrunk + f.P.shrink_steps
         done)
   in
+  emit_row
+    [ jstr "series" "shrinking"; jint "runs" (50 * scale);
+      jfloat "seconds" shrink_t; jint "shrink_steps" !shrunk ];
   Printf.printf "50x%d failing runs shrunk in %.3fs (%d shrink steps)\n"
     scale shrink_t !shrunk
+
+(* ---------------------------------------------------------------- *)
+(* Setup smoke: smallest end-to-end lifecycle with a per-phase profile *)
+(* ---------------------------------------------------------------- *)
+
+let setup_exp () =
+  header "Setup smoke: SRS -> preprocess -> prove -> verify (2^10 gates)";
+  let n = 1 lsl 10 in
+  let srs, srs_t =
+    wall (fun () -> Srs.unsafe_generate ~st:rng ~size:(n + 8) ())
+  in
+  let compiled = Cs.compile (filler_circuit ~gates:n ()) in
+  let pk, pre_t = wall (fun () -> Preprocess.setup srs compiled) in
+  let proof, prove_t =
+    wall (fun () -> Prover.prove ~st:(Random.State.make [| 42 |]) pk compiled)
+  in
+  let ok, verify_t =
+    wall (fun () ->
+        Verifier.verify pk.Preprocess.vk compiled.Cs.public_values proof)
+  in
+  assert ok;
+  List.iter
+    (fun (phase, t) ->
+      emit_row [ jstr "phase" phase; jfloat "seconds" t ];
+      Printf.printf "%-12s %10.3f s\n" phase t)
+    [ ("srs_gen", srs_t); ("preprocess", pre_t); ("prove", prove_t);
+      ("verify", verify_t);
+      ("total", srs_t +. pre_t +. prove_t +. verify_t) ]
 
 (* ---------------------------------------------------------------- *)
 
@@ -609,25 +717,42 @@ let () =
     in
     find args
   in
+  let profile = List.mem "--profile" args in
   let which =
     List.filter
       (fun a ->
         List.mem a
-          [ "fig5"; "fig6"; "fig7"; "fairswap"; "table1"; "table2"; "micro";
-            "parallel"; "proptest"; "all" ])
+          [ "setup"; "fig5"; "fig6"; "fig7"; "fairswap"; "table1"; "table2";
+            "micro"; "parallel"; "proptest"; "all" ])
       args
   in
   let which = if which = [] then [ "all" ] else which in
   let run = List.mem "all" which in
   let t0 = Unix.gettimeofday () in
   Printf.printf "ZKDET benchmark harness (scale=%d)\n" scale;
-  if run || List.mem "fig5" which then fig5 ~scale ();
-  if run || List.mem "fig6" which then fig6 ~scale ();
-  if run || List.mem "fig7" which then fig7 ~scale ();
-  if run || List.mem "fairswap" which then fairswap_ablation ();
-  if run || List.mem "table1" which then table1 ~scale ();
-  if run || List.mem "table2" which then table2 ();
-  if run || List.mem "parallel" which then parallel_bench ~scale ();
-  if run || List.mem "proptest" which then proptest_smoke ~scale ();
-  if run || List.mem "micro" which then micro ();
+  (* Recording is always on in the harness: each BENCH_<name>.json embeds
+     the telemetry snapshot for its experiment.  [--profile] additionally
+     prints the span tree after each experiment (setup always prints it). *)
+  Telemetry.set_enabled true;
+  let run_experiment name f =
+    Telemetry.reset ();
+    bench_rows := [];
+    f ();
+    if profile || String.equal name "setup" then Telemetry.print_summary ();
+    write_bench_json ~scale name
+  in
+  if run || List.mem "setup" which then run_experiment "setup" setup_exp;
+  if run || List.mem "fig5" which then run_experiment "fig5" (fig5 ~scale);
+  if run || List.mem "fig6" which then run_experiment "fig6" (fig6 ~scale);
+  if run || List.mem "fig7" which then run_experiment "fig7" (fig7 ~scale);
+  if run || List.mem "fairswap" which then
+    run_experiment "fairswap" fairswap_ablation;
+  if run || List.mem "table1" which then run_experiment "table1" (table1 ~scale);
+  if run || List.mem "table2" which then run_experiment "table2" table2;
+  if run || List.mem "parallel" which then
+    run_experiment "parallel" (parallel_bench ~scale);
+  if run || List.mem "proptest" which then
+    run_experiment "proptest" (proptest_smoke ~scale);
+  if run || List.mem "micro" which then run_experiment "micro" micro;
+  Telemetry.maybe_write_trace ();
   Printf.printf "\ntotal bench wall time: %.1f s\n" (Unix.gettimeofday () -. t0)

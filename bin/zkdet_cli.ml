@@ -3,12 +3,18 @@
      dune exec bin/zkdet_cli.exe -- params      # curve/field parameters
      dune exec bin/zkdet_cli.exe -- selftest    # tiny end-to-end proof
      dune exec bin/zkdet_cli.exe -- ceremony -n 3 --size 8
-                                                # powers-of-tau simulation *)
+                                                # powers-of-tau simulation
+     dune exec bin/zkdet_cli.exe -- selftest --profile
+                                                # + telemetry span tree
+     dune exec bin/zkdet_cli.exe -- trace-check trace.jsonl
+                                                # validate a ZKDET_TRACE file *)
 
 module Fr = Zkdet_field.Bn254.Fr
 module Fp = Zkdet_field.Bn254.Fp
 module Nat = Zkdet_num.Nat
 module Ceremony = Zkdet_kzg.Ceremony
+module Telemetry = Zkdet_telemetry.Telemetry
+module Json = Zkdet_telemetry.Json
 open Cmdliner
 
 let params_cmd =
@@ -40,13 +46,20 @@ let selftest_cmd =
       & info [ "j"; "domains" ]
           ~doc:"Total domains for the parallel runtime (1 = sequential)")
   in
-  let run domains =
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:"Print the telemetry span tree after the proof")
+  in
+  let run domains profile =
     (match domains with
     | Some n when n < 1 ->
       prerr_endline "zkdet: --domains must be at least 1";
       exit 2
     | _ -> ());
     Option.iter Zkdet_parallel.Pool.set_num_domains domains;
+    if profile then Telemetry.set_enabled true;
     Printf.printf "parallel runtime: %d domain(s)\n"
       (Zkdet_parallel.Pool.num_domains ());
     let env = Zkdet_core.Env.create ~log2_max_gates:12 () in
@@ -62,10 +75,12 @@ let selftest_cmd =
         ~ciphertext:sealed.Zkdet_core.Transform.ciphertext proof
     in
     Printf.printf "self-test %s\n" (if ok then "PASSED" else "FAILED");
+    if profile then Telemetry.print_summary ();
+    Telemetry.maybe_write_trace ();
     if not ok then exit 1
   in
   Cmd.v (Cmd.info "selftest" ~doc:"Generate and verify one proof of encryption")
-    Term.(const run $ domains)
+    Term.(const run $ domains $ profile)
 
 let ceremony_cmd =
   let contributors =
@@ -87,8 +102,63 @@ let ceremony_cmd =
     (Cmd.info "ceremony" ~doc:"Simulate and verify a powers-of-tau ceremony")
     Term.(const run $ contributors $ size)
 
+let trace_check_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"JSONL trace file (ZKDET_TRACE output)")
+  in
+  (* Validates a trace end to end: every line must parse as JSON, and the
+     whole file must rebuild into a report (used by the CI profile-smoke
+     job to keep the trace format honest). *)
+  let run file =
+    let ic = open_in file in
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> close_in ic);
+    let lines = List.rev !lines in
+    let bad = ref 0 in
+    List.iteri
+      (fun i line ->
+        match Json.parse line with
+        | Ok _ -> ()
+        | Error e ->
+          incr bad;
+          Printf.eprintf "line %d: %s\n" (i + 1) e)
+      lines;
+    if !bad > 0 then (
+      Printf.printf "trace-check FAILED: %d unparseable line(s)\n" !bad;
+      exit 1);
+    match Telemetry.Report.of_jsonl lines with
+    | Error e ->
+      Printf.printf "trace-check FAILED: %s\n" e;
+      exit 1
+    | Ok report ->
+      let count_spans spans =
+        let rec go acc (s : Telemetry.Report.span) =
+          List.fold_left go (acc + 1) s.Telemetry.Report.children
+        in
+        List.fold_left go 0 spans
+      in
+      Printf.printf
+        "trace-check OK: %d line(s), %d span node(s), %d counter(s), %d \
+         histogram(s)\n"
+        (List.length lines)
+        (count_spans report.Telemetry.Report.spans)
+        (List.length report.Telemetry.Report.counters)
+        (List.length report.Telemetry.Report.histograms)
+  in
+  Cmd.v
+    (Cmd.info "trace-check" ~doc:"Validate a JSONL telemetry trace file")
+    Term.(const run $ file)
+
 let () =
   let doc = "ZKDET: traceable, privacy-preserving data exchange" in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "zkdet" ~doc) [ params_cmd; selftest_cmd; ceremony_cmd ]))
+       (Cmd.group (Cmd.info "zkdet" ~doc)
+          [ params_cmd; selftest_cmd; ceremony_cmd; trace_check_cmd ]))

@@ -58,7 +58,7 @@ let () =
       "   refunded — but the dispute cost %d gas (grows with data size),\n\
       \   the buyer was exposed until the dispute, and the key is PUBLIC.\n"
       r.Chain.gas_used
-  | Error e -> failwith e);
+  | Error e -> failwith (Chain.error_to_string e));
 
   step "ZKDET: the same fraud cannot even start";
   let env = Env.create ~log2_max_gates:13 () in

@@ -109,7 +109,7 @@ let () =
     Printf.printf "   buyer won at %d; owner of #%d is now buyer: %b\n" price
       slice_token
       (Erc721.owner_of m.Marketplace.nft slice_token = Some buyer)
-  | Error e -> failwith ("bid failed: " ^ e));
+  | Error e -> failwith ("bid failed: " ^ Chain.error_to_string e));
   ignore (Chain.mine m.Marketplace.chain);
   Printf.printf "   chain validates: %b\n" (Chain.validate m.Marketplace.chain);
   print_endline "\nmarketplace tour complete."

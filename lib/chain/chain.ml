@@ -7,6 +7,7 @@
 
 module Sha256 = Zkdet_hash.Sha256
 module Keccak256 = Zkdet_hash.Keccak256
+module Telemetry = Zkdet_telemetry.Telemetry
 
 module Address = struct
   type t = string (* 0x + 40 hex chars *)
@@ -22,12 +23,37 @@ end
 
 type event = { event_contract : string; event_name : string; event_data : string list }
 
+(* Typed transaction/transfer failures. [error_to_string] preserves the
+   exact strings the stringly-typed API used, so anything that matched on
+   receipt error text keeps working through it. *)
+type error =
+  | Insufficient_funds of { account : Address.t; needed : int; available : int }
+  | Out_of_gas
+  | Revert of string
+  | Fee_unpaid of { needed : int; available : int }
+
+let error_to_string = function
+  | Insufficient_funds _ -> "insufficient balance"
+  | Out_of_gas -> "out of gas"
+  | Revert msg -> msg
+  | Fee_unpaid _ -> "fee: insufficient balance"
+
+let pp_error fmt (e : error) =
+  match e with
+  | Insufficient_funds { account; needed; available } ->
+    Format.fprintf fmt "insufficient balance (account %s: needed %d, available %d)"
+      account needed available
+  | Out_of_gas -> Format.fprintf fmt "out of gas"
+  | Revert msg -> Format.fprintf fmt "revert: %s" msg
+  | Fee_unpaid { needed; available } ->
+    Format.fprintf fmt "fee unpaid (needed %d, available %d)" needed available
+
 type receipt = {
   tx_hash : string;
   tx_label : string;
   sender : Address.t;
   gas_used : int;
-  status : (unit, string) result;
+  status : (unit, error) result;
   events : event list;
   block_number : int option; (* None while pending *)
 }
@@ -90,9 +116,10 @@ let balance (chain : t) (a : Address.t) =
 let faucet (chain : t) (a : Address.t) (amount : int) =
   Hashtbl.replace chain.balances a (balance chain a + amount)
 
-let debit (chain : t) (a : Address.t) (amount : int) : (unit, string) result =
+let debit (chain : t) (a : Address.t) (amount : int) : (unit, error) result =
   let b = balance chain a in
-  if b < amount then Error "insufficient balance"
+  if b < amount then
+    Error (Insufficient_funds { account = a; needed = amount; available = b })
   else begin
     Hashtbl.replace chain.balances a (b - amount);
     Ok ()
@@ -124,18 +151,19 @@ let emit (env : env) ~contract ~name ~data =
     being raised before mutation, or tolerate partial writes like any
     simulator — protocol tests only rely on [status]). *)
 let execute (chain : t) ~(sender : Address.t) ~(label : string)
-    ?(calldata = "") (f : env -> unit) : receipt =
+    ?(calldata = "") ?contract (f : env -> unit) : receipt =
+  Telemetry.with_span "chain.tx" @@ fun () ->
   let meter = Gas.create ~limit:chain.gas_limit () in
   let env = { chain; sender; meter; tx_events = [] } in
-  let status =
+  let status : (unit, error) result =
     try
       Gas.tx_base meter;
       Gas.calldata meter calldata;
       f env;
       Ok ()
     with
-    | Revert msg -> Error msg
-    | Gas.Out_of_gas -> Error "out of gas"
+    | Revert msg -> Error (Revert msg)
+    | Gas.Out_of_gas -> Error Out_of_gas
   in
   let gas_used = Gas.used meter in
   let fee = gas_used * chain.gas_price in
@@ -144,9 +172,26 @@ let execute (chain : t) ~(sender : Address.t) ~(label : string)
     let paid = debit chain sender fee in
     match (status, paid) with
     | Ok (), Ok () -> Ok ()
-    | Ok (), Error e -> Error ("fee: " ^ e)
+    | Ok (), Error (Insufficient_funds { needed; available; _ }) ->
+      Error (Fee_unpaid { needed; available })
+    | Ok (), (Error _ as e) -> e
     | (Error _ as e), _ -> e
   in
+  Telemetry.count "chain.txs" 1;
+  Telemetry.count "chain.gas.total" gas_used;
+  Telemetry.observe "chain.gas_per_tx" (float_of_int gas_used);
+  (if Telemetry.enabled () then
+     (* Per-contract gas attribution: explicit ~contract, else the label
+        prefix before ':' ("zkcp:lock" -> "zkcp"), else the whole label. *)
+     let c =
+       match contract with
+       | Some c -> c
+       | None -> (
+         match String.index_opt label ':' with
+         | Some i -> String.sub label 0 i
+         | None -> label)
+     in
+     Telemetry.count ("chain.gas.by_contract." ^ c) gas_used);
   chain.nonce <- chain.nonce + 1;
   let tx_hash =
     Sha256.hex_of_string

@@ -20,12 +20,28 @@ type event = {
   event_data : string list;
 }
 
+(** Typed transaction/transfer failures. *)
+type error =
+  | Insufficient_funds of { account : Address.t; needed : int; available : int }
+  | Out_of_gas
+  | Revert of string  (** contract-raised revert reason *)
+  | Fee_unpaid of { needed : int; available : int }
+      (** the transaction itself succeeded but the sender could not pay gas *)
+
+val error_to_string : error -> string
+(** Compact legacy string form ("insufficient balance", "out of gas", the
+    raw revert reason, "fee: insufficient balance"); stable for tests that
+    match on receipt error text. *)
+
+val pp_error : Format.formatter -> error -> unit
+(** Verbose form including accounts/amounts. *)
+
 type receipt = {
   tx_hash : string;
   tx_label : string;
   sender : Address.t;
   gas_used : int;
-  status : (unit, string) result;
+  status : (unit, error) result;
   events : event list;
   block_number : int option;  (** [None] while pending *)
 }
@@ -51,7 +67,7 @@ val balance : t -> Address.t -> int
 val faucet : t -> Address.t -> int -> unit
 (** Credit an account out of thin air (tests / block rewards). *)
 
-val debit : t -> Address.t -> int -> (unit, string) result
+val debit : t -> Address.t -> int -> (unit, error) result
 val credit : t -> Address.t -> int -> unit
 
 (** Execution environment passed to contract code. *)
@@ -70,11 +86,13 @@ val emit : env -> contract:string -> name:string -> data:string list -> unit
 
 val execute :
   t -> sender:Address.t -> label:string -> ?calldata:string ->
-  (env -> unit) -> receipt
+  ?contract:string -> (env -> unit) -> receipt
 (** Run a transaction: charges base + calldata gas, executes the closure
     under the meter, deducts the fee from the sender, records the
     receipt. Reverts and out-of-gas become [Error] statuses (the failed
-    transaction still pays for gas). *)
+    transaction still pays for gas). [contract] attributes the gas to a
+    contract in telemetry ("chain.gas.by_contract.<name>"); it defaults
+    to the label prefix before [':']. *)
 
 val mine : t -> block
 (** Seal pending transactions into a block (round-robin PoA) up to the

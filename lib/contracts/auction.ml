@@ -37,7 +37,7 @@ let deploy (chain : Chain.t) ~(deployer : Chain.Address.t) (registry : Erc721.t)
       listings = Hashtbl.create 16; next_listing = 1 }
   in
   let receipt =
-    Chain.execute chain ~sender:deployer ~label:"deploy:auction" (fun env ->
+    Chain.execute chain ~sender:deployer ~label:"deploy:auction" ~contract:"auction" (fun env ->
         Gas.create_contract env.Chain.meter ~code_bytes:code_size_bytes)
   in
   (contract, receipt)
@@ -58,7 +58,7 @@ let list_token (c : t) (chain : Chain.t) ~(seller : Chain.Address.t)
     ~(decay_per_block : int) ~(predicate : string) : int option * Chain.receipt =
   let created = ref None in
   let receipt =
-    Chain.execute chain ~sender:seller ~label:"auction:list" ~calldata:predicate
+    Chain.execute chain ~sender:seller ~label:"auction:list" ~contract:"auction" ~calldata:predicate
       (fun env ->
         let m = env.Chain.meter in
         Gas.sload m;
@@ -83,7 +83,7 @@ let list_token (c : t) (chain : Chain.t) ~(seller : Chain.Address.t)
 (** Bid at the current clock price. Pays the seller, transfers the token. *)
 let bid (c : t) (chain : Chain.t) ~(bidder : Chain.Address.t) ~(listing_id : int)
     ~(offer : int) : Chain.receipt =
-  Chain.execute chain ~sender:bidder ~label:"auction:bid" (fun env ->
+  Chain.execute chain ~sender:bidder ~label:"auction:bid" ~contract:"auction" (fun env ->
       let m = env.Chain.meter in
       Gas.sload m;
       match Hashtbl.find_opt c.listings listing_id with
@@ -98,7 +98,7 @@ let bid (c : t) (chain : Chain.t) ~(bidder : Chain.Address.t) ~(listing_id : int
         if offer < price then raise (Chain.Revert "bid: below clock price");
         (match Chain.debit chain bidder price with
         | Ok () -> ()
-        | Error e -> raise (Chain.Revert ("bid: " ^ e)));
+        | Error e -> raise (Chain.Revert ("bid: " ^ Chain.error_to_string e)));
         Chain.credit chain l.seller price;
         (* internal registry transfer: owner update + balances *)
         Gas.sstore m ~was_zero:false ~now_zero:false;
@@ -120,7 +120,7 @@ let bid (c : t) (chain : Chain.t) ~(bidder : Chain.Address.t) ~(listing_id : int
 
 let cancel (c : t) (chain : Chain.t) ~(seller : Chain.Address.t)
     ~(listing_id : int) : Chain.receipt =
-  Chain.execute chain ~sender:seller ~label:"auction:cancel" (fun env ->
+  Chain.execute chain ~sender:seller ~label:"auction:cancel" ~contract:"auction" (fun env ->
       let m = env.Chain.meter in
       Gas.sload m;
       match Hashtbl.find_opt c.listings listing_id with

@@ -61,7 +61,7 @@ let deploy (chain : Chain.t) ~(deployer : Chain.Address.t) : t * Chain.receipt =
     }
   in
   let receipt =
-    Chain.execute chain ~sender:deployer ~label:"deploy:zkdet-nft" (fun env ->
+    Chain.execute chain ~sender:deployer ~label:"deploy:zkdet-nft" ~contract:"erc721" (fun env ->
         Gas.create_contract env.Chain.meter ~code_bytes:contract.code_size)
   in
   (contract, receipt)
@@ -112,7 +112,7 @@ let mint (c : t) (chain : Chain.t) ~(sender : Chain.Address.t)
     ^ String.concat "" proof_refs
   in
   let receipt =
-    Chain.execute chain ~sender ~label:"mint" ~calldata (fun env ->
+    Chain.execute chain ~sender ~label:"mint" ~contract:"erc721" ~calldata (fun env ->
         let m = env.Chain.meter in
         charge_token_write env c ~recipient ~uri ~n_prev:0;
         (* the two commitments share one metadata slot region: 2 slots *)
@@ -147,7 +147,7 @@ let mint_derived (c : t) (chain : Chain.t) ~(sender : Chain.Address.t)
   in
   let label = "transform:" ^ transform_name transform in
   let receipt =
-    Chain.execute chain ~sender ~label ~calldata (fun env ->
+    Chain.execute chain ~sender ~label ~calldata ~contract:"erc721" (fun env ->
         let m = env.Chain.meter in
         List.iter
           (fun pid ->
@@ -200,7 +200,7 @@ let mint_partition (c : t) (chain : Chain.t) ~(sender : Chain.Address.t)
          children)
   in
   let receipt =
-    Chain.execute chain ~sender ~label:"transform:partition" ~calldata
+    Chain.execute chain ~sender ~label:"transform:partition" ~contract:"erc721" ~calldata
       (fun env ->
         let m = env.Chain.meter in
         Gas.sload m;
@@ -235,7 +235,7 @@ let mint_partition (c : t) (chain : Chain.t) ~(sender : Chain.Address.t)
 
 let approve (c : t) (chain : Chain.t) ~(sender : Chain.Address.t) ~(spender : Chain.Address.t)
     ~(token_id : int) : Chain.receipt =
-  Chain.execute chain ~sender ~label:"approve" (fun env ->
+  Chain.execute chain ~sender ~label:"approve" ~contract:"erc721" (fun env ->
       let m = env.Chain.meter in
       Gas.sload m;
       (match owner_of c token_id with
@@ -250,7 +250,7 @@ let approve (c : t) (chain : Chain.t) ~(sender : Chain.Address.t) ~(spender : Ch
 let transfer_from (c : t) (chain : Chain.t) ~(sender : Chain.Address.t)
     ~(from : Chain.Address.t) ~(to_ : Chain.Address.t) ~(token_id : int) :
     Chain.receipt =
-  Chain.execute chain ~sender ~label:"transfer" (fun env ->
+  Chain.execute chain ~sender ~label:"transfer" ~contract:"erc721" (fun env ->
       let m = env.Chain.meter in
       Gas.sload m;
       (match Hashtbl.find_opt c.tokens token_id with
@@ -283,7 +283,7 @@ let transfer_from (c : t) (chain : Chain.t) ~(sender : Chain.Address.t)
     tombstone, earns partial refunds for cleared slots. *)
 let burn (c : t) (chain : Chain.t) ~(sender : Chain.Address.t) ~(token_id : int) :
     Chain.receipt =
-  Chain.execute chain ~sender ~label:"burn" (fun env ->
+  Chain.execute chain ~sender ~label:"burn" ~contract:"erc721" (fun env ->
       let m = env.Chain.meter in
       Gas.sload m;
       match Hashtbl.find_opt c.tokens token_id with

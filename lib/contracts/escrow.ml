@@ -45,7 +45,7 @@ let deploy (chain : Chain.t) ~(deployer : Chain.Address.t)
     }
   in
   let receipt =
-    Chain.execute chain ~sender:deployer ~label:"deploy:escrow" (fun env ->
+    Chain.execute chain ~sender:deployer ~label:"deploy:escrow" ~contract:"escrow" (fun env ->
         Gas.create_contract env.Chain.meter ~code_bytes:code_size_bytes)
   in
   (contract, receipt)
@@ -59,13 +59,13 @@ let lock (c : t) (chain : Chain.t) ~(buyer : Chain.Address.t)
     =
   let created = ref None in
   let receipt =
-    Chain.execute chain ~sender:buyer ~label:"escrow:lock"
+    Chain.execute chain ~sender:buyer ~label:"escrow:lock" ~contract:"escrow"
       ~calldata:(Fr.to_bytes_be h_v ^ Fr.to_bytes_be key_commitment)
       (fun env ->
         let m = env.Chain.meter in
         (match Chain.debit chain buyer amount with
         | Ok () -> ()
-        | Error e -> raise (Chain.Revert ("lock: " ^ e)));
+        | Error e -> raise (Chain.Revert ("lock: " ^ Chain.error_to_string e)));
         (* deal record: ~5 fresh slots *)
         for _ = 1 to 5 do
           Gas.sstore m ~was_zero:true ~now_zero:false
@@ -95,7 +95,7 @@ let lock (c : t) (chain : Chain.t) ~(buyer : Chain.Address.t)
     forwards the payment on success (key-negotiation phase). *)
 let settle (c : t) (chain : Chain.t) ~(seller : Chain.Address.t) ~(deal_id : int)
     ~(k_c : Fr.t) ~(proof : Proof.t) : Chain.receipt =
-  Chain.execute chain ~sender:seller ~label:"escrow:settle"
+  Chain.execute chain ~sender:seller ~label:"escrow:settle" ~contract:"escrow"
     ~calldata:(Fr.to_bytes_be k_c ^ Proof.to_bytes proof)
     (fun env ->
       let m = env.Chain.meter in
@@ -125,7 +125,7 @@ let settle (c : t) (chain : Chain.t) ~(seller : Chain.Address.t) ~(deal_id : int
 (** Buyer reclaims a stale deal after the deadline. *)
 let refund (c : t) (chain : Chain.t) ~(buyer : Chain.Address.t) ~(deal_id : int) :
     Chain.receipt =
-  Chain.execute chain ~sender:buyer ~label:"escrow:refund" (fun env ->
+  Chain.execute chain ~sender:buyer ~label:"escrow:refund" ~contract:"escrow" (fun env ->
       let m = env.Chain.meter in
       Gas.sload m;
       match Hashtbl.find_opt c.deals deal_id with

@@ -55,7 +55,7 @@ let deploy (chain : Chain.t) ~(deployer : Chain.Address.t) : t * Chain.receipt =
       deals = Hashtbl.create 16; next_deal = 1 }
   in
   let receipt =
-    Chain.execute chain ~sender:deployer ~label:"deploy:fairswap" (fun env ->
+    Chain.execute chain ~sender:deployer ~label:"deploy:fairswap" ~contract:"fairswap" (fun env ->
         Gas.create_contract env.Chain.meter ~code_bytes:code_size_bytes)
   in
   (contract, receipt)
@@ -68,13 +68,13 @@ let lock (c : t) (chain : Chain.t) ~(buyer : Chain.Address.t)
     ~(dispute_window : int) : int option * Chain.receipt =
   let created = ref None in
   let receipt =
-    Chain.execute chain ~sender:buyer ~label:"fairswap:lock"
+    Chain.execute chain ~sender:buyer ~label:"fairswap:lock" ~contract:"fairswap"
       ~calldata:(Fr.to_bytes_be root_ciphertext ^ Fr.to_bytes_be root_plaintext)
       (fun env ->
         let m = env.Chain.meter in
         (match Chain.debit chain buyer amount with
         | Ok () -> ()
-        | Error e -> raise (Chain.Revert ("lock: " ^ e)));
+        | Error e -> raise (Chain.Revert ("lock: " ^ Chain.error_to_string e)));
         for _ = 1 to 6 do
           Gas.sstore m ~was_zero:true ~now_zero:false
         done;
@@ -93,7 +93,7 @@ let lock (c : t) (chain : Chain.t) ~(buyer : Chain.Address.t)
 (** Seller reveals the key; the dispute window opens. *)
 let reveal_key (c : t) (chain : Chain.t) ~(seller : Chain.Address.t)
     ~(deal_id : int) ~(key : Fr.t) : Chain.receipt =
-  Chain.execute chain ~sender:seller ~label:"fairswap:reveal"
+  Chain.execute chain ~sender:seller ~label:"fairswap:reveal" ~contract:"fairswap"
     ~calldata:(Fr.to_bytes_be key) (fun env ->
       let m = env.Chain.meter in
       Gas.sload m;
@@ -133,7 +133,7 @@ let complain (c : t) (chain : Chain.t) ~(buyer : Chain.Address.t)
   let path_bytes (p : Merkle.path) =
     String.concat "" (Array.to_list (Array.map Fr.to_bytes_be p.Merkle.siblings))
   in
-  Chain.execute chain ~sender:buyer ~label:"fairswap:complain"
+  Chain.execute chain ~sender:buyer ~label:"fairswap:complain" ~contract:"fairswap"
     ~calldata:
       (Fr.to_bytes_be pom.ciphertext_leaf
       ^ path_bytes pom.ciphertext_path
@@ -189,7 +189,7 @@ let complain (c : t) (chain : Chain.t) ~(buyer : Chain.Address.t)
 (** After an undisputed window, the seller collects the payment. *)
 let finalize (c : t) (chain : Chain.t) ~(seller : Chain.Address.t)
     ~(deal_id : int) : Chain.receipt =
-  Chain.execute chain ~sender:seller ~label:"fairswap:finalize" (fun env ->
+  Chain.execute chain ~sender:seller ~label:"fairswap:finalize" ~contract:"fairswap" (fun env ->
       let m = env.Chain.meter in
       Gas.sload m;
       match Hashtbl.find_opt c.deals deal_id with

@@ -33,7 +33,7 @@ let deploy (chain : Chain.t) ~(deployer : Chain.Address.t)
     { address = Chain.Address.of_seed ("zkdet-verifier/" ^ deployer); vk; code_size }
   in
   let receipt =
-    Chain.execute chain ~sender:deployer ~label:"deploy:verifier" (fun env ->
+    Chain.execute chain ~sender:deployer ~label:"deploy:verifier" ~contract:"verifier" (fun env ->
         Gas.create_contract env.Chain.meter ~code_bytes:code_size)
   in
   (contract, receipt)
@@ -64,7 +64,7 @@ let verify (c : t) (chain : Chain.t) ~(sender : Chain.Address.t)
     ^ String.concat "" (Array.to_list (Array.map Fr.to_bytes_be publics))
   in
   let receipt =
-    Chain.execute chain ~sender ~label:"verify-proof" ~calldata (fun env ->
+    Chain.execute chain ~sender ~label:"verify-proof" ~contract:"verifier" ~calldata (fun env ->
         charge_verification env.Chain.meter ~n_public:(Array.length publics);
         verdict := Verifier.verify c.vk publics proof;
         Chain.emit env ~contract:"verifier" ~name:"ProofVerified"

@@ -36,7 +36,7 @@ let deploy (chain : Chain.t) ~(deployer : Chain.Address.t) : t * Chain.receipt =
       deals = Hashtbl.create 16; next_deal = 1 }
   in
   let receipt =
-    Chain.execute chain ~sender:deployer ~label:"deploy:zkcp-escrow" (fun env ->
+    Chain.execute chain ~sender:deployer ~label:"deploy:zkcp-escrow" ~contract:"zkcp" (fun env ->
         Gas.create_contract env.Chain.meter ~code_bytes:code_size_bytes)
   in
   (contract, receipt)
@@ -48,12 +48,12 @@ let lock (c : t) (chain : Chain.t) ~(buyer : Chain.Address.t)
     ~(timeout_blocks : int) : int option * Chain.receipt =
   let created = ref None in
   let receipt =
-    Chain.execute chain ~sender:buyer ~label:"zkcp:lock"
+    Chain.execute chain ~sender:buyer ~label:"zkcp:lock" ~contract:"zkcp"
       ~calldata:(Fr.to_bytes_be h) (fun env ->
         let m = env.Chain.meter in
         (match Chain.debit chain buyer amount with
         | Ok () -> ()
-        | Error e -> raise (Chain.Revert ("lock: " ^ e)));
+        | Error e -> raise (Chain.Revert ("lock: " ^ Chain.error_to_string e)));
         for _ = 1 to 4 do
           Gas.sstore m ~was_zero:true ~now_zero:false
         done;
@@ -72,7 +72,7 @@ let lock (c : t) (chain : Chain.t) ~(buyer : Chain.Address.t)
 (** The seller's Open phase: disclose k; the contract checks H(k) = h. *)
 let open_key (c : t) (chain : Chain.t) ~(seller : Chain.Address.t)
     ~(deal_id : int) ~(key : Fr.t) : Chain.receipt =
-  Chain.execute chain ~sender:seller ~label:"zkcp:open"
+  Chain.execute chain ~sender:seller ~label:"zkcp:open" ~contract:"zkcp"
     ~calldata:(Fr.to_bytes_be key) (fun env ->
       let m = env.Chain.meter in
       Gas.sload m;
@@ -102,7 +102,7 @@ let disclosed_key (c : t) (deal_id : int) : Fr.t option =
 
 let refund (c : t) (chain : Chain.t) ~(buyer : Chain.Address.t) ~(deal_id : int) :
     Chain.receipt =
-  Chain.execute chain ~sender:buyer ~label:"zkcp:refund" (fun env ->
+  Chain.execute chain ~sender:buyer ~label:"zkcp:refund" ~contract:"zkcp" (fun env ->
       let m = env.Chain.meter in
       Gas.sload m;
       match Hashtbl.find_opt c.deals deal_id with

@@ -149,7 +149,7 @@ let mint_with_meta (m : t) ~(owner : Chain.Address.t) (meta : meta)
   in
   match (id_opt, receipt.Chain.status) with
   | Some id, Ok () -> Ok id
-  | _, Error e -> Error e
+  | _, Error e -> Error (Chain.error_to_string e)
   | None, Ok () -> Error "mint returned no id"
 
 (** Publish an original dataset: seal, upload, prove, mint.
@@ -430,7 +430,9 @@ let trade (m : t) ~(seller : Chain.Address.t) ~(buyer : Chain.Address.t)
     | None, r ->
       Error
         (`Lock_failed
-          (match r.Chain.status with Error e -> e | Ok () -> "no deal id"))
+          (match r.Chain.status with
+          | Error e -> Chain.error_to_string e
+          | Ok () -> "no deal id"))
     | Some deal_id, _ -> (
       (* Phase 2: seller derives k_c and pi_k, settles on-chain. *)
       let k_c, pi_k = Exchange.prove_key m.env sealed ~k_v in
@@ -438,7 +440,7 @@ let trade (m : t) ~(seller : Chain.Address.t) ~(buyer : Chain.Address.t)
         Escrow.settle m.escrow m.chain ~seller ~deal_id ~k_c ~proof:pi_k
       in
       match settle_receipt.Chain.status with
-      | Error e -> Error (`Settle_failed e)
+      | Error e -> Error (`Settle_failed (Chain.error_to_string e))
       | Ok () ->
         (* Buyer recovers the key and decrypts. *)
         let data = Exchange.recover offer ~k_c ~k_v in

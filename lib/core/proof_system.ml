@@ -1,0 +1,48 @@
+(* The shared proof-system API (§VI of the paper compares Plonk against
+   Groth16 along exactly these operations).  Both backends in the repo
+   implement it, so protocols and harnesses can be functorized over the
+   backend instead of hard-coding Plonk; the ascriptions below are
+   checked at compile time. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module Cs = Zkdet_plonk.Cs
+
+module type S = sig
+  val name : string
+
+  type proving_key
+  type verification_key
+  type proof
+
+  val setup : ?st:Random.State.t -> Cs.compiled -> proving_key
+  (** Produce a proving key for the circuit.  Plonk serves a universal
+      per-size SRS from a cache (so [st] is consumed only by the first
+      setup of a given size); Groth16 runs its circuit-specific trusted
+      setup every time. *)
+
+  val vk : proving_key -> verification_key
+
+  val prove : ?st:Random.State.t -> proving_key -> Cs.compiled -> proof
+  (** Raises [Invalid_argument] if the compiled witness does not satisfy
+      the circuit. *)
+
+  val verify : verification_key -> Fr.t array -> proof -> bool
+
+  val proof_to_bytes : proof -> string
+  val proof_size_bytes : proof -> int
+end
+
+module Plonk : S with type proof = Zkdet_plonk.Proof.t
+                  and type proving_key = Zkdet_plonk.Preprocess.proving_key
+                  and type verification_key = Zkdet_plonk.Preprocess.verification_key =
+  Zkdet_plonk.Backend
+
+module Groth16 : S with type proof = Zkdet_groth16.Groth16.proof
+                    and type proving_key = Zkdet_groth16.Groth16.proving_key
+                    and type verification_key = Zkdet_groth16.Groth16.verification_key =
+  Zkdet_groth16.Backend
+
+let backends : (module S) list = [ (module Plonk); (module Groth16) ]
+
+let by_name (name : string) : (module S) option =
+  List.find_opt (fun (module B : S) -> String.equal B.name name) backends

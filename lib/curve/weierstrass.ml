@@ -5,6 +5,7 @@
 module Nat = Zkdet_num.Nat
 module Fr = Zkdet_field.Bn254.Fr
 module Pool = Zkdet_parallel.Pool
+module Telemetry = Zkdet_telemetry.Telemetry
 
 module type CURVE_FIELD = sig
   type t
@@ -182,6 +183,9 @@ module Make (P : PARAMS) = struct
   let msm (points : t array) (scalars : Fr.t array) =
     let n = Array.length points in
     if n <> Array.length scalars then invalid_arg "Weierstrass.msm: length mismatch";
+    Telemetry.count "curve.msm.calls" 1;
+    Telemetry.count "curve.msm.points" n;
+    Telemetry.observe "curve.msm.size" (float_of_int n);
     if n = 0 then zero
     else if n < 8 then begin
       let acc = ref zero in

@@ -1,0 +1,25 @@
+(* Groth16 as an implementation of the shared proof-system API
+   (Zkdet_core.Proof_system.S).  Unlike Plonk's universal SRS, the
+   trusted setup here is circuit-specific, so [setup] is a straight call
+   into [Groth16.setup]. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module G1 = Zkdet_curve.G1
+module G2 = Zkdet_curve.G2
+
+let name = "groth16"
+
+type proving_key = Groth16.proving_key
+type verification_key = Groth16.verification_key
+type proof = Groth16.proof
+
+let setup ?st compiled = Groth16.setup ?st compiled
+let vk (pk : proving_key) = pk.Groth16.vk
+let prove ?st pk compiled = Groth16.prove ?st pk compiled
+let verify = Groth16.verify
+
+let proof_to_bytes (p : proof) : string =
+  G1.to_bytes p.Groth16.pi_a ^ G2.to_bytes p.Groth16.pi_b
+  ^ G1.to_bytes p.Groth16.pi_c
+
+let proof_size_bytes = Groth16.proof_size_bytes

@@ -10,6 +10,7 @@ module G1 = Zkdet_curve.G1
 module G2 = Zkdet_curve.G2
 module Pairing = Zkdet_curve.Pairing
 module Sha256 = Zkdet_hash.Sha256
+module Telemetry = Zkdet_telemetry.Telemetry
 
 type contribution_proof = {
   s_g1 : G1.t; (* [s]G1 *)
@@ -50,6 +51,8 @@ let schnorr_verify (pk : G1.t) (commit : G1.t) (response : Fr.t) : bool =
 
 (** One participant contributes randomness [s] (sampled internally). *)
 let contribute ?(st = Random.State.make_self_init ()) ~contributor state =
+  Telemetry.with_span "ceremony.contribute" @@ fun () ->
+  Telemetry.count "ceremony.contributions" 1;
   let s = Fr.random st in
   let srs = state.srs in
   let n = Srs.size srs in
@@ -79,6 +82,7 @@ let contribute ?(st = Random.State.make_self_init ()) ~contributor state =
 
 (** Verify a single contribution link: previous accumulator -> next. *)
 let verify_link ~(prev_g1_tau : G1.t) (entry : transcript_entry) : bool =
+  Telemetry.with_span "ceremony.verify_link" @@ fun () ->
   let p = entry.proof in
   (* 1. Contributor knows s. *)
   schnorr_verify p.s_g1 p.schnorr_commit p.schnorr_response

@@ -5,6 +5,7 @@ module G1 = Zkdet_curve.G1
 module G2 = Zkdet_curve.G2
 module Pairing = Zkdet_curve.Pairing
 module Poly = Zkdet_poly.Poly
+module Telemetry = Zkdet_telemetry.Telemetry
 
 type commitment = G1.t
 type opening_proof = G1.t
@@ -13,6 +14,7 @@ type opening_proof = G1.t
     polynomial exceeds the SRS. *)
 let commit (srs : Srs.t) (p : Poly.t) : commitment =
   let d = Poly.degree p in
+  Telemetry.count "kzg.commits" 1;
   if d < 0 then G1.zero
   else begin
     if d >= Srs.size srs then invalid_arg "Kzg.commit: polynomial exceeds SRS";
@@ -24,14 +26,17 @@ let commit (srs : Srs.t) (p : Poly.t) : commitment =
     commitment (inside a worker the MSM's own window-level parallelism
     degrades to sequential, so the two levels compose without deadlock). *)
 let commit_batch (srs : Srs.t) (ps : Poly.t array) : commitment array =
-  Zkdet_parallel.Pool.parallel_map_array (commit srs) ps
+  Telemetry.with_span "kzg.commit_batch" (fun () ->
+      Zkdet_parallel.Pool.parallel_map_array (commit srs) ps)
 
 (** [open_at srs p z] returns [(y, pi)] with [y = p(z)] and [pi] the witness
     commitment [( (p - y)/(X - z) ) (tau)] G1. *)
 let open_at (srs : Srs.t) (p : Poly.t) (z : Fr.t) : Fr.t * opening_proof =
-  let y = Poly.eval p z in
-  let quotient = Poly.div_by_linear (Poly.sub p (Poly.constant y)) z in
-  (y, commit srs quotient)
+  Telemetry.with_span "kzg.open" (fun () ->
+      Telemetry.count "kzg.opens" 1;
+      let y = Poly.eval p z in
+      let quotient = Poly.div_by_linear (Poly.sub p (Poly.constant y)) z in
+      (y, commit srs quotient))
 
 (** Check that [c] opens to [y] at [z]:
     e(C - [y]G1, G2) = e(W, [tau]G2 - [z]G2). *)
@@ -45,15 +50,19 @@ let verify (srs : Srs.t) (c : commitment) ~(z : Fr.t) ~(y : Fr.t)
     verifier challenge [gamma] and open the combination once. *)
 let open_batch (srs : Srs.t) (ps : Poly.t list) (z : Fr.t) (gamma : Fr.t) :
     Fr.t list * opening_proof =
-  let ys = List.map (fun p -> Poly.eval p z) ps in
-  let combined, _ =
-    List.fold_left
-      (fun (acc, g) p -> (Poly.add acc (Poly.scale g p), Fr.mul g gamma))
-      (Poly.zero, Fr.one) ps
-  in
-  let y_comb = Poly.eval combined z in
-  let quotient = Poly.div_by_linear (Poly.sub combined (Poly.constant y_comb)) z in
-  (ys, commit srs quotient)
+  Telemetry.with_span "kzg.open_batch" (fun () ->
+      Telemetry.count "kzg.opens" (List.length ps);
+      let ys = List.map (fun p -> Poly.eval p z) ps in
+      let combined, _ =
+        List.fold_left
+          (fun (acc, g) p -> (Poly.add acc (Poly.scale g p), Fr.mul g gamma))
+          (Poly.zero, Fr.one) ps
+      in
+      let y_comb = Poly.eval combined z in
+      let quotient =
+        Poly.div_by_linear (Poly.sub combined (Poly.constant y_comb)) z
+      in
+      (ys, commit srs quotient))
 
 let verify_batch (srs : Srs.t) (cs : commitment list) ~(z : Fr.t)
     ~(ys : Fr.t list) (gamma : Fr.t) (proof : opening_proof) : bool =

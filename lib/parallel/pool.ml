@@ -177,6 +177,10 @@ let parallel_for_chunks ?(chunks = default_chunks) lo hi body =
   let n = hi - lo in
   if n > 0 then begin
     let k = max 1 (min chunks n) in
+    (* Counted on the calling domain before dispatch: k depends only on
+       the range, so totals match at any pool size. *)
+    Zkdet_telemetry.Telemetry.count "pool.parallel_calls" 1;
+    Zkdet_telemetry.Telemetry.count "pool.chunks" k;
     let run_chunk c = body ~lo:(lo + c * n / k) ~hi:(lo + ((c + 1) * n / k)) in
     if sequential () || k = 1 then
       for c = 0 to k - 1 do
@@ -215,6 +219,8 @@ let parallel_reduce ?(chunks = default_chunks) ~neutral ~combine lo hi f =
   if n <= 0 then neutral
   else begin
     let k = max 1 (min chunks n) in
+    Zkdet_telemetry.Telemetry.count "pool.parallel_calls" 1;
+    Zkdet_telemetry.Telemetry.count "pool.chunks" k;
     let partials = Array.make k neutral in
     let run_chunk c =
       let clo = lo + (c * n / k) and chi = lo + ((c + 1) * n / k) in

@@ -1,0 +1,57 @@
+(* Plonk as an implementation of the shared proof-system API
+   (Zkdet_core.Proof_system.S).
+
+   Plonk's SRS is universal: one setup per size serves every circuit, so
+   [setup] keeps a per-size SRS cache.  The first call for a given padded
+   domain size generates (and consumes randomness from [st] for) the
+   simulated trusted setup; later calls for the same size reuse it and
+   ignore [st].  Callers that need explicit SRS control (a real ceremony,
+   Env-managed setups) keep using [Preprocess.setup] directly. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module Srs = Zkdet_kzg.Srs
+
+let name = "plonk"
+
+type proving_key = Preprocess.proving_key
+type verification_key = Preprocess.verification_key
+type proof = Proof.t
+
+(* Padded domain size the preprocessor will pick for this circuit
+   (mirrors Preprocess.setup's padding rule). *)
+let padded_size (compiled : Cs.compiled) =
+  let rec next_pow2 x acc = if 1 lsl acc >= x then acc else next_pow2 x (acc + 1) in
+  let log2n = max 2 (next_pow2 (max (Cs.num_gates compiled) 8) 0) in
+  1 lsl log2n
+
+let srs_cache : (int, Srs.t) Hashtbl.t = Hashtbl.create 4
+let srs_mutex = Mutex.create ()
+
+let srs_for ?st (size : int) : Srs.t =
+  Mutex.lock srs_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock srs_mutex)
+    (fun () ->
+      match Hashtbl.find_opt srs_cache size with
+      | Some srs -> srs
+      | None ->
+        let srs = Srs.unsafe_generate ?st ~size () in
+        Hashtbl.add srs_cache size srs;
+        srs)
+
+let setup ?st (compiled : Cs.compiled) : proving_key =
+  let n = padded_size compiled in
+  (* n + 6 powers are required; a little slack matches Env's sizing. *)
+  let srs = srs_for ?st (n + 8) in
+  Preprocess.setup srs compiled
+
+let vk (pk : proving_key) : verification_key = pk.Preprocess.vk
+
+let prove ?st (pk : proving_key) (compiled : Cs.compiled) : proof =
+  Prover.prove ?st pk compiled
+
+let verify (vk : verification_key) (publics : Fr.t array) (proof : proof) : bool =
+  Verifier.verify vk publics proof
+
+let proof_to_bytes = Proof.to_bytes
+let proof_size_bytes = Proof.size_bytes

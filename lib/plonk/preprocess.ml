@@ -9,6 +9,7 @@ module Poly = Zkdet_poly.Poly
 module Domain = Zkdet_poly.Domain
 module Srs = Zkdet_kzg.Srs
 module Kzg = Zkdet_kzg.Kzg
+module Telemetry = Zkdet_telemetry.Telemetry
 
 type proving_key = {
   domain : Domain.t;
@@ -92,6 +93,7 @@ let find_cosets (d : Domain.t) : Fr.t * Fr.t =
 (** Build the proving key for a compiled circuit over the given SRS. The SRS
     must have at least [n + 6] G1 powers for blinding headroom. *)
 let setup (srs : Srs.t) (circuit : Cs.compiled) : proving_key =
+  Telemetry.with_span "plonk.preprocess" @@ fun () ->
   let raw_n = Cs.num_gates circuit in
   let log2n = max 2 (next_pow2 (max raw_n 8)) in
   let n = 1 lsl log2n in

@@ -7,6 +7,7 @@ module Poly = Zkdet_poly.Poly
 module Domain = Zkdet_poly.Domain
 module Kzg = Zkdet_kzg.Kzg
 module Pool = Zkdet_parallel.Pool
+module Telemetry = Zkdet_telemetry.Telemetry
 
 let absorb_vk_and_publics (t : Transcript.t) (vk : Preprocess.verification_key)
     (publics : Fr.t array) =
@@ -44,6 +45,9 @@ let blind3 (coeffs : Fr.t array) n b2 b1 b0 =
 
 let prove ?(st = Random.State.make_self_init ()) (pk : Preprocess.proving_key)
     (circuit : Cs.compiled) : Proof.t =
+  Telemetry.with_span "plonk.prove" @@ fun () ->
+  Telemetry.count "plonk.proofs" 1;
+  Telemetry.observe "plonk.gates" (float_of_int (Cs.num_gates circuit));
   if not (Cs.satisfied circuit) then
     invalid_arg "Prover.prove: witness does not satisfy the circuit";
   let n = pk.Preprocess.n in
@@ -62,11 +66,14 @@ let prove ?(st = Random.State.make_self_init ()) (pk : Preprocess.proving_key)
 
   (* ---- Round 1: blinded wire polynomials ---- *)
   let r () = Fr.random st in
-  let a_poly = blind2 (Domain.ifft domain wa) n (r ()) (r ()) in
-  let b_poly = blind2 (Domain.ifft domain wb) n (r ()) (r ()) in
-  let c_poly = blind2 (Domain.ifft domain wc) n (r ()) (r ()) in
-  let cms = Kzg.commit_batch pk.Preprocess.srs [| a_poly; b_poly; c_poly |] in
-  let cm_a = cms.(0) and cm_b = cms.(1) and cm_c = cms.(2) in
+  let a_poly, b_poly, c_poly, cm_a, cm_b, cm_c =
+    Telemetry.with_span "round1.wires" (fun () ->
+        let a_poly = blind2 (Domain.ifft domain wa) n (r ()) (r ()) in
+        let b_poly = blind2 (Domain.ifft domain wb) n (r ()) (r ()) in
+        let c_poly = blind2 (Domain.ifft domain wc) n (r ()) (r ()) in
+        let cms = Kzg.commit_batch pk.Preprocess.srs [| a_poly; b_poly; c_poly |] in
+        (a_poly, b_poly, c_poly, cms.(0), cms.(1), cms.(2)))
+  in
   Transcript.absorb_g1 tr ~label:"a" cm_a;
   Transcript.absorb_g1 tr ~label:"b" cm_b;
   Transcript.absorb_g1 tr ~label:"c" cm_c;
@@ -75,6 +82,8 @@ let prove ?(st = Random.State.make_self_init ()) (pk : Preprocess.proving_key)
   let beta = Transcript.challenge_fr tr ~label:"beta" in
   let gamma = Transcript.challenge_fr tr ~label:"gamma" in
   let k1 = pk.Preprocess.k1 and k2 = pk.Preprocess.k2 in
+  let z_poly, cm_z =
+    Telemetry.with_span "round2.permutation" @@ fun () ->
   let omegas = Domain.elements domain in
   let z_evals = Array.make n Fr.one in
   let dens =
@@ -99,10 +108,15 @@ let prove ?(st = Random.State.make_self_init ()) (pk : Preprocess.proving_key)
   done;
   let z_poly = blind3 (Domain.ifft domain z_evals) n (r ()) (r ()) (r ()) in
   let cm_z = Kzg.commit pk.Preprocess.srs z_poly in
+  (z_poly, cm_z)
+  in
   Transcript.absorb_g1 tr ~label:"z" cm_z;
 
   (* ---- Round 3: quotient polynomial on the 4n coset ---- *)
   let alpha = Transcript.challenge_fr tr ~label:"alpha" in
+  let alpha2 = Fr.sqr alpha in
+  let pi_poly, t_lo, t_mid, t_hi, cm_t_lo, cm_t_mid, cm_t_hi =
+    Telemetry.with_span "round3.quotient" @@ fun () ->
   let n4 = Domain.size domain4 in
   let cfft = Domain.coset_fft domain4 in
   let a4 = cfft a_poly and b4 = cfft b_poly and c4 = cfft c_poly in
@@ -140,7 +154,6 @@ let prove ?(st = Random.State.make_self_init ()) (pk : Preprocess.proving_key)
     x4.(i) <- !acc;
     acc := Fr.mul !acc (Domain.omega domain4)
   done;
-  let alpha2 = Fr.sqr alpha in
   let t_evals =
     Pool.parallel_init n4 (fun i ->
         let a = a4.(i) and b = b4.(i) and c = c4.(i) in
@@ -201,21 +214,26 @@ let prove ?(st = Random.State.make_self_init ()) (pk : Preprocess.proving_key)
     out
   in
   let cm_ts = Kzg.commit_batch pk.Preprocess.srs [| t_lo; t_mid; t_hi |] in
-  let cm_t_lo = cm_ts.(0) and cm_t_mid = cm_ts.(1) and cm_t_hi = cm_ts.(2) in
+  (pi_poly, t_lo, t_mid, t_hi, cm_ts.(0), cm_ts.(1), cm_ts.(2))
+  in
   Transcript.absorb_g1 tr ~label:"t_lo" cm_t_lo;
   Transcript.absorb_g1 tr ~label:"t_mid" cm_t_mid;
   Transcript.absorb_g1 tr ~label:"t_hi" cm_t_hi;
 
   (* ---- Round 4: evaluations at zeta ---- *)
   let zeta = Transcript.challenge_fr tr ~label:"zeta" in
-  let ev p = Poly.eval p zeta in
-  let eval_a = ev a_poly
-  and eval_b = ev b_poly
-  and eval_c = ev c_poly
-  and eval_s1 = ev pk.Preprocess.sigma1
-  and eval_s2 = ev pk.Preprocess.sigma2 in
-  let zeta_omega = Fr.mul zeta (Domain.omega domain) in
-  let eval_z_omega = Poly.eval z_poly zeta_omega in
+  let eval_a, eval_b, eval_c, eval_s1, eval_s2, zeta_omega, eval_z_omega =
+    Telemetry.with_span "round4.evaluations" (fun () ->
+        let ev p = Poly.eval p zeta in
+        let eval_a = ev a_poly
+        and eval_b = ev b_poly
+        and eval_c = ev c_poly
+        and eval_s1 = ev pk.Preprocess.sigma1
+        and eval_s2 = ev pk.Preprocess.sigma2 in
+        let zeta_omega = Fr.mul zeta (Domain.omega domain) in
+        let eval_z_omega = Poly.eval z_poly zeta_omega in
+        (eval_a, eval_b, eval_c, eval_s1, eval_s2, zeta_omega, eval_z_omega))
+  in
   Transcript.absorb_fr tr ~label:"ea" eval_a;
   Transcript.absorb_fr tr ~label:"eb" eval_b;
   Transcript.absorb_fr tr ~label:"ec" eval_c;
@@ -225,6 +243,8 @@ let prove ?(st = Random.State.make_self_init ()) (pk : Preprocess.proving_key)
 
   (* ---- Round 5: linearization and opening proofs ---- *)
   let v = Transcript.challenge_fr tr ~label:"v" in
+  let cm_w_zeta, cm_w_zeta_omega =
+    Telemetry.with_span "round5.openings" @@ fun () ->
   let pi_zeta = Poly.eval pi_poly zeta in
   let zh_zeta = Domain.vanishing_eval domain zeta in
   let l1_zeta = Domain.lagrange_eval domain 0 zeta in
@@ -294,7 +314,8 @@ let prove ?(st = Random.State.make_self_init ()) (pk : Preprocess.proving_key)
     Poly.div_by_linear (Poly.sub z_poly (Poly.constant eval_z_omega)) zeta_omega
   in
   let cm_ws = Kzg.commit_batch pk.Preprocess.srs [| w_zeta; w_zeta_omega |] in
-  let cm_w_zeta = cm_ws.(0) and cm_w_zeta_omega = cm_ws.(1) in
+  (cm_ws.(0), cm_ws.(1))
+  in
   {
     Proof.cm_a;
     cm_b;

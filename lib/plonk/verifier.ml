@@ -6,6 +6,7 @@ module G1 = Zkdet_curve.G1
 module G2 = Zkdet_curve.G2
 module Pairing = Zkdet_curve.Pairing
 module Domain = Zkdet_poly.Domain
+module Telemetry = Zkdet_telemetry.Telemetry
 
 (** [prepare vk publics proof] reduces verification to a single pairing
     equation: the proof is valid iff [e(L, [tau]G2) = e(R, G2)] for the
@@ -158,6 +159,8 @@ let prepare (vk : Preprocess.verification_key) (publics : Fr.t array)
 
 let verify (vk : Preprocess.verification_key) (publics : Fr.t array)
     (proof : Proof.t) : bool =
+  Telemetry.with_span "plonk.verify" @@ fun () ->
+  Telemetry.count "plonk.verifies" 1;
   match prepare vk publics proof with
   | None -> false
   | Some (lhs, rhs) ->

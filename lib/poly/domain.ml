@@ -4,6 +4,7 @@
 
 module Fr = Zkdet_field.Bn254.Fr
 module Pool = Zkdet_parallel.Pool
+module Telemetry = Zkdet_telemetry.Telemetry
 
 (* Transforms below this size are not worth scheduling on the pool. *)
 let par_threshold = 256
@@ -75,6 +76,9 @@ let bit_reverse_permute (a : 'a array) =
 
 let fft_in_place (a : Fr.t array) (omega : Fr.t) =
   let n = Array.length a in
+  Telemetry.count "fft.calls" 1;
+  Telemetry.count "fft.points" n;
+  Telemetry.observe "fft.size" (float_of_int n);
   bit_reverse_permute a;
   let len = ref 2 in
   while !len <= n do

@@ -7,6 +7,7 @@
 
 module Sha256 = Zkdet_hash.Sha256
 module Fr = Zkdet_field.Bn254.Fr
+module Telemetry = Zkdet_telemetry.Telemetry
 
 module Cid = struct
   type t = string (* "zb" ^ hex digest *)
@@ -63,9 +64,16 @@ let is_manifest data =
 (** Store an arbitrary-size object, chunked. Returns the root CID
     (the object's URI in ZKDET). *)
 let put (net : t) (node : node) (data : string) : Cid.t =
-  if String.length data <= chunk_size then put_block net node data
+  Telemetry.with_span "storage.put" @@ fun () ->
+  Telemetry.count "storage.put.calls" 1;
+  Telemetry.count "storage.put.bytes" (String.length data);
+  if String.length data <= chunk_size then begin
+    Telemetry.count "storage.put.chunks" 1;
+    put_block net node data
+  end
   else begin
     let nchunks = (String.length data + chunk_size - 1) / chunk_size in
+    Telemetry.count "storage.put.chunks" nchunks;
     let cids =
       List.init nchunks (fun i ->
           let off = i * chunk_size in
@@ -108,10 +116,17 @@ let fetch_block (net : t) (requester : node) (cid : Cid.t) :
 (** Fetch a whole (possibly chunked) object. *)
 let get (net : t) (requester : node) (cid : Cid.t) :
     (string, [ `Not_found | `Tampered ]) result =
-  match fetch_block net requester cid with
+  Telemetry.with_span "storage.get" @@ fun () ->
+  Telemetry.count "storage.get.calls" 1;
+  let hops_before = net.fetch_hops in
+  let result =
+    match fetch_block net requester cid with
   | Error _ as e -> e
   | Ok data ->
-    if not (is_manifest data) then Ok data
+    if not (is_manifest data) then begin
+      Telemetry.count "storage.get.chunks" 1;
+      Ok data
+    end
     else begin
       let lines =
         String.split_on_char '\n'
@@ -119,17 +134,25 @@ let get (net : t) (requester : node) (cid : Cid.t) :
              (String.length data - String.length manifest_prefix))
       in
       let buf = Buffer.create (List.length lines * chunk_size) in
-      let rec collect = function
-        | [] -> Ok (Buffer.contents buf)
+      let rec collect nchunks = function
+        | [] ->
+          Telemetry.count "storage.get.chunks" nchunks;
+          Ok (Buffer.contents buf)
         | c :: rest -> (
           match fetch_block net requester c with
           | Ok chunk ->
             Buffer.add_string buf chunk;
-            collect rest
+            collect (nchunks + 1) rest
           | Error _ as e -> e)
       in
-      collect lines
+      collect 0 lines
     end
+  in
+  (match result with
+  | Ok data -> Telemetry.count "storage.get.bytes" (String.length data)
+  | Error _ -> ());
+  Telemetry.count "storage.get.hops" (net.fetch_hops - hops_before);
+  result
 
 let pin (node : node) (cid : Cid.t) = Hashtbl.replace node.pinned cid ()
 let unpin (node : node) (cid : Cid.t) = Hashtbl.remove node.pinned cid

@@ -1,0 +1,567 @@
+(* Domain-safe spans, counters and histograms.
+
+   Design constraints (see DESIGN.md "Telemetry"):
+
+   - The disabled path must be near-free: one atomic load and a branch,
+     no allocation.  Telemetry calls stay compiled into every hot kernel.
+   - Instrumentation must never perturb proof bytes: recording is purely
+     observational, and aggregation is deterministic (merged totals are
+     identical at any ZKDET_DOMAINS because work decomposition in
+     Zkdet_parallel is pool-size independent and merge order is sorted).
+   - Each domain records into its own buffers (via Domain.DLS), so hot
+     kernels on worker domains never contend on a lock.  Buffers are
+     merged when a snapshot is taken, which callers do from quiesced
+     orchestration code (bench harness, CLI, tests). *)
+
+external monotonic_ns : unit -> int = "zkdet_telemetry_monotonic_ns" [@@noalloc]
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+(* ---- per-domain state ---- *)
+
+type node = {
+  node_name : string;
+  mutable calls : int;
+  mutable total_ns : int;
+  children : (string, node) Hashtbl.t;
+}
+
+type hist = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type dstate = {
+  root : node; (* per-domain span tree; the root itself is not a span *)
+  mutable stack : node list; (* innermost span first; [] = at root *)
+  counters : (string, int ref) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
+}
+
+let fresh_node name =
+  { node_name = name; calls = 0; total_ns = 0; children = Hashtbl.create 4 }
+
+let registry : dstate list ref = ref []
+let registry_mutex = Mutex.create ()
+
+let dls_key =
+  Domain.DLS.new_key (fun () ->
+      let ds =
+        {
+          root = fresh_node "";
+          stack = [];
+          counters = Hashtbl.create 16;
+          hists = Hashtbl.create 8;
+        }
+      in
+      Mutex.lock registry_mutex;
+      registry := ds :: !registry;
+      Mutex.unlock registry_mutex;
+      ds)
+
+let dstate () = Domain.DLS.get dls_key
+
+let reset () =
+  Mutex.lock registry_mutex;
+  let all = !registry in
+  Mutex.unlock registry_mutex;
+  List.iter
+    (fun ds ->
+      let root = ds.root in
+      root.calls <- 0;
+      root.total_ns <- 0;
+      Hashtbl.reset root.children;
+      ds.stack <- [];
+      Hashtbl.reset ds.counters;
+      Hashtbl.reset ds.hists)
+    all
+
+(* ---- recording ---- *)
+
+let current_parent ds =
+  match ds.stack with node :: _ -> node | [] -> ds.root
+
+let with_span name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let ds = dstate () in
+    let parent = current_parent ds in
+    let node =
+      match Hashtbl.find_opt parent.children name with
+      | Some n -> n
+      | None ->
+        let n = fresh_node name in
+        Hashtbl.add parent.children name n;
+        n
+    in
+    ds.stack <- node :: ds.stack;
+    let t0 = monotonic_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dt = monotonic_ns () - t0 in
+        node.calls <- node.calls + 1;
+        node.total_ns <- node.total_ns + dt;
+        match ds.stack with
+        | _ :: rest -> ds.stack <- rest
+        | [] -> ())
+      f
+  end
+
+let count name n =
+  if Atomic.get enabled_flag then begin
+    let ds = dstate () in
+    match Hashtbl.find_opt ds.counters name with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.add ds.counters name (ref n)
+  end
+
+let observe name v =
+  if Atomic.get enabled_flag then begin
+    let ds = dstate () in
+    match Hashtbl.find_opt ds.hists name with
+    | Some h ->
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- h.h_sum +. v;
+      if v < h.h_min then h.h_min <- v;
+      if v > h.h_max then h.h_max <- v
+    | None ->
+      Hashtbl.add ds.hists name { h_count = 1; h_sum = v; h_min = v; h_max = v }
+  end
+
+(* ---- merged reports ---- *)
+
+module Report = struct
+  type span = {
+    span_name : string;
+    calls : int;
+    total_ns : int;
+    children : span list;
+  }
+
+  type counter = { counter_name : string; total : int }
+
+  type histogram = {
+    hist_name : string;
+    samples : int;
+    sum : float;
+    min : float;
+    max : float;
+  }
+
+  type t = { spans : span list; counters : counter list; histograms : histogram list }
+
+  let empty = { spans = []; counters = []; histograms = [] }
+
+  let rec find_span (spans : span list) (path : string list) : span option =
+    match path with
+    | [] -> None
+    | [ name ] -> List.find_opt (fun s -> s.span_name = name) spans
+    | name :: rest -> (
+      match List.find_opt (fun s -> s.span_name = name) spans with
+      | Some s -> find_span s.children rest
+      | None -> None)
+
+  let find_counter (t : t) name =
+    List.find_opt (fun c -> c.counter_name = name) t.counters
+    |> Option.map (fun c -> c.total)
+
+  let ns_to_ms ns = float_of_int ns /. 1e6
+
+  (* -- human-readable summary tree -- *)
+
+  let pp fmt (t : t) =
+    let open Format in
+    fprintf fmt "telemetry summary@.";
+    if t.spans = [] && t.counters = [] && t.histograms = [] then
+      fprintf fmt "  (no data recorded)@."
+    else begin
+      if t.spans <> [] then begin
+        fprintf fmt "  spans:%40s %10s %12s %12s@." "" "calls" "total" "self";
+        let rec walk depth (s : span) =
+          let child_ns =
+            List.fold_left (fun acc c -> acc + c.total_ns) 0 s.children
+          in
+          let label = String.make (2 * depth) ' ' ^ s.span_name in
+          fprintf fmt "    %-44s %10d %10.2fms %10.2fms@." label s.calls
+            (ns_to_ms s.total_ns)
+            (ns_to_ms (s.total_ns - child_ns));
+          List.iter (walk (depth + 1)) s.children
+        in
+        List.iter (walk 0) t.spans
+      end;
+      if t.counters <> [] then begin
+        fprintf fmt "  counters:@.";
+        List.iter
+          (fun (c : counter) -> fprintf fmt "    %-44s %14d@." c.counter_name c.total)
+          t.counters
+      end;
+      if t.histograms <> [] then begin
+        fprintf fmt "  histograms:%35s %10s %12s %12s %12s@." "" "n" "mean" "min" "max";
+        List.iter
+          (fun (h : histogram) ->
+            fprintf fmt "    %-44s %10d %12.2f %12.2f %12.2f@." h.hist_name
+              h.samples
+              (h.sum /. float_of_int (max 1 h.samples))
+              h.min h.max)
+          t.histograms
+      end
+    end
+
+  (* -- JSON forms -- *)
+
+  let rec span_to_json (s : span) : Json.t =
+    Json.Obj
+      [
+        ("name", Json.String s.span_name);
+        ("calls", Json.Int s.calls);
+        ("total_ns", Json.Int s.total_ns);
+        ("children", Json.List (List.map span_to_json s.children));
+      ]
+
+  let counter_to_json (c : counter) : Json.t =
+    Json.Obj [ ("name", Json.String c.counter_name); ("total", Json.Int c.total) ]
+
+  let histogram_to_json (h : histogram) : Json.t =
+    Json.Obj
+      [
+        ("name", Json.String h.hist_name);
+        ("samples", Json.Int h.samples);
+        ("sum", Json.Float h.sum);
+        ("min", Json.Float h.min);
+        ("max", Json.Float h.max);
+      ]
+
+  let to_json (t : t) : Json.t =
+    Json.Obj
+      [
+        ("spans", Json.List (List.map span_to_json t.spans));
+        ("counters", Json.List (List.map counter_to_json t.counters));
+        ("histograms", Json.List (List.map histogram_to_json t.histograms));
+      ]
+
+  (* -- JSONL trace sink --
+
+     One self-describing record per line.  Span records carry their full
+     path so the tree can be rebuilt from a flat stream:
+
+       {"type":"meta","format":"zkdet-trace","version":1}
+       {"type":"span","path":["plonk.prove","round3"],"calls":1,"total_ns":...}
+       {"type":"counter","name":"curve.msm.points","total":...}
+       {"type":"histogram","name":"fft.points","samples":...,...}  *)
+
+  let to_jsonl (t : t) : string list =
+    let lines = ref [] in
+    let emit j = lines := Json.to_string j :: !lines in
+    emit
+      (Json.Obj
+         [
+           ("type", Json.String "meta");
+           ("format", Json.String "zkdet-trace");
+           ("version", Json.Int 1);
+         ]);
+    let rec walk rev_path (s : span) =
+      let path = List.rev (s.span_name :: rev_path) in
+      emit
+        (Json.Obj
+           [
+             ("type", Json.String "span");
+             ("path", Json.List (List.map (fun p -> Json.String p) path));
+             ("calls", Json.Int s.calls);
+             ("total_ns", Json.Int s.total_ns);
+           ]);
+      List.iter (walk (s.span_name :: rev_path)) s.children
+    in
+    List.iter (walk []) t.spans;
+    List.iter
+      (fun (c : counter) ->
+        emit
+          (Json.Obj
+             [
+               ("type", Json.String "counter");
+               ("name", Json.String c.counter_name);
+               ("total", Json.Int c.total);
+             ]))
+      t.counters;
+    List.iter
+      (fun (h : histogram) ->
+        emit
+          (Json.Obj
+             [
+               ("type", Json.String "histogram");
+               ("name", Json.String h.hist_name);
+               ("samples", Json.Int h.samples);
+               ("sum", Json.Float h.sum);
+               ("min", Json.Float h.min);
+               ("max", Json.Float h.max);
+             ]))
+      t.histograms;
+    List.rev !lines
+
+  (* Rebuild a report from JSONL lines (inverse of [to_jsonl]). *)
+  let of_jsonl (lines : string list) : (t, string) result =
+    let ( let* ) = Result.bind in
+    let field j name =
+      match Json.member name j with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "missing field %S" name)
+    in
+    let int_field j name =
+      let* v = field j name in
+      match Json.to_int_opt v with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "field %S is not an int" name)
+    in
+    let float_field j name =
+      let* v = field j name in
+      match Json.to_float_opt v with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "field %S is not a number" name)
+    in
+    let string_field j name =
+      let* v = field j name in
+      match Json.to_string_opt v with
+      | Some s -> Ok s
+      | None -> Error (Printf.sprintf "field %S is not a string" name)
+    in
+    (* Mutable span-tree builder mirroring the recording structures. *)
+    let root = fresh_node "" in
+    let counters = ref [] and hists = ref [] in
+    let insert_span path calls total_ns =
+      let rec go (node : node) = function
+        | [] -> Error "span record with empty path"
+        | [ name ] ->
+          let n =
+            match Hashtbl.find_opt node.children name with
+            | Some n -> n
+            | None ->
+              let n = fresh_node name in
+              Hashtbl.add node.children name n;
+              n
+          in
+          n.calls <- calls;
+          n.total_ns <- total_ns;
+          Ok ()
+        | name :: rest -> (
+          match Hashtbl.find_opt node.children name with
+          | Some n -> go n rest
+          | None ->
+            (* parent not seen yet: create a placeholder *)
+            let n = fresh_node name in
+            Hashtbl.add node.children name n;
+            go n rest)
+      in
+      go root path
+    in
+    let parse_line i line =
+      if String.trim line = "" then Ok ()
+      else
+        let* j =
+          match Json.parse line with
+          | Ok j -> Ok j
+          | Error e -> Error (Printf.sprintf "line %d: %s" (i + 1) e)
+        in
+        let* kind = string_field j "type" in
+        match kind with
+        | "meta" ->
+          let* fmt = string_field j "format" in
+          if fmt = "zkdet-trace" then Ok ()
+          else Error (Printf.sprintf "line %d: unknown trace format %S" (i + 1) fmt)
+        | "span" ->
+          let* path_json = field j "path" in
+          let* path =
+            match Json.to_list_opt path_json with
+            | Some items ->
+              List.fold_right
+                (fun item acc ->
+                  let* acc = acc in
+                  match Json.to_string_opt item with
+                  | Some s -> Ok (s :: acc)
+                  | None -> Error "non-string span path element")
+                items (Ok [])
+            | None -> Error "span path is not a list"
+          in
+          let* calls = int_field j "calls" in
+          let* total_ns = int_field j "total_ns" in
+          insert_span path calls total_ns
+        | "counter" ->
+          let* name = string_field j "name" in
+          let* total = int_field j "total" in
+          counters := { counter_name = name; total } :: !counters;
+          Ok ()
+        | "histogram" ->
+          let* name = string_field j "name" in
+          let* samples = int_field j "samples" in
+          let* sum = float_field j "sum" in
+          let* min = float_field j "min" in
+          let* max = float_field j "max" in
+          hists := { hist_name = name; samples; sum; min; max } :: !hists;
+          Ok ()
+        | other -> Error (Printf.sprintf "line %d: unknown record type %S" (i + 1) other)
+    in
+    let rec all i = function
+      | [] -> Ok ()
+      | line :: rest ->
+        let* () = parse_line i line in
+        all (i + 1) rest
+    in
+    let* () = all 0 lines in
+    let rec freeze (node : node) : span =
+      Hashtbl.fold (fun _ child acc -> freeze child :: acc) node.children []
+      |> List.sort (fun (a : span) (b : span) -> compare a.span_name b.span_name)
+      |> fun children ->
+      {
+        span_name = node.node_name;
+        calls = node.calls;
+        total_ns = node.total_ns;
+        children;
+      }
+    in
+    let top = freeze root in
+    Ok { spans = top.children; counters = List.rev !counters; histograms = List.rev !hists }
+end
+
+(* Merge all per-domain buffers into one deterministic report.  Children
+   are sorted by name so the result does not depend on domain count or
+   scheduling; callers invoke this from quiesced code. *)
+let snapshot () : Report.t =
+  Mutex.lock registry_mutex;
+  let all = !registry in
+  Mutex.unlock registry_mutex;
+  let rec merge_nodes (nodes : node list) : Report.span list =
+    (* group children of all [nodes] by name *)
+    let names = Hashtbl.create 16 in
+    let order = ref [] in
+    List.iter
+      (fun node ->
+        Hashtbl.iter
+          (fun name child ->
+            match Hashtbl.find_opt names name with
+            | Some group -> Hashtbl.replace names name (child :: group)
+            | None ->
+              order := name :: !order;
+              Hashtbl.add names name [ child ])
+          node.children)
+      nodes;
+    List.sort compare !order
+    |> List.map (fun name ->
+           let group = Hashtbl.find names name in
+           let calls = List.fold_left (fun acc n -> acc + n.calls) 0 group in
+           let total_ns = List.fold_left (fun acc n -> acc + n.total_ns) 0 group in
+           {
+             Report.span_name = name;
+             calls;
+             total_ns;
+             children = merge_nodes group;
+           })
+  in
+  let spans = merge_nodes (List.map (fun ds -> ds.root) all) in
+  let counter_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun ds ->
+      Hashtbl.iter
+        (fun name r ->
+          let prev = Option.value ~default:0 (Hashtbl.find_opt counter_tbl name) in
+          Hashtbl.replace counter_tbl name (prev + !r))
+        ds.counters)
+    all;
+  let counters =
+    Hashtbl.fold
+      (fun name total acc -> { Report.counter_name = name; total } :: acc)
+      counter_tbl []
+    |> List.sort (fun a b -> compare a.Report.counter_name b.Report.counter_name)
+  in
+  let hist_tbl : (string, hist) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun ds ->
+      Hashtbl.iter
+        (fun name (h : hist) ->
+          match Hashtbl.find_opt hist_tbl name with
+          | Some acc ->
+            acc.h_count <- acc.h_count + h.h_count;
+            acc.h_sum <- acc.h_sum +. h.h_sum;
+            if h.h_min < acc.h_min then acc.h_min <- h.h_min;
+            if h.h_max > acc.h_max then acc.h_max <- h.h_max
+          | None ->
+            Hashtbl.add hist_tbl name
+              { h_count = h.h_count; h_sum = h.h_sum; h_min = h.h_min; h_max = h.h_max })
+        ds.hists)
+    all;
+  let histograms =
+    Hashtbl.fold
+      (fun name (h : hist) acc ->
+        {
+          Report.hist_name = name;
+          samples = h.h_count;
+          sum = h.h_sum;
+          min = h.h_min;
+          max = h.h_max;
+        }
+        :: acc)
+      hist_tbl []
+    |> List.sort (fun a b -> compare a.Report.hist_name b.Report.hist_name)
+  in
+  { Report.spans; counters; histograms }
+
+let print_summary ?(oc = stdout) () =
+  let fmt = Format.formatter_of_out_channel oc in
+  Report.pp fmt (snapshot ());
+  Format.pp_print_flush fmt ()
+
+(* ---- environment / sinks ---- *)
+
+let trace_path_ref = ref None
+let trace_mutex = Mutex.create ()
+
+let trace_path () =
+  Mutex.lock trace_mutex;
+  let p = !trace_path_ref in
+  Mutex.unlock trace_mutex;
+  p
+
+let set_trace_path p =
+  Mutex.lock trace_mutex;
+  trace_path_ref := p;
+  Mutex.unlock trace_mutex;
+  if p <> None then set_enabled true
+
+let write_trace ?path () : (string, string) result =
+  let path = match path with Some p -> Some p | None -> trace_path () in
+  match path with
+  | None -> Error "no trace path configured (set ZKDET_TRACE or pass ~path)"
+  | Some path -> (
+    let lines = Report.to_jsonl (snapshot ()) in
+    try
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> List.iter (fun l -> output_string oc (l ^ "\n")) lines);
+      Ok path
+    with Sys_error e -> Error e)
+
+(* Write the trace if (and only if) a path is configured; used by the
+   bench harness and CLI on exit. *)
+let maybe_write_trace () =
+  match trace_path () with
+  | None -> ()
+  | Some _ -> (
+    match write_trace () with
+    | Ok path -> Printf.eprintf "telemetry: trace written to %s\n%!" path
+    | Error e -> Printf.eprintf "telemetry: failed to write trace: %s\n%!" e)
+
+let truthy = function
+  | "" | "0" | "false" | "no" -> false
+  | _ -> true
+
+(* Pick up env configuration at load time so any executable linking the
+   instrumented libraries honors ZKDET_PROFILE / ZKDET_TRACE. *)
+let () =
+  (match Sys.getenv_opt "ZKDET_PROFILE" with
+  | Some v when truthy v -> set_enabled true
+  | _ -> ());
+  match Sys.getenv_opt "ZKDET_TRACE" with
+  | Some path when path <> "" -> set_trace_path (Some path)
+  | _ -> ()

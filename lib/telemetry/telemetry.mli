@@ -1,0 +1,98 @@
+(** Lightweight, domain-safe telemetry: nestable spans (monotonic-clock
+    timings), named counters and histograms.
+
+    Every hot path in the repo keeps its instrumentation compiled in; when
+    telemetry is disabled (the default) each call is a single atomic load
+    plus a branch and performs no allocation.  When enabled, each domain
+    records into its own buffers (no cross-domain contention), and
+    {!snapshot} merges them deterministically: merged totals are identical
+    at any [ZKDET_DOMAINS] because work decomposition in [Zkdet_parallel]
+    depends only on the input range, and merge order is sorted by name.
+
+    Configuration via environment (read at program start):
+    - [ZKDET_PROFILE=1] enables recording.
+    - [ZKDET_TRACE=path] enables recording and selects the JSONL trace
+      sink; executables call {!maybe_write_trace} on exit. *)
+
+val monotonic_ns : unit -> int
+(** Monotonic clock reading in nanoseconds (arbitrary epoch). *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f], attributing its wall time to the span
+    [name] nested under the innermost active span on the current domain.
+    Re-entering the same name under the same parent accumulates into one
+    tree node.  Exceptions propagate; time is recorded regardless. *)
+
+val count : string -> int -> unit
+(** [count name n] adds [n] to the named counter on the current domain. *)
+
+val observe : string -> float -> unit
+(** [observe name v] records one sample into the named histogram
+    (count/sum/min/max aggregation). *)
+
+val reset : unit -> unit
+(** Clear all recorded data on every registered domain.  Call from
+    quiesced code only (between experiments, not mid-proof). *)
+
+module Report : sig
+  type span = {
+    span_name : string;
+    calls : int;
+    total_ns : int;
+    children : span list; (* sorted by name *)
+  }
+
+  type counter = { counter_name : string; total : int }
+
+  type histogram = {
+    hist_name : string;
+    samples : int;
+    sum : float;
+    min : float;
+    max : float;
+  }
+
+  type t = { spans : span list; counters : counter list; histograms : histogram list }
+
+  val empty : t
+
+  val find_span : span list -> string list -> span option
+  (** [find_span spans path] resolves a root-to-leaf name path. *)
+
+  val find_counter : t -> string -> int option
+
+  val pp : Format.formatter -> t -> unit
+  (** Human-readable summary tree (spans with total/self time, counters,
+      histograms). *)
+
+  val to_json : t -> Json.t
+
+  val to_jsonl : t -> string list
+  (** Flatten to JSONL trace lines: a meta record, then one
+      self-describing record per span node (with full path), counter and
+      histogram. *)
+
+  val of_jsonl : string list -> (t, string) result
+  (** Rebuild a report from trace lines (inverse of {!to_jsonl} up to
+      child ordering, which is re-sorted by name). *)
+end
+
+val snapshot : unit -> Report.t
+(** Merge all per-domain buffers into one deterministic report. *)
+
+val print_summary : ?oc:out_channel -> unit -> unit
+(** [snapshot] + [Report.pp] to the given channel (default stdout). *)
+
+val trace_path : unit -> string option
+val set_trace_path : string option -> unit
+(** Setting a path also enables recording. *)
+
+val write_trace : ?path:string -> unit -> (string, string) result
+(** Serialize the current snapshot as JSONL to [path] (default: the
+    configured trace path).  Returns the path written. *)
+
+val maybe_write_trace : unit -> unit
+(** Write the trace iff a trace path is configured; logs to stderr. *)

@@ -1,0 +1,17 @@
+/* Monotonic clock for telemetry spans.
+ *
+ * Returns nanoseconds since an arbitrary epoch as an OCaml immediate int.
+ * 63-bit ints overflow after ~146 years of uptime, which is fine for
+ * interval arithmetic. [@@noalloc] on the OCaml side: no OCaml heap
+ * allocation happens here. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value zkdet_telemetry_monotonic_ns(value unit)
+{
+  (void)unit;
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

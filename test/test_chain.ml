@@ -20,12 +20,14 @@ let fresh_chain () =
 let ok_status (r : Chain.receipt) =
   match r.Chain.status with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "tx failed: %s (%s)" e r.Chain.tx_label
+  | Error e ->
+    Alcotest.failf "tx failed: %s (%s)" (Chain.error_to_string e) r.Chain.tx_label
 
 let failed_status (r : Chain.receipt) expected =
   match r.Chain.status with
   | Ok () -> Alcotest.failf "tx unexpectedly succeeded (%s)" r.Chain.tx_label
   | Error e ->
+    let e = Chain.error_to_string e in
     if not (String.equal e expected) then
       Alcotest.failf "wrong revert: got %S want %S" e expected
 

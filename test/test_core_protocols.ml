@@ -310,8 +310,8 @@ let test_escrow_fairness_onchain () =
       ~k_c:(Fr.add k_c Fr.one) ~proof:pi_k
   in
   (match r.Chain.status with
-  | Error "settle: invalid proof" -> ()
-  | Error e -> Alcotest.failf "wrong revert: %s" e
+  | Error (Chain.Revert "settle: invalid proof") -> ()
+  | Error e -> Alcotest.failf "wrong revert: %s" (Chain.error_to_string e)
   | Ok () -> Alcotest.fail "bad k_c must revert");
   (* after the deadline the buyer recovers the funds *)
   ignore (Chain.mine m.Marketplace.chain);
@@ -319,7 +319,7 @@ let test_escrow_fairness_onchain () =
   let r2 = Escrow.refund m.Marketplace.escrow m.Marketplace.chain ~buyer:bob ~deal_id in
   (match r2.Chain.status with
   | Ok () -> Alcotest.(check bool) "refunded" true (Chain.balance m.Marketplace.chain bob > before)
-  | Error e -> Alcotest.failf "refund failed: %s" e);
+  | Error e -> Alcotest.failf "refund failed: %s" (Chain.error_to_string e));
   (* honest settlement on a fresh deal still works *)
   let deal2, _ =
     Escrow.lock m.Marketplace.escrow m.Marketplace.chain ~buyer:bob ~seller:alice
@@ -331,7 +331,7 @@ let test_escrow_fairness_onchain () =
   in
   match r3.Chain.status with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "honest settle failed: %s" e
+  | Error e -> Alcotest.failf "honest settle failed: %s" (Chain.error_to_string e)
 
 let () =
   Alcotest.run "zkdet_core"

@@ -30,12 +30,14 @@ let fresh_chain () =
 let ok_status (r : Chain.receipt) =
   match r.Chain.status with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "tx failed: %s (%s)" e r.Chain.tx_label
+  | Error e ->
+    Alcotest.failf "tx failed: %s (%s)" (Chain.error_to_string e) r.Chain.tx_label
 
 let failed_status (r : Chain.receipt) expected =
   match r.Chain.status with
   | Ok () -> Alcotest.failf "tx unexpectedly succeeded (%s)" r.Chain.tx_label
   | Error e ->
+    let e = Chain.error_to_string e in
     if not (String.equal e expected) then
       Alcotest.failf "wrong revert: got %S want %S" e expected
 
@@ -133,8 +135,8 @@ let test_fairswap_cheater_caught () =
   in
   let r2 = Fairswap_escrow.complain fs chain ~buyer:bob ~deal_id:id2 fake_pom in
   (match r2.Chain.status with
-  | Error "complain: delivery was correct" -> ()
-  | Error e -> Alcotest.failf "wrong revert: %s" e
+  | Error (Chain.Revert "complain: delivery was correct") -> ()
+  | Error e -> Alcotest.failf "wrong revert: %s" (Chain.error_to_string e)
   | Ok () -> Alcotest.fail "complaint against honest delivery must revert")
 
 (* Shared setup: a cheating seller with a revealed key, so a valid

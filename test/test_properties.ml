@@ -287,12 +287,11 @@ let storage_codec_roundtrip =
       Array.length back = Array.length arr && Array.for_all2 Fr.equal back arr)
 
 (* ---------------------------------------------------------------- *)
-(* Differential harness: Plonk vs Groth16 on generated circuits.     *)
+(* Differential harness: any two Proof_system backends on generated   *)
+(* circuits (instantiated Plonk vs Groth16 below).                    *)
 (* ---------------------------------------------------------------- *)
 
-(* Universal SRS shared by all generated circuits (gate counts stay well
-   under the padded-domain bound size - 6). *)
-let srs = lazy (Srs.unsafe_generate ~st:(Test_util.rng ~salt:"properties-srs" ()) ~size:128 ())
+module Proof_system = Zkdet_core.Proof_system
 
 (* Proof blinding randomness. Its own stream: determinism of the values
    under test never depends on how much blinding was drawn. *)
@@ -301,38 +300,50 @@ let prover_st = Test_util.rng ~salt:"properties-prover" ()
 let raises_invalid f =
   match f () with _ -> false | exception Invalid_argument _ -> true
 
-let differential_prop (d : Gz.circuit_desc) =
-  let cs, target = Gz.build_circuit d in
-  let compiled = Cs.compile cs in
-  if not (Cs.satisfied compiled) then failwith "generated circuit not satisfied";
-  (* Plonk: universal setup, prove, verify. *)
-  let pk = Preprocess.setup (Lazy.force srs) compiled in
-  let proof = Prover.prove ~st:prover_st pk compiled in
-  let plonk_ok = Verifier.verify pk.Preprocess.vk compiled.Cs.public_values proof in
-  (* Groth16: circuit-specific setup over the SAME compiled gates. *)
-  let gpk = Groth16.setup ~st:prover_st compiled in
-  let gproof = Groth16.prove ~st:prover_st gpk compiled in
-  let groth_ok = Groth16.verify gpk.Groth16.vk compiled.Cs.public_values gproof in
-  (* Witness mutation: bump the output wire of the last arithmetic gate;
-     BOTH systems must reject the mutated witness. *)
-  let mutation_ok =
-    match target with
-    | None -> true
-    | Some c ->
-      let w = Array.copy compiled.Cs.witness in
-      w.(c) <- Fr.add w.(c) Fr.one;
-      let mutated = { compiled with Cs.witness = w } in
-      (not (Cs.satisfied mutated))
-      && raises_invalid (fun () -> Prover.prove ~st:prover_st pk mutated)
-      && (not (Groth16.satisfied gpk.Groth16.pk_r1cs (Groth16.full_witness mutated)))
-      && raises_invalid (fun () -> Groth16.prove ~st:prover_st gpk mutated)
-  in
-  plonk_ok && groth_ok && mutation_ok
+module Differential (A : Proof_system.S) (B : Proof_system.S) = struct
+  module Check (P : Proof_system.S) = struct
+    (* setup + prove + verify + serialization sanity, and rejection of a
+       mutated witness, all through the shared backend signature. *)
+    let run (compiled : Cs.compiled) (target : int option) =
+      let pk = P.setup ~st:prover_st compiled in
+      let proof = P.prove ~st:prover_st pk compiled in
+      let accepts =
+        P.verify (P.vk pk) compiled.Cs.public_values proof
+        && String.length (P.proof_to_bytes proof) = P.proof_size_bytes proof
+      in
+      let rejects_mutation =
+        match target with
+        | None -> true
+        | Some c ->
+          (* bump the output wire of the last arithmetic gate *)
+          let w = Array.copy compiled.Cs.witness in
+          w.(c) <- Fr.add w.(c) Fr.one;
+          let mutated = { compiled with Cs.witness = w } in
+          (not (Cs.satisfied mutated))
+          && raises_invalid (fun () -> P.prove ~st:prover_st pk mutated)
+      in
+      accepts && rejects_mutation
+  end
 
-let differential_plonk_groth16 =
-  (* >= 50 generated circuits per default run (scaled by ITERS). *)
-  prop ~count:50 "differential: Plonk vs Groth16" Gz.pp_circuit_desc
-    Gz.circuit_desc differential_prop
+  module Check_a = Check (A)
+  module Check_b = Check (B)
+
+  let check (d : Gz.circuit_desc) =
+    let cs, target = Gz.build_circuit d in
+    let compiled = Cs.compile cs in
+    if not (Cs.satisfied compiled) then failwith "generated circuit not satisfied";
+    Check_a.run compiled target && Check_b.run compiled target
+
+  let property =
+    (* >= 50 generated circuits per default run (scaled by ITERS). *)
+    prop ~count:50
+      (Printf.sprintf "differential: %s vs %s" A.name B.name)
+      Gz.pp_circuit_desc Gz.circuit_desc check
+end
+
+module Diff_plonk_groth16 = Differential (Proof_system.Plonk) (Proof_system.Groth16)
+
+let differential_plonk_groth16 = Diff_plonk_groth16.property
 
 (* ---------------------------------------------------------------- *)
 (* Model-based contract testing.                                     *)
