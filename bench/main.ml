@@ -684,8 +684,11 @@ let proptest_smoke ~scale () =
 let setup_exp () =
   header "Setup smoke: SRS -> preprocess -> prove -> verify (2^10 gates)";
   let n = 1 lsl 10 in
+  (* Served from the ZKDET_SRS_CACHE disk cache when the variable is set:
+     a warm second run skips the ceremony entirely (no "srs.generate" span
+     in the telemetry snapshot). *)
   let srs, srs_t =
-    wall (fun () -> Srs.unsafe_generate ~st:rng ~size:(n + 8) ())
+    wall (fun () -> Srs.load_or_generate ~st:rng ~size:(n + 8) ())
   in
   let compiled = Cs.compile (filler_circuit ~gates:n ()) in
   let pk, pre_t = wall (fun () -> Preprocess.setup srs compiled) in
@@ -706,6 +709,112 @@ let setup_exp () =
       ("total", srs_t +. pre_t +. prove_t +. verify_t) ]
 
 (* ---------------------------------------------------------------- *)
+(* Codec: canonical wire-format encode/decode throughput              *)
+(* ---------------------------------------------------------------- *)
+
+let codec_exp ~scale () =
+  header "Codec: canonical wire format encode/decode throughput";
+  let module C = Zkdet_codec.Codec in
+  let module Groth16 = Zkdet_groth16.Groth16 in
+  let module Chain = Zkdet_chain.Chain in
+  let module Storage = Zkdet_storage.Storage in
+  let iters = 500 * scale in
+  Printf.printf "%-26s %10s %14s %14s\n" "artifact" "bytes" "encode (us)"
+    "decode (us)";
+  (* Polymorphic so one helper covers every artifact; decode runs on the
+     bytes encode produced, so the loop also re-validates canonicity. *)
+  let bench : 'a. string -> ?iters:int -> 'a C.t -> 'a -> unit =
+    fun name ?(iters = iters) codec value ->
+     let bytes = C.encode codec value in
+     let (), enc_t =
+       wall (fun () ->
+           for _ = 1 to iters do
+             ignore (C.encode codec value)
+           done)
+     in
+     let (), dec_t =
+       wall (fun () ->
+           for _ = 1 to iters do
+             match C.decode codec bytes with
+             | Ok _ -> ()
+             | Error e -> failwith (C.error_to_string e)
+           done)
+     in
+     let per t = 1e6 *. t /. float_of_int iters in
+     emit_row
+       [ jstr "artifact" name; jint "bytes" (String.length bytes);
+         jint "iters" iters; jfloat "encode_us" (per enc_t);
+         jfloat "decode_us" (per dec_t) ];
+     Printf.printf "%-26s %10d %14.2f %14.2f\n%!" name (String.length bytes)
+       (per enc_t) (per dec_t)
+  in
+  let p = G1.random rng in
+  bench "fr" Fr.codec (Fr.random rng);
+  bench "g1-compressed" G1.codec p;
+  bench "g1-uncompressed" G1.codec_uncompressed p;
+  bench "g2-compressed" Zkdet_curve.G2.codec (Zkdet_curve.G2.random rng);
+  (* proof-system artifacts over a real (small) circuit *)
+  let compiled = Cs.compile (filler_circuit ~gates:64 ()) in
+  let srs = Srs.unsafe_generate ~st:rng ~size:128 () in
+  let pk = Preprocess.setup srs compiled in
+  let proof = Prover.prove ~st:(Random.State.make [| 7 |]) pk compiled in
+  bench "plonk-proof" Proof.codec proof;
+  bench "plonk-vk" Preprocess.vk_codec pk.Preprocess.vk;
+  let g16_pk = Groth16.setup ~st:rng compiled in
+  let g16_proof = Groth16.prove ~st:rng g16_pk compiled in
+  bench "groth16-proof" Groth16.proof_codec g16_proof;
+  bench "groth16-vk" Groth16.vk_codec g16_pk.Groth16.vk;
+  (* bulk artifacts: fewer iterations, decode dominated by validation *)
+  let bulk = max 1 (iters / 50) in
+  bench "srs-128" ~iters:bulk Srs.codec srs;
+  let chain = Chain.create () in
+  let alice = Chain.Address.of_seed "alice" in
+  Chain.faucet chain alice 1_000_000;
+  for i = 1 to 20 do
+    ignore
+      (Chain.execute chain ~sender:alice ~label:(Printf.sprintf "bench:tx%d" i)
+         (fun env ->
+           Chain.emit env ~contract:"bench" ~name:"Tick" ~data:[ string_of_int i ]));
+    if i mod 5 = 0 then ignore (Chain.mine chain)
+  done;
+  Chain.storage_set chain ~contract:"bench" ~key:"k" ~value:"v";
+  bench "chain-snapshot-20tx" ~iters:bulk Chain.snapshot_codec chain;
+  bench "storage-manifest-64" Storage.manifest_codec
+    (List.init 64 (fun i -> Storage.Cid.of_bytes (string_of_int i)));
+  (* the raw-concat dataset encoding sits outside the combinator library *)
+  let data = Array.init 256 (fun i -> Fr.of_int (i * 31)) in
+  let ds_bytes = Storage.Codec.encode data in
+  let (), ds_enc = wall (fun () -> for _ = 1 to iters do ignore (Storage.Codec.encode data) done) in
+  let (), ds_dec =
+    wall (fun () ->
+        for _ = 1 to iters do
+          match Storage.Codec.decode_result ds_bytes with
+          | Ok _ -> ()
+          | Error e -> failwith e
+        done)
+  in
+  emit_row
+    [ jstr "artifact" "dataset-256"; jint "bytes" (String.length ds_bytes);
+      jint "iters" iters; jfloat "encode_us" (1e6 *. ds_enc /. float_of_int iters);
+      jfloat "decode_us" (1e6 *. ds_dec /. float_of_int iters) ];
+  Printf.printf "%-26s %10d %14.2f %14.2f\n%!" "dataset-256"
+    (String.length ds_bytes)
+    (1e6 *. ds_enc /. float_of_int iters)
+    (1e6 *. ds_dec /. float_of_int iters);
+  (* the layer's own counters, from the snapshot embedded in the JSON *)
+  let report = Telemetry.snapshot () in
+  List.iter
+    (fun (c : Telemetry.Report.counter) ->
+      if String.length c.Telemetry.Report.counter_name >= 6
+         && String.sub c.Telemetry.Report.counter_name 0 6 = "codec." then
+        Printf.printf "%s = %d\n" c.Telemetry.Report.counter_name
+          c.Telemetry.Report.total)
+    report.Telemetry.Report.counters;
+  print_endline
+    "shape check: compressed points decode slower than uncompressed (sqrt\n\
+     per point) but halve the bytes; all decoders re-validate on every run."
+
+(* ---------------------------------------------------------------- *)
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -723,7 +832,7 @@ let () =
       (fun a ->
         List.mem a
           [ "setup"; "fig5"; "fig6"; "fig7"; "fairswap"; "table1"; "table2";
-            "micro"; "parallel"; "proptest"; "all" ])
+            "micro"; "parallel"; "proptest"; "codec"; "all" ])
       args
   in
   let which = if which = [] then [ "all" ] else which in
@@ -753,6 +862,7 @@ let () =
     run_experiment "parallel" (parallel_bench ~scale);
   if run || List.mem "proptest" which then
     run_experiment "proptest" (proptest_smoke ~scale);
+  if run || List.mem "codec" which then run_experiment "codec" (codec_exp ~scale);
   if run || List.mem "micro" which then run_experiment "micro" micro;
   Telemetry.maybe_write_trace ();
   Printf.printf "\ntotal bench wall time: %.1f s\n" (Unix.gettimeofday () -. t0)

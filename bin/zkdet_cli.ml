@@ -7,7 +7,13 @@
      dune exec bin/zkdet_cli.exe -- selftest --profile
                                                 # + telemetry span tree
      dune exec bin/zkdet_cli.exe -- trace-check trace.jsonl
-                                                # validate a ZKDET_TRACE file *)
+                                                # validate a ZKDET_TRACE file
+     dune exec bin/zkdet_cli.exe -- prove --backend plonk --out proof.bin
+     dune exec bin/zkdet_cli.exe -- verify proof.bin
+                                                # cross-process prove/verify
+     dune exec bin/zkdet_cli.exe -- chain-snapshot --out chain.bin
+     dune exec bin/zkdet_cli.exe -- chain-restore chain.bin
+                                                # ledger state round-trip *)
 
 module Fr = Zkdet_field.Bn254.Fr
 module Fp = Zkdet_field.Bn254.Fp
@@ -15,7 +21,23 @@ module Nat = Zkdet_num.Nat
 module Ceremony = Zkdet_kzg.Ceremony
 module Telemetry = Zkdet_telemetry.Telemetry
 module Json = Zkdet_telemetry.Json
+module Codec = Zkdet_codec.Codec
+module Cs = Zkdet_plonk.Cs
+module Proof_system = Zkdet_core.Proof_system
+module Chain = Zkdet_chain.Chain
 open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
 
 let params_cmd =
   let run () =
@@ -156,9 +178,196 @@ let trace_check_cmd =
     (Cmd.info "trace-check" ~doc:"Validate a JSONL telemetry trace file")
     Term.(const run $ file)
 
+(* ------------------------------------------------------------------ *)
+(* Cross-process prove / verify.
+
+   [prove] writes a self-contained "ZBDL" bundle — backend name, public
+   inputs, verification key and proof, all in canonical wire form — so a
+   separate [verify] invocation (or another machine) can check the proof
+   from bytes alone. *)
+
+let bundle_codec : (string * (Fr.t list * (string * string))) Codec.t =
+  Codec.with_context "zkdet.bundle"
+    (Codec.envelope ~magic:"ZBDL" ~version:1
+       (Codec.pair Codec.str
+          (Codec.pair (Codec.list Fr.codec) (Codec.pair Codec.bytes Codec.bytes))))
+
+(* Deterministic demo circuit: for secret x, y derived from [seed], prove
+   knowledge of factors behind the public product x*y and sum x+y. *)
+let demo_circuit ~seed =
+  let st = Random.State.make [| seed; 0 |] in
+  let x = Fr.random st and y = Fr.random st in
+  let cs = Cs.create () in
+  let prod_pub = Cs.public_input cs (Fr.mul x y) in
+  let sum_pub = Cs.public_input cs (Fr.add x y) in
+  let xw = Cs.fresh cs x in
+  let yw = Cs.fresh cs y in
+  Cs.assert_equal cs (Cs.mul cs xw yw) prod_pub;
+  Cs.assert_equal cs (Cs.add cs xw yw) sum_pub;
+  Cs.compile cs
+
+let backend_arg =
+  Arg.(
+    value
+    & opt string "plonk"
+    & info [ "backend" ] ~docv:"NAME" ~doc:"Proof system: plonk or groth16")
+
+let seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~docv:"N" ~doc:"Deterministic seed for the demo circuit")
+
+let prove_cmd =
+  let out =
+    Arg.(
+      value & opt string "proof.bin"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Bundle output path")
+  in
+  let run backend seed out =
+    match Proof_system.by_name backend with
+    | None ->
+      Printf.eprintf "zkdet: unknown backend %S (try plonk or groth16)\n" backend;
+      exit 2
+    | Some (module B) ->
+      let compiled = demo_circuit ~seed in
+      (* Separate RNG streams for setup and proving, so the proof bytes do
+         not depend on whether setup was served from the SRS cache. *)
+      let pk = B.setup ~st:(Random.State.make [| seed; 1 |]) compiled in
+      let proof = B.prove ~st:(Random.State.make [| seed; 2 |]) pk compiled in
+      let vk = B.vk pk in
+      let publics = Array.to_list compiled.Cs.public_values in
+      if not (B.verify vk compiled.Cs.public_values proof) then begin
+        prerr_endline "zkdet: freshly generated proof failed to verify";
+        exit 1
+      end;
+      let bundle =
+        Codec.encode bundle_codec
+          (B.name, (publics, (B.vk_to_bytes vk, B.proof_to_bytes proof)))
+      in
+      write_file out bundle;
+      Printf.printf "wrote %s: backend=%s publics=%d proof=%d bytes bundle=%d bytes\n"
+        out B.name (List.length publics)
+        (B.proof_size_bytes proof) (String.length bundle);
+      Telemetry.maybe_write_trace ()
+  in
+  Cmd.v
+    (Cmd.info "prove"
+       ~doc:"Prove the demo statement and write a portable proof bundle")
+    Term.(const run $ backend_arg $ seed_arg $ out)
+
+let verify_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Proof bundle written by [prove]")
+  in
+  let run file =
+    let bytes = read_file file in
+    match Codec.decode bundle_codec bytes with
+    | Error e ->
+      Printf.printf "verify FAILED: %s\n" (Codec.error_to_string e);
+      exit 1
+    | Ok (backend, (publics, (vk_bytes, proof_bytes))) -> (
+      match Proof_system.by_name backend with
+      | None ->
+        Printf.printf "verify FAILED: bundle names unknown backend %S\n" backend;
+        exit 1
+      | Some (module B) -> (
+        match (B.vk_of_bytes vk_bytes, B.proof_of_bytes proof_bytes) with
+        | Error e, _ ->
+          Printf.printf "verify FAILED: bad verification key: %s\n"
+            (Codec.error_to_string e);
+          exit 1
+        | _, Error e ->
+          Printf.printf "verify FAILED: bad proof: %s\n" (Codec.error_to_string e);
+          exit 1
+        | Ok vk, Ok proof ->
+          let ok = B.verify vk (Array.of_list publics) proof in
+          Printf.printf "verify %s: backend=%s publics=%d\n"
+            (if ok then "OK" else "FAILED")
+            backend (List.length publics);
+          if not ok then exit 1))
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Verify a proof bundle from bytes alone (separate process)")
+    Term.(const run $ file)
+
+(* ------------------------------------------------------------------ *)
+(* Ledger snapshot / restore. *)
+
+(* Deterministic demo ledger: a mint, a mined block, a pending bid and
+   some contract storage — enough to exercise every snapshot field. *)
+let demo_chain () =
+  let chain = Chain.create () in
+  let alice = Chain.Address.of_seed "alice" in
+  let bob = Chain.Address.of_seed "bob" in
+  Chain.faucet chain alice 1_000_000;
+  Chain.faucet chain bob 250_000;
+  ignore
+    (Chain.execute chain ~sender:alice ~label:"registry:mint" (fun env ->
+         Chain.emit env ~contract:"registry" ~name:"Mint"
+           ~data:[ "token-1"; alice ]));
+  Chain.storage_set chain ~contract:"registry" ~key:"token-1/owner" ~value:alice;
+  Chain.storage_set chain ~contract:"registry" ~key:"token-1/uri"
+    ~value:"zb00demo";
+  ignore (Chain.mine chain);
+  ignore
+    (Chain.execute chain ~sender:bob ~label:"market:bid" (fun env ->
+         Chain.emit env ~contract:"market" ~name:"Bid" ~data:[ "token-1"; "42" ]));
+  chain
+
+let chain_snapshot_cmd =
+  let out =
+    Arg.(
+      value & opt string "chain.bin"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Snapshot output path")
+  in
+  let run out =
+    let chain = demo_chain () in
+    let bytes = Chain.snapshot chain in
+    write_file out bytes;
+    Printf.printf "wrote %s: %d bytes, %d block(s), %d pending\nstate hash: %s\n"
+      out (String.length bytes) (Chain.block_count chain)
+      (Chain.pending_count chain) (Chain.state_hash chain)
+  in
+  Cmd.v
+    (Cmd.info "chain-snapshot"
+       ~doc:"Serialize the demo ledger state to a canonical snapshot")
+    Term.(const run $ out)
+
+let chain_restore_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Snapshot written by [chain-snapshot]")
+  in
+  let run file =
+    let bytes = read_file file in
+    match Chain.restore bytes with
+    | Error e ->
+      Printf.printf "chain-restore FAILED: %s\n" (Codec.error_to_string e);
+      exit 1
+    | Ok chain ->
+      let reencoded = Chain.snapshot chain in
+      let ok = String.equal reencoded bytes && Chain.validate chain in
+      Printf.printf "restored %d block(s), %d pending\nstate hash: %s\n"
+        (Chain.block_count chain) (Chain.pending_count chain)
+        (Chain.state_hash chain);
+      Printf.printf "round-trip %s\n" (if ok then "OK" else "FAILED");
+      if not ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "chain-restore"
+       ~doc:"Restore a ledger snapshot and re-verify its canonical bytes")
+    Term.(const run $ file)
+
 let () =
   let doc = "ZKDET: traceable, privacy-preserving data exchange" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "zkdet" ~doc)
-          [ params_cmd; selftest_cmd; ceremony_cmd; trace_check_cmd ]))
+          [ params_cmd; selftest_cmd; ceremony_cmd; trace_check_cmd;
+            prove_cmd; verify_cmd; chain_snapshot_cmd; chain_restore_cmd ]))

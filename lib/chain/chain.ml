@@ -8,6 +8,7 @@
 module Sha256 = Zkdet_hash.Sha256
 module Keccak256 = Zkdet_hash.Keccak256
 module Telemetry = Zkdet_telemetry.Telemetry
+module C = Zkdet_codec.Codec
 
 module Address = struct
   type t = string (* 0x + 40 hex chars *)
@@ -79,6 +80,8 @@ type t = {
   gas_limit : int; (* per transaction *)
   block_gas_limit : int;
   gas_price : int;
+  storage : (string, (string, string) Hashtbl.t) Hashtbl.t;
+      (* per-contract key/value store *)
 }
 
 let genesis_validator = Address.of_seed "validator-0"
@@ -107,7 +110,25 @@ let create ?(validators = [| genesis_validator |]) ?(gas_limit = 30_000_000)
     gas_limit;
     block_gas_limit;
     gas_price;
+    storage = Hashtbl.create 8;
   }
+
+(* Per-contract key/value storage (the simulator's analogue of contract
+   state slots). *)
+let storage_set (chain : t) ~contract ~key ~value =
+  let tbl =
+    match Hashtbl.find_opt chain.storage contract with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = Hashtbl.create 8 in
+      Hashtbl.add chain.storage contract tbl;
+      tbl
+  in
+  Hashtbl.replace tbl key value
+
+let storage_get (chain : t) ~contract ~key =
+  Option.bind (Hashtbl.find_opt chain.storage contract) (fun tbl ->
+      Hashtbl.find_opt tbl key)
 
 let balance (chain : t) (a : Address.t) =
   Option.value ~default:0 (Hashtbl.find_opt chain.balances a)
@@ -287,3 +308,172 @@ let validate (chain : t) : bool =
       && go rest
   in
   go chain.blocks
+
+(* ------------------------------------------------------------------ *)
+(* Canonical snapshots ("ZCHN" envelope, version 1; see FORMATS.md).
+
+   The whole ledger state serializes to one deterministic byte string:
+   hashtables are emitted as key-sorted association lists, blocks oldest
+   first, pending transactions in arrival order (as hashes into the
+   receipt table).  [state_hash] is the SHA-256 of the snapshot, so two
+   chains agree on their hash iff they agree on their observable state. *)
+
+let event_codec : event C.t =
+  C.map
+    (fun e -> (e.event_contract, e.event_name, e.event_data))
+    (fun (event_contract, event_name, event_data) ->
+      { event_contract; event_name; event_data })
+    (C.triple C.str C.str (C.list C.str))
+
+let error_codec : error C.t =
+  C.union "chain.error"
+    [
+      C.case ~tag:0
+        (C.triple C.str C.u64 C.u64)
+        (fun (account, needed, available) ->
+          Insufficient_funds { account; needed; available })
+        (function
+          | Insufficient_funds { account; needed; available } ->
+            Some (account, needed, available)
+          | _ -> None);
+      C.case ~tag:1 C.empty
+        (fun () -> Out_of_gas)
+        (function Out_of_gas -> Some () | _ -> None);
+      C.case ~tag:2 C.str
+        (fun msg : error -> Revert msg)
+        (function (Revert msg : error) -> Some msg | _ -> None);
+      C.case ~tag:3 (C.pair C.u64 C.u64)
+        (fun (needed, available) -> Fee_unpaid { needed; available })
+        (function
+          | Fee_unpaid { needed; available } -> Some (needed, available)
+          | _ -> None);
+    ]
+
+let status_codec : (unit, error) result C.t =
+  C.union "chain.status"
+    [
+      C.case ~tag:0 C.empty
+        (fun () -> Ok ())
+        (function Ok () -> Some () | Error _ -> None);
+      C.case ~tag:1 error_codec
+        (fun e -> Error e)
+        (function Error e -> Some e | Ok () -> None);
+    ]
+
+let receipt_codec : receipt C.t =
+  C.map
+    (fun r ->
+      ( (r.tx_hash, r.tx_label, r.sender),
+        (r.gas_used, r.status, r.events),
+        r.block_number ))
+    (fun ( (tx_hash, tx_label, sender),
+           (gas_used, status, events),
+           block_number ) ->
+      { tx_hash; tx_label; sender; gas_used; status; events; block_number })
+    (C.triple
+       (C.triple C.str C.str C.str)
+       (C.triple C.u64 status_codec (C.list event_codec))
+       (C.option C.u32))
+
+let block_codec : block C.t =
+  C.map
+    (fun b ->
+      ( (b.number, b.parent_hash, b.tx_root),
+        (b.tx_hashes, b.timestamp),
+        (b.validator, b.block_hash) ))
+    (fun ( (number, parent_hash, tx_root),
+           (tx_hashes, timestamp),
+           (validator, block_hash) ) ->
+      { number; parent_hash; tx_root; tx_hashes; timestamp; validator;
+        block_hash })
+    (C.triple
+       (C.triple C.u64 C.str C.str)
+       (C.pair (C.list C.str) C.u64)
+       (C.pair C.str C.str))
+
+let sorted_bindings (tbl : (string, 'a) Hashtbl.t) : (string * 'a) list =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let snapshot_codec : t C.t =
+  let payload =
+    C.pair
+      (C.pair
+         (C.pair (C.list (C.pair C.str C.u64)) (C.pair C.u64 C.u64))
+         (C.pair (C.triple C.u64 C.u64 C.u64) (C.list C.str)))
+      (C.pair
+         (C.pair (C.list block_codec) (C.list receipt_codec))
+         (C.pair (C.list C.str)
+            (C.list (C.pair C.str (C.list (C.pair C.str C.str))))))
+  in
+  let proj (chain : t) =
+    let balances = sorted_bindings chain.balances in
+    let receipts =
+      List.sort
+        (fun a b -> String.compare a.tx_hash b.tx_hash)
+        (Hashtbl.fold (fun _ r acc -> r :: acc) chain.receipts [])
+    in
+    let storage =
+      sorted_bindings chain.storage
+      |> List.map (fun (c, tbl) -> (c, sorted_bindings tbl))
+    in
+    ( ( (balances, (chain.nonce, chain.clock)),
+        ( (chain.gas_limit, chain.block_gas_limit, chain.gas_price),
+          Array.to_list chain.validators ) ),
+      ( (List.rev chain.blocks, receipts),
+        (List.rev_map (fun r -> r.tx_hash) chain.pending, storage) ) )
+  in
+  let inj
+      ( ( (balances, (nonce, clock)),
+          ((gas_limit, block_gas_limit, gas_price), validators) ),
+        ((blocks, receipts), (pending, storage)) ) =
+    if validators = [] then Error "snapshot has no validators"
+    else if blocks = [] then Error "snapshot has no blocks"
+    else begin
+      let balances_tbl = Hashtbl.create 16 in
+      List.iter (fun (a, v) -> Hashtbl.replace balances_tbl a v) balances;
+      let receipts_tbl = Hashtbl.create 64 in
+      List.iter (fun r -> Hashtbl.replace receipts_tbl r.tx_hash r) receipts;
+      let storage_tbl = Hashtbl.create 8 in
+      List.iter
+        (fun (c, kvs) ->
+          let tbl = Hashtbl.create 8 in
+          List.iter (fun (k, v) -> Hashtbl.replace tbl k v) kvs;
+          Hashtbl.replace storage_tbl c tbl)
+        storage;
+      (* Pending transactions are hashes into the receipt table; each must
+         resolve to a receipt not yet sealed into a block. *)
+      let rec resolve acc = function
+        | [] -> Ok acc (* acc is newest first, the in-memory order *)
+        | h :: rest -> (
+          match Hashtbl.find_opt receipts_tbl h with
+          | Some ({ block_number = None; _ } as r) -> resolve (r :: acc) rest
+          | Some _ -> Error "pending receipt already sealed in a block"
+          | None -> Error "pending tx hash has no receipt")
+      in
+      match resolve [] pending with
+      | Error _ as e -> e
+      | Ok pending ->
+        Ok
+          {
+            balances = balances_tbl;
+            nonce;
+            pending;
+            blocks = List.rev blocks;
+            receipts = receipts_tbl;
+            validators = Array.of_list validators;
+            clock;
+            gas_limit;
+            block_gas_limit;
+            gas_price;
+            storage = storage_tbl;
+          }
+    end
+  in
+  C.with_context "chain.snapshot"
+    (C.envelope ~magic:"ZCHN" ~version:1 (C.conv proj inj payload))
+
+let snapshot (chain : t) : string = C.encode snapshot_codec chain
+let restore (bytes : string) : (t, C.error) result = C.decode snapshot_codec bytes
+let state_hash (chain : t) : string = Sha256.digest_hex (snapshot chain)

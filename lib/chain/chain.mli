@@ -107,3 +107,26 @@ val receipt : t -> string -> receipt option
 val validate : t -> bool
 (** Re-check hash links, PoA rotation and transaction Merkle roots of the
     whole chain. *)
+
+val storage_set : t -> contract:string -> key:string -> value:string -> unit
+(** Write a per-contract storage slot (created on first write). *)
+
+val storage_get : t -> contract:string -> key:string -> string option
+
+val snapshot_codec : t Zkdet_codec.Codec.t
+(** Canonical ledger snapshot: a ["ZCHN"] envelope (version 1) holding
+    balances, counters, gas parameters, validators, blocks, receipts,
+    pending transactions and per-contract storage, all deterministically
+    ordered (see FORMATS.md). *)
+
+val snapshot : t -> string
+(** Serialize the whole ledger state. Deterministic: equal observable
+    state yields equal bytes. *)
+
+val restore : string -> (t, Zkdet_codec.Codec.error) result
+(** Rebuild a chain from {!snapshot} bytes. Total on untrusted input;
+    rejects snapshots with no validators, no blocks, or pending hashes
+    that do not resolve to an unsealed receipt. *)
+
+val state_hash : t -> string
+(** SHA-256 (hex) of {!snapshot} — a commitment to the ledger state. *)

@@ -1,0 +1,321 @@
+(* Canonical binary codec combinators.  See codec.mli and FORMATS.md for
+   the wire-format rules every codec in the repo follows. *)
+
+module Telemetry = Zkdet_telemetry.Telemetry
+
+type error =
+  | Truncated of { context : string; needed : int; available : int }
+  | Trailing of { context : string; extra : int }
+  | Bad_magic of { context : string; got : string }
+  | Bad_version of { context : string; expected : int; got : int }
+  | Bad_tag of { context : string; tag : int }
+  | Invalid of { context : string; reason : string }
+
+let error_to_string = function
+  | Truncated { context; needed; available } ->
+    Printf.sprintf "%s: truncated input (needed %d byte(s), %d available)"
+      context needed available
+  | Trailing { context; extra } ->
+    Printf.sprintf "%s: %d trailing byte(s) after a complete value" context extra
+  | Bad_magic { context; got } ->
+    Printf.sprintf "%s: bad magic %S" context got
+  | Bad_version { context; expected; got } ->
+    Printf.sprintf "%s: unsupported format version %d (expected %d)" context got
+      expected
+  | Bad_tag { context; tag } ->
+    Printf.sprintf "%s: unknown tag 0x%02x" context tag
+  | Invalid { context; reason } -> Printf.sprintf "%s: %s" context reason
+
+let pp_error fmt e = Format.pp_print_string fmt (error_to_string e)
+
+(* Internal control flow: readers signal failure by raising [Fail]; the
+   exception never escapes [decode]. *)
+exception Fail of error
+
+type reader = { buf : string; mutable pos : int }
+
+let remaining r = String.length r.buf - r.pos
+
+let need ctx r n =
+  if n < 0 || remaining r < n then
+    raise (Fail (Truncated { context = ctx; needed = n; available = remaining r }))
+
+let take ctx r n =
+  need ctx r n;
+  let s = String.sub r.buf r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+type 'a t = { ctx : string; write : Buffer.t -> 'a -> unit; read : reader -> 'a }
+
+let encode c v =
+  let b = Buffer.create 64 in
+  c.write b v;
+  let s = Buffer.contents b in
+  Telemetry.count "codec.bytes_written" (String.length s);
+  s
+
+let decode c s =
+  let r = { buf = s; pos = 0 } in
+  let result =
+    match c.read r with
+    | v ->
+      if r.pos = String.length s then Ok v
+      else Error (Trailing { context = c.ctx; extra = String.length s - r.pos })
+    | exception Fail e -> Error e
+    | exception Stack_overflow -> Error (Invalid { context = c.ctx; reason = "stack overflow" })
+    | exception exn ->
+      Error (Invalid { context = c.ctx; reason = Printexc.to_string exn })
+  in
+  (match result with Error _ -> Telemetry.count "codec.decode_failures" 1 | Ok _ -> ());
+  result
+
+(* ------------------------------------------------------------------ *)
+(* Primitives                                                          *)
+
+let read_be ctx width r =
+  need ctx r width;
+  let v = ref 0 in
+  for i = 0 to width - 1 do
+    v := (!v lsl 8) lor Char.code r.buf.[r.pos + i]
+  done;
+  r.pos <- r.pos + width;
+  !v
+
+let check_range ctx lo hi v =
+  if v < lo || v > hi then
+    invalid_arg (Printf.sprintf "Codec.%s: value %d out of range" ctx v)
+
+let u8 =
+  { ctx = "u8";
+    write = (fun b v -> check_range "u8" 0 0xff v; Buffer.add_uint8 b v);
+    read = (fun r -> read_be "u8" 1 r) }
+
+let u16 =
+  { ctx = "u16";
+    write = (fun b v -> check_range "u16" 0 0xffff v; Buffer.add_uint16_be b v);
+    read = (fun r -> read_be "u16" 2 r) }
+
+let u32 =
+  { ctx = "u32";
+    write =
+      (fun b v ->
+        check_range "u32" 0 0xffffffff v;
+        Buffer.add_uint8 b ((v lsr 24) land 0xff);
+        Buffer.add_uint8 b ((v lsr 16) land 0xff);
+        Buffer.add_uint8 b ((v lsr 8) land 0xff);
+        Buffer.add_uint8 b (v land 0xff));
+    read = (fun r -> read_be "u32" 4 r) }
+
+let u64 =
+  { ctx = "u64";
+    write =
+      (fun b v ->
+        if v < 0 then invalid_arg "Codec.u64: negative value";
+        Buffer.add_int64_be b (Int64.of_int v));
+    read =
+      (fun r ->
+        need "u64" r 8;
+        (* OCaml ints are 63-bit: anything with either of the top two bits
+           set does not round-trip, so reject it. *)
+        if Char.code r.buf.[r.pos] > 0x3f then
+          raise (Fail (Invalid { context = "u64"; reason = "value exceeds native int range" }));
+        read_be "u64" 8 r) }
+
+let bool =
+  { ctx = "bool";
+    write = (fun b v -> Buffer.add_uint8 b (if v then 1 else 0));
+    read =
+      (fun r ->
+        match read_be "bool" 1 r with
+        | 0 -> false
+        | 1 -> true
+        | n -> raise (Fail (Invalid { context = "bool"; reason = Printf.sprintf "non-canonical bool byte 0x%02x" n }))) }
+
+let bytes_fixed n =
+  if n < 0 then invalid_arg "Codec.bytes_fixed: negative size";
+  { ctx = "bytes_fixed";
+    write =
+      (fun b s ->
+        if String.length s <> n then
+          invalid_arg
+            (Printf.sprintf "Codec.bytes_fixed: expected %d bytes, got %d" n
+               (String.length s));
+        Buffer.add_string b s);
+    read = (fun r -> take "bytes_fixed" r n) }
+
+let bytes =
+  { ctx = "bytes";
+    write =
+      (fun b s ->
+        u32.write b (String.length s);
+        Buffer.add_string b s);
+    read =
+      (fun r ->
+        let n = u32.read r in
+        take "bytes" r n) }
+
+let str = bytes
+
+(* ------------------------------------------------------------------ *)
+(* Combinators                                                         *)
+
+let pair a b =
+  { ctx = "pair";
+    write = (fun buf (x, y) -> a.write buf x; b.write buf y);
+    read = (fun r -> let x = a.read r in let y = b.read r in (x, y)) }
+
+let triple a b c =
+  { ctx = "triple";
+    write = (fun buf (x, y, z) -> a.write buf x; b.write buf y; c.write buf z);
+    read =
+      (fun r ->
+        let x = a.read r in
+        let y = b.read r in
+        let z = c.read r in
+        (x, y, z)) }
+
+let quad a b c d =
+  { ctx = "quad";
+    write =
+      (fun buf (x, y, z, w) ->
+        a.write buf x; b.write buf y; c.write buf z; d.write buf w);
+    read =
+      (fun r ->
+        let x = a.read r in
+        let y = b.read r in
+        let z = c.read r in
+        let w = d.read r in
+        (x, y, z, w)) }
+
+let list item =
+  { ctx = "list";
+    write =
+      (fun buf xs ->
+        u32.write buf (List.length xs);
+        List.iter (item.write buf) xs);
+    read =
+      (fun r ->
+        let n = u32.read r in
+        (* Every item consumes at least one byte, so a count exceeding the
+           remaining bytes can never decode; reject it before allocating. *)
+        if n > remaining r then
+          raise (Fail (Truncated { context = "list"; needed = n; available = remaining r }));
+        let rec go acc k = if k = 0 then List.rev acc else go (item.read r :: acc) (k - 1) in
+        go [] n) }
+
+let array item =
+  let l = list item in
+  { ctx = "array";
+    write = (fun buf xs -> l.write buf (Array.to_list xs));
+    read = (fun r -> Array.of_list (l.read r)) }
+
+let exactly n item =
+  if n < 0 then invalid_arg "Codec.exactly: negative count";
+  { ctx = "exactly";
+    write =
+      (fun buf xs ->
+        if List.length xs <> n then
+          invalid_arg
+            (Printf.sprintf "Codec.exactly: expected %d items, got %d" n
+               (List.length xs));
+        List.iter (item.write buf) xs);
+    read =
+      (fun r ->
+        let rec go acc k = if k = 0 then List.rev acc else go (item.read r :: acc) (k - 1) in
+        go [] n) }
+
+let option item =
+  { ctx = "option";
+    write =
+      (fun buf -> function
+        | None -> Buffer.add_uint8 buf 0
+        | Some v ->
+          Buffer.add_uint8 buf 1;
+          item.write buf v);
+    read =
+      (fun r ->
+        match read_be "option" 1 r with
+        | 0 -> None
+        | 1 -> Some (item.read r)
+        | n -> raise (Fail (Bad_tag { context = "option"; tag = n }))) }
+
+let conv proj inj c =
+  { ctx = c.ctx;
+    write = (fun buf v -> c.write buf (proj v));
+    read =
+      (fun r ->
+        let raw = c.read r in
+        match inj raw with
+        | Ok v -> v
+        | Error reason -> raise (Fail (Invalid { context = c.ctx; reason }))) }
+
+let map proj inj c = conv proj (fun v -> Ok (inj v)) c
+
+let empty = { ctx = "empty"; write = (fun _ () -> ()); read = (fun _ -> ()) }
+
+(* ------------------------------------------------------------------ *)
+(* Tagged unions                                                       *)
+
+type 'a case =
+  | Case : { tag : int; codec : 'b t; inj : 'b -> 'a; proj : 'a -> 'b option }
+      -> 'a case
+
+let case ~tag codec inj proj =
+  if tag < 0 || tag > 0xff then invalid_arg "Codec.case: tag out of byte range";
+  Case { tag; codec; inj; proj }
+
+let union ctx cases =
+  { ctx;
+    write =
+      (fun buf v ->
+        let rec go = function
+          | [] -> invalid_arg (Printf.sprintf "Codec.union(%s): no case matches value" ctx)
+          | Case c :: rest -> (
+            match c.proj v with
+            | Some payload ->
+              Buffer.add_uint8 buf c.tag;
+              c.codec.write buf payload
+            | None -> go rest)
+        in
+        go cases);
+    read =
+      (fun r ->
+        let tag = read_be ctx 1 r in
+        match
+          List.find_opt (fun (Case c) -> c.tag = tag) cases
+        with
+        | Some (Case c) -> c.inj (c.codec.read r)
+        | None -> raise (Fail (Bad_tag { context = ctx; tag }))) }
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+
+let envelope ~magic ~version c =
+  if String.length magic <> 4 then invalid_arg "Codec.envelope: magic must be 4 bytes";
+  if version < 0 || version > 0xffff then invalid_arg "Codec.envelope: bad version";
+  let ctx = Printf.sprintf "envelope(%s)" magic in
+  { ctx;
+    write =
+      (fun buf v ->
+        Buffer.add_string buf magic;
+        Buffer.add_uint16_be buf version;
+        c.write buf v);
+    read =
+      (fun r ->
+        let got = take ctx r 4 in
+        if not (String.equal got magic) then
+          raise (Fail (Bad_magic { context = ctx; got }));
+        let got_version = read_be ctx 2 r in
+        if got_version <> version then
+          raise (Fail (Bad_version { context = ctx; expected = version; got = got_version }));
+        c.read r) }
+
+let with_context ctx c = { c with ctx }
+
+let validated reason check c =
+  { c with
+    read =
+      (fun r ->
+        let v = c.read r in
+        if check v then v else raise (Fail (Invalid { context = c.ctx; reason }))) }

@@ -1,0 +1,123 @@
+(** Canonical, versioned binary encodings for every ZKDET artifact.
+
+    A ['a t] bundles a writer and a reader for one wire format.  Encoders
+    are total on well-formed OCaml values; decoders are total on
+    {e untrusted} bytes: any malformed input yields a typed {!error}, never
+    an exception and never a structurally invalid value (decoders for field
+    elements and curve points perform range / on-curve / subgroup checks).
+
+    Design rules, shared by every codec in the repo (see FORMATS.md):
+    - all integers are big-endian, fixed width;
+    - variable-length data carries a [u32] length or count prefix;
+    - a top-level artifact is wrapped in {!envelope}: 4-byte ASCII magic
+      followed by a [u16] format version;
+    - encodings are canonical: for every value there is exactly one byte
+      string, and [decode] rejects anything else (trailing bytes, overlong
+      input, non-minimal variants). *)
+
+type error =
+  | Truncated of { context : string; needed : int; available : int }
+      (** the reader ran off the end of the buffer *)
+  | Trailing of { context : string; extra : int }
+      (** decode succeeded but [extra] bytes were left unconsumed *)
+  | Bad_magic of { context : string; got : string }
+  | Bad_version of { context : string; expected : int; got : int }
+  | Bad_tag of { context : string; tag : int }
+      (** unknown constructor tag in a tagged union *)
+  | Invalid of { context : string; reason : string }
+      (** structurally well-formed bytes denoting an invalid value
+          (out-of-range field element, off-curve point, ...) *)
+
+val error_to_string : error -> string
+val pp_error : Format.formatter -> error -> unit
+
+type 'a t
+
+(** {1 Running codecs} *)
+
+val encode : 'a t -> 'a -> string
+(** Total for values the codec was built for.  Bumps the
+    [codec.bytes_written] telemetry counter. *)
+
+val decode : 'a t -> string -> ('a, error) result
+(** Requires the codec to consume the whole input.  Never raises; any
+    failure (including an exception escaping a conversion function) is
+    reported as an [Error].  Failures bump [codec.decode_failures]. *)
+
+(** {1 Primitives} *)
+
+val u8 : int t
+val u16 : int t
+val u32 : int t
+
+val u64 : int t
+(** Big-endian 8-byte unsigned.  Values are native OCaml ints, so encoding
+    requires [0 <= v <= max_int] and decoding rejects anything above
+    [max_int] (top two bits set). *)
+
+val bool : bool t
+(** One byte; decode accepts exactly [0x00] and [0x01]. *)
+
+val bytes_fixed : int -> string t
+(** Exactly [n] raw bytes, no prefix. *)
+
+val bytes : string t
+(** [u32] length prefix + raw bytes. *)
+
+val str : string t
+(** Alias for {!bytes} (UTF-8 / ASCII payloads). *)
+
+(** {1 Combinators} *)
+
+val pair : 'a t -> 'b t -> ('a * 'b) t
+val triple : 'a t -> 'b t -> 'c t -> ('a * 'b * 'c) t
+val quad : 'a t -> 'b t -> 'c t -> 'd t -> ('a * 'b * 'c * 'd) t
+
+val list : 'a t -> 'a list t
+(** [u32] count prefix then the items back to back.  Item codecs must
+    consume at least one byte each (all ZKDET codecs do); the count is
+    bounds-checked against the remaining input before any allocation. *)
+
+val array : 'a t -> 'a array t
+
+val exactly : int -> 'a t -> 'a list t
+(** Exactly [n] items, no count prefix (for fixed-arity records such as a
+    Plonk proof's nine commitments).  Encoding a list of the wrong length
+    raises [Invalid_argument]. *)
+
+val option : 'a t -> 'a option t
+(** One tag byte: [0x00] = [None], [0x01] = [Some] + payload. *)
+
+val conv : ('b -> 'a) -> ('a -> ('b, string) result) -> 'a t -> 'b t
+(** [conv proj inj c] maps codec [c] onto another type.  [inj] runs on
+    decode and may reject ([Error reason] becomes {!Invalid}). *)
+
+val map : ('b -> 'a) -> ('a -> 'b) -> 'a t -> 'b t
+(** {!conv} with a total injection. *)
+
+val empty : unit t
+(** Zero bytes.  Only for use as a union-case payload. *)
+
+(** {1 Tagged unions} *)
+
+type 'a case
+
+val case : tag:int -> 'b t -> ('b -> 'a) -> ('a -> 'b option) -> 'a case
+(** [case ~tag codec inj proj]: the case applies when [proj] returns
+    [Some].  [tag] must fit in one byte. *)
+
+val union : string -> 'a case list -> 'a t
+(** One tag byte selecting the case.  Encoding a value no case projects
+    raises [Invalid_argument]; decoding an unknown tag yields {!Bad_tag}. *)
+
+(** {1 Framing} *)
+
+val envelope : magic:string -> version:int -> 'a t -> 'a t
+(** [magic] is exactly 4 ASCII bytes; [version] a [u16].  Decode reports
+    {!Bad_magic} / {!Bad_version} on mismatch. *)
+
+val with_context : string -> 'a t -> 'a t
+(** Renames the context reported in this codec's errors. *)
+
+val validated : string -> ('a -> bool) -> 'a t -> 'a t
+(** Post-decode check; failure yields {!Invalid} with the given reason. *)

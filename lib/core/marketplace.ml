@@ -123,7 +123,7 @@ let upload_sealed (m : t) (node : Storage.node) (s : Transform.sealed) :
   in
   let pi_e = Transform.prove_encryption m.env s in
   let proof_cid =
-    Storage.Cid.to_string (Storage.put m.net node (Proof.to_bytes pi_e))
+    Storage.Cid.to_string (Storage.put m.net node (Proof.wire_encode pi_e))
   in
   (ct_cid, proof_cid)
 
@@ -213,7 +213,7 @@ let derive (m : t) ~(owner : Chain.Address.t)
   in
   let pi_t_cid =
     Storage.Cid.to_string
-      (Storage.put m.net owner_node (Proof.to_bytes link.Transform.proof))
+      (Storage.put m.net owner_node (Proof.wire_encode link.Transform.proof))
   in
   let src_sizes = List.map Transform.size parent_sealed in
   let part_sizes =
@@ -294,14 +294,19 @@ let audit_encryption (m : t) (auditor : Storage.node) (token_id : int) :
   | Ok meta -> (
     match (fetch m auditor meta.ct_cid, fetch m auditor meta.enc_proof_cid) with
     | Error e, _ | _, Error e -> Error e
-    | Ok ct_bytes, Ok proof_bytes ->
-      let ciphertext = Storage.Codec.decode ct_bytes in
-      let proof = Proof.of_bytes proof_bytes in
-      if
-        Transform.verify_encryption m.env ~nonce:meta.nonce ~c_d:meta.c_d
-          ~c_k:meta.c_k ~ciphertext proof
-      then Ok ()
-      else Error (`Bad_encryption_proof token_id))
+    | Ok ct_bytes, Ok proof_bytes -> (
+      match (Storage.Codec.decode_result ct_bytes, Proof.wire_decode proof_bytes)
+      with
+      | Error e, _ ->
+        Error (`Storage ("undecodable ciphertext: " ^ e))
+      | _, Error e ->
+        Error (`Storage ("undecodable proof: " ^ Zkdet_codec.Codec.error_to_string e))
+      | Ok ciphertext, Ok proof ->
+        if
+          Transform.verify_encryption m.env ~nonce:meta.nonce ~c_d:meta.c_d
+            ~c_k:meta.c_k ~ciphertext proof
+        then Ok ()
+        else Error (`Bad_encryption_proof token_id)))
 
 (** Full provenance audit: walk prevIds[] back to the sources, re-verify
     every pi_e and every pi_t in the provenance graph. *)
@@ -328,7 +333,12 @@ let rec audit_provenance (m : t) ~(auditor_id : string) (token_id : int) :
             match fetch m auditor pi_t_cid with
             | Error e -> Error e
             | Ok proof_bytes -> (
-              let proof = Proof.of_bytes proof_bytes in
+              match Proof.wire_decode proof_bytes with
+              | Error e ->
+                Error
+                  (`Storage
+                    ("undecodable proof: " ^ Zkdet_codec.Codec.error_to_string e))
+              | Ok proof ->
               (* reconstruct the link from on-chain provenance + manifests *)
               let parent_metas =
                 List.filter_map

@@ -29,7 +29,20 @@ module type S = sig
   val verify : verification_key -> Fr.t array -> proof -> bool
 
   val proof_to_bytes : proof -> string
+  (** Canonical wire encoding (magic + version envelope, compressed
+      points); see FORMATS.md. *)
+
+  val proof_of_bytes : string -> (proof, Zkdet_codec.Codec.error) result
+  (** Total on untrusted bytes: validates framing, canonicity, curve and
+      (G2) subgroup membership of every element. *)
+
   val proof_size_bytes : proof -> int
+  (** [String.length (proof_to_bytes p)]. *)
+
+  val vk_to_bytes : verification_key -> string
+  val vk_of_bytes : string -> (verification_key, Zkdet_codec.Codec.error) result
+  (** Verification keys persist the same way, so a verifier can run from
+      bytes alone in a different process from the prover. *)
 end
 
 module Plonk : S with type proof = Zkdet_plonk.Proof.t

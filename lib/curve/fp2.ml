@@ -68,11 +68,66 @@ let pow_nat x e =
 
 let random st = { c0 = Fp.random st; c1 = Fp.random st }
 
+(* Square root for p = 3 mod 4 via the norm trick: for a = a0 + a1 u a
+   root x = x0 + x1 u satisfies x0^2 = (a0 +- sqrt(a0^2 + a1^2)) / 2 and
+   x1 = a1 / (2 x0). Every candidate is verified by squaring, so a wrong
+   branch can never escape. *)
+let sqrt a =
+  let verify c = if equal (sqr c) a then Some c else None in
+  if is_zero a then Some zero
+  else if Fp.is_zero a.c1 then
+    match Fp.sqrt a.c0 with
+    | Some r -> verify (of_fp r)
+    | None -> (
+      (* -1 is a non-residue, so exactly one of a0 and -a0 is a square;
+         sqrt(a0) = sqrt(-a0) * u. *)
+      match Fp.sqrt (Fp.neg a.c0) with
+      | Some r -> verify { c0 = Fp.zero; c1 = r }
+      | None -> None)
+  else
+    let norm = Fp.add (Fp.sqr a.c0) (Fp.sqr a.c1) in
+    match Fp.sqrt norm with
+    | None -> None
+    | Some delta ->
+      let half = Fp.inv (Fp.of_int 2) in
+      let branch d =
+        let x0sq = Fp.mul (Fp.add a.c0 d) half in
+        match Fp.sqrt x0sq with
+        | None -> None
+        | Some x0 when Fp.is_zero x0 -> None
+        | Some x0 ->
+          let x1 = Fp.mul a.c1 (Fp.inv (Fp.double x0)) in
+          verify { c0 = x0; c1 = x1 }
+      in
+      (match branch delta with Some r -> Some r | None -> branch (Fp.neg delta))
+
+let is_square a = match sqrt a with Some _ -> true | None -> false
+
+(* Sign convention for point compression: the parity of c0, falling back
+   to c1 when c0 = 0. Negation flips it for every non-zero element (p is
+   odd), which is all compression needs. *)
+let parity a =
+  let fp_parity x = Nat.testbit (Fp.to_nat x) 0 in
+  if Fp.is_zero a.c0 then fp_parity a.c1 else fp_parity a.c0
+
+let num_bytes = 2 * Fp.num_bytes
+
 let to_bytes a = Fp.to_bytes_be a.c0 ^ Fp.to_bytes_be a.c1
 
 let of_bytes s =
   let w = Fp.num_bytes in
   if String.length s <> 2 * w then invalid_arg "Fp2.of_bytes: bad length";
   { c0 = Fp.of_bytes_be (String.sub s 0 w); c1 = Fp.of_bytes_be (String.sub s w w) }
+
+let of_bytes_canonical s =
+  let w = Fp.num_bytes in
+  if String.length s <> 2 * w then Error "Fp2 element must be 64 bytes"
+  else
+    match
+      ( Fp.of_bytes_be_canonical (String.sub s 0 w),
+        Fp.of_bytes_be_canonical (String.sub s w w) )
+    with
+    | Ok c0, Ok c1 -> Ok { c0; c1 }
+    | Error e, _ | _, Error e -> Error e
 
 let pp fmt a = Format.fprintf fmt "(%a + %a*u)" Fp.pp a.c0 Fp.pp a.c1

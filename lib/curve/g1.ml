@@ -7,6 +7,9 @@ module Fp_curve = struct
 
   let to_bytes = Fp.to_bytes_be
   let of_bytes = Fp.of_bytes_be
+  let of_bytes_canonical = Fp.of_bytes_be_canonical
+  let sqrt_opt = Fp.sqrt
+  let parity y = Zkdet_num.Nat.testbit (Fp.to_nat y) 0
 end
 
 include Weierstrass.Make (struct
@@ -14,36 +17,21 @@ include Weierstrass.Make (struct
 
   let b = Fp.of_int 3
   let generator = (Fp.one, Fp.of_int 2)
+
+  (* Cofactor 1: every on-curve point is in the prime-order subgroup. *)
+  let subgroup_check = false
 end)
 
 (* Compressed serialization: a parity tag plus the x coordinate; y is
    recovered as sqrt(x^3 + 3) with the tagged parity. 33 bytes instead of
-   65. *)
-let compressed_size = 1 + Fp.num_bytes
-
-let y_parity y = Zkdet_num.Nat.testbit (Fp.to_nat y) 0
-
-let to_bytes_compressed p =
-  match to_affine p with
-  | None -> "\x00" ^ String.make Fp.num_bytes '\x00'
-  | Some (x, y) ->
-    (if y_parity y then "\x03" else "\x02") ^ Fp.to_bytes_be x
+   65. The byte format lives in Weierstrass (shared with G2); these
+   wrappers keep the historical raising API and error messages. *)
+let y_parity = Fp_curve.parity
 
 let of_bytes_compressed (s : string) : t =
-  if String.length s <> compressed_size then
-    invalid_arg "G1.of_bytes_compressed: bad length";
-  match s.[0] with
-  | '\x00' -> zero
-  | ('\x02' | '\x03') as tag ->
-    let x = Fp.of_bytes_be (String.sub s 1 Fp.num_bytes) in
-    let y2 = Fp.add (Fp.mul (Fp.sqr x) x) (Fp.of_int 3) in
-    (match Fp.sqrt y2 with
-    | None -> invalid_arg "G1.of_bytes_compressed: x not on curve"
-    | Some y ->
-      let want_odd = tag = '\x03' in
-      let y = if y_parity y = want_odd then y else Fp.neg y in
-      of_affine (x, y))
-  | _ -> invalid_arg "G1.of_bytes_compressed: bad tag"
+  match of_bytes_compressed_result s with
+  | Ok p -> p
+  | Error reason -> invalid_arg ("G1.of_bytes_compressed: " ^ reason)
 
 (* Try-and-increment hash-to-curve: deterministic map from a label to a
    curve point of unknown discrete log (used for commitment bases). *)

@@ -5,10 +5,20 @@ module Fp = Zkdet_field.Bn254.Fp
 
 let b2 = Fp2.mul (Fp2.of_int 3) (Fp2.inv Fp2.xi)
 
+module Fp2_curve = struct
+  include Fp2
+
+  let sqrt_opt = Fp2.sqrt
+end
+
 include Weierstrass.Make (struct
-  module F = Fp2
+  module F = Fp2_curve
 
   let b = b2
+
+  (* The D-twist has cofactor 2p - r != 1, so decoded points must be
+     checked against the order-r subgroup explicitly. *)
+  let subgroup_check = true
 
   let generator =
     ( Fp2.make

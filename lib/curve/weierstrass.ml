@@ -24,6 +24,20 @@ module type CURVE_FIELD = sig
   val is_zero : t -> bool
   val to_bytes : t -> string
   val of_bytes : string -> t
+
+  val num_bytes : int
+  (** Width of [to_bytes] output (fixed). *)
+
+  val of_bytes_canonical : string -> (t, string) result
+  (** Strict decoder: exactly [num_bytes] bytes, each coordinate below the
+      modulus (no reduction). *)
+
+  val sqrt_opt : t -> t option
+
+  val parity : t -> bool
+  (** Sign bit for point compression; flips under negation for any
+      non-zero element. *)
+
   val pp : Format.formatter -> t -> unit
 end
 
@@ -32,6 +46,11 @@ module type PARAMS = sig
 
   val b : F.t
   val generator : F.t * F.t
+
+  val subgroup_check : bool
+  (** Whether decoded points must additionally pass an order-[r] subgroup
+      check (true for G2, whose twist has a non-trivial cofactor; false
+      for G1, where on-curve implies in-subgroup). *)
 end
 
 module Make (P : PARAMS) = struct
@@ -286,6 +305,10 @@ module Make (P : PARAMS) = struct
 
   let random st = mul generator (Fr.random st)
 
+  (** Order-r subgroup membership. On-curve points always satisfy this for
+      cofactor-1 curves (G1); the G2 twist needs the explicit check. *)
+  let in_subgroup p = is_zero (mul_nat p Fr.modulus)
+
   let to_bytes p =
     match to_affine p with
     | None -> "\x00"
@@ -293,23 +316,99 @@ module Make (P : PARAMS) = struct
 
   (** Fixed-width encoding: infinity is padded to the same length as a
       finite point so records containing points are fixed-size. *)
-  let encoded_size = 1 + (2 * String.length (F.to_bytes F.zero))
+  let encoded_size = 1 + (2 * F.num_bytes)
 
   let to_bytes_fixed p =
     let s = to_bytes p in
     s ^ String.make (encoded_size - String.length s) '\x00'
 
-  (** Parse a fixed-width encoding; validates the curve equation. *)
+  let all_zero_from s i =
+    let rec go i = i >= String.length s || (s.[i] = '\x00' && go (i + 1)) in
+    go i
+
+  (* Shared validation for decoded affine coordinates: canonical field
+     bytes were already enforced by the caller; here we enforce the curve
+     equation and (when the params require it) subgroup membership. *)
+  let checked_affine x y =
+    if not (on_curve_affine x y) then Error "not on curve"
+    else
+      let p = { x; y; z = F.one } in
+      if P.subgroup_check && not (in_subgroup p) then Error "not in subgroup"
+      else Ok p
+
+  (** Total decoder for the fixed-width uncompressed encoding.  Rejects
+      bad lengths/tags, non-canonical (>= modulus) coordinates, off-curve
+      points, non-zero infinity padding, and (for G2) points outside the
+      order-r subgroup. *)
+  let of_bytes_fixed_result (s : string) : (t, string) result =
+    if String.length s <> encoded_size then Error "bad length"
+    else
+      match s.[0] with
+      | '\x00' -> if all_zero_from s 1 then Ok zero else Error "bad infinity padding"
+      | '\x04' -> (
+        let fw = F.num_bytes in
+        match
+          ( F.of_bytes_canonical (String.sub s 1 fw),
+            F.of_bytes_canonical (String.sub s (1 + fw) fw) )
+        with
+        | Ok x, Ok y -> checked_affine x y
+        | Error e, _ | _, Error e -> Error e)
+      | _ -> Error "bad tag"
+
+  (** Parse a fixed-width encoding; validates canonicity, the curve
+      equation and (for G2) the subgroup.  Raises on malformed input —
+      prefer {!of_bytes_fixed_result} for untrusted bytes. *)
   let of_bytes_fixed (s : string) : t =
-    if String.length s <> encoded_size then
-      invalid_arg "Weierstrass.of_bytes_fixed: bad length";
-    if s.[0] = '\x00' then zero
-    else begin
-      let fw = (encoded_size - 1) / 2 in
-      let x = F.of_bytes (String.sub s 1 fw) in
-      let y = F.of_bytes (String.sub s (1 + fw) fw) in
-      of_affine (x, y)
-    end
+    match of_bytes_fixed_result s with
+    | Ok p -> p
+    | Error "bad length" -> invalid_arg "Weierstrass.of_bytes_fixed: bad length"
+    | Error _ -> invalid_arg "Weierstrass.of_affine: not on curve"
+
+  (* ---------------- compressed form: sign bit + x ---------------- *)
+
+  let compressed_size = 1 + F.num_bytes
+
+  let to_bytes_compressed p =
+    match to_affine p with
+    | None -> "\x00" ^ String.make F.num_bytes '\x00'
+    | Some (x, y) -> (if F.parity y then "\x03" else "\x02") ^ F.to_bytes x
+
+  (** Total decoder for the compressed encoding: recovers y as
+      sqrt(x^3 + b) with the tagged sign, with the same validation rules
+      as {!of_bytes_fixed_result}. *)
+  let of_bytes_compressed_result (s : string) : (t, string) result =
+    if String.length s <> compressed_size then Error "bad length"
+    else
+      match s.[0] with
+      | '\x00' -> if all_zero_from s 1 then Ok zero else Error "bad infinity padding"
+      | ('\x02' | '\x03') as tag -> (
+        match F.of_bytes_canonical (String.sub s 1 F.num_bytes) with
+        | Error e -> Error e
+        | Ok x -> (
+          let y2 = F.add (F.mul (F.sqr x) x) P.b in
+          match F.sqrt_opt y2 with
+          | None -> Error "x not on curve"
+          | Some y ->
+            let want_odd = tag = '\x03' in
+            let y = if F.parity y = want_odd then y else F.neg y in
+            checked_affine x y))
+      | _ -> Error "bad tag"
+
+  (* ---------------- canonical wire codecs ---------------- *)
+
+  module C = Zkdet_codec.Codec
+
+  (** Compressed point codec — the default for all new wire formats. *)
+  let codec : t C.t =
+    C.with_context "point"
+      (C.conv to_bytes_compressed of_bytes_compressed_result
+         (C.bytes_fixed compressed_size))
+
+  (** Uncompressed point codec — larger but cheap to decode (no square
+      root); used for bulk artifacts such as SRS power tables. *)
+  let codec_uncompressed : t C.t =
+    C.with_context "point"
+      (C.conv to_bytes_fixed of_bytes_fixed_result (C.bytes_fixed encoded_size))
 
   let pp fmt p =
     match to_affine p with

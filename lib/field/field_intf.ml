@@ -29,6 +29,15 @@ module type S = sig
   val to_bytes_be : t -> string
   (** Fixed-width ([num_bytes]) big-endian encoding. *)
 
+  val of_bytes_be_canonical : string -> (t, string) result
+  (** Strict decoder for untrusted input: requires exactly [num_bytes]
+      big-endian bytes denoting a value [< modulus].  Unlike
+      {!of_bytes_be} it never reduces. *)
+
+  val codec : t Zkdet_codec.Codec.t
+  (** Canonical wire codec: fixed-width big-endian via
+      {!to_bytes_be} / {!of_bytes_be_canonical}. *)
+
   val equal : t -> t -> bool
   val is_zero : t -> bool
   val is_one : t -> bool

@@ -238,6 +238,22 @@ module Make (M : MODULUS) : Field_intf.S = struct
   let to_bytes_be a = Nat.to_bytes_be ~length:num_bytes (to_nat a)
   let hash_fold = to_bytes_be
 
+  let of_bytes_be_canonical s =
+    if String.length s <> num_bytes then
+      Error
+        (Printf.sprintf "field element must be %d bytes, got %d" num_bytes
+           (String.length s))
+    else
+      let n = Nat.of_bytes_be s in
+      if Nat.compare n modulus >= 0 then
+        Error "field element not canonical (>= modulus)"
+      else Ok (of_nat n)
+
+  let codec =
+    Zkdet_codec.Codec.(
+      with_context "field"
+        (conv to_bytes_be of_bytes_be_canonical (bytes_fixed num_bytes)))
+
   let pow_nat x e =
     let nbits = Nat.num_bits e in
     if nbits = 0 then one

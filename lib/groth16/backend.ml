@@ -18,8 +18,8 @@ let vk (pk : proving_key) = pk.Groth16.vk
 let prove ?st pk compiled = Groth16.prove ?st pk compiled
 let verify = Groth16.verify
 
-let proof_to_bytes (p : proof) : string =
-  G1.to_bytes p.Groth16.pi_a ^ G2.to_bytes p.Groth16.pi_b
-  ^ G1.to_bytes p.Groth16.pi_c
-
+let proof_to_bytes = Groth16.proof_to_bytes
+let proof_of_bytes = Groth16.proof_of_bytes
 let proof_size_bytes = Groth16.proof_size_bytes
+let vk_to_bytes = Groth16.vk_to_bytes
+let vk_of_bytes = Groth16.vk_of_bytes

@@ -233,7 +233,44 @@ let setup ?(st = Random.State.make_self_init ()) (compiled : Cs.compiled) :
 
 type proof = { pi_a : G1.t; pi_b : G2.t; pi_c : G1.t }
 
-let proof_size_bytes (_ : proof) = (2 * 65) + 129
+(* Canonical wire format: "ZGPF" envelope, compressed points.
+   4 + 2 + 33 + 65 + 33 = 137 bytes. *)
+let proof_codec : proof Zkdet_codec.Codec.t =
+  let open Zkdet_codec.Codec in
+  envelope ~magic:"ZGPF" ~version:1
+    (conv
+       (fun p -> (p.pi_a, p.pi_b, p.pi_c))
+       (fun (pi_a, pi_b, pi_c) -> Ok { pi_a; pi_b; pi_c })
+       (triple G1.codec G2.codec G1.codec))
+
+let proof_to_bytes (p : proof) : string = Zkdet_codec.Codec.encode proof_codec p
+
+let proof_of_bytes (s : string) : (proof, Zkdet_codec.Codec.error) result =
+  Zkdet_codec.Codec.decode proof_codec s
+
+let proof_size_bytes (p : proof) = String.length (proof_to_bytes p)
+
+(* "ZGVK" envelope: alpha, beta, gamma, delta and the per-public-input IC
+   points (count-prefixed; verification needs at least the constant-one
+   entry). *)
+let vk_codec : verification_key Zkdet_codec.Codec.t =
+  let open Zkdet_codec.Codec in
+  envelope ~magic:"ZGVK" ~version:1
+    (conv
+       (fun vk ->
+         ( vk.vk_alpha_g1, vk.vk_beta_g2, vk.vk_gamma_g2,
+           (vk.vk_delta_g2, vk.vk_ic) ))
+       (fun (vk_alpha_g1, vk_beta_g2, vk_gamma_g2, (vk_delta_g2, vk_ic)) ->
+         if Array.length vk_ic = 0 then Error "empty IC table"
+         else Ok { vk_alpha_g1; vk_beta_g2; vk_gamma_g2; vk_delta_g2; vk_ic })
+       (quad G1.codec G2.codec G2.codec (pair G2.codec (array G1.codec))))
+
+let vk_to_bytes (vk : verification_key) : string =
+  Zkdet_codec.Codec.encode vk_codec vk
+
+let vk_of_bytes (s : string) :
+    (verification_key, Zkdet_codec.Codec.error) result =
+  Zkdet_codec.Codec.decode vk_codec s
 
 (* The quotient h(X) = (U V - W)/Z in coefficient form, via a 2m coset. *)
 let quotient (r : r1cs) (domain : Domain.t) (wit : Fr.t array) : Poly.t =

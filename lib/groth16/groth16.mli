@@ -65,8 +65,23 @@ val setup : ?st:Random.State.t -> Cs.compiled -> proving_key
 
 type proof = { pi_a : G1.t; pi_b : G2.t; pi_c : G1.t }
 
+val proof_codec : proof Zkdet_codec.Codec.t
+(** Canonical wire format: ["ZGPF"] envelope (version 1), compressed
+    points — 137 bytes.  Decoding validates every element, including the
+    G2 subgroup check on pi_b. *)
+
+val proof_to_bytes : proof -> string
+val proof_of_bytes : string -> (proof, Zkdet_codec.Codec.error) result
+
 val proof_size_bytes : proof -> int
-(** 2 G1 + 1 G2 uncompressed = 259 bytes. *)
+(** [String.length (proof_to_bytes p)]. *)
+
+val vk_codec : verification_key Zkdet_codec.Codec.t
+(** ["ZGVK"] envelope: alpha, beta, gamma, delta plus the count-prefixed
+    IC table. *)
+
+val vk_to_bytes : verification_key -> string
+val vk_of_bytes : string -> (verification_key, Zkdet_codec.Codec.error) result
 
 val prove : ?st:Random.State.t -> proving_key -> Cs.compiled -> proof
 (** Raises [Invalid_argument] on an unsatisfied witness. *)

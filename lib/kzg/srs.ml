@@ -1,11 +1,22 @@
 (* Structured reference string: powers of a secret tau in G1 plus [tau]G2.
    In production the SRS comes from a multi-party ceremony ({!Ceremony});
    [unsafe_generate] plays the role of a locally simulated ceremony where
-   the secret is sampled and immediately discarded. *)
+   the secret is sampled and immediately discarded.
+
+   An SRS is the most expensive artifact in the system to recreate, so it
+   also has a persistent form ("ZSRS" envelope, see FORMATS.md) and a disk
+   cache keyed by size + curve hash under the ZKDET_SRS_CACHE directory.
+   The file stores G1 powers uncompressed: loading then costs only the
+   cheap on-curve check per point, where compressed points would need a
+   square root each — about as slow as regenerating the power. *)
 
 module Fr = Zkdet_field.Bn254.Fr
+module Fp = Zkdet_field.Bn254.Fp
 module G1 = Zkdet_curve.G1
 module G2 = Zkdet_curve.G2
+module Nat = Zkdet_num.Nat
+module Codec = Zkdet_codec.Codec
+module Telemetry = Zkdet_telemetry.Telemetry
 
 type t = {
   g1_powers : G1.t array; (* [tau^0]G1 ... [tau^(n-1)]G1 *)
@@ -19,6 +30,7 @@ let size t = Array.length t.g1_powers
     The secret never escapes this function. *)
 let unsafe_generate ?(st = Random.State.make_self_init ()) ~size () =
   if size < 2 then invalid_arg "Srs.unsafe_generate: size must be >= 2";
+  Telemetry.with_span "srs.generate" @@ fun () ->
   let tau = Fr.random st in
   let table = G1.Fixed_base.create G1.generator in
   let g1_powers = Array.make size G1.zero in
@@ -50,3 +62,99 @@ let verify ?(exhaustive = false) t =
 let truncate t n =
   if n > size t then invalid_arg "Srs.truncate: larger than source";
   { t with g1_powers = Array.sub t.g1_powers 0 n }
+
+(* ---------------- persistence ---------------- *)
+
+(* A 32-byte digest of every curve parameter an SRS depends on; baked into
+   the header so an SRS file can never be replayed against a different
+   curve build. *)
+let curve_id =
+  Zkdet_hash.Sha256.digest
+    (String.concat "/"
+       [ "bn254";
+         Nat.to_decimal Fp.modulus;
+         Nat.to_decimal Fr.modulus;
+         G1.to_bytes G1.generator;
+         G2.to_bytes G2.generator ])
+
+(** The ["ZSRS"] header alone (a prefix of {!to_bytes} output): magic,
+    version, curve digest and the G1 power count.  Exposed for the golden
+    wire-format vectors. *)
+let header_codec : (string * int) Codec.t =
+  Codec.envelope ~magic:"ZSRS" ~version:1 (Codec.pair (Codec.bytes_fixed 32) Codec.u32)
+
+let header_bytes ~size = Codec.encode header_codec (curve_id, size)
+
+let codec : t Codec.t =
+  let open Codec in
+  envelope ~magic:"ZSRS" ~version:1
+    (conv
+       (fun t -> ((curve_id, Array.to_list t.g1_powers), (t.g2, t.g2_tau)))
+       (fun ((cid, powers), (g2, g2_tau)) ->
+         if not (String.equal cid curve_id) then Error "SRS for a different curve"
+         else if List.length powers < 2 then Error "SRS must have >= 2 powers"
+         else Ok { g1_powers = Array.of_list powers; g2; g2_tau })
+       (pair
+          (pair (bytes_fixed 32) (list G1.codec_uncompressed))
+          (pair G2.codec G2.codec)))
+
+let to_bytes (t : t) : string = Codec.encode codec t
+let of_bytes (s : string) : (t, Codec.error) result = Codec.decode codec s
+
+(* ---------------- disk cache ---------------- *)
+
+let cache_dir () = Sys.getenv_opt "ZKDET_SRS_CACHE"
+
+let cache_path dir ~size =
+  let short = String.sub (Zkdet_hash.Sha256.hex_of_string curve_id) 0 16 in
+  Filename.concat dir (Printf.sprintf "srs-%s-%d.bin" short size)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Write-to-temp + rename so concurrent processes never observe a partial
+   file; losing a race just means writing the same bytes twice. *)
+let write_file path data =
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc data);
+  Sys.rename tmp path
+
+(** Like {!unsafe_generate}, but consults the ZKDET_SRS_CACHE directory
+    first: a valid cached file of the right size is loaded (and validated
+    point by point) instead of rerunning the simulated ceremony, and a
+    fresh generation is written back for the next process.  Without the
+    environment variable this is exactly [unsafe_generate]. *)
+let load_or_generate ?st ~size () =
+  match cache_dir () with
+  | None -> unsafe_generate ?st ~size ()
+  | Some dir ->
+    let path = cache_path dir ~size in
+    let cached =
+      if Sys.file_exists path then
+        match of_bytes (read_file path) with
+        | Ok t when size = Array.length t.g1_powers ->
+          Telemetry.count "kzg.srs.cache_hits" 1;
+          Some t
+        | Ok _ | Error _ ->
+          (* Wrong size under this key or corrupt bytes: regenerate. *)
+          Telemetry.count "kzg.srs.cache_corrupt" 1;
+          None
+        | exception Sys_error _ -> None
+      else None
+    in
+    match cached with
+    | Some t -> t
+    | None ->
+      Telemetry.count "kzg.srs.cache_misses" 1;
+      let t = unsafe_generate ?st ~size () in
+      (try
+         if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+         write_file path (to_bytes t)
+       with Unix.Unix_error _ | Sys_error _ -> ());
+      t

@@ -4,6 +4,7 @@
 module Fr = Zkdet_field.Bn254.Fr
 module G1 = Zkdet_curve.G1
 module G2 = Zkdet_curve.G2
+module Codec = Zkdet_codec.Codec
 
 type t = {
   g1_powers : G1.t array;  (** [tau^0]G1 .. [tau^(n-1)]G1 *)
@@ -15,7 +16,8 @@ val size : t -> int
 
 val unsafe_generate : ?st:Random.State.t -> size:int -> unit -> t
 (** Locally simulated trusted setup: samples tau, computes the powers,
-    discards the secret. Production SRS comes from {!Ceremony}. *)
+    discards the secret. Production SRS comes from {!Ceremony}.  Runs
+    under the ["srs.generate"] telemetry span. *)
 
 val verify : ?exhaustive:bool -> t -> bool
 (** Pairing consistency check e(g1[i+1], G2) = e(g1[i], [tau]G2); spot
@@ -23,3 +25,31 @@ val verify : ?exhaustive:bool -> t -> bool
 
 val truncate : t -> int -> t
 (** Prefix of the G1 powers (smaller circuits under the same setup). *)
+
+(** {1 Persistence} *)
+
+val curve_id : string
+(** 32-byte digest of the curve parameters, baked into every SRS file. *)
+
+val header_codec : (string * int) Codec.t
+(** The (curve_id, size) header; its encoding is a prefix of {!to_bytes}
+    output. *)
+
+val header_bytes : size:int -> string
+
+val codec : t Codec.t
+(** Canonical wire format: ["ZSRS"] envelope (version 1) around the curve
+    digest, the uncompressed G1 power table and the two G2 points.
+    Uncompressed G1 keeps cache loads cheap (no per-point square root). *)
+
+val to_bytes : t -> string
+val of_bytes : string -> (t, Codec.error) result
+
+val cache_dir : unit -> string option
+(** Value of [ZKDET_SRS_CACHE], if set. *)
+
+val load_or_generate : ?st:Random.State.t -> size:int -> unit -> t
+(** {!unsafe_generate} behind the [ZKDET_SRS_CACHE] disk cache: a valid
+    cached file for this size + curve is loaded (skipping the ceremony and
+    its ["srs.generate"] span) and fresh generations are written back.
+    Without the environment variable, identical to {!unsafe_generate}. *)

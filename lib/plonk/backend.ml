@@ -35,7 +35,9 @@ let srs_for ?st (size : int) : Srs.t =
       match Hashtbl.find_opt srs_cache size with
       | Some srs -> srs
       | None ->
-        let srs = Srs.unsafe_generate ?st ~size () in
+        (* Behind the in-process cache sits the ZKDET_SRS_CACHE disk
+           cache, so separate processes also share one ceremony. *)
+        let srs = Srs.load_or_generate ?st ~size () in
         Hashtbl.add srs_cache size srs;
         srs)
 
@@ -53,5 +55,8 @@ let prove ?st (pk : proving_key) (compiled : Cs.compiled) : proof =
 let verify (vk : verification_key) (publics : Fr.t array) (proof : proof) : bool =
   Verifier.verify vk publics proof
 
-let proof_to_bytes = Proof.to_bytes
-let proof_size_bytes = Proof.size_bytes
+let proof_to_bytes = Proof.wire_encode
+let proof_of_bytes = Proof.wire_decode
+let proof_size_bytes p = String.length (Proof.wire_encode p)
+let vk_to_bytes = Preprocess.vk_to_bytes
+let vk_of_bytes = Preprocess.vk_of_bytes

@@ -58,6 +58,45 @@ and verification_key = {
   vk_g2_tau : Zkdet_curve.G2.t;
 }
 
+(* Canonical wire format for verification keys: "ZKVK" envelope around
+   the domain's log2 size (the Domain itself is rebuilt on decode), the
+   public-input count, the coset shifts and the ten commitments. *)
+let vk_codec : verification_key Zkdet_codec.Codec.t =
+  let open Zkdet_codec.Codec in
+  let g1 = Zkdet_curve.G1.codec and g2 = Zkdet_curve.G2.codec in
+  envelope ~magic:"ZKVK" ~version:1
+    (conv
+       (fun vk ->
+         ( (Domain.log2size vk.vk_domain, vk.vk_n_public, (vk.vk_k1, vk.vk_k2)),
+           [ vk.cm_ql; vk.cm_qr; vk.cm_qo; vk.cm_qm; vk.cm_qc; vk.cm_sigma1;
+             vk.cm_sigma2; vk.cm_sigma3 ],
+           (vk.vk_g2, vk.vk_g2_tau) ))
+       (fun ((log2n, vk_n_public, (vk_k1, vk_k2)), cms, (vk_g2, vk_g2_tau)) ->
+         if log2n < 2 || log2n > Fr.two_adicity then Error "domain size out of range"
+         else
+           let vk_n = 1 lsl log2n in
+           if vk_n_public > vk_n then Error "more public inputs than gates"
+           else
+             match cms with
+             | [ cm_ql; cm_qr; cm_qo; cm_qm; cm_qc; cm_sigma1; cm_sigma2;
+                 cm_sigma3 ] ->
+               Ok
+                 { vk_n; vk_n_public; vk_domain = Domain.create log2n; vk_k1;
+                   vk_k2; cm_ql; cm_qr; cm_qo; cm_qm; cm_qc; cm_sigma1;
+                   cm_sigma2; cm_sigma3; vk_g2; vk_g2_tau }
+             | _ -> Error "wrong arity")
+       (triple
+          (triple u8 u32 (pair Fr.codec Fr.codec))
+          (exactly 8 g1)
+          (pair g2 g2)))
+
+let vk_to_bytes (vk : verification_key) : string =
+  Zkdet_codec.Codec.encode vk_codec vk
+
+let vk_of_bytes (s : string) :
+    (verification_key, Zkdet_codec.Codec.error) result =
+  Zkdet_codec.Codec.decode vk_codec s
+
 let next_pow2 x =
   let rec go k = if 1 lsl k >= x then k else go (k + 1) in
   go 0

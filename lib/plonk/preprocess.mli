@@ -52,6 +52,13 @@ and verification_key = {
   vk_g2_tau : Zkdet_curve.G2.t;
 }
 
+val vk_codec : verification_key Zkdet_codec.Codec.t
+(** Canonical wire format: ["ZKVK"] envelope (version 1).  The FFT domain
+    is stored as its log2 size and rebuilt on decode. *)
+
+val vk_to_bytes : verification_key -> string
+val vk_of_bytes : string -> (verification_key, Zkdet_codec.Codec.error) result
+
 val setup : Srs.t -> Cs.compiled -> proving_key
 (** Build the proving key (and embedded verification key) for a compiled
     circuit. Pads to the next power of two; requires the SRS to have at

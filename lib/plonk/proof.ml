@@ -67,6 +67,29 @@ let of_bytes_compressed (s : string) : t =
     eval_z_omega = ev 5;
   }
 
+(* Canonical wire format: "ZKPF" envelope, compressed points, strict
+   (range-checked, on-curve) decoding. 4 + 2 + 9*33 + 6*32 = 495 bytes. *)
+let codec : t Zkdet_codec.Codec.t =
+  let open Zkdet_codec.Codec in
+  envelope ~magic:"ZKPF" ~version:1
+    (conv
+       (fun p -> (g1_points p, evaluations p))
+       (fun (pts, evs) ->
+         match (pts, evs) with
+         | ( [ cm_a; cm_b; cm_c; cm_z; cm_t_lo; cm_t_mid; cm_t_hi; cm_w_zeta;
+               cm_w_zeta_omega ],
+             [ eval_a; eval_b; eval_c; eval_s1; eval_s2; eval_z_omega ] ) ->
+           Ok
+             { cm_a; cm_b; cm_c; cm_z; cm_t_lo; cm_t_mid; cm_t_hi; cm_w_zeta;
+               cm_w_zeta_omega; eval_a; eval_b; eval_c; eval_s1; eval_s2;
+               eval_z_omega }
+         | _ -> Error "wrong arity")
+       (pair (exactly 9 G1.codec) (exactly 6 Fr.codec)))
+
+let wire_encode (p : t) : string = Zkdet_codec.Codec.encode codec p
+let wire_decode (s : string) : (t, Zkdet_codec.Codec.error) result =
+  Zkdet_codec.Codec.decode codec s
+
 let of_bytes (s : string) : t =
   let pw = G1.encoded_size and fw = Fr.num_bytes in
   if String.length s <> (9 * pw) + (6 * fw) then

@@ -39,3 +39,14 @@ val to_bytes_compressed : t -> string
 val of_bytes_compressed : string -> t
 
 val size_bytes : t -> int
+
+val codec : t Zkdet_codec.Codec.t
+(** Canonical wire format: ["ZKPF"] envelope (version 1) around 9
+    compressed G1 points and 6 scalars — 495 bytes.  Decoding is total on
+    untrusted bytes and validates every element. *)
+
+val wire_encode : t -> string
+(** [Codec.encode codec] *)
+
+val wire_decode : string -> (t, Zkdet_codec.Codec.error) result
+(** [Codec.decode codec] *)

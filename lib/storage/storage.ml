@@ -8,6 +8,7 @@
 module Sha256 = Zkdet_hash.Sha256
 module Fr = Zkdet_field.Bn254.Fr
 module Telemetry = Zkdet_telemetry.Telemetry
+module C = Zkdet_codec.Codec
 
 module Cid = struct
   type t = string (* "zb" ^ hex digest *)
@@ -54,12 +55,34 @@ let put_block (net : t) (node : node) (data : string) : Cid.t =
   announce net cid node;
   cid
 
-(* Manifest for chunked objects: a block listing the chunk CIDs. *)
-let manifest_prefix = "zkdet-manifest\n"
+(* Manifest for chunked objects: a "ZMAN" envelope block listing the
+   chunk CIDs (canonical binary form; see FORMATS.md). *)
+let manifest_magic = "ZMAN"
+
+let is_hex c = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')
+
+let cid_codec : Cid.t C.t =
+  C.validated "malformed CID"
+    (fun c ->
+      String.length c = 66
+      && c.[0] = 'z' && c.[1] = 'b'
+      && (let ok = ref true in
+          String.iteri (fun i ch -> if i >= 2 && not (is_hex ch) then ok := false) c;
+          !ok))
+    (C.bytes_fixed 66)
+
+let manifest_codec : Cid.t list C.t =
+  C.envelope ~magic:manifest_magic ~version:1 (C.list cid_codec)
 
 let is_manifest data =
-  String.length data >= String.length manifest_prefix
-  && String.sub data 0 (String.length manifest_prefix) = manifest_prefix
+  String.length data >= String.length manifest_magic
+  && String.sub data 0 (String.length manifest_magic) = manifest_magic
+
+(* Total: [None] when the block is not a well-formed manifest. *)
+let manifest_cids data =
+  if is_manifest data then
+    match C.decode manifest_codec data with Ok cids -> Some cids | Error _ -> None
+  else None
 
 (** Store an arbitrary-size object, chunked. Returns the root CID
     (the object's URI in ZKDET). *)
@@ -80,7 +103,7 @@ let put (net : t) (node : node) (data : string) : Cid.t =
           let len = min chunk_size (String.length data - off) in
           put_block net node (String.sub data off len))
     in
-    put_block net node (manifest_prefix ^ String.concat "\n" cids)
+    put_block net node (C.encode manifest_codec cids)
   end
 
 let find_provider (net : t) (cid : Cid.t) : node option =
@@ -128,24 +151,25 @@ let get (net : t) (requester : node) (cid : Cid.t) :
       Ok data
     end
     else begin
-      let lines =
-        String.split_on_char '\n'
-          (String.sub data (String.length manifest_prefix)
-             (String.length data - String.length manifest_prefix))
-      in
-      let buf = Buffer.create (List.length lines * chunk_size) in
-      let rec collect nchunks = function
-        | [] ->
-          Telemetry.count "storage.get.chunks" nchunks;
-          Ok (Buffer.contents buf)
-        | c :: rest -> (
-          match fetch_block net requester c with
-          | Ok chunk ->
-            Buffer.add_string buf chunk;
-            collect (nchunks + 1) rest
-          | Error _ as e -> e)
-      in
-      collect 0 lines
+      match manifest_cids data with
+      | None ->
+        (* Content hash matched but the manifest bytes don't decode: the
+           root block was never a valid manifest. *)
+        Error `Tampered
+      | Some cids ->
+        let buf = Buffer.create (List.length cids * chunk_size) in
+        let rec collect nchunks = function
+          | [] ->
+            Telemetry.count "storage.get.chunks" nchunks;
+            Ok (Buffer.contents buf)
+          | c :: rest -> (
+            match fetch_block net requester c with
+            | Ok chunk ->
+              Buffer.add_string buf chunk;
+              collect (nchunks + 1) rest
+            | Error _ as e -> e)
+        in
+        collect 0 cids
     end
   in
   (match result with
@@ -165,13 +189,11 @@ let gc (net : t) (node : node) : int =
     (fun cid () ->
       Hashtbl.replace keep cid ();
       match Hashtbl.find_opt node.blocks cid with
-      | Some data when is_manifest data ->
+      | Some data ->
         List.iter
           (fun c -> Hashtbl.replace keep c ())
-          (String.split_on_char '\n'
-             (String.sub data (String.length manifest_prefix)
-                (String.length data - String.length manifest_prefix)))
-      | _ -> ())
+          (Option.value (manifest_cids data) ~default:[])
+      | None -> ())
     node.pinned;
   let removed = ref 0 in
   let to_remove =
@@ -198,13 +220,39 @@ let tamper (node : node) (cid : Cid.t) =
     Hashtbl.replace node.blocks cid (Bytes.to_string b)
   | _ -> ()
 
-(** Encoding of field-element datasets as stored bytes. *)
+(** Encoding of field-element datasets as stored bytes: fixed-width
+    big-endian elements back to back (the count is implied by the byte
+    length, keeping a dataset's CID a pure function of its contents). *)
 module Codec = struct
   let encode (data : Fr.t array) : string =
     String.concat "" (Array.to_list (Array.map Fr.to_bytes_be data))
 
-  let decode (s : string) : Fr.t array =
+  (** Strict decoder: total on untrusted bytes, requires every element
+      canonical (below the modulus). *)
+  let decode_result (s : string) : (Fr.t array, string) result =
     let w = Fr.num_bytes in
-    if String.length s mod w <> 0 then invalid_arg "Storage.Codec.decode: bad length";
-    Array.init (String.length s / w) (fun i -> Fr.of_bytes_be (String.sub s (i * w) w))
+    if String.length s mod w <> 0 then Error "bad length"
+    else begin
+      let n = String.length s / w in
+      let out = Array.make n Fr.zero in
+      let rec go i =
+        if i = n then Ok out
+        else
+          match Fr.of_bytes_be_canonical (String.sub s (i * w) w) with
+          | Ok v ->
+            out.(i) <- v;
+            go (i + 1)
+          | Error e -> Error e
+      in
+      match go 0 with
+      | Ok _ as ok -> ok
+      | Error _ as e ->
+        Telemetry.count "codec.decode_failures" 1;
+        e
+    end
+
+  let decode (s : string) : Fr.t array =
+    match decode_result s with
+    | Ok v -> v
+    | Error e -> invalid_arg ("Storage.Codec.decode: " ^ e)
 end

@@ -22,6 +22,17 @@ val chunk_size : int
 (** Objects above this size are split into chunks under a manifest block
     (256 KiB, the IPFS default). *)
 
+val manifest_codec : Cid.t list Zkdet_codec.Codec.t
+(** Chunk manifests on the wire: a ["ZMAN"] envelope (version 1) around
+    the count-prefixed chunk CID list. *)
+
+val is_manifest : string -> bool
+(** Whether a block carries the manifest magic. *)
+
+val manifest_cids : string -> Cid.t list option
+(** Total manifest decoder: [None] unless the block is a well-formed
+    manifest. *)
+
 type node = {
   node_id : string;
   blocks : (Cid.t, string) Hashtbl.t;
@@ -56,8 +67,15 @@ val gc : t -> node -> int
 val tamper : node -> Cid.t -> unit
 (** Corrupt one stored block (tests of integrity detection). *)
 
-(** Encoding of field-element datasets as stored bytes. *)
+(** Encoding of field-element datasets as stored bytes: fixed-width
+    big-endian elements back to back. *)
 module Codec : sig
   val encode : Fr.t array -> string
+
+  val decode_result : string -> (Fr.t array, string) result
+  (** Strict decoder, total on untrusted bytes: the length must be a
+      multiple of the element width and every element canonical. *)
+
   val decode : string -> Fr.t array
+  (** Raising variant of {!decode_result} ([Invalid_argument]). *)
 end

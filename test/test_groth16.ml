@@ -90,7 +90,15 @@ let test_richer_circuit () =
   let proof = Groth16.prove ~st:rng pk compiled in
   Alcotest.(check bool) "gadget circuit verifies" true
     (Groth16.verify pk.Groth16.vk compiled.Cs.public_values proof);
-  Alcotest.(check int) "proof is 2 G1 + 1 G2" 259 (Groth16.proof_size_bytes proof)
+  (* Canonical wire bytes: 6-byte "ZGPF" envelope + 2 compressed G1 (33)
+     + 1 compressed G2 (65). *)
+  Alcotest.(check int) "proof is 2 G1 + 1 G2 compressed" 137
+    (Groth16.proof_size_bytes proof);
+  (match Groth16.proof_of_bytes (Groth16.proof_to_bytes proof) with
+  | Ok p ->
+    Alcotest.(check bool) "proof round-trips through wire bytes" true
+      (Groth16.verify pk.Groth16.vk compiled.Cs.public_values p)
+  | Error e -> Alcotest.fail (Zkdet_codec.Codec.error_to_string e))
 
 let test_proofs_not_mixable_with_plonk () =
   (* Same circuit, both systems: each verifier accepts only its own. *)
