@@ -815,6 +815,144 @@ let codec_exp ~scale () =
      per point) but halve the bytes; all decoders re-validate on every run."
 
 (* ---------------------------------------------------------------- *)
+(* Proving: per-backend setup/prove/verify on one fixed circuit       *)
+(* ---------------------------------------------------------------- *)
+
+(* Light enough to run on every CI push; the committed baseline pins
+   both the deterministic fields (constraints, proof bytes) and the
+   timings this host class should achieve. *)
+let proving_exp () =
+  header "Proving: per-backend lifecycle on the 2^10 filler circuit";
+  let compiled = Cs.compile (filler_circuit ~gates:(1 lsl 10) ()) in
+  Printf.printf "%-10s %12s %12s %10s %10s %10s\n" "backend" "constraints"
+    "proof (B)" "setup (s)" "prove (s)" "verify (s)";
+  List.iter
+    (fun backend ->
+      match Zkdet_core.Proof_system.by_name backend with
+      | None -> ()
+      | Some (module B) ->
+        let pk, setup_t =
+          wall (fun () -> B.setup ~st:(Random.State.make [| 5 |]) compiled)
+        in
+        let proof, prove_t =
+          wall (fun () -> B.prove ~st:(Random.State.make [| 6 |]) pk compiled)
+        in
+        let ok, verify_t =
+          wall (fun () -> B.verify (B.vk pk) compiled.Cs.public_values proof)
+        in
+        assert ok;
+        emit_row
+          [ jstr "backend" B.name; jint "constraints" (Cs.num_gates compiled);
+            jint "proof_bytes" (B.proof_size_bytes proof);
+            jfloat "setup_s" setup_t; jfloat "prove_s" prove_t;
+            jfloat "verify_s" verify_t ];
+        Printf.printf "%-10s %12d %12d %10.2f %10.2f %10.3f\n%!" B.name
+          (Cs.num_gates compiled) (B.proof_size_bytes proof) setup_t prove_t
+          verify_t)
+    [ "plonk"; "groth16" ]
+
+(* ---------------------------------------------------------------- *)
+(* Perf-regression gating against committed baselines                 *)
+(* ---------------------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let regression_failures = ref 0
+
+let has_suffix s suf =
+  let ls = String.length s and lf = String.length suf in
+  ls >= lf && String.sub s (ls - lf) lf = suf
+
+(* Absolute slack added on top of the relative tolerance, so that
+   sub-millisecond measurements cannot trip the gate on scheduler noise.
+   Unit is inferred from the field name. *)
+let float_slack key =
+  if key = "ns_per_run" then 5e4 (* 50 us *)
+  else if has_suffix key "_us" then 50.0
+  else 0.25 (* seconds *)
+
+(* Compare the just-written BENCH_<name>.json against the committed
+   baseline: non-float row fields must match exactly (they are
+   deterministic — constraint counts, byte sizes, gas), float fields may
+   not exceed baseline * (1 + tolerance) + slack. *)
+let check_regression ~baseline_dir ~tolerance ~scale name =
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        incr regression_failures;
+        Printf.printf "[regression] %s: %s\n%!" name m)
+      fmt
+  in
+  let baseline_path =
+    Filename.concat baseline_dir (Printf.sprintf "BENCH_%s.json" name)
+  in
+  if not (Sys.file_exists baseline_path) then
+    Printf.printf "[regression] %s: no baseline at %s (skipped)\n%!" name
+      baseline_path
+  else
+    let parse path =
+      match Json.parse (read_file path) with
+      | Ok j -> j
+      | Error e -> failwith (path ^ ": " ^ e)
+    in
+    let baseline = parse baseline_path in
+    let current = parse (Printf.sprintf "BENCH_%s.json" name) in
+    let meta j k = Option.bind (Json.member k j) Json.to_int_opt in
+    if meta baseline "scale" <> Some scale then
+      Printf.printf
+        "[regression] %s: baseline recorded at a different --scale (skipped)\n%!"
+        name
+    else begin
+      let rows j =
+        Option.value ~default:[]
+          (Option.bind (Json.member "rows" j) Json.to_list_opt)
+      in
+      let brows = rows baseline and crows = rows current in
+      if List.length brows <> List.length crows then
+        fail "row count changed: baseline %d vs current %d"
+          (List.length brows) (List.length crows)
+      else begin
+        let checked = ref 0 in
+        let before = !regression_failures in
+        List.iteri
+          (fun i (brow, crow) ->
+            match brow with
+            | Json.Obj fields ->
+              List.iter
+                (fun (key, bval) ->
+                  let cval = Json.member key crow in
+                  match (bval, cval) with
+                  | Json.Float b, Some c -> (
+                    incr checked;
+                    match Json.to_float_opt c with
+                    | None -> fail "row %d field %s lost its number" i key
+                    | Some c ->
+                      let limit = (b *. (1.0 +. tolerance)) +. float_slack key in
+                      if c > limit then
+                        fail "row %d %s regressed: %.4g > %.4g (baseline %.4g, tolerance %.0f%%)"
+                          i key c limit b (100.0 *. tolerance))
+                  | (Json.Int _ | Json.String _ | Json.Bool _), Some c ->
+                    incr checked;
+                    if bval <> c then
+                      fail "row %d deterministic field %s drifted: %s -> %s" i
+                        key (Json.to_string bval) (Json.to_string c)
+                  | _, None -> fail "row %d lost field %s" i key
+                  | _ -> ())
+                fields
+            | _ -> ())
+          (List.combine brows crows);
+        if !regression_failures = before then
+          Printf.printf "[regression] %s: OK (%d field(s) within %.0f%% of baseline)\n%!"
+            name !checked (100.0 *. tolerance)
+      end
+    end
+
+(* ---------------------------------------------------------------- *)
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -827,12 +965,29 @@ let () =
     find args
   in
   let profile = List.mem "--profile" args in
+  let check = List.mem "--check-regression" args in
+  let tolerance =
+    let rec find = function
+      | "--tolerance" :: v :: _ -> ( try float_of_string v with _ -> 3.0)
+      | _ :: rest -> find rest
+      | [] -> 3.0
+    in
+    find args
+  in
+  let baseline_dir =
+    let rec find = function
+      | "--baseline-dir" :: v :: _ -> v
+      | _ :: rest -> find rest
+      | [] -> "bench/baselines"
+    in
+    find args
+  in
   let which =
     List.filter
       (fun a ->
         List.mem a
           [ "setup"; "fig5"; "fig6"; "fig7"; "fairswap"; "table1"; "table2";
-            "micro"; "parallel"; "proptest"; "codec"; "all" ])
+            "micro"; "parallel"; "proptest"; "codec"; "proving"; "all" ])
       args
   in
   let which = if which = [] then [ "all" ] else which in
@@ -848,7 +1003,8 @@ let () =
     bench_rows := [];
     f ();
     if profile || String.equal name "setup" then Telemetry.print_summary ();
-    write_bench_json ~scale name
+    write_bench_json ~scale name;
+    if check then check_regression ~baseline_dir ~tolerance ~scale name
   in
   if run || List.mem "setup" which then run_experiment "setup" setup_exp;
   if run || List.mem "fig5" which then run_experiment "fig5" (fig5 ~scale);
@@ -863,6 +1019,12 @@ let () =
   if run || List.mem "proptest" which then
     run_experiment "proptest" (proptest_smoke ~scale);
   if run || List.mem "codec" which then run_experiment "codec" (codec_exp ~scale);
+  if run || List.mem "proving" which then run_experiment "proving" proving_exp;
   if run || List.mem "micro" which then run_experiment "micro" micro;
   Telemetry.maybe_write_trace ();
-  Printf.printf "\ntotal bench wall time: %.1f s\n" (Unix.gettimeofday () -. t0)
+  Printf.printf "\ntotal bench wall time: %.1f s\n" (Unix.gettimeofday () -. t0);
+  if !regression_failures > 0 then begin
+    Printf.printf "REGRESSION GATE FAILED: %d issue(s)\n" !regression_failures;
+    exit 1
+  end
+  else if check then print_endline "regression gate: PASS"

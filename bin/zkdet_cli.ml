@@ -25,6 +25,10 @@ module Codec = Zkdet_codec.Codec
 module Cs = Zkdet_plonk.Cs
 module Proof_system = Zkdet_core.Proof_system
 module Chain = Zkdet_chain.Chain
+module Scenario = Zkdet_core.Scenario
+module Obs = Zkdet_obs.Obs
+module Journal = Zkdet_obs.Journal
+module Audit = Zkdet_obs.Audit
 open Cmdliner
 
 let read_file path =
@@ -364,10 +368,139 @@ let chain_restore_cmd =
        ~doc:"Restore a ledger snapshot and re-verify its canonical bytes")
     Term.(const run $ file)
 
+(* ------------------------------------------------------------------ *)
+(* Journaled exchange + audit reconstruction. *)
+
+let exchange_cmd =
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:"Write a hash-chained ZJNL event journal of the run")
+  in
+  let chain_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chain-out" ] ~docv:"FILE"
+          ~doc:"Write the final ledger snapshot (ZCHN) for audit joins")
+  in
+  let prom =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prom" ] ~docv:"FILE"
+          ~doc:"Write telemetry in Prometheus text-exposition format")
+  in
+  let n =
+    Arg.(value & opt int 8 & info [ "n" ] ~docv:"N" ~doc:"Dataset size")
+  in
+  let run journal chain_out prom seed n =
+    if n < 1 then begin
+      prerr_endline "zkdet: -n must be at least 1";
+      exit 2
+    end;
+    Option.iter (fun p -> Obs.set_journal_path (Some p)) journal;
+    if prom <> None then Telemetry.set_enabled true;
+    let o = Scenario.run ~seed ~n () in
+    Obs.close ();
+    Option.iter
+      (fun p ->
+        write_file p (Chain.snapshot o.Scenario.chain);
+        Printf.printf "wrote chain snapshot %s (%d block(s))\n" p
+          (Chain.block_count o.Scenario.chain))
+      chain_out;
+    Option.iter
+      (fun p ->
+        write_file p (Telemetry.Report.to_prometheus (Telemetry.snapshot ()));
+        Printf.printf "wrote Prometheus metrics %s\n" p)
+      prom;
+    Option.iter (fun p -> Printf.printf "wrote journal %s\n" p) journal;
+    Printf.printf "exchange %s: proof %s, delivery %s\n"
+      (if o.Scenario.ok then "OK" else "FAILED")
+      (if o.Scenario.proof_ok then "verified" else "rejected")
+      (if o.Scenario.delivered then "recovered" else "missing");
+    if not o.Scenario.ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "exchange"
+       ~doc:"Run a seeded end-to-end ZKCP exchange, optionally journaled")
+    Term.(const run $ journal $ chain_out $ prom $ seed_arg $ n)
+
+let audit_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"JOURNAL" ~doc:"ZJNL journal written by [exchange]")
+  in
+  let chain_snapshot =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "chain-snapshot" ] ~docv:"FILE"
+          ~doc:"Ledger snapshot (ZCHN) to cross-check the journal against")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the report as JSON")
+  in
+  let run file chain_snapshot json_out =
+    match Journal.read_file file with
+    | Error e ->
+      Printf.printf "audit FAILED: %s\n" (Journal.error_to_string e);
+      exit 1
+    | Ok entries ->
+      let chain =
+        match chain_snapshot with
+        | None -> None
+        | Some p -> (
+          match Chain.restore (read_file p) with
+          | Error e ->
+            Printf.printf "audit FAILED: bad chain snapshot: %s\n"
+              (Codec.error_to_string e);
+            exit 2
+          | Ok chain ->
+            Some
+              (List.map
+                 (fun (r : Chain.receipt) ->
+                   {
+                     Audit.fact_tx_hash = r.Chain.tx_hash;
+                     fact_label = r.Chain.tx_label;
+                     fact_ok = Result.is_ok r.Chain.status;
+                     fact_block = r.Chain.block_number;
+                     fact_events =
+                       List.map
+                         (fun (ev : Chain.event) ->
+                           (ev.Chain.event_contract, ev.Chain.event_name,
+                            ev.Chain.event_data))
+                         r.Chain.events;
+                   })
+                 (Chain.receipts chain)))
+      in
+      let report = Audit.run ?chain entries in
+      print_string (Audit.render report);
+      Option.iter
+        (fun p ->
+          write_file p (Json.to_string_pretty (Audit.to_json report)))
+        json_out;
+      if not report.Audit.ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Rebuild and verify the exchange timeline from a hash-chained \
+          journal")
+    Term.(const run $ file $ chain_snapshot $ json_out)
+
 let () =
   let doc = "ZKDET: traceable, privacy-preserving data exchange" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "zkdet" ~doc)
           [ params_cmd; selftest_cmd; ceremony_cmd; trace_check_cmd;
-            prove_cmd; verify_cmd; chain_snapshot_cmd; chain_restore_cmd ]))
+            prove_cmd; verify_cmd; chain_snapshot_cmd; chain_restore_cmd;
+            exchange_cmd; audit_cmd ]))

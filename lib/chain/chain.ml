@@ -8,6 +8,7 @@
 module Sha256 = Zkdet_hash.Sha256
 module Keccak256 = Zkdet_hash.Keccak256
 module Telemetry = Zkdet_telemetry.Telemetry
+module Obs = Zkdet_obs.Obs
 module C = Zkdet_codec.Codec
 
 module Address = struct
@@ -57,6 +58,9 @@ type receipt = {
   status : (unit, error) result;
   events : event list;
   block_number : int option; (* None while pending *)
+  trace : (string * string) option;
+      (* (trace_id, span_id) of the observability context the tx was
+         submitted under, when journaling was active *)
 }
 
 type block = {
@@ -218,6 +222,18 @@ let execute (chain : t) ~(sender : Address.t) ~(label : string)
     Sha256.hex_of_string
       (Sha256.digest (Printf.sprintf "%s/%s/%d" sender label chain.nonce))
   in
+  (* A reverted (or fee-unpaid) transaction must leave no trace in the
+     event log: its events never happened.  They were only accumulated in
+     the env so far, so dropping them here discards them from the
+     receipt, the block event history and the observability journal. *)
+  let events =
+    match status with Ok () -> List.rev env.tx_events | Error _ -> []
+  in
+  let trace =
+    Option.map
+      (fun (c : Obs.Trace_ctx.t) -> (c.trace_id, c.span_id))
+      (Obs.current ())
+  in
   let receipt =
     {
       tx_hash;
@@ -225,12 +241,35 @@ let execute (chain : t) ~(sender : Address.t) ~(label : string)
       sender;
       gas_used;
       status;
-      events = List.rev env.tx_events;
+      events;
       block_number = None;
+      trace;
     }
   in
   chain.pending <- receipt :: chain.pending;
   Hashtbl.replace chain.receipts tx_hash receipt;
+  if Obs.is_enabled () then begin
+    Obs.emit
+      (Zkdet_obs.Event.Tx_submitted
+         { tx_hash; label; sender; gas_used; ok = Result.is_ok status });
+    match status with
+    | Ok () ->
+      List.iter
+        (fun e ->
+          Obs.emit
+            (Zkdet_obs.Event.Chain_event
+               {
+                 tx_hash;
+                 contract = e.event_contract;
+                 name = e.event_name;
+                 data = e.event_data;
+               }))
+        events
+    | Error e ->
+      Obs.emit
+        (Zkdet_obs.Event.Tx_reverted
+           { tx_hash; label; reason = error_to_string e })
+  end;
   receipt
 
 (* Merkle root over transaction hashes (SHA-256, duplicate-last padding). *)
@@ -284,12 +323,22 @@ let mine (chain : t) : block =
       Hashtbl.replace chain.receipts r.tx_hash { r with block_number = Some number })
     txs;
   chain.pending <- List.rev overflow;
+  if Obs.is_enabled () then
+    List.iter
+      (fun r ->
+        Obs.emit (Zkdet_obs.Event.Tx_mined { tx_hash = r.tx_hash; block = number }))
+      txs;
   block
 
 let pending_count (chain : t) = List.length chain.pending
 let head (chain : t) = List.hd chain.blocks
 let block_count (chain : t) = List.length chain.blocks
 let receipt (chain : t) hash = Hashtbl.find_opt chain.receipts hash
+
+let receipts (chain : t) : receipt list =
+  List.sort
+    (fun a b -> String.compare a.tx_hash b.tx_hash)
+    (Hashtbl.fold (fun _ r acc -> r :: acc) chain.receipts [])
 
 (** Validate hash-linking, PoA rotation and tx roots of the whole chain. *)
 let validate (chain : t) : bool =
@@ -310,7 +359,8 @@ let validate (chain : t) : bool =
   go chain.blocks
 
 (* ------------------------------------------------------------------ *)
-(* Canonical snapshots ("ZCHN" envelope, version 1; see FORMATS.md).
+(* Canonical snapshots ("ZCHN" envelope, version 2; see FORMATS.md).
+   Version 2 added the optional observability trace to each receipt.
 
    The whole ledger state serializes to one deterministic byte string:
    hashtables are emitted as key-sorted association lists, blocks oldest
@@ -365,15 +415,18 @@ let receipt_codec : receipt C.t =
     (fun r ->
       ( (r.tx_hash, r.tx_label, r.sender),
         (r.gas_used, r.status, r.events),
-        r.block_number ))
+        r.block_number,
+        r.trace ))
     (fun ( (tx_hash, tx_label, sender),
            (gas_used, status, events),
-           block_number ) ->
-      { tx_hash; tx_label; sender; gas_used; status; events; block_number })
-    (C.triple
+           block_number,
+           trace ) ->
+      { tx_hash; tx_label; sender; gas_used; status; events; block_number; trace })
+    (C.quad
        (C.triple C.str C.str C.str)
        (C.triple C.u64 status_codec (C.list event_codec))
-       (C.option C.u32))
+       (C.option C.u32)
+       (C.option (C.pair C.str C.str)))
 
 let block_codec : block C.t =
   C.map
@@ -472,7 +525,7 @@ let snapshot_codec : t C.t =
     end
   in
   C.with_context "chain.snapshot"
-    (C.envelope ~magic:"ZCHN" ~version:1 (C.conv proj inj payload))
+    (C.envelope ~magic:"ZCHN" ~version:2 (C.conv proj inj payload))
 
 let snapshot (chain : t) : string = C.encode snapshot_codec chain
 let restore (bytes : string) : (t, C.error) result = C.decode snapshot_codec bytes

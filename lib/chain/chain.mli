@@ -43,7 +43,12 @@ type receipt = {
   gas_used : int;
   status : (unit, error) result;
   events : event list;
+      (** events of a successful execution; a reverted or fee-unpaid
+          transaction contributes none *)
   block_number : int option;  (** [None] while pending *)
+  trace : (string * string) option;
+      (** (trace_id, span_id) of the [Zkdet_obs] context active at
+          submission, [None] when journaling was off *)
 }
 
 type block = {
@@ -90,9 +95,13 @@ val execute :
 (** Run a transaction: charges base + calldata gas, executes the closure
     under the meter, deducts the fee from the sender, records the
     receipt. Reverts and out-of-gas become [Error] statuses (the failed
-    transaction still pays for gas). [contract] attributes the gas to a
+    transaction still pays for gas), and any events the closure emitted
+    before failing are discarded. [contract] attributes the gas to a
     contract in telemetry ("chain.gas.by_contract.<name>"); it defaults
-    to the label prefix before [':']. *)
+    to the label prefix before [':']. When a [Zkdet_obs] journal is
+    active the receipt is stamped with the ambient trace and
+    tx-submitted / tx-reverted / chain-event records are journaled
+    ([mine] adds tx-mined). *)
 
 val mine : t -> block
 (** Seal pending transactions into a block (round-robin PoA) up to the
@@ -104,6 +113,11 @@ val head : t -> block
 val block_count : t -> int
 val receipt : t -> string -> receipt option
 
+val receipts : t -> receipt list
+(** Every receipt the chain knows (sealed and pending), sorted by
+    transaction hash — the deterministic fact list the audit tool joins a
+    journal against. *)
+
 val validate : t -> bool
 (** Re-check hash links, PoA rotation and transaction Merkle roots of the
     whole chain. *)
@@ -114,10 +128,11 @@ val storage_set : t -> contract:string -> key:string -> value:string -> unit
 val storage_get : t -> contract:string -> key:string -> string option
 
 val snapshot_codec : t Zkdet_codec.Codec.t
-(** Canonical ledger snapshot: a ["ZCHN"] envelope (version 1) holding
-    balances, counters, gas parameters, validators, blocks, receipts,
-    pending transactions and per-contract storage, all deterministically
-    ordered (see FORMATS.md). *)
+(** Canonical ledger snapshot: a ["ZCHN"] envelope (version 2) holding
+    balances, counters, gas parameters, validators, blocks, receipts
+    (with their optional observability trace), pending transactions and
+    per-contract storage, all deterministically ordered (see
+    FORMATS.md). *)
 
 val snapshot : t -> string
 (** Serialize the whole ledger state. Deterministic: equal observable

@@ -17,6 +17,7 @@ module Verifier = Zkdet_plonk.Verifier
 module Proof = Zkdet_plonk.Proof
 module Preprocess = Zkdet_plonk.Preprocess
 module Poseidon = Zkdet_poseidon.Poseidon
+module Obs = Zkdet_obs.Obs
 
 (** What the seller advertises: everything here is public. *)
 type offer = {
@@ -50,6 +51,7 @@ let validation_pk env ~n ~predicate =
     actually satisfy the predicate (an honest seller checks first). *)
 let prove_validation (env : Env.t) (s : Transform.sealed)
     (predicate : Circuits.predicate) : Proof.t =
+  Obs.with_span "exchange.prove_validation" @@ fun () ->
   let pk = validation_pk env ~n:(Transform.size s) ~predicate in
   let cs =
     Circuits.validation_circuit ~data:s.Transform.data ~key:s.Transform.key
@@ -59,6 +61,7 @@ let prove_validation (env : Env.t) (s : Transform.sealed)
 
 (** Buyer: verify pi_p against the public offer. *)
 let verify_validation (env : Env.t) (o : offer) (proof : Proof.t) : bool =
+  Obs.with_span "exchange.verify_validation" @@ fun () ->
   let pk = validation_pk env ~n:(Array.length o.ciphertext) ~predicate:o.predicate in
   Verifier.verify pk.Preprocess.vk
     (Circuits.validation_publics ~nonce:o.nonce ~c_d:o.c_d
@@ -84,6 +87,7 @@ let key_vk env = (key_pk env).Preprocess.vk
 (** Seller: given the buyer's k_v, derive k_c and prove pi_k. *)
 let prove_key (env : Env.t) (s : Transform.sealed) ~(k_v : Fr.t) :
     Fr.t * Proof.t =
+  Obs.with_span "exchange.prove_key" @@ fun () ->
   let k_c = Fr.add s.Transform.key k_v in
   let pk = key_pk env in
   let cs = Circuits.key_circuit ~key:s.Transform.key ~o_k:s.Transform.o_k ~k_v in
@@ -92,6 +96,7 @@ let prove_key (env : Env.t) (s : Transform.sealed) ~(k_v : Fr.t) :
 (** Arbiter-side check (also run inside the escrow contract). *)
 let verify_key (env : Env.t) ~(k_c : Fr.t) ~(c_k : Fr.t) ~(h_v : Fr.t)
     (proof : Proof.t) : bool =
+  Obs.with_span "exchange.verify_key" @@ fun () ->
   Verifier.verify (key_vk env) (Circuits.key_publics ~k_c ~c_k ~h_v) proof
 
 (** Buyer: recover the key and decrypt after settlement. *)

@@ -11,6 +11,7 @@ module Fr = Zkdet_field.Bn254.Fr
 module Mimc = Zkdet_mimc.Mimc
 module Merkle = Zkdet_circuit.Merkle
 module Fairswap_escrow = Zkdet_contracts.Fairswap_escrow
+module Obs = Zkdet_obs.Obs
 
 type seller_state = {
   data : Fr.t array;
@@ -29,6 +30,7 @@ let next_pow2_log n =
     root is the "description" of the goods the buyer pays for. *)
 let seller_prepare ?(st = Random.State.make_self_init ()) (data : Fr.t array) :
     seller_state =
+  Obs.with_span "fairswap.prepare" @@ fun () ->
   let key = Fr.random st in
   let depth = max 1 (next_pow2_log (Array.length data)) in
   let ciphertext =
@@ -63,6 +65,7 @@ let seller_cheat ?(st = Random.State.make_self_init ()) (advertised : Fr.t array
 let buyer_check ~(key : Fr.t) ~(ciphertext : Fr.t array)
     ~(ciphertext_tree : Merkle.tree) ~(advertised_tree : Merkle.tree) :
     Fairswap_escrow.misbehavior_proof option =
+  Obs.with_span "fairswap.check" @@ fun () ->
   let n = Array.length ciphertext in
   let advertised_leaves = advertised_tree.Merkle.levels.(0) in
   let rec scan i =

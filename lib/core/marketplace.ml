@@ -15,6 +15,15 @@ module Chain = Zkdet_chain.Chain
 module Erc721 = Zkdet_contracts.Erc721
 module Escrow = Zkdet_contracts.Escrow
 module Verifier_contract = Zkdet_contracts.Verifier_contract
+module Obs = Zkdet_obs.Obs
+module Event = Zkdet_obs.Event
+
+(* One [Protocol_step] per protocol milestone: the audit tool replays
+   these to check causal consistency (a "complete" step must be preceded
+   by a verified proof and followed only by mined transactions). *)
+let step ?(detail = []) name =
+  if Obs.is_enabled () then
+    Obs.emit (Event.Protocol_step { protocol = "zkdet-exchange"; step = name; detail })
 
 let log_src = Logs.Src.create "zkdet.marketplace" ~doc:"ZKDET marketplace events"
 
@@ -156,6 +165,7 @@ let mint_with_meta (m : t) ~(owner : Chain.Address.t) (meta : meta)
     Returns the token id and the sealed handle (the owner's secrets). *)
 let publish (m : t) ~(owner : Chain.Address.t) (data : Fr.t array) :
     (int * Transform.sealed, string) result =
+  Obs.with_span "marketplace.publish" @@ fun () ->
   Chain.faucet m.chain owner 10_000_000;
   let owner_node = node m ~id:owner in
   let sealed = Transform.seal ~st:m.env.Env.rng data in
@@ -192,6 +202,7 @@ let derive (m : t) ~(owner : Chain.Address.t)
       | `Partition of int list
       | `Process of Circuits.processing_spec ]) :
     ((int * Transform.sealed) list, string) result =
+  Obs.with_span "marketplace.derive" @@ fun () ->
   let owner_node = node m ~id:owner in
   let parent_ids = List.map fst parents in
   let parent_sealed = List.map snd parents in
@@ -312,6 +323,7 @@ let audit_encryption (m : t) (auditor : Storage.node) (token_id : int) :
     every pi_e and every pi_t in the provenance graph. *)
 let rec audit_provenance (m : t) ~(auditor_id : string) (token_id : int) :
     (int, audit_failure) result =
+  Obs.with_span "marketplace.audit_provenance" @@ fun () ->
   let auditor = node m ~id:auditor_id in
   let tokens = Erc721.provenance m.nft token_id in
   let checked = ref 0 in
@@ -425,13 +437,18 @@ let trade (m : t) ~(seller : Chain.Address.t) ~(buyer : Chain.Address.t)
     ~(token_id : int) ~(sealed : Transform.sealed)
     ~(predicate : Circuits.predicate) ~(price : int) :
     (Fr.t array, trade_failure) result =
+  Obs.with_trace "marketplace.trade" @@ fun () ->
   Chain.faucet m.chain buyer (price + 10_000_000);
   Chain.faucet m.chain seller 10_000_000;
   let offer = Exchange.make_offer sealed ~predicate ~price in
+  step "offer"
+    ~detail:
+      [ ("token", string_of_int token_id); ("price", string_of_int price) ];
   (* Phase 1: seller proves, buyer verifies. *)
   let pi_p = Exchange.prove_validation m.env sealed predicate in
   if not (Exchange.verify_validation m.env offer pi_p) then Error `Offer_rejected
   else begin
+    step "validate";
     let k_v, h_v = Exchange.buyer_blinding ~st:m.env.Env.rng () in
     match
       Escrow.lock m.escrow m.chain ~buyer ~seller ~amount:price ~h_v
@@ -444,6 +461,7 @@ let trade (m : t) ~(seller : Chain.Address.t) ~(buyer : Chain.Address.t)
           | Error e -> Chain.error_to_string e
           | Ok () -> "no deal id"))
     | Some deal_id, _ -> (
+      step "lock" ~detail:[ ("deal", string_of_int deal_id) ];
       (* Phase 2: seller derives k_c and pi_k, settles on-chain. *)
       let k_c, pi_k = Exchange.prove_key m.env sealed ~k_v in
       let settle_receipt =
@@ -452,16 +470,19 @@ let trade (m : t) ~(seller : Chain.Address.t) ~(buyer : Chain.Address.t)
       match settle_receipt.Chain.status with
       | Error e -> Error (`Settle_failed (Chain.error_to_string e))
       | Ok () ->
+        step "settle" ~detail:[ ("deal", string_of_int deal_id) ];
         (* Buyer recovers the key and decrypts. *)
         let data = Exchange.recover offer ~k_c ~k_v in
         if not (Exchange.recovered_matches offer ~k_c ~k_v data) then
           Error `Recovered_garbage
         else begin
+          step "recover";
           (* transfer the NFT to the buyer *)
           ignore
             (Erc721.transfer_from m.nft m.chain ~sender:seller ~from:seller
                ~to_:buyer ~token_id);
           ignore (Chain.mine m.chain);
+          step "complete" ~detail:[ ("token", string_of_int token_id) ];
           Log.info (fun f ->
               f "trade settled: token #%d, %s -> %s, price %d" token_id seller
                 buyer price);

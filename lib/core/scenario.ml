@@ -1,0 +1,108 @@
+(* A canned, fully seeded ZKCP exchange: seal, publish to storage, prove,
+   verify, escrow lock, on-chain key disclosure, buyer-side recovery.
+
+   Everything is derived from [seed] — the RNG, the dataset, the chain
+   addresses — so two runs with the same seed emit byte-identical ZJNL
+   journals (the trace-propagation tests and the CI audit job depend on
+   this).  Reused by [zkdet_cli exchange] and the observability tests. *)
+
+module Fr = Zkdet_field.Bn254.Fr
+module Chain = Zkdet_chain.Chain
+module Storage = Zkdet_storage.Storage
+module Zkcp_escrow = Zkdet_contracts.Zkcp_escrow
+module Obs = Zkdet_obs.Obs
+module Event = Zkdet_obs.Event
+
+type outcome = {
+  chain : Chain.t;
+  net : Storage.t;
+  proof_ok : bool;  (** the buyer accepted pi_p *)
+  delivered : bool;  (** the recovered plaintext equals the original *)
+  ok : bool;
+}
+
+let step ?(detail = []) name =
+  if Obs.is_enabled () then
+    Obs.emit (Event.Protocol_step { protocol = "zkcp"; step = name; detail })
+
+(** [run ~seed ~n ()] executes one complete exchange of an [n]-element
+    dataset.  The whole run sits under a single ["zkcp-exchange"] trace;
+    it ends with a ["complete"] protocol step only when the proof
+    verified, every transaction succeeded and the buyer recovered the
+    exact plaintext. *)
+let run ?(seed = 42) ?(n = 8) ?(price = 1_000) () : outcome =
+  let env = Env.create ~log2_max_gates:12 ~seed:[| seed |] () in
+  let chain = Chain.create () in
+  let net = Storage.create () in
+  let seller = Chain.Address.of_seed (Printf.sprintf "seller/%d" seed) in
+  let buyer = Chain.Address.of_seed (Printf.sprintf "buyer/%d" seed) in
+  Chain.faucet chain seller 10_000_000;
+  Chain.faucet chain buyer (price + 10_000_000);
+  let seller_node = Storage.add_node net ~id:"seller-node" in
+  let buyer_node = Storage.add_node net ~id:"buyer-node" in
+  let data = Array.init n (fun i -> Fr.of_int ((seed * 1_000) + i)) in
+  let predicate = Circuits.Trivial in
+  Obs.with_trace "zkcp-exchange" @@ fun () ->
+  (* Seller: seal the dataset and advertise the offer. *)
+  let sealed = Transform.seal ~st:env.Env.rng data in
+  let offer = Zkcp.make_offer sealed ~predicate ~price in
+  step "offer" ~detail:[ ("n", string_of_int n); ("price", string_of_int price) ];
+  (* Seller: publish the ciphertext to public storage. *)
+  let ct_cid =
+    Storage.Cid.to_string
+      (Storage.put net seller_node (Storage.Codec.encode offer.Zkcp.ciphertext))
+  in
+  step "publish" ~detail:[ ("cid", ct_cid) ];
+  (* Deliver: the seller proves phi(D) = 1 over the published ciphertext. *)
+  let proof = Zkcp.prove env sealed predicate in
+  step "deliver";
+  (* Verify: the buyer checks pi_p before locking any payment. *)
+  let proof_ok = Zkcp.verify env offer proof in
+  step "verify" ~detail:[ ("ok", string_of_bool proof_ok) ];
+  if not proof_ok then
+    { chain; net; proof_ok; delivered = false; ok = false }
+  else begin
+    (* Lock: buyer escrows the price against h = H(k). *)
+    let escrow, _ = Zkcp_escrow.deploy chain ~deployer:buyer in
+    let deal_id, _ =
+      Zkcp_escrow.lock escrow chain ~buyer ~seller ~amount:price
+        ~h:offer.Zkcp.h ~timeout_blocks:50
+    in
+    ignore (Chain.mine chain);
+    match deal_id with
+    | None -> { chain; net; proof_ok; delivered = false; ok = false }
+    | Some deal_id ->
+      step "lock" ~detail:[ ("deal", string_of_int deal_id) ];
+      (* Open: the seller discloses k on-chain and collects the payment. *)
+      let open_receipt =
+        Zkcp_escrow.open_key escrow chain ~seller ~deal_id
+          ~key:sealed.Transform.key
+      in
+      ignore (Chain.mine chain);
+      (match open_receipt.Chain.status with
+      | Error _ -> { chain; net; proof_ok; delivered = false; ok = false }
+      | Ok () ->
+        step "open" ~detail:[ ("deal", string_of_int deal_id) ];
+        (* Recover: the buyer (like any observer) reads k from the chain,
+           fetches the ciphertext and decrypts. *)
+        let delivered =
+          match
+            (Zkcp_escrow.disclosed_key escrow deal_id,
+             Storage.get net buyer_node ct_cid)
+          with
+          | Some key, Ok ct_bytes -> (
+            match Storage.Codec.decode_result ct_bytes with
+            | Error _ -> false
+            | Ok ciphertext ->
+              let recovered =
+                Zkcp.third_party_decrypt
+                  { offer with Zkcp.ciphertext }
+                  ~disclosed_key:key
+              in
+              Array.length recovered = Array.length data
+              && Array.for_all2 Fr.equal recovered data)
+          | _ -> false
+        in
+        if delivered then step "complete" ~detail:[ ("deal", string_of_int deal_id) ];
+        { chain; net; proof_ok; delivered; ok = delivered })
+  end

@@ -16,6 +16,7 @@ module Gadgets = Zkdet_circuit.Gadgets
 module Mimc_gadget = Zkdet_circuit.Mimc_gadget
 module Poseidon_gadget = Zkdet_circuit.Poseidon_gadget
 module Mimc = Zkdet_mimc.Mimc
+module Obs = Zkdet_obs.Obs
 
 (* ZKCP's pi_p: publics: nonce :: h :: predicate params :: ct...
    witness: data, key. (No commitment: ZKCP binds the key via its hash,
@@ -87,6 +88,7 @@ let make_offer (s : Transform.sealed) ~(predicate : Circuits.predicate)
 (** Seller: the Deliver step. *)
 let prove (env : Env.t) (s : Transform.sealed)
     (predicate : Circuits.predicate) : Proof.t =
+  Obs.with_span "zkcp.prove" @@ fun () ->
   let pk = pk env ~n:(Transform.size s) ~predicate in
   let cs =
     circuit ~data:s.Transform.data ~key:s.Transform.key ~nonce:s.Transform.nonce
@@ -96,6 +98,7 @@ let prove (env : Env.t) (s : Transform.sealed)
 
 (** Buyer: the Verify step. *)
 let verify (env : Env.t) (o : offer) (proof : Proof.t) : bool =
+  Obs.with_span "zkcp.verify" @@ fun () ->
   let pk = pk env ~n:(Array.length o.ciphertext) ~predicate:o.predicate in
   Verifier.verify pk.Preprocess.vk
     (publics ~nonce:o.nonce ~h:o.h ~predicate:o.predicate
@@ -127,6 +130,7 @@ module Make (B : Proof_system.S) = struct
   (** Seller: the Deliver step. *)
   let prove ?st (s : Transform.sealed) (predicate : Circuits.predicate) :
       B.proof =
+    Obs.with_span "zkcp.prove" @@ fun () ->
     let pk = pk ?st ~n:(Transform.size s) ~predicate () in
     let cs =
       circuit ~data:s.Transform.data ~key:s.Transform.key
@@ -136,6 +140,7 @@ module Make (B : Proof_system.S) = struct
 
   (** Buyer: the Verify step. *)
   let verify ?st (o : offer) (proof : B.proof) : bool =
+    Obs.with_span "zkcp.verify" @@ fun () ->
     let pk = pk ?st ~n:(Array.length o.ciphertext) ~predicate:o.predicate () in
     B.verify (B.vk pk)
       (publics ~nonce:o.nonce ~h:o.h ~predicate:o.predicate

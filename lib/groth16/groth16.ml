@@ -334,22 +334,37 @@ let prove ?(st = Random.State.make_self_init ()) (pk : proving_key)
       [ sum_k; h_part; G1.mul pi_a ss; G1.mul b_g1 rr;
         G1.neg (G1.mul pk.delta_g1 (Fr.mul rr ss)) ]
   in
-  { pi_a; pi_b; pi_c }
+  let proof = { pi_a; pi_b; pi_c } in
+  if Zkdet_obs.Obs.is_enabled () then
+    Zkdet_obs.Obs.emit
+      (Zkdet_obs.Event.Proof_generated
+         {
+           system = "groth16";
+           constraints = Cs.num_gates compiled;
+           proof_bytes = proof_size_bytes proof;
+         });
+  proof
 
 (** Verification: e(A, B) = e(alpha, beta) e(IC(x), gamma) e(C, delta) —
     3 pairing factors plus ONE G1 exponentiation per public input (the
     cost §VI-B.3 contrasts with Plonk's input-independent verifier). *)
 let verify (vk : verification_key) (publics : Fr.t array) (proof : proof) : bool
     =
-  if Array.length publics + 1 <> Array.length vk.vk_ic then false
-  else begin
-    let ic =
-      G1.add vk.vk_ic.(0)
-        (G1.msm (Array.sub vk.vk_ic 1 (Array.length publics)) publics)
-    in
-    Pairing.pairing_check
-      [ (proof.pi_a, proof.pi_b);
-        (G1.neg vk.vk_alpha_g1, vk.vk_beta_g2);
-        (G1.neg ic, vk.vk_gamma_g2);
-        (G1.neg proof.pi_c, vk.vk_delta_g2) ]
-  end
+  let ok =
+    if Array.length publics + 1 <> Array.length vk.vk_ic then false
+    else begin
+      let ic =
+        G1.add vk.vk_ic.(0)
+          (G1.msm (Array.sub vk.vk_ic 1 (Array.length publics)) publics)
+      in
+      Pairing.pairing_check
+        [ (proof.pi_a, proof.pi_b);
+          (G1.neg vk.vk_alpha_g1, vk.vk_beta_g2);
+          (G1.neg ic, vk.vk_gamma_g2);
+          (G1.neg proof.pi_c, vk.vk_delta_g2) ]
+    end
+  in
+  if Zkdet_obs.Obs.is_enabled () then
+    Zkdet_obs.Obs.emit
+      (Zkdet_obs.Event.Proof_verified { system = "groth16"; ok });
+  ok

@@ -1,0 +1,428 @@
+(* Audit reconstruction over a verified journal.
+
+   [Journal.read_file] already authenticated the hash chain; this module
+   answers the protocol-level questions: do the events of each trace form
+   a tree, is every claimed delivery backed by a verified proof and a
+   mined transaction, did any event from a reverted call leak, and does
+   the journal agree with an independently captured chain snapshot?
+
+   Chain facts are passed in as plain records rather than [Chain.receipt]
+   so that zkdet_obs stays below zkdet_chain in the dependency order (the
+   chain itself emits journal events); the CLI flattens a ZCHN snapshot
+   into facts before calling {!run}. *)
+
+module Json = Zkdet_telemetry.Json
+
+type chain_fact = {
+  fact_tx_hash : string;
+  fact_label : string;
+  fact_ok : bool;
+  fact_block : int option;
+  fact_events : (string * string * string list) list;
+      (** (contract, name, data) in emission order *)
+}
+
+type severity = Err | Warn
+
+type issue = { severity : severity; seq : int option; message : string }
+
+type trace_summary = {
+  t_id : string;
+  t_label : string;
+  t_entries : int;
+  t_ended : bool;
+  t_ok : bool;  (** Trace_end carried ok=true *)
+  t_proofs_verified : int;
+  t_txs : int;
+}
+
+type report = {
+  entries : Journal.entry list;
+  depth : (string, int) Hashtbl.t;  (** span_id -> nesting depth *)
+  traces : trace_summary list;  (** in order of first appearance *)
+  issues : issue list;
+  ok : bool;  (** no [Err]-severity issues *)
+}
+
+(* Per-trace accumulator used during the single forward walk. *)
+type trace_acc = {
+  mutable a_label : string;
+  mutable a_entries : int;
+  mutable a_ended : bool;
+  mutable a_ok : bool;
+  mutable a_verified_ok : int;  (** Proof_verified ok=true so far *)
+  mutable a_txs_ok : string list;  (** hashes of ok submissions *)
+  mutable a_complete_at : int option;  (** seq of the "complete" step *)
+}
+
+let run ?chain (entries : Journal.entry list) : report =
+  let issues = ref [] in
+  let err ?seq fmt =
+    Printf.ksprintf
+      (fun message -> issues := { severity = Err; seq; message } :: !issues)
+      fmt
+  in
+  let warn ?seq fmt =
+    Printf.ksprintf
+      (fun message -> issues := { severity = Warn; seq; message } :: !issues)
+      fmt
+  in
+  let depth : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  (* span_id -> trace_id, for tree checks *)
+  let span_trace : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let traces : (string, trace_acc) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  let submitted : (string, string * bool) Hashtbl.t = Hashtbl.create 16 in
+  (* tx_hash -> (label, ok) *)
+  let mined : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let reverted : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+  let tx_events : (string, (string * string * string list) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let trace_of id =
+    match Hashtbl.find_opt traces id with
+    | Some t -> t
+    | None ->
+        let t =
+          {
+            a_label = "?";
+            a_entries = 0;
+            a_ended = false;
+            a_ok = false;
+            a_verified_ok = 0;
+            a_txs_ok = [];
+            a_complete_at = None;
+          }
+        in
+        Hashtbl.add traces id t;
+        order := id :: !order;
+        t
+  in
+  List.iter
+    (fun (e : Journal.entry) ->
+      let seq = e.seq in
+      let t = trace_of e.trace_id in
+      t.a_entries <- t.a_entries + 1;
+      (* Tree structure: begin-events register their span, everything else
+         must sit inside an already-registered span of the same trace. *)
+      (match e.event with
+      | Event.Trace_begin { label } ->
+          if e.parent <> None then
+            err ~seq "trace root %s has a parent span" e.span_id;
+          if Hashtbl.mem depth e.span_id then
+            err ~seq "span id %s reused" e.span_id;
+          Hashtbl.replace depth e.span_id 0;
+          Hashtbl.replace span_trace e.span_id e.trace_id;
+          if t.a_label <> "?" then err ~seq "trace %s begun twice" e.trace_id;
+          t.a_label <- label
+      | Event.Span_begin _ -> (
+          match e.parent with
+          | None -> err ~seq "span %s has no parent" e.span_id
+          | Some p -> (
+              if Hashtbl.mem depth e.span_id then
+                err ~seq "span id %s reused" e.span_id;
+              match Hashtbl.find_opt depth p with
+              | None -> err ~seq "span %s begins under unknown parent %s" e.span_id p
+              | Some d ->
+                  if Hashtbl.find_opt span_trace p <> Some e.trace_id then
+                    err ~seq "span %s crosses traces" e.span_id;
+                  Hashtbl.replace depth e.span_id (d + 1);
+                  Hashtbl.replace span_trace e.span_id e.trace_id))
+      | _ -> (
+          match Hashtbl.find_opt span_trace e.span_id with
+          | None -> err ~seq "event outside any registered span (%s)" e.span_id
+          | Some tid ->
+              if tid <> e.trace_id then
+                err ~seq "event's span %s belongs to another trace" e.span_id));
+      (* Causal bookkeeping. *)
+      match e.event with
+      | Event.Trace_end { ok; _ } ->
+          t.a_ended <- true;
+          t.a_ok <- ok
+      | Event.Tx_submitted { tx_hash; label; ok; _ } ->
+          if Hashtbl.mem submitted tx_hash then
+            err ~seq "tx %s submitted twice" tx_hash;
+          Hashtbl.replace submitted tx_hash (label, ok);
+          if ok then t.a_txs_ok <- tx_hash :: t.a_txs_ok
+      | Event.Tx_mined { tx_hash; block } ->
+          if not (Hashtbl.mem submitted tx_hash) then
+            err ~seq "tx %s mined but never submitted" tx_hash;
+          if Hashtbl.mem mined tx_hash then
+            err ~seq "tx %s mined twice" tx_hash;
+          Hashtbl.replace mined tx_hash block
+      | Event.Tx_reverted { tx_hash; _ } -> (
+          Hashtbl.replace reverted tx_hash ();
+          match Hashtbl.find_opt submitted tx_hash with
+          | None -> err ~seq "tx %s reverted but never submitted" tx_hash
+          | Some (_, true) ->
+              err ~seq "tx %s both succeeded and reverted" tx_hash
+          | Some (_, false) -> ())
+      | Event.Chain_event { tx_hash; contract; name; data } -> (
+          (if Hashtbl.mem reverted tx_hash then
+             err ~seq
+               "contract event %s.%s leaked from reverted tx %s (revert must \
+                discard events)"
+               contract name tx_hash
+           else
+             match Hashtbl.find_opt submitted tx_hash with
+             | Some (_, false) ->
+                 err ~seq "contract event %s.%s from failed tx %s" contract name
+                   tx_hash
+             | Some (_, true) -> ()
+             | None -> err ~seq "contract event from unknown tx %s" tx_hash);
+          let l =
+            match Hashtbl.find_opt tx_events tx_hash with
+            | Some l -> l
+            | None ->
+                let l = ref [] in
+                Hashtbl.add tx_events tx_hash l;
+                l
+          in
+          l := (contract, name, data) :: !l)
+      | Event.Proof_verified { ok; system } ->
+          if ok then t.a_verified_ok <- t.a_verified_ok + 1
+          else warn ~seq "%s proof rejected" system
+      | Event.Protocol_step { step; _ } ->
+          if step = "complete" then begin
+            if t.a_complete_at = None then t.a_complete_at <- Some seq;
+            if t.a_verified_ok = 0 then
+              err ~seq
+                "delivery claimed complete with no verified proof in trace %s"
+                e.trace_id
+          end
+      | _ -> ())
+    entries;
+  (* End-of-journal obligations. *)
+  Hashtbl.iter
+    (fun id t ->
+      if t.a_label <> "?" && not t.a_ended then
+        err "trace %s (%s) never ends (journal truncated?)" id t.a_label;
+      match t.a_complete_at with
+      | None -> ()
+      | Some seq ->
+          List.iter
+            (fun h ->
+              if not (Hashtbl.mem mined h) then
+                err ~seq "trace %s claims completion but tx %s was never mined"
+                  id h)
+            t.a_txs_ok)
+    traces;
+  (* Join against chain facts, when provided. *)
+  (match chain with
+  | None -> ()
+  | Some facts ->
+      let by_hash = Hashtbl.create 16 in
+      List.iter (fun f -> Hashtbl.replace by_hash f.fact_tx_hash f) facts;
+      Hashtbl.iter
+        (fun h (label, ok) ->
+          match Hashtbl.find_opt by_hash h with
+          | None -> err "journal tx %s (%s) absent from chain snapshot" h label
+          | Some f ->
+              if f.fact_label <> label then
+                err "tx %s label mismatch: journal %S vs chain %S" h label
+                  f.fact_label;
+              if f.fact_ok <> ok then
+                err "tx %s status mismatch: journal %s vs chain %s" h
+                  (if ok then "ok" else "failed")
+                  (if f.fact_ok then "ok" else "failed");
+              (match (Hashtbl.find_opt mined h, f.fact_block) with
+              | Some b, Some b' when b <> b' ->
+                  err "tx %s block mismatch: journal %d vs chain %d" h b b'
+              | Some b, None ->
+                  err "tx %s mined in journal (block %d) but pending on chain" h
+                    b
+              | None, Some _ | None, None | Some _, Some _ -> ());
+              let journal_events =
+                match Hashtbl.find_opt tx_events h with
+                | Some l -> List.rev !l
+                | None -> []
+              in
+              if journal_events <> f.fact_events then
+                err "tx %s contract events differ between journal and chain" h;
+              if Hashtbl.mem reverted h && f.fact_events <> [] then
+                err "reverted tx %s carries %d event(s) in the chain snapshot" h
+                  (List.length f.fact_events))
+        submitted;
+      List.iter
+        (fun f ->
+          if not (Hashtbl.mem submitted f.fact_tx_hash) then
+            warn "chain tx %s (%s) not covered by the journal" f.fact_tx_hash
+              f.fact_label)
+        facts);
+  let issues =
+    List.sort
+      (fun a b ->
+        compare
+          (Option.value a.seq ~default:max_int)
+          (Option.value b.seq ~default:max_int))
+      (List.rev !issues)
+  in
+  let traces =
+    List.rev_map
+      (fun id ->
+        let t = Hashtbl.find traces id in
+        {
+          t_id = id;
+          t_label = t.a_label;
+          t_entries = t.a_entries;
+          t_ended = t.a_ended;
+          t_ok = t.a_ok;
+          t_proofs_verified = t.a_verified_ok;
+          t_txs = List.length t.a_txs_ok;
+        })
+      !order
+  in
+  {
+    entries;
+    depth;
+    traces;
+    issues;
+    ok = not (List.exists (fun i -> i.severity = Err) issues);
+  }
+
+(* {2 Rendering} *)
+
+let render (r : report) : string =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (e : Journal.entry) ->
+      let d = Option.value (Hashtbl.find_opt r.depth e.span_id) ~default:0 in
+      Buffer.add_string b
+        (Printf.sprintf "%4d  %s  %s%s\n" e.seq
+           (String.sub e.trace_id 0 6)
+           (String.make (2 * d) ' ')
+           (Event.describe e.event)))
+    r.entries;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun t ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "trace %s  %-24s %4d events, %d verified proof(s), %d ok tx(s), %s\n"
+           t.t_id t.t_label t.t_entries t.t_proofs_verified t.t_txs
+           (if not t.t_ended then "UNTERMINATED"
+            else if t.t_ok then "completed"
+            else "failed")))
+    r.traces;
+  if r.issues <> [] then begin
+    Buffer.add_char b '\n';
+    List.iter
+      (fun i ->
+        Buffer.add_string b
+          (Printf.sprintf "%s%s: %s\n"
+             (match i.severity with Err -> "ERROR" | Warn -> "warning")
+             (match i.seq with Some s -> Printf.sprintf " (event %d)" s | None -> "")
+             i.message))
+      r.issues
+  end;
+  Buffer.add_string b
+    (Printf.sprintf "\naudit: %s (%d events, %d trace(s), %d error(s), %d \
+                     warning(s))\n"
+       (if r.ok then "PASS" else "FAIL")
+       (List.length r.entries) (List.length r.traces)
+       (List.length (List.filter (fun i -> i.severity = Err) r.issues))
+       (List.length (List.filter (fun i -> i.severity = Warn) r.issues)));
+  Buffer.contents b
+
+let event_to_json (ev : Event.t) : Json.t =
+  let open Json in
+  let fields =
+    match ev with
+    | Event.Trace_begin { label } -> [ ("label", String label) ]
+    | Event.Trace_end { label; ok } ->
+        [ ("label", String label); ("ok", Bool ok) ]
+    | Event.Span_begin { name } | Event.Span_end { name } ->
+        [ ("name", String name) ]
+    | Event.Protocol_step { protocol; step; detail } ->
+        [
+          ("protocol", String protocol);
+          ("step", String step);
+          ("detail", Obj (List.map (fun (k, v) -> (k, String v)) detail));
+        ]
+    | Event.Tx_submitted { tx_hash; label; sender; gas_used; ok } ->
+        [
+          ("tx_hash", String tx_hash);
+          ("label", String label);
+          ("sender", String sender);
+          ("gas_used", Int gas_used);
+          ("ok", Bool ok);
+        ]
+    | Event.Tx_mined { tx_hash; block } ->
+        [ ("tx_hash", String tx_hash); ("block", Int block) ]
+    | Event.Tx_reverted { tx_hash; label; reason } ->
+        [
+          ("tx_hash", String tx_hash);
+          ("label", String label);
+          ("reason", String reason);
+        ]
+    | Event.Chain_event { tx_hash; contract; name; data } ->
+        [
+          ("tx_hash", String tx_hash);
+          ("contract", String contract);
+          ("name", String name);
+          ("data", List (List.map (fun d -> String d) data));
+        ]
+    | Event.Proof_generated { system; constraints; proof_bytes } ->
+        [
+          ("system", String system);
+          ("constraints", Int constraints);
+          ("proof_bytes", Int proof_bytes);
+        ]
+    | Event.Proof_verified { system; ok } ->
+        [ ("system", String system); ("ok", Bool ok) ]
+    | Event.Chunk_stored { cid; bytes; chunks }
+    | Event.Chunk_fetched { cid; bytes; chunks } ->
+        [ ("cid", String cid); ("bytes", Int bytes); ("chunks", Int chunks) ]
+  in
+  Obj (("kind", String (Event.kind ev)) :: fields)
+
+let to_json (r : report) : Json.t =
+  let open Json in
+  Obj
+    [
+      ("version", Int 1);
+      ("ok", Bool r.ok);
+      ( "traces",
+        List
+          (List.map
+             (fun t ->
+               Obj
+                 [
+                   ("trace_id", String t.t_id);
+                   ("label", String t.t_label);
+                   ("entries", Int t.t_entries);
+                   ("ended", Bool t.t_ended);
+                   ("ok", Bool t.t_ok);
+                   ("proofs_verified", Int t.t_proofs_verified);
+                   ("txs_ok", Int t.t_txs);
+                 ])
+             r.traces) );
+      ( "events",
+        List
+          (List.map
+             (fun (e : Journal.entry) ->
+               Obj
+                 [
+                   ("seq", Int e.seq);
+                   ("trace_id", String e.trace_id);
+                   ("span_id", String e.span_id);
+                   ( "parent",
+                     match e.parent with None -> Null | Some p -> String p );
+                   ("event", event_to_json e.event);
+                 ])
+             r.entries) );
+      ( "issues",
+        List
+          (List.map
+             (fun i ->
+               Obj
+                 [
+                   ( "severity",
+                     String
+                       (match i.severity with Err -> "error" | Warn -> "warning")
+                   );
+                   ("seq", match i.seq with None -> Null | Some s -> Int s);
+                   ("message", String i.message);
+                 ])
+             r.issues) );
+    ]

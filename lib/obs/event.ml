@@ -1,0 +1,176 @@
+(* Typed observability events.
+
+   Every record in a ZJNL journal wraps exactly one of these.  The
+   constructors mirror the layers of the exchange pipeline: protocol
+   orchestration (steps, trace/span structure), the chain simulator
+   (submit/mine/revert + contract events), the proof systems and the
+   storage network.
+
+   Events must stay free of nondeterministic payloads: no wall-clock
+   times, no raw proof bytes, no pointers.  Sizes, hashes, CIDs and
+   labels are all derived from the seeded RNG and therefore reproduce
+   byte-for-byte across runs and domain counts. *)
+
+module C = Zkdet_codec.Codec
+
+type t =
+  | Trace_begin of { label : string }
+  | Trace_end of { label : string; ok : bool }
+  | Span_begin of { name : string }
+  | Span_end of { name : string }
+  | Protocol_step of {
+      protocol : string;
+      step : string;
+      detail : (string * string) list;
+    }
+  | Tx_submitted of {
+      tx_hash : string;
+      label : string;
+      sender : string;
+      gas_used : int;
+      ok : bool;
+    }
+  | Tx_mined of { tx_hash : string; block : int }
+  | Tx_reverted of { tx_hash : string; label : string; reason : string }
+  | Chain_event of {
+      tx_hash : string;
+      contract : string;
+      name : string;
+      data : string list;
+    }
+  | Proof_generated of { system : string; constraints : int; proof_bytes : int }
+  | Proof_verified of { system : string; ok : bool }
+  | Chunk_stored of { cid : string; bytes : int; chunks : int }
+  | Chunk_fetched of { cid : string; bytes : int; chunks : int }
+
+let codec : t C.t =
+  C.union "obs.event"
+    [
+      C.case ~tag:0 C.str
+        (fun label -> Trace_begin { label })
+        (function Trace_begin { label } -> Some label | _ -> None);
+      C.case ~tag:1 (C.pair C.str C.bool)
+        (fun (label, ok) -> Trace_end { label; ok })
+        (function Trace_end { label; ok } -> Some (label, ok) | _ -> None);
+      C.case ~tag:2 C.str
+        (fun name -> Span_begin { name })
+        (function Span_begin { name } -> Some name | _ -> None);
+      C.case ~tag:3 C.str
+        (fun name -> Span_end { name })
+        (function Span_end { name } -> Some name | _ -> None);
+      C.case ~tag:4
+        (C.triple C.str C.str (C.list (C.pair C.str C.str)))
+        (fun (protocol, step, detail) -> Protocol_step { protocol; step; detail })
+        (function
+          | Protocol_step { protocol; step; detail } ->
+              Some (protocol, step, detail)
+          | _ -> None);
+      C.case ~tag:5
+        (C.pair (C.triple C.str C.str C.str) (C.pair C.u32 C.bool))
+        (fun ((tx_hash, label, sender), (gas_used, ok)) ->
+          Tx_submitted { tx_hash; label; sender; gas_used; ok })
+        (function
+          | Tx_submitted { tx_hash; label; sender; gas_used; ok } ->
+              Some ((tx_hash, label, sender), (gas_used, ok))
+          | _ -> None);
+      C.case ~tag:6 (C.pair C.str C.u32)
+        (fun (tx_hash, block) -> Tx_mined { tx_hash; block })
+        (function
+          | Tx_mined { tx_hash; block } -> Some (tx_hash, block) | _ -> None);
+      C.case ~tag:7 (C.triple C.str C.str C.str)
+        (fun (tx_hash, label, reason) -> Tx_reverted { tx_hash; label; reason })
+        (function
+          | Tx_reverted { tx_hash; label; reason } ->
+              Some (tx_hash, label, reason)
+          | _ -> None);
+      C.case ~tag:8
+        (C.pair (C.triple C.str C.str C.str) (C.list C.str))
+        (fun ((tx_hash, contract, name), data) ->
+          Chain_event { tx_hash; contract; name; data })
+        (function
+          | Chain_event { tx_hash; contract; name; data } ->
+              Some ((tx_hash, contract, name), data)
+          | _ -> None);
+      C.case ~tag:9 (C.triple C.str C.u32 C.u32)
+        (fun (system, constraints, proof_bytes) ->
+          Proof_generated { system; constraints; proof_bytes })
+        (function
+          | Proof_generated { system; constraints; proof_bytes } ->
+              Some (system, constraints, proof_bytes)
+          | _ -> None);
+      C.case ~tag:10 (C.pair C.str C.bool)
+        (fun (system, ok) -> Proof_verified { system; ok })
+        (function
+          | Proof_verified { system; ok } -> Some (system, ok) | _ -> None);
+      C.case ~tag:11 (C.triple C.str C.u32 C.u32)
+        (fun (cid, bytes, chunks) -> Chunk_stored { cid; bytes; chunks })
+        (function
+          | Chunk_stored { cid; bytes; chunks } -> Some (cid, bytes, chunks)
+          | _ -> None);
+      C.case ~tag:12 (C.triple C.str C.u32 C.u32)
+        (fun (cid, bytes, chunks) -> Chunk_fetched { cid; bytes; chunks })
+        (function
+          | Chunk_fetched { cid; bytes; chunks } -> Some (cid, bytes, chunks)
+          | _ -> None);
+    ]
+
+let kind = function
+  | Trace_begin _ -> "trace_begin"
+  | Trace_end _ -> "trace_end"
+  | Span_begin _ -> "span_begin"
+  | Span_end _ -> "span_end"
+  | Protocol_step _ -> "protocol_step"
+  | Tx_submitted _ -> "tx_submitted"
+  | Tx_mined _ -> "tx_mined"
+  | Tx_reverted _ -> "tx_reverted"
+  | Chain_event _ -> "chain_event"
+  | Proof_generated _ -> "proof_generated"
+  | Proof_verified _ -> "proof_verified"
+  | Chunk_stored _ -> "chunk_stored"
+  | Chunk_fetched _ -> "chunk_fetched"
+
+let describe = function
+  | Trace_begin { label } -> Printf.sprintf "trace %S begins" label
+  | Trace_end { label; ok } ->
+      Printf.sprintf "trace %S ends (%s)" label (if ok then "ok" else "failed")
+  | Span_begin { name } -> Printf.sprintf "span %s begins" name
+  | Span_end { name } -> Printf.sprintf "span %s ends" name
+  | Protocol_step { protocol; step; detail } ->
+      let detail =
+        match detail with
+        | [] -> ""
+        | kvs ->
+            " ["
+            ^ String.concat ", "
+                (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) kvs)
+            ^ "]"
+      in
+      Printf.sprintf "%s step %s%s" protocol step detail
+  | Tx_submitted { tx_hash; label; sender; gas_used; ok } ->
+      Printf.sprintf "tx %s submitted: %s from %s, gas %d, %s"
+        (String.sub tx_hash 0 (min 10 (String.length tx_hash)))
+        label sender gas_used
+        (if ok then "ok" else "failed")
+  | Tx_mined { tx_hash; block } ->
+      Printf.sprintf "tx %s mined in block %d"
+        (String.sub tx_hash 0 (min 10 (String.length tx_hash)))
+        block
+  | Tx_reverted { tx_hash; label; reason } ->
+      Printf.sprintf "tx %s (%s) reverted: %s"
+        (String.sub tx_hash 0 (min 10 (String.length tx_hash)))
+        label reason
+  | Chain_event { contract; name; data; _ } ->
+      Printf.sprintf "contract %s emitted %s(%s)" contract name
+        (String.concat ", " data)
+  | Proof_generated { system; constraints; proof_bytes } ->
+      Printf.sprintf "%s proof generated (%d constraints, %d bytes)" system
+        constraints proof_bytes
+  | Proof_verified { system; ok } ->
+      Printf.sprintf "%s proof %s" system
+        (if ok then "verified" else "REJECTED")
+  | Chunk_stored { cid; bytes; chunks } ->
+      Printf.sprintf "stored %d bytes as %d chunk(s) under %s" bytes chunks
+        (String.sub cid 0 (min 14 (String.length cid)))
+  | Chunk_fetched { cid; bytes; chunks } ->
+      Printf.sprintf "fetched %d bytes (%d chunk(s)) from %s" bytes chunks
+        (String.sub cid 0 (min 14 (String.length cid)))

@@ -1,0 +1,162 @@
+(* Append-only ZJNL event journal with a running SHA-256 hash chain.
+
+   File layout (FORMATS.md "Event journal (ZJNL)"):
+
+     "ZJNL" | u16 version (= 1) | record*
+
+   followed by zero or more records, each
+
+     u32 length | entry bytes
+
+   where the entry bytes are [entry_codec]: the entry body (sequence
+   number, trace/span identity, event) followed by a 32-byte chain hash
+
+     entry_hash_n = SHA-256(prev_hash || body_bytes)
+     prev_hash_0  = SHA-256(header bytes)
+
+   The chain makes the journal tamper-evident: flipping a byte, dropping
+   an interior record or reordering records breaks every subsequent hash.
+   (Truncation at a record boundary keeps the chain valid; the audit layer
+   catches it through unterminated traces.)
+
+   Unlike the single-shot artifact envelopes, a journal is a stream: the
+   writer appends and flushes one record at a time so a crashed process
+   still leaves a readable prefix.  Records are therefore length-framed by
+   hand and each slice is decoded with the (whole-input, canonical)
+   [entry_codec]. *)
+
+module C = Zkdet_codec.Codec
+module Sha256 = Zkdet_hash.Sha256
+
+let magic = "ZJNL"
+let version = 1
+
+let header_bytes =
+  let b = Bytes.create 6 in
+  Bytes.blit_string magic 0 b 0 4;
+  Bytes.set_uint16_be b 4 version;
+  Bytes.to_string b
+
+let genesis_hash = Sha256.digest header_bytes
+
+type entry = {
+  seq : int;  (** 0-based position in the journal *)
+  trace_id : string;  (** 16 lowercase hex chars *)
+  span_id : string;  (** 16 lowercase hex chars *)
+  parent : string option;  (** enclosing span, [None] for a trace root *)
+  event : Event.t;
+  entry_hash : string;  (** 32 raw bytes, chains to the previous entry *)
+}
+
+let body_codec : (int * (string * string * string option) * Event.t) C.t =
+  C.triple C.u64 (C.triple C.str C.str (C.option C.str)) Event.codec
+
+let entry_codec : entry C.t =
+  C.with_context "obs.journal.entry"
+  @@ C.map
+       (fun e ->
+         ((e.seq, (e.trace_id, e.span_id, e.parent), e.event), e.entry_hash))
+       (fun ((seq, (trace_id, span_id, parent), event), entry_hash) ->
+         { seq; trace_id; span_id; parent; event; entry_hash })
+       (C.pair body_codec (C.bytes_fixed 32))
+
+let encode_body ~seq ~trace_id ~span_id ~parent event =
+  C.encode body_codec (seq, (trace_id, span_id, parent), event)
+
+type error =
+  | Bad_header of string
+  | Bad_record of { index : int; error : C.error }
+  | Hash_mismatch of { index : int }
+  | Seq_mismatch of { index : int; got : int }
+  | Truncated_record of { index : int }
+
+let error_to_string = function
+  | Bad_header got ->
+      Printf.sprintf "bad journal header (expected \"ZJNL\" v%d, got %S)"
+        version got
+  | Bad_record { index; error } ->
+      Printf.sprintf "record %d undecodable: %s" index (C.error_to_string error)
+  | Hash_mismatch { index } ->
+      Printf.sprintf
+        "record %d breaks the hash chain (journal tampered, truncated mid-chain \
+         or reordered)"
+        index
+  | Seq_mismatch { index; got } ->
+      Printf.sprintf "record %d carries sequence number %d (events dropped?)"
+        index got
+  | Truncated_record { index } ->
+      Printf.sprintf "record %d is truncated mid-frame" index
+
+(* {2 Writer} *)
+
+type writer = {
+  oc : out_channel;
+  mutable next_seq : int;
+  mutable prev_hash : string;
+}
+
+let create_writer path : writer =
+  let oc = open_out_bin path in
+  output_string oc header_bytes;
+  flush oc;
+  { oc; next_seq = 0; prev_hash = genesis_hash }
+
+let append (w : writer) ~trace_id ~span_id ~parent (event : Event.t) : unit =
+  let seq = w.next_seq in
+  let body = encode_body ~seq ~trace_id ~span_id ~parent event in
+  let entry_hash = Sha256.digest (w.prev_hash ^ body) in
+  let record = body ^ entry_hash in
+  let len = Bytes.create 4 in
+  Bytes.set_int32_be len 0 (Int32.of_int (String.length record));
+  output_bytes w.oc len;
+  output_string w.oc record;
+  flush w.oc;
+  w.next_seq <- seq + 1;
+  w.prev_hash <- entry_hash
+
+let close_writer (w : writer) : unit = close_out w.oc
+
+(* {2 Reader} *)
+
+(* Decode + verify a whole journal held in memory.  Verification walks the
+   hash chain and the sequence numbers; any break is a typed error. *)
+let of_bytes (s : string) : (entry list, error) result =
+  let n = String.length s in
+  if n < 6 || String.sub s 0 6 <> header_bytes then
+    Error (Bad_header (String.sub s 0 (min n 6)))
+  else begin
+    let exception Fail of error in
+    try
+      let pos = ref 6 in
+      let index = ref 0 in
+      let prev_hash = ref genesis_hash in
+      let acc = ref [] in
+      while !pos < n do
+        if n - !pos < 4 then raise (Fail (Truncated_record { index = !index }));
+        let len = Int32.to_int (String.get_int32_be s !pos) in
+        if len < 0 || n - !pos - 4 < len then
+          raise (Fail (Truncated_record { index = !index }));
+        let record = String.sub s (!pos + 4) len in
+        (match C.decode entry_codec record with
+        | Error e -> raise (Fail (Bad_record { index = !index; error = e }))
+        | Ok entry ->
+            if entry.seq <> !index then
+              raise (Fail (Seq_mismatch { index = !index; got = entry.seq }));
+            let body = String.sub record 0 (len - 32) in
+            let expect = Sha256.digest (!prev_hash ^ body) in
+            if not (String.equal expect entry.entry_hash) then
+              raise (Fail (Hash_mismatch { index = !index }));
+            prev_hash := expect;
+            acc := entry :: !acc);
+        pos := !pos + 4 + len;
+        incr index
+      done;
+      Ok (List.rev !acc)
+    with Fail e -> Error e
+  end
+
+let read_file (path : string) : (entry list, error) result =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> of_bytes (really_input_string ic (in_channel_length ic)))

@@ -8,6 +8,7 @@ module Domain = Zkdet_poly.Domain
 module Kzg = Zkdet_kzg.Kzg
 module Pool = Zkdet_parallel.Pool
 module Telemetry = Zkdet_telemetry.Telemetry
+module Obs = Zkdet_obs.Obs
 
 let absorb_vk_and_publics (t : Transcript.t) (vk : Preprocess.verification_key)
     (publics : Fr.t array) =
@@ -316,20 +317,31 @@ let prove ?(st = Random.State.make_self_init ()) (pk : Preprocess.proving_key)
   let cm_ws = Kzg.commit_batch pk.Preprocess.srs [| w_zeta; w_zeta_omega |] in
   (cm_ws.(0), cm_ws.(1))
   in
-  {
-    Proof.cm_a;
-    cm_b;
-    cm_c;
-    cm_z;
-    cm_t_lo;
-    cm_t_mid;
-    cm_t_hi;
-    cm_w_zeta;
-    cm_w_zeta_omega;
-    eval_a;
-    eval_b;
-    eval_c;
-    eval_s1;
-    eval_s2;
-    eval_z_omega;
-  }
+  let proof =
+    {
+      Proof.cm_a;
+      cm_b;
+      cm_c;
+      cm_z;
+      cm_t_lo;
+      cm_t_mid;
+      cm_t_hi;
+      cm_w_zeta;
+      cm_w_zeta_omega;
+      eval_a;
+      eval_b;
+      eval_c;
+      eval_s1;
+      eval_s2;
+      eval_z_omega;
+    }
+  in
+  if Obs.is_enabled () then
+    Obs.emit
+      (Zkdet_obs.Event.Proof_generated
+         {
+           system = "plonk";
+           constraints = Cs.num_gates circuit;
+           proof_bytes = Proof.size_bytes proof;
+         });
+  proof

@@ -7,6 +7,7 @@ module G2 = Zkdet_curve.G2
 module Pairing = Zkdet_curve.Pairing
 module Domain = Zkdet_poly.Domain
 module Telemetry = Zkdet_telemetry.Telemetry
+module Obs = Zkdet_obs.Obs
 
 (** [prepare vk publics proof] reduces verification to a single pairing
     equation: the proof is valid iff [e(L, [tau]G2) = e(R, G2)] for the
@@ -161,11 +162,16 @@ let verify (vk : Preprocess.verification_key) (publics : Fr.t array)
     (proof : Proof.t) : bool =
   Telemetry.with_span "plonk.verify" @@ fun () ->
   Telemetry.count "plonk.verifies" 1;
-  match prepare vk publics proof with
-  | None -> false
-  | Some (lhs, rhs) ->
-    Pairing.pairing_check
-      [ (lhs, vk.Preprocess.vk_g2_tau); (G1.neg rhs, vk.Preprocess.vk_g2) ]
+  let ok =
+    match prepare vk publics proof with
+    | None -> false
+    | Some (lhs, rhs) ->
+      Pairing.pairing_check
+        [ (lhs, vk.Preprocess.vk_g2_tau); (G1.neg rhs, vk.Preprocess.vk_g2) ]
+  in
+  if Obs.is_enabled () then
+    Obs.emit (Zkdet_obs.Event.Proof_verified { system = "plonk"; ok });
+  ok
 
 (** Verify many proofs (possibly for different circuits over the same SRS)
     with a single pairing check: fold the per-proof equations with random

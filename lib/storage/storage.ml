@@ -8,6 +8,7 @@
 module Sha256 = Zkdet_hash.Sha256
 module Fr = Zkdet_field.Bn254.Fr
 module Telemetry = Zkdet_telemetry.Telemetry
+module Obs = Zkdet_obs.Obs
 module C = Zkdet_codec.Codec
 
 module Cid = struct
@@ -90,21 +91,28 @@ let put (net : t) (node : node) (data : string) : Cid.t =
   Telemetry.with_span "storage.put" @@ fun () ->
   Telemetry.count "storage.put.calls" 1;
   Telemetry.count "storage.put.bytes" (String.length data);
-  if String.length data <= chunk_size then begin
-    Telemetry.count "storage.put.chunks" 1;
-    put_block net node data
-  end
-  else begin
-    let nchunks = (String.length data + chunk_size - 1) / chunk_size in
-    Telemetry.count "storage.put.chunks" nchunks;
-    let cids =
-      List.init nchunks (fun i ->
-          let off = i * chunk_size in
-          let len = min chunk_size (String.length data - off) in
-          put_block net node (String.sub data off len))
-    in
-    put_block net node (C.encode manifest_codec cids)
-  end
+  let cid, nchunks =
+    if String.length data <= chunk_size then begin
+      Telemetry.count "storage.put.chunks" 1;
+      (put_block net node data, 1)
+    end
+    else begin
+      let nchunks = (String.length data + chunk_size - 1) / chunk_size in
+      Telemetry.count "storage.put.chunks" nchunks;
+      let cids =
+        List.init nchunks (fun i ->
+            let off = i * chunk_size in
+            let len = min chunk_size (String.length data - off) in
+            put_block net node (String.sub data off len))
+      in
+      (put_block net node (C.encode manifest_codec cids), nchunks)
+    end
+  in
+  if Obs.is_enabled () then
+    Obs.emit
+      (Zkdet_obs.Event.Chunk_stored
+         { cid; bytes = String.length data; chunks = nchunks });
+  cid
 
 let find_provider (net : t) (cid : Cid.t) : node option =
   match Hashtbl.find_opt net.providers cid with
@@ -142,12 +150,14 @@ let get (net : t) (requester : node) (cid : Cid.t) :
   Telemetry.with_span "storage.get" @@ fun () ->
   Telemetry.count "storage.get.calls" 1;
   let hops_before = net.fetch_hops in
+  let fetched_chunks = ref 0 in
   let result =
     match fetch_block net requester cid with
   | Error _ as e -> e
   | Ok data ->
     if not (is_manifest data) then begin
       Telemetry.count "storage.get.chunks" 1;
+      fetched_chunks := 1;
       Ok data
     end
     else begin
@@ -161,6 +171,7 @@ let get (net : t) (requester : node) (cid : Cid.t) :
         let rec collect nchunks = function
           | [] ->
             Telemetry.count "storage.get.chunks" nchunks;
+            fetched_chunks := nchunks;
             Ok (Buffer.contents buf)
           | c :: rest -> (
             match fetch_block net requester c with
@@ -173,7 +184,12 @@ let get (net : t) (requester : node) (cid : Cid.t) :
     end
   in
   (match result with
-  | Ok data -> Telemetry.count "storage.get.bytes" (String.length data)
+  | Ok data ->
+    Telemetry.count "storage.get.bytes" (String.length data);
+    if Obs.is_enabled () then
+      Obs.emit
+        (Zkdet_obs.Event.Chunk_fetched
+           { cid; bytes = String.length data; chunks = !fetched_chunks })
   | Error _ -> ());
   Telemetry.count "storage.get.hops" (net.fetch_hops - hops_before);
   result

@@ -28,12 +28,58 @@ type node = {
   children : (string, node) Hashtbl.t;
 }
 
+(* Fixed power-of-two buckets shared by every histogram: bucket [i]
+   counts samples in (2^(i-21), 2^(i-20)], i.e. boundaries from ~1e-6 up
+   to ~4e12 with the last bucket open-ended.  Fixed boundaries keep the
+   merge trivially deterministic (elementwise sum, any domain count) and
+   the quantile estimate reproducible, at the cost of <= 2x resolution —
+   fine for timing/size distributions spanning orders of magnitude. *)
+let num_buckets = 64
+
+(* Index of the bucket whose upper bound is the smallest 2^k >= v.
+   frexp (not log2) so the answer is exact on every platform. *)
+let bucket_of_sample v =
+  if v <= 0. then 0
+  else begin
+    let m, ex = Float.frexp v in
+    (* v = m * 2^ex with 0.5 <= m < 1, so ceil(log2 v) is ex, or ex-1
+       when v is an exact power of two. *)
+    let e = if m = 0.5 then ex - 1 else ex in
+    let i = e + 20 in
+    if i < 0 then 0 else if i >= num_buckets then num_buckets - 1 else i
+  end
+
+let bucket_upper i =
+  if i >= num_buckets - 1 then Float.infinity
+  else Float.ldexp 1.0 (i - 20)
+
 type hist = {
   mutable h_count : int;
   mutable h_sum : float;
   mutable h_min : float;
   mutable h_max : float;
+  h_buckets : int array; (* length [num_buckets] *)
 }
+
+(* Upper bound of the bucket holding the sample of rank ceil(q*n),
+   clamped to the observed [min, max] so tiny sample counts still give
+   sane numbers. *)
+let hist_quantile (h : hist) (q : float) : float =
+  if h.h_count = 0 then 0.
+  else begin
+    let rank =
+      let r = int_of_float (Float.ceil (q *. float_of_int h.h_count)) in
+      if r < 1 then 1 else if r > h.h_count then h.h_count else r
+    in
+    let rec go i acc =
+      if i >= num_buckets then h.h_max
+      else
+        let acc = acc + h.h_buckets.(i) in
+        if acc >= rank then Float.min h.h_max (Float.max h.h_min (bucket_upper i))
+        else go (i + 1) acc
+    in
+    go 0 0
+  end
 
 type dstate = {
   root : node; (* per-domain span tree; the root itself is not a span *)
@@ -127,9 +173,21 @@ let observe name v =
       h.h_count <- h.h_count + 1;
       h.h_sum <- h.h_sum +. v;
       if v < h.h_min then h.h_min <- v;
-      if v > h.h_max then h.h_max <- v
+      if v > h.h_max then h.h_max <- v;
+      let i = bucket_of_sample v in
+      h.h_buckets.(i) <- h.h_buckets.(i) + 1
     | None ->
-      Hashtbl.add ds.hists name { h_count = 1; h_sum = v; h_min = v; h_max = v }
+      let h =
+        {
+          h_count = 1;
+          h_sum = v;
+          h_min = v;
+          h_max = v;
+          h_buckets = Array.make num_buckets 0;
+        }
+      in
+      h.h_buckets.(bucket_of_sample v) <- 1;
+      Hashtbl.add ds.hists name h
   end
 
 (* ---- merged reports ---- *)
@@ -150,6 +208,9 @@ module Report = struct
     sum : float;
     min : float;
     max : float;
+    p50 : float;
+    p95 : float;
+    p99 : float;
   }
 
   type t = { spans : span list; counters : counter list; histograms : histogram list }
@@ -200,13 +261,14 @@ module Report = struct
           t.counters
       end;
       if t.histograms <> [] then begin
-        fprintf fmt "  histograms:%35s %10s %12s %12s %12s@." "" "n" "mean" "min" "max";
+        fprintf fmt "  histograms:%35s %8s %10s %10s %10s %10s %10s %10s@." ""
+          "n" "mean" "min" "p50" "p95" "p99" "max";
         List.iter
           (fun (h : histogram) ->
-            fprintf fmt "    %-44s %10d %12.2f %12.2f %12.2f@." h.hist_name
-              h.samples
+            fprintf fmt "    %-44s %8d %10.2f %10.2f %10.2f %10.2f %10.2f %10.2f@."
+              h.hist_name h.samples
               (h.sum /. float_of_int (max 1 h.samples))
-              h.min h.max)
+              h.min h.p50 h.p95 h.p99 h.max)
           t.histograms
       end
     end
@@ -233,6 +295,9 @@ module Report = struct
         ("sum", Json.Float h.sum);
         ("min", Json.Float h.min);
         ("max", Json.Float h.max);
+        ("p50", Json.Float h.p50);
+        ("p95", Json.Float h.p95);
+        ("p99", Json.Float h.p99);
       ]
 
   let to_json (t : t) : Json.t =
@@ -297,6 +362,9 @@ module Report = struct
                ("sum", Json.Float h.sum);
                ("min", Json.Float h.min);
                ("max", Json.Float h.max);
+               ("p50", Json.Float h.p50);
+               ("p95", Json.Float h.p95);
+               ("p99", Json.Float h.p99);
              ]))
       t.histograms;
     List.rev !lines
@@ -398,7 +466,17 @@ module Report = struct
           let* sum = float_field j "sum" in
           let* min = float_field j "min" in
           let* max = float_field j "max" in
-          hists := { hist_name = name; samples; sum; min; max } :: !hists;
+          (* Quantiles appeared in trace format revision 2; older traces
+             fall back to the max so they still round-trip. *)
+          let opt_float name default =
+            match Json.member name j with
+            | Some v -> Option.value (Json.to_float_opt v) ~default
+            | None -> default
+          in
+          let p50 = opt_float "p50" max in
+          let p95 = opt_float "p95" max in
+          let p99 = opt_float "p99" max in
+          hists := { hist_name = name; samples; sum; min; max; p50; p95; p99 } :: !hists;
           Ok ()
         | other -> Error (Printf.sprintf "line %d: unknown record type %S" (i + 1) other)
     in
@@ -422,6 +500,85 @@ module Report = struct
     in
     let top = freeze root in
     Ok { spans = top.children; counters = List.rev !counters; histograms = List.rev !hists }
+
+  (* -- Prometheus text exposition --
+
+     One flat dump of the whole report in the text format scrapers and
+     promtool understand.  Metric names are sanitized to
+     [a-zA-Z0-9_:], span tree position goes into a {path="a/b"} label,
+     histogram quantiles into {quantile="0.5"} as for a summary. *)
+
+  let prom_name name =
+    let b = Bytes.of_string name in
+    Bytes.iteri
+      (fun i c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> ()
+        | _ -> Bytes.set b i '_')
+      b;
+    let s = Bytes.to_string b in
+    match s.[0] with '0' .. '9' -> "_" ^ s | _ -> s
+
+  let prom_label_value v =
+    let b = Buffer.create (String.length v + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '"' -> Buffer.add_string b "\\\""
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      v;
+    Buffer.contents b
+
+  let prom_float f =
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.17g" f
+
+  let to_prometheus (t : t) : string =
+    let b = Buffer.create 4096 in
+    let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+    if t.spans <> [] then begin
+      line "# HELP zkdet_span_total_ns Cumulative wall time per span path.";
+      line "# TYPE zkdet_span_total_ns counter";
+      let rec walk rev_path (s : span) =
+        let path = String.concat "/" (List.rev (s.span_name :: rev_path)) in
+        line "zkdet_span_total_ns{path=\"%s\"} %d" (prom_label_value path)
+          s.total_ns;
+        List.iter (walk (s.span_name :: rev_path)) s.children
+      in
+      List.iter (walk []) t.spans;
+      line "# HELP zkdet_span_calls Number of times each span path was entered.";
+      line "# TYPE zkdet_span_calls counter";
+      let rec walk rev_path (s : span) =
+        let path = String.concat "/" (List.rev (s.span_name :: rev_path)) in
+        line "zkdet_span_calls{path=\"%s\"} %d" (prom_label_value path) s.calls;
+        List.iter (walk (s.span_name :: rev_path)) s.children
+      in
+      List.iter (walk []) t.spans
+    end;
+    List.iter
+      (fun (c : counter) ->
+        let n = prom_name ("zkdet_" ^ c.counter_name) in
+        line "# TYPE %s counter" n;
+        line "%s %d" n c.total)
+      t.counters;
+    List.iter
+      (fun (h : histogram) ->
+        let n = prom_name ("zkdet_" ^ h.hist_name) in
+        line "# TYPE %s summary" n;
+        line "%s{quantile=\"0.5\"} %s" n (prom_float h.p50);
+        line "%s{quantile=\"0.95\"} %s" n (prom_float h.p95);
+        line "%s{quantile=\"0.99\"} %s" n (prom_float h.p99);
+        line "%s_sum %s" n (prom_float h.sum);
+        line "%s_count %d" n h.samples;
+        line "# TYPE %s_min gauge" n;
+        line "%s_min %s" n (prom_float h.min);
+        line "# TYPE %s_max gauge" n;
+        line "%s_max %s" n (prom_float h.max))
+      t.histograms;
+    Buffer.contents b
 end
 
 (* Merge all per-domain buffers into one deterministic report.  Children
@@ -484,10 +641,19 @@ let snapshot () : Report.t =
             acc.h_count <- acc.h_count + h.h_count;
             acc.h_sum <- acc.h_sum +. h.h_sum;
             if h.h_min < acc.h_min then acc.h_min <- h.h_min;
-            if h.h_max > acc.h_max then acc.h_max <- h.h_max
+            if h.h_max > acc.h_max then acc.h_max <- h.h_max;
+            Array.iteri
+              (fun i n -> acc.h_buckets.(i) <- acc.h_buckets.(i) + n)
+              h.h_buckets
           | None ->
             Hashtbl.add hist_tbl name
-              { h_count = h.h_count; h_sum = h.h_sum; h_min = h.h_min; h_max = h.h_max })
+              {
+                h_count = h.h_count;
+                h_sum = h.h_sum;
+                h_min = h.h_min;
+                h_max = h.h_max;
+                h_buckets = Array.copy h.h_buckets;
+              })
         ds.hists)
     all;
   let histograms =
@@ -499,6 +665,9 @@ let snapshot () : Report.t =
           sum = h.h_sum;
           min = h.h_min;
           max = h.h_max;
+          p50 = hist_quantile h 0.50;
+          p95 = hist_quantile h 0.95;
+          p99 = hist_quantile h 0.99;
         }
         :: acc)
       hist_tbl []

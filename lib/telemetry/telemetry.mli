@@ -31,7 +31,8 @@ val count : string -> int -> unit
 
 val observe : string -> float -> unit
 (** [observe name v] records one sample into the named histogram
-    (count/sum/min/max aggregation). *)
+    (count/sum/min/max plus fixed power-of-two buckets for p50/p95/p99
+    estimates). *)
 
 val reset : unit -> unit
 (** Clear all recorded data on every registered domain.  Call from
@@ -53,6 +54,14 @@ module Report : sig
     sum : float;
     min : float;
     max : float;
+    p50 : float;
+    p95 : float;
+    p99 : float;
+        (** Quantile estimates from fixed power-of-two buckets: the
+            reported value is the upper boundary of the bucket holding
+            the sample of rank [ceil(q*n)], clamped to [min, max].
+            Fixed boundaries make the estimate deterministic under
+            per-domain merge at any [ZKDET_DOMAINS]. *)
   }
 
   type t = { spans : span list; counters : counter list; histograms : histogram list }
@@ -77,7 +86,14 @@ module Report : sig
 
   val of_jsonl : string list -> (t, string) result
   (** Rebuild a report from trace lines (inverse of {!to_jsonl} up to
-      child ordering, which is re-sorted by name). *)
+      child ordering, which is re-sorted by name).  Traces written before
+      quantiles existed parse with [p50/p95/p99] defaulting to [max]. *)
+
+  val to_prometheus : t -> string
+  (** Prometheus text-exposition dump: spans as
+      [zkdet_span_total_ns{path="a/b"}] / [zkdet_span_calls] counters,
+      counters as [zkdet_<name>], histograms as summaries with
+      [quantile] labels plus [_min]/[_max] gauges. *)
 end
 
 val snapshot : unit -> Report.t

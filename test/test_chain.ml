@@ -58,6 +58,31 @@ let test_revert_still_pays () =
   failed_status r "boom";
   Alcotest.(check bool) "gas still charged" true (Chain.balance chain alice < before)
 
+let test_revert_discards_events () =
+  (* A transaction that emits events and then reverts must leave no trace
+     of them: not in its receipt, and not in the sealed block's state. *)
+  let chain = fresh_chain () in
+  let r =
+    Chain.execute chain ~sender:alice ~label:"emit-then-fail" (fun env ->
+        Chain.emit env ~contract:"leaky" ~name:"Phantom" ~data:[ "1" ];
+        Chain.emit env ~contract:"leaky" ~name:"Phantom" ~data:[ "2" ];
+        raise (Chain.Revert "after emitting"))
+  in
+  failed_status r "after emitting";
+  Alcotest.(check int) "receipt has no events" 0 (List.length r.Chain.events);
+  ignore (Chain.mine chain);
+  let sealed = Option.get (Chain.receipt chain r.Chain.tx_hash) in
+  Alcotest.(check int) "sealed receipt still has no events" 0
+    (List.length sealed.Chain.events);
+  (* a successful tx in the same chain keeps its events *)
+  let ok_r =
+    Chain.execute chain ~sender:alice ~label:"emit-ok" (fun env ->
+        Chain.emit env ~contract:"fine" ~name:"Kept" ~data:[])
+  in
+  ok_status ok_r;
+  Alcotest.(check int) "successful tx keeps events" 1
+    (List.length ok_r.Chain.events)
+
 let test_out_of_gas () =
   let chain = Chain.create ~gas_limit:30_000 () in
   Chain.faucet chain alice 1_000_000;
@@ -332,6 +357,8 @@ let () =
     [ ( "chain",
         [ Alcotest.test_case "accounts and fees" `Quick test_accounts_and_fees;
           Alcotest.test_case "revert still pays" `Quick test_revert_still_pays;
+          Alcotest.test_case "revert discards events" `Quick
+            test_revert_discards_events;
           Alcotest.test_case "out of gas" `Quick test_out_of_gas;
           Alcotest.test_case "blocks and validation" `Quick test_blocks_and_validation;
           Alcotest.test_case "block gas limit" `Quick test_block_gas_limit ] );
