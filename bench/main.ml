@@ -864,6 +864,64 @@ let read_file path =
 
 let regression_failures = ref 0
 
+(* ---------------------------------------------------------------- *)
+(* Verify: amortized batched verification cost per backend            *)
+(* ---------------------------------------------------------------- *)
+
+(* The settlement-at-scale claim in numbers: one RLC-folded multi-pairing
+   for a block of N proofs instead of N independent pairing checks, so
+   the per-proof cost must fall as the batch grows.  One proof is
+   generated per backend and replicated — batched verification does not
+   care whether statements repeat, and this keeps the experiment about
+   verification, not proving.  The harness itself enforces that
+   [per_proof_s] strictly decreases 1 -> 4 -> 16 -> 64 (a violation
+   trips the regression gate even without a baseline); the committed
+   baseline additionally pins the timings via [--check-regression]. *)
+let verify_exp () =
+  header "Verify: amortized per-proof cost of batched verification";
+  let compiled = Cs.compile (filler_circuit ~gates:(1 lsl 8) ()) in
+  let sizes = [ 1; 4; 16; 64 ] in
+  Printf.printf "%-10s %10s %12s %16s\n" "backend" "batch" "total (s)"
+    "per-proof (ms)";
+  List.iter
+    (fun backend ->
+      match Zkdet_core.Proof_system.by_name backend with
+      | None -> ()
+      | Some (module B) ->
+        let pk = B.setup ~st:(Random.State.make [| 0xba7c; 1 |]) compiled in
+        let proof = B.prove ~st:(Random.State.make [| 0xba7c; 2 |]) pk compiled in
+        let vk = B.vk pk in
+        let item = (vk, compiled.Cs.public_values, proof) in
+        let last = ref infinity in
+        List.iter
+          (fun size ->
+            let items = List.init size (fun _ -> item) in
+            (* min of 3: the cheapest run is the least noisy estimate *)
+            let total =
+              List.fold_left
+                (fun best _ ->
+                  let ok, t = wall (fun () -> B.verify_batch items) in
+                  assert ok;
+                  Float.min best t)
+                infinity [ 1; 2; 3 ]
+            in
+            let per_proof = total /. float_of_int size in
+            if per_proof >= !last then begin
+              incr regression_failures;
+              Printf.printf
+                "[regression] verify: %s per-proof cost did not fall at \
+                 batch=%d (%.4g ms >= %.4g ms)\n%!"
+                B.name size (1e3 *. per_proof) (1e3 *. !last)
+            end;
+            last := per_proof;
+            emit_row
+              [ jstr "backend" B.name; jint "batch_size" size;
+                jfloat "total_s" total; jfloat "per_proof_s" per_proof ];
+            Printf.printf "%-10s %10d %12.4f %16.4f\n%!" B.name size total
+              (1e3 *. per_proof))
+          sizes)
+    [ "plonk"; "groth16" ]
+
 let has_suffix s suf =
   let ls = String.length s and lf = String.length suf in
   ls >= lf && String.sub s (ls - lf) lf = suf
@@ -987,7 +1045,7 @@ let () =
       (fun a ->
         List.mem a
           [ "setup"; "fig5"; "fig6"; "fig7"; "fairswap"; "table1"; "table2";
-            "micro"; "parallel"; "proptest"; "codec"; "proving"; "all" ])
+            "micro"; "parallel"; "proptest"; "codec"; "proving"; "verify"; "all" ])
       args
   in
   let which = if which = [] then [ "all" ] else which in
@@ -1020,6 +1078,7 @@ let () =
     run_experiment "proptest" (proptest_smoke ~scale);
   if run || List.mem "codec" which then run_experiment "codec" (codec_exp ~scale);
   if run || List.mem "proving" which then run_experiment "proving" proving_exp;
+  if run || List.mem "verify" which then run_experiment "verify" verify_exp;
   if run || List.mem "micro" which then run_experiment "micro" micro;
   Telemetry.maybe_write_trace ();
   Printf.printf "\ntotal bench wall time: %.1f s\n" (Unix.gettimeofday () -. t0);

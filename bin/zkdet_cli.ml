@@ -11,6 +11,8 @@
      dune exec bin/zkdet_cli.exe -- prove --backend plonk --out proof.bin
      dune exec bin/zkdet_cli.exe -- verify proof.bin
                                                 # cross-process prove/verify
+     dune exec bin/zkdet_cli.exe -- verify-batch a.bin b.bin c.bin
+                                                # one folded check per backend
      dune exec bin/zkdet_cli.exe -- chain-snapshot --out chain.bin
      dune exec bin/zkdet_cli.exe -- chain-restore chain.bin
                                                 # ledger state round-trip *)
@@ -298,6 +300,82 @@ let verify_cmd =
        ~doc:"Verify a proof bundle from bytes alone (separate process)")
     Term.(const run $ file)
 
+(* Batched cross-process verification: read any number of [prove] bundles
+   and check each backend's proofs with ONE folded pairing check instead
+   of one per bundle.  Bundles may mix backends (grouped per backend) and
+   circuits (the RLC fold supports mixed statements); the exit status is
+   the conjunction of the per-backend batch verdicts. *)
+let verify_batch_cmd =
+  let files =
+    Arg.(
+      non_empty
+      & pos_all file []
+      & info [] ~docv:"FILE" ~doc:"Proof bundles written by [prove]")
+  in
+  let run files =
+    let decoded =
+      List.map
+        (fun f ->
+          match Codec.decode bundle_codec (read_file f) with
+          | Error e ->
+            Printf.printf "verify-batch FAILED: %s: %s\n" f
+              (Codec.error_to_string e);
+            exit 1
+          | Ok bundle -> (f, bundle))
+        files
+    in
+    (* Group by backend, preserving file order within each group. *)
+    let backends =
+      List.fold_left
+        (fun acc (_, (backend, _)) ->
+          if List.mem backend acc then acc else acc @ [ backend ])
+        [] decoded
+    in
+    let all_ok =
+      List.for_all
+        (fun backend ->
+          match Proof_system.by_name backend with
+          | None ->
+            Printf.printf
+              "verify-batch FAILED: bundle names unknown backend %S\n" backend;
+            false
+          | Some (module B) ->
+            let items =
+              List.filter_map
+                (fun (f, (b, (publics, (vk_bytes, proof_bytes)))) ->
+                  if not (String.equal b backend) then None
+                  else
+                    match (B.vk_of_bytes vk_bytes, B.proof_of_bytes proof_bytes) with
+                    | Error e, _ ->
+                      Printf.printf
+                        "verify-batch FAILED: %s: bad verification key: %s\n" f
+                        (Codec.error_to_string e);
+                      exit 1
+                    | _, Error e ->
+                      Printf.printf "verify-batch FAILED: %s: bad proof: %s\n" f
+                        (Codec.error_to_string e);
+                      exit 1
+                    | Ok vk, Ok proof ->
+                      Some (vk, Array.of_list publics, proof))
+                decoded
+            in
+            let ok = B.verify_batch items in
+            Printf.printf "verify-batch %s: backend=%s proofs=%d\n"
+              (if ok then "OK" else "FAILED")
+              backend (List.length items);
+            ok)
+        backends
+    in
+    Telemetry.maybe_write_trace ();
+    if not all_ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify-batch"
+       ~doc:
+         "Verify a block of proof bundles with one folded pairing check per \
+          backend")
+    Term.(const run $ files)
+
 (* ------------------------------------------------------------------ *)
 (* Ledger snapshot / restore. *)
 
@@ -502,5 +580,5 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "zkdet" ~doc)
           [ params_cmd; selftest_cmd; ceremony_cmd; trace_check_cmd;
-            prove_cmd; verify_cmd; chain_snapshot_cmd; chain_restore_cmd;
+            prove_cmd; verify_cmd; verify_batch_cmd; chain_snapshot_cmd; chain_restore_cmd;
             exchange_cmd; audit_cmd ]))

@@ -122,6 +122,78 @@ let settle (c : t) (chain : Chain.t) ~(seller : Chain.Address.t) ~(deal_id : int
         Chain.emit env ~contract:"escrow" ~name:"Settled"
           ~data:[ string_of_int deal_id ])
 
+(** Seller settles a whole block of deals in ONE metered call: every
+    deal's checks and the per-proof fold gas run first (gas attributed per
+    deal via ["BatchProofGas"] events), then the block's proofs are
+    batch-verified with a single folded pairing check.  Settlement is
+    all-or-nothing: if ANY proof is invalid the transaction reverts —
+    no deal changes state, no payment moves, and no events survive (the
+    chain discards them on revert).  State is only mutated after the
+    batch check passes, so a revert cannot leave a half-settled block. *)
+let settle_batch (c : t) (chain : Chain.t) ~(seller : Chain.Address.t)
+    (entries : (int * Fr.t * Proof.t) list) : Chain.receipt =
+  Chain.execute chain ~sender:seller ~label:"escrow:settle-batch"
+    ~contract:"escrow"
+    ~calldata:
+      (String.concat ""
+         (List.map
+            (fun (deal_id, k_c, proof) ->
+              string_of_int deal_id ^ Fr.to_bytes_be k_c ^ Proof.to_bytes proof)
+            entries))
+    (fun env ->
+      let m = env.Chain.meter in
+      if entries = [] then raise (Chain.Revert "settle-batch: empty batch");
+      (* Load and validate every deal before touching any state. *)
+      let deals =
+        List.map
+          (fun (deal_id, k_c, proof) ->
+            Gas.sload m;
+            match Hashtbl.find_opt c.deals deal_id with
+            | None -> raise (Chain.Revert "settle-batch: no such deal")
+            | Some d ->
+              if d.status <> Locked then
+                raise (Chain.Revert "settle-batch: deal not open");
+              if not (Chain.Address.equal d.seller seller) then
+                raise (Chain.Revert "settle-batch: not the seller");
+              (d, k_c, proof))
+          entries
+      in
+      (* Internal call to the verifier: per-deal marginal gas, attributed
+         deal by deal, then the single folded pairing check. *)
+      List.iter
+        (fun (d, _, _) ->
+          let before = Gas.used m in
+          Verifier_contract.charge_batch_item m ~n_public:3;
+          Chain.emit env ~contract:"escrow" ~name:"BatchProofGas"
+            ~data:
+              [ string_of_int d.deal_id; string_of_int (Gas.used m - before) ])
+        deals;
+      Verifier_contract.charge_batch_finalize m;
+      let ok =
+        Zkdet_plonk.Verifier.verify_batch
+          (List.map
+             (fun (d, k_c, proof) ->
+               ( c.verifier.Verifier_contract.vk,
+                 [| k_c; d.key_commitment; d.h_v |],
+                 proof ))
+             deals)
+      in
+      if not ok then
+        raise (Chain.Revert "settle-batch: invalid proof in batch");
+      (* All proofs verified: settle every deal. *)
+      List.iter
+        (fun (d, k_c, _) ->
+          Gas.sstore m ~was_zero:true ~now_zero:false; (* k_c *)
+          Gas.sstore m ~was_zero:false ~now_zero:false; (* status *)
+          d.k_c <- Some k_c;
+          d.status <- Settled;
+          Chain.credit chain seller d.amount;
+          Chain.emit env ~contract:"escrow" ~name:"Settled"
+            ~data:[ string_of_int d.deal_id ])
+        deals;
+      Chain.emit env ~contract:"escrow" ~name:"BatchSettled"
+        ~data:[ string_of_int (List.length deals) ])
+
 (** Buyer reclaims a stale deal after the deadline. *)
 let refund (c : t) (chain : Chain.t) ~(buyer : Chain.Address.t) ~(deal_id : int) :
     Chain.receipt =

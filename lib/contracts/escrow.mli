@@ -46,6 +46,15 @@ val settle :
 (** Verifies [Verify(vk, (k_c, c, h_v), pi_k)] through the verifier
     contract; forwards the payment on success, reverts otherwise. *)
 
+val settle_batch :
+  t -> Chain.t -> seller:Chain.Address.t -> (int * Fr.t * Proof.t) list ->
+  Chain.receipt
+(** Settle a block of deals [(deal_id, k_c, pi_k)] in one metered call:
+    gas is attributed per deal (["BatchProofGas"] events), the proofs are
+    batch-verified with a single folded pairing check, and settlement is
+    all-or-nothing — any invalid proof reverts the whole block with no
+    state change and no surviving events. *)
+
 val refund :
   t -> Chain.t -> buyer:Chain.Address.t -> deal_id:int -> Chain.receipt
 (** Reclaim a stale deal after the deadline. *)

@@ -54,6 +54,31 @@ let charge_verification (m : Gas.meter) ~(n_public : int) =
   done;
   Gas.pairing m ~pairs:2
 
+(* Per-proof marginal cost of the batched (RLC-folded) check: the full
+   linearization still runs per proof (the 18 ecmul / 16 ecadd of
+   [charge_verification]) plus the fold itself — one keccak for the RLC
+   scalar and 2 ecmul + 2 ecadd folding (L, R) into the accumulators.
+   What batching REMOVES per proof is the pairing, charged once for the
+   whole block by [charge_batch_finalize]. *)
+let charge_batch_item (m : Gas.meter) ~(n_public : int) =
+  for _ = 1 to 20 do
+    Gas.ecmul m
+  done;
+  for _ = 1 to 18 do
+    Gas.ecadd m
+  done;
+  for _ = 1 to 21 + n_public do
+    Gas.keccak m ~bytes:64
+  done
+
+let charge_batch_finalize (m : Gas.meter) = Gas.pairing m ~pairs:2
+
+let charge_batch_verification (m : Gas.meter) ~(n_public : int) ~(count : int) =
+  for _ = 1 to count do
+    charge_batch_item m ~n_public
+  done;
+  charge_batch_finalize m
+
 (** On-chain verification call. Returns the verifier's verdict; the gas
     spent is in the receipt. *)
 let verify (c : t) (chain : Chain.t) ~(sender : Chain.Address.t)
@@ -69,5 +94,45 @@ let verify (c : t) (chain : Chain.t) ~(sender : Chain.Address.t)
         verdict := Verifier.verify c.vk publics proof;
         Chain.emit env ~contract:"verifier" ~name:"ProofVerified"
           ~data:[ string_of_bool !verdict ])
+  in
+  (!verdict, receipt)
+
+(** Verify a block of proofs against the baked-in vk in ONE metered call
+    (the settlement-at-scale entry point): the per-proof marginal cost is
+    attributed via one ["BatchProofGas"] event per proof, the folded
+    pairing check is charged once for the whole block, and the verdict —
+    computed by the deterministic RLC fold of [Verifier.verify_batch] —
+    covers the block as a whole.  An empty block reverts. *)
+let verify_batch (c : t) (chain : Chain.t) ~(sender : Chain.Address.t)
+    (items : (Fr.t array * Proof.t) list) : bool * Chain.receipt =
+  let verdict = ref false in
+  let calldata =
+    String.concat ""
+      (List.map
+         (fun (publics, proof) ->
+           Proof.to_bytes proof
+           ^ String.concat ""
+               (Array.to_list (Array.map Fr.to_bytes_be publics)))
+         items)
+  in
+  let receipt =
+    Chain.execute chain ~sender ~label:"verify-batch" ~contract:"verifier"
+      ~calldata (fun env ->
+        if items = [] then raise (Chain.Revert "verify-batch: empty block");
+        let m = env.Chain.meter in
+        List.iteri
+          (fun i (publics, _) ->
+            let before = Gas.used m in
+            charge_batch_item m ~n_public:(Array.length publics);
+            Chain.emit env ~contract:"verifier" ~name:"BatchProofGas"
+              ~data:[ string_of_int i; string_of_int (Gas.used m - before) ])
+          items;
+        charge_batch_finalize m;
+        verdict :=
+          Zkdet_plonk.Verifier.verify_batch
+            (List.map (fun (publics, proof) -> (c.vk, publics, proof)) items);
+        Chain.emit env ~contract:"verifier" ~name:"BatchVerified"
+          ~data:
+            [ string_of_int (List.length items); string_of_bool !verdict ])
   in
   (!verdict, receipt)

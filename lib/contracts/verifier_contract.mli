@@ -26,3 +26,22 @@ val charge_verification : Gas.meter -> n_public:int -> unit
 val verify :
   t -> Chain.t -> sender:Chain.Address.t -> Fr.t array -> Proof.t ->
   bool * Chain.receipt
+
+val charge_batch_item : Gas.meter -> n_public:int -> unit
+(** Per-proof marginal gas of the batched check: the linearization still
+    runs per proof; only the pairing is shared. *)
+
+val charge_batch_finalize : Gas.meter -> unit
+(** The one folded pairing check charged per block. *)
+
+val charge_batch_verification : Gas.meter -> n_public:int -> count:int -> unit
+(** [count] marginal charges plus one finalize — the whole block's
+    verification gas for internal (same-transaction) calls. *)
+
+val verify_batch :
+  t -> Chain.t -> sender:Chain.Address.t -> (Fr.t array * Proof.t) list ->
+  bool * Chain.receipt
+(** Verify a block of proofs in one metered call: per-proof gas is
+    attributed via ["BatchProofGas"] events, the folded pairing is
+    charged once, and the verdict (deterministic RLC fold) covers the
+    whole block.  Empty blocks revert. *)

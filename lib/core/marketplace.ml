@@ -489,3 +489,26 @@ let trade (m : t) ~(seller : Chain.Address.t) ~(buyer : Chain.Address.t)
           Ok data
         end)
   end
+
+(* ---- batched settlement ---- *)
+
+(** Settle a block of escrow deals [(deal_id, k_c, pi_k)] in one metered
+    call (the settlement-at-scale path): the proofs are batch-verified by
+    the on-chain verifier with a single folded pairing check, gas is
+    attributed per deal, and the block is all-or-nothing — one invalid
+    proof reverts every settlement with no surviving events. *)
+let settle_batch (m : t) ~(seller : Chain.Address.t)
+    (entries : (int * Fr.t * Proof.t) list) : Chain.receipt =
+  Obs.with_span "marketplace.settle_batch" @@ fun () ->
+  let receipt = Escrow.settle_batch m.escrow m.chain ~seller entries in
+  (match receipt.Chain.status with
+  | Ok () ->
+    step "settle-batch"
+      ~detail:[ ("deals", string_of_int (List.length entries)) ];
+    Log.info (fun f ->
+        f "settle-batch: %d deal(s) settled by %s for %d gas"
+          (List.length entries) seller receipt.Chain.gas_used)
+  | Error e ->
+    Log.err (fun f ->
+        f "settle-batch failed for %s: %s" seller (Chain.error_to_string e)));
+  receipt

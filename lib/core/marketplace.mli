@@ -102,3 +102,10 @@ val trade :
   (Fr.t array, trade_failure) result
 (** Run a complete key-secure exchange of a token, ending with the NFT
     transfer; returns the buyer's recovered plaintext. *)
+
+val settle_batch :
+  t -> seller:Chain.Address.t -> (int * Fr.t * Zkdet_plonk.Proof.t) list ->
+  Chain.receipt
+(** Settle a block of escrow deals [(deal_id, k_c, pi_k)] in one metered
+    call: proofs are batch-verified with a single folded pairing check,
+    gas is attributed per deal, and the block is all-or-nothing. *)

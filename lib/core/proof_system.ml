@@ -28,6 +28,36 @@ module type S = sig
 
   val verify : verification_key -> Fr.t array -> proof -> bool
 
+  type prepared_vk
+  (** A verification key with its per-verify preprocessing hoisted out,
+      for reuse across a batch: Groth16 caches the fixed pairing factor
+      [e(alpha, beta)] (3 Miller loops per verify instead of 4) plus the
+      canonical vk bytes the batch transcript absorbs; Plonk's verifier
+      is already input-independent, so only the serialization is
+      cached. *)
+
+  val prepare_vk : verification_key -> prepared_vk
+
+  val verify_prepared : prepared_vk -> Fr.t array -> proof -> bool
+  (** Same verdict as {!verify}. *)
+
+  val verify_batch : (verification_key * Fr.t array * proof) list -> bool
+  (** Verify a batch with a random linear combination of the per-proof
+      pairing checks — one multi-pairing instead of one per proof.  The
+      RLC scalars are derived deterministically from a Fiat–Shamir
+      transcript over every (vk, publics, proof) in the batch, so the
+      verdict is reproducible at any [ZKDET_DOMAINS]; per-proof scalars
+      keep a forged proof from cancelling against another batch member
+      (soundness error 1/|Fr| per batch).  Accepts exactly when every
+      proof verifies individually: empty batches accept, singletons
+      delegate to {!verify}, and mixed-circuit batches are supported by
+      both backends. *)
+
+  val batch_scalars : (verification_key * Fr.t array * proof) list -> Fr.t list
+  (** The transcript-derived RLC scalars {!verify_batch} folds with,
+      exposed so tests can assert batch determinism across domain
+      counts. *)
+
   val proof_to_bytes : proof -> string
   (** Canonical wire encoding (magic + version envelope, compressed
       points); see FORMATS.md. *)

@@ -89,3 +89,25 @@ val prove : ?st:Random.State.t -> proving_key -> Cs.compiled -> proof
 val verify : verification_key -> Fr.t array -> proof -> bool
 (** [e(A, B) = e(alpha, beta) e(IC(x), gamma) e(C, delta)] — one G1
     exponentiation per public input plus a 4-factor pairing product. *)
+
+type prepared_vk
+(** A verification key with its per-verify pairing precomputation hoisted
+    out: [e(alpha, beta)] is fixed per key, so {!verify_prepared} runs 3
+    Miller loops instead of 4.  The canonical vk bytes are cached too for
+    the batch transcript. *)
+
+val prepare_vk : verification_key -> prepared_vk
+val verify_prepared : prepared_vk -> Fr.t array -> proof -> bool
+(** Same verdict as {!verify}. *)
+
+val batch_scalars : (verification_key * Fr.t array * proof) list -> Fr.t list
+(** The deterministic Fiat-Shamir RLC scalars {!verify_batch} folds with:
+    one per item, from a transcript over every (vk, publics, proof) in
+    the batch — identical at any [ZKDET_DOMAINS]. *)
+
+val verify_batch : (verification_key * Fr.t array * proof) list -> bool
+(** Random-linear-combination batch verification: one multi-pairing of
+    [N + 3 * #distinct-vks] factors instead of [4N], folded under
+    {!batch_scalars}.  Accepts exactly when every proof verifies
+    individually; soundness error 1/|Fr| per batch.  Empty batches
+    accept; singletons delegate to {!verify}. *)

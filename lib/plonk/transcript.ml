@@ -20,3 +20,21 @@ let challenge_fr t ~label : Fr.t =
   let out = Sha256.digest (t.state ^ "/challenge/" ^ label) in
   t.state <- Sha256.digest (t.state ^ "/post-challenge/" ^ label);
   Fr.of_bytes_be out
+
+(* One RLC scalar per batch item for batched proof verification: absorb
+   every item's (vk bytes, public inputs, proof bytes) FIRST, then squeeze
+   one challenge per index, so each rho depends on the whole batch and a
+   forged proof cannot choose its own scalar.  Purely a hash chain over
+   canonical bytes — identical at any ZKDET_DOMAINS. *)
+let batch_challenges ~label (items : (string * Fr.t array * string) list) :
+    Fr.t list =
+  let tr = create ~label:("batch-verify/" ^ label) in
+  List.iter
+    (fun (vk_bytes, publics, proof_bytes) ->
+      absorb_bytes tr ~label:"vk" vk_bytes;
+      Array.iter (absorb_fr tr ~label:"public") publics;
+      absorb_bytes tr ~label:"proof" proof_bytes)
+    items;
+  List.mapi
+    (fun i _ -> challenge_fr tr ~label:(Printf.sprintf "rho%d" i))
+    items

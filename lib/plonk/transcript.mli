@@ -13,3 +13,10 @@ val absorb_g1 : t -> label:string -> Zkdet_curve.G1.t -> unit
 val challenge_fr : t -> label:string -> Fr.t
 (** Squeeze a field challenge; mutates the state so later challenges
     depend on everything absorbed before them. *)
+
+val batch_challenges : label:string -> (string * Fr.t array * string) list -> Fr.t list
+(** One deterministic RLC scalar per batch item, for batched proof
+    verification: a fresh transcript (domain-separated by [label]) absorbs
+    every item's (vk bytes, public inputs, proof bytes), then squeezes one
+    challenge per index — each scalar depends on the whole batch, so a
+    forged proof cannot choose the coefficient it is folded with. *)

@@ -173,31 +173,88 @@ let verify (vk : Preprocess.verification_key) (publics : Fr.t array)
     Obs.emit (Zkdet_obs.Event.Proof_verified { system = "plonk"; ok });
   ok
 
-(** Verify many proofs (possibly for different circuits over the same SRS)
-    with a single pairing check: fold the per-proof equations with random
-    coefficients. Soundness error is 1/|Fr| per batch. *)
-let verify_batch ?(st = Random.State.make_self_init ())
+(** The Fiat–Shamir RLC scalars {!verify_batch} folds with: one per item,
+    derived from a transcript over every (vk, publics, proof) in the
+    batch.  A pure hash chain over canonical bytes, so the scalars — and
+    therefore the batch verdict — are identical at any [ZKDET_DOMAINS].
+    Exposed for the determinism tests and for audit tooling. *)
+let batch_scalars
+    (items : (Preprocess.verification_key * Fr.t array * Proof.t) list) :
+    Fr.t list =
+  (* Serialize each distinct vk once (physical equality): a settlement
+     batch repeats the same key N times. *)
+  let vk_bytes_cache = ref [] in
+  let vk_bytes vk =
+    match List.assq_opt vk !vk_bytes_cache with
+    | Some b -> b
+    | None ->
+      let b = Preprocess.vk_to_bytes vk in
+      vk_bytes_cache := (vk, b) :: !vk_bytes_cache;
+      b
+  in
+  Transcript.batch_challenges ~label:"plonk"
+    (List.map
+       (fun (vk, publics, proof) ->
+         (vk_bytes vk, publics, Proof.wire_encode proof))
+       items)
+
+(** Verify many proofs — possibly for different circuits — with one folded
+    KZG check per distinct SRS: [prepare] reduces each proof to a pair
+    (L, R) valid iff [e(L, tau G2) = e(R, G2)], i.e. a KZG opening of R at
+    point 0 with witness L, and {!Kzg.verify_batch_openings} folds every
+    pair over the same SRS into a single pairing check under the
+    deterministic {!batch_scalars}.  Soundness error 1/|Fr| per batch;
+    accepts exactly when every proof verifies individually (grouping by
+    SRS keeps mixed-SRS batches equivalent to per-proof verification). *)
+let verify_batch
     (items : (Preprocess.verification_key * Fr.t array * Proof.t) list) : bool =
   match items with
   | [] -> true
-  | (vk0, _, _) :: _ ->
-    let same_srs (vk : Preprocess.verification_key) =
-      G2.equal vk.Preprocess.vk_g2_tau vk0.Preprocess.vk_g2_tau
-      && G2.equal vk.Preprocess.vk_g2 vk0.Preprocess.vk_g2
+  | [ (vk, publics, proof) ] ->
+    Telemetry.count "verify.batch_size" 1;
+    Telemetry.observe "verify.batch_size" 1.0;
+    verify vk publics proof
+  | _ ->
+    Telemetry.with_span "plonk.verify_batch" @@ fun () ->
+    let n = List.length items in
+    Telemetry.count "verify.batch_size" n;
+    Telemetry.observe "verify.batch_size" (float_of_int n);
+    let rhos = batch_scalars items in
+    (* Group the prepared pairs by SRS (vk_g2_tau, vk_g2), in first-use
+       order: circuits preprocessed over one SRS fold together; a batch
+       spanning several ceremonies costs one pairing check per SRS. *)
+    let groups : ((G2.t * G2.t) * ((G1.t * G1.t) * Fr.t) list ref) list ref =
+      ref []
     in
-    let rec fold acc_l acc_r = function
-      | [] -> Some (acc_l, acc_r)
-      | (vk, publics, proof) :: rest -> (
-        if not (same_srs vk) then None
-        else
+    let structural_ok =
+      List.for_all2
+        (fun (vk, publics, proof) rho ->
           match prepare vk publics proof with
-          | None -> None
-          | Some (l, r) ->
-            let rho = Fr.random st in
-            fold (G1.add acc_l (G1.mul l rho)) (G1.add acc_r (G1.mul r rho)) rest)
+          | None -> false
+          | Some lr ->
+            let tau = vk.Preprocess.vk_g2_tau and g2 = vk.Preprocess.vk_g2 in
+            (match
+               List.find_opt
+                 (fun ((t, g), _) -> G2.equal t tau && G2.equal g g2)
+                 !groups
+             with
+            | Some (_, cell) -> cell := (lr, rho) :: !cell
+            | None -> groups := ((tau, g2), ref [ (lr, rho) ]) :: !groups);
+            true)
+        items rhos
     in
-    (match fold G1.zero G1.zero items with
-    | None -> false
-    | Some (l, r) ->
-      Pairing.pairing_check
-        [ (l, vk0.Preprocess.vk_g2_tau); (G1.neg r, vk0.Preprocess.vk_g2) ])
+    let ok =
+      structural_ok
+      && List.for_all
+           (fun ((g2_tau, g2), cell) ->
+             let entries = List.rev !cell in
+             Zkdet_kzg.Kzg.verify_batch_openings ~g2 ~g2_tau
+               (List.map
+                  (fun ((l, r), _) -> (r, Fr.zero, Fr.zero, l))
+                  entries)
+               ~rhos:(List.map snd entries))
+           !groups
+    in
+    if Obs.is_enabled () then
+      Obs.emit (Zkdet_obs.Event.Proof_verified { system = "plonk"; ok });
+    ok

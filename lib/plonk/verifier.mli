@@ -12,10 +12,16 @@ val prepare :
 
 val verify : Preprocess.verification_key -> Fr.t array -> Proof.t -> bool
 
+val batch_scalars :
+  (Preprocess.verification_key * Fr.t array * Proof.t) list -> Fr.t list
+(** The deterministic Fiat-Shamir RLC scalars {!verify_batch} folds with:
+    one per item, from a transcript over every (vk, publics, proof) in
+    the batch — identical at any [ZKDET_DOMAINS]. *)
+
 val verify_batch :
-  ?st:Random.State.t ->
-  (Preprocess.verification_key * Fr.t array * Proof.t) list ->
-  bool
-(** Verify many proofs (possibly for different circuits over the same
-    SRS) with a single pairing check via a random linear combination.
-    Soundness error 1/|Fr| per batch. *)
+  (Preprocess.verification_key * Fr.t array * Proof.t) list -> bool
+(** Verify many proofs (possibly for different circuits) with one folded
+    KZG opening check per distinct SRS, under {!batch_scalars}.  Accepts
+    exactly when every proof verifies individually; soundness error
+    1/|Fr| per batch.  Empty batches accept; singletons delegate to
+    {!verify}. *)

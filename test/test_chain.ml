@@ -352,6 +352,175 @@ let test_gas_table_shape () =
   Alcotest.(check bool) "aggregation > burn" true (g agg > g burn);
   Alcotest.(check bool) "burn > transfer" true (g burn > g transfer)
 
+(* ------------------------------------------------------------------ *)
+(* Batched settlement (ISSUE 6): exact accounting, all-or-nothing       *)
+(* revert without event leakage, per-proof gas attribution.             *)
+(* ------------------------------------------------------------------ *)
+
+module Env = Zkdet_core.Env
+module Exchange = Zkdet_core.Exchange
+module Transform = Zkdet_core.Transform
+module Escrow = Zkdet_contracts.Escrow
+module Verifier_contract = Zkdet_contracts.Verifier_contract
+
+(* One proving environment and five independent (h_v, k_c, pi_k) triples
+   over the same sealed dataset — four for the batch, one spare for the
+   single-settle gas comparison.  Proving is the expensive part, so the
+   fixture is shared; each test replays it against a fresh chain. *)
+let batch_fixture =
+  lazy
+    (let env = Env.create ~log2_max_gates:13 ~seed:[| 0xba7c |] () in
+     let data = Array.init 4 (fun i -> Fr.of_int (i + 1)) in
+     let sealed = Transform.seal ~st:env.Env.rng data in
+     let parties =
+       List.init 5 (fun _ ->
+           let k_v, h_v = Exchange.buyer_blinding ~st:env.Env.rng () in
+           let k_c, pi_k = Exchange.prove_key env sealed ~k_v in
+           (h_v, k_c, pi_k))
+     in
+     (Exchange.key_vk env, sealed.Transform.c_k, parties))
+
+let price = 1_000
+
+(* Deploy the stack as [alice] (the seller) and lock one deal per party;
+   returns the escrow and the locked entries [(deal_id, k_c, pi_k)]. *)
+let lock_parties chain parties =
+  let vk, c_k, _ = Lazy.force batch_fixture in
+  let verifier, _ = Verifier_contract.deploy chain ~deployer:alice vk in
+  let escrow, _ = Escrow.deploy chain ~deployer:alice verifier in
+  let entries =
+    List.mapi
+      (fun i (h_v, k_c, pi_k) ->
+        let buyer = Chain.Address.of_seed (Printf.sprintf "batch-buyer/%d" i) in
+        Chain.faucet chain buyer (price + 1_000_000);
+        let deal_id, r =
+          Escrow.lock escrow chain ~buyer ~seller:alice ~amount:price ~h_v
+            ~key_commitment:c_k ~timeout_blocks:100
+        in
+        ok_status r;
+        (Option.get deal_id, k_c, pi_k))
+      parties
+  in
+  ignore (Chain.mine chain);
+  (escrow, entries)
+
+let batch_parties () =
+  let _, _, parties = Lazy.force batch_fixture in
+  List.filteri (fun i _ -> i < 4) parties
+
+let test_settle_batch_accounting () =
+  let chain = fresh_chain () in
+  let escrow, entries = lock_parties chain (batch_parties ()) in
+  let before = Chain.balance chain alice in
+  let r = Escrow.settle_batch escrow chain ~seller:alice entries in
+  ok_status r;
+  (* exact accounting: the seller gains every amount and pays the fee *)
+  Alcotest.(check int) "seller credited all four amounts, minus the fee"
+    (before + (4 * price) - r.Chain.gas_used)
+    (Chain.balance chain alice);
+  List.iter
+    (fun (deal_id, k_c, _) ->
+      let d = Option.get (Escrow.deal escrow deal_id) in
+      Alcotest.(check bool) "deal settled" true (d.Escrow.status = Escrow.Settled);
+      Alcotest.(check bool) "k_c published" true
+        (match d.Escrow.k_c with Some k -> Fr.equal k k_c | None -> false))
+    entries;
+  (* one Settled per deal plus one BatchSettled, in the receipt *)
+  let count name =
+    List.length
+      (List.filter (fun (e : Chain.event) -> e.Chain.event_name = name) r.Chain.events)
+  in
+  Alcotest.(check int) "four Settled events" 4 (count "Settled");
+  Alcotest.(check int) "one BatchSettled event" 1 (count "BatchSettled")
+
+let test_settle_batch_all_or_nothing () =
+  let chain = fresh_chain () in
+  let escrow, entries = lock_parties chain (batch_parties ()) in
+  (* corrupt the THIRD slot: the earlier valid members must not settle *)
+  let forged =
+    List.mapi
+      (fun i (id, k_c, pi_k) ->
+        if i = 2 then (id, Fr.add k_c Fr.one, pi_k) else (id, k_c, pi_k))
+      entries
+  in
+  let before = Chain.balance chain alice in
+  let r = Escrow.settle_batch escrow chain ~seller:alice forged in
+  failed_status r "settle-batch: invalid proof in batch";
+  (* no event leakage from the revert, not even the per-proof gas ones *)
+  Alcotest.(check int) "receipt has no events" 0 (List.length r.Chain.events);
+  ignore (Chain.mine chain);
+  let sealed_r = Option.get (Chain.receipt chain r.Chain.tx_hash) in
+  Alcotest.(check int) "sealed receipt has no events" 0
+    (List.length sealed_r.Chain.events);
+  (* no partial settlement: every deal still open, no payment moved *)
+  List.iter
+    (fun (deal_id, _, _) ->
+      let d = Option.get (Escrow.deal escrow deal_id) in
+      Alcotest.(check bool) "deal still locked" true
+        (d.Escrow.status = Escrow.Locked);
+      Alcotest.(check bool) "no key published" true (d.Escrow.k_c = None))
+    entries;
+  Alcotest.(check int) "seller paid gas, received nothing"
+    (before - r.Chain.gas_used)
+    (Chain.balance chain alice);
+  (* the same block settles once the forgery is removed *)
+  let r2 = Escrow.settle_batch escrow chain ~seller:alice entries in
+  ok_status r2
+
+let test_settle_batch_gas_attribution () =
+  let chain = fresh_chain () in
+  let _, _, parties = Lazy.force batch_fixture in
+  let escrow, entries = lock_parties chain parties in
+  let batch_entries = List.filteri (fun i _ -> i < 4) entries in
+  let single_id, single_k_c, single_pi = List.nth entries 4 in
+  let r = Escrow.settle_batch escrow chain ~seller:alice batch_entries in
+  ok_status r;
+  let gas_events =
+    List.filter_map
+      (fun (e : Chain.event) ->
+        if e.Chain.event_name = "BatchProofGas" then
+          match e.Chain.event_data with
+          | [ deal; gas ] -> Some (int_of_string deal, int_of_string gas)
+          | _ -> Alcotest.fail "malformed BatchProofGas event"
+        else None)
+      r.Chain.events
+  in
+  (* one attribution per deal, each positive, and their sum below the
+     transaction total (the remainder is the shared fold + base cost) *)
+  Alcotest.(check (list int)) "one attribution per deal, in order"
+    (List.map (fun (id, _, _) -> id) batch_entries)
+    (List.map fst gas_events);
+  List.iter
+    (fun (_, gas) -> Alcotest.(check bool) "positive gas" true (gas > 0))
+    gas_events;
+  let attributed = List.fold_left (fun a (_, g) -> a + g) 0 gas_events in
+  Alcotest.(check bool) "attributed gas below tx total" true
+    (attributed < r.Chain.gas_used);
+  (* amortization: a batched settlement is cheaper per proof than a
+     single settlement, because the pairing is charged once per block *)
+  let single_r =
+    Escrow.settle escrow chain ~seller:alice ~deal_id:single_id ~k_c:single_k_c
+      ~proof:single_pi
+  in
+  ok_status single_r;
+  Alcotest.(check bool) "per-proof batch gas beats single settle" true
+    (r.Chain.gas_used / 4 < single_r.Chain.gas_used)
+
+let test_settle_batch_guards () =
+  let chain = fresh_chain () in
+  let escrow, entries = lock_parties chain (batch_parties ()) in
+  let r = Escrow.settle_batch escrow chain ~seller:alice [] in
+  failed_status r "settle-batch: empty batch";
+  let r = Escrow.settle_batch escrow chain ~seller:bob entries in
+  failed_status r "settle-batch: not the seller";
+  let id0, k_c0, pi0 = List.hd entries in
+  let r =
+    Escrow.settle_batch escrow chain ~seller:alice [ (id0 + 999, k_c0, pi0) ]
+  in
+  failed_status r "settle-batch: no such deal";
+  (* still all settleable after the failed attempts *)
+  ok_status (Escrow.settle_batch escrow chain ~seller:alice entries)
+
 let () =
   Alcotest.run "zkdet_chain"
     [ ( "chain",
@@ -371,4 +540,12 @@ let () =
           Alcotest.test_case "zkcp dispute timeout" `Quick test_zkcp_dispute_timeout;
           Alcotest.test_case "zkcp double claim" `Quick test_zkcp_double_claim;
           Alcotest.test_case "clock auction" `Quick test_auction;
-          Alcotest.test_case "gas table shape" `Quick test_gas_table_shape ] ) ]
+          Alcotest.test_case "gas table shape" `Quick test_gas_table_shape ] );
+      ( "settle-batch",
+        [ Alcotest.test_case "exact accounting" `Quick
+            test_settle_batch_accounting;
+          Alcotest.test_case "all-or-nothing revert, no event leakage" `Quick
+            test_settle_batch_all_or_nothing;
+          Alcotest.test_case "per-proof gas attribution" `Quick
+            test_settle_batch_gas_attribution;
+          Alcotest.test_case "guards" `Quick test_settle_batch_guards ] ) ]

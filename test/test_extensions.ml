@@ -339,7 +339,7 @@ let test_batch_verification () =
   in
   let items = [ make_item (); make_item (); make_item () ] in
   Alcotest.(check bool) "batch of 3 verifies" true
-    (Verifier.verify_batch ~st:rng items);
+    (Verifier.verify_batch items);
   (* corrupting any one proof breaks the whole batch *)
   let corrupted =
     match items with
@@ -348,7 +348,7 @@ let test_batch_verification () =
     | [] -> []
   in
   Alcotest.(check bool) "corrupted batch rejected" false
-    (Verifier.verify_batch ~st:rng corrupted);
+    (Verifier.verify_batch corrupted);
   (* wrong publics break it too *)
   let wrong_publics =
     match items with
@@ -359,9 +359,9 @@ let test_batch_verification () =
     | [] -> []
   in
   Alcotest.(check bool) "wrong publics rejected" false
-    (Verifier.verify_batch ~st:rng wrong_publics);
+    (Verifier.verify_batch wrong_publics);
   Alcotest.(check bool) "empty batch is vacuously true" true
-    (Verifier.verify_batch ~st:rng [])
+    (Verifier.verify_batch [])
 
 let test_batch_mixed_circuits () =
   let env = Lazy.force env in
@@ -384,7 +384,7 @@ let test_batch_mixed_circuits () =
        pi_e) ]
   in
   Alcotest.(check bool) "mixed-circuit batch verifies" true
-    (Verifier.verify_batch ~st:rng items)
+    (Verifier.verify_batch items)
 
 let () =
   Alcotest.run "zkdet_extensions"

@@ -345,6 +345,92 @@ module Diff_plonk_groth16 = Differential (Proof_system.Plonk) (Proof_system.Grot
 
 let differential_plonk_groth16 = Diff_plonk_groth16.property
 
+(* -- batched verification vs the per-proof verifier ------------------ *)
+
+(* The RLC fold must be EXACTLY the conjunction of the individual
+   verdicts, on generated circuit batches (mixed circuits in one batch)
+   where any member may carry corrupted public inputs. *)
+module Batch_differential (P : Proof_system.S) = struct
+  let gen =
+    Gen.list_size (Gen.int_range 0 3) (Gen.pair Gz.circuit_desc Gen.bool)
+
+  let pp = pp_list (pp2 Gz.pp_circuit_desc string_of_bool)
+
+  let check batch =
+    let items =
+      List.map
+        (fun (d, corrupt) ->
+          let cs, _ = Gz.build_circuit d in
+          let compiled = Cs.compile cs in
+          let pk = P.setup ~st:prover_st compiled in
+          let proof = P.prove ~st:prover_st pk compiled in
+          let publics =
+            if corrupt && Array.length compiled.Cs.public_values > 0 then begin
+              let p = Array.copy compiled.Cs.public_values in
+              p.(0) <- Fr.add p.(0) Fr.one;
+              p
+            end
+            else compiled.Cs.public_values
+          in
+          (P.vk pk, publics, proof))
+        batch
+    in
+    P.verify_batch items
+    = List.for_all (fun (vk, publics, proof) -> P.verify vk publics proof) items
+
+  let property =
+    prop ~count:8
+      (Printf.sprintf "batch differential: %s" P.name)
+      pp gen check
+end
+
+module Batch_plonk = Batch_differential (Proof_system.Plonk)
+module Batch_groth16 = Batch_differential (Proof_system.Groth16)
+
+(* -- batch determinism across parallel-domain counts ----------------- *)
+
+let with_domains n f =
+  let prev = Zkdet_parallel.Pool.num_domains () in
+  Zkdet_parallel.Pool.set_num_domains n;
+  Fun.protect ~finally:(fun () -> Zkdet_parallel.Pool.set_num_domains prev) f
+
+(* The RLC scalars come from a Fiat-Shamir transcript and the fold from a
+   sequential accumulation, so neither may depend on how many domains the
+   parallel runtime uses (the on-chain verdict must be reproducible on
+   any host). *)
+let batch_determinism_case (module P : Proof_system.S) =
+  Alcotest.test_case
+    (P.name ^ ": batch scalars and verdict domain-independent")
+    `Quick
+    (fun () ->
+      let small_circuit k =
+        let cs = Cs.create () in
+        let x = Fr.of_int (3 + k) in
+        let pub = Cs.public_input cs (Fr.mul x x) in
+        let w = Cs.fresh cs x in
+        Cs.assert_equal cs (Cs.mul cs w w) pub;
+        Cs.compile cs
+      in
+      let items =
+        List.init 3 (fun k ->
+            let compiled = small_circuit k in
+            let pk = P.setup ~st:prover_st compiled in
+            let proof = P.prove ~st:prover_st pk compiled in
+            (P.vk pk, compiled.Cs.public_values, proof))
+      in
+      let run () = (P.batch_scalars items, P.verify_batch items) in
+      let scalars1, ok1 = with_domains 1 run in
+      let scalars4, ok4 = with_domains 4 run in
+      Alcotest.(check bool) "verdict at 1 domain" true ok1;
+      Alcotest.(check bool) "verdict at 4 domains" true ok4;
+      Alcotest.(check bool) "same RLC scalars" true
+        (List.for_all2 Fr.equal scalars1 scalars4);
+      (* and the scalars are input-sensitive: a different batch order
+         yields a different transcript *)
+      let scalars_rev = P.batch_scalars (List.rev items) in
+      Alcotest.(check bool) "scalars depend on batch contents" false
+        (List.for_all2 Fr.equal scalars1 scalars_rev))
+
 (* ---------------------------------------------------------------- *)
 (* Model-based contract testing.                                     *)
 (* ---------------------------------------------------------------- *)
@@ -835,7 +921,11 @@ let () =
           pairing_bilinear; fft_roundtrip; poly_eval_vs_coeffs; poly_mul_hom;
           hash_sensitivity; mimc_block_injective; merkle_membership;
           storage_roundtrip; storage_codec_roundtrip ] );
-      ("differential", [ differential_plonk_groth16 ]);
+      ( "differential",
+        [ differential_plonk_groth16; Batch_plonk.property;
+          Batch_groth16.property;
+          batch_determinism_case (module Proof_system.Plonk);
+          batch_determinism_case (module Proof_system.Groth16) ] );
       ( "model-based",
         [ nft_model_based; zkcp_model_based; fairswap_model_based;
           auction_model_based ] ) ]
