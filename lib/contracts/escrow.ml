@@ -129,7 +129,10 @@ let settle (c : t) (chain : Chain.t) ~(seller : Chain.Address.t) ~(deal_id : int
     all-or-nothing: if ANY proof is invalid the transaction reverts —
     no deal changes state, no payment moves, and no events survive (the
     chain discards them on revert).  State is only mutated after the
-    batch check passes, so a revert cannot leave a half-settled block. *)
+    batch check passes, so a revert cannot leave a half-settled block.
+    A deal_id may appear at most once in the block: duplicates revert,
+    closing the one-escrow-paid-twice replay the deferred status flip
+    would otherwise allow. *)
 let settle_batch (c : t) (chain : Chain.t) ~(seller : Chain.Address.t)
     (entries : (int * Fr.t * Proof.t) list) : Chain.receipt =
   Chain.execute chain ~sender:seller ~label:"escrow:settle-batch"
@@ -143,11 +146,19 @@ let settle_batch (c : t) (chain : Chain.t) ~(seller : Chain.Address.t)
     (fun env ->
       let m = env.Chain.meter in
       if entries = [] then raise (Chain.Revert "settle-batch: empty batch");
-      (* Load and validate every deal before touching any state. *)
+      (* Load and validate every deal before touching any state.  A deal
+         may appear at most once per block: repeating a (valid) entry
+         would otherwise pass validation — status only flips after the
+         batch check — and credit the seller once per occurrence from a
+         single escrowed amount. *)
+      let seen = Hashtbl.create (List.length entries) in
       let deals =
         List.map
           (fun (deal_id, k_c, proof) ->
             Gas.sload m;
+            if Hashtbl.mem seen deal_id then
+              raise (Chain.Revert "settle-batch: duplicate deal in batch");
+            Hashtbl.add seen deal_id ();
             match Hashtbl.find_opt c.deals deal_id with
             | None -> raise (Chain.Revert "settle-batch: no such deal")
             | Some d ->

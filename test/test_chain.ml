@@ -518,6 +518,19 @@ let test_settle_batch_guards () =
     Escrow.settle_batch escrow chain ~seller:alice [ (id0 + 999, k_c0, pi0) ]
   in
   failed_status r "settle-batch: no such deal";
+  (* a valid entry repeated in one block must revert, not pay twice *)
+  let before = Chain.balance chain alice in
+  let r =
+    Escrow.settle_batch escrow chain ~seller:alice
+      [ (id0, k_c0, pi0); (id0, k_c0, pi0) ]
+  in
+  failed_status r "settle-batch: duplicate deal in batch";
+  Alcotest.(check int) "duplicate batch pays gas only, no credit"
+    (before - r.Chain.gas_used)
+    (Chain.balance chain alice);
+  let d = Option.get (Escrow.deal escrow id0) in
+  Alcotest.(check bool) "deal still locked after duplicate batch" true
+    (d.Escrow.status = Escrow.Locked);
   (* still all settleable after the failed attempts *)
   ok_status (Escrow.settle_batch escrow chain ~seller:alice entries)
 
