@@ -820,36 +820,89 @@ let codec_exp ~scale () =
 
 (* Light enough to run on every CI push; the committed baseline pins
    both the deterministic fields (constraints, proof bytes) and the
-   timings this host class should achieve. *)
+   timings this host class should achieve.  Each (backend, size) point
+   runs one untimed warmup prove first: the first prove pays one-time
+   process costs (GC heap growth, lazy FFT twiddle tables, the SRS
+   fixed-base table build), and the baseline pins the steady state a
+   long-lived prover actually sees.  Plonk sweeps 2^8..2^12 constraints
+   so a superlinear MSM regression shows up in the curve shape; groth16
+   is pinned at 2^10. *)
 let proving_exp () =
-  header "Proving: per-backend lifecycle on the 2^10 filler circuit";
-  let compiled = Cs.compile (filler_circuit ~gates:(1 lsl 10) ()) in
+  header "Proving: per-backend lifecycle (steady-state, one warmup prove)";
   Printf.printf "%-10s %12s %12s %10s %10s %10s\n" "backend" "constraints"
     "proof (B)" "setup (s)" "prove (s)" "verify (s)";
+  let bench_one (module B : Zkdet_core.Proof_system.S) gates =
+    let compiled = Cs.compile (filler_circuit ~gates ()) in
+    let pk, setup_t =
+      wall (fun () -> B.setup ~st:(Random.State.make [| 5 |]) compiled)
+    in
+    ignore (B.prove ~st:(Random.State.make [| 6 |]) pk compiled);
+    let proof, prove_t =
+      wall (fun () -> B.prove ~st:(Random.State.make [| 6 |]) pk compiled)
+    in
+    let ok, verify_t =
+      wall (fun () -> B.verify (B.vk pk) compiled.Cs.public_values proof)
+    in
+    assert ok;
+    emit_row
+      [ jstr "backend" B.name; jint "constraints" (Cs.num_gates compiled);
+        jint "proof_bytes" (B.proof_size_bytes proof);
+        jfloat "setup_s" setup_t; jfloat "prove_s" prove_t;
+        jfloat "verify_s" verify_t ];
+    Printf.printf "%-10s %12d %12d %10.2f %10.2f %10.3f\n%!" B.name
+      (Cs.num_gates compiled) (B.proof_size_bytes proof) setup_t prove_t
+      verify_t
+  in
+  (match Zkdet_core.Proof_system.by_name "plonk" with
+  | Some b -> List.iter (fun log2 -> bench_one b (1 lsl log2)) [ 8; 9; 10; 11; 12 ]
+  | None -> ());
+  match Zkdet_core.Proof_system.by_name "groth16" with
+  | Some b -> bench_one b (1 lsl 10)
+  | None -> ()
+
+(* ---------------------------------------------------------------- *)
+(* MSM: kernel-level ns/point for the two Pippenger paths             *)
+(* ---------------------------------------------------------------- *)
+
+(* Amortized per-point cost at the sizes the prover actually issues
+   (wire/quotient commitments): the generic signed-wNAF Pippenger and the
+   fixed-base table path used for SRS powers.  Points are generated
+   incrementally (one group add each) so harness setup stays cheap at
+   every size; timings take the best of three runs.  The committed
+   BENCH_msm.json pins ns/point per (n, window) on this host class, and
+   the window column pins the tuned lookup so an accidental change to the
+   window table is a deterministic-field diff, not a timing blip. *)
+let msm_exp () =
+  header "MSM: amortized ns/point, generic Pippenger vs fixed-base tables";
+  let st = Random.State.make [| 0x3513 |] in
+  Printf.printf "%-8s %8s %18s %18s\n" "n" "window" "generic (ns/pt)"
+    "table (ns/pt)";
   List.iter
-    (fun backend ->
-      match Zkdet_core.Proof_system.by_name backend with
-      | None -> ()
-      | Some (module B) ->
-        let pk, setup_t =
-          wall (fun () -> B.setup ~st:(Random.State.make [| 5 |]) compiled)
-        in
-        let proof, prove_t =
-          wall (fun () -> B.prove ~st:(Random.State.make [| 6 |]) pk compiled)
-        in
-        let ok, verify_t =
-          wall (fun () -> B.verify (B.vk pk) compiled.Cs.public_values proof)
-        in
-        assert ok;
-        emit_row
-          [ jstr "backend" B.name; jint "constraints" (Cs.num_gates compiled);
-            jint "proof_bytes" (B.proof_size_bytes proof);
-            jfloat "setup_s" setup_t; jfloat "prove_s" prove_t;
-            jfloat "verify_s" verify_t ];
-        Printf.printf "%-10s %12d %12d %10.2f %10.2f %10.3f\n%!" B.name
-          (Cs.num_gates compiled) (B.proof_size_bytes proof) setup_t prove_t
-          verify_t)
-    [ "plonk"; "groth16" ]
+    (fun n ->
+      let points = Array.make n G1.zero in
+      let acc = ref (G1.random st) in
+      for i = 0 to n - 1 do
+        points.(i) <- !acc;
+        acc := G1.add !acc G1.generator
+      done;
+      let scalars = Array.init n (fun _ -> Fr.random st) in
+      let best f =
+        List.fold_left
+          (fun b _ -> let _, t = wall f in Float.min b t)
+          infinity [ 1; 2; 3 ]
+      in
+      let generic = best (fun () -> ignore (G1.msm points scalars)) in
+      let tb = G1.Fixed_base.msm_create points in
+      let table = best (fun () -> ignore (G1.Fixed_base.msm tb scalars)) in
+      let window = G1.Fixed_base.msm_window_for n in
+      let per t = 1e9 *. t /. float_of_int n in
+      emit_row
+        [ jint "n" n; jint "window" window;
+          jfloat "generic_ns_per_point" (per generic);
+          jfloat "table_ns_per_point" (per table) ];
+      Printf.printf "%-8d %8d %18.0f %18.0f\n%!" n window (per generic)
+        (per table))
+    [ 256; 1024; 4096 ]
 
 (* ---------------------------------------------------------------- *)
 (* Perf-regression gating against committed baselines                 *)
@@ -940,6 +993,7 @@ let has_suffix s suf =
    Unit is inferred from the field name. *)
 let float_slack key =
   if key = "ns_per_run" then 5e4 (* 50 us *)
+  else if has_suffix key "_ns_per_point" then 100.0 (* ns *)
   else if has_suffix key "_us" then 50.0
   else 0.25 (* seconds *)
 
@@ -1055,7 +1109,8 @@ let () =
       (fun a ->
         List.mem a
           [ "setup"; "fig5"; "fig6"; "fig7"; "fairswap"; "table1"; "table2";
-            "micro"; "parallel"; "proptest"; "codec"; "proving"; "verify"; "all" ])
+            "micro"; "parallel"; "proptest"; "codec"; "proving"; "verify";
+            "msm"; "all" ])
       args
   in
   let which = if which = [] then [ "all" ] else which in
@@ -1089,6 +1144,7 @@ let () =
   if run || List.mem "codec" which then run_experiment "codec" (codec_exp ~scale);
   if run || List.mem "proving" which then run_experiment "proving" proving_exp;
   if run || List.mem "verify" which then run_experiment "verify" verify_exp;
+  if run || List.mem "msm" which then run_experiment "msm" msm_exp;
   if run || List.mem "micro" which then run_experiment "micro" micro;
   Telemetry.maybe_write_trace ();
   Printf.printf "\ntotal bench wall time: %.1f s\n" (Unix.gettimeofday () -. t0);

@@ -39,6 +39,48 @@ let inv a =
   let ninv = Fp.inv norm in
   { c0 = Fp.mul a.c0 ninv; c1 = Fp.neg (Fp.mul a.c1 ninv) }
 
+(* Mirrors Montgomery.batch_inv0 over the extension: one Fp2 inversion
+   for the whole batch, zero entries skipped and passed through as zero. *)
+let batch_inv0 (xs : t array) : t array =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let prefix = Array.make n one in
+    let acc = ref one in
+    for i = 0 to n - 1 do
+      prefix.(i) <- !acc;
+      if not (is_zero xs.(i)) then acc := mul !acc xs.(i)
+    done;
+    let inv_acc = ref (inv !acc) in
+    let out = Array.make n zero in
+    for i = n - 1 downto 0 do
+      if not (is_zero xs.(i)) then begin
+        out.(i) <- mul !inv_acc prefix.(i);
+        inv_acc := mul !inv_acc xs.(i)
+      end
+    done;
+    out
+  end
+
+(* The in-place kernel buffer API, mirrored from Field_intf so Fp2 can
+   also back the curve layer's batch-affine kernels. Fp2 values are
+   immutable records, so these "in-place" variants just overwrite the
+   array slot — G2 MSMs are off the proving hot path, so the extra
+   allocation is fine. *)
+let make_buf n = Array.make n zero
+let set (buf : t array) i v = buf.(i) <- v
+let mul_into (buf : t array) i a b = buf.(i) <- mul a b
+let sqr_into (buf : t array) i a = buf.(i) <- sqr a
+let add_into (buf : t array) i a b = buf.(i) <- add a b
+let sub_into (buf : t array) i a b = buf.(i) <- sub a b
+let double_into (buf : t array) i a = buf.(i) <- double a
+let neg_into (buf : t array) i a = buf.(i) <- neg a
+
+let batch_inv0_in_place ~(scratch : t array) (buf : t array) (n : int) : unit =
+  ignore scratch;
+  let out = batch_inv0 (Array.sub buf 0 n) in
+  Array.blit out 0 buf 0 n
+
 let conj a = { a with c1 = Fp.neg a.c1 }
 
 (* x^p = conj(x) since u^p = u^(p-1) u = (u^2)^((p-1)/2) u = (-1)^((p-1)/2) u

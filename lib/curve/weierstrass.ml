@@ -20,6 +20,29 @@ module type CURVE_FIELD = sig
   val sqr : t -> t
   val double : t -> t
   val inv : t -> t
+
+  val batch_inv0 : t array -> t array
+  (** Batch inversion with one field inversion; zero entries are skipped
+      and map to zero (used as an "absent" marker by the batch-affine
+      adders). *)
+
+  (** In-place kernel buffers (see {!Zkdet_field.Field_intf.S}): distinct
+      mutable cells written by the [*_into] kernels, so the batch-affine
+      MSM inner loops allocate nothing per field operation. *)
+
+  val make_buf : int -> t array
+  val set : t array -> int -> t -> unit
+  val mul_into : t array -> int -> t -> t -> unit
+  val sqr_into : t array -> int -> t -> unit
+  val add_into : t array -> int -> t -> t -> unit
+  val sub_into : t array -> int -> t -> t -> unit
+  val double_into : t array -> int -> t -> unit
+  val neg_into : t array -> int -> t -> unit
+
+  val batch_inv0_in_place : scratch:t array -> t array -> int -> unit
+  (** In-place {!batch_inv0} over the first [n] cells of a buffer;
+      [scratch] needs [n + 2] cells. *)
+
   val equal : t -> t -> bool
   val is_zero : t -> bool
   val to_bytes : t -> string
@@ -198,6 +221,335 @@ module Make (P : PARAMS) = struct
   let mul_int p k =
     if k >= 0 then mul_nat p (Nat.of_int k) else neg (mul_nat p (Nat.of_int (-k)))
 
+  (* ================= Pippenger multi-scalar multiplication =================
+
+     Signed-digit (wNAF-style) windows over batch-affine buckets:
+
+     - Scalars decompose into digits d_w in (-2^(c-1), 2^(c-1)] with
+       sum_w d_w 2^(cw) = s.  A negative digit files the *negated* affine
+       point under bucket |d_w|, halving the bucket count per window.
+     - Bucket contents are reduced by rounds of pairwise affine additions
+       whose slope denominators are inverted together — one field
+       inversion per round (Montgomery's trick, F.batch_inv0) — at ~6
+       field mults per addition vs ~11 for Jacobian add_mixed.
+     - Points are partitioned into chunks whose count depends only on n;
+       each chunk computes every window and chunks are merged in fixed
+       index order, so the result (and hence any proof bytes built from
+       it) is identical at any pool size / ZKDET_DOMAINS. *)
+
+  let scalar_bits = Fr.num_bits
+
+  (* One extra window absorbs the final carry of the signed digits. *)
+  let nwindows_for c = ((scalar_bits + c - 1) / c) + 1
+
+  (* Window width by input size for the generic (per-window bucket sets)
+     path; tuned by the `msm` bench sweep — see EXPERIMENTS.md. *)
+  let pick_window n =
+    if n < 32 then 3
+    else if n < 128 then 5
+    else if n < 512 then 6
+    else if n < 2048 then 7
+    else if n < 8192 then 8
+    else if n < 32768 then 9
+    else 10
+
+  (* Chunk count for the point partition. Depends only on n — never on
+     the pool size — so chunk boundaries (and the merge) are stable. *)
+  let nchunks_for n = if n < 256 then 1 else min 4 (n / 128)
+
+  (* Limb count of the scratch buffer [signed_digits] extracts into (one
+     spare limb so the top window's straddling read stays in bounds). *)
+  let digit_limbs = ((scalar_bits + Nat.limb_bits - 1) / Nat.limb_bits) + 1
+
+  (* Writes the signed digits of [s] into [out] (length >= nwindows_for c).
+     [limbs] is caller-provided scratch of [digit_limbs] ints, reused
+     across scalars; extracting limbs once makes each window an O(1)
+     shift/mask. *)
+  let signed_digits ~c (limbs : int array) (out : int array) (s : Fr.t) : unit =
+    let nat = Fr.to_nat s in
+    let lb = Nat.limb_bits in
+    for i = 0 to digit_limbs - 1 do
+      limbs.(i) <- Nat.limb nat i
+    done;
+    let mask = (1 lsl c) - 1 in
+    let half = 1 lsl (c - 1) in
+    let nw = nwindows_for c in
+    let carry = ref 0 in
+    for w = 0 to nw - 2 do
+      let lo = w * c in
+      let l = lo / lb and off = lo mod lb in
+      let v = limbs.(l) lsr off in
+      let v = if off + c > lb then v lor (limbs.(l + 1) lsl (lb - off)) else v in
+      let v = (v land mask) + !carry in
+      if v > half then begin
+        out.(w) <- v - (2 * half);
+        carry := 1
+      end else begin
+        out.(w) <- v;
+        carry := 0
+      end
+    done;
+    out.(nw - 1) <- !carry
+
+  (* Batched affine bucket accumulation. [ex]/[ey] are F buffers
+     ({!F.make_buf}); entries for bucket b occupy cells
+     start.(b) .. start.(b) + len.(b) - 1, all finite affine points.
+     Rounds of pairwise additions shrink every bucket to at most one
+     survivor (left at start.(b)); each round resolves all its slope
+     denominators in place with ONE field inversion. A zero denominator
+     marks an annihilating P + (-P) pair, which simply drops out —
+     identity entries are never stored, only skipped. Every field op in
+     the loop lands in a preallocated cell, so the whole reduction
+     allocates only its scratch buffers. *)
+  let reduce_buckets ~(ex : F.t array) ~(ey : F.t array) ~(start : int array)
+      ~(len : int array) : unit =
+    let nbuckets = Array.length start in
+    let total = Array.fold_left ( + ) 0 len in
+    if total > 1 then begin
+      let cap = (total / 2) + 1 in
+      let den = F.make_buf cap in
+      let num = F.make_buf cap in
+      let scratch = F.make_buf (cap + 2) in
+      let tmp = F.make_buf 3 in
+      let pending = ref true in
+      while !pending do
+        pending := false;
+        (* Phase 1: classify each pair, collecting slope numerators and
+           denominators.  Doubling uses (3x^2) / (2y); distinct x uses
+           (y2 - y1) / (x2 - x1); x1 = x2 with y1 = -y1 annihilates. *)
+        let np = ref 0 in
+        for b = 0 to nbuckets - 1 do
+          let m = len.(b) in
+          for k = 0 to (m / 2) - 1 do
+            let i = start.(b) + (2 * k) in
+            let x1 = ex.(i) and y1 = ey.(i) in
+            let x2 = ex.(i + 1) and y2 = ey.(i + 1) in
+            (if F.equal x1 x2 then
+               if F.equal y1 y2 && not (F.is_zero y1) then begin
+                 F.sqr_into num !np x1;
+                 F.double_into tmp 0 num.(!np);
+                 F.add_into num !np tmp.(0) num.(!np);
+                 F.double_into den !np y1
+               end else begin
+                 F.set num !np F.zero;
+                 F.set den !np F.zero
+               end
+             else begin
+               F.sub_into num !np y2 y1;
+               F.sub_into den !np x2 x1
+             end);
+            incr np
+          done
+        done;
+        if !np > 0 then begin
+          Telemetry.count "curve.msm.batch_add_rounds" 1;
+          F.batch_inv0_in_place ~scratch den !np;
+          (* Phase 2: apply the additions, compacting each bucket in
+             place.  The write pointer never passes the read index, and
+             an odd leftover entry is preserved at the tail. *)
+          let np2 = ref 0 in
+          for b = 0 to nbuckets - 1 do
+            let m = len.(b) in
+            if m > 1 then begin
+              let wp = ref (start.(b)) in
+              for k = 0 to (m / 2) - 1 do
+                let i = start.(b) + (2 * k) in
+                let d = den.(!np2) in
+                if not (F.is_zero d) then begin
+                  let x1 = ex.(i) and y1 = ey.(i) and x2 = ex.(i + 1) in
+                  (* tmp0 = lambda, tmp1 = x3, tmp2 = y3, all materialized
+                     before the writeback — cell !wp may be cell i. *)
+                  F.mul_into tmp 0 num.(!np2) d;
+                  F.sqr_into tmp 1 tmp.(0);
+                  F.sub_into tmp 1 tmp.(1) x1;
+                  F.sub_into tmp 1 tmp.(1) x2;
+                  F.sub_into tmp 2 x1 tmp.(1);
+                  F.mul_into tmp 2 tmp.(0) tmp.(2);
+                  F.sub_into tmp 2 tmp.(2) y1;
+                  F.set ex !wp tmp.(1);
+                  F.set ey !wp tmp.(2);
+                  incr wp
+                end;
+                incr np2
+              done;
+              if m land 1 = 1 then begin
+                let i = start.(b) + m - 1 in
+                if !wp <> i then begin
+                  F.set ex !wp ex.(i);
+                  F.set ey !wp ey.(i)
+                end;
+                incr wp
+              end;
+              len.(b) <- !wp - start.(b);
+              if len.(b) > 1 then pending := true
+            end
+          done
+        end
+      done
+    end
+
+  (* Running-sum trick over a contiguous range of reduced buckets:
+     sum_{j} (j + 1) * bucket_{first + j}. *)
+  let bucket_running_sum ~ex ~ey ~start ~len ~first ~count =
+    let running = ref zero and sum = ref zero in
+    for j = count - 1 downto 0 do
+      let b = first + j in
+      if len.(b) = 1 then
+        running := add_mixed !running (ex.(start.(b)), ey.(start.(b)));
+      if not (is_zero !running) then sum := add !sum !running
+    done;
+    !sum
+
+  (* Chunk output: the surviving bucket points, sorted by bucket index.
+     Chunks must NOT pay the running sum themselves — it costs
+     O(nbuckets) curve adds and would be multiplied by the chunk count —
+     so survivors are handed back for one shared cross-chunk reduction. *)
+  type survivors = { sn : int; sb : int array; sx : F.t array; sy : F.t array }
+
+  let compact_survivors ~ex ~ey ~start ~len =
+    let nbuckets = Array.length start in
+    let ns = ref 0 in
+    for b = 0 to nbuckets - 1 do
+      if len.(b) = 1 then incr ns
+    done;
+    let sb = Array.make (max !ns 1) 0 in
+    let sx = Array.make (max !ns 1) F.zero in
+    let sy = Array.make (max !ns 1) F.zero in
+    let k = ref 0 in
+    for b = 0 to nbuckets - 1 do
+      if len.(b) = 1 then begin
+        sb.(!k) <- b;
+        sx.(!k) <- ex.(start.(b));
+        sy.(!k) <- ey.(start.(b));
+        incr k
+      end
+    done;
+    { sn = !ns; sb; sx; sy }
+
+  (* Merge per-chunk survivors: one more counting sort (entries for a
+     bucket appear in chunk index order — the deterministic merge) and one
+     more batch-affine reduction, at most ceil(log2 nchunks) rounds.
+     Returns the final per-bucket arrays, each bucket holding <= 1 point. *)
+  let merge_survivors ~nbuckets (parts : survivors array) =
+    let counts = Array.make nbuckets 0 in
+    Array.iter
+      (fun p ->
+        for k = 0 to p.sn - 1 do
+          counts.(p.sb.(k)) <- counts.(p.sb.(k)) + 1
+        done)
+      parts;
+    let start = Array.make nbuckets 0 in
+    let acc = ref 0 in
+    for b = 0 to nbuckets - 1 do
+      start.(b) <- !acc;
+      acc := !acc + counts.(b)
+    done;
+    let total = !acc in
+    let ex = F.make_buf (max total 1) in
+    let ey = F.make_buf (max total 1) in
+    let fill = Array.make nbuckets 0 in
+    Array.iter
+      (fun p ->
+        for k = 0 to p.sn - 1 do
+          let b = p.sb.(k) in
+          let pos = start.(b) + fill.(b) in
+          fill.(b) <- fill.(b) + 1;
+          F.set ex pos p.sx.(k);
+          F.set ey pos p.sy.(k)
+        done)
+      parts;
+    reduce_buckets ~ex ~ey ~start ~len:fill;
+    (ex, ey, start, fill)
+
+  (* One chunk of the generic MSM: points [lo, hi) against their scalars,
+     every window at once.  All windows share the entry arrays so each
+     batch-inversion round spans every window's buckets. *)
+  let msm_chunk ~c ~(aff : (F.t * F.t) option array) ~(scalars : Fr.t array) lo
+      hi =
+    let nw = nwindows_for c in
+    let half = 1 lsl (c - 1) in
+    let nbuckets = nw * half in
+    let nchunk = hi - lo in
+    let digits = Array.make (max 1 (nchunk * nw)) 0 in
+    let dig_buf = Array.make nw 0 in
+    let limbs = Array.make digit_limbs 0 in
+    let counts = Array.make nbuckets 0 in
+    for i = 0 to nchunk - 1 do
+      match aff.(lo + i) with
+      | None -> () (* identity input: contributes nothing, digits stay 0 *)
+      | Some _ ->
+        signed_digits ~c limbs dig_buf scalars.(lo + i);
+        for w = 0 to nw - 1 do
+          let d = dig_buf.(w) in
+          digits.((i * nw) + w) <- d;
+          if d <> 0 then begin
+            let b = (w * half) + abs d - 1 in
+            counts.(b) <- counts.(b) + 1
+          end
+        done
+    done;
+    let start = Array.make nbuckets 0 in
+    let acc = ref 0 in
+    for b = 0 to nbuckets - 1 do
+      start.(b) <- !acc;
+      acc := !acc + counts.(b)
+    done;
+    let total = !acc in
+    let ex = F.make_buf (max total 1) in
+    let ey = F.make_buf (max total 1) in
+    let fill = Array.make nbuckets 0 in
+    for i = 0 to nchunk - 1 do
+      match aff.(lo + i) with
+      | None -> ()
+      | Some (x, y) ->
+        for w = 0 to nw - 1 do
+          let d = digits.((i * nw) + w) in
+          if d <> 0 then begin
+            let b = (w * half) + abs d - 1 in
+            let pos = start.(b) + fill.(b) in
+            fill.(b) <- fill.(b) + 1;
+            F.set ex pos x;
+            if d > 0 then F.set ey pos y else F.neg_into ey pos y
+          end
+        done
+    done;
+    (* after filling, fill.(b) = counts.(b): reuse it as the live length *)
+    reduce_buckets ~ex ~ey ~start ~len:fill;
+    compact_survivors ~ex ~ey ~start ~len:fill
+
+  (** Pippenger MSM at an explicit window width (2..16). Exposed for the
+      differential tests and the bench sweep; [msm] picks the width. *)
+  let msm_with_window ~window:c (points : t array) (scalars : Fr.t array) =
+    let n = Array.length points in
+    if n <> Array.length scalars then invalid_arg "Weierstrass.msm: length mismatch";
+    if c < 2 || c > 16 then invalid_arg "Weierstrass.msm: window outside [2, 16]";
+    if n = 0 then zero
+    else begin
+      let aff = batch_to_affine points in
+      let nw = nwindows_for c in
+      let half = 1 lsl (c - 1) in
+      let nchunks = nchunks_for n in
+      let parts =
+        Pool.parallel_init nchunks (fun ci ->
+            msm_chunk ~c ~aff ~scalars (ci * n / nchunks) ((ci + 1) * n / nchunks))
+      in
+      let ex, ey, start, len = merge_survivors ~nbuckets:(nw * half) parts in
+      (* Horner walk over the per-window running sums, doubling c times
+         between windows. *)
+      let acc = ref zero in
+      for w = nw - 1 downto 0 do
+        if w < nw - 1 then
+          for _ = 1 to c do
+            acc := double !acc
+          done;
+        acc :=
+          add !acc
+            (bucket_running_sum ~ex ~ey ~start ~len ~first:(w * half)
+               ~count:half)
+      done;
+      !acc
+    end
+
   (* Pippenger multi-scalar multiplication: sum_i scalars(i) * points(i). *)
   let msm (points : t array) (scalars : Fr.t array) =
     let n = Array.length points in
@@ -214,53 +566,9 @@ module Make (P : PARAMS) = struct
       !acc
     end
     else begin
-      (* Window width trades bucket-phase mixed adds against
-         running-sum full adds; c = 8 is near-optimal across our sizes. *)
-      let c =
-        let rec log2 k acc = if k <= 1 then acc else log2 (k / 2) (acc + 1) in
-        max 2 (min 8 (log2 n 0 - 1))
-      in
-      let nats = Array.map Fr.to_nat scalars in
-      let total_bits = Fr.num_bits in
-      let nwindows = (total_bits + c - 1) / c in
-      let window_value nat w =
-        let v = ref 0 in
-        for b = c - 1 downto 0 do
-          let bit = (w * c) + b in
-          v := (!v lsl 1) lor (if bit < total_bits && Nat.testbit nat bit then 1 else 0)
-        done;
-        !v
-      in
-      let affine = batch_to_affine points in
-      (* Window sums are independent of each other — one pool task per
-         window — and each is computed whole, so the result is identical
-         (same Jacobian coordinates) at any pool size. *)
-      let window_sum w =
-        let buckets = Array.make ((1 lsl c) - 1) zero in
-        for i = 0 to n - 1 do
-          let v = window_value nats.(i) w in
-          if v > 0 then
-            match affine.(i) with
-            | Some xy -> buckets.(v - 1) <- add_mixed buckets.(v - 1) xy
-            | None -> ()
-        done;
-        (* running-sum trick: sum_j j * bucket_j *)
-        let running = ref zero and sum = ref zero in
-        for j = Array.length buckets - 1 downto 0 do
-          running := add !running buckets.(j);
-          sum := add !sum !running
-        done;
-        !sum
-      in
-      let sums = Pool.parallel_init nwindows window_sum in
-      let acc = ref zero in
-      for w = nwindows - 1 downto 0 do
-        for _ = 1 to c do
-          acc := double !acc
-        done;
-        acc := add !acc sums.(w)
-      done;
-      !acc
+      let c = pick_window n in
+      Telemetry.observe "curve.msm.window_bits" (float_of_int c);
+      msm_with_window ~window:c points scalars
     end
 
   (* Fixed-base scalar multiplication: precompute d * 2^(c*j) * base for a
@@ -301,6 +609,162 @@ module Make (P : PARAMS) = struct
         if !v > 0 then acc := add !acc rows.(j).(!v - 1)
       done;
       !acc
+
+    (* ---- multi-base signed-window MSM tables ----
+
+       Row (i, j) stores [2^(c*j)] P_i in affine form.  With every window
+       of every base pre-shifted, an MSM over a prefix of the bases needs
+       no doublings at all: all (base, window) digit entries land in ONE
+       shared set of 2^(c-1) buckets and a single running sum finishes the
+       job.  That makes much larger windows pay off than in the generic
+       path (the running sum is paid once per MSM, not once per window). *)
+
+    type msm_table = {
+      mwindow : int;  (* signed window width c *)
+      mnwindows : int;  (* rows per base = nwindows_for c *)
+      mbases : int;
+      mx : F.t array;  (* mbases * mnwindows, row-major by base *)
+      my : F.t array;
+      mfinite : bool array;  (* false marks rows of an identity base *)
+    }
+
+    let msm_window t = t.mwindow
+    let msm_size t = t.mbases
+
+    (* Window width when all windows share one bucket set; tuned by the
+       `msm` bench sweep — see EXPERIMENTS.md. *)
+    let msm_window_for n = if n <= 128 then 8 else if n <= 512 then 10 else 11
+
+    let of_affine_rows ~window ~nbases (aff : (F.t * F.t) option array) =
+      let nw = nwindows_for window in
+      let total = nbases * nw in
+      let mx = Array.make (max total 1) F.zero in
+      let my = Array.make (max total 1) F.zero in
+      let mfinite = Array.make (max total 1) false in
+      for k = 0 to total - 1 do
+        match aff.(k) with
+        | Some (x, y) ->
+          mx.(k) <- x;
+          my.(k) <- y;
+          mfinite.(k) <- true
+        | None -> ()
+      done;
+      { mwindow = window; mnwindows = nw; mbases = nbases; mx; my; mfinite }
+
+    let msm_create ?window (points : t array) : msm_table =
+      let n = Array.length points in
+      let c = match window with Some c -> c | None -> msm_window_for n in
+      if c < 2 || c > 16 then
+        invalid_arg "Fixed_base.msm_create: window outside [2, 16]";
+      let nw = nwindows_for c in
+      let rows = Array.make (max (n * nw) 1) zero in
+      let build lo hi =
+        for i = lo to hi - 1 do
+          let cur = ref points.(i) in
+          for j = 0 to nw - 1 do
+            rows.((i * nw) + j) <- !cur;
+            for _ = 1 to c do
+              cur := double !cur
+            done
+          done
+        done
+      in
+      let nchunks = nchunks_for n in
+      Pool.parallel_for_chunks ~chunks:nchunks 0 n (fun ~lo ~hi -> build lo hi);
+      of_affine_rows ~window:c ~nbases:n (batch_to_affine rows)
+
+    (** The table rows as points (row-major by base: base i's rows occupy
+        indices [i * nwindows, (i+1) * nwindows)); identity bases yield
+        identity rows.  Serialization uses this view. *)
+    let msm_rows (t : msm_table) : t array =
+      Array.init (t.mbases * t.mnwindows)
+        (fun k ->
+          if t.mfinite.(k) then of_affine_unchecked (t.mx.(k), t.my.(k))
+          else zero)
+
+    (** Rebuild a table from decoded rows (the inverse of {!msm_rows}).
+        Checks only shape; callers validating untrusted bytes must also
+        check row contents against the bases (see Srs). *)
+    let msm_of_rows ~window ~nbases (rows : t array) :
+        (msm_table, string) result =
+      if window < 2 || window > 16 then Error "fixed-base window outside [2, 16]"
+      else if Array.length rows <> nbases * nwindows_for window then
+        Error "fixed-base table has the wrong number of rows"
+      else Ok (of_affine_rows ~window ~nbases (batch_to_affine rows))
+
+    (* One chunk of a table MSM: bases [lo, hi) with their scalars, all
+       windows into one shared bucket set. *)
+    let msm_table_chunk (tb : msm_table) (scalars : Fr.t array) lo hi =
+      let c = tb.mwindow in
+      let nw = tb.mnwindows in
+      let half = 1 lsl (c - 1) in
+      let nchunk = hi - lo in
+      let digits = Array.make (max 1 (nchunk * nw)) 0 in
+      let dig_buf = Array.make nw 0 in
+      let limbs = Array.make digit_limbs 0 in
+      let counts = Array.make half 0 in
+      for i = 0 to nchunk - 1 do
+        signed_digits ~c limbs dig_buf scalars.(lo + i);
+        for w = 0 to nw - 1 do
+          let d = dig_buf.(w) in
+          let d = if tb.mfinite.(((lo + i) * nw) + w) then d else 0 in
+          digits.((i * nw) + w) <- d;
+          if d <> 0 then counts.(abs d - 1) <- counts.(abs d - 1) + 1
+        done
+      done;
+      let start = Array.make half 0 in
+      let acc = ref 0 in
+      for b = 0 to half - 1 do
+        start.(b) <- !acc;
+        acc := !acc + counts.(b)
+      done;
+      let total = !acc in
+      let ex = F.make_buf (max total 1) in
+      let ey = F.make_buf (max total 1) in
+      let fill = Array.make half 0 in
+      for i = 0 to nchunk - 1 do
+        for w = 0 to nw - 1 do
+          let d = digits.((i * nw) + w) in
+          if d <> 0 then begin
+            let b = abs d - 1 in
+            let row = ((lo + i) * nw) + w in
+            let pos = start.(b) + fill.(b) in
+            fill.(b) <- fill.(b) + 1;
+            F.set ex pos tb.mx.(row);
+            if d > 0 then F.set ey pos tb.my.(row)
+            else F.neg_into ey pos tb.my.(row)
+          end
+        done
+      done;
+      reduce_buckets ~ex ~ey ~start ~len:fill;
+      compact_survivors ~ex ~ey ~start ~len:fill
+
+    (** MSM against the first [Array.length scalars] bases of the table.
+        No doublings: every (base, window) entry is pre-shifted into ONE
+        shared bucket set and a single running sum finishes. Chunked over
+        bases with a fixed-order merge, same determinism contract as the
+        generic {!msm}. *)
+    let msm (tb : msm_table) (scalars : Fr.t array) =
+      let n = Array.length scalars in
+      if n > tb.mbases then
+        invalid_arg "Fixed_base.msm: more scalars than table bases";
+      Telemetry.count "curve.msm.calls" 1;
+      Telemetry.count "curve.msm.points" n;
+      Telemetry.count "curve.msm.fixed_base" 1;
+      Telemetry.observe "curve.msm.size" (float_of_int n);
+      if n = 0 then zero
+      else begin
+        Telemetry.observe "curve.msm.window_bits" (float_of_int tb.mwindow);
+        let half = 1 lsl (tb.mwindow - 1) in
+        let nchunks = nchunks_for n in
+        let parts =
+          Pool.parallel_init nchunks (fun ci ->
+              msm_table_chunk tb scalars (ci * n / nchunks)
+                ((ci + 1) * n / nchunks))
+        in
+        let ex, ey, start, len = merge_survivors ~nbuckets:half parts in
+        bucket_running_sum ~ex ~ey ~start ~len ~first:0 ~count:half
+      end
   end
 
   let random st = mul generator (Fr.random st)

@@ -58,6 +58,33 @@ module type S = sig
   (** Invert many elements with one field inversion (Montgomery's trick).
       Raises [Division_by_zero] if any element is zero. *)
 
+  val batch_inv0 : t array -> t array
+  (** Like {!batch_inv}, but zero entries are skipped and map to zero —
+      batch users treat zero as an "absent" marker rather than an error. *)
+
+  (** {2 In-place kernel buffers}
+
+      Allocation-free building blocks for batch inner loops (the curve
+      layer's batch-affine MSM kernels).  [make_buf n] returns [n]
+      distinct mutable cells; [*_into buf i ...] overwrites cell [i] only.
+      Reading [buf.(i)] yields a value that aliases the cell, so consume
+      it before the next write to that cell.  Cells must never escape as
+      ordinary field values while the buffer is still being written. *)
+
+  val make_buf : int -> t array
+  val set : t array -> int -> t -> unit
+  val mul_into : t array -> int -> t -> t -> unit
+  val sqr_into : t array -> int -> t -> unit
+  val add_into : t array -> int -> t -> t -> unit
+  val sub_into : t array -> int -> t -> t -> unit
+  val double_into : t array -> int -> t -> unit
+  val neg_into : t array -> int -> t -> unit
+
+  val batch_inv0_in_place : scratch:t array -> t array -> int -> unit
+  (** [batch_inv0_in_place ~scratch buf n] replaces the first [n] cells of
+      [buf] by their inverses (zero cells stay zero) with a single true
+      inversion.  [scratch] must be a buffer of at least [n + 2] cells. *)
+
   val pow : t -> int -> t
   (** [pow x e] for a native-int exponent [e >= 0]. *)
 

@@ -109,7 +109,8 @@ module Make (M : MODULUS) : Field_intf.S = struct
   and p8 = Nat.limb modulus 8
   and p9 = Nat.limb modulus 9
 
-  let mont_mul_10 (a : int array) (b : int array) : int array =
+  let mont_mul_10_into (dst : int array) (a : int array) (b : int array) :
+      unit =
     let b0 = Array.unsafe_get b 0
     and b1 = Array.unsafe_get b 1
     and b2 = Array.unsafe_get b 2
@@ -122,19 +123,19 @@ module Make (M : MODULUS) : Field_intf.S = struct
     and b9 = Array.unsafe_get b 9 in
     let rec go i t0 t1 t2 t3 t4 t5 t6 t7 t8 t9 t10 =
       if i = 10 then begin
-        let r = Array.make 10 0 in
-        Array.unsafe_set r 0 t0;
-        Array.unsafe_set r 1 t1;
-        Array.unsafe_set r 2 t2;
-        Array.unsafe_set r 3 t3;
-        Array.unsafe_set r 4 t4;
-        Array.unsafe_set r 5 t5;
-        Array.unsafe_set r 6 t6;
-        Array.unsafe_set r 7 t7;
-        Array.unsafe_set r 8 t8;
-        Array.unsafe_set r 9 t9;
-        if t10 > 0 || ge_p r then sub_p_inplace r;
-        r
+        (* Registers are fully materialized before the first store, so
+           [dst] may alias either operand. *)
+        Array.unsafe_set dst 0 t0;
+        Array.unsafe_set dst 1 t1;
+        Array.unsafe_set dst 2 t2;
+        Array.unsafe_set dst 3 t3;
+        Array.unsafe_set dst 4 t4;
+        Array.unsafe_set dst 5 t5;
+        Array.unsafe_set dst 6 t6;
+        Array.unsafe_set dst 7 t7;
+        Array.unsafe_set dst 8 t8;
+        Array.unsafe_set dst 9 t9;
+        if t10 > 0 || ge_p dst then sub_p_inplace dst
       end
       else begin
         let ai = Array.unsafe_get a i in
@@ -167,7 +168,16 @@ module Make (M : MODULUS) : Field_intf.S = struct
     in
     go 0 0 0 0 0 0 0 0 0 0 0 0
 
+  let mont_mul_10 (a : int array) (b : int array) : int array =
+    let r = Array.make 10 0 in
+    mont_mul_10_into r a b;
+    r
+
   let mont_mul = if nlimbs = 10 then mont_mul_10 else mont_mul
+
+  let mont_mul_into =
+    if nlimbs = 10 then mont_mul_10_into
+    else fun dst a b -> Array.blit (mont_mul a b) 0 dst 0 nlimbs
 
   let zero = Array.make nlimbs 0
   let one = mont_mul one_nat_limbs r2
@@ -297,6 +307,95 @@ module Make (M : MODULUS) : Field_intf.S = struct
         inv_acc := mul !inv_acc xs.(i)
       done;
       out
+    end
+
+  (* Like batch_inv, but zero entries pass through as zero instead of
+     raising — batched slope computations (the curve layer's batch-affine
+     adders) use zero as an "absent / annihilated" marker. *)
+  let batch_inv0 (xs : t array) : t array =
+    let n = Array.length xs in
+    if n = 0 then [||]
+    else begin
+      let prefix = Array.make n one in
+      let acc = ref one in
+      for i = 0 to n - 1 do
+        prefix.(i) <- !acc;
+        if not (is_zero xs.(i)) then acc := mul !acc xs.(i)
+      done;
+      let inv_acc = ref (inv !acc) in
+      let out = Array.make n zero in
+      for i = n - 1 downto 0 do
+        if not (is_zero xs.(i)) then begin
+          out.(i) <- mul !inv_acc prefix.(i);
+          inv_acc := mul !inv_acc xs.(i)
+        end
+      done;
+      out
+    end
+
+  (* In-place kernel buffers: distinct mutable limb arrays reused across
+     iterations of the curve layer's batch-affine loops, so the hot path
+     allocates nothing per field operation. *)
+  let make_buf n = Array.init n (fun _ -> Array.make nlimbs 0)
+  let set (buf : t array) i (v : t) = Array.blit v 0 buf.(i) 0 nlimbs
+  let mul_into (buf : t array) i (a : t) (b : t) = mont_mul_into buf.(i) a b
+  let sqr_into (buf : t array) i (a : t) = mont_mul_into buf.(i) a a
+
+  let add_into (buf : t array) i (a : t) (b : t) =
+    let dst = buf.(i) in
+    let carry = ref 0 in
+    for k = 0 to nlimbs - 1 do
+      let s = Array.unsafe_get a k + Array.unsafe_get b k + !carry in
+      Array.unsafe_set dst k (s land mask);
+      carry := s lsr limb_bits
+    done;
+    if ge_p dst then sub_p_inplace dst
+
+  let sub_into (buf : t array) i (a : t) (b : t) =
+    let dst = buf.(i) in
+    let borrow = ref 0 in
+    for k = 0 to nlimbs - 1 do
+      let s = Array.unsafe_get a k - Array.unsafe_get b k - !borrow in
+      if s < 0 then begin
+        Array.unsafe_set dst k (s + base);
+        borrow := 1
+      end else begin
+        Array.unsafe_set dst k s;
+        borrow := 0
+      end
+    done;
+    if !borrow = 1 then begin
+      let carry = ref 0 in
+      for k = 0 to nlimbs - 1 do
+        let s = dst.(k) + p.(k) + !carry in
+        dst.(k) <- s land mask;
+        carry := s lsr limb_bits
+      done
+    end
+
+  let double_into buf i a = add_into buf i a a
+  let neg_into buf i a = if is_zero a then set buf i zero else sub_into buf i zero a
+
+  let batch_inv0_in_place ~(scratch : t array) (buf : t array) (n : int) :
+      unit =
+    if n > 0 then begin
+      (* scratch.(i) holds the prefix product of nonzero cells before i;
+         cell n the running product, cell n+1 the running inverse. *)
+      set scratch n one;
+      for i = 0 to n - 1 do
+        set scratch i scratch.(n);
+        if not (is_zero buf.(i)) then mul_into scratch n scratch.(n) buf.(i)
+      done;
+      set scratch (n + 1) (inv scratch.(n));
+      for i = n - 1 downto 0 do
+        if not (is_zero buf.(i)) then begin
+          mul_into scratch n scratch.(n + 1) scratch.(i);
+          (* Fold the original cell into the running inverse before the
+             result overwrites it. *)
+          mul_into scratch (n + 1) scratch.(n + 1) buf.(i);
+          set buf i scratch.(n)
+        end
+      done
     end
 
   let p_minus_1_half = Nat.shift_right (Nat.sub modulus Nat.one) 1

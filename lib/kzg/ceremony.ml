@@ -32,7 +32,7 @@ let initial ~size =
   (* tau = 1: g1 powers are all the generator. *)
   let g1_powers = Array.make size G1.generator in
   {
-    srs = { Srs.g1_powers; g2 = G2.generator; g2_tau = G2.generator };
+    srs = Srs.make ~g1_powers ~g2:G2.generator ~g2_tau:G2.generator;
     transcript = [];
   }
 
@@ -76,7 +76,9 @@ let contribute ?(st = Random.State.make_self_init ()) ~contributor state =
     { contributor; proof; g1_tau_after = g1_powers.(min 1 (n - 1)); g2_tau_after = g2_tau }
   in
   {
-    srs = { srs with Srs.g1_powers; g2_tau };
+    (* Srs.make, not a [with] update: the powers changed, so any cached
+       fixed-base tables must be dropped with them. *)
+    srs = Srs.make ~g1_powers ~g2:srs.Srs.g2 ~g2_tau;
     transcript = state.transcript @ [ entry ];
   }
 

@@ -11,7 +11,11 @@ type commitment = G1.t
 type opening_proof = G1.t
 
 (** [commit srs p] = [p(tau)] G1. Raises [Invalid_argument] if the
-    polynomial exceeds the SRS. *)
+    polynomial exceeds the SRS. Routed through the SRS's fixed-base MSM
+    tables when available (built once per SRS, persisted in the disk
+    cache); otherwise the generic Pippenger over the power prefix. Both
+    paths yield the same group element, so commitment bytes never depend
+    on table availability. *)
 let commit (srs : Srs.t) (p : Poly.t) : commitment =
   let d = Poly.degree p in
   Telemetry.count "kzg.commits" 1;
@@ -19,7 +23,9 @@ let commit (srs : Srs.t) (p : Poly.t) : commitment =
   else begin
     if d >= Srs.size srs then invalid_arg "Kzg.commit: polynomial exceeds SRS";
     let coeffs = Array.init (d + 1) (Poly.coeff p) in
-    G1.msm (Array.sub srs.Srs.g1_powers 0 (d + 1)) coeffs
+    match Srs.fixed_base_table srs with
+    | Some tb -> G1.Fixed_base.msm tb coeffs
+    | None -> G1.msm (Array.sub srs.Srs.g1_powers 0 (d + 1)) coeffs
   end
 
 (** [commit_batch srs ps] commits to each polynomial, one pool task per

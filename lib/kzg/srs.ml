@@ -22,9 +22,51 @@ type t = {
   g1_powers : G1.t array; (* [tau^0]G1 ... [tau^(n-1)]G1 *)
   g2 : G2.t; (* [1]G2 *)
   g2_tau : G2.t; (* [tau]G2 *)
+  mutable fb : G1.Fixed_base.msm_table option;
+      (* lazily built / cache-loaded fixed-base MSM tables over the G1
+         powers; never read directly — always via [fixed_base_table] *)
+  fb_lock : Mutex.t;
 }
 
+let make ~g1_powers ~g2 ~g2_tau =
+  { g1_powers; g2; g2_tau; fb = None; fb_lock = Mutex.create () }
+
 let size t = Array.length t.g1_powers
+
+(* Fixed-base tables multiply the SRS memory footprint by ~24x (one
+   shifted row per signed window), so they are only built — and persisted
+   — up to a size cap. Overridable for tests and memory-constrained
+   deployments. *)
+let fb_table_max () =
+  match Sys.getenv_opt "ZKDET_FB_TABLE_MAX" with
+  | Some s -> ( match int_of_string_opt (String.trim s) with Some n -> n | None -> 8192)
+  | None -> 8192
+
+(** The fixed-base MSM tables for this SRS, built on first use (under the
+    ["srs.fb_tables"] span) when the size is within the table cap; [None]
+    beyond the cap, where commitments fall back to the generic Pippenger.
+    Thread-safe: [Kzg.commit_batch] races concurrent commits at this. *)
+let fixed_base_table (t : t) : G1.Fixed_base.msm_table option =
+  match t.fb with
+  | Some tb -> Some tb
+  | None ->
+    if size t > fb_table_max () then None
+    else begin
+      Mutex.lock t.fb_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.fb_lock)
+        (fun () ->
+          match t.fb with
+          | Some tb -> Some tb
+          | None ->
+            let tb =
+              Telemetry.with_span "srs.fb_tables" @@ fun () ->
+              Telemetry.count "kzg.srs.fb_builds" 1;
+              G1.Fixed_base.msm_create t.g1_powers
+            in
+            t.fb <- Some tb;
+            Some tb)
+    end
 
 (** Generate an SRS of [size] G1 powers from a locally sampled secret.
     The secret never escapes this function. *)
@@ -39,7 +81,7 @@ let unsafe_generate ?(st = Random.State.make_self_init ()) ~size () =
     g1_powers.(i) <- G1.Fixed_base.mul table !pow;
     pow := Fr.mul !pow tau
   done;
-  { g1_powers; g2 = G2.generator; g2_tau = G2.mul G2.generator tau }
+  make ~g1_powers ~g2:G2.generator ~g2_tau:(G2.mul G2.generator tau)
 
 (** Check internal consistency: e(g1[i+1], G2) = e(g1[i], [tau]G2) on a few
     sampled indices (spot check) or all of them ([exhaustive]). *)
@@ -58,10 +100,11 @@ let verify ?(exhaustive = false) t =
   in
   ok_first && List.for_all check indices
 
-(** Truncate to a smaller SRS (prefix of powers). *)
+(** Truncate to a smaller SRS (prefix of powers). Any fixed-base tables
+    are dropped — they cover the full power array. *)
 let truncate t n =
   if n > size t then invalid_arg "Srs.truncate: larger than source";
-  { t with g1_powers = Array.sub t.g1_powers 0 n }
+  make ~g1_powers:(Array.sub t.g1_powers 0 n) ~g2:t.g2 ~g2_tau:t.g2_tau
 
 (* ---------------- persistence ---------------- *)
 
@@ -81,22 +124,79 @@ let curve_id =
     version, curve digest and the G1 power count.  Exposed for the golden
     wire-format vectors. *)
 let header_codec : (string * int) Codec.t =
-  Codec.envelope ~magic:"ZSRS" ~version:1 (Codec.pair (Codec.bytes_fixed 32) Codec.u32)
+  Codec.envelope ~magic:"ZSRS" ~version:2 (Codec.pair (Codec.bytes_fixed 32) Codec.u32)
 
 let header_bytes ~size = Codec.encode header_codec (curve_id, size)
 
+(* The optional v2 fixed-base table section: signed window width plus the
+   shifted rows, row-major by base (see FORMATS.md).  Rows come from
+   [G1.Fixed_base.msm_rows], whose order the on-disk layout mirrors. *)
+let fb_section_codec : (int * G1.t array) Codec.t =
+  Codec.pair Codec.u8 (Codec.array G1.codec_uncompressed)
+
+(* Untrusted table bytes are cheap to forge from valid curve points, so
+   shape checks are not enough: row (i, 0) must equal power i for every
+   base, and sampled bases must have internally consistent doubling
+   chains (row (i, j+1) = [2^window] row (i, j)). A file failing any of
+   this decodes as an error and the cache layer regenerates. *)
+let validate_fb ~(powers : G1.t array) (window, (rows : G1.t array)) :
+    (G1.Fixed_base.msm_table, string) result =
+  match G1.Fixed_base.msm_of_rows ~window ~nbases:(Array.length powers) rows with
+  | Error _ as e -> e
+  | Ok tb ->
+    let n = Array.length powers in
+    let nw = Array.length rows / max n 1 in
+    let base_ok = ref true in
+    for i = 0 to n - 1 do
+      if not (G1.equal rows.(i * nw) powers.(i)) then base_ok := false
+    done;
+    if not !base_ok then Error "fixed-base table row 0 mismatch"
+    else begin
+      let chain_ok = ref true in
+      List.iter
+        (fun i ->
+          for j = 0 to nw - 2 do
+            let d = ref rows.((i * nw) + j) in
+            for _ = 1 to window do
+              d := G1.double !d
+            done;
+            if not (G1.equal !d rows.((i * nw) + j + 1)) then chain_ok := false
+          done)
+        (List.sort_uniq Stdlib.compare [ 0; (n - 1) / 2; n - 1 ]);
+      if not !chain_ok then Error "fixed-base table doubling chain mismatch"
+      else Ok tb
+    end
+
 let codec : t Codec.t =
   let open Codec in
-  envelope ~magic:"ZSRS" ~version:1
+  envelope ~magic:"ZSRS" ~version:2
     (conv
-       (fun t -> ((curve_id, Array.to_list t.g1_powers), (t.g2, t.g2_tau)))
-       (fun ((cid, powers), (g2, g2_tau)) ->
+       (fun t ->
+         ( ((curve_id, Array.to_list t.g1_powers), (t.g2, t.g2_tau)),
+           Option.map
+             (fun tb ->
+               (G1.Fixed_base.msm_window tb, G1.Fixed_base.msm_rows tb))
+             t.fb ))
+       (fun (((cid, powers), (g2, g2_tau)), fb) ->
          if not (String.equal cid curve_id) then Error "SRS for a different curve"
          else if List.length powers < 2 then Error "SRS must have >= 2 powers"
-         else Ok { g1_powers = Array.of_list powers; g2; g2_tau })
+         else begin
+           let g1_powers = Array.of_list powers in
+           let t = make ~g1_powers ~g2 ~g2_tau in
+           match fb with
+           | None -> Ok t
+           | Some section -> (
+             match validate_fb ~powers:g1_powers section with
+             | Error _ as e -> e
+             | Ok tb ->
+               t.fb <- Some tb;
+               Ok t)
+         end)
        (pair
-          (pair (bytes_fixed 32) (list G1.codec_uncompressed))
-          (pair G2.codec G2.codec)))
+          (pair
+             (pair (bytes_fixed 32) (list G1.codec_uncompressed))
+             (pair G2.codec G2.codec))
+          (option fb_section_codec)))
 
 let to_bytes (t : t) : string = Codec.encode codec t
 let of_bytes (s : string) : (t, Codec.error) result = Codec.decode codec s
@@ -153,6 +253,9 @@ let load_or_generate ?st ~size () =
     | None ->
       Telemetry.count "kzg.srs.cache_misses" 1;
       let t = unsafe_generate ?st ~size () in
+      (* Build the fixed-base tables (when within the cap) before writing
+         so warm processes load them instead of rebuilding. *)
+      ignore (fixed_base_table t);
       (try
          if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
          write_file path (to_bytes t)

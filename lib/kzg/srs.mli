@@ -10,9 +10,26 @@ type t = {
   g1_powers : G1.t array;  (** [tau^0]G1 .. [tau^(n-1)]G1 *)
   g2 : G2.t;  (** [1]G2 *)
   g2_tau : G2.t;  (** [tau]G2 *)
+  mutable fb : G1.Fixed_base.msm_table option;
+      (** lazily built fixed-base MSM tables; use {!fixed_base_table} *)
+  fb_lock : Mutex.t;
 }
 
+val make : g1_powers:G1.t array -> g2:G2.t -> g2_tau:G2.t -> t
+(** Assemble an SRS record (no tables yet). Use this instead of a record
+    literal so stale fixed-base tables can never survive a change to the
+    powers. *)
+
 val size : t -> int
+
+val fb_table_max : unit -> int
+(** Largest G1 power count for which fixed-base tables are built and
+    persisted (default 8192; override with [ZKDET_FB_TABLE_MAX]). *)
+
+val fixed_base_table : t -> G1.Fixed_base.msm_table option
+(** The fixed-base MSM tables over the G1 powers, built on first use
+    (["srs.fb_tables"] span) when [size <= fb_table_max ()], loaded from
+    the cache file when persisted, [None] beyond the cap. Thread-safe. *)
 
 val unsafe_generate : ?st:Random.State.t -> size:int -> unit -> t
 (** Locally simulated trusted setup: samples tau, computes the powers,
@@ -38,9 +55,12 @@ val header_codec : (string * int) Codec.t
 val header_bytes : size:int -> string
 
 val codec : t Codec.t
-(** Canonical wire format: ["ZSRS"] envelope (version 1) around the curve
-    digest, the uncompressed G1 power table and the two G2 points.
-    Uncompressed G1 keeps cache loads cheap (no per-point square root). *)
+(** Canonical wire format: ["ZSRS"] envelope (version 2) around the curve
+    digest, the uncompressed G1 power table, the two G2 points and an
+    optional fixed-base table section (see FORMATS.md). Uncompressed G1
+    keeps cache loads cheap (no per-point square root). Table sections
+    are validated against the powers on decode: bad rows are a decode
+    error, so a tampered cache file regenerates instead of loading. *)
 
 val to_bytes : t -> string
 val of_bytes : string -> (t, Codec.error) result

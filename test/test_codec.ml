@@ -290,6 +290,76 @@ let test_srs_cache () =
       Alcotest.(check int) "per-size cache files" 2
         (Array.length (Sys.readdir dir)))
 
+(* A flipped byte inside the persisted fixed-base table section must be
+   caught by the decode-time row validation, bump the cache_corrupt
+   counter and fall back to regeneration (never load a wrong table). *)
+let test_srs_table_corruption () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "zkdet-srs-fb-test-%d" (Unix.getpid ()))
+  in
+  (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+  Unix.putenv "ZKDET_SRS_CACHE" dir;
+  let was_enabled = Zkdet_telemetry.Telemetry.enabled () in
+  Fun.protect
+    ~finally:(fun () ->
+      Zkdet_telemetry.Telemetry.set_enabled was_enabled;
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      let s1 = Srs.load_or_generate ~st:rng ~size:8 () in
+      Alcotest.(check bool) "tables built before caching" true
+        (Srs.fixed_base_table s1 <> None);
+      let files = Sys.readdir dir in
+      Alcotest.(check int) "cache file written" 1 (Array.length files);
+      let path = Filename.concat dir files.(0) in
+      let data = In_channel.with_open_bin path In_channel.input_all in
+      (* the table section is the file tail: flip a byte inside the last
+         pre-shifted row, well past the last G1 power *)
+      let corrupt_bit = (String.length data - 40) * 8 in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (flip_bit data corrupt_bit));
+      Zkdet_telemetry.Telemetry.set_enabled true;
+      Zkdet_telemetry.Telemetry.reset ();
+      let s2 = Srs.load_or_generate ~st:rng ~size:8 () in
+      let report = Zkdet_telemetry.Telemetry.snapshot () in
+      Zkdet_telemetry.Telemetry.set_enabled was_enabled;
+      Alcotest.(check (option int)) "cache_corrupt counted" (Some 1)
+        (Zkdet_telemetry.Telemetry.Report.find_counter report
+           "kzg.srs.cache_corrupt");
+      Alcotest.(check bool) "regenerated srs valid" true
+        (Srs.verify ~exhaustive:true s2);
+      Alcotest.(check bool) "regenerated tables present" true
+        (Srs.fixed_base_table s2 <> None))
+
+(* Proof bytes must not depend on whether the fixed-base tables were
+   built in-process (cold) or decoded from the disk cache (warm). *)
+let test_srs_cold_warm_prove () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "zkdet-srs-warm-test-%d" (Unix.getpid ()))
+  in
+  (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+  Unix.putenv "ZKDET_SRS_CACHE" dir;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      let cold = Srs.load_or_generate ~st:(Random.State.make [| 0xFB; 1 |]) ~size:64 () in
+      (* a different tau would betray a cache miss here *)
+      let warm = Srs.load_or_generate ~st:(Random.State.make [| 0xFB; 2 |]) ~size:64 () in
+      Alcotest.(check bool) "warm load has tables" true
+        (Srs.fixed_base_table warm <> None);
+      let prove srs =
+        let pk = Zkdet_plonk.Preprocess.setup srs compiled in
+        Zkdet_plonk.Proof.wire_encode
+          (Zkdet_plonk.Prover.prove ~st:(Random.State.make [| 0xFB; 3 |]) pk
+             compiled)
+      in
+      Alcotest.(check string) "cold vs warm proof bytes identical"
+        (hex (prove cold)) (hex (prove warm)))
+
 (* ---- chain snapshots ---- *)
 
 let test_chain_snapshot () =
@@ -400,7 +470,11 @@ let () =
             (test_backend (module Proof_system.Groth16)) ] );
       ( "srs",
         [ Alcotest.test_case "file roundtrip" `Quick test_srs_roundtrip;
-          Alcotest.test_case "disk cache" `Quick test_srs_cache ] );
+          Alcotest.test_case "disk cache" `Quick test_srs_cache;
+          Alcotest.test_case "table-section corruption" `Quick
+            test_srs_table_corruption;
+          Alcotest.test_case "cold vs warm table cache proves identically"
+            `Quick test_srs_cold_warm_prove ] );
       ( "chain",
         [ Alcotest.test_case "snapshot roundtrip" `Quick test_chain_snapshot;
           Alcotest.test_case "decoder totality" `Quick test_chain_snapshot_totality ] );

@@ -1,0 +1,206 @@
+(* Kernel-level differential tests for the Pippenger MSM
+   (lib/curve/weierstrass.ml): every window width against a naive
+   double-and-add reference, on inputs biased toward the places bucket
+   arithmetic breaks — zero scalars, +-1, r-1, 2^c digit boundaries,
+   repeated points, P with -P in the same bucket (annihilation), and
+   identity points scattered through the input.  The same suite runs over
+   G1 and G2 (the two CURVE_FIELD instantiations: flat Montgomery limbs
+   vs the allocating Fp2 fallback), plus fixed-base-table agreement and
+   byte-identity across pool sizes. *)
+
+module Nat = Zkdet_num.Nat
+module Fr = Zkdet_field.Bn254.Fr
+module Pool = Zkdet_parallel.Pool
+
+let rng = Test_util.rng ~salt:"msm" ()
+
+module type CURVE = sig
+  type t
+
+  val zero : t
+  val generator : t
+  val equal : t -> t -> bool
+  val add : t -> t -> t
+  val neg : t -> t
+  val mul : t -> Fr.t -> t
+  val random : Random.State.t -> t
+  val msm : t array -> Fr.t array -> t
+  val msm_with_window : window:int -> t array -> Fr.t array -> t
+
+  module Fixed_base : sig
+    type msm_table
+
+    val msm_create : ?window:int -> t array -> msm_table
+    val msm : msm_table -> Fr.t array -> t
+  end
+end
+
+module Suite (C : CURVE) = struct
+  (* Independent reference: double-and-add per term, plain group adds.
+     Shares no code with the bucket kernels under test. *)
+  let naive (points : C.t array) (scalars : Fr.t array) : C.t =
+    let acc = ref C.zero in
+    Array.iteri (fun i p -> acc := C.add !acc (C.mul p scalars.(i))) points;
+    !acc
+
+  let check_against_naive ~msg points scalars windows =
+    let expect = naive points scalars in
+    List.iter
+      (fun c ->
+        let got = C.msm_with_window ~window:c points scalars in
+        if not (C.equal got expect) then
+          Alcotest.failf "%s: window %d disagrees with naive reference" msg c)
+      windows;
+    let got = C.msm points scalars in
+    if not (C.equal got expect) then
+      Alcotest.failf "%s: default window disagrees with naive reference" msg
+
+  (* Scalars that stress the signed-digit decomposition at width [c]:
+     digit boundaries 2^(c-1) (the sign flip), 2^c +- 1 (the carry), and
+     the all-ones tail r - 1 / r - 2^c (carry chains to the top). *)
+  let boundary_scalars c =
+    let p2 k = Fr.pow (Fr.of_int 2) k in
+    [ Fr.zero; Fr.one; Fr.neg Fr.one; Fr.of_int 2; Fr.neg (Fr.of_int 2);
+      p2 (c - 1); Fr.sub (p2 (c - 1)) Fr.one; Fr.add (p2 (c - 1)) Fr.one;
+      p2 c; Fr.sub (p2 c) Fr.one; Fr.add (p2 c) Fr.one;
+      p2 26; Fr.sub (p2 26) Fr.one; p2 52; p2 128; p2 253;
+      Fr.sub (Fr.zero) (p2 c) ]
+
+  (* A point set with the shapes that exercise every bucket-kernel branch:
+     distinct points (generic additions), the same point repeated
+     (doubling inside a bucket), P next to -P (annihilating pair, the
+     zero-denominator path) and identity inputs. *)
+  let edge_points n =
+    let g = C.generator in
+    Array.init n (fun i ->
+        match i mod 7 with
+        | 0 -> g
+        | 1 -> C.mul g (Fr.of_int (i + 2))
+        | 2 -> C.zero
+        | 3 -> C.neg g
+        | 4 -> C.random rng
+        | 5 -> C.mul g (Fr.of_int (i - 1))
+        | _ -> C.neg (C.mul g (Fr.of_int 3)))
+
+  let test_all_windows () =
+    List.iter
+      (fun c ->
+        let scalars = Array.of_list (boundary_scalars c) in
+        let points = edge_points (Array.length scalars) in
+        let expect = naive points scalars in
+        let got = C.msm_with_window ~window:c points scalars in
+        if not (C.equal got expect) then
+          Alcotest.failf "window %d disagrees on its own boundary scalars" c)
+      (List.init 15 (fun i -> i + 2))
+
+  let test_lengths () =
+    List.iter
+      (fun n ->
+        let points = edge_points n in
+        let scalars =
+          Array.init n (fun i ->
+              match i mod 5 with
+              | 0 -> Fr.zero
+              | 1 -> Fr.one
+              | 2 -> Fr.neg Fr.one
+              | 3 -> Fr.random rng
+              | _ -> Fr.of_int i)
+        in
+        check_against_naive
+          ~msg:(Printf.sprintf "length %d" n)
+          points scalars [ 2; 5; 9 ])
+      [ 0; 1; 2; 3; 7; 8; 9; 15; 16; 17; 31; 32; 33 ]
+
+  (* Same scalar on P and -P files both into one bucket, where the pair
+     annihilates; scattered identities must be skipped without shifting
+     any other entry.  Regression for the batch adder's zero-denominator
+     and absent-entry handling. *)
+  let test_annihilation_and_identity () =
+    let n = 48 in
+    let g = C.generator in
+    let points =
+      Array.init n (fun i ->
+          if i mod 3 = 0 then C.zero
+          else if i mod 2 = 0 then C.mul g (Fr.of_int ((i / 2) + 1))
+          else C.neg (C.mul g (Fr.of_int ((i / 2) + 1))))
+    in
+    let scalars =
+      Array.init n (fun i ->
+          if i mod 4 = 0 then Fr.zero else Fr.of_int ((i / 2) + 5))
+    in
+    check_against_naive ~msg:"annihilation + identity" points scalars [ 2; 3; 8 ];
+    (* all-identity and all-zero-scalar inputs *)
+    let zs = Array.make 9 C.zero and ss = Array.make 9 (Fr.of_int 7) in
+    Alcotest.(check bool) "all-identity input" true (C.equal C.zero (C.msm zs ss));
+    let ps = edge_points 9 and z9 = Array.make 9 Fr.zero in
+    Alcotest.(check bool) "all-zero scalars" true (C.equal C.zero (C.msm ps z9))
+
+  let test_fixed_base_agrees () =
+    let n = 40 in
+    let points = edge_points n in
+    let scalars = Array.init n (fun i ->
+        if i mod 6 = 0 then Fr.zero else Fr.random rng) in
+    let expect = C.msm points scalars in
+    List.iter
+      (fun w ->
+        let tb = C.Fixed_base.msm_create ~window:w points in
+        Alcotest.(check bool)
+          (Printf.sprintf "fixed-base window %d agrees with generic" w)
+          true
+          (C.equal expect (C.Fixed_base.msm tb scalars));
+        (* a prefix of the bases: fewer scalars than table columns *)
+        let k = 17 in
+        Alcotest.(check bool)
+          (Printf.sprintf "fixed-base window %d prefix" w)
+          true
+          (C.equal
+             (C.msm (Array.sub points 0 k) (Array.sub scalars 0 k))
+             (C.Fixed_base.msm tb (Array.sub scalars 0 k))))
+      [ 8; 11; 13 ]
+
+  let test_window_validation () =
+    let p = [| C.generator |] and s = [| Fr.one |] in
+    Alcotest.check_raises "window 1 rejected"
+      (Invalid_argument "Weierstrass.msm: window outside [2, 16]") (fun () ->
+        ignore (C.msm_with_window ~window:1 p s));
+    Alcotest.check_raises "window 17 rejected"
+      (Invalid_argument "Weierstrass.msm: window outside [2, 16]") (fun () ->
+        ignore (C.msm_with_window ~window:17 p s))
+
+  let tests =
+    [ Alcotest.test_case "windows 2..16 vs naive" `Quick test_all_windows;
+      Alcotest.test_case "lengths incl. 0/1/2^k+-1" `Quick test_lengths;
+      Alcotest.test_case "annihilation + scattered identities" `Quick
+        test_annihilation_and_identity;
+      Alcotest.test_case "fixed-base tables agree" `Quick test_fixed_base_agrees;
+      Alcotest.test_case "window bounds validated" `Quick test_window_validation ]
+end
+
+module G1_suite = Suite (Zkdet_curve.G1)
+module G2_suite = Suite (Zkdet_curve.G2)
+
+(* The determinism contract: MSM results (hence any proof bytes derived
+   from them) are byte-identical at any pool size. *)
+let test_domain_byte_identity () =
+  let module G1 = Zkdet_curve.G1 in
+  let n = 300 in
+  let points = Array.init n (fun _ -> G1.random rng) in
+  let scalars = Array.init n (fun _ -> Fr.random rng) in
+  let run () =
+    let generic = G1.msm points scalars in
+    let tb = G1.Fixed_base.msm_create points in
+    (G1.to_bytes generic, G1.to_bytes (G1.Fixed_base.msm tb scalars))
+  in
+  let g1, f1 = Pool.with_domains 1 run in
+  let g4, f4 = Pool.with_domains 4 run in
+  Alcotest.(check string) "generic msm bytes: 1 vs 4 domains" g1 g4;
+  Alcotest.(check string) "fixed-base msm bytes: 1 vs 4 domains" f1 f4;
+  Alcotest.(check string) "fixed-base matches generic" g1 f1
+
+let () =
+  Alcotest.run "zkdet_msm"
+    [ ("g1", G1_suite.tests);
+      ("g2", G2_suite.tests);
+      ( "determinism",
+        [ Alcotest.test_case "byte-identical across domains" `Quick
+            test_domain_byte_identity ] ) ]

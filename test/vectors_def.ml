@@ -107,6 +107,17 @@ let demo_chain () =
          raise (Chain.Revert "demo revert")));
   chain
 
+(* A complete ZSRS v2 envelope with a persisted fixed-base table section
+   at a non-default window width, pinning the cache-file layout described
+   in FORMATS.md (window byte + pre-shifted row array + row validation). *)
+let srs_v2_vector () =
+  let srs =
+    Srs.unsafe_generate ~st:(Random.State.make [| 0xC0DEC; 5 |]) ~size:4 ()
+  in
+  srs.Srs.fb <-
+    Some (Zkdet_curve.G1.Fixed_base.msm_create ~window:12 srs.Srs.g1_powers);
+  ("srs_v2.hex", Srs.to_bytes srs)
+
 let manifest_cids =
   [ Storage.Cid.of_bytes "chunk-0"; Storage.Cid.of_bytes "chunk-1";
     Storage.Cid.of_bytes "chunk-2" ]
@@ -115,5 +126,6 @@ let manifest_cids =
 let all () : (string * string) list =
   plonk_vectors () @ groth16_vectors ()
   @ [ ("srs_header.hex", Srs.header_bytes ~size:16);
+      srs_v2_vector ();
       ("chain_snapshot.hex", Chain.snapshot (demo_chain ()));
       ("manifest.hex", C.encode Storage.manifest_codec manifest_cids) ]
