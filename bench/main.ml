@@ -772,7 +772,7 @@ let codec_exp ~scale () =
   Chain.faucet chain alice 1_000_000;
   for i = 1 to 20 do
     ignore
-      (Chain.execute chain ~sender:alice ~label:(Printf.sprintf "bench:tx%d" i)
+      (Chain.execute chain ~sender:alice ~label:(Printf.sprintf "bench:tx%d" i) ~contract:"bench"
          (fun env ->
            Chain.emit env ~contract:"bench" ~name:"Tick" ~data:[ string_of_int i ]));
     if i mod 5 = 0 then ignore (Chain.mine chain)
@@ -984,6 +984,82 @@ let verify_exp () =
           sizes)
     [ "plonk"; "groth16" ]
 
+(* ---------------------------------------------------------------- *)
+(* Load: mempool + parallel block execution throughput               *)
+(* ---------------------------------------------------------------- *)
+
+let load_exp ~scale () =
+  header "Load: mempool + parallel block execution, 1 vs 4 domains";
+  let module Pool = Zkdet_parallel.Pool in
+  let module Scenario = Zkdet_core.Scenario in
+  let module Chain = Zkdet_chain.Chain in
+  let blocks = 4 * scale in
+  let txs_per_block = 64 in
+  let cfg skew =
+    {
+      Scenario.Config.default with
+      Scenario.Config.seed = 7;
+      (* disjoint assignment needs 2*txs_per_block accounts and
+         txs_per_block datasets to be fully conflict-free *)
+      accounts = 2 * txs_per_block;
+      datasets = txs_per_block;
+      blocks;
+      txs_per_block;
+      skew;
+      work = 256;
+    }
+  in
+  let run_at ~domains c =
+    Pool.with_domains domains (fun () -> Scenario.load c)
+  in
+  Printf.printf "%-10s %8s %12s %10s %8s %10s\n" "workload" "domains"
+    "elapsed (s)" "tx/s" "reexec" "p95 (ms)";
+  let report name domains (o : Scenario.load_outcome) =
+    Printf.printf "%-10s %8d %12.3f %10.0f %8d %10.2f\n%!" name domains
+      o.Scenario.elapsed_s o.Scenario.tps o.Scenario.reexecuted
+      o.Scenario.p95_ms;
+    assert o.Scenario.load_ok;
+    emit_row
+      [ jstr "workload" name; jint "domains" domains;
+        jint "txs" o.Scenario.executed; jint "reexecuted" o.Scenario.reexecuted;
+        jfloat "elapsed_s" o.Scenario.elapsed_s;
+        jfloat "p95_s" (o.Scenario.p95_ms /. 1e3) ]
+  in
+  (* Non-conflicting workload: every speculation commits, so this is the
+     parallel speedup case. *)
+  let disjoint1 = run_at ~domains:1 (cfg 0.0) in
+  report "disjoint" 1 disjoint1;
+  let disjoint4 = run_at ~domains:4 (cfg 0.0) in
+  report "disjoint" 4 disjoint4;
+  let h1 = Chain.state_hash disjoint1.Scenario.load_chain in
+  let h4 = Chain.state_hash disjoint4.Scenario.load_chain in
+  emit_row
+    [ jstr "workload" "disjoint"; jstr "check" "determinism";
+      jstr "state_hash" h1; jbool "identical" (String.equal h1 h4) ];
+  if not (String.equal h1 h4) then begin
+    incr regression_failures;
+    Printf.printf
+      "[regression] load: state hash differs between 1 and 4 domains\n%!"
+  end;
+  let speedup = disjoint1.Scenario.elapsed_s /. disjoint4.Scenario.elapsed_s in
+  let cores = Stdlib.Domain.recommended_domain_count () in
+  Printf.printf "disjoint speedup at 4 domains: %.2fx (%d host core(s))\n%!"
+    speedup cores;
+  if speedup < 2.0 then begin
+    let gate = !gate_enabled && cores >= 4 in
+    if gate then incr regression_failures;
+    Printf.printf
+      "[regression] load: disjoint speedup %.2fx < 2x at 4 domains%s\n%!"
+      speedup
+      (if gate then ""
+       else " [warning only: gate needs --check-regression and >= 4 cores]")
+  end;
+  (* Zipf-skewed workload: popular datasets collide on their sales slot,
+     so a fixed share of speculations must re-execute sequentially.  The
+     re-execution count is deterministic and exact-gated. *)
+  let zipf4 = run_at ~domains:4 (cfg 1.0) in
+  report "zipf" 4 zipf4
+
 let has_suffix s suf =
   let ls = String.length s and lf = String.length suf in
   ls >= lf && String.sub s (ls - lf) lf = suf
@@ -1110,7 +1186,7 @@ let () =
         List.mem a
           [ "setup"; "fig5"; "fig6"; "fig7"; "fairswap"; "table1"; "table2";
             "micro"; "parallel"; "proptest"; "codec"; "proving"; "verify";
-            "msm"; "all" ])
+            "msm"; "load"; "all" ])
       args
   in
   let which = if which = [] then [ "all" ] else which in
@@ -1145,6 +1221,7 @@ let () =
   if run || List.mem "proving" which then run_experiment "proving" proving_exp;
   if run || List.mem "verify" which then run_experiment "verify" verify_exp;
   if run || List.mem "msm" which then run_experiment "msm" msm_exp;
+  if run || List.mem "load" which then run_experiment "load" (load_exp ~scale);
   if run || List.mem "micro" which then run_experiment "micro" micro;
   Telemetry.maybe_write_trace ();
   Printf.printf "\ntotal bench wall time: %.1f s\n" (Unix.gettimeofday () -. t0);

@@ -388,7 +388,7 @@ let demo_chain () =
   Chain.faucet chain alice 1_000_000;
   Chain.faucet chain bob 250_000;
   ignore
-    (Chain.execute chain ~sender:alice ~label:"registry:mint" (fun env ->
+    (Chain.execute chain ~sender:alice ~label:"registry:mint" ~contract:"registry" (fun env ->
          Chain.emit env ~contract:"registry" ~name:"Mint"
            ~data:[ "token-1"; alice ]));
   Chain.storage_set chain ~contract:"registry" ~key:"token-1/owner" ~value:alice;
@@ -396,7 +396,7 @@ let demo_chain () =
     ~value:"zb00demo";
   ignore (Chain.mine chain);
   ignore
-    (Chain.execute chain ~sender:bob ~label:"market:bid" (fun env ->
+    (Chain.execute chain ~sender:bob ~label:"market:bid" ~contract:"market" (fun env ->
          Chain.emit env ~contract:"market" ~name:"Bid" ~data:[ "token-1"; "42" ]));
   chain
 
@@ -479,21 +479,17 @@ let exchange_cmd =
       prerr_endline "zkdet: -n must be at least 1";
       exit 2
     end;
-    Option.iter (fun p -> Obs.set_journal_path (Some p)) journal;
-    if prom <> None then Telemetry.set_enabled true;
-    let o = Scenario.run ~seed ~n () in
-    Obs.close ();
+    let cfg =
+      { Scenario.Config.default with Scenario.Config.seed; n; journal; prom }
+    in
+    let o = Scenario.run_cfg cfg in
     Option.iter
       (fun p ->
         write_file p (Chain.snapshot o.Scenario.chain);
         Printf.printf "wrote chain snapshot %s (%d block(s))\n" p
           (Chain.block_count o.Scenario.chain))
       chain_out;
-    Option.iter
-      (fun p ->
-        write_file p (Telemetry.Report.to_prometheus (Telemetry.snapshot ()));
-        Printf.printf "wrote Prometheus metrics %s\n" p)
-      prom;
+    Option.iter (fun p -> Printf.printf "wrote Prometheus metrics %s\n" p) prom;
     Option.iter (fun p -> Printf.printf "wrote journal %s\n" p) journal;
     Printf.printf "exchange %s: proof %s, delivery %s\n"
       (if o.Scenario.ok then "OK" else "FAILED")
@@ -505,6 +501,114 @@ let exchange_cmd =
     (Cmd.info "exchange"
        ~doc:"Run a seeded end-to-end ZKCP exchange, optionally journaled")
     Term.(const run $ journal $ chain_out $ prom $ seed_arg $ n)
+
+(* ------------------------------------------------------------------ *)
+(* Sustained marketplace load through the mempool + parallel blocks. *)
+
+let load_cmd =
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:"Write a hash-chained ZJNL event journal of the run")
+  in
+  let chain_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chain-out" ] ~docv:"FILE"
+          ~doc:"Write the final ledger snapshot (ZCHN) for audit joins")
+  in
+  let prom =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prom" ] ~docv:"FILE"
+          ~doc:"Write telemetry in Prometheus text-exposition format")
+  in
+  let accounts =
+    Arg.(
+      value & opt int 64
+      & info [ "accounts" ] ~docv:"N" ~doc:"Distinct on-chain accounts")
+  in
+  let datasets =
+    Arg.(
+      value & opt int 32
+      & info [ "datasets" ] ~docv:"N" ~doc:"Catalogue size (Zipf support)")
+  in
+  let blocks =
+    Arg.(
+      value & opt int 8
+      & info [ "blocks" ] ~docv:"N" ~doc:"Blocks to produce")
+  in
+  let txs_per_block =
+    Arg.(
+      value & opt int 32
+      & info [ "txs-per-block" ] ~docv:"N"
+          ~doc:"Transactions submitted per block")
+  in
+  let skew =
+    Arg.(
+      value & opt float 1.0
+      & info [ "skew" ] ~docv:"S"
+          ~doc:
+            "Zipf exponent for dataset popularity; 0 selects a disjoint \
+             conflict-free assignment")
+  in
+  let work =
+    Arg.(
+      value & opt int 16
+      & info [ "work" ] ~docv:"N"
+          ~doc:"Per-transaction hash-chain iterations")
+  in
+  let run journal chain_out prom seed accounts datasets blocks txs_per_block
+      skew work =
+    if blocks < 1 || txs_per_block < 1 then begin
+      prerr_endline "zkdet: --blocks and --txs-per-block must be at least 1";
+      exit 2
+    end;
+    let cfg =
+      {
+        Scenario.Config.default with
+        Scenario.Config.seed;
+        accounts;
+        datasets;
+        blocks;
+        txs_per_block;
+        skew;
+        work;
+        journal;
+        prom;
+      }
+    in
+    let o = Scenario.load cfg in
+    Option.iter
+      (fun p ->
+        write_file p (Chain.snapshot o.Scenario.load_chain);
+        Printf.printf "wrote chain snapshot %s (%d block(s))\n" p
+          (Chain.block_count o.Scenario.load_chain))
+      chain_out;
+    Option.iter (fun p -> Printf.printf "wrote Prometheus metrics %s\n" p) prom;
+    Option.iter (fun p -> Printf.printf "wrote journal %s\n" p) journal;
+    Printf.printf
+      "load %s: %d submitted, %d executed in %d block(s) (%d re-executed)\n"
+      (if o.Scenario.load_ok then "OK" else "FAILED")
+      o.Scenario.submitted o.Scenario.executed o.Scenario.blocks_built
+      o.Scenario.reexecuted;
+    Printf.printf "throughput %.0f tx/s, latency p50 %.2f ms p95 %.2f ms p99 %.2f ms\n"
+      o.Scenario.tps o.Scenario.p50_ms o.Scenario.p95_ms o.Scenario.p99_ms;
+    Printf.printf "state hash: %s\n" (Chain.state_hash o.Scenario.load_chain);
+    if not o.Scenario.load_ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Drive a Zipf-skewed marketplace workload through the mempool and \
+          the parallel block builder")
+    Term.(
+      const run $ journal $ chain_out $ prom $ seed_arg $ accounts $ datasets
+      $ blocks $ txs_per_block $ skew $ work)
 
 let audit_cmd =
   let file =
@@ -581,4 +685,4 @@ let () =
        (Cmd.group (Cmd.info "zkdet" ~doc)
           [ params_cmd; selftest_cmd; ceremony_cmd; trace_check_cmd;
             prove_cmd; verify_cmd; verify_batch_cmd; chain_snapshot_cmd; chain_restore_cmd;
-            exchange_cmd; audit_cmd ]))
+            exchange_cmd; load_cmd; audit_cmd ]))

@@ -3,12 +3,32 @@
    production with hash-linked headers and SHA-256 transaction Merkle
    roots. The paper's threat model only assumes tamper-resistance and
    consistency of the ledger (§IV-A), which this substrate provides for
-   the protocols and whose gas metering reproduces Table II. *)
+   the protocols and whose gas metering reproduces Table II.
+
+   Two execution paths share one transaction core:
+
+   - the legacy direct path ([execute]): run the closure immediately
+     against live state, auto-assigning the sender's next account nonce;
+   - the throughput path ([submit] + [produce_block]): typed [Tx.t]
+     descriptors flow through a [Mempool] (per-sender nonce ordering,
+     replacement, gap holdback) and are executed optimistically in
+     parallel over [Zkdet_parallel.Pool] against the frozen pre-block
+     state, recording per-transaction read/write key sets; a sequential
+     canonical-order merge ([Block_builder.merge]) commits
+     non-conflicting speculations and re-executes the rest, so
+     [state_hash] is byte-identical at any [ZKDET_DOMAINS].
+
+   All state reached from transaction bodies must go through the
+   [env_*] accessors: they route reads and writes through the
+   speculative buffer when one is active and record the touched keys for
+   conflict detection.  Contract code that keeps private OCaml state
+   outside chain storage is only safe on the direct path. *)
 
 module Sha256 = Zkdet_hash.Sha256
 module Keccak256 = Zkdet_hash.Keccak256
 module Telemetry = Zkdet_telemetry.Telemetry
 module Obs = Zkdet_obs.Obs
+module Pool = Zkdet_parallel.Pool
 module C = Zkdet_codec.Codec
 
 module Address = struct
@@ -75,7 +95,9 @@ type block = {
 
 type t = {
   balances : (Address.t, int) Hashtbl.t;
-  mutable nonce : int;
+  account_nonces : (Address.t, int) Hashtbl.t;
+      (* next unused per-sender nonce; absent = 0 *)
+  mutable nonce : int; (* total applied transactions *)
   mutable pending : receipt list; (* reversed *)
   mutable blocks : block list; (* newest first *)
   receipts : (string, receipt) Hashtbl.t;
@@ -86,12 +108,37 @@ type t = {
   gas_price : int;
   storage : (string, (string, string) Hashtbl.t) Hashtbl.t;
       (* per-contract key/value store *)
+  mempool : env Mempool.t; (* transient; not part of the snapshot *)
+  mutable reexec_total : int;
+      (* transactions re-executed sequentially after a speculation conflict *)
+}
+
+(** Execution environment passed to contract code. *)
+and env = {
+  chain : t;
+  sender : Address.t;
+  meter : Gas.meter;
+  mutable tx_events : event list; (* reversed *)
+  view : view;
+}
+
+(* How [env_*] accessors reach state: [Direct] hits the live tables;
+   [Speculative] buffers writes and records read/write keys against the
+   chain as it was when the speculation started. *)
+and view = Direct | Speculative of spec
+
+and spec = {
+  sp_balances : (Address.t, int) Hashtbl.t; (* write buffer *)
+  sp_storage : (string * string, string) Hashtbl.t; (* (contract, key) *)
+  sp_reads : Block_builder.Key_set.t;
+  sp_writes : Block_builder.Key_set.t;
 }
 
 let genesis_validator = Address.of_seed "validator-0"
 
 let create ?(validators = [| genesis_validator |]) ?(gas_limit = 30_000_000)
-    ?(block_gas_limit = 30_000_000) ?(gas_price = 1) () =
+    ?(block_gas_limit = 30_000_000) ?(gas_price = 1)
+    ?(mempool_capacity = 65_536) () =
   let genesis =
     {
       number = 0;
@@ -105,6 +152,7 @@ let create ?(validators = [| genesis_validator |]) ?(gas_limit = 30_000_000)
   in
   {
     balances = Hashtbl.create 16;
+    account_nonces = Hashtbl.create 16;
     nonce = 0;
     pending = [];
     blocks = [ genesis ];
@@ -115,6 +163,8 @@ let create ?(validators = [| genesis_validator |]) ?(gas_limit = 30_000_000)
     block_gas_limit;
     gas_price;
     storage = Hashtbl.create 8;
+    mempool = Mempool.create ~capacity:mempool_capacity ();
+    reexec_total = 0;
   }
 
 (* Per-contract key/value storage (the simulator's analogue of contract
@@ -153,15 +203,68 @@ let debit (chain : t) (a : Address.t) (amount : int) : (unit, error) result =
 let credit (chain : t) (a : Address.t) (amount : int) =
   Hashtbl.replace chain.balances a (balance chain a + amount)
 
-(** Execution environment passed to contract code. *)
-type env = {
-  chain : t;
-  sender : Address.t;
-  meter : Gas.meter;
-  mutable tx_events : event list; (* reversed *)
-}
+let account_nonce (chain : t) (a : Address.t) =
+  Option.value ~default:0 (Hashtbl.find_opt chain.account_nonces a)
 
 exception Revert of string
+
+(* ------------------------------------------------------------------ *)
+(* View-routed state access for transaction bodies.
+
+   Conflict keys use a NUL separator so no contract or slot name can
+   alias another key; they never leave the runtime. *)
+
+let balance_key (a : Address.t) = "b\x00" ^ a
+let slot_key ~contract ~key = "s\x00" ^ contract ^ "\x00" ^ key
+
+let env_sender (env : env) = env.sender
+let env_meter (env : env) = env.meter
+
+let env_balance (env : env) (a : Address.t) : int =
+  match env.view with
+  | Direct -> balance env.chain a
+  | Speculative s -> (
+    Block_builder.Key_set.add s.sp_reads (balance_key a);
+    match Hashtbl.find_opt s.sp_balances a with
+    | Some v -> v
+    | None -> balance env.chain a)
+
+let env_credit (env : env) (a : Address.t) (amount : int) =
+  match env.view with
+  | Direct -> credit env.chain a amount
+  | Speculative s ->
+    let b = env_balance env a in
+    Block_builder.Key_set.add s.sp_writes (balance_key a);
+    Hashtbl.replace s.sp_balances a (b + amount)
+
+let env_debit (env : env) (a : Address.t) (amount : int) : (unit, error) result =
+  match env.view with
+  | Direct -> debit env.chain a amount
+  | Speculative s ->
+    let b = env_balance env a in
+    if b < amount then
+      Error (Insufficient_funds { account = a; needed = amount; available = b })
+    else begin
+      Block_builder.Key_set.add s.sp_writes (balance_key a);
+      Hashtbl.replace s.sp_balances a (b - amount);
+      Ok ()
+    end
+
+let env_storage_get (env : env) ~contract ~key : string option =
+  match env.view with
+  | Direct -> storage_get env.chain ~contract ~key
+  | Speculative s -> (
+    Block_builder.Key_set.add s.sp_reads (slot_key ~contract ~key);
+    match Hashtbl.find_opt s.sp_storage (contract, key) with
+    | Some v -> Some v
+    | None -> storage_get env.chain ~contract ~key)
+
+let env_storage_set (env : env) ~contract ~key ~value =
+  match env.view with
+  | Direct -> storage_set env.chain ~contract ~key ~value
+  | Speculative s ->
+    Block_builder.Key_set.add s.sp_writes (slot_key ~contract ~key);
+    Hashtbl.replace s.sp_storage (contract, key) value
 
 let emit (env : env) ~contract ~name ~data =
   Gas.log env.meter ~topics:(1 + List.length data)
@@ -170,16 +273,18 @@ let emit (env : env) ~contract ~name ~data =
     { event_contract = contract; event_name = name; event_data = data }
     :: env.tx_events
 
-(** Execute a transaction: runs [f env], charging base cost, calldata and
-    whatever the contract meters; deducts gas from the sender's balance;
-    reverts state-free (our contracts roll back themselves via exceptions
-    being raised before mutation, or tolerate partial writes like any
-    simulator — protocol tests only rely on [status]). *)
-let execute (chain : t) ~(sender : Address.t) ~(label : string)
-    ?(calldata = "") ?contract (f : env -> unit) : receipt =
-  Telemetry.with_span "chain.tx" @@ fun () ->
+(* ------------------------------------------------------------------ *)
+(* The shared transaction core. *)
+
+(* Charge base + calldata, run the body under the meter, settle the fee
+   through the same view the body used (so a speculative execution also
+   records the sender-balance write the fee causes).  Returns the final
+   status, gas and the surviving events; mutates nothing beyond what the
+   view allows. *)
+let run_tx (chain : t) ~view ~(sender : Address.t) ~calldata
+    (f : env -> unit) : (unit, error) result * int * event list =
   let meter = Gas.create ~limit:chain.gas_limit () in
-  let env = { chain; sender; meter; tx_events = [] } in
+  let env = { chain; sender; meter; tx_events = []; view } in
   let status : (unit, error) result =
     try
       Gas.tx_base meter;
@@ -194,33 +299,13 @@ let execute (chain : t) ~(sender : Address.t) ~(label : string)
   let fee = gas_used * chain.gas_price in
   let status =
     (* Exactly one debit: failed txs still pay for gas if they can. *)
-    let paid = debit chain sender fee in
+    let paid = env_debit env sender fee in
     match (status, paid) with
     | Ok (), Ok () -> Ok ()
     | Ok (), Error (Insufficient_funds { needed; available; _ }) ->
       Error (Fee_unpaid { needed; available })
     | Ok (), (Error _ as e) -> e
     | (Error _ as e), _ -> e
-  in
-  Telemetry.count "chain.txs" 1;
-  Telemetry.count "chain.gas.total" gas_used;
-  Telemetry.observe "chain.gas_per_tx" (float_of_int gas_used);
-  (if Telemetry.enabled () then
-     (* Per-contract gas attribution: explicit ~contract, else the label
-        prefix before ':' ("zkcp:lock" -> "zkcp"), else the whole label. *)
-     let c =
-       match contract with
-       | Some c -> c
-       | None -> (
-         match String.index_opt label ':' with
-         | Some i -> String.sub label 0 i
-         | None -> label)
-     in
-     Telemetry.count ("chain.gas.by_contract." ^ c) gas_used);
-  chain.nonce <- chain.nonce + 1;
-  let tx_hash =
-    Sha256.hex_of_string
-      (Sha256.digest (Printf.sprintf "%s/%s/%d" sender label chain.nonce))
   in
   (* A reverted (or fee-unpaid) transaction must leave no trace in the
      event log: its events never happened.  They were only accumulated in
@@ -229,6 +314,40 @@ let execute (chain : t) ~(sender : Address.t) ~(label : string)
   let events =
     match status with Ok () -> List.rev env.tx_events | Error _ -> []
   in
+  (status, gas_used, events)
+
+(* The label-prefix attribution fallback is deprecated: it guesses the
+   contract from the text before ':' and misattributes anything whose
+   label does not follow the convention.  Warn the first time it fires. *)
+let label_fallback_warned = ref false
+
+let attribution_contract ~label = function
+  | Some c -> c
+  | None ->
+    if not !label_fallback_warned then begin
+      label_fallback_warned := true;
+      Printf.eprintf
+        "zkdet: chain: gas attribution for label %S derived from its prefix \
+         before ':'; pass ~contract explicitly (deprecated fallback)\n%!"
+        label
+    end;
+    (match String.index_opt label ':' with
+    | Some i -> String.sub label 0 i
+    | None -> label)
+
+(* Count, record and journal one applied transaction, in canonical
+   order.  Both execution paths funnel through here, so telemetry and
+   the journal see identical streams regardless of how the transaction
+   was scheduled. *)
+let finalize (chain : t) ~tx_hash ~label ~(sender : Address.t) ~contract
+    ~(status : (unit, error) result) ~gas_used ~events : receipt =
+  Telemetry.count "chain.txs" 1;
+  Telemetry.count "chain.gas.total" gas_used;
+  Telemetry.observe "chain.gas_per_tx" (float_of_int gas_used);
+  (if Telemetry.enabled () then
+     let c = attribution_contract ~label contract in
+     Telemetry.count ("chain.gas.by_contract." ^ c) gas_used);
+  chain.nonce <- chain.nonce + 1;
   let trace =
     Option.map
       (fun (c : Obs.Trace_ctx.t) -> (c.trace_id, c.span_id))
@@ -271,6 +390,20 @@ let execute (chain : t) ~(sender : Address.t) ~(label : string)
            { tx_hash; label; reason = error_to_string e })
   end;
   receipt
+
+(** Execute a transaction on the direct path: auto-assigns the sender's
+    next account nonce, runs [f env] immediately against live state,
+    deducts the fee, records the receipt. *)
+let execute (chain : t) ~(sender : Address.t) ~(label : string)
+    ?(calldata = "") ?contract (f : env -> unit) : receipt =
+  Telemetry.with_span "chain.tx" @@ fun () ->
+  let nonce = account_nonce chain sender in
+  let status, gas_used, events =
+    run_tx chain ~view:Direct ~sender ~calldata f
+  in
+  Hashtbl.replace chain.account_nonces sender (nonce + 1);
+  let tx_hash = Tx.hash_parts ~sender ~nonce ~label ~calldata in
+  finalize chain ~tx_hash ~label ~sender ~contract ~status ~gas_used ~events
 
 (* Merkle root over transaction hashes (SHA-256, duplicate-last padding). *)
 let merkle_root (hashes : string list) : string =
@@ -330,6 +463,146 @@ let mine (chain : t) : block =
       txs;
   block
 
+(* ------------------------------------------------------------------ *)
+(* Mempool submission and parallel block production. *)
+
+let mempool_size (chain : t) = Mempool.size chain.mempool
+
+let submit (chain : t) (tx : env Tx.t) : Mempool.admit =
+  let res =
+    Mempool.submit chain.mempool
+      ~account_nonce:(account_nonce chain tx.Tx.sender)
+      tx
+  in
+  Telemetry.count "chain.mempool.submitted" 1;
+  (match res with
+  | Mempool.Admitted | Mempool.Replaced _ -> ()
+  | Mempool.Rejected_stale _ | Mempool.Rejected_full ->
+    Telemetry.count "chain.mempool.rejected" 1);
+  if Obs.is_enabled () then begin
+    let h = Tx.hash tx in
+    match res with
+    | Mempool.Admitted ->
+      Obs.emit
+        (Zkdet_obs.Event.Mempool_admitted
+           { tx_hash = h; sender = tx.Tx.sender; nonce = tx.Tx.nonce;
+             replaced = false })
+    | Mempool.Replaced old ->
+      Obs.emit
+        (Zkdet_obs.Event.Mempool_dropped { tx_hash = old; reason = "replaced" });
+      Obs.emit
+        (Zkdet_obs.Event.Mempool_admitted
+           { tx_hash = h; sender = tx.Tx.sender; nonce = tx.Tx.nonce;
+             replaced = true })
+    | Mempool.Rejected_stale { expected } ->
+      Obs.emit
+        (Zkdet_obs.Event.Mempool_dropped
+           { tx_hash = h;
+             reason = Printf.sprintf "stale-nonce/expected-%d" expected })
+    | Mempool.Rejected_full ->
+      Obs.emit
+        (Zkdet_obs.Event.Mempool_dropped { tx_hash = h; reason = "pool-full" })
+  end;
+  res
+
+let fresh_spec () =
+  {
+    sp_balances = Hashtbl.create 8;
+    sp_storage = Hashtbl.create 8;
+    sp_reads = Block_builder.Key_set.create ();
+    sp_writes = Block_builder.Key_set.create ();
+  }
+
+(** Drain the mempool's ready transactions and seal them into a block.
+
+    Phase A executes every candidate speculatively, in parallel across
+    the [Zkdet_parallel] pool, against the frozen pre-block state: all
+    writes land in per-transaction buffers, all touched keys are
+    recorded, and nothing is journaled (workers must stay silent for
+    journal determinism).  Phase B walks the candidates sequentially in
+    canonical mempool order: non-conflicting speculations commit their
+    buffers, conflicting ones re-execute against live state
+    ([Block_builder.merge]), and every receipt, telemetry count and
+    journal record is produced in that same order.  The result is
+    byte-identical at any domain count. *)
+let produce_block ?max_txs (chain : t) : block =
+  Telemetry.with_span "chain.produce_block" @@ fun () ->
+  let txs =
+    Array.of_list
+      (Mempool.take_ready chain.mempool
+         ~account_nonce:(fun s -> account_nonce chain s)
+         ?max:max_txs ())
+  in
+  let count = Array.length txs in
+  (* Phase A: parallel optimistic execution against the frozen state. *)
+  let specs =
+    Telemetry.with_span "chain.block.speculate" @@ fun () ->
+    Pool.parallel_map_array
+      (fun (tx : env Tx.t) ->
+        let spec = fresh_spec () in
+        let status, gas_used, events =
+          run_tx chain ~view:(Speculative spec) ~sender:tx.Tx.sender
+            ~calldata:tx.Tx.calldata tx.Tx.body
+        in
+        (spec, status, gas_used, events))
+      txs
+  in
+  (* Phase B: deterministic canonical-order merge. *)
+  let results = Array.make count None in
+  let apply_spec (spec : spec) =
+    Hashtbl.iter
+      (fun a v -> Hashtbl.replace chain.balances a v)
+      spec.sp_balances;
+    Hashtbl.iter
+      (fun (c, k) v -> storage_set chain ~contract:c ~key:k ~value:v)
+      spec.sp_storage
+  in
+  let sets i =
+    let spec, _, _, _ = specs.(i) in
+    ( Block_builder.Key_set.elements spec.sp_reads,
+      Block_builder.Key_set.elements spec.sp_writes )
+  in
+  let commit i =
+    let spec, status, gas_used, events = specs.(i) in
+    apply_spec spec;
+    results.(i) <- Some (status, gas_used, events)
+  in
+  let reexec i =
+    let tx = txs.(i) in
+    let spec = fresh_spec () in
+    let status, gas_used, events =
+      run_tx chain ~view:(Speculative spec) ~sender:tx.Tx.sender
+        ~calldata:tx.Tx.calldata tx.Tx.body
+    in
+    apply_spec spec;
+    results.(i) <- Some (status, gas_used, events);
+    Block_builder.Key_set.elements spec.sp_writes
+  in
+  let decisions = Block_builder.merge ~count ~sets ~commit ~reexec in
+  let reexecuted = Block_builder.reexec_count decisions in
+  chain.reexec_total <- chain.reexec_total + reexecuted;
+  Telemetry.count "chain.block.txs" count;
+  Telemetry.count "chain.block.reexecuted" reexecuted;
+  (* Receipts, account nonces and journal records in canonical order. *)
+  Array.iteri
+    (fun i (tx : env Tx.t) ->
+      match results.(i) with
+      | None -> assert false
+      | Some (status, gas_used, events) ->
+        Hashtbl.replace chain.account_nonces tx.Tx.sender (tx.Tx.nonce + 1);
+        ignore
+          (finalize chain ~tx_hash:(Tx.hash tx) ~label:tx.Tx.label
+             ~sender:tx.Tx.sender ~contract:tx.Tx.contract ~status ~gas_used
+             ~events))
+    txs;
+  let block = mine chain in
+  if Obs.is_enabled () then
+    Obs.emit
+      (Zkdet_obs.Event.Block_built
+         { block = block.number; txs = List.length block.tx_hashes; reexecuted });
+  block
+
+let reexec_total (chain : t) = chain.reexec_total
 let pending_count (chain : t) = List.length chain.pending
 let head (chain : t) = List.hd chain.blocks
 let block_count (chain : t) = List.length chain.blocks
@@ -359,14 +632,17 @@ let validate (chain : t) : bool =
   go chain.blocks
 
 (* ------------------------------------------------------------------ *)
-(* Canonical snapshots ("ZCHN" envelope, version 2; see FORMATS.md).
-   Version 2 added the optional observability trace to each receipt.
+(* Canonical snapshots ("ZCHN" envelope, version 3; see FORMATS.md).
+   Version 2 added the optional observability trace to each receipt;
+   version 3 added per-sender account nonces.
 
    The whole ledger state serializes to one deterministic byte string:
    hashtables are emitted as key-sorted association lists, blocks oldest
    first, pending transactions in arrival order (as hashes into the
    receipt table).  [state_hash] is the SHA-256 of the snapshot, so two
-   chains agree on their hash iff they agree on their observable state. *)
+   chains agree on their hash iff they agree on their observable state.
+   The mempool is transient scheduling state (bodies are closures) and
+   deliberately outside the snapshot. *)
 
 let event_codec : event C.t =
   C.map
@@ -453,7 +729,9 @@ let snapshot_codec : t C.t =
   let payload =
     C.pair
       (C.pair
-         (C.pair (C.list (C.pair C.str C.u64)) (C.pair C.u64 C.u64))
+         (C.pair
+            (C.pair (C.list (C.pair C.str C.u64)) (C.list (C.pair C.str C.u64)))
+            (C.pair C.u64 C.u64))
          (C.pair (C.triple C.u64 C.u64 C.u64) (C.list C.str)))
       (C.pair
          (C.pair (C.list block_codec) (C.list receipt_codec))
@@ -462,6 +740,7 @@ let snapshot_codec : t C.t =
   in
   let proj (chain : t) =
     let balances = sorted_bindings chain.balances in
+    let account_nonces = sorted_bindings chain.account_nonces in
     let receipts =
       List.sort
         (fun a b -> String.compare a.tx_hash b.tx_hash)
@@ -471,14 +750,14 @@ let snapshot_codec : t C.t =
       sorted_bindings chain.storage
       |> List.map (fun (c, tbl) -> (c, sorted_bindings tbl))
     in
-    ( ( (balances, (chain.nonce, chain.clock)),
+    ( ( ((balances, account_nonces), (chain.nonce, chain.clock)),
         ( (chain.gas_limit, chain.block_gas_limit, chain.gas_price),
           Array.to_list chain.validators ) ),
       ( (List.rev chain.blocks, receipts),
         (List.rev_map (fun r -> r.tx_hash) chain.pending, storage) ) )
   in
   let inj
-      ( ( (balances, (nonce, clock)),
+      ( ( ((balances, account_nonces), (nonce, clock)),
           ((gas_limit, block_gas_limit, gas_price), validators) ),
         ((blocks, receipts), (pending, storage)) ) =
     if validators = [] then Error "snapshot has no validators"
@@ -486,6 +765,8 @@ let snapshot_codec : t C.t =
     else begin
       let balances_tbl = Hashtbl.create 16 in
       List.iter (fun (a, v) -> Hashtbl.replace balances_tbl a v) balances;
+      let nonces_tbl = Hashtbl.create 16 in
+      List.iter (fun (a, v) -> Hashtbl.replace nonces_tbl a v) account_nonces;
       let receipts_tbl = Hashtbl.create 64 in
       List.iter (fun r -> Hashtbl.replace receipts_tbl r.tx_hash r) receipts;
       let storage_tbl = Hashtbl.create 8 in
@@ -511,6 +792,7 @@ let snapshot_codec : t C.t =
         Ok
           {
             balances = balances_tbl;
+            account_nonces = nonces_tbl;
             nonce;
             pending;
             blocks = List.rev blocks;
@@ -521,11 +803,13 @@ let snapshot_codec : t C.t =
             block_gas_limit;
             gas_price;
             storage = storage_tbl;
+            mempool = Mempool.create ();
+            reexec_total = 0;
           }
     end
   in
   C.with_context "chain.snapshot"
-    (C.envelope ~magic:"ZCHN" ~version:2 (C.conv proj inj payload))
+    (C.envelope ~magic:"ZCHN" ~version:3 (C.conv proj inj payload))
 
 let snapshot (chain : t) : string = C.encode snapshot_codec chain
 let restore (bytes : string) : (t, C.error) result = C.decode snapshot_codec bytes

@@ -2,7 +2,15 @@
     execution, receipts and event logs, and proof-of-authority block
     production with hash-linked headers and SHA-256 transaction Merkle
     roots. Provides the tamper-resistance/consistency the paper's threat
-    model assumes (§IV-A) and the gas measurements of Table II. *)
+    model assumes (§IV-A) and the gas measurements of Table II.
+
+    Two execution paths share one transaction core: the legacy direct
+    path ({!execute} + {!mine}), and the throughput path where typed
+    {!Tx.t} descriptors are {!submit}ted into a per-sender-nonce-ordered
+    {!Mempool} and sealed by {!produce_block}, which executes
+    non-conflicting transactions in parallel across [Zkdet_parallel]
+    domains and merges deterministically — {!state_hash} is
+    byte-identical at any [ZKDET_DOMAINS]. *)
 
 (** 20-byte hex account/contract addresses (Keccak-derived). *)
 module Address : sig
@@ -65,7 +73,7 @@ type t
 
 val create :
   ?validators:Address.t array -> ?gas_limit:int -> ?block_gas_limit:int ->
-  ?gas_price:int -> unit -> t
+  ?gas_price:int -> ?mempool_capacity:int -> unit -> t
 
 val balance : t -> Address.t -> int
 
@@ -75,13 +83,33 @@ val faucet : t -> Address.t -> int -> unit
 val debit : t -> Address.t -> int -> (unit, error) result
 val credit : t -> Address.t -> int -> unit
 
-(** Execution environment passed to contract code. *)
-type env = {
-  chain : t;
-  sender : Address.t;
-  meter : Gas.meter;
-  mutable tx_events : event list;
-}
+val account_nonce : t -> Address.t -> int
+(** The sender's next unused account nonce: the number of its applied
+    transactions.  Consumed (incremented) by every applied transaction,
+    including failed ones. *)
+
+(** Execution environment passed to contract code.  Abstract: all state
+    reached from a transaction body must go through the [env_*]
+    accessors below, which route through the speculative buffer during
+    parallel block building and record read/write keys for conflict
+    detection.  Bodies that bypass them (e.g. by closing over the chain
+    and calling {!debit} directly, or by mutating private OCaml state)
+    are only safe on the direct {!execute} path. *)
+type env
+
+val env_sender : env -> Address.t
+val env_meter : env -> Gas.meter
+
+val env_balance : env -> Address.t -> int
+val env_debit : env -> Address.t -> int -> (unit, error) result
+val env_credit : env -> Address.t -> int -> unit
+val env_storage_get : env -> contract:string -> key:string -> string option
+val env_storage_set :
+  env -> contract:string -> key:string -> value:string -> unit
+(** View-routed counterparts of {!balance}/{!debit}/{!credit}/
+    {!storage_get}/{!storage_set} for use inside transaction bodies.
+    Gas for storage access is charged by the caller (via {!env_meter}),
+    matching the existing contract idiom. *)
 
 exception Revert of string
 (** Raised by contract code to abort a transaction with a reason. *)
@@ -92,16 +120,43 @@ val emit : env -> contract:string -> name:string -> data:string list -> unit
 val execute :
   t -> sender:Address.t -> label:string -> ?calldata:string ->
   ?contract:string -> (env -> unit) -> receipt
-(** Run a transaction: charges base + calldata gas, executes the closure
+(** Run a transaction on the direct path: auto-assigns the sender's next
+    account nonce, charges base + calldata gas, executes the closure
     under the meter, deducts the fee from the sender, records the
     receipt. Reverts and out-of-gas become [Error] statuses (the failed
     transaction still pays for gas), and any events the closure emitted
     before failing are discarded. [contract] attributes the gas to a
-    contract in telemetry ("chain.gas.by_contract.<name>"); it defaults
-    to the label prefix before [':']. When a [Zkdet_obs] journal is
-    active the receipt is stamped with the ambient trace and
-    tx-submitted / tx-reverted / chain-event records are journaled
-    ([mine] adds tx-mined). *)
+    contract in telemetry ("chain.gas.by_contract.<name>"); omitting it
+    falls back to the label prefix before [':'] — deprecated, warns once
+    per process. When a [Zkdet_obs] journal is active the receipt is
+    stamped with the ambient trace and tx-submitted / tx-reverted /
+    chain-event records are journaled ([mine] adds tx-mined). *)
+
+val submit : t -> env Tx.t -> Mempool.admit
+(** Submit a typed transaction descriptor to the chain's mempool,
+    applying the nonce admission rules (stale rejection, same-nonce
+    replacement, gap holdback) against the sender's current
+    {!account_nonce}.  Journals mempool-admitted / mempool-dropped
+    events when observability is on.  The transaction executes later,
+    inside {!produce_block}. *)
+
+val mempool_size : t -> int
+
+val produce_block : ?max_txs:int -> t -> block
+(** Drain up to [max_txs] ready transactions from the mempool in
+    canonical order and seal them (plus any receipts already pending
+    from {!execute}) into a block.  Candidates are executed
+    optimistically in parallel across the [Zkdet_parallel] pool against
+    the frozen pre-block state with read/write-set tracking; a
+    sequential canonical-order merge commits non-conflicting
+    speculations and re-executes the rest, then receipts, telemetry and
+    journal records are produced in canonical order.  The resulting
+    state, receipts and journal are byte-identical at any domain
+    count. *)
+
+val reexec_total : t -> int
+(** Cumulative count of transactions whose speculation conflicted and
+    were re-executed sequentially by {!produce_block}. *)
 
 val mine : t -> block
 (** Seal pending transactions into a block (round-robin PoA) up to the
@@ -123,16 +178,19 @@ val validate : t -> bool
     whole chain. *)
 
 val storage_set : t -> contract:string -> key:string -> value:string -> unit
-(** Write a per-contract storage slot (created on first write). *)
+(** Write a per-contract storage slot (created on first write).  Direct
+    (non-transactional) access for setup and inspection; transaction
+    bodies must use {!env_storage_set}. *)
 
 val storage_get : t -> contract:string -> key:string -> string option
 
 val snapshot_codec : t Zkdet_codec.Codec.t
-(** Canonical ledger snapshot: a ["ZCHN"] envelope (version 2) holding
-    balances, counters, gas parameters, validators, blocks, receipts
-    (with their optional observability trace), pending transactions and
-    per-contract storage, all deterministically ordered (see
-    FORMATS.md). *)
+(** Canonical ledger snapshot: a ["ZCHN"] envelope (version 3) holding
+    balances, per-sender account nonces, counters, gas parameters,
+    validators, blocks, receipts (with their optional observability
+    trace), pending transactions and per-contract storage, all
+    deterministically ordered (see FORMATS.md).  The mempool is
+    transient scheduling state and is not part of the snapshot. *)
 
 val snapshot : t -> string
 (** Serialize the whole ledger state. Deterministic: equal observable

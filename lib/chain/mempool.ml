@@ -1,0 +1,125 @@
+(* Transaction mempool with per-sender account-nonce ordering.
+
+   Admission rules (the standard account-model trio):
+   - a nonce below the sender's current account nonce is stale and
+     rejected — it can never apply;
+   - resubmitting the same (sender, nonce) replaces the previous
+     descriptor (last write wins) and moves it to the back of the
+     arrival order;
+   - nonces above the next expected one are admitted but held back:
+     {!take_ready} only releases a sender's contiguous run starting at
+     the current account nonce, so a gap parks everything behind it.
+
+   Canonical order: every admission stamps a monotonically increasing
+   arrival sequence number.  {!take_ready} returns per-sender runs in
+   nonce order, runs sorted by the arrival seq of their first
+   transaction.  The order depends only on the submission history, never
+   on hashtable iteration order, so block building is deterministic. *)
+
+type admit =
+  | Admitted
+  | Replaced of string  (* hash of the descriptor this one displaced *)
+  | Rejected_stale of { expected : int }
+  | Rejected_full
+
+let admit_to_string = function
+  | Admitted -> "admitted"
+  | Replaced h -> Printf.sprintf "replaced %s" h
+  | Rejected_stale { expected } ->
+    Printf.sprintf "stale nonce (expected >= %d)" expected
+  | Rejected_full -> "pool full"
+
+type 'env t = {
+  senders : (string, (int, 'env Tx.t * int) Hashtbl.t) Hashtbl.t;
+      (* sender -> nonce -> (tx, arrival seq) *)
+  mutable next_seq : int;
+  capacity : int;
+  mutable size : int;
+}
+
+let create ?(capacity = 65_536) () =
+  if capacity < 1 then invalid_arg "Mempool.create: capacity < 1";
+  { senders = Hashtbl.create 64; next_seq = 0; capacity; size = 0 }
+
+let size t = t.size
+
+let submit t ~account_nonce (tx : _ Tx.t) : admit =
+  if tx.Tx.nonce < account_nonce then Rejected_stale { expected = account_nonce }
+  else begin
+    let tbl =
+      match Hashtbl.find_opt t.senders tx.Tx.sender with
+      | Some tbl -> tbl
+      | None ->
+        let tbl = Hashtbl.create 8 in
+        Hashtbl.add t.senders tx.Tx.sender tbl;
+        tbl
+    in
+    match Hashtbl.find_opt tbl tx.Tx.nonce with
+    | Some (old, _) ->
+      let seq = t.next_seq in
+      t.next_seq <- seq + 1;
+      Hashtbl.replace tbl tx.Tx.nonce (tx, seq);
+      Replaced (Tx.hash old)
+    | None ->
+      if t.size >= t.capacity then Rejected_full
+      else begin
+        let seq = t.next_seq in
+        t.next_seq <- seq + 1;
+        Hashtbl.add tbl tx.Tx.nonce (tx, seq);
+        t.size <- t.size + 1;
+        Admitted
+      end
+  end
+
+let find t ~sender ~nonce =
+  Option.map fst
+    (Option.bind (Hashtbl.find_opt t.senders sender) (fun tbl ->
+         Hashtbl.find_opt tbl nonce))
+
+let drop t ~sender ~nonce : _ Tx.t option =
+  match Hashtbl.find_opt t.senders sender with
+  | None -> None
+  | Some tbl -> (
+    match Hashtbl.find_opt tbl nonce with
+    | None -> None
+    | Some (tx, _) ->
+      Hashtbl.remove tbl nonce;
+      t.size <- t.size - 1;
+      Some tx)
+
+(** Remove and return up to [max] ready transactions in canonical order:
+    for each sender the contiguous nonce run starting at
+    [account_nonce sender], runs ordered by the arrival seq of their
+    first transaction.  Transactions behind a nonce gap stay parked. *)
+let take_ready t ~account_nonce ?(max = max_int) () : _ Tx.t list =
+  let runs =
+    Hashtbl.fold
+      (fun sender tbl acc ->
+        let start = account_nonce sender in
+        let rec collect n acc_run =
+          match Hashtbl.find_opt tbl n with
+          | Some (tx, seq) -> collect (n + 1) ((tx, seq) :: acc_run)
+          | None -> List.rev acc_run
+        in
+        match collect start [] with
+        | [] -> acc
+        | (_, first_seq) :: _ as run -> (first_seq, run) :: acc)
+      t.senders []
+  in
+  let runs = List.sort (fun (a, _) (b, _) -> compare a b) runs in
+  let taken = ref [] in
+  let count = ref 0 in
+  List.iter
+    (fun (_, run) ->
+      List.iter
+        (fun ((tx : _ Tx.t), _) ->
+          if !count < max then begin
+            let tbl = Hashtbl.find t.senders tx.Tx.sender in
+            Hashtbl.remove tbl tx.Tx.nonce;
+            t.size <- t.size - 1;
+            taken := tx :: !taken;
+            incr count
+          end)
+        run)
+    runs;
+  List.rev !taken

@@ -1,0 +1,43 @@
+(** Transaction mempool with per-sender account-nonce ordering,
+    replacement and nonce-gap holdback.
+
+    Admission: a nonce below the sender's account nonce is rejected as
+    stale; resubmitting an occupied (sender, nonce) replaces the earlier
+    descriptor (last write wins); nonces beyond the next expected one
+    are admitted but held until the gap closes.  Every admission stamps
+    a monotonically increasing arrival sequence number, which defines
+    the canonical block-building order — never hashtable iteration
+    order. *)
+
+type admit =
+  | Admitted
+  | Replaced of string  (** hash of the displaced descriptor *)
+  | Rejected_stale of { expected : int }
+  | Rejected_full
+
+val admit_to_string : admit -> string
+
+type 'env t
+
+val create : ?capacity:int -> unit -> 'env t
+(** Empty pool. [capacity] (default 65536) bounds admitted descriptors;
+    replacements never count against it. *)
+
+val size : _ t -> int
+
+val submit : 'env t -> account_nonce:int -> 'env Tx.t -> admit
+(** [submit pool ~account_nonce tx] applies the admission rules above,
+    where [account_nonce] is the sender's current on-chain nonce. *)
+
+val find : 'env t -> sender:string -> nonce:int -> 'env Tx.t option
+
+val drop : 'env t -> sender:string -> nonce:int -> 'env Tx.t option
+(** Evict one descriptor, returning it if present. *)
+
+val take_ready :
+  'env t -> account_nonce:(string -> int) -> ?max:int -> unit ->
+  'env Tx.t list
+(** Remove and return up to [max] ready transactions in canonical order:
+    each sender's contiguous nonce run starting at its current account
+    nonce (runs sorted by the arrival seq of their first transaction).
+    Transactions parked behind a nonce gap are not returned. *)

@@ -38,7 +38,7 @@ let deploy (chain : Chain.t) ~(deployer : Chain.Address.t) (registry : Erc721.t)
   in
   let receipt =
     Chain.execute chain ~sender:deployer ~label:"deploy:auction" ~contract:"auction" (fun env ->
-        Gas.create_contract env.Chain.meter ~code_bytes:code_size_bytes)
+        Gas.create_contract (Chain.env_meter env) ~code_bytes:code_size_bytes)
   in
   (contract, receipt)
 
@@ -60,7 +60,7 @@ let list_token (c : t) (chain : Chain.t) ~(seller : Chain.Address.t)
   let receipt =
     Chain.execute chain ~sender:seller ~label:"auction:list" ~contract:"auction" ~calldata:predicate
       (fun env ->
-        let m = env.Chain.meter in
+        let m = Chain.env_meter env in
         Gas.sload m;
         (match Erc721.owner_of c.registry token_id with
         | Some o when Chain.Address.equal o seller -> ()
@@ -84,7 +84,7 @@ let list_token (c : t) (chain : Chain.t) ~(seller : Chain.Address.t)
 let bid (c : t) (chain : Chain.t) ~(bidder : Chain.Address.t) ~(listing_id : int)
     ~(offer : int) : Chain.receipt =
   Chain.execute chain ~sender:bidder ~label:"auction:bid" ~contract:"auction" (fun env ->
-      let m = env.Chain.meter in
+      let m = Chain.env_meter env in
       Gas.sload m;
       match Hashtbl.find_opt c.listings listing_id with
       | None -> raise (Chain.Revert "bid: no such listing")
@@ -96,10 +96,10 @@ let bid (c : t) (chain : Chain.t) ~(bidder : Chain.Address.t) ~(listing_id : int
           | None -> raise (Chain.Revert "bid: not open")
         in
         if offer < price then raise (Chain.Revert "bid: below clock price");
-        (match Chain.debit chain bidder price with
+        (match Chain.env_debit env bidder price with
         | Ok () -> ()
         | Error e -> raise (Chain.Revert ("bid: " ^ Chain.error_to_string e)));
-        Chain.credit chain l.seller price;
+        Chain.env_credit env l.seller price;
         (* internal registry transfer: owner update + balances *)
         Gas.sstore m ~was_zero:false ~now_zero:false;
         Gas.sstore m ~was_zero:false ~now_zero:false;
@@ -121,7 +121,7 @@ let bid (c : t) (chain : Chain.t) ~(bidder : Chain.Address.t) ~(listing_id : int
 let cancel (c : t) (chain : Chain.t) ~(seller : Chain.Address.t)
     ~(listing_id : int) : Chain.receipt =
   Chain.execute chain ~sender:seller ~label:"auction:cancel" ~contract:"auction" (fun env ->
-      let m = env.Chain.meter in
+      let m = Chain.env_meter env in
       Gas.sload m;
       match Hashtbl.find_opt c.listings listing_id with
       | None -> raise (Chain.Revert "cancel: no such listing")

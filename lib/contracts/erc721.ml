@@ -62,7 +62,7 @@ let deploy (chain : Chain.t) ~(deployer : Chain.Address.t) : t * Chain.receipt =
   in
   let receipt =
     Chain.execute chain ~sender:deployer ~label:"deploy:zkdet-nft" ~contract:"erc721" (fun env ->
-        Gas.create_contract env.Chain.meter ~code_bytes:contract.code_size)
+        Gas.create_contract (Chain.env_meter env) ~code_bytes:contract.code_size)
   in
   (contract, receipt)
 
@@ -82,7 +82,7 @@ let exists (c : t) (id : int) =
 (* Common storage cost of writing a fresh token record. *)
 let charge_token_write (env : Chain.env) (c : t) ~(recipient : Chain.Address.t)
     ~(uri : string) ~(n_prev : int) =
-  let m = env.Chain.meter in
+  let m = Chain.env_meter env in
   (* owner slot: zero -> nonzero *)
   Gas.sstore m ~was_zero:true ~now_zero:false;
   (* recipient balance *)
@@ -113,7 +113,7 @@ let mint (c : t) (chain : Chain.t) ~(sender : Chain.Address.t)
   in
   let receipt =
     Chain.execute chain ~sender ~label:"mint" ~contract:"erc721" ~calldata (fun env ->
-        let m = env.Chain.meter in
+        let m = Chain.env_meter env in
         charge_token_write env c ~recipient ~uri ~n_prev:0;
         (* the two commitments share one metadata slot region: 2 slots *)
         Gas.sstore m ~was_zero:true ~now_zero:false;
@@ -148,7 +148,7 @@ let mint_derived (c : t) (chain : Chain.t) ~(sender : Chain.Address.t)
   let label = "transform:" ^ transform_name transform in
   let receipt =
     Chain.execute chain ~sender ~label ~calldata ~contract:"erc721" (fun env ->
-        let m = env.Chain.meter in
+        let m = Chain.env_meter env in
         List.iter
           (fun pid ->
             Gas.sload m;
@@ -202,7 +202,7 @@ let mint_partition (c : t) (chain : Chain.t) ~(sender : Chain.Address.t)
   let receipt =
     Chain.execute chain ~sender ~label:"transform:partition" ~contract:"erc721" ~calldata
       (fun env ->
-        let m = env.Chain.meter in
+        let m = Chain.env_meter env in
         Gas.sload m;
         (match owner_of c parent with
         | Some o when Chain.Address.equal o sender -> ()
@@ -236,7 +236,7 @@ let mint_partition (c : t) (chain : Chain.t) ~(sender : Chain.Address.t)
 let approve (c : t) (chain : Chain.t) ~(sender : Chain.Address.t) ~(spender : Chain.Address.t)
     ~(token_id : int) : Chain.receipt =
   Chain.execute chain ~sender ~label:"approve" ~contract:"erc721" (fun env ->
-      let m = env.Chain.meter in
+      let m = Chain.env_meter env in
       Gas.sload m;
       (match owner_of c token_id with
       | Some o when Chain.Address.equal o sender -> ()
@@ -251,7 +251,7 @@ let transfer_from (c : t) (chain : Chain.t) ~(sender : Chain.Address.t)
     ~(from : Chain.Address.t) ~(to_ : Chain.Address.t) ~(token_id : int) :
     Chain.receipt =
   Chain.execute chain ~sender ~label:"transfer" ~contract:"erc721" (fun env ->
-      let m = env.Chain.meter in
+      let m = Chain.env_meter env in
       Gas.sload m;
       (match Hashtbl.find_opt c.tokens token_id with
       | Some tok when not tok.burned ->
@@ -284,7 +284,7 @@ let transfer_from (c : t) (chain : Chain.t) ~(sender : Chain.Address.t)
 let burn (c : t) (chain : Chain.t) ~(sender : Chain.Address.t) ~(token_id : int) :
     Chain.receipt =
   Chain.execute chain ~sender ~label:"burn" ~contract:"erc721" (fun env ->
-      let m = env.Chain.meter in
+      let m = Chain.env_meter env in
       Gas.sload m;
       match Hashtbl.find_opt c.tokens token_id with
       | Some tok when (not tok.burned) && Chain.Address.equal tok.owner sender ->

@@ -46,7 +46,7 @@ let deploy (chain : Chain.t) ~(deployer : Chain.Address.t)
   in
   let receipt =
     Chain.execute chain ~sender:deployer ~label:"deploy:escrow" ~contract:"escrow" (fun env ->
-        Gas.create_contract env.Chain.meter ~code_bytes:code_size_bytes)
+        Gas.create_contract (Chain.env_meter env) ~code_bytes:code_size_bytes)
   in
   (contract, receipt)
 
@@ -62,8 +62,8 @@ let lock (c : t) (chain : Chain.t) ~(buyer : Chain.Address.t)
     Chain.execute chain ~sender:buyer ~label:"escrow:lock" ~contract:"escrow"
       ~calldata:(Fr.to_bytes_be h_v ^ Fr.to_bytes_be key_commitment)
       (fun env ->
-        let m = env.Chain.meter in
-        (match Chain.debit chain buyer amount with
+        let m = Chain.env_meter env in
+        (match Chain.env_debit env buyer amount with
         | Ok () -> ()
         | Error e -> raise (Chain.Revert ("lock: " ^ Chain.error_to_string e)));
         (* deal record: ~5 fresh slots *)
@@ -98,7 +98,7 @@ let settle (c : t) (chain : Chain.t) ~(seller : Chain.Address.t) ~(deal_id : int
   Chain.execute chain ~sender:seller ~label:"escrow:settle" ~contract:"escrow"
     ~calldata:(Fr.to_bytes_be k_c ^ Proof.to_bytes proof)
     (fun env ->
-      let m = env.Chain.meter in
+      let m = Chain.env_meter env in
       Gas.sload m;
       match Hashtbl.find_opt c.deals deal_id with
       | None -> raise (Chain.Revert "settle: no such deal")
@@ -118,7 +118,7 @@ let settle (c : t) (chain : Chain.t) ~(seller : Chain.Address.t) ~(deal_id : int
         Gas.sstore m ~was_zero:false ~now_zero:false; (* status *)
         d.k_c <- Some k_c;
         d.status <- Settled;
-        Chain.credit chain seller d.amount;
+        Chain.env_credit env seller d.amount;
         Chain.emit env ~contract:"escrow" ~name:"Settled"
           ~data:[ string_of_int deal_id ])
 
@@ -144,7 +144,7 @@ let settle_batch (c : t) (chain : Chain.t) ~(seller : Chain.Address.t)
               string_of_int deal_id ^ Fr.to_bytes_be k_c ^ Proof.to_bytes proof)
             entries))
     (fun env ->
-      let m = env.Chain.meter in
+      let m = Chain.env_meter env in
       if entries = [] then raise (Chain.Revert "settle-batch: empty batch");
       (* Load and validate every deal before touching any state.  A deal
          may appear at most once per block: repeating a (valid) entry
@@ -198,7 +198,7 @@ let settle_batch (c : t) (chain : Chain.t) ~(seller : Chain.Address.t)
           Gas.sstore m ~was_zero:false ~now_zero:false; (* status *)
           d.k_c <- Some k_c;
           d.status <- Settled;
-          Chain.credit chain seller d.amount;
+          Chain.env_credit env seller d.amount;
           Chain.emit env ~contract:"escrow" ~name:"Settled"
             ~data:[ string_of_int d.deal_id ])
         deals;
@@ -209,7 +209,7 @@ let settle_batch (c : t) (chain : Chain.t) ~(seller : Chain.Address.t)
 let refund (c : t) (chain : Chain.t) ~(buyer : Chain.Address.t) ~(deal_id : int) :
     Chain.receipt =
   Chain.execute chain ~sender:buyer ~label:"escrow:refund" ~contract:"escrow" (fun env ->
-      let m = env.Chain.meter in
+      let m = Chain.env_meter env in
       Gas.sload m;
       match Hashtbl.find_opt c.deals deal_id with
       | None -> raise (Chain.Revert "refund: no such deal")
@@ -221,6 +221,6 @@ let refund (c : t) (chain : Chain.t) ~(buyer : Chain.Address.t) ~(deal_id : int)
           raise (Chain.Revert "refund: deadline not reached");
         Gas.sstore m ~was_zero:false ~now_zero:false;
         d.status <- Refunded;
-        Chain.credit chain buyer d.amount;
+        Chain.env_credit env buyer d.amount;
         Chain.emit env ~contract:"escrow" ~name:"Refunded"
           ~data:[ string_of_int deal_id ])

@@ -56,7 +56,7 @@ let deploy (chain : Chain.t) ~(deployer : Chain.Address.t) : t * Chain.receipt =
   in
   let receipt =
     Chain.execute chain ~sender:deployer ~label:"deploy:fairswap" ~contract:"fairswap" (fun env ->
-        Gas.create_contract env.Chain.meter ~code_bytes:code_size_bytes)
+        Gas.create_contract (Chain.env_meter env) ~code_bytes:code_size_bytes)
   in
   (contract, receipt)
 
@@ -71,8 +71,8 @@ let lock (c : t) (chain : Chain.t) ~(buyer : Chain.Address.t)
     Chain.execute chain ~sender:buyer ~label:"fairswap:lock" ~contract:"fairswap"
       ~calldata:(Fr.to_bytes_be root_ciphertext ^ Fr.to_bytes_be root_plaintext)
       (fun env ->
-        let m = env.Chain.meter in
-        (match Chain.debit chain buyer amount with
+        let m = Chain.env_meter env in
+        (match Chain.env_debit env buyer amount with
         | Ok () -> ()
         | Error e -> raise (Chain.Revert ("lock: " ^ Chain.error_to_string e)));
         for _ = 1 to 6 do
@@ -95,7 +95,7 @@ let reveal_key (c : t) (chain : Chain.t) ~(seller : Chain.Address.t)
     ~(deal_id : int) ~(key : Fr.t) : Chain.receipt =
   Chain.execute chain ~sender:seller ~label:"fairswap:reveal" ~contract:"fairswap"
     ~calldata:(Fr.to_bytes_be key) (fun env ->
-      let m = env.Chain.meter in
+      let m = Chain.env_meter env in
       Gas.sload m;
       match Hashtbl.find_opt c.deals deal_id with
       | None -> raise (Chain.Revert "reveal: no such deal")
@@ -140,7 +140,7 @@ let complain (c : t) (chain : Chain.t) ~(buyer : Chain.Address.t)
       ^ Fr.to_bytes_be pom.plaintext_leaf
       ^ path_bytes pom.plaintext_path)
     (fun env ->
-      let m = env.Chain.meter in
+      let m = Chain.env_meter env in
       Gas.sload m;
       match Hashtbl.find_opt c.deals deal_id with
       | None -> raise (Chain.Revert "complain: no such deal")
@@ -182,7 +182,7 @@ let complain (c : t) (chain : Chain.t) ~(buyer : Chain.Address.t)
           (* misbehavior proven: refund the buyer *)
           Gas.sstore m ~was_zero:false ~now_zero:false;
           d.status <- Refunded;
-          Chain.credit chain buyer d.amount;
+          Chain.env_credit env buyer d.amount;
           Chain.emit env ~contract:"fairswap" ~name:"Misbehavior"
             ~data:[ string_of_int deal_id; string_of_int pom.leaf_index ]))
 
@@ -190,7 +190,7 @@ let complain (c : t) (chain : Chain.t) ~(buyer : Chain.Address.t)
 let finalize (c : t) (chain : Chain.t) ~(seller : Chain.Address.t)
     ~(deal_id : int) : Chain.receipt =
   Chain.execute chain ~sender:seller ~label:"fairswap:finalize" ~contract:"fairswap" (fun env ->
-      let m = env.Chain.meter in
+      let m = Chain.env_meter env in
       Gas.sload m;
       match Hashtbl.find_opt c.deals deal_id with
       | None -> raise (Chain.Revert "finalize: no such deal")
@@ -203,7 +203,7 @@ let finalize (c : t) (chain : Chain.t) ~(seller : Chain.Address.t)
         then raise (Chain.Revert "finalize: dispute window still open");
         Gas.sstore m ~was_zero:false ~now_zero:false;
         d.status <- Finalized;
-        Chain.credit chain seller d.amount)
+        Chain.env_credit env seller d.amount)
 
 (** The disclosed key, readable by anyone after reveal — FairSwap shares
     the public-storage weakness ZKDET's §IV-F removes. *)

@@ -34,7 +34,7 @@ let deploy (chain : Chain.t) ~(deployer : Chain.Address.t)
   in
   let receipt =
     Chain.execute chain ~sender:deployer ~label:"deploy:verifier" ~contract:"verifier" (fun env ->
-        Gas.create_contract env.Chain.meter ~code_bytes:code_size)
+        Gas.create_contract (Chain.env_meter env) ~code_bytes:code_size)
   in
   (contract, receipt)
 
@@ -90,7 +90,7 @@ let verify (c : t) (chain : Chain.t) ~(sender : Chain.Address.t)
   in
   let receipt =
     Chain.execute chain ~sender ~label:"verify-proof" ~contract:"verifier" ~calldata (fun env ->
-        charge_verification env.Chain.meter ~n_public:(Array.length publics);
+        charge_verification (Chain.env_meter env) ~n_public:(Array.length publics);
         verdict := Verifier.verify c.vk publics proof;
         Chain.emit env ~contract:"verifier" ~name:"ProofVerified"
           ~data:[ string_of_bool !verdict ])
@@ -119,7 +119,7 @@ let verify_batch (c : t) (chain : Chain.t) ~(sender : Chain.Address.t)
     Chain.execute chain ~sender ~label:"verify-batch" ~contract:"verifier"
       ~calldata (fun env ->
         if items = [] then raise (Chain.Revert "verify-batch: empty block");
-        let m = env.Chain.meter in
+        let m = Chain.env_meter env in
         List.iteri
           (fun i (publics, _) ->
             let before = Gas.used m in

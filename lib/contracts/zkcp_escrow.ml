@@ -37,7 +37,7 @@ let deploy (chain : Chain.t) ~(deployer : Chain.Address.t) : t * Chain.receipt =
   in
   let receipt =
     Chain.execute chain ~sender:deployer ~label:"deploy:zkcp-escrow" ~contract:"zkcp" (fun env ->
-        Gas.create_contract env.Chain.meter ~code_bytes:code_size_bytes)
+        Gas.create_contract (Chain.env_meter env) ~code_bytes:code_size_bytes)
   in
   (contract, receipt)
 
@@ -50,8 +50,8 @@ let lock (c : t) (chain : Chain.t) ~(buyer : Chain.Address.t)
   let receipt =
     Chain.execute chain ~sender:buyer ~label:"zkcp:lock" ~contract:"zkcp"
       ~calldata:(Fr.to_bytes_be h) (fun env ->
-        let m = env.Chain.meter in
-        (match Chain.debit chain buyer amount with
+        let m = Chain.env_meter env in
+        (match Chain.env_debit env buyer amount with
         | Ok () -> ()
         | Error e -> raise (Chain.Revert ("lock: " ^ Chain.error_to_string e)));
         for _ = 1 to 4 do
@@ -74,7 +74,7 @@ let open_key (c : t) (chain : Chain.t) ~(seller : Chain.Address.t)
     ~(deal_id : int) ~(key : Fr.t) : Chain.receipt =
   Chain.execute chain ~sender:seller ~label:"zkcp:open" ~contract:"zkcp"
     ~calldata:(Fr.to_bytes_be key) (fun env ->
-      let m = env.Chain.meter in
+      let m = Chain.env_meter env in
       Gas.sload m;
       match Hashtbl.find_opt c.deals deal_id with
       | None -> raise (Chain.Revert "open: no such deal")
@@ -89,7 +89,7 @@ let open_key (c : t) (chain : Chain.t) ~(seller : Chain.Address.t)
         Gas.sstore m ~was_zero:false ~now_zero:false;
         d.key <- Some key;
         d.status <- Settled;
-        Chain.credit chain seller d.amount;
+        Chain.env_credit env seller d.amount;
         Chain.emit env ~contract:"zkcp" ~name:"KeyDisclosed"
           ~data:[ string_of_int deal_id; Fr.to_string key ])
 
@@ -103,7 +103,7 @@ let disclosed_key (c : t) (deal_id : int) : Fr.t option =
 let refund (c : t) (chain : Chain.t) ~(buyer : Chain.Address.t) ~(deal_id : int) :
     Chain.receipt =
   Chain.execute chain ~sender:buyer ~label:"zkcp:refund" ~contract:"zkcp" (fun env ->
-      let m = env.Chain.meter in
+      let m = Chain.env_meter env in
       Gas.sload m;
       match Hashtbl.find_opt c.deals deal_id with
       | None -> raise (Chain.Revert "refund: no such deal")
@@ -115,4 +115,4 @@ let refund (c : t) (chain : Chain.t) ~(buyer : Chain.Address.t) ~(deal_id : int)
           raise (Chain.Revert "refund: deadline not reached");
         Gas.sstore m ~was_zero:false ~now_zero:false;
         d.status <- Refunded;
-        Chain.credit chain buyer d.amount)
+        Chain.env_credit env buyer d.amount)

@@ -79,6 +79,10 @@ let run ?chain (entries : Journal.entry list) : report =
   let tx_events : (string, (string * string * string list) list ref) Hashtbl.t =
     Hashtbl.create 16
   in
+  (* Mempool lifecycle: admitted (sender, nonce) per hash; blocks seen. *)
+  let pool_admitted : (string, string * int) Hashtbl.t = Hashtbl.create 16 in
+  let block_mined : (int, int ref) Hashtbl.t = Hashtbl.create 8 in
+  let block_built : (int, unit) Hashtbl.t = Hashtbl.create 8 in
   let trace_of id =
     match Hashtbl.find_opt traces id with
     | Some t -> t
@@ -149,7 +153,10 @@ let run ?chain (entries : Journal.entry list) : report =
             err ~seq "tx %s mined but never submitted" tx_hash;
           if Hashtbl.mem mined tx_hash then
             err ~seq "tx %s mined twice" tx_hash;
-          Hashtbl.replace mined tx_hash block
+          Hashtbl.replace mined tx_hash block;
+          (match Hashtbl.find_opt block_mined block with
+          | Some n -> incr n
+          | None -> Hashtbl.add block_mined block (ref 1))
       | Event.Tx_reverted { tx_hash; _ } -> (
           Hashtbl.replace reverted tx_hash ();
           match Hashtbl.find_opt submitted tx_hash with
@@ -190,6 +197,33 @@ let run ?chain (entries : Journal.entry list) : report =
                 "delivery claimed complete with no verified proof in trace %s"
                 e.trace_id
           end
+      | Event.Mempool_admitted { tx_hash; sender; nonce; replaced } -> (
+          if Hashtbl.mem submitted tx_hash then
+            err ~seq "tx %s admitted to the mempool after being applied"
+              tx_hash;
+          if Hashtbl.mem pool_admitted tx_hash && not replaced then
+            err ~seq "tx %s admitted to the mempool twice" tx_hash;
+          Hashtbl.replace pool_admitted tx_hash (sender, nonce))
+      | Event.Mempool_dropped { tx_hash; reason } ->
+          if Hashtbl.mem mined tx_hash then
+            err ~seq "tx %s dropped from the mempool (%s) after being mined"
+              tx_hash reason
+      | Event.Block_built { block; txs; reexecuted } ->
+          if Hashtbl.mem block_built block then
+            err ~seq "block %d built twice" block;
+          Hashtbl.replace block_built block ();
+          let mined_here =
+            match Hashtbl.find_opt block_mined block with
+            | Some n -> !n
+            | None -> 0
+          in
+          if mined_here <> txs then
+            err ~seq
+              "block %d claims %d tx(s) but the journal mined %d into it"
+              block txs mined_here;
+          if reexecuted < 0 || reexecuted > txs then
+            err ~seq "block %d re-executed count %d out of range (txs %d)"
+              block reexecuted txs
       | _ -> ())
     entries;
   (* End-of-journal obligations. *)
@@ -373,6 +407,21 @@ let event_to_json (ev : Event.t) : Json.t =
     | Event.Chunk_stored { cid; bytes; chunks }
     | Event.Chunk_fetched { cid; bytes; chunks } ->
         [ ("cid", String cid); ("bytes", Int bytes); ("chunks", Int chunks) ]
+    | Event.Mempool_admitted { tx_hash; sender; nonce; replaced } ->
+        [
+          ("tx_hash", String tx_hash);
+          ("sender", String sender);
+          ("nonce", Int nonce);
+          ("replaced", Bool replaced);
+        ]
+    | Event.Mempool_dropped { tx_hash; reason } ->
+        [ ("tx_hash", String tx_hash); ("reason", String reason) ]
+    | Event.Block_built { block; txs; reexecuted } ->
+        [
+          ("block", Int block);
+          ("txs", Int txs);
+          ("reexecuted", Int reexecuted);
+        ]
   in
   Obj (("kind", String (Event.kind ev)) :: fields)
 

@@ -42,6 +42,14 @@ type t =
   | Proof_verified of { system : string; ok : bool }
   | Chunk_stored of { cid : string; bytes : int; chunks : int }
   | Chunk_fetched of { cid : string; bytes : int; chunks : int }
+  | Mempool_admitted of {
+      tx_hash : string;
+      sender : string;
+      nonce : int;
+      replaced : bool;  (** displaced an earlier same-(sender, nonce) tx *)
+    }
+  | Mempool_dropped of { tx_hash : string; reason : string }
+  | Block_built of { block : int; txs : int; reexecuted : int }
 
 let codec : t C.t =
   C.union "obs.event"
@@ -112,6 +120,25 @@ let codec : t C.t =
         (function
           | Chunk_fetched { cid; bytes; chunks } -> Some (cid, bytes, chunks)
           | _ -> None);
+      C.case ~tag:13
+        (C.pair (C.pair C.str C.str) (C.pair C.u32 C.bool))
+        (fun ((tx_hash, sender), (nonce, replaced)) ->
+          Mempool_admitted { tx_hash; sender; nonce; replaced })
+        (function
+          | Mempool_admitted { tx_hash; sender; nonce; replaced } ->
+              Some ((tx_hash, sender), (nonce, replaced))
+          | _ -> None);
+      C.case ~tag:14 (C.pair C.str C.str)
+        (fun (tx_hash, reason) -> Mempool_dropped { tx_hash; reason })
+        (function
+          | Mempool_dropped { tx_hash; reason } -> Some (tx_hash, reason)
+          | _ -> None);
+      C.case ~tag:15 (C.triple C.u32 C.u32 C.u32)
+        (fun (block, txs, reexecuted) -> Block_built { block; txs; reexecuted })
+        (function
+          | Block_built { block; txs; reexecuted } ->
+              Some (block, txs, reexecuted)
+          | _ -> None);
     ]
 
 let kind = function
@@ -128,6 +155,9 @@ let kind = function
   | Proof_verified _ -> "proof_verified"
   | Chunk_stored _ -> "chunk_stored"
   | Chunk_fetched _ -> "chunk_fetched"
+  | Mempool_admitted _ -> "mempool_admitted"
+  | Mempool_dropped _ -> "mempool_dropped"
+  | Block_built _ -> "block_built"
 
 let describe = function
   | Trace_begin { label } -> Printf.sprintf "trace %S begins" label
@@ -174,3 +204,15 @@ let describe = function
   | Chunk_fetched { cid; bytes; chunks } ->
       Printf.sprintf "fetched %d bytes (%d chunk(s)) from %s" bytes chunks
         (String.sub cid 0 (min 14 (String.length cid)))
+  | Mempool_admitted { tx_hash; sender; nonce; replaced } ->
+      Printf.sprintf "tx %s admitted to mempool (%s nonce %d)%s"
+        (String.sub tx_hash 0 (min 10 (String.length tx_hash)))
+        sender nonce
+        (if replaced then " [replacement]" else "")
+  | Mempool_dropped { tx_hash; reason } ->
+      Printf.sprintf "tx %s dropped from mempool: %s"
+        (String.sub tx_hash 0 (min 10 (String.length tx_hash)))
+        reason
+  | Block_built { block; txs; reexecuted } ->
+      Printf.sprintf "block %d built: %d tx(s), %d re-executed" block txs
+        reexecuted

@@ -89,7 +89,7 @@ let test_out_of_gas () =
   let r =
     Chain.execute chain ~sender:alice ~label:"hog" (fun env ->
         for _ = 1 to 10 do
-          Gas.sstore env.Chain.meter ~was_zero:true ~now_zero:false
+          Gas.sstore (Chain.env_meter env) ~was_zero:true ~now_zero:false
         done)
   in
   failed_status r "out of gas"
@@ -534,6 +534,179 @@ let test_settle_batch_guards () =
   (* still all settleable after the failed attempts *)
   ok_status (Escrow.settle_batch escrow chain ~seller:alice entries)
 
+(* ------------------------------------------------------------------ *)
+(* Mempool + parallel block production (ISSUE 8): nonce ordering,      *)
+(* replacement, gap holdback, and parallel-vs-sequential determinism.  *)
+(* ------------------------------------------------------------------ *)
+
+module Tx = Zkdet_chain.Tx
+module Mempool = Zkdet_chain.Mempool
+module Pool = Zkdet_parallel.Pool
+
+(* A transfer through the env accessors, visible to conflict tracking. *)
+let transfer_tx ~sender ~nonce ~to_ ~amount =
+  Tx.make ~sender ~nonce ~label:"bank:transfer" ~contract:"bank"
+    ~calldata:(to_ ^ "/" ^ string_of_int amount)
+    (fun env ->
+      (match Chain.env_debit env sender amount with
+      | Ok () -> ()
+      | Error e -> raise (Chain.Revert (Chain.error_to_string e)));
+      Chain.env_credit env to_ amount)
+
+(* A counter bump on a shared storage slot: every instance conflicts. *)
+let bump_tx ~sender ~nonce ~slot =
+  Tx.make ~sender ~nonce ~label:"ctr:bump" ~contract:"ctr"
+    ~calldata:slot
+    (fun env ->
+      let n =
+        match Chain.env_storage_get env ~contract:"ctr" ~key:slot with
+        | Some v -> int_of_string v
+        | None -> 0
+      in
+      Chain.env_storage_set env ~contract:"ctr" ~key:slot
+        ~value:(string_of_int (n + 1)))
+
+let admit_ok = function
+  | Mempool.Admitted | Mempool.Replaced _ -> ()
+  | a -> Alcotest.failf "submit refused: %s" (Mempool.admit_to_string a)
+
+let test_mempool_nonce_gap () =
+  let chain = fresh_chain () in
+  admit_ok (Chain.submit chain (transfer_tx ~sender:alice ~nonce:0 ~to_:bob ~amount:10));
+  (* nonce 2 with 1 missing: held back, not dropped *)
+  admit_ok (Chain.submit chain (transfer_tx ~sender:alice ~nonce:2 ~to_:bob ~amount:30));
+  let b1 = Chain.produce_block chain in
+  Alcotest.(check int) "only the contiguous run seals" 1
+    (List.length b1.Chain.tx_hashes);
+  Alcotest.(check int) "gapped tx still pooled" 1 (Chain.mempool_size chain);
+  Alcotest.(check int) "account nonce advanced once" 1
+    (Chain.account_nonce chain alice);
+  (* filling the gap releases the held tx, in nonce order *)
+  admit_ok (Chain.submit chain (transfer_tx ~sender:alice ~nonce:1 ~to_:bob ~amount:20));
+  let b2 = Chain.produce_block chain in
+  Alcotest.(check int) "both seal once the gap fills" 2
+    (List.length b2.Chain.tx_hashes);
+  Alcotest.(check int) "pool drained" 0 (Chain.mempool_size chain);
+  Alcotest.(check int) "all three transfers applied" 60
+    (Chain.balance chain bob - 100_000_000)
+
+let test_mempool_stale_and_replacement () =
+  let chain = fresh_chain () in
+  (* the direct path consumes account nonce 0 *)
+  ok_status (Chain.execute chain ~sender:alice ~label:"noop" (fun _ -> ()));
+  (match Chain.submit chain (transfer_tx ~sender:alice ~nonce:0 ~to_:bob ~amount:1) with
+  | Mempool.Rejected_stale { expected } ->
+    Alcotest.(check int) "expected nonce" 1 expected
+  | a -> Alcotest.failf "stale nonce not rejected: %s" (Mempool.admit_to_string a));
+  (* same (sender, nonce) replaces: last submission wins *)
+  let first = transfer_tx ~sender:alice ~nonce:1 ~to_:bob ~amount:111 in
+  admit_ok (Chain.submit chain first);
+  (match
+     Chain.submit chain (transfer_tx ~sender:alice ~nonce:1 ~to_:carol ~amount:222)
+   with
+  | Mempool.Replaced old ->
+    Alcotest.(check string) "replaced hash names the loser" (Tx.hash first) old
+  | a -> Alcotest.failf "expected replacement: %s" (Mempool.admit_to_string a));
+  Alcotest.(check int) "one pooled tx after replacement" 1
+    (Chain.mempool_size chain);
+  let carol_before = Chain.balance chain carol in
+  let bob_before = Chain.balance chain bob in
+  ignore (Chain.produce_block chain);
+  Alcotest.(check int) "replacement executed" (carol_before + 222)
+    (Chain.balance chain carol);
+  Alcotest.(check int) "replaced tx never ran" bob_before (Chain.balance chain bob)
+
+let test_mempool_capacity () =
+  let chain = Chain.create ~mempool_capacity:2 () in
+  Chain.faucet chain alice 1_000_000;
+  admit_ok (Chain.submit chain (bump_tx ~sender:alice ~nonce:0 ~slot:"a"));
+  admit_ok (Chain.submit chain (bump_tx ~sender:alice ~nonce:1 ~slot:"a"));
+  (match Chain.submit chain (bump_tx ~sender:alice ~nonce:2 ~slot:"a") with
+  | Mempool.Rejected_full -> ()
+  | a -> Alcotest.failf "expected pool-full: %s" (Mempool.admit_to_string a));
+  (* replacement is allowed even at capacity *)
+  (match Chain.submit chain (bump_tx ~sender:alice ~nonce:1 ~slot:"b") with
+  | Mempool.Replaced _ -> ()
+  | a -> Alcotest.failf "replacement at capacity refused: %s"
+           (Mempool.admit_to_string a))
+
+let test_failed_tx_consumes_nonce () =
+  let chain = fresh_chain () in
+  let failing =
+    Tx.make ~sender:alice ~nonce:0 ~label:"fail" ~contract:"ctr"
+      (fun _ -> raise (Chain.Revert "boom"))
+  in
+  admit_ok (Chain.submit chain failing);
+  admit_ok (Chain.submit chain (bump_tx ~sender:alice ~nonce:1 ~slot:"s"));
+  let b = Chain.produce_block chain in
+  Alcotest.(check int) "both sealed" 2 (List.length b.Chain.tx_hashes);
+  Alcotest.(check int) "failed tx still consumed its nonce" 2
+    (Chain.account_nonce chain alice);
+  let r = Option.get (Chain.receipt chain (Tx.hash failing)) in
+  failed_status r "boom";
+  Alcotest.(check (option string)) "the successor still ran" (Some "1")
+    (Chain.storage_get chain ~contract:"ctr" ~key:"s")
+
+(* Run the same mixed workload (disjoint transfers + colliding counter
+   bumps) at several domain counts and require identical final state. *)
+let parallel_state_hash_domains = [ 1; 2; 4 ]
+
+let run_mixed_workload ~domains =
+  Pool.with_domains domains @@ fun () ->
+  let chain = Chain.create () in
+  let senders =
+    Array.init 8 (fun i -> Chain.Address.of_seed (Printf.sprintf "par/%d" i))
+  in
+  Array.iter (fun a -> Chain.faucet chain a 1_000_000) senders;
+  for round = 0 to 3 do
+    Array.iteri
+      (fun i s ->
+        let tx =
+          if i mod 2 = 0 then
+            (* disjoint: each even sender pays its own counterpart *)
+            transfer_tx ~sender:s ~nonce:round
+              ~to_:(Chain.Address.of_seed (Printf.sprintf "par-dst/%d" i))
+              ~amount:(100 + i)
+          else
+            (* colliding: all odd senders bump the same slot *)
+            bump_tx ~sender:s ~nonce:round ~slot:"shared"
+        in
+        admit_ok (Chain.submit chain tx))
+      senders;
+    ignore (Chain.produce_block chain)
+  done;
+  Alcotest.(check (option string)) "every bump committed" (Some "16")
+    (Chain.storage_get chain ~contract:"ctr" ~key:"shared");
+  Chain.state_hash chain
+
+let test_parallel_vs_sequential_state () =
+  match List.map (fun d -> run_mixed_workload ~domains:d) parallel_state_hash_domains with
+  | [] -> assert false
+  | h :: rest ->
+    List.iteri
+      (fun i h' ->
+        Alcotest.(check string)
+          (Printf.sprintf "state hash identical at %d domain(s)"
+             (List.nth parallel_state_hash_domains (i + 1)))
+          h h')
+      rest
+
+let test_produce_block_fees () =
+  let chain = fresh_chain () in
+  let before = Chain.balance chain alice in
+  admit_ok (Chain.submit chain (transfer_tx ~sender:alice ~nonce:0 ~to_:bob ~amount:5_000));
+  ignore (Chain.produce_block chain);
+  let r =
+    Option.get
+      (Chain.receipt chain
+         (Tx.hash (transfer_tx ~sender:alice ~nonce:0 ~to_:bob ~amount:5_000)))
+  in
+  ok_status r;
+  Alcotest.(check int) "debit + fee both settled"
+    (before - 5_000 - r.Chain.gas_used)
+    (Chain.balance chain alice);
+  Alcotest.(check bool) "chain validates" true (Chain.validate chain)
+
 let () =
   Alcotest.run "zkdet_chain"
     [ ( "chain",
@@ -561,4 +734,16 @@ let () =
             test_settle_batch_all_or_nothing;
           Alcotest.test_case "per-proof gas attribution" `Quick
             test_settle_batch_gas_attribution;
-          Alcotest.test_case "guards" `Quick test_settle_batch_guards ] ) ]
+          Alcotest.test_case "guards" `Quick test_settle_batch_guards ] );
+      ( "mempool",
+        [ Alcotest.test_case "nonce gap holdback" `Quick test_mempool_nonce_gap;
+          Alcotest.test_case "stale rejection and replacement" `Quick
+            test_mempool_stale_and_replacement;
+          Alcotest.test_case "capacity" `Quick test_mempool_capacity;
+          Alcotest.test_case "failed tx consumes nonce" `Quick
+            test_failed_tx_consumes_nonce ] );
+      ( "parallel-blocks",
+        [ Alcotest.test_case "parallel vs sequential state hash" `Quick
+            test_parallel_vs_sequential_state;
+          Alcotest.test_case "produce_block fee accounting" `Quick
+            test_produce_block_fees ] ) ]

@@ -181,6 +181,55 @@ let test_byte_identical_journals () =
   let c = run_once "obs_det_c.zjnl" 4 in
   Alcotest.(check bool) "same bytes at 4 domains" true (String.equal a c)
 
+(* ---- mempool + parallel block production ---- *)
+
+let load_cfg =
+  {
+    Scenario.Config.default with
+    Scenario.Config.seed = 5;
+    accounts = 16;
+    datasets = 8;
+    blocks = 3;
+    txs_per_block = 8;
+    skew = 1.0;
+    work = 4;
+  }
+
+let test_load_journal_audits () =
+  (* A journaled load run must audit clean — mempool admissions, block
+     builds and mined txs all causally consistent — and the journal and
+     final state must be byte-identical at any domain count. *)
+  let run_once name domains =
+    with_journal name (fun path ->
+        let o = Pool.with_domains domains (fun () -> Scenario.load load_cfg) in
+        Alcotest.(check bool) "load ok" true o.Scenario.load_ok;
+        Obs.close ();
+        (read_file path, Chain.state_hash o.Scenario.load_chain))
+  in
+  let a, ha = run_once "obs_load_a.zjnl" 1 in
+  let c, hc = run_once "obs_load_c.zjnl" 4 in
+  Alcotest.(check bool) "byte-identical journal at 4 domains" true
+    (String.equal a c);
+  Alcotest.(check string) "identical state hash" ha hc;
+  let entries = entries_of (tmp "obs_load_a.zjnl") in
+  let report = Audit.run entries in
+  List.iter
+    (fun (i : Audit.issue) ->
+      if i.Audit.severity = Audit.Err then
+        Alcotest.failf "audit error: %s" i.Audit.message)
+    report.Audit.issues;
+  Alcotest.(check bool) "audit ok" true report.Audit.ok;
+  let count kind =
+    List.length
+      (List.filter
+         (fun (e : Journal.entry) -> Event.kind e.Journal.event = kind)
+         entries)
+  in
+  Alcotest.(check int) "every submission journaled" 24
+    (count "mempool_admitted");
+  Alcotest.(check int) "every block journaled" 3 (count "block_built");
+  Alcotest.(check int) "every sealed tx journaled" 24 (count "tx_mined")
+
 (* ---- causal checks ---- *)
 
 let test_audit_flags_reverted_leak () =
@@ -261,6 +310,8 @@ let () =
             test_audit_joins_chain;
           Alcotest.test_case "byte-identical journals" `Slow
             test_byte_identical_journals;
+          Alcotest.test_case "journaled load run audits clean" `Quick
+            test_load_journal_audits;
         ] );
       ( "causal",
         [

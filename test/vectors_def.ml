@@ -92,7 +92,7 @@ let demo_chain () =
   Chain.faucet chain alice 1_000_000;
   Chain.faucet chain bob 250_000;
   ignore
-    (Chain.execute chain ~sender:alice ~label:"registry:mint" (fun env ->
+    (Chain.execute chain ~sender:alice ~label:"registry:mint" ~contract:"registry" (fun env ->
          Chain.emit env ~contract:"registry" ~name:"Mint"
            ~data:[ "token-1"; alice ]));
   Chain.storage_set chain ~contract:"registry" ~key:"token-1/owner" ~value:alice;
@@ -100,10 +100,10 @@ let demo_chain () =
     ~value:"zb00demo";
   ignore (Chain.mine chain);
   ignore
-    (Chain.execute chain ~sender:bob ~label:"market:bid" (fun env ->
+    (Chain.execute chain ~sender:bob ~label:"market:bid" ~contract:"market" (fun env ->
          Chain.emit env ~contract:"market" ~name:"Bid" ~data:[ "token-1"; "42" ]));
   ignore
-    (Chain.execute chain ~sender:bob ~label:"market:fail" (fun _ ->
+    (Chain.execute chain ~sender:bob ~label:"market:fail" ~contract:"market" (fun _ ->
          raise (Chain.Revert "demo revert")));
   chain
 
