@@ -905,6 +905,59 @@ let msm_exp () =
     [ 256; 1024; 4096 ]
 
 (* ---------------------------------------------------------------- *)
+(* Field: scalar-kernel ns/op for both Fp backends                    *)
+(* ---------------------------------------------------------------- *)
+
+(* The PR 9 headline at its smallest scale: Montgomery multiplication,
+   addition and inversion on the unboxed 4x64 backend vs the boxed 26-bit
+   oracle.  Both modules are instantiated unconditionally by Bn254, so the
+   experiment covers both regardless of ZKDET_FIELD_BACKEND.  Work runs
+   through the flat-buffer entry points (one destination cell, operands
+   cycling through a 1024-element buffer) so the measurement matches how
+   FFT/MSM actually drive the kernels; inversion is scalar (it has no hot
+   buf path).  Timings take the best of three runs. *)
+let field_exp () =
+  header "Field: Montgomery kernel ns/op per backend";
+  Printf.printf "%-10s %10s %12s\n" "backend" "op" "ns/op";
+  let best f =
+    List.fold_left (fun b _ -> let _, t = wall f in Float.min b t)
+      infinity [ 1; 2; 3 ]
+  in
+  let bench_backend name (module F : Zkdet_field.Field_intf.S) =
+    let st = Random.State.make [| 0xf1e1d |] in
+    let n = 1024 in
+    let xs = F.buf_of_array (Array.init n (fun _ -> F.random st)) in
+    let d = F.buf_create 1 in
+    F.buf_set d 0 (F.random st);
+    let report op iters t =
+      let ns = 1e9 *. t /. float_of_int iters in
+      emit_row [ jstr "backend" name; jstr "op" op; jfloat "ns_per_op" ns ];
+      Printf.printf "%-10s %10s %12.1f\n%!" name op ns
+    in
+    let mul_iters = 1_000_000 in
+    report "mont_mul" mul_iters
+      (best (fun () ->
+           for i = 0 to mul_iters - 1 do
+             F.buf_mul d 0 d 0 xs (i land (n - 1))
+           done));
+    let add_iters = 1_000_000 in
+    report "add" add_iters
+      (best (fun () ->
+           for i = 0 to add_iters - 1 do
+             F.buf_add d 0 d 0 xs (i land (n - 1))
+           done));
+    let inv_iters = 2_000 in
+    let ys = F.buf_to_array xs in
+    report "inv" inv_iters
+      (best (fun () ->
+           for i = 0 to inv_iters - 1 do
+             ignore (F.inv ys.(i land (n - 1)))
+           done))
+  in
+  bench_backend "unboxed64" (module Zkdet_field.Bn254.Fp_unboxed);
+  bench_backend "limb26" (module Zkdet_field.Bn254.Fp_limb26)
+
+(* ---------------------------------------------------------------- *)
 (* Perf-regression gating against committed baselines                 *)
 (* ---------------------------------------------------------------- *)
 
@@ -1186,7 +1239,7 @@ let () =
         List.mem a
           [ "setup"; "fig5"; "fig6"; "fig7"; "fairswap"; "table1"; "table2";
             "micro"; "parallel"; "proptest"; "codec"; "proving"; "verify";
-            "msm"; "load"; "all" ])
+            "msm"; "field"; "load"; "all" ])
       args
   in
   let which = if which = [] then [ "all" ] else which in
@@ -1221,6 +1274,7 @@ let () =
   if run || List.mem "proving" which then run_experiment "proving" proving_exp;
   if run || List.mem "verify" which then run_experiment "verify" verify_exp;
   if run || List.mem "msm" which then run_experiment "msm" msm_exp;
+  if run || List.mem "field" which then run_experiment "field" field_exp;
   if run || List.mem "load" which then run_experiment "load" (load_exp ~scale);
   if run || List.mem "micro" which then run_experiment "micro" micro;
   Telemetry.maybe_write_trace ();

@@ -316,25 +316,6 @@ let run_tx (chain : t) ~view ~(sender : Address.t) ~calldata
   in
   (status, gas_used, events)
 
-(* The label-prefix attribution fallback is deprecated: it guesses the
-   contract from the text before ':' and misattributes anything whose
-   label does not follow the convention.  Warn the first time it fires. *)
-let label_fallback_warned = ref false
-
-let attribution_contract ~label = function
-  | Some c -> c
-  | None ->
-    if not !label_fallback_warned then begin
-      label_fallback_warned := true;
-      Printf.eprintf
-        "zkdet: chain: gas attribution for label %S derived from its prefix \
-         before ':'; pass ~contract explicitly (deprecated fallback)\n%!"
-        label
-    end;
-    (match String.index_opt label ':' with
-    | Some i -> String.sub label 0 i
-    | None -> label)
-
 (* Count, record and journal one applied transaction, in canonical
    order.  Both execution paths funnel through here, so telemetry and
    the journal see identical streams regardless of how the transaction
@@ -344,9 +325,13 @@ let finalize (chain : t) ~tx_hash ~label ~(sender : Address.t) ~contract
   Telemetry.count "chain.txs" 1;
   Telemetry.count "chain.gas.total" gas_used;
   Telemetry.observe "chain.gas_per_tx" (float_of_int gas_used);
+  (* Per-contract gas attribution only when the caller identifies the
+     contract; no label-prefix guessing (the PR 8 deprecated fallback is
+     gone). *)
   (if Telemetry.enabled () then
-     let c = attribution_contract ~label contract in
-     Telemetry.count ("chain.gas.by_contract." ^ c) gas_used);
+     match contract with
+     | Some c -> Telemetry.count ("chain.gas.by_contract." ^ c) gas_used
+     | None -> ());
   chain.nonce <- chain.nonce + 1;
   let trace =
     Option.map

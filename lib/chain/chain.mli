@@ -127,8 +127,9 @@ val execute :
     transaction still pays for gas), and any events the closure emitted
     before failing are discarded. [contract] attributes the gas to a
     contract in telemetry ("chain.gas.by_contract.<name>"); omitting it
-    falls back to the label prefix before [':'] — deprecated, warns once
-    per process. When a [Zkdet_obs] journal is active the receipt is
+    records no per-contract attribution (the pre-PR 9 label-prefix
+    fallback has been removed — pass [~contract] explicitly).
+    When a [Zkdet_obs] journal is active the receipt is
     stamped with the ambient trace and tx-submitted / tx-reverted /
     chain-event records are journaled ([mine] adds tx-mined). *)
 

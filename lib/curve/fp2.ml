@@ -62,24 +62,100 @@ let batch_inv0 (xs : t array) : t array =
     out
   end
 
-(* The in-place kernel buffer API, mirrored from Field_intf so Fp2 can
-   also back the curve layer's batch-affine kernels. Fp2 values are
-   immutable records, so these "in-place" variants just overwrite the
-   array slot — G2 MSMs are off the proving hot path, so the extra
-   allocation is fine. *)
-let make_buf n = Array.make n zero
-let set (buf : t array) i v = buf.(i) <- v
-let mul_into (buf : t array) i a b = buf.(i) <- mul a b
-let sqr_into (buf : t array) i a = buf.(i) <- sqr a
-let add_into (buf : t array) i a b = buf.(i) <- add a b
-let sub_into (buf : t array) i a b = buf.(i) <- sub a b
-let double_into (buf : t array) i a = buf.(i) <- double a
-let neg_into (buf : t array) i a = buf.(i) <- neg a
+(* The kernel buffer API, mirrored from Field_intf so Fp2 can also back
+   the curve layer's batch-affine kernels.  A buffer is a pair of flat Fp
+   component buffers plus four private Fp scratch cells for the Karatsuba
+   intermediates, so every operation is truly in place: the G2 MSM shares
+   the allocation-free path G1 has, with no per-op Fp2 records.
 
-let batch_inv0_in_place ~(scratch : t array) (buf : t array) (n : int) : unit =
-  ignore scratch;
-  let out = batch_inv0 (Array.sub buf 0 n) in
-  Array.blit out 0 buf 0 n
+   Operand discipline matches Field_intf.CORE: every operand is a
+   (buf, index) pair and destinations may alias sources — all reads of
+   [a]/[b] components complete (into scratch) before any write to [d]. *)
+
+type buf = { re : Fp.buf; im : Fp.buf; k : Fp.buf (* 4 scratch cells *) }
+
+let buf_create n = { re = Fp.buf_create n; im = Fp.buf_create n; k = Fp.buf_create 4 }
+let buf_length b = Fp.buf_length b.re
+let buf_get b i = { c0 = Fp.buf_get b.re i; c1 = Fp.buf_get b.im i }
+
+let buf_set b i v =
+  Fp.buf_set b.re i v.c0;
+  Fp.buf_set b.im i v.c1
+
+let buf_blit src spos dst dpos len =
+  Fp.buf_blit src.re spos dst.re dpos len;
+  Fp.buf_blit src.im spos dst.im dpos len
+
+let buf_of_array (a : t array) : buf =
+  let b = buf_create (Array.length a) in
+  Array.iteri (fun i v -> buf_set b i v) a;
+  b
+
+let buf_to_array (b : buf) : t array = Array.init (buf_length b) (buf_get b)
+
+let buf_mul d i a j b k =
+  (* Karatsuba through the scratch cells of [d]:
+     v0 = a0*b0, v1 = a1*b1, s = (a0+a1)(b0+b1);
+     d0 = v0 - v1, d1 = s - v0 - v1. *)
+  let t = d.k in
+  Fp.buf_mul t 0 a.re j b.re k;
+  Fp.buf_mul t 1 a.im j b.im k;
+  Fp.buf_add t 2 a.re j a.im j;
+  Fp.buf_add t 3 b.re k b.im k;
+  Fp.buf_mul t 2 t 2 t 3;
+  Fp.buf_sub d.re i t 0 t 1;
+  Fp.buf_sub t 2 t 2 t 0;
+  Fp.buf_sub d.im i t 2 t 1
+
+let buf_sqr d i a j =
+  (* (a0+a1)(a0-a1) + 2 a0 a1 u *)
+  let t = d.k in
+  Fp.buf_add t 0 a.re j a.im j;
+  Fp.buf_sub t 1 a.re j a.im j;
+  Fp.buf_mul t 2 a.re j a.im j;
+  Fp.buf_mul d.re i t 0 t 1;
+  Fp.buf_double d.im i t 2
+
+let buf_add d i a j b k =
+  Fp.buf_add d.re i a.re j b.re k;
+  Fp.buf_add d.im i a.im j b.im k
+
+let buf_sub d i a j b k =
+  Fp.buf_sub d.re i a.re j b.re k;
+  Fp.buf_sub d.im i a.im j b.im k
+
+let buf_double d i a j =
+  Fp.buf_double d.re i a.re j;
+  Fp.buf_double d.im i a.im j
+
+let buf_neg d i a j =
+  Fp.buf_neg d.re i a.re j;
+  Fp.buf_neg d.im i a.im j
+
+let buf_is_zero b i = Fp.buf_is_zero b.re i && Fp.buf_is_zero b.im i
+
+let buf_equal a i b j =
+  Fp.buf_equal a.re i b.re j && Fp.buf_equal a.im i b.im j
+
+let buf_batch_inv0 ~(scratch : buf) (b : buf) (n : int) : unit =
+  if n > 0 then begin
+    (* Same shape as Field_derived.buf_batch_inv0: scratch cell i holds
+       the prefix product of nonzero cells before i, cell n the running
+       product, cell n+1 the running inverse. *)
+    buf_set scratch n one;
+    for i = 0 to n - 1 do
+      buf_blit scratch n scratch i 1;
+      if not (buf_is_zero b i) then buf_mul scratch n scratch n b i
+    done;
+    buf_set scratch (n + 1) (inv (buf_get scratch n));
+    for i = n - 1 downto 0 do
+      if not (buf_is_zero b i) then begin
+        buf_mul scratch n scratch (n + 1) scratch i;
+        buf_mul scratch (n + 1) scratch (n + 1) b i;
+        buf_blit scratch n b i 1
+      end
+    done
+  end
 
 let conj a = { a with c1 = Fp.neg a.c1 }
 

@@ -21,27 +21,34 @@ module type CURVE_FIELD = sig
   val double : t -> t
   val inv : t -> t
 
-  val batch_inv0 : t array -> t array
-  (** Batch inversion with one field inversion; zero entries are skipped
-      and map to zero (used as an "absent" marker by the batch-affine
-      adders). *)
+  (** Flat kernel buffers (see {!Zkdet_field.Field_intf.CORE}): [n]
+      mutable cells addressed by index, contiguous for the unboxed field
+      backend.  Every operand is a [(buf, index)] pair and destinations
+      may alias sources, so the batch-affine MSM inner loops allocate
+      nothing per field operation. *)
 
-  (** In-place kernel buffers (see {!Zkdet_field.Field_intf.S}): distinct
-      mutable cells written by the [*_into] kernels, so the batch-affine
-      MSM inner loops allocate nothing per field operation. *)
+  type buf
 
-  val make_buf : int -> t array
-  val set : t array -> int -> t -> unit
-  val mul_into : t array -> int -> t -> t -> unit
-  val sqr_into : t array -> int -> t -> unit
-  val add_into : t array -> int -> t -> t -> unit
-  val sub_into : t array -> int -> t -> t -> unit
-  val double_into : t array -> int -> t -> unit
-  val neg_into : t array -> int -> t -> unit
+  val buf_create : int -> buf
+  val buf_get : buf -> int -> t
+  val buf_set : buf -> int -> t -> unit
 
-  val batch_inv0_in_place : scratch:t array -> t array -> int -> unit
-  (** In-place {!batch_inv0} over the first [n] cells of a buffer;
-      [scratch] needs [n + 2] cells. *)
+  val buf_blit : buf -> int -> buf -> int -> int -> unit
+  (** [buf_blit src spos dst dpos len]; overlaps are handled. *)
+
+  val buf_mul : buf -> int -> buf -> int -> buf -> int -> unit
+  val buf_sqr : buf -> int -> buf -> int -> unit
+  val buf_add : buf -> int -> buf -> int -> buf -> int -> unit
+  val buf_sub : buf -> int -> buf -> int -> buf -> int -> unit
+  val buf_double : buf -> int -> buf -> int -> unit
+  val buf_neg : buf -> int -> buf -> int -> unit
+  val buf_is_zero : buf -> int -> bool
+  val buf_equal : buf -> int -> buf -> int -> bool
+
+  val buf_batch_inv0 : scratch:buf -> buf -> int -> unit
+  (** In-place batch inversion over the first [n] cells (zero cells stay
+      zero — the "absent" marker of the batch-affine adders); [scratch]
+      needs [n + 2] cells. *)
 
   val equal : t -> t -> bool
   val is_zero : t -> bool
@@ -291,26 +298,26 @@ module Make (P : PARAMS) = struct
     done;
     out.(nw - 1) <- !carry
 
-  (* Batched affine bucket accumulation. [ex]/[ey] are F buffers
-     ({!F.make_buf}); entries for bucket b occupy cells
+  (* Batched affine bucket accumulation. [ex]/[ey] are flat F buffers
+     ({!F.buf_create}); entries for bucket b occupy cells
      start.(b) .. start.(b) + len.(b) - 1, all finite affine points.
      Rounds of pairwise additions shrink every bucket to at most one
      survivor (left at start.(b)); each round resolves all its slope
      denominators in place with ONE field inversion. A zero denominator
      marks an annihilating P + (-P) pair, which simply drops out —
-     identity entries are never stored, only skipped. Every field op in
-     the loop lands in a preallocated cell, so the whole reduction
-     allocates only its scratch buffers. *)
-  let reduce_buckets ~(ex : F.t array) ~(ey : F.t array) ~(start : int array)
+     identity entries are never stored, only skipped. Every field op
+     reads and writes preallocated buffer cells through the (buf, index)
+     kernels, so the whole reduction allocates only its scratch buffers. *)
+  let reduce_buckets ~(ex : F.buf) ~(ey : F.buf) ~(start : int array)
       ~(len : int array) : unit =
     let nbuckets = Array.length start in
     let total = Array.fold_left ( + ) 0 len in
     if total > 1 then begin
       let cap = (total / 2) + 1 in
-      let den = F.make_buf cap in
-      let num = F.make_buf cap in
-      let scratch = F.make_buf (cap + 2) in
-      let tmp = F.make_buf 3 in
+      let den = F.buf_create cap in
+      let num = F.buf_create cap in
+      let scratch = F.buf_create (cap + 2) in
+      let tmp = F.buf_create 3 in
       let pending = ref true in
       while !pending do
         pending := false;
@@ -322,28 +329,27 @@ module Make (P : PARAMS) = struct
           let m = len.(b) in
           for k = 0 to (m / 2) - 1 do
             let i = start.(b) + (2 * k) in
-            let x1 = ex.(i) and y1 = ey.(i) in
-            let x2 = ex.(i + 1) and y2 = ey.(i + 1) in
-            (if F.equal x1 x2 then
-               if F.equal y1 y2 && not (F.is_zero y1) then begin
-                 F.sqr_into num !np x1;
-                 F.double_into tmp 0 num.(!np);
-                 F.add_into num !np tmp.(0) num.(!np);
-                 F.double_into den !np y1
+            (if F.buf_equal ex i ex (i + 1) then
+               if F.buf_equal ey i ey (i + 1) && not (F.buf_is_zero ey i)
+               then begin
+                 F.buf_sqr num !np ex i;
+                 F.buf_double tmp 0 num !np;
+                 F.buf_add num !np tmp 0 num !np;
+                 F.buf_double den !np ey i
                end else begin
-                 F.set num !np F.zero;
-                 F.set den !np F.zero
+                 F.buf_set num !np F.zero;
+                 F.buf_set den !np F.zero
                end
              else begin
-               F.sub_into num !np y2 y1;
-               F.sub_into den !np x2 x1
+               F.buf_sub num !np ey (i + 1) ey i;
+               F.buf_sub den !np ex (i + 1) ex i
              end);
             incr np
           done
         done;
         if !np > 0 then begin
           Telemetry.count "curve.msm.batch_add_rounds" 1;
-          F.batch_inv0_in_place ~scratch den !np;
+          F.buf_batch_inv0 ~scratch den !np;
           (* Phase 2: apply the additions, compacting each bucket in
              place.  The write pointer never passes the read index, and
              an odd leftover entry is preserved at the tail. *)
@@ -354,20 +360,18 @@ module Make (P : PARAMS) = struct
               let wp = ref (start.(b)) in
               for k = 0 to (m / 2) - 1 do
                 let i = start.(b) + (2 * k) in
-                let d = den.(!np2) in
-                if not (F.is_zero d) then begin
-                  let x1 = ex.(i) and y1 = ey.(i) and x2 = ex.(i + 1) in
+                if not (F.buf_is_zero den !np2) then begin
                   (* tmp0 = lambda, tmp1 = x3, tmp2 = y3, all materialized
                      before the writeback — cell !wp may be cell i. *)
-                  F.mul_into tmp 0 num.(!np2) d;
-                  F.sqr_into tmp 1 tmp.(0);
-                  F.sub_into tmp 1 tmp.(1) x1;
-                  F.sub_into tmp 1 tmp.(1) x2;
-                  F.sub_into tmp 2 x1 tmp.(1);
-                  F.mul_into tmp 2 tmp.(0) tmp.(2);
-                  F.sub_into tmp 2 tmp.(2) y1;
-                  F.set ex !wp tmp.(1);
-                  F.set ey !wp tmp.(2);
+                  F.buf_mul tmp 0 num !np2 den !np2;
+                  F.buf_sqr tmp 1 tmp 0;
+                  F.buf_sub tmp 1 tmp 1 ex i;
+                  F.buf_sub tmp 1 tmp 1 ex (i + 1);
+                  F.buf_sub tmp 2 ex i tmp 1;
+                  F.buf_mul tmp 2 tmp 0 tmp 2;
+                  F.buf_sub tmp 2 tmp 2 ey i;
+                  F.buf_blit tmp 1 ex !wp 1;
+                  F.buf_blit tmp 2 ey !wp 1;
                   incr wp
                 end;
                 incr np2
@@ -375,8 +379,8 @@ module Make (P : PARAMS) = struct
               if m land 1 = 1 then begin
                 let i = start.(b) + m - 1 in
                 if !wp <> i then begin
-                  F.set ex !wp ex.(i);
-                  F.set ey !wp ey.(i)
+                  F.buf_blit ex i ex !wp 1;
+                  F.buf_blit ey i ey !wp 1
                 end;
                 incr wp
               end;
@@ -390,12 +394,14 @@ module Make (P : PARAMS) = struct
 
   (* Running-sum trick over a contiguous range of reduced buckets:
      sum_{j} (j + 1) * bucket_{first + j}. *)
-  let bucket_running_sum ~ex ~ey ~start ~len ~first ~count =
+  let bucket_running_sum ~(ex : F.buf) ~(ey : F.buf) ~start ~len ~first ~count
+      =
     let running = ref zero and sum = ref zero in
     for j = count - 1 downto 0 do
       let b = first + j in
       if len.(b) = 1 then
-        running := add_mixed !running (ex.(start.(b)), ey.(start.(b)));
+        running :=
+          add_mixed !running (F.buf_get ex start.(b), F.buf_get ey start.(b));
       if not (is_zero !running) then sum := add !sum !running
     done;
     !sum
@@ -404,23 +410,23 @@ module Make (P : PARAMS) = struct
      Chunks must NOT pay the running sum themselves — it costs
      O(nbuckets) curve adds and would be multiplied by the chunk count —
      so survivors are handed back for one shared cross-chunk reduction. *)
-  type survivors = { sn : int; sb : int array; sx : F.t array; sy : F.t array }
+  type survivors = { sn : int; sb : int array; sx : F.buf; sy : F.buf }
 
-  let compact_survivors ~ex ~ey ~start ~len =
+  let compact_survivors ~(ex : F.buf) ~(ey : F.buf) ~start ~len =
     let nbuckets = Array.length start in
     let ns = ref 0 in
     for b = 0 to nbuckets - 1 do
       if len.(b) = 1 then incr ns
     done;
     let sb = Array.make (max !ns 1) 0 in
-    let sx = Array.make (max !ns 1) F.zero in
-    let sy = Array.make (max !ns 1) F.zero in
+    let sx = F.buf_create (max !ns 1) in
+    let sy = F.buf_create (max !ns 1) in
     let k = ref 0 in
     for b = 0 to nbuckets - 1 do
       if len.(b) = 1 then begin
         sb.(!k) <- b;
-        sx.(!k) <- ex.(start.(b));
-        sy.(!k) <- ey.(start.(b));
+        F.buf_blit ex start.(b) sx !k 1;
+        F.buf_blit ey start.(b) sy !k 1;
         incr k
       end
     done;
@@ -445,8 +451,8 @@ module Make (P : PARAMS) = struct
       acc := !acc + counts.(b)
     done;
     let total = !acc in
-    let ex = F.make_buf (max total 1) in
-    let ey = F.make_buf (max total 1) in
+    let ex = F.buf_create (max total 1) in
+    let ey = F.buf_create (max total 1) in
     let fill = Array.make nbuckets 0 in
     Array.iter
       (fun p ->
@@ -454,8 +460,8 @@ module Make (P : PARAMS) = struct
           let b = p.sb.(k) in
           let pos = start.(b) + fill.(b) in
           fill.(b) <- fill.(b) + 1;
-          F.set ex pos p.sx.(k);
-          F.set ey pos p.sy.(k)
+          F.buf_blit p.sx k ex pos 1;
+          F.buf_blit p.sy k ey pos 1
         done)
       parts;
     reduce_buckets ~ex ~ey ~start ~len:fill;
@@ -495,21 +501,24 @@ module Make (P : PARAMS) = struct
       acc := !acc + counts.(b)
     done;
     let total = !acc in
-    let ex = F.make_buf (max total 1) in
-    let ey = F.make_buf (max total 1) in
+    let ex = F.buf_create (max total 1) in
+    let ey = F.buf_create (max total 1) in
     let fill = Array.make nbuckets 0 in
     for i = 0 to nchunk - 1 do
       match aff.(lo + i) with
       | None -> ()
       | Some (x, y) ->
+        (* The negated ordinate is shared by every window with a negative
+           digit for this point. *)
+        let yn = F.neg y in
         for w = 0 to nw - 1 do
           let d = digits.((i * nw) + w) in
           if d <> 0 then begin
             let b = (w * half) + abs d - 1 in
             let pos = start.(b) + fill.(b) in
             fill.(b) <- fill.(b) + 1;
-            F.set ex pos x;
-            if d > 0 then F.set ey pos y else F.neg_into ey pos y
+            F.buf_set ex pos x;
+            F.buf_set ey pos (if d > 0 then y else yn)
           end
         done
     done;
@@ -623,8 +632,8 @@ module Make (P : PARAMS) = struct
       mwindow : int;  (* signed window width c *)
       mnwindows : int;  (* rows per base = nwindows_for c *)
       mbases : int;
-      mx : F.t array;  (* mbases * mnwindows, row-major by base *)
-      my : F.t array;
+      mx : F.buf;  (* mbases * mnwindows flat cells, row-major by base *)
+      my : F.buf;
       mfinite : bool array;  (* false marks rows of an identity base *)
     }
 
@@ -638,14 +647,14 @@ module Make (P : PARAMS) = struct
     let of_affine_rows ~window ~nbases (aff : (F.t * F.t) option array) =
       let nw = nwindows_for window in
       let total = nbases * nw in
-      let mx = Array.make (max total 1) F.zero in
-      let my = Array.make (max total 1) F.zero in
+      let mx = F.buf_create (max total 1) in
+      let my = F.buf_create (max total 1) in
       let mfinite = Array.make (max total 1) false in
       for k = 0 to total - 1 do
         match aff.(k) with
         | Some (x, y) ->
-          mx.(k) <- x;
-          my.(k) <- y;
+          F.buf_set mx k x;
+          F.buf_set my k y;
           mfinite.(k) <- true
         | None -> ()
       done;
@@ -677,9 +686,9 @@ module Make (P : PARAMS) = struct
         indices [i * nwindows, (i+1) * nwindows)); identity bases yield
         identity rows.  Serialization uses this view. *)
     let msm_rows (t : msm_table) : t array =
-      Array.init (t.mbases * t.mnwindows)
-        (fun k ->
-          if t.mfinite.(k) then of_affine_unchecked (t.mx.(k), t.my.(k))
+      Array.init (t.mbases * t.mnwindows) (fun k ->
+          if t.mfinite.(k) then
+            of_affine_unchecked (F.buf_get t.mx k, F.buf_get t.my k)
           else zero)
 
     (** Rebuild a table from decoded rows (the inverse of {!msm_rows}).
@@ -719,8 +728,8 @@ module Make (P : PARAMS) = struct
         acc := !acc + counts.(b)
       done;
       let total = !acc in
-      let ex = F.make_buf (max total 1) in
-      let ey = F.make_buf (max total 1) in
+      let ex = F.buf_create (max total 1) in
+      let ey = F.buf_create (max total 1) in
       let fill = Array.make half 0 in
       for i = 0 to nchunk - 1 do
         for w = 0 to nw - 1 do
@@ -730,9 +739,9 @@ module Make (P : PARAMS) = struct
             let row = ((lo + i) * nw) + w in
             let pos = start.(b) + fill.(b) in
             fill.(b) <- fill.(b) + 1;
-            F.set ex pos tb.mx.(row);
-            if d > 0 then F.set ey pos tb.my.(row)
-            else F.neg_into ey pos tb.my.(row)
+            F.buf_blit tb.mx row ex pos 1;
+            if d > 0 then F.buf_blit tb.my row ey pos 1
+            else F.buf_neg ey pos tb.my row
           end
         done
       done;

@@ -1,6 +1,31 @@
-(** Signature of a prime field. *)
+(** Signatures of prime fields and their kernel buffer layer.
 
-module type S = sig
+    Two backends implement {!S}:
+
+    - {!Montgomery.Make}: boxed base-2^26 native-int limb arrays (10 limbs
+      per BN254 element, one heap array each).  Portable, allocation-heavy;
+      kept as the differential-testing oracle and selected with
+      [ZKDET_FIELD_BACKEND=limb26].
+    - {!Fp64.Make}: flat 4x64-bit limbs packed little-endian into 32-byte
+      [Bytes], with unrolled 4-limb CIOS Montgomery multiplication in a C
+      stub (pure-OCaml int64 fallback).  The default backend.
+
+    Everything above the field layer is representation-agnostic: wire
+    encodings go through [to_bytes_be]/[of_bytes_be_canonical] (canonical
+    big-endian integers), so proof bytes, state hashes and golden vectors
+    are byte-identical under either backend. *)
+
+module type MODULUS = sig
+  val modulus_decimal : string
+end
+
+(** The backend-specific core a field implementation must provide.  All
+    remaining operations of {!S} are derived uniformly by
+    {!Field_derived.Make}, which guarantees the two backends agree not just
+    on values but on algorithms (inversion chains, Tonelli-Shanks paths,
+    and — critically — the [Random.State] consumption pattern of
+    [random], which blinding factors and SRS generation depend on). *)
+module type CORE = sig
   type t
 
   val modulus : Zkdet_num.Nat.t
@@ -10,13 +35,71 @@ module type S = sig
   val zero : t
   val one : t
 
-  val of_int : int -> t
-  (** [of_int n] maps any native int into the field (negatives wrap). *)
+  val equal : t -> t -> bool
+  val is_zero : t -> bool
+
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val neg : t -> t
+  val mul : t -> t -> t
+  val sqr : t -> t
+  val double : t -> t
 
   val of_nat : Zkdet_num.Nat.t -> t
-  (** Reduces mod the field modulus. *)
-
   val to_nat : t -> Zkdet_num.Nat.t
+
+  (** {2 Flat kernel buffers}
+
+      [buf] is the primary storage story for batch inner loops: a flat,
+      contiguous block of [n] field elements addressed by index.  For the
+      unboxed backend this is a single [Bytes] of [n * 32] bytes (cache
+      friendly, no per-element boxing); for the limb26 oracle it is an
+      array of distinct limb arrays.  Every operand of every operation is
+      a [(buf, index)] pair, so no op allocates or exposes an aliasing
+      intermediate value. *)
+
+  type buf
+
+  val buf_create : int -> buf
+  (** [buf_create n] is a buffer of [n] cells, all zero. *)
+
+  val buf_length : buf -> int
+  val buf_get : buf -> int -> t
+  (** [buf_get b i] copies cell [i] out as a fresh field element. *)
+
+  val buf_set : buf -> int -> t -> unit
+
+  val buf_blit : buf -> int -> buf -> int -> int -> unit
+  (** [buf_blit src spos dst dpos len] copies [len] cells; [src] and
+      [dst] may be the same buffer (overlaps handled correctly). *)
+
+  val buf_of_array : t array -> buf
+  val buf_to_array : buf -> t array
+
+  val buf_mul : buf -> int -> buf -> int -> buf -> int -> unit
+  (** [buf_mul dst i a j b k] sets [dst[i] <- a[j] * b[k]].  Any operands
+      may alias (including [dst] with [a]/[b]). *)
+
+  val buf_sqr : buf -> int -> buf -> int -> unit
+  val buf_add : buf -> int -> buf -> int -> buf -> int -> unit
+  val buf_sub : buf -> int -> buf -> int -> buf -> int -> unit
+  val buf_double : buf -> int -> buf -> int -> unit
+  val buf_neg : buf -> int -> buf -> int -> unit
+  val buf_is_zero : buf -> int -> bool
+  val buf_equal : buf -> int -> buf -> int -> bool
+
+  val buf_butterfly : buf -> int -> int -> buf -> int -> unit
+  (** [buf_butterfly b i j w k] is the fused radix-2 FFT butterfly:
+      with [u = b[i]] and [v = b[j] * w[k]], sets [b[i] <- u + v] and
+      [b[j] <- u - v].  Requires [i <> j]. *)
+end
+
+(** Full field signature: {!CORE} plus the derived operations. *)
+module type S = sig
+  include CORE
+
+  val of_int : int -> t
+  (** [of_int n] maps any native int into the field (negatives wrap). *)
 
   val of_string : string -> t
   (** Decimal string, reduced mod the modulus. *)
@@ -36,18 +119,10 @@ module type S = sig
 
   val codec : t Zkdet_codec.Codec.t
   (** Canonical wire codec: fixed-width big-endian via
-      {!to_bytes_be} / {!of_bytes_be_canonical}. *)
+      {!to_bytes_be} / {!of_bytes_be_canonical}.  Deliberately
+      representation-independent: both backends emit identical bytes. *)
 
-  val equal : t -> t -> bool
-  val is_zero : t -> bool
   val is_one : t -> bool
-
-  val add : t -> t -> t
-  val sub : t -> t -> t
-  val neg : t -> t
-  val mul : t -> t -> t
-  val sqr : t -> t
-  val double : t -> t
 
   val inv : t -> t
   (** Multiplicative inverse. Raises [Division_by_zero] on zero. *)
@@ -62,28 +137,10 @@ module type S = sig
   (** Like {!batch_inv}, but zero entries are skipped and map to zero —
       batch users treat zero as an "absent" marker rather than an error. *)
 
-  (** {2 In-place kernel buffers}
-
-      Allocation-free building blocks for batch inner loops (the curve
-      layer's batch-affine MSM kernels).  [make_buf n] returns [n]
-      distinct mutable cells; [*_into buf i ...] overwrites cell [i] only.
-      Reading [buf.(i)] yields a value that aliases the cell, so consume
-      it before the next write to that cell.  Cells must never escape as
-      ordinary field values while the buffer is still being written. *)
-
-  val make_buf : int -> t array
-  val set : t array -> int -> t -> unit
-  val mul_into : t array -> int -> t -> t -> unit
-  val sqr_into : t array -> int -> t -> unit
-  val add_into : t array -> int -> t -> t -> unit
-  val sub_into : t array -> int -> t -> t -> unit
-  val double_into : t array -> int -> t -> unit
-  val neg_into : t array -> int -> t -> unit
-
-  val batch_inv0_in_place : scratch:t array -> t array -> int -> unit
-  (** [batch_inv0_in_place ~scratch buf n] replaces the first [n] cells of
+  val buf_batch_inv0 : scratch:buf -> buf -> int -> unit
+  (** [buf_batch_inv0 ~scratch buf n] replaces the first [n] cells of
       [buf] by their inverses (zero cells stay zero) with a single true
-      inversion.  [scratch] must be a buffer of at least [n + 2] cells. *)
+      inversion.  [scratch] must have at least [n + 2] cells. *)
 
   val pow : t -> int -> t
   (** [pow x e] for a native-int exponent [e >= 0]. *)
@@ -94,6 +151,11 @@ module type S = sig
   val sqrt : t -> t option
 
   val random : Random.State.t -> t
+  (** Uniform field element.  The [Random.State] consumption pattern is
+      part of the interface contract: it is identical across backends
+      (one draw per 26-bit limb with rejection sampling), so seeded
+      randomness — SRS generation, proof blinding — produces the same
+      stream regardless of [ZKDET_FIELD_BACKEND]. *)
 
   val pp : Format.formatter -> t -> unit
 

@@ -3,464 +3,302 @@
    All derived constants (limb decomposition of the modulus, R^2 mod p,
    -p^-1 mod 2^26) are computed from the decimal modulus at functor
    application time with Zkdet_num.Nat, so there are no hand-transcribed
-   magic numbers to get wrong. *)
+   magic numbers to get wrong.
+
+   This is the oracle / fallback backend (ZKDET_FIELD_BACKEND=limb26):
+   portable, boxed (one heap int array per element), and structurally
+   simple.  The default unboxed backend lives in Fp64; derived operations
+   shared by both live in Field_derived. *)
 
 module Nat = Zkdet_num.Nat
 
-module type MODULUS = sig
-  val modulus_decimal : string
-end
+module Make (M : Field_intf.MODULUS) : Field_intf.S = struct
+  module Core = struct
+    let limb_bits = Nat.limb_bits
+    let base = 1 lsl limb_bits
+    let mask = base - 1
 
-module Make (M : MODULUS) : Field_intf.S = struct
-  let limb_bits = Nat.limb_bits
-  let base = 1 lsl limb_bits
-  let mask = base - 1
+    let modulus = Nat.of_decimal M.modulus_decimal
+    let num_bits = Nat.num_bits modulus
+    let num_bytes = (num_bits + 7) / 8
+    let nlimbs = (num_bits + limb_bits - 1) / limb_bits
 
-  let modulus = Nat.of_decimal M.modulus_decimal
-  let num_bits = Nat.num_bits modulus
-  let num_bytes = (num_bits + 7) / 8
-  let nlimbs = (num_bits + limb_bits - 1) / limb_bits
+    let p = Array.init nlimbs (Nat.limb modulus)
 
-  let p = Array.init nlimbs (Nat.limb modulus)
+    (* R = 2^(26 * nlimbs); r2 = R^2 mod p, used to enter Montgomery form. *)
+    let r_nat = Nat.shift_left Nat.one (limb_bits * nlimbs)
+    let r2_nat = Nat.rem (Nat.mul r_nat r_nat) modulus
+    let r2 = Array.init nlimbs (Nat.limb r2_nat)
 
-  (* R = 2^(26 * nlimbs); r2 = R^2 mod p, used to enter Montgomery form. *)
-  let r_nat = Nat.shift_left Nat.one (limb_bits * nlimbs)
-  let r2_nat = Nat.rem (Nat.mul r_nat r_nat) modulus
-  let r2 = Array.init nlimbs (Nat.limb r2_nat)
-  let one_nat_limbs =
-    let a = Array.make nlimbs 0 in
-    a.(0) <- 1;
-    a
+    let one_nat_limbs =
+      let a = Array.make nlimbs 0 in
+      a.(0) <- 1;
+      a
 
-  (* n0' = -p^(-1) mod 2^26 by Newton iteration (p is odd). *)
-  let n0' =
-    let p0 = p.(0) in
-    let inv = ref 1 in
-    for _ = 1 to 6 do
-      inv := !inv * (2 - (p0 * !inv)) land mask
-    done;
-    (base - !inv) land mask
-
-  type t = int array (* exactly nlimbs limbs, value < p, Montgomery form *)
-
-  let ge_p (t : int array) =
-    let rec go i =
-      if i < 0 then true
-      else if t.(i) > p.(i) then true
-      else if t.(i) < p.(i) then false
-      else go (i - 1)
-    in
-    go (nlimbs - 1)
-
-  let sub_p_inplace (t : int array) =
-    let borrow = ref 0 in
-    for i = 0 to nlimbs - 1 do
-      let s = t.(i) - p.(i) - !borrow in
-      if s < 0 then begin
-        t.(i) <- s + base;
-        borrow := 1
-      end else begin
-        t.(i) <- s;
-        borrow := 0
-      end
-    done
-
-  (* CIOS Montgomery multiplication. The hottest loop in the repository:
-     written with unsafe accesses and a fused multiply/reduce inner loop
-     (one pass per outer limb instead of two). *)
-  let mont_mul (a : int array) (b : int array) : int array =
-    let t = Array.make (nlimbs + 1) 0 in
-    let n = nlimbs in
-    for i = 0 to n - 1 do
-      let ai = Array.unsafe_get a i in
-      (* m chosen so that (t + ai*b + m*p) is divisible by the radix *)
-      let t0 = Array.unsafe_get t 0 + (ai * Array.unsafe_get b 0) in
-      let m = (t0 land mask) * n0' land mask in
-      let c = ref ((t0 + (m * Array.unsafe_get p 0)) lsr limb_bits) in
-      for j = 1 to n - 1 do
-        let x =
-          Array.unsafe_get t j
-          + (ai * Array.unsafe_get b j)
-          + (m * Array.unsafe_get p j)
-          + !c
-        in
-        Array.unsafe_set t (j - 1) (x land mask);
-        c := x lsr limb_bits
+    (* n0' = -p^(-1) mod 2^26 by Newton iteration (p is odd). *)
+    let n0' =
+      let p0 = p.(0) in
+      let inv = ref 1 in
+      for _ = 1 to 6 do
+        inv := !inv * (2 - (p0 * !inv)) land mask
       done;
-      let x = Array.unsafe_get t n + !c in
-      Array.unsafe_set t (n - 1) (x land mask);
-      Array.unsafe_set t n (x lsr limb_bits)
-    done;
-    let r = Array.sub t 0 n in
-    if Array.unsafe_get t n > 0 || ge_p r then sub_p_inplace r;
-    r
+      (base - !inv) land mask
 
-  (* Fully unrolled variant for the 10-limb case (covers both BN254
-     fields): no inner loop, no intermediate allocation — the accumulator
-     travels through a tail-recursive register chain. *)
-  let p0 = Nat.limb modulus 0
-  and p1 = Nat.limb modulus 1
-  and p2 = Nat.limb modulus 2
-  and p3 = Nat.limb modulus 3
-  and p4 = Nat.limb modulus 4
-  and p5 = Nat.limb modulus 5
-  and p6 = Nat.limb modulus 6
-  and p7 = Nat.limb modulus 7
-  and p8 = Nat.limb modulus 8
-  and p9 = Nat.limb modulus 9
+    type t = int array (* exactly nlimbs limbs, value < p, Montgomery form *)
 
-  let mont_mul_10_into (dst : int array) (a : int array) (b : int array) :
-      unit =
-    let b0 = Array.unsafe_get b 0
-    and b1 = Array.unsafe_get b 1
-    and b2 = Array.unsafe_get b 2
-    and b3 = Array.unsafe_get b 3
-    and b4 = Array.unsafe_get b 4
-    and b5 = Array.unsafe_get b 5
-    and b6 = Array.unsafe_get b 6
-    and b7 = Array.unsafe_get b 7
-    and b8 = Array.unsafe_get b 8
-    and b9 = Array.unsafe_get b 9 in
-    let rec go i t0 t1 t2 t3 t4 t5 t6 t7 t8 t9 t10 =
-      if i = 10 then begin
-        (* Registers are fully materialized before the first store, so
-           [dst] may alias either operand. *)
-        Array.unsafe_set dst 0 t0;
-        Array.unsafe_set dst 1 t1;
-        Array.unsafe_set dst 2 t2;
-        Array.unsafe_set dst 3 t3;
-        Array.unsafe_set dst 4 t4;
-        Array.unsafe_set dst 5 t5;
-        Array.unsafe_set dst 6 t6;
-        Array.unsafe_set dst 7 t7;
-        Array.unsafe_set dst 8 t8;
-        Array.unsafe_set dst 9 t9;
-        if t10 > 0 || ge_p dst then sub_p_inplace dst
-      end
-      else begin
-        let ai = Array.unsafe_get a i in
-        let x0 = t0 + (ai * b0) in
-        let m = (x0 land mask) * n0' land mask in
-        let c = (x0 + (m * p0)) lsr limb_bits in
-        let x1 = t1 + (ai * b1) + (m * p1) + c in
-        let c = x1 lsr limb_bits in
-        let x2 = t2 + (ai * b2) + (m * p2) + c in
-        let c = x2 lsr limb_bits in
-        let x3 = t3 + (ai * b3) + (m * p3) + c in
-        let c = x3 lsr limb_bits in
-        let x4 = t4 + (ai * b4) + (m * p4) + c in
-        let c = x4 lsr limb_bits in
-        let x5 = t5 + (ai * b5) + (m * p5) + c in
-        let c = x5 lsr limb_bits in
-        let x6 = t6 + (ai * b6) + (m * p6) + c in
-        let c = x6 lsr limb_bits in
-        let x7 = t7 + (ai * b7) + (m * p7) + c in
-        let c = x7 lsr limb_bits in
-        let x8 = t8 + (ai * b8) + (m * p8) + c in
-        let c = x8 lsr limb_bits in
-        let x9 = t9 + (ai * b9) + (m * p9) + c in
-        let c = x9 lsr limb_bits in
-        let x10 = t10 + c in
-        go (i + 1) (x1 land mask) (x2 land mask) (x3 land mask) (x4 land mask)
-          (x5 land mask) (x6 land mask) (x7 land mask) (x8 land mask)
-          (x9 land mask) (x10 land mask) (x10 lsr limb_bits)
-      end
-    in
-    go 0 0 0 0 0 0 0 0 0 0 0 0
+    let ge_p (t : int array) =
+      let rec go i =
+        if i < 0 then true
+        else if t.(i) > p.(i) then true
+        else if t.(i) < p.(i) then false
+        else go (i - 1)
+      in
+      go (nlimbs - 1)
 
-  let mont_mul_10 (a : int array) (b : int array) : int array =
-    let r = Array.make 10 0 in
-    mont_mul_10_into r a b;
-    r
-
-  let mont_mul = if nlimbs = 10 then mont_mul_10 else mont_mul
-
-  let mont_mul_into =
-    if nlimbs = 10 then mont_mul_10_into
-    else fun dst a b -> Array.blit (mont_mul a b) 0 dst 0 nlimbs
-
-  let zero = Array.make nlimbs 0
-  let one = mont_mul one_nat_limbs r2
-
-  let equal a b =
-    let rec go i = i >= nlimbs || (a.(i) = b.(i) && go (i + 1)) in
-    go 0
-
-  let is_zero a = equal a zero
-  let is_one a = equal a one
-
-  let add a b =
-    let r = Array.make nlimbs 0 in
-    let carry = ref 0 in
-    for i = 0 to nlimbs - 1 do
-      let s = a.(i) + b.(i) + !carry in
-      r.(i) <- s land mask;
-      carry := s lsr limb_bits
-    done;
-    (* a + b < 2p < 2^(26*nlimbs) so no top carry survives. *)
-    if ge_p r then sub_p_inplace r;
-    r
-
-  let sub a b =
-    let r = Array.make nlimbs 0 in
-    let borrow = ref 0 in
-    for i = 0 to nlimbs - 1 do
-      let s = a.(i) - b.(i) - !borrow in
-      if s < 0 then begin
-        r.(i) <- s + base;
-        borrow := 1
-      end else begin
-        r.(i) <- s;
-        borrow := 0
-      end
-    done;
-    if !borrow = 1 then begin
-      let carry = ref 0 in
+    let sub_p_inplace (t : int array) =
+      let borrow = ref 0 in
       for i = 0 to nlimbs - 1 do
-        let s = r.(i) + p.(i) + !carry in
-        r.(i) <- s land mask;
-        carry := s lsr limb_bits
-      done
-    end;
-    r
-
-  let neg a = if is_zero a then a else sub zero a
-  let mul = mont_mul
-  let sqr a = mont_mul a a
-  let double a = add a a
-
-  let of_nat n =
-    let n = Nat.rem n modulus in
-    let limbs = Array.init nlimbs (Nat.limb n) in
-    mont_mul limbs r2
-
-  let to_nat a =
-    let std = mont_mul a one_nat_limbs in
-    Nat.of_limbs std
-
-  let of_int n =
-    if n >= 0 then of_nat (Nat.of_int n)
-    else sub zero (of_nat (Nat.of_int (-n)))
-
-  let of_string s = of_nat (Nat.of_decimal s)
-  let to_string a = Nat.to_decimal (to_nat a)
-  let of_bytes_be s = of_nat (Nat.of_bytes_be s)
-  let to_bytes_be a = Nat.to_bytes_be ~length:num_bytes (to_nat a)
-  let hash_fold = to_bytes_be
-
-  let of_bytes_be_canonical s =
-    if String.length s <> num_bytes then
-      Error
-        (Printf.sprintf "field element must be %d bytes, got %d" num_bytes
-           (String.length s))
-    else
-      let n = Nat.of_bytes_be s in
-      if Nat.compare n modulus >= 0 then
-        Error "field element not canonical (>= modulus)"
-      else Ok (of_nat n)
-
-  let codec =
-    Zkdet_codec.Codec.(
-      with_context "field"
-        (conv to_bytes_be of_bytes_be_canonical (bytes_fixed num_bytes)))
-
-  let pow_nat x e =
-    let nbits = Nat.num_bits e in
-    if nbits = 0 then one
-    else begin
-      let acc = ref one in
-      for i = nbits - 1 downto 0 do
-        acc := sqr !acc;
-        if Nat.testbit e i then acc := mul !acc x
-      done;
-      !acc
-    end
-
-  let pow x e =
-    if e < 0 then invalid_arg "Field.pow: negative exponent";
-    pow_nat x (Nat.of_int e)
-
-  let p_minus_2 = Nat.sub modulus Nat.two
-
-  let inv a =
-    if is_zero a then raise Division_by_zero;
-    pow_nat a p_minus_2
-
-  let div a b = mul a (inv b)
-
-  (* Montgomery's batch-inversion trick: n inversions for the price of one
-     plus 3n multiplications. Zero entries raise. *)
-  let batch_inv (xs : t array) : t array =
-    let n = Array.length xs in
-    if n = 0 then [||]
-    else begin
-      let prefix = Array.make n one in
-      let acc = ref one in
-      for i = 0 to n - 1 do
-        prefix.(i) <- !acc;
-        acc := mul !acc xs.(i)
-      done;
-      let inv_acc = ref (inv !acc) in
-      let out = Array.make n one in
-      for i = n - 1 downto 0 do
-        out.(i) <- mul !inv_acc prefix.(i);
-        inv_acc := mul !inv_acc xs.(i)
-      done;
-      out
-    end
-
-  (* Like batch_inv, but zero entries pass through as zero instead of
-     raising — batched slope computations (the curve layer's batch-affine
-     adders) use zero as an "absent / annihilated" marker. *)
-  let batch_inv0 (xs : t array) : t array =
-    let n = Array.length xs in
-    if n = 0 then [||]
-    else begin
-      let prefix = Array.make n one in
-      let acc = ref one in
-      for i = 0 to n - 1 do
-        prefix.(i) <- !acc;
-        if not (is_zero xs.(i)) then acc := mul !acc xs.(i)
-      done;
-      let inv_acc = ref (inv !acc) in
-      let out = Array.make n zero in
-      for i = n - 1 downto 0 do
-        if not (is_zero xs.(i)) then begin
-          out.(i) <- mul !inv_acc prefix.(i);
-          inv_acc := mul !inv_acc xs.(i)
+        let s = t.(i) - p.(i) - !borrow in
+        if s < 0 then begin
+          t.(i) <- s + base;
+          borrow := 1
+        end else begin
+          t.(i) <- s;
+          borrow := 0
         end
+      done
+
+    (* CIOS Montgomery multiplication. The hottest loop of this backend:
+       written with unsafe accesses and a fused multiply/reduce inner loop
+       (one pass per outer limb instead of two). *)
+    let mont_mul (a : int array) (b : int array) : int array =
+      let t = Array.make (nlimbs + 1) 0 in
+      let n = nlimbs in
+      for i = 0 to n - 1 do
+        let ai = Array.unsafe_get a i in
+        (* m chosen so that (t + ai*b + m*p) is divisible by the radix *)
+        let t0 = Array.unsafe_get t 0 + (ai * Array.unsafe_get b 0) in
+        let m = (t0 land mask) * n0' land mask in
+        let c = ref ((t0 + (m * Array.unsafe_get p 0)) lsr limb_bits) in
+        for j = 1 to n - 1 do
+          let x =
+            Array.unsafe_get t j
+            + (ai * Array.unsafe_get b j)
+            + (m * Array.unsafe_get p j)
+            + !c
+          in
+          Array.unsafe_set t (j - 1) (x land mask);
+          c := x lsr limb_bits
+        done;
+        let x = Array.unsafe_get t n + !c in
+        Array.unsafe_set t (n - 1) (x land mask);
+        Array.unsafe_set t n (x lsr limb_bits)
       done;
-      out
-    end
+      let r = Array.sub t 0 n in
+      if Array.unsafe_get t n > 0 || ge_p r then sub_p_inplace r;
+      r
 
-  (* In-place kernel buffers: distinct mutable limb arrays reused across
-     iterations of the curve layer's batch-affine loops, so the hot path
-     allocates nothing per field operation. *)
-  let make_buf n = Array.init n (fun _ -> Array.make nlimbs 0)
-  let set (buf : t array) i (v : t) = Array.blit v 0 buf.(i) 0 nlimbs
-  let mul_into (buf : t array) i (a : t) (b : t) = mont_mul_into buf.(i) a b
-  let sqr_into (buf : t array) i (a : t) = mont_mul_into buf.(i) a a
+    (* Fully unrolled variant for the 10-limb case (covers both BN254
+       fields): no inner loop, no intermediate allocation — the accumulator
+       travels through a tail-recursive register chain. *)
+    let p0 = Nat.limb modulus 0
+    and p1 = Nat.limb modulus 1
+    and p2 = Nat.limb modulus 2
+    and p3 = Nat.limb modulus 3
+    and p4 = Nat.limb modulus 4
+    and p5 = Nat.limb modulus 5
+    and p6 = Nat.limb modulus 6
+    and p7 = Nat.limb modulus 7
+    and p8 = Nat.limb modulus 8
+    and p9 = Nat.limb modulus 9
 
-  let add_into (buf : t array) i (a : t) (b : t) =
-    let dst = buf.(i) in
-    let carry = ref 0 in
-    for k = 0 to nlimbs - 1 do
-      let s = Array.unsafe_get a k + Array.unsafe_get b k + !carry in
-      Array.unsafe_set dst k (s land mask);
-      carry := s lsr limb_bits
-    done;
-    if ge_p dst then sub_p_inplace dst
+    let mont_mul_10_into (dst : int array) (a : int array) (b : int array) :
+        unit =
+      let b0 = Array.unsafe_get b 0
+      and b1 = Array.unsafe_get b 1
+      and b2 = Array.unsafe_get b 2
+      and b3 = Array.unsafe_get b 3
+      and b4 = Array.unsafe_get b 4
+      and b5 = Array.unsafe_get b 5
+      and b6 = Array.unsafe_get b 6
+      and b7 = Array.unsafe_get b 7
+      and b8 = Array.unsafe_get b 8
+      and b9 = Array.unsafe_get b 9 in
+      let rec go i t0 t1 t2 t3 t4 t5 t6 t7 t8 t9 t10 =
+        if i = 10 then begin
+          (* Registers are fully materialized before the first store, so
+             [dst] may alias either operand. *)
+          Array.unsafe_set dst 0 t0;
+          Array.unsafe_set dst 1 t1;
+          Array.unsafe_set dst 2 t2;
+          Array.unsafe_set dst 3 t3;
+          Array.unsafe_set dst 4 t4;
+          Array.unsafe_set dst 5 t5;
+          Array.unsafe_set dst 6 t6;
+          Array.unsafe_set dst 7 t7;
+          Array.unsafe_set dst 8 t8;
+          Array.unsafe_set dst 9 t9;
+          if t10 > 0 || ge_p dst then sub_p_inplace dst
+        end
+        else begin
+          let ai = Array.unsafe_get a i in
+          let x0 = t0 + (ai * b0) in
+          let m = (x0 land mask) * n0' land mask in
+          let c = (x0 + (m * p0)) lsr limb_bits in
+          let x1 = t1 + (ai * b1) + (m * p1) + c in
+          let c = x1 lsr limb_bits in
+          let x2 = t2 + (ai * b2) + (m * p2) + c in
+          let c = x2 lsr limb_bits in
+          let x3 = t3 + (ai * b3) + (m * p3) + c in
+          let c = x3 lsr limb_bits in
+          let x4 = t4 + (ai * b4) + (m * p4) + c in
+          let c = x4 lsr limb_bits in
+          let x5 = t5 + (ai * b5) + (m * p5) + c in
+          let c = x5 lsr limb_bits in
+          let x6 = t6 + (ai * b6) + (m * p6) + c in
+          let c = x6 lsr limb_bits in
+          let x7 = t7 + (ai * b7) + (m * p7) + c in
+          let c = x7 lsr limb_bits in
+          let x8 = t8 + (ai * b8) + (m * p8) + c in
+          let c = x8 lsr limb_bits in
+          let x9 = t9 + (ai * b9) + (m * p9) + c in
+          let c = x9 lsr limb_bits in
+          let x10 = t10 + c in
+          go (i + 1) (x1 land mask) (x2 land mask) (x3 land mask)
+            (x4 land mask) (x5 land mask) (x6 land mask) (x7 land mask)
+            (x8 land mask) (x9 land mask) (x10 land mask) (x10 lsr limb_bits)
+        end
+      in
+      go 0 0 0 0 0 0 0 0 0 0 0 0
 
-  let sub_into (buf : t array) i (a : t) (b : t) =
-    let dst = buf.(i) in
-    let borrow = ref 0 in
-    for k = 0 to nlimbs - 1 do
-      let s = Array.unsafe_get a k - Array.unsafe_get b k - !borrow in
-      if s < 0 then begin
-        Array.unsafe_set dst k (s + base);
-        borrow := 1
-      end else begin
-        Array.unsafe_set dst k s;
-        borrow := 0
-      end
-    done;
-    if !borrow = 1 then begin
+    let mont_mul_10 (a : int array) (b : int array) : int array =
+      let r = Array.make 10 0 in
+      mont_mul_10_into r a b;
+      r
+
+    let mont_mul = if nlimbs = 10 then mont_mul_10 else mont_mul
+
+    let mont_mul_into =
+      if nlimbs = 10 then mont_mul_10_into
+      else fun dst a b -> Array.blit (mont_mul a b) 0 dst 0 nlimbs
+
+    let zero = Array.make nlimbs 0
+    let one = mont_mul one_nat_limbs r2
+
+    let equal a b =
+      let rec go i = i >= nlimbs || (a.(i) = b.(i) && go (i + 1)) in
+      go 0
+
+    let is_zero a = equal a zero
+
+    (* Raw in-place limb ops.  Reads of index k complete before the write
+       to index k, so [dst] may alias either operand. *)
+    let add_raw (dst : int array) (a : int array) (b : int array) =
       let carry = ref 0 in
       for k = 0 to nlimbs - 1 do
-        let s = dst.(k) + p.(k) + !carry in
-        dst.(k) <- s land mask;
+        let s = Array.unsafe_get a k + Array.unsafe_get b k + !carry in
+        Array.unsafe_set dst k (s land mask);
         carry := s lsr limb_bits
-      done
-    end
-
-  let double_into buf i a = add_into buf i a a
-  let neg_into buf i a = if is_zero a then set buf i zero else sub_into buf i zero a
-
-  let batch_inv0_in_place ~(scratch : t array) (buf : t array) (n : int) :
-      unit =
-    if n > 0 then begin
-      (* scratch.(i) holds the prefix product of nonzero cells before i;
-         cell n the running product, cell n+1 the running inverse. *)
-      set scratch n one;
-      for i = 0 to n - 1 do
-        set scratch i scratch.(n);
-        if not (is_zero buf.(i)) then mul_into scratch n scratch.(n) buf.(i)
       done;
-      set scratch (n + 1) (inv scratch.(n));
-      for i = n - 1 downto 0 do
-        if not (is_zero buf.(i)) then begin
-          mul_into scratch n scratch.(n + 1) scratch.(i);
-          (* Fold the original cell into the running inverse before the
-             result overwrites it. *)
-          mul_into scratch (n + 1) scratch.(n + 1) buf.(i);
-          set buf i scratch.(n)
+      (* a + b < 2p < 2^(26*nlimbs) so no top carry survives. *)
+      if ge_p dst then sub_p_inplace dst
+
+    let sub_raw (dst : int array) (a : int array) (b : int array) =
+      let borrow = ref 0 in
+      for k = 0 to nlimbs - 1 do
+        let s = Array.unsafe_get a k - Array.unsafe_get b k - !borrow in
+        if s < 0 then begin
+          Array.unsafe_set dst k (s + base);
+          borrow := 1
+        end else begin
+          Array.unsafe_set dst k s;
+          borrow := 0
         end
-      done
-    end
+      done;
+      if !borrow = 1 then begin
+        let carry = ref 0 in
+        for k = 0 to nlimbs - 1 do
+          let s = dst.(k) + p.(k) + !carry in
+          dst.(k) <- s land mask;
+          carry := s lsr limb_bits
+        done
+      end
 
-  let p_minus_1_half = Nat.shift_right (Nat.sub modulus Nat.one) 1
+    let add a b =
+      let r = Array.make nlimbs 0 in
+      add_raw r a b;
+      r
 
-  let is_square a = is_zero a || is_one (pow_nat a p_minus_1_half)
+    let sub a b =
+      let r = Array.make nlimbs 0 in
+      sub_raw r a b;
+      r
 
-  (* Tonelli–Shanks. s and q with p-1 = 2^s * q derived once. *)
-  let ts_s, ts_q =
-    let rec go s q = if Nat.testbit q 0 then (s, q) else go (s + 1) (Nat.shift_right q 1) in
-    go 0 (Nat.sub modulus Nat.one)
+    let neg a = if is_zero a then a else sub zero a
+    let mul = mont_mul
+    let sqr a = mont_mul a a
+    let double a = add a a
 
-  let ts_nonresidue =
-    let rec find c =
-      let x = of_int c in
-      if (not (is_zero x)) && not (is_square x) then x else find (c + 1)
-    in
-    find 2
+    let of_nat n =
+      let n = Nat.rem n modulus in
+      let limbs = Array.init nlimbs (Nat.limb n) in
+      mont_mul limbs r2
 
-  let sqrt a =
-    if is_zero a then Some zero
-    else if not (is_square a) then None
-    else begin
-      let m = ref ts_s in
-      let c = ref (pow_nat ts_nonresidue ts_q) in
-      let t = ref (pow_nat a ts_q) in
-      let r = ref (pow_nat a (Nat.shift_right (Nat.add ts_q Nat.one) 1)) in
-      let rec loop () =
-        if is_one !t then Some !r
-        else begin
-          (* Least i with t^(2^i) = 1. *)
-          let i = ref 0 in
-          let t2 = ref !t in
-          while not (is_one !t2) do
-            t2 := sqr !t2;
-            incr i
-          done;
-          let b = ref !c in
-          for _ = 1 to !m - !i - 1 do
-            b := sqr !b
-          done;
-          m := !i;
-          c := sqr !b;
-          t := mul !t !c;
-          r := mul !r !b;
-          loop ()
-        end
-      in
-      loop ()
-    end
+    let to_nat a =
+      let std = mont_mul a one_nat_limbs in
+      Nat.of_limbs std
 
-  let random st =
-    let rec go () =
-      let n =
-        Nat.of_limbs
-          (Array.init nlimbs (fun i ->
-               let bits =
-                 if i = nlimbs - 1 then num_bits - ((nlimbs - 1) * limb_bits)
-                 else limb_bits
-               in
-               Random.State.int st (1 lsl bits)))
-      in
-      if Nat.compare n modulus >= 0 then go () else of_nat n
-    in
-    go ()
+    (* Kernel buffers: an array of distinct mutable limb arrays.  Not flat
+       (this backend keeps the boxed representation), but it implements the
+       same (buf, index) operand discipline as the unboxed backend so the
+       layers above are written once. *)
+    type buf = t array
 
-  let compare a b = Nat.compare (to_nat a) (to_nat b)
-  let pp fmt a = Format.pp_print_string fmt (to_string a)
+    let buf_create n = Array.init n (fun _ -> Array.make nlimbs 0)
+    let buf_length (b : buf) = Array.length b
+    let buf_get (b : buf) i = Array.copy b.(i)
+    let buf_set (b : buf) i (v : t) = Array.blit v 0 b.(i) 0 nlimbs
+
+    let buf_blit (src : buf) spos (dst : buf) dpos len =
+      if dpos <= spos then
+        for k = 0 to len - 1 do
+          Array.blit src.(spos + k) 0 dst.(dpos + k) 0 nlimbs
+        done
+      else
+        for k = len - 1 downto 0 do
+          Array.blit src.(spos + k) 0 dst.(dpos + k) 0 nlimbs
+        done
+
+    let buf_of_array (a : t array) : buf = Array.map Array.copy a
+    let buf_to_array (b : buf) : t array = Array.map Array.copy b
+
+    let buf_mul (d : buf) i (a : buf) j (b : buf) k =
+      mont_mul_into d.(i) a.(j) b.(k)
+
+    let buf_sqr (d : buf) i (a : buf) j = mont_mul_into d.(i) a.(j) a.(j)
+    let buf_add (d : buf) i (a : buf) j (b : buf) k = add_raw d.(i) a.(j) b.(k)
+    let buf_sub (d : buf) i (a : buf) j (b : buf) k = sub_raw d.(i) a.(j) b.(k)
+    let buf_double (d : buf) i (a : buf) j = add_raw d.(i) a.(j) a.(j)
+
+    let buf_neg (d : buf) i (a : buf) j =
+      if is_zero a.(j) then Array.fill d.(i) 0 nlimbs 0
+      else sub_raw d.(i) zero a.(j)
+
+    let buf_is_zero (b : buf) i = is_zero b.(i)
+    let buf_equal (a : buf) i (b : buf) j = equal a.(i) b.(j)
+
+    let buf_butterfly (b : buf) i j (w : buf) k =
+      (* v = b[j] * w, computed in place (the unrolled kernel materializes
+         its registers before storing); then b[j] <- b[i] - v first so the
+         untouched b[i] still holds u when b[i] <- u + v runs. *)
+      mont_mul_into b.(j) b.(j) w.(k);
+      let u = b.(i) and v = b.(j) in
+      let tmp = Array.make nlimbs 0 in
+      sub_raw tmp u v;
+      add_raw u u v;
+      Array.blit tmp 0 v 0 nlimbs
+  end
+
+  include Core
+  include Field_derived.Make (Core)
 end

@@ -22,7 +22,13 @@ let commit (srs : Srs.t) (p : Poly.t) : commitment =
   if d < 0 then G1.zero
   else begin
     if d >= Srs.size srs then invalid_arg "Kzg.commit: polynomial exceeds SRS";
-    let coeffs = Array.init (d + 1) (Poly.coeff p) in
+    (* The MSM only reads the scalars, so a polynomial with no trailing
+       zeros can lend its coefficient array directly instead of copying. *)
+    let coeffs =
+      let raw = Poly.coeffs p in
+      if Array.length raw = d + 1 then raw
+      else Array.init (d + 1) (Poly.coeff p)
+    in
     match Srs.fixed_base_table srs with
     | Some tb -> G1.Fixed_base.msm tb coeffs
     | None -> G1.msm (Array.sub srs.Srs.g1_powers 0 (d + 1)) coeffs

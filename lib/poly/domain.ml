@@ -1,6 +1,13 @@
 (* Multiplicative-subgroup evaluation domains over the BN254 scalar field,
    with radix-2 (I)FFT and coset variants used by the Plonk quotient
-   computation. *)
+   computation.
+
+   The transform runs on flat Fr kernel buffers (Fr.buf): one contiguous
+   allocation for the whole coefficient vector instead of one heap array
+   per element, with the butterfly as a single fused field kernel
+   (Fr.buf_butterfly).  Array-based wrappers convert at the boundary; the
+   prover-side callers (Poly.mul_fft, the quotient pipeline) can stay in
+   buf-land across transforms via the [_buf] entry points. *)
 
 module Fr = Zkdet_field.Bn254.Fr
 module Pool = Zkdet_parallel.Pool
@@ -53,12 +60,13 @@ let elements d =
   done;
   a
 
-let bit_reverse_permute (a : 'a array) =
-  let n = Array.length a in
+let bit_reverse_permute_buf (a : Fr.buf) =
+  let n = Fr.buf_length a in
   let log_n =
     let rec go k = if 1 lsl k = n then k else go (k + 1) in
     go 0
   in
+  let tmp = Fr.buf_create 1 in
   for i = 0 to n - 1 do
     let j =
       let r = ref 0 in
@@ -68,18 +76,18 @@ let bit_reverse_permute (a : 'a array) =
       !r
     in
     if i < j then begin
-      let tmp = a.(i) in
-      a.(i) <- a.(j);
-      a.(j) <- tmp
+      Fr.buf_blit a i tmp 0 1;
+      Fr.buf_blit a j a i 1;
+      Fr.buf_blit tmp 0 a j 1
     end
   done
 
-let fft_in_place (a : Fr.t array) (omega : Fr.t) =
-  let n = Array.length a in
+let fft_in_place_buf (a : Fr.buf) (omega : Fr.t) =
+  let n = Fr.buf_length a in
   Telemetry.count "fft.calls" 1;
   Telemetry.count "fft.points" n;
   Telemetry.observe "fft.size" (float_of_int n);
-  bit_reverse_permute a;
+  bit_reverse_permute_buf a;
   let len = ref 2 in
   while !len <= n do
     let len_v = !len in
@@ -89,15 +97,16 @@ let fft_in_place (a : Fr.t array) (omega : Fr.t) =
        Blocks are disjoint, and within a block the j-ranges are disjoint,
        so any partition can run concurrently; the field's canonical
        representation makes the result independent of where each chunk
-       starts its twiddle (Fr.pow equals the running product exactly). *)
+       starts its twiddle (Fr.pow equals the running product exactly).
+       Each task owns a private 2-cell twiddle buffer: cell 0 the running
+       power, cell 1 the per-layer step. *)
     let butterflies base jlo jhi =
-      let w = ref (if jlo = 0 then Fr.one else Fr.pow w_len jlo) in
+      let wb = Fr.buf_create 2 in
+      Fr.buf_set wb 0 (if jlo = 0 then Fr.one else Fr.pow w_len jlo);
+      Fr.buf_set wb 1 w_len;
       for j = jlo to jhi - 1 do
-        let u = a.(base + j) in
-        let v = Fr.mul a.(base + j + half) !w in
-        a.(base + j) <- Fr.add u v;
-        a.(base + j + half) <- Fr.sub u v;
-        w := Fr.mul !w w_len
+        Fr.buf_butterfly a (base + j) (base + j + half) wb 0;
+        Fr.buf_mul wb 0 wb 0 wb 1
       done
     in
     let nblocks = n / len_v in
@@ -117,52 +126,92 @@ let fft_in_place (a : Fr.t array) (omega : Fr.t) =
     len := len_v * 2
   done
 
-(** [fft d coeffs] evaluates the polynomial with coefficient vector
-    [coeffs] (padded/truncated to the domain size) at every domain element,
-    in order omega^0, omega^1, ... *)
-let fft d coeffs =
-  let a = Array.make d.size Fr.zero in
-  Array.blit coeffs 0 a 0 (min (Array.length coeffs) d.size);
+(** [buf_of_coeffs d coeffs] loads a coefficient vector into a fresh
+    domain-sized flat buffer (zero padded). *)
+let buf_of_coeffs d (coeffs : Fr.t array) : Fr.buf =
   if Array.length coeffs > d.size then
-    invalid_arg "Domain.fft: polynomial larger than domain";
-  fft_in_place a d.omega;
+    invalid_arg "Domain.buf_of_coeffs: polynomial larger than domain";
+  let a = Fr.buf_create d.size in
+  Array.iteri (fun i c -> Fr.buf_set a i c) coeffs;
   a
 
 (* Multiply a.(i) by base^i in place, chunked over the pool. *)
-let scale_by_powers (a : Fr.t array) (base : Fr.t) =
-  let n = Array.length a in
+let scale_by_powers_buf (a : Fr.buf) (base : Fr.t) =
+  let n = Fr.buf_length a in
   let chunk ~lo ~hi =
-    let g = ref (if lo = 0 then Fr.one else Fr.pow base lo) in
+    let gb = Fr.buf_create 2 in
+    Fr.buf_set gb 0 (if lo = 0 then Fr.one else Fr.pow base lo);
+    Fr.buf_set gb 1 base;
     for i = lo to hi - 1 do
-      a.(i) <- Fr.mul a.(i) !g;
-      g := Fr.mul !g base
+      Fr.buf_mul a i a i gb 0;
+      Fr.buf_mul gb 0 gb 0 gb 1
     done
   in
   if n < par_threshold then chunk ~lo:0 ~hi:n
   else Pool.parallel_for_chunks 0 n chunk
 
+(* Multiply every cell by the constant [c] in place. *)
+let scale_all_buf (a : Fr.buf) (c : Fr.t) =
+  let n = Fr.buf_length a in
+  let chunk ~lo ~hi =
+    let cb = Fr.buf_create 1 in
+    Fr.buf_set cb 0 c;
+    for i = lo to hi - 1 do
+      Fr.buf_mul a i a i cb 0
+    done
+  in
+  if n < par_threshold then chunk ~lo:0 ~hi:n
+  else Pool.parallel_for_chunks 0 n chunk
+
+let check_size d (a : Fr.buf) name =
+  if Fr.buf_length a <> d.size then invalid_arg (name ^ ": size mismatch")
+
+(** In-place transforms over domain-sized flat buffers. *)
+let fft_buf d (a : Fr.buf) =
+  check_size d a "Domain.fft_buf";
+  fft_in_place_buf a d.omega
+
+let ifft_buf d (a : Fr.buf) =
+  check_size d a "Domain.ifft_buf";
+  fft_in_place_buf a d.omega_inv;
+  scale_all_buf a d.size_inv
+
+let coset_fft_buf d (a : Fr.buf) =
+  check_size d a "Domain.coset_fft_buf";
+  scale_by_powers_buf a d.shift;
+  fft_in_place_buf a d.omega
+
+let coset_ifft_buf d (a : Fr.buf) =
+  ifft_buf d a;
+  scale_by_powers_buf a d.shift_inv
+
+(** [fft d coeffs] evaluates the polynomial with coefficient vector
+    [coeffs] (padded/truncated to the domain size) at every domain element,
+    in order omega^0, omega^1, ... *)
+let fft d coeffs =
+  let a = buf_of_coeffs d coeffs in
+  fft_buf d a;
+  Fr.buf_to_array a
+
 (** Inverse FFT: evaluations on the domain back to coefficients. *)
 let ifft d evals =
   if Array.length evals <> d.size then invalid_arg "Domain.ifft: size mismatch";
-  let a = Array.copy evals in
-  fft_in_place a d.omega_inv;
-  if d.size < par_threshold then Array.map (fun x -> Fr.mul x d.size_inv) a
-  else Pool.parallel_init d.size (fun i -> Fr.mul a.(i) d.size_inv)
+  let a = Fr.buf_of_array evals in
+  ifft_buf d a;
+  Fr.buf_to_array a
 
 (** Evaluations on the coset (shift * H). *)
 let coset_fft d coeffs =
-  let a = Array.make d.size Fr.zero in
-  Array.blit coeffs 0 a 0 (min (Array.length coeffs) d.size);
-  if Array.length coeffs > d.size then
-    invalid_arg "Domain.coset_fft: polynomial larger than domain";
-  scale_by_powers a d.shift;
-  fft_in_place a d.omega;
-  a
+  let a = buf_of_coeffs d coeffs in
+  coset_fft_buf d a;
+  Fr.buf_to_array a
 
 let coset_ifft d evals =
-  let a = ifft d evals in
-  scale_by_powers a d.shift_inv;
-  a
+  if Array.length evals <> d.size then
+    invalid_arg "Domain.coset_ifft: size mismatch";
+  let a = Fr.buf_of_array evals in
+  coset_ifft_buf d a;
+  Fr.buf_to_array a
 
 (** Z_H(x) = x^n - 1. *)
 let vanishing_eval d x = Fr.sub (Fr.pow x d.size) Fr.one

@@ -31,6 +31,20 @@ val ifft : t -> Fr.t array -> Fr.t array
 val coset_fft : t -> Fr.t array -> Fr.t array
 val coset_ifft : t -> Fr.t array -> Fr.t array
 
+val buf_of_coeffs : t -> Fr.t array -> Fr.buf
+(** Load a coefficient vector into a fresh domain-sized flat buffer
+    (zero padded); raises [Invalid_argument] if larger than the domain. *)
+
+val fft_buf : t -> Fr.buf -> unit
+(** In-place transforms over domain-sized flat buffers.  These are the
+    primary entry points — the array variants above convert and delegate.
+    All raise [Invalid_argument] when the buffer length is not the domain
+    size. *)
+
+val ifft_buf : t -> Fr.buf -> unit
+val coset_fft_buf : t -> Fr.buf -> unit
+val coset_ifft_buf : t -> Fr.buf -> unit
+
 val vanishing_eval : t -> Fr.t -> Fr.t
 (** Z_H(x) = x^n - 1. *)
 

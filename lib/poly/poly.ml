@@ -67,10 +67,17 @@ let mul_fft p q =
       go 0
     in
     let d = Domain.create log2 in
-    let pe = Domain.fft d (Array.sub p 0 (dp + 1)) in
-    let qe = Domain.fft d (Array.sub q 0 (dq + 1)) in
-    let re = Array.init (Domain.size d) (fun i -> Fr.mul pe.(i) qe.(i)) in
-    Array.sub (Domain.ifft d re) 0 result_len
+    (* Stay on flat buffers through both forward transforms, the pointwise
+       product and the inverse transform; extract once at the end. *)
+    let pe = Domain.buf_of_coeffs d (Array.sub p 0 (dp + 1)) in
+    let qe = Domain.buf_of_coeffs d (Array.sub q 0 (dq + 1)) in
+    Domain.fft_buf d pe;
+    Domain.fft_buf d qe;
+    for i = 0 to Domain.size d - 1 do
+      Fr.buf_mul pe i pe i qe i
+    done;
+    Domain.ifft_buf d pe;
+    Array.init result_len (Fr.buf_get pe)
   end
 
 let mul p q =

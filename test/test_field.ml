@@ -126,6 +126,197 @@ let field_axioms =
     QCheck.Test.make ~name:"string roundtrip" ~count:50 arb_fr (fun a ->
         Fr.(equal a (of_string (to_string a)))) ]
 
+(* ---- differential: unboxed64 backend vs the limb26 oracle ----
+
+   Both backends are instantiated unconditionally by Bn254, independent of
+   ZKDET_FIELD_BACKEND, so the suite always cross-checks them.  All
+   comparisons go through canonical big-endian bytes (to_string is
+   decimal conversion — far too slow for bulk checks). *)
+
+module Fr26 = Zkdet_field.Bn254.Fr_limb26
+module Fr64 = Zkdet_field.Bn254.Fr_unboxed
+module Fp26 = Zkdet_field.Bn254.Fp_limb26
+module Fp64u = Zkdet_field.Bn254.Fp_unboxed
+
+(* The pure-OCaml int64 kernel of the unboxed backend, pinned explicitly
+   (ignoring ZKDET_FIELD_KERNEL), so the C stubs and the portable kernel
+   are differentially tested against each other in the same process. *)
+module Fr64_ml =
+  Zkdet_field.Fp64.Make_kernel
+    (struct
+      let use_c = false
+    end)
+    (struct
+      let modulus_decimal = Zkdet_field.Bn254.fr_modulus_decimal
+    end)
+
+(* Boundary inputs: 0, 1, 2, p-2, p-1, the Montgomery radix R = 2^256 mod
+   p, and 2^k, 2^k +- 1 straddling limb boundaries of both representations
+   (26-bit limbs and 64-bit limbs), all reduced mod p. *)
+let boundary_nats modulus =
+  let reduce n = Nat.rem n modulus in
+  let base =
+    [ Nat.zero; Nat.one; Nat.two;
+      Nat.sub modulus Nat.two; Nat.sub modulus Nat.one;
+      reduce (Nat.pow Nat.two 256) ]
+  in
+  let around_powers =
+    List.concat_map
+      (fun k ->
+        let p2 = Nat.pow Nat.two k in
+        [ reduce (Nat.sub p2 Nat.one); reduce p2; reduce (Nat.add p2 Nat.one) ])
+      [ 25; 26; 27; 52; 63; 64; 65; 127; 128; 191; 192; 253 ]
+  in
+  base @ around_powers
+
+let random_nats rng n =
+  List.init n (fun _ ->
+      Nat.of_bytes_be (String.init 32 (fun _ -> Char.chr (Random.State.int rng 256))))
+
+(* One differential run of a (field, oracle) pair over the shared input
+   set: every unary/binary op must produce byte-identical canonical
+   encodings. [name] tags failures. *)
+module Diff
+    (A : Zkdet_field.Field_intf.S)
+    (B : Zkdet_field.Field_intf.S) =
+struct
+  let check_bytes name a_bytes b_bytes =
+    if not (String.equal a_bytes b_bytes) then
+      Alcotest.failf "%s: backends disagree (%s vs %s)" name
+        (Nat.to_hex (Nat.of_bytes_be a_bytes))
+        (Nat.to_hex (Nat.of_bytes_be b_bytes))
+
+  let run ~name rng =
+    let nats = boundary_nats A.modulus @ random_nats rng 40 in
+    let pairs = List.map (fun n -> (A.of_nat n, B.of_nat n)) nats in
+    (* encoding: same nat must give identical canonical bytes *)
+    List.iter
+      (fun (a, b) ->
+        check_bytes (name ^ ".to_bytes_be") (A.to_bytes_be a) (B.to_bytes_be b))
+      pairs;
+    (* unary ops *)
+    List.iter
+      (fun (a, b) ->
+        check_bytes (name ^ ".neg") (A.to_bytes_be (A.neg a)) (B.to_bytes_be (B.neg b));
+        check_bytes (name ^ ".sqr") (A.to_bytes_be (A.sqr a)) (B.to_bytes_be (B.sqr b));
+        check_bytes (name ^ ".double")
+          (A.to_bytes_be (A.double a)) (B.to_bytes_be (B.double b));
+        if not (A.is_zero a) then
+          check_bytes (name ^ ".inv")
+            (A.to_bytes_be (A.inv a)) (B.to_bytes_be (B.inv b));
+        (match (A.sqrt a, B.sqrt b) with
+        | None, None -> ()
+        | Some ra, Some rb ->
+          check_bytes (name ^ ".sqrt") (A.to_bytes_be ra) (B.to_bytes_be rb)
+        | Some _, None | None, Some _ ->
+          Alcotest.failf "%s.sqrt: existence disagrees" name))
+      pairs;
+    (* binary ops: each input against one rotation of the list *)
+    let arr = Array.of_list pairs in
+    let n = Array.length arr in
+    Array.iteri
+      (fun i (a, b) ->
+        let a', b' = arr.((i + 7) mod n) in
+        check_bytes (name ^ ".add")
+          (A.to_bytes_be (A.add a a')) (B.to_bytes_be (B.add b b'));
+        check_bytes (name ^ ".sub")
+          (A.to_bytes_be (A.sub a a')) (B.to_bytes_be (B.sub b b'));
+        check_bytes (name ^ ".mul")
+          (A.to_bytes_be (A.mul a a')) (B.to_bytes_be (B.mul b b')))
+      arr;
+    (* buf ops over the whole input set at once, plus the fused butterfly *)
+    let abuf = A.buf_of_array (Array.map fst arr) in
+    let bbuf = B.buf_of_array (Array.map snd arr) in
+    for i = 0 to n - 1 do
+      let j = (i + 11) mod n in
+      let ad = A.buf_create 1 and bd = B.buf_create 1 in
+      A.buf_mul ad 0 abuf i abuf j;
+      B.buf_mul bd 0 bbuf i bbuf j;
+      check_bytes (name ^ ".buf_mul")
+        (A.to_bytes_be (A.buf_get ad 0)) (B.to_bytes_be (B.buf_get bd 0))
+    done;
+    let a2 = A.buf_of_array (Array.map fst arr) in
+    let b2 = B.buf_of_array (Array.map snd arr) in
+    for i = 0 to (n / 2) - 1 do
+      let j = (n / 2) + i in
+      A.buf_butterfly a2 i j abuf ((i + 3) mod n);
+      B.buf_butterfly b2 i j bbuf ((i + 3) mod n)
+    done;
+    for i = 0 to n - 1 do
+      check_bytes (name ^ ".buf_butterfly")
+        (A.to_bytes_be (A.buf_get a2 i)) (B.to_bytes_be (B.buf_get b2 i))
+    done;
+    (* batch inversion with zeros interleaved *)
+    let za = A.buf_of_array (Array.map fst arr) in
+    let zb = B.buf_of_array (Array.map snd arr) in
+    let sa = A.buf_create (n + 2) and sb = B.buf_create (n + 2) in
+    A.buf_batch_inv0 ~scratch:sa za n;
+    B.buf_batch_inv0 ~scratch:sb zb n;
+    for i = 0 to n - 1 do
+      check_bytes (name ^ ".buf_batch_inv0")
+        (A.to_bytes_be (A.buf_get za i)) (B.to_bytes_be (B.buf_get zb i))
+    done
+
+  (* Identically-seeded PRNG states must yield identical element streams;
+     proof bytes and the SRS depend on this. *)
+  let run_random_stream ~name () =
+    let sa = Random.State.make [| 0x5eed |] in
+    let sb = Random.State.make [| 0x5eed |] in
+    for i = 0 to 199 do
+      let a = A.random sa and b = B.random sb in
+      if not (String.equal (A.to_bytes_be a) (B.to_bytes_be b)) then
+        Alcotest.failf "%s.random: streams diverge at draw %d" name i
+    done
+end
+
+module Diff_fr = Diff (Fr64) (Fr26)
+module Diff_fp = Diff (Fp64u) (Fp26)
+module Diff_kernel = Diff (Fr64_ml) (Fr26)
+
+let test_differential_fr () =
+  Diff_fr.run ~name:"Fr" (Test_util.rng ~salt:"field-diff-fr" ())
+
+let test_differential_fp () =
+  Diff_fp.run ~name:"Fp" (Test_util.rng ~salt:"field-diff-fp" ())
+
+let test_differential_ml_kernel () =
+  Diff_kernel.run ~name:"Fr-mlkernel" (Test_util.rng ~salt:"field-diff-ml" ())
+
+let test_random_streams () =
+  Diff_fr.run_random_stream ~name:"Fr" ();
+  Diff_fp.run_random_stream ~name:"Fp" ();
+  Diff_kernel.run_random_stream ~name:"Fr-mlkernel" ()
+
+(* Canonical encodings are representation independent: the active backend
+   (whichever ZKDET_FIELD_BACKEND picked) must agree with both explicit
+   instantiations, and canonical decoding must enforce range identically. *)
+let test_codec_cross_backend () =
+  let rng = Test_util.rng ~salt:"field-codec" () in
+  for _ = 1 to 50 do
+    let n = Nat.rem (Nat.of_bytes_be
+        (String.init 32 (fun _ -> Char.chr (Random.State.int rng 256))))
+        Fr.modulus
+    in
+    let active = Fr.to_bytes_be (Fr.of_nat n) in
+    Alcotest.(check string) "Fr bytes: active vs limb26" active
+      (Fr26.to_bytes_be (Fr26.of_nat n));
+    Alcotest.(check string) "Fr bytes: active vs unboxed" active
+      (Fr64.to_bytes_be (Fr64.of_nat n));
+    (match (Fr26.of_bytes_be_canonical active, Fr64.of_bytes_be_canonical active) with
+    | Ok a, Ok b ->
+      Alcotest.(check string) "canonical decode agrees"
+        (Fr26.to_bytes_be a) (Fr64.to_bytes_be b)
+    | _ -> Alcotest.fail "canonical decode rejected an in-range value")
+  done;
+  (* out-of-range values are rejected by both *)
+  let too_big = Nat.to_bytes_be ~length:32 Fr.modulus in
+  (match Fr26.of_bytes_be_canonical too_big with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "limb26 accepted modulus");
+  (match Fr64.of_bytes_be_canonical too_big with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unboxed accepted modulus")
+
 let () =
   Alcotest.run "zkdet_field"
     [ ( "bn254",
@@ -137,4 +328,12 @@ let () =
           Alcotest.test_case "roots of unity" `Quick test_roots_of_unity;
           Alcotest.test_case "sqrt" `Quick test_sqrt;
           Alcotest.test_case "batch inversion" `Quick test_batch_inv ] );
+      ( "differential",
+        [ Alcotest.test_case "Fr unboxed64 vs limb26" `Quick test_differential_fr;
+          Alcotest.test_case "Fp unboxed64 vs limb26" `Quick test_differential_fp;
+          Alcotest.test_case "OCaml kernel vs limb26" `Quick
+            test_differential_ml_kernel;
+          Alcotest.test_case "random streams agree" `Quick test_random_streams;
+          Alcotest.test_case "codecs cross-backend" `Quick
+            test_codec_cross_backend ] );
       ("field-axioms", List.map QCheck_alcotest.to_alcotest field_axioms) ]

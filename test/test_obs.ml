@@ -239,7 +239,8 @@ let test_audit_flags_reverted_leak () =
       Chain.faucet chain addr 10_000_000;
       Obs.with_trace "revert-case" (fun () ->
           let r =
-            Chain.execute chain ~sender:addr ~label:"fail" (fun env ->
+            Chain.execute chain ~sender:addr ~label:"fail" ~contract:"x"
+              (fun env ->
                 Chain.emit env ~contract:"x" ~name:"Leak" ~data:[];
                 raise (Chain.Revert "nope"))
           in
