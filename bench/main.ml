@@ -1233,6 +1233,14 @@ let () =
     in
     find args
   in
+  let flame_out =
+    let rec find = function
+      | "--flame-out" :: v :: _ -> Some v
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
   let which =
     List.filter
       (fun a ->
@@ -1244,6 +1252,20 @@ let () =
   in
   let which = if which = [] then [ "all" ] else which in
   let run = List.mem "all" which in
+  (* With one experiment selected, --flame-out FILE writes exactly FILE;
+     with several, the experiment name is inserted before the extension
+     so each run keeps its own collapsed stacks. *)
+  let single_experiment = (not run) && List.length which = 1 in
+  let flame_path name =
+    Option.map
+      (fun base ->
+        if single_experiment then base
+        else
+          let ext = Filename.extension base in
+          if ext = "" then base ^ "-" ^ name
+          else Filename.remove_extension base ^ "-" ^ name ^ ext)
+      flame_out
+  in
   let t0 = Unix.gettimeofday () in
   Printf.printf "ZKDET benchmark harness (scale=%d)\n" scale;
   (* Recording is always on in the harness: each BENCH_<name>.json embeds
@@ -1256,6 +1278,14 @@ let () =
     f ();
     if profile || String.equal name "setup" then Telemetry.print_summary ();
     write_bench_json ~scale name;
+    Option.iter
+      (fun path ->
+        let spans = (Telemetry.snapshot ()).Telemetry.Report.spans in
+        let oc = open_out path in
+        output_string oc (Zkdet_ops.Flame.collapsed spans);
+        close_out oc;
+        Printf.printf "wrote flamegraph stacks %s\n%!" path)
+      (flame_path name);
     if check then check_regression ~baseline_dir ~tolerance ~scale name
   in
   if run || List.mem "setup" which then run_experiment "setup" setup_exp;

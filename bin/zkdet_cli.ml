@@ -31,6 +31,8 @@ module Scenario = Zkdet_core.Scenario
 module Obs = Zkdet_obs.Obs
 module Journal = Zkdet_obs.Journal
 module Audit = Zkdet_obs.Audit
+module Ops = Zkdet_ops.Ops
+module Flame = Zkdet_ops.Flame
 open Cmdliner
 
 let read_file path =
@@ -449,6 +451,17 @@ let chain_restore_cmd =
 (* ------------------------------------------------------------------ *)
 (* Journaled exchange + audit reconstruction. *)
 
+let serve_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "serve" ] ~docv:"PORT"
+        ~doc:
+          "Expose a live ops server (GET /metrics, /healthz, /spans, /flame) \
+           on 127.0.0.1:$(docv) for the duration of the run; 0 picks a free \
+           port (printed to stderr).  The server is read-only: journals and \
+           state hashes are unaffected.")
+
 let exchange_cmd =
   let journal =
     Arg.(
@@ -474,13 +487,20 @@ let exchange_cmd =
   let n =
     Arg.(value & opt int 8 & info [ "n" ] ~docv:"N" ~doc:"Dataset size")
   in
-  let run journal chain_out prom seed n =
+  let run journal chain_out prom serve seed n =
     if n < 1 then begin
       prerr_endline "zkdet: -n must be at least 1";
       exit 2
     end;
     let cfg =
-      { Scenario.Config.default with Scenario.Config.seed; n; journal; prom }
+      {
+        Scenario.Config.default with
+        Scenario.Config.seed;
+        n;
+        journal;
+        prom;
+        serve;
+      }
     in
     let o = Scenario.run_cfg cfg in
     Option.iter
@@ -500,7 +520,7 @@ let exchange_cmd =
   Cmd.v
     (Cmd.info "exchange"
        ~doc:"Run a seeded end-to-end ZKCP exchange, optionally journaled")
-    Term.(const run $ journal $ chain_out $ prom $ seed_arg $ n)
+    Term.(const run $ journal $ chain_out $ prom $ serve_arg $ seed_arg $ n)
 
 (* ------------------------------------------------------------------ *)
 (* Sustained marketplace load through the mempool + parallel blocks. *)
@@ -562,8 +582,8 @@ let load_cmd =
       & info [ "work" ] ~docv:"N"
           ~doc:"Per-transaction hash-chain iterations")
   in
-  let run journal chain_out prom seed accounts datasets blocks txs_per_block
-      skew work =
+  let run journal chain_out prom serve seed accounts datasets blocks
+      txs_per_block skew work =
     if blocks < 1 || txs_per_block < 1 then begin
       prerr_endline "zkdet: --blocks and --txs-per-block must be at least 1";
       exit 2
@@ -580,6 +600,7 @@ let load_cmd =
         work;
         journal;
         prom;
+        serve;
       }
     in
     let o = Scenario.load cfg in
@@ -607,8 +628,8 @@ let load_cmd =
          "Drive a Zipf-skewed marketplace workload through the mempool and \
           the parallel block builder")
     Term.(
-      const run $ journal $ chain_out $ prom $ seed_arg $ accounts $ datasets
-      $ blocks $ txs_per_block $ skew $ work)
+      const run $ journal $ chain_out $ prom $ serve_arg $ seed_arg $ accounts
+      $ datasets $ blocks $ txs_per_block $ skew $ work)
 
 let audit_cmd =
   let file =
@@ -678,6 +699,206 @@ let audit_cmd =
           journal")
     Term.(const run $ file $ chain_snapshot $ json_out)
 
+(* ------------------------------------------------------------------ *)
+(* Standalone ops server tailing a (possibly growing) journal. *)
+
+let serve_cmd =
+  let journal_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:"ZJNL journal to tail (may still be growing)")
+  in
+  let follow =
+    Arg.(
+      value & flag
+      & info [ "follow" ]
+          ~doc:
+            "Keep tailing for new records (like tail -f); without this the \
+             journal is read once and served until --duration expires")
+  in
+  let port =
+    Arg.(
+      value & opt int 0
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"Port to listen on; 0 picks a free one (printed)")
+  in
+  let duration =
+    Arg.(
+      value & opt float 0.0
+      & info [ "duration" ] ~docv:"SEC"
+          ~doc:"Stop after this many seconds; 0 means run until killed")
+  in
+  let run journal follow port duration =
+    (* Shared tail state: the poll loop writes, /metrics reads. *)
+    let m = Mutex.create () in
+    let stats = ref Audit.empty_stats in
+    let entries_rev = ref [] in
+    let hash_ok = ref true in
+    let audit_ok = ref true in
+    let last_error = ref None in
+    let locked f =
+      Mutex.lock m;
+      Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+    in
+    let extra () =
+      locked @@ fun () ->
+      let s = !stats in
+      let b = Buffer.create 512 in
+      let gauge name help v =
+        Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name help);
+        Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" name);
+        Buffer.add_string b (Printf.sprintf "%s %d\n" name v)
+      in
+      let flag name help v = gauge name help (if v then 1 else 0) in
+      gauge "zkdet_journal_entries" "Journal records consumed by the tail."
+        s.Audit.st_entries;
+      gauge "zkdet_journal_last_seq"
+        "Highest sequence number seen (-1 before the first record)."
+        s.Audit.st_last_seq;
+      flag "zkdet_journal_hash_ok"
+        "1 while the SHA-256 hash chain verifies, 0 after a break."
+        !hash_ok;
+      flag "zkdet_journal_audit_ok"
+        "1 while the partial audit over the consumed prefix reports no errors."
+        !audit_ok;
+      gauge "zkdet_journal_txs_submitted" "Tx_submitted events seen."
+        s.Audit.st_txs_submitted;
+      gauge "zkdet_journal_txs_mined" "Tx_mined events seen."
+        s.Audit.st_txs_mined;
+      gauge "zkdet_journal_txs_reverted" "Tx_reverted events seen."
+        s.Audit.st_txs_reverted;
+      gauge "zkdet_journal_blocks_built" "Block_built events seen."
+        s.Audit.st_blocks_built;
+      gauge "zkdet_journal_proofs_verified"
+        "Proof_verified events with ok=true seen."
+        s.Audit.st_proofs_verified;
+      gauge "zkdet_journal_traces_begun" "Trace_begin events seen."
+        s.Audit.st_traces_begun;
+      gauge "zkdet_journal_traces_ended" "Trace_end events seen."
+        s.Audit.st_traces_ended;
+      Buffer.contents b
+    in
+    let server = Ops.start ~port (Ops.routes ~extra ()) in
+    Printf.printf "ops server listening on http://127.0.0.1:%d\n%!"
+      (Ops.port server);
+    let tail = Journal.create_tail journal in
+    let poll () =
+      match Journal.poll_tail tail with
+      | Ok [] -> ()
+      | Ok fresh ->
+        locked (fun () ->
+            stats := List.fold_left Audit.stats_add !stats fresh;
+            entries_rev := List.rev_append fresh !entries_rev;
+            (* Full causal audit over the consumed prefix, with the
+               end-of-journal obligations relaxed (the tail is mid-run). *)
+            let report = Audit.run ~partial:true (List.rev !entries_rev) in
+            audit_ok := report.Audit.ok)
+      | Error e ->
+        locked (fun () ->
+            hash_ok := false;
+            last_error := Some (Journal.error_to_string e))
+    in
+    let t0 = Unix.gettimeofday () in
+    let expired () =
+      duration > 0.0 && Unix.gettimeofday () -. t0 >= duration
+    in
+    poll ();
+    (if follow then
+       while (not (expired ())) && !hash_ok do
+         Unix.sleepf 0.2;
+         poll ()
+       done
+     else
+       while not (expired ()) do
+         Unix.sleepf 0.2
+       done);
+    Ops.stop server;
+    let s = locked (fun () -> !stats) in
+    Printf.printf
+      "tailed %d record(s) (last seq %d): %d tx mined, %d reverted, %d \
+       block(s), audit %s\n"
+      s.Audit.st_entries s.Audit.st_last_seq s.Audit.st_txs_mined
+      s.Audit.st_txs_reverted s.Audit.st_blocks_built
+      (if !audit_ok then "ok" else "FAILED");
+    match !last_error with
+    | Some e ->
+      Printf.printf "journal hash chain BROKEN: %s\n" e;
+      exit 1
+    | None -> if not !audit_ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve live metrics while tailing a ZJNL journal, verifying its \
+          hash chain incrementally")
+    Term.(const run $ journal_arg $ follow $ port $ duration)
+
+(* ------------------------------------------------------------------ *)
+(* Flamegraph export from a JSONL telemetry trace. *)
+
+let flame_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE"
+          ~doc:"JSONL telemetry trace (written via ZKDET_TRACE)")
+  in
+  let fmt =
+    Arg.(
+      value
+      & opt (enum [ ("collapsed", `Collapsed); ("speedscope", `Speedscope) ])
+          `Collapsed
+      & info [ "fmt" ] ~docv:"FMT"
+          ~doc:
+            "Output format: $(b,collapsed) (flamegraph.pl stack lines) or \
+             $(b,speedscope) (JSON for speedscope.app)")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write here instead of stdout")
+  in
+  let run file fmt out =
+    let lines =
+      let ic = open_in file in
+      let acc = ref [] in
+      (try
+         while true do
+           acc := input_line ic :: !acc
+         done
+       with End_of_file -> ());
+      close_in ic;
+      List.rev !acc
+    in
+    match Telemetry.Report.of_jsonl lines with
+    | Error e ->
+      Printf.printf "flame FAILED: %s\n" e;
+      exit 1
+    | Ok report ->
+      let spans = report.Telemetry.Report.spans in
+      if spans = [] then prerr_endline "zkdet: warning: trace has no spans";
+      let body =
+        match fmt with
+        | `Collapsed -> Flame.collapsed spans
+        | `Speedscope -> Json.to_string (Flame.speedscope spans)
+      in
+      (match out with
+      | None -> print_string body
+      | Some p ->
+        write_file p body;
+        Printf.printf "wrote %s (%d bytes)\n" p (String.length body))
+  in
+  Cmd.v
+    (Cmd.info "flame"
+       ~doc:
+         "Convert a JSONL telemetry trace into a flamegraph (collapsed-stack \
+          or speedscope)")
+    Term.(const run $ file $ fmt $ out)
+
 let () =
   let doc = "ZKDET: traceable, privacy-preserving data exchange" in
   exit
@@ -685,4 +906,4 @@ let () =
        (Cmd.group (Cmd.info "zkdet" ~doc)
           [ params_cmd; selftest_cmd; ceremony_cmd; trace_check_cmd;
             prove_cmd; verify_cmd; verify_batch_cmd; chain_snapshot_cmd; chain_restore_cmd;
-            exchange_cmd; load_cmd; audit_cmd ]))
+            exchange_cmd; load_cmd; audit_cmd; serve_cmd; flame_cmd ]))

@@ -41,6 +41,9 @@ module Config = struct
     work : int;  (** [load]: per-transaction hash-chain iterations *)
     journal : string option;  (** ZJNL sink; [None] leaves Obs alone *)
     prom : string option;  (** Prometheus text sink; enables telemetry *)
+    serve : int option;
+        (** live ops server port (0 picks a free one); enables telemetry
+            and rolling windows for the duration of the run *)
   }
 
   let default =
@@ -57,6 +60,7 @@ module Config = struct
       work = 16;
       journal = None;
       prom = None;
+      serve = None;
     }
 end
 
@@ -67,7 +71,30 @@ end
 let with_sinks (cfg : Config.t) (f : unit -> 'a) : 'a =
   Option.iter (fun p -> Obs.set_journal_path (Some p)) cfg.Config.journal;
   if cfg.Config.prom <> None then Telemetry.set_enabled true;
-  let result = f () in
+  (* The ops server only reads telemetry snapshots, so journal bytes and
+     state hashes are identical with or without it (CI's ops-gate job
+     cmp-checks exactly that). *)
+  let server =
+    Option.map
+      (fun port ->
+        Telemetry.set_enabled true;
+        Telemetry.set_window_enabled true;
+        let s = Zkdet_ops.Ops.start ~port (Zkdet_ops.Ops.routes ()) in
+        Printf.eprintf "ops server listening on http://127.0.0.1:%d\n%!"
+          (Zkdet_ops.Ops.port s);
+        s)
+      cfg.Config.serve
+  in
+  let result =
+    Fun.protect
+      ~finally:(fun () ->
+        Option.iter
+          (fun s ->
+            Zkdet_ops.Ops.stop s;
+            Telemetry.set_window_enabled false)
+          server)
+      f
+  in
   if cfg.Config.journal <> None then Obs.close ();
   Option.iter
     (fun p ->
@@ -440,6 +467,7 @@ let load (cfg : Config.t) : load_outcome =
       | Mempool.Admitted | Mempool.Replaced _ ->
         Hashtbl.replace next_nonce buyer (nonce + 1);
         incr submitted;
+        Telemetry.count "load.tx_submitted" 1;
         Hashtbl.replace submit_ns (Tx.hash tx) (Telemetry.monotonic_ns ())
       | Mempool.Rejected_stale _ | Mempool.Rejected_full -> incr rejected
     done;
@@ -453,6 +481,7 @@ let load (cfg : Config.t) : load_outcome =
           let ms = float_of_int (now - t) /. 1e6 in
           latencies := ms :: !latencies;
           Telemetry.observe "load.tx_latency_ms" ms;
+          Telemetry.count "load.tx_executed" 1;
           Hashtbl.remove submit_ns h;
           incr executed)
       block.Chain.tx_hashes

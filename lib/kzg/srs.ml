@@ -215,6 +215,17 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* Recursive directory creation: ZKDET_SRS_CACHE may name a nested path
+   (e.g. ~/.cache/zkdet/srs) whose parents don't exist yet.  EEXIST is
+   fine — a concurrent process won the race. *)
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Unix.mkdir dir 0o755 with
+    | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
 (* Write-to-temp + rename so concurrent processes never observe a partial
    file; losing a race just means writing the same bytes twice. *)
 let write_file path data =
@@ -257,7 +268,11 @@ let load_or_generate ?st ~size () =
          so warm processes load them instead of rebuilding. *)
       ignore (fixed_base_table t);
       (try
-         if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+         mkdir_p dir;
          write_file path (to_bytes t)
-       with Unix.Unix_error _ | Sys_error _ -> ());
+       with Unix.Unix_error _ | Sys_error _ ->
+         (* Unwritable cache is non-fatal (the SRS was generated anyway)
+            but worth counting: a misconfigured cache silently costs a
+            full ceremony per process. *)
+         Telemetry.count "kzg.srs.cache_dir_failures" 1);
       t

@@ -160,3 +160,83 @@ let read_file (path : string) : (entry list, error) result =
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> of_bytes (really_input_string ic (in_channel_length ic)))
+
+(* {2 Tail reader}
+
+   Incremental reader over a journal another process is still appending
+   to.  The writer flushes whole records, but a poll can still race a
+   write mid-frame (or mid-header), so a partial trailing frame is a
+   normal "try again later" condition, not corruption: the reader simply
+   stops before it and re-reads from the same offset next time.  Chain
+   state (offset, previous hash, next sequence number) carries across
+   polls, so each record is verified exactly once. *)
+
+type tail = {
+  t_path : string;
+  mutable t_pos : int;  (** byte offset of the first unconsumed frame *)
+  mutable t_seq : int;
+  mutable t_prev_hash : string;
+  mutable t_header_ok : bool;
+}
+
+let create_tail path =
+  {
+    t_path = path;
+    t_pos = 0;
+    t_seq = 0;
+    t_prev_hash = genesis_hash;
+    t_header_ok = false;
+  }
+
+let tail_pos t = t.t_pos
+let tail_seq t = t.t_seq
+
+let poll_tail (t : tail) : (entry list, error) result =
+  match open_in_bin t.t_path with
+  | exception Sys_error _ -> Ok [] (* not created yet: wait *)
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let size = in_channel_length ic in
+        let exception Fail of error in
+        try
+          if not t.t_header_ok then begin
+            if size < 6 then raise Exit (* header still being written *);
+            seek_in ic 0;
+            let h = really_input_string ic 6 in
+            if h <> header_bytes then raise (Fail (Bad_header h));
+            t.t_header_ok <- true;
+            t.t_pos <- 6
+          end;
+          seek_in ic t.t_pos;
+          let acc = ref [] in
+          (try
+             while size - t.t_pos >= 4 do
+               let lenb = really_input_string ic 4 in
+               let len = Int32.to_int (String.get_int32_be lenb 0) in
+               if len < 0 then
+                 raise (Fail (Truncated_record { index = t.t_seq }));
+               if size - t.t_pos - 4 < len then raise Exit (* partial frame *);
+               let record = really_input_string ic len in
+               (match C.decode entry_codec record with
+               | Error e ->
+                 raise (Fail (Bad_record { index = t.t_seq; error = e }))
+               | Ok entry ->
+                 if entry.seq <> t.t_seq then
+                   raise
+                     (Fail (Seq_mismatch { index = t.t_seq; got = entry.seq }));
+                 let body = String.sub record 0 (len - 32) in
+                 let expect = Sha256.digest (t.t_prev_hash ^ body) in
+                 if not (String.equal expect entry.entry_hash) then
+                   raise (Fail (Hash_mismatch { index = t.t_seq }));
+                 t.t_prev_hash <- expect;
+                 t.t_seq <- t.t_seq + 1;
+                 t.t_pos <- t.t_pos + 4 + len;
+                 acc := entry :: !acc)
+             done
+           with Exit -> ());
+          Ok (List.rev !acc)
+        with
+        | Fail e -> Error e
+        | Exit -> Ok [])

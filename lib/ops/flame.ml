@@ -1,0 +1,103 @@
+(* Flamegraph export of a merged telemetry span tree.
+
+   Two renderings of the same data:
+
+   - collapsed-stack text, one "a;b;c <weight>" line per tree node, the
+     format flamegraph.pl and most flame tooling ingest.  Weights are
+     the node's SELF nanoseconds (total minus children) so stacking the
+     lines reproduces each parent's total;
+   - speedscope JSON ("sampled" profile, one weighted sample per node
+     path) for https://www.speedscope.app.
+
+   Both walks are preorder over children already sorted by name (the
+   snapshot merge guarantees that), so the output is deterministic for a
+   given report. *)
+
+module Report = Zkdet_telemetry.Telemetry.Report
+module Json = Zkdet_telemetry.Json
+
+let self_ns (s : Report.span) : int =
+  let child =
+    List.fold_left (fun acc (c : Report.span) -> acc + c.Report.total_ns) 0
+      s.Report.children
+  in
+  max 0 (s.Report.total_ns - child)
+
+(* Frame names must stay on one token per stack element: the separators
+   of the collapsed format (';' and ' ') and newlines are rewritten. *)
+let sanitize_frame name =
+  String.map
+    (function ';' | ' ' | '\n' | '\r' | '\t' -> '_' | c -> c)
+    name
+
+let collapsed (spans : Report.span list) : string =
+  let b = Buffer.create 1024 in
+  let rec walk rev_path (s : Report.span) =
+    let rev_path = sanitize_frame s.Report.span_name :: rev_path in
+    Buffer.add_string b (String.concat ";" (List.rev rev_path));
+    Buffer.add_char b ' ';
+    Buffer.add_string b (string_of_int (self_ns s));
+    Buffer.add_char b '\n';
+    List.iter (walk rev_path) s.Report.children
+  in
+  List.iter (walk []) spans;
+  Buffer.contents b
+
+let speedscope ?(name = "zkdet") (spans : Report.span list) : Json.t =
+  (* One shared frame per distinct span name, in order of first
+     appearance; samples reference frames by index. *)
+  let frames = ref [] in
+  let frame_count = ref 0 in
+  let frame_index : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  let index_of fname =
+    match Hashtbl.find_opt frame_index fname with
+    | Some i -> i
+    | None ->
+      let i = !frame_count in
+      incr frame_count;
+      Hashtbl.add frame_index fname i;
+      frames := fname :: !frames;
+      i
+  in
+  let samples = ref [] and weights = ref [] and total = ref 0 in
+  let rec walk rev_stack (s : Report.span) =
+    let rev_stack = index_of s.Report.span_name :: rev_stack in
+    let w = self_ns s in
+    samples :=
+      Json.List (List.rev_map (fun i -> Json.Int i) rev_stack) :: !samples;
+    weights := Json.Int w :: !weights;
+    total := !total + w;
+    List.iter (walk rev_stack) s.Report.children
+  in
+  List.iter (walk []) spans;
+  Json.Obj
+    [
+      ( "$schema",
+        Json.String "https://www.speedscope.app/file-format-schema.json" );
+      ( "shared",
+        Json.Obj
+          [
+            ( "frames",
+              Json.List
+                (List.rev_map
+                   (fun fname -> Json.Obj [ ("name", Json.String fname) ])
+                   !frames) );
+          ] );
+      ( "profiles",
+        Json.List
+          [
+            Json.Obj
+              [
+                ("type", Json.String "sampled");
+                ("name", Json.String name);
+                ("unit", Json.String "nanoseconds");
+                ("startValue", Json.Int 0);
+                ("endValue", Json.Int !total);
+                ("samples", Json.List (List.rev !samples));
+                ("weights", Json.List (List.rev !weights));
+              ];
+          ] );
+      ("name", Json.String name);
+      ("exporter", Json.String "zkdet");
+      ("activeProfileIndex", Json.Int 0);
+    ]

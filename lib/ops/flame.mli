@@ -1,0 +1,19 @@
+(** Flamegraph export of a merged telemetry span tree.
+
+    Weights are each node's SELF nanoseconds (total minus children), so
+    a flamegraph of the output reproduces the parent totals by stacking.
+    Output is deterministic for a given report (preorder walk, children
+    pre-sorted by the snapshot merge). *)
+
+val self_ns : Zkdet_telemetry.Telemetry.Report.span -> int
+(** Span total minus the sum of its children, clamped at 0. *)
+
+val collapsed : Zkdet_telemetry.Telemetry.Report.span list -> string
+(** Collapsed-stack text (flamegraph.pl format): one
+    ["root;child;leaf <self_ns>"] line per tree node.  [';'], spaces and
+    newlines inside span names are rewritten to ['_']. *)
+
+val speedscope :
+  ?name:string -> Zkdet_telemetry.Telemetry.Report.span list -> Zkdet_telemetry.Json.t
+(** Speedscope file ("sampled" profile, nanosecond unit): one weighted
+    sample per node path. *)

@@ -25,6 +25,13 @@ type node = {
   node_name : string;
   mutable calls : int;
   mutable total_ns : int;
+  (* GC/allocation attribution: [Gc.quick_stat] deltas over the span body,
+     including children (like [total_ns]; self = total - sum of children).
+     Words are floats because that is how the runtime reports them. *)
+  mutable minor_words : float;
+  mutable major_words : float;
+  mutable minor_gcs : int;
+  mutable major_gcs : int;
   children : (string, node) Hashtbl.t;
 }
 
@@ -81,15 +88,73 @@ let hist_quantile (h : hist) (q : float) : float =
     go 0 0
   end
 
+(* ---- rolling time windows ----
+
+   Ring of [window_slots] one-second slots over every counter/histogram,
+   recorded only when [window_flag] is on (the live ops server turns it
+   on).  Each slot is keyed by its absolute epoch (monotonic_ns / 1e9) so
+   stale slots are lazily recycled; a snapshot merges the slots still
+   inside the horizon across all domains.  Window data is wall-clock
+   bound and therefore nondeterministic by design — it never feeds
+   [snapshot] or any persisted artifact. *)
+
+let window_slots = 60
+let window_slot_ns = 1_000_000_000
+
+type wslot = {
+  mutable s_epoch : int; (* absolute slot index; -1 = never used *)
+  mutable s_count : int; (* counter increments landing in this slot *)
+  mutable s_samples : int; (* histogram samples landing in this slot *)
+  mutable s_sum : float;
+  mutable s_min : float;
+  mutable s_max : float;
+  s_buckets : int array; (* length [num_buckets] *)
+}
+
+type window = {
+  mutable w_first_epoch : int; (* first epoch ever recorded; -1 = none *)
+  w_ring : wslot array; (* indexed by epoch mod window_slots *)
+}
+
+let window_flag = Atomic.make false
+let window_enabled () = Atomic.get window_flag
+let set_window_enabled b = Atomic.set window_flag b
+
+let fresh_window () =
+  {
+    w_first_epoch = -1;
+    w_ring =
+      Array.init window_slots (fun _ ->
+          {
+            s_epoch = -1;
+            s_count = 0;
+            s_samples = 0;
+            s_sum = 0.;
+            s_min = Float.infinity;
+            s_max = Float.neg_infinity;
+            s_buckets = Array.make num_buckets 0;
+          });
+  }
+
 type dstate = {
   root : node; (* per-domain span tree; the root itself is not a span *)
   mutable stack : node list; (* innermost span first; [] = at root *)
   counters : (string, int ref) Hashtbl.t;
   hists : (string, hist) Hashtbl.t;
+  windows : (string, window) Hashtbl.t;
 }
 
 let fresh_node name =
-  { node_name = name; calls = 0; total_ns = 0; children = Hashtbl.create 4 }
+  {
+    node_name = name;
+    calls = 0;
+    total_ns = 0;
+    minor_words = 0.;
+    major_words = 0.;
+    minor_gcs = 0;
+    major_gcs = 0;
+    children = Hashtbl.create 4;
+  }
 
 let registry : dstate list ref = ref []
 let registry_mutex = Mutex.create ()
@@ -102,6 +167,7 @@ let dls_key =
           stack = [];
           counters = Hashtbl.create 16;
           hists = Hashtbl.create 8;
+          windows = Hashtbl.create 8;
         }
       in
       Mutex.lock registry_mutex;
@@ -120,10 +186,15 @@ let reset () =
       let root = ds.root in
       root.calls <- 0;
       root.total_ns <- 0;
+      root.minor_words <- 0.;
+      root.major_words <- 0.;
+      root.minor_gcs <- 0;
+      root.major_gcs <- 0;
       Hashtbl.reset root.children;
       ds.stack <- [];
       Hashtbl.reset ds.counters;
-      Hashtbl.reset ds.hists)
+      Hashtbl.reset ds.hists;
+      Hashtbl.reset ds.windows)
     all
 
 (* ---- recording ---- *)
@@ -145,30 +216,69 @@ let with_span name f =
         n
     in
     ds.stack <- node :: ds.stack;
+    (* [Gc.minor_words ()] reads the live allocation pointer; the
+       [quick_stat] minor figure only refreshes at collection
+       boundaries on OCaml 5, which would zero out short spans. *)
+    let mw0 = Gc.minor_words () in
+    let g0 = Gc.quick_stat () in
     let t0 = monotonic_ns () in
     Fun.protect
       ~finally:(fun () ->
         let dt = monotonic_ns () - t0 in
+        let g1 = Gc.quick_stat () in
+        let mw1 = Gc.minor_words () in
         node.calls <- node.calls + 1;
         node.total_ns <- node.total_ns + dt;
+        node.minor_words <- node.minor_words +. (mw1 -. mw0);
+        node.major_words <- node.major_words +. (g1.Gc.major_words -. g0.Gc.major_words);
+        node.minor_gcs <- node.minor_gcs + (g1.Gc.minor_collections - g0.Gc.minor_collections);
+        node.major_gcs <- node.major_gcs + (g1.Gc.major_collections - g0.Gc.major_collections);
         match ds.stack with
         | _ :: rest -> ds.stack <- rest
         | [] -> ())
       f
   end
 
+(* Find/rotate the slot for [name] covering the current second. *)
+let window_slot ds name =
+  let w =
+    match Hashtbl.find_opt ds.windows name with
+    | Some w -> w
+    | None ->
+      let w = fresh_window () in
+      Hashtbl.add ds.windows name w;
+      w
+  in
+  let epoch = monotonic_ns () / window_slot_ns in
+  if w.w_first_epoch < 0 then w.w_first_epoch <- epoch;
+  let s = w.w_ring.(epoch mod window_slots) in
+  if s.s_epoch <> epoch then begin
+    s.s_epoch <- epoch;
+    s.s_count <- 0;
+    s.s_samples <- 0;
+    s.s_sum <- 0.;
+    s.s_min <- Float.infinity;
+    s.s_max <- Float.neg_infinity;
+    Array.fill s.s_buckets 0 num_buckets 0
+  end;
+  s
+
 let count name n =
   if Atomic.get enabled_flag then begin
     let ds = dstate () in
-    match Hashtbl.find_opt ds.counters name with
+    (match Hashtbl.find_opt ds.counters name with
     | Some r -> r := !r + n
-    | None -> Hashtbl.add ds.counters name (ref n)
+    | None -> Hashtbl.add ds.counters name (ref n));
+    if Atomic.get window_flag then begin
+      let s = window_slot ds name in
+      s.s_count <- s.s_count + n
+    end
   end
 
 let observe name v =
   if Atomic.get enabled_flag then begin
     let ds = dstate () in
-    match Hashtbl.find_opt ds.hists name with
+    (match Hashtbl.find_opt ds.hists name with
     | Some h ->
       h.h_count <- h.h_count + 1;
       h.h_sum <- h.h_sum +. v;
@@ -187,7 +297,16 @@ let observe name v =
         }
       in
       h.h_buckets.(bucket_of_sample v) <- 1;
-      Hashtbl.add ds.hists name h
+      Hashtbl.add ds.hists name h);
+    if Atomic.get window_flag then begin
+      let s = window_slot ds name in
+      s.s_samples <- s.s_samples + 1;
+      s.s_sum <- s.s_sum +. v;
+      if v < s.s_min then s.s_min <- v;
+      if v > s.s_max then s.s_max <- v;
+      let i = bucket_of_sample v in
+      s.s_buckets.(i) <- s.s_buckets.(i) + 1
+    end
   end
 
 (* ---- merged reports ---- *)
@@ -197,6 +316,10 @@ module Report = struct
     span_name : string;
     calls : int;
     total_ns : int;
+    minor_words : float;
+    major_words : float;
+    minor_gcs : int;
+    major_gcs : int;
     children : span list;
   }
 
@@ -211,6 +334,8 @@ module Report = struct
     p50 : float;
     p95 : float;
     p99 : float;
+    p999 : float;
+    buckets : int array; (* per-bucket counts, length [num_buckets] *)
   }
 
   type t = { spans : span list; counters : counter list; histograms : histogram list }
@@ -241,15 +366,21 @@ module Report = struct
       fprintf fmt "  (no data recorded)@."
     else begin
       if t.spans <> [] then begin
-        fprintf fmt "  spans:%40s %10s %12s %12s@." "" "calls" "total" "self";
+        fprintf fmt "  spans:%40s %10s %12s %12s %10s %7s@." "" "calls" "total"
+          "self" "alloc" "gcs";
         let rec walk depth (s : span) =
           let child_ns =
             List.fold_left (fun acc c -> acc + c.total_ns) 0 s.children
           in
           let label = String.make (2 * depth) ' ' ^ s.span_name in
-          fprintf fmt "    %-44s %10d %10.2fms %10.2fms@." label s.calls
+          (* alloc = minor-heap words allocated inside the span (children
+             included), scaled to MB; gcs = collections triggered there. *)
+          fprintf fmt "    %-44s %10d %10.2fms %10.2fms %8.1fMB %7d@." label
+            s.calls
             (ns_to_ms s.total_ns)
-            (ns_to_ms (s.total_ns - child_ns));
+            (ns_to_ms (s.total_ns - child_ns))
+            (s.minor_words *. float_of_int (Sys.word_size / 8) /. 1e6)
+            (s.minor_gcs + s.major_gcs);
           List.iter (walk (depth + 1)) s.children
         in
         List.iter (walk 0) t.spans
@@ -281,6 +412,10 @@ module Report = struct
         ("name", Json.String s.span_name);
         ("calls", Json.Int s.calls);
         ("total_ns", Json.Int s.total_ns);
+        ("minor_words", Json.Float s.minor_words);
+        ("major_words", Json.Float s.major_words);
+        ("minor_gcs", Json.Int s.minor_gcs);
+        ("major_gcs", Json.Int s.major_gcs);
         ("children", Json.List (List.map span_to_json s.children));
       ]
 
@@ -298,6 +433,10 @@ module Report = struct
         ("p50", Json.Float h.p50);
         ("p95", Json.Float h.p95);
         ("p99", Json.Float h.p99);
+        ("p999", Json.Float h.p999);
+        ( "buckets",
+          Json.List (Array.to_list (Array.map (fun n -> Json.Int n) h.buckets))
+        );
       ]
 
   let to_json (t : t) : Json.t =
@@ -337,6 +476,10 @@ module Report = struct
              ("path", Json.List (List.map (fun p -> Json.String p) path));
              ("calls", Json.Int s.calls);
              ("total_ns", Json.Int s.total_ns);
+             ("minor_words", Json.Float s.minor_words);
+             ("major_words", Json.Float s.major_words);
+             ("minor_gcs", Json.Int s.minor_gcs);
+             ("major_gcs", Json.Int s.major_gcs);
            ]);
       List.iter (walk (s.span_name :: rev_path)) s.children
     in
@@ -365,6 +508,11 @@ module Report = struct
                ("p50", Json.Float h.p50);
                ("p95", Json.Float h.p95);
                ("p99", Json.Float h.p99);
+               ("p999", Json.Float h.p999);
+               ( "buckets",
+                 Json.List
+                   (Array.to_list (Array.map (fun n -> Json.Int n) h.buckets))
+               );
              ]))
       t.histograms;
     List.rev !lines
@@ -398,7 +546,7 @@ module Report = struct
     (* Mutable span-tree builder mirroring the recording structures. *)
     let root = fresh_node "" in
     let counters = ref [] and hists = ref [] in
-    let insert_span path calls total_ns =
+    let insert_span path calls total_ns (mw, jw, mg, jg) =
       let rec go (node : node) = function
         | [] -> Error "span record with empty path"
         | [ name ] ->
@@ -412,6 +560,10 @@ module Report = struct
           in
           n.calls <- calls;
           n.total_ns <- total_ns;
+          n.minor_words <- mw;
+          n.major_words <- jw;
+          n.minor_gcs <- mg;
+          n.major_gcs <- jg;
           Ok ()
         | name :: rest -> (
           match Hashtbl.find_opt node.children name with
@@ -454,7 +606,23 @@ module Report = struct
           in
           let* calls = int_field j "calls" in
           let* total_ns = int_field j "total_ns" in
+          (* GC attribution appeared in trace format revision 3; older
+             traces parse with zeroed deltas. *)
+          let opt_float name default =
+            match Json.member name j with
+            | Some v -> Option.value (Json.to_float_opt v) ~default
+            | None -> default
+          in
+          let opt_int name default =
+            match Json.member name j with
+            | Some v -> Option.value (Json.to_int_opt v) ~default
+            | None -> default
+          in
           insert_span path calls total_ns
+            ( opt_float "minor_words" 0.,
+              opt_float "major_words" 0.,
+              opt_int "minor_gcs" 0,
+              opt_int "major_gcs" 0 )
         | "counter" ->
           let* name = string_field j "name" in
           let* total = int_field j "total" in
@@ -466,8 +634,9 @@ module Report = struct
           let* sum = float_field j "sum" in
           let* min = float_field j "min" in
           let* max = float_field j "max" in
-          (* Quantiles appeared in trace format revision 2; older traces
-             fall back to the max so they still round-trip. *)
+          (* Quantiles appeared in trace format revision 2 (p99.9 and raw
+             buckets in revision 3); older traces fall back to the max /
+             zeroed buckets so they still round-trip. *)
           let opt_float name default =
             match Json.member name j with
             | Some v -> Option.value (Json.to_float_opt v) ~default
@@ -476,7 +645,25 @@ module Report = struct
           let p50 = opt_float "p50" max in
           let p95 = opt_float "p95" max in
           let p99 = opt_float "p99" max in
-          hists := { hist_name = name; samples; sum; min; max; p50; p95; p99 } :: !hists;
+          let p999 = opt_float "p999" max in
+          let buckets =
+            match Json.member "buckets" j with
+            | Some v -> (
+              match Json.to_list_opt v with
+              | Some items ->
+                let a = Array.make num_buckets 0 in
+                List.iteri
+                  (fun i item ->
+                    if i < num_buckets then
+                      a.(i) <- Option.value (Json.to_int_opt item) ~default:0)
+                  items;
+                a
+              | None -> Array.make num_buckets 0)
+            | None -> Array.make num_buckets 0
+          in
+          hists :=
+            { hist_name = name; samples; sum; min; max; p50; p95; p99; p999; buckets }
+            :: !hists;
           Ok ()
         | other -> Error (Printf.sprintf "line %d: unknown record type %S" (i + 1) other)
     in
@@ -495,6 +682,10 @@ module Report = struct
         span_name = node.node_name;
         calls = node.calls;
         total_ns = node.total_ns;
+        minor_words = node.minor_words;
+        major_words = node.major_words;
+        minor_gcs = node.minor_gcs;
+        major_gcs = node.major_gcs;
         children;
       }
     in
@@ -540,41 +731,80 @@ module Report = struct
     let b = Buffer.create 4096 in
     let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
     if t.spans <> [] then begin
-      line "# HELP zkdet_span_total_ns Cumulative wall time per span path.";
-      line "# TYPE zkdet_span_total_ns counter";
-      let rec walk rev_path (s : span) =
-        let path = String.concat "/" (List.rev (s.span_name :: rev_path)) in
-        line "zkdet_span_total_ns{path=\"%s\"} %d" (prom_label_value path)
-          s.total_ns;
-        List.iter (walk (s.span_name :: rev_path)) s.children
+      (* One family per per-span quantity; the tree position is the
+         {path="a/b"} label. *)
+      let span_family name mtype help value =
+        line "# HELP %s %s" name help;
+        line "# TYPE %s %s" name mtype;
+        let rec walk rev_path (s : span) =
+          let path = String.concat "/" (List.rev (s.span_name :: rev_path)) in
+          line "%s{path=\"%s\"} %s" name (prom_label_value path) (value s);
+          List.iter (walk (s.span_name :: rev_path)) s.children
+        in
+        List.iter (walk []) t.spans
       in
-      List.iter (walk []) t.spans;
-      line "# HELP zkdet_span_calls Number of times each span path was entered.";
-      line "# TYPE zkdet_span_calls counter";
-      let rec walk rev_path (s : span) =
-        let path = String.concat "/" (List.rev (s.span_name :: rev_path)) in
-        line "zkdet_span_calls{path=\"%s\"} %d" (prom_label_value path) s.calls;
-        List.iter (walk (s.span_name :: rev_path)) s.children
-      in
-      List.iter (walk []) t.spans
+      span_family "zkdet_span_total_ns" "counter"
+        "Cumulative wall time per span path." (fun s ->
+          string_of_int s.total_ns);
+      span_family "zkdet_span_calls" "counter"
+        "Number of times each span path was entered." (fun s ->
+          string_of_int s.calls);
+      span_family "zkdet_span_minor_words" "counter"
+        "Minor-heap words allocated inside each span path (children included)."
+        (fun s -> prom_float s.minor_words);
+      span_family "zkdet_span_major_words" "counter"
+        "Major-heap words allocated or promoted inside each span path."
+        (fun s -> prom_float s.major_words);
+      span_family "zkdet_span_minor_collections" "counter"
+        "Minor collections triggered inside each span path." (fun s ->
+          string_of_int s.minor_gcs);
+      span_family "zkdet_span_major_collections" "counter"
+        "Major collection slices triggered inside each span path." (fun s ->
+          string_of_int s.major_gcs)
     end;
     List.iter
       (fun (c : counter) ->
         let n = prom_name ("zkdet_" ^ c.counter_name) in
+        line "# HELP %s Monotonic total of the %s counter." n
+          (prom_label_value c.counter_name);
         line "# TYPE %s counter" n;
         line "%s %d" n c.total)
       t.counters;
     List.iter
       (fun (h : histogram) ->
         let n = prom_name ("zkdet_" ^ h.hist_name) in
+        (* Summary family: quantile estimates from the fixed buckets. *)
+        line "# HELP %s Quantile summary of the %s histogram." n
+          (prom_label_value h.hist_name);
         line "# TYPE %s summary" n;
         line "%s{quantile=\"0.5\"} %s" n (prom_float h.p50);
         line "%s{quantile=\"0.95\"} %s" n (prom_float h.p95);
         line "%s{quantile=\"0.99\"} %s" n (prom_float h.p99);
+        line "%s{quantile=\"0.999\"} %s" n (prom_float h.p999);
         line "%s_sum %s" n (prom_float h.sum);
         line "%s_count %d" n h.samples;
+        (* Histogram family: cumulative power-of-two buckets.  A sibling
+           name (_buckets) because one exposition family cannot be both a
+           summary and a histogram. *)
+        let bn = n ^ "_buckets" in
+        line "# HELP %s Cumulative power-of-two buckets of the %s histogram."
+          bn (prom_label_value h.hist_name);
+        line "# TYPE %s histogram" bn;
+        let cum = ref 0 in
+        Array.iteri
+          (fun i c ->
+            cum := !cum + c;
+            if c > 0 && i < num_buckets - 1 then
+              line "%s_bucket{le=\"%s\"} %d" bn (prom_float (bucket_upper i))
+                !cum)
+          h.buckets;
+        line "%s_bucket{le=\"+Inf\"} %d" bn h.samples;
+        line "%s_sum %s" bn (prom_float h.sum);
+        line "%s_count %d" bn h.samples;
+        line "# HELP %s_min Smallest sample observed." n;
         line "# TYPE %s_min gauge" n;
         line "%s_min %s" n (prom_float h.min);
+        line "# HELP %s_max Largest sample observed." n;
         line "# TYPE %s_max gauge" n;
         line "%s_max %s" n (prom_float h.max))
       t.histograms;
@@ -608,10 +838,22 @@ let snapshot () : Report.t =
            let group = Hashtbl.find names name in
            let calls = List.fold_left (fun acc n -> acc + n.calls) 0 group in
            let total_ns = List.fold_left (fun acc n -> acc + n.total_ns) 0 group in
+           let minor_words =
+             List.fold_left (fun acc n -> acc +. n.minor_words) 0. group
+           in
+           let major_words =
+             List.fold_left (fun acc n -> acc +. n.major_words) 0. group
+           in
+           let minor_gcs = List.fold_left (fun acc n -> acc + n.minor_gcs) 0 group in
+           let major_gcs = List.fold_left (fun acc n -> acc + n.major_gcs) 0 group in
            {
              Report.span_name = name;
              calls;
              total_ns;
+             minor_words;
+             major_words;
+             minor_gcs;
+             major_gcs;
              children = merge_nodes group;
            })
   in
@@ -668,12 +910,162 @@ let snapshot () : Report.t =
           p50 = hist_quantile h 0.50;
           p95 = hist_quantile h 0.95;
           p99 = hist_quantile h 0.99;
+          p999 = hist_quantile h 0.999;
+          buckets = Array.copy h.h_buckets;
         }
         :: acc)
       hist_tbl []
     |> List.sort (fun a b -> compare a.Report.hist_name b.Report.hist_name)
   in
   { Report.spans; counters; histograms }
+
+(* ---- rolling-window snapshot ---- *)
+
+type window_stat = {
+  w_name : string;
+  w_seconds : float; (* seconds of the horizon actually covered *)
+  w_count : int; (* counter increments inside the window *)
+  w_samples : int; (* histogram samples inside the window *)
+  w_rate : float; (* (count + samples) per covered second *)
+  w_sum : float;
+  w_min : float; (* 0 when no samples *)
+  w_max : float;
+  w_p50 : float;
+  w_p95 : float;
+  w_p99 : float;
+  w_p999 : float;
+}
+
+(* Merge the live slots of every domain's ring for each metric name.
+   Slots older than the horizon (or from the future, impossible) are
+   skipped; the covered-seconds denominator counts from the first epoch
+   the metric ever recorded so a freshly started run is not diluted by
+   empty history. *)
+let window_snapshot () : window_stat list =
+  Mutex.lock registry_mutex;
+  let all = !registry in
+  Mutex.unlock registry_mutex;
+  let now_epoch = monotonic_ns () / window_slot_ns in
+  let oldest = now_epoch - window_slots + 1 in
+  let acc :
+      (string, hist * int ref * int ref (* count, first_epoch *)) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun ds ->
+      Hashtbl.iter
+        (fun name (w : window) ->
+          let h, count, first =
+            match Hashtbl.find_opt acc name with
+            | Some entry -> entry
+            | None ->
+              let entry =
+                ( {
+                    h_count = 0;
+                    h_sum = 0.;
+                    h_min = Float.infinity;
+                    h_max = Float.neg_infinity;
+                    h_buckets = Array.make num_buckets 0;
+                  },
+                  ref 0,
+                  ref max_int )
+              in
+              Hashtbl.add acc name entry;
+              entry
+          in
+          if w.w_first_epoch >= 0 && w.w_first_epoch < !first then
+            first := w.w_first_epoch;
+          Array.iter
+            (fun (s : wslot) ->
+              if s.s_epoch >= oldest && s.s_epoch <= now_epoch then begin
+                count := !count + s.s_count;
+                h.h_count <- h.h_count + s.s_samples;
+                h.h_sum <- h.h_sum +. s.s_sum;
+                if s.s_min < h.h_min then h.h_min <- s.s_min;
+                if s.s_max > h.h_max then h.h_max <- s.s_max;
+                Array.iteri
+                  (fun i n -> h.h_buckets.(i) <- h.h_buckets.(i) + n)
+                  s.s_buckets
+              end)
+            w.w_ring)
+        ds.windows)
+    all;
+  Hashtbl.fold
+    (fun name (h, count, first) stats ->
+      let covered =
+        if !first = max_int then 1
+        else min window_slots (now_epoch - max !first oldest + 1)
+      in
+      let seconds = float_of_int (max 1 covered) in
+      let events = !count + h.h_count in
+      {
+        w_name = name;
+        w_seconds = seconds;
+        w_count = !count;
+        w_samples = h.h_count;
+        w_rate = float_of_int events /. seconds;
+        w_sum = h.h_sum;
+        w_min = (if h.h_count = 0 then 0. else h.h_min);
+        w_max = (if h.h_count = 0 then 0. else h.h_max);
+        w_p50 = hist_quantile h 0.50;
+        w_p95 = hist_quantile h 0.95;
+        w_p99 = hist_quantile h 0.99;
+        w_p999 = hist_quantile h 0.999;
+      }
+      :: stats)
+    acc []
+  |> List.sort (fun a b -> compare a.w_name b.w_name)
+
+(* Rolling-window families for the live /metrics endpoint.  Gauges, not
+   counters: each scrape sees the trailing-horizon value. *)
+let window_to_prometheus () : string =
+  let stats = window_snapshot () in
+  if stats = [] then ""
+  else begin
+    let b = Buffer.create 1024 in
+    let line fmt =
+      Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt
+    in
+    let window_label = Printf.sprintf "%ds" window_slots in
+    line "# HELP zkdet_window_rate Events per second over the trailing window.";
+    line "# TYPE zkdet_window_rate gauge";
+    List.iter
+      (fun w ->
+        line "zkdet_window_rate{name=\"%s\",window=\"%s\"} %s"
+          (Report.prom_label_value w.w_name)
+          window_label (Report.prom_float w.w_rate))
+      stats;
+    line "# HELP zkdet_window_events Events recorded inside the trailing window.";
+    line "# TYPE zkdet_window_events gauge";
+    List.iter
+      (fun w ->
+        line "zkdet_window_events{name=\"%s\",window=\"%s\"} %d"
+          (Report.prom_label_value w.w_name)
+          window_label (w.w_count + w.w_samples))
+      stats;
+    let sampled = List.filter (fun w -> w.w_samples > 0) stats in
+    if sampled <> [] then begin
+      line
+        "# HELP zkdet_window_quantile Quantile estimates over the trailing \
+         window (histogram metrics only).";
+      line "# TYPE zkdet_window_quantile gauge";
+      List.iter
+        (fun w ->
+          List.iter
+            (fun (q, v) ->
+              line "zkdet_window_quantile{name=\"%s\",quantile=\"%s\",window=\"%s\"} %s"
+                (Report.prom_label_value w.w_name)
+                q window_label (Report.prom_float v))
+            [
+              ("0.5", w.w_p50);
+              ("0.95", w.w_p95);
+              ("0.99", w.w_p99);
+              ("0.999", w.w_p999);
+            ])
+        sampled
+    end;
+    Buffer.contents b
+  end
 
 let print_summary ?(oc = stdout) () =
   let fmt = Format.formatter_of_out_channel oc in

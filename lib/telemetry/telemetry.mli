@@ -21,10 +21,12 @@ val enabled : unit -> bool
 val set_enabled : bool -> unit
 
 val with_span : string -> (unit -> 'a) -> 'a
-(** [with_span name f] runs [f], attributing its wall time to the span
-    [name] nested under the innermost active span on the current domain.
-    Re-entering the same name under the same parent accumulates into one
-    tree node.  Exceptions propagate; time is recorded regardless. *)
+(** [with_span name f] runs [f], attributing its wall time and its
+    GC/allocation activity ([Gc.quick_stat] deltas: minor/major words,
+    collections) to the span [name] nested under the innermost active
+    span on the current domain.  Re-entering the same name under the same
+    parent accumulates into one tree node.  Exceptions propagate; time is
+    recorded regardless. *)
 
 val count : string -> int -> unit
 (** [count name n] adds [n] to the named counter on the current domain. *)
@@ -35,14 +37,27 @@ val observe : string -> float -> unit
     estimates). *)
 
 val reset : unit -> unit
-(** Clear all recorded data on every registered domain.  Call from
-    quiesced code only (between experiments, not mid-proof). *)
+(** Clear all recorded data (including rolling windows) on every
+    registered domain.  Call from quiesced code only (between
+    experiments, not mid-proof). *)
+
+val num_buckets : int
+(** Number of fixed power-of-two histogram buckets (64). *)
+
+val bucket_upper : int -> float
+(** Upper boundary of bucket [i]: [2^(i-20)], [infinity] for the last. *)
 
 module Report : sig
   type span = {
     span_name : string;
     calls : int;
     total_ns : int;
+    minor_words : float;
+        (** Minor-heap words allocated inside the span, children included
+            (like [total_ns]; self = total - sum of children). *)
+    major_words : float;
+    minor_gcs : int;
+    major_gcs : int;
     children : span list; (* sorted by name *)
   }
 
@@ -57,11 +72,15 @@ module Report : sig
     p50 : float;
     p95 : float;
     p99 : float;
+    p999 : float;
         (** Quantile estimates from fixed power-of-two buckets: the
             reported value is the upper boundary of the bucket holding
             the sample of rank [ceil(q*n)], clamped to [min, max].
             Fixed boundaries make the estimate deterministic under
             per-domain merge at any [ZKDET_DOMAINS]. *)
+    buckets : int array;
+        (** Raw per-bucket counts, length {!num_buckets}; boundary of
+            bucket [i] is {!bucket_upper}[ i]. *)
   }
 
   type t = { spans : span list; counters : counter list; histograms : histogram list }
@@ -90,14 +109,65 @@ module Report : sig
       quantiles existed parse with [p50/p95/p99] defaulting to [max]. *)
 
   val to_prometheus : t -> string
-  (** Prometheus text-exposition dump: spans as
-      [zkdet_span_total_ns{path="a/b"}] / [zkdet_span_calls] counters,
-      counters as [zkdet_<name>], histograms as summaries with
-      [quantile] labels plus [_min]/[_max] gauges. *)
+  (** Prometheus text-exposition dump.  Every family carries [# HELP] and
+      [# TYPE].  Spans become [zkdet_span_total_ns{path="a/b"}],
+      [zkdet_span_calls] and the GC families
+      [zkdet_span_{minor,major}_words] /
+      [zkdet_span_{minor,major}_collections]; counters become
+      [zkdet_<name>]; each histogram is exposed twice: a summary family
+      [zkdet_<name>] (quantiles 0.5/0.95/0.99/0.999, [_sum], [_count])
+      plus a conformant histogram family [zkdet_<name>_buckets] with
+      cumulative [_bucket{le="..."}] lines ending in [+Inf], and
+      [_min]/[_max] gauges. *)
+
+  val prom_name : string -> string
+  (** Sanitize to a legal metric name ([[a-zA-Z0-9_:]], non-digit lead). *)
+
+  val prom_label_value : string -> string
+  (** Escape backslash, double-quote and newline for a label value. *)
+
+  val prom_float : float -> string
+  (** Render a sample value (integers without an exponent, else %.17g). *)
 end
 
 val snapshot : unit -> Report.t
 (** Merge all per-domain buffers into one deterministic report. *)
+
+(** {2 Rolling time windows}
+
+    Ring-buffer aggregation (1 s x 60 slots) over every counter and
+    histogram, recorded only while {!set_window_enabled}[ true] (the live
+    ops server turns it on).  Window data is wall-clock bound and
+    intentionally nondeterministic; it never feeds {!snapshot} or any
+    persisted artifact. *)
+
+val window_enabled : unit -> bool
+
+val set_window_enabled : bool -> unit
+(** Recording into windows additionally requires {!set_enabled}[ true]. *)
+
+type window_stat = {
+  w_name : string;
+  w_seconds : float;  (** seconds of the horizon actually covered *)
+  w_count : int;  (** counter increments inside the window *)
+  w_samples : int;  (** histogram samples inside the window *)
+  w_rate : float;  (** (count + samples) per covered second *)
+  w_sum : float;
+  w_min : float;
+  w_max : float;
+  w_p50 : float;
+  w_p95 : float;
+  w_p99 : float;
+  w_p999 : float;
+}
+
+val window_snapshot : unit -> window_stat list
+(** Merge the in-horizon slots of every domain, sorted by name. *)
+
+val window_to_prometheus : unit -> string
+(** Gauge families [zkdet_window_rate], [zkdet_window_events] and
+    [zkdet_window_quantile{name=...,quantile=...}] for the live
+    [/metrics] endpoint; empty string when nothing was recorded. *)
 
 val print_summary : ?oc:out_channel -> unit -> unit
 (** [snapshot] + [Report.pp] to the given channel (default stdout). *)

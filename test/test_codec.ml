@@ -290,6 +290,67 @@ let test_srs_cache () =
       Alcotest.(check int) "per-size cache files" 2
         (Array.length (Sys.readdir dir)))
 
+(* ZKDET_SRS_CACHE pointing at a nested, not-yet-existing path must work:
+   the cache writer creates parents recursively instead of failing the
+   single-level mkdir and silently dropping the cache. *)
+let test_srs_cache_nested_dir () =
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "zkdet-srs-nested-%d" (Unix.getpid ()))
+  in
+  let dir = Filename.concat (Filename.concat root "a") "b" in
+  Unix.putenv "ZKDET_SRS_CACHE" dir;
+  let rm_rf () =
+    let rec go p =
+      if Sys.file_exists p then
+        if Sys.is_directory p then begin
+          Array.iter (fun f -> go (Filename.concat p f)) (Sys.readdir p);
+          Sys.rmdir p
+        end
+        else Sys.remove p
+    in
+    go root
+  in
+  Fun.protect ~finally:rm_rf (fun () ->
+      let s1 = Srs.load_or_generate ~st:rng ~size:8 () in
+      Alcotest.(check bool) "nested cache dir created" true
+        (Sys.file_exists dir && Sys.is_directory dir);
+      Alcotest.(check int) "cache file written under the nested dir" 1
+        (Array.length (Sys.readdir dir));
+      let s2 =
+        Srs.load_or_generate
+          ~st:(Test_util.rng ~salt:"codec-nested-other" ())
+          ~size:8 ()
+      in
+      Alcotest.(check bool) "served from the nested cache" true
+        (String.equal (Srs.to_bytes s1) (Srs.to_bytes s2)))
+
+(* An unwritable cache location must not fail generation — and must be
+   counted, because a misconfigured cache costs a ceremony per process. *)
+let test_srs_cache_unwritable () =
+  Unix.putenv "ZKDET_SRS_CACHE" "/proc/zkdet-cannot-create-this";
+  let was_enabled = Zkdet_telemetry.Telemetry.enabled () in
+  Zkdet_telemetry.Telemetry.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Zkdet_telemetry.Telemetry.set_enabled was_enabled)
+    (fun () ->
+      let before =
+        Option.value ~default:0
+          (Zkdet_telemetry.Telemetry.Report.find_counter
+             (Zkdet_telemetry.Telemetry.snapshot ())
+             "kzg.srs.cache_dir_failures")
+      in
+      let s = Srs.load_or_generate ~st:rng ~size:8 () in
+      Alcotest.(check bool) "srs still generated" true
+        (Srs.verify ~exhaustive:true s);
+      let after =
+        Option.value ~default:0
+          (Zkdet_telemetry.Telemetry.Report.find_counter
+             (Zkdet_telemetry.Telemetry.snapshot ())
+             "kzg.srs.cache_dir_failures")
+      in
+      Alcotest.(check bool) "failure counted" true (after > before))
+
 (* A flipped byte inside the persisted fixed-base table section must be
    caught by the decode-time row validation, bump the cache_corrupt
    counter and fall back to regeneration (never load a wrong table). *)
@@ -471,6 +532,10 @@ let () =
       ( "srs",
         [ Alcotest.test_case "file roundtrip" `Quick test_srs_roundtrip;
           Alcotest.test_case "disk cache" `Quick test_srs_cache;
+          Alcotest.test_case "nested cache dir created recursively" `Quick
+            test_srs_cache_nested_dir;
+          Alcotest.test_case "unwritable cache is non-fatal but counted"
+            `Quick test_srs_cache_unwritable;
           Alcotest.test_case "table-section corruption" `Quick
             test_srs_table_corruption;
           Alcotest.test_case "cold vs warm table cache proves identically"

@@ -156,6 +156,144 @@ let write_trace_file () =
       (Report.find_counter r "traced.n")
   | Error e -> Alcotest.failf "trace file invalid: %s" e
 
+(* GC attribution: a span that allocates heavily must report nonzero
+   minor words; a nested non-allocating span must stay close to zero. *)
+let gc_attribution () =
+  with_recording @@ fun () ->
+  Telemetry.with_span "alloc" (fun () ->
+      let keep = ref [] in
+      for i = 0 to 9_999 do
+        keep := string_of_int i :: !keep
+      done;
+      ignore (Sys.opaque_identity !keep));
+  let r = Telemetry.snapshot () in
+  match Report.find_span r.Report.spans [ "alloc" ] with
+  | None -> Alcotest.fail "alloc span missing"
+  | Some s ->
+    Alcotest.(check bool) "minor words attributed" true
+      (s.Report.minor_words > 10_000.0);
+    Alcotest.(check bool) "gc counters sane" true
+      (s.Report.minor_gcs >= 0 && s.Report.major_gcs >= 0)
+
+let p999_ordering () =
+  with_recording @@ fun () ->
+  for i = 1 to 1000 do
+    Telemetry.observe "lat" (float_of_int i)
+  done;
+  let r = Telemetry.snapshot () in
+  match r.Report.histograms with
+  | [ h ] ->
+    Alcotest.(check bool) "quantiles ordered" true
+      (h.Report.p50 <= h.Report.p95
+      && h.Report.p95 <= h.Report.p99
+      && h.Report.p99 <= h.Report.p999
+      && h.Report.p999 <= h.Report.max);
+    Alcotest.(check int) "bucket array length" Telemetry.num_buckets
+      (Array.length h.Report.buckets);
+    Alcotest.(check int) "buckets sum to samples" h.Report.samples
+      (Array.fold_left ( + ) 0 h.Report.buckets)
+  | hs -> Alcotest.failf "expected one histogram, got %d" (List.length hs)
+
+(* Satellite: strict Prometheus-conformance gate over to_prometheus, using
+   the unforgiving parser in Test_util.Prom.  Metric names with hostile
+   characters must sanitize; label values must escape; every histogram
+   must expose cumulative le-buckets ending in +Inf. *)
+let prometheus_conformance () =
+  with_recording @@ fun () ->
+  Telemetry.with_span "outer phase" (fun () ->
+      Telemetry.with_span "inner\"quoted\\path" (fun () ->
+          Telemetry.count "weird-counter.name" 2));
+  Telemetry.count "plain_counter" 41;
+  for i = 0 to 99 do
+    Telemetry.observe "sizes.bytes" (float_of_int (i * 17))
+  done;
+  let text = Report.to_prometheus (Telemetry.snapshot ()) in
+  let fams =
+    try Test_util.Prom.parse text
+    with Failure m -> Alcotest.failf "not conformant: %s" m
+  in
+  let find n =
+    match Test_util.Prom.find fams n with
+    | Some f -> f
+    | None -> Alcotest.failf "family %s missing" n
+  in
+  let counter = find "zkdet_plain_counter" in
+  Alcotest.(check bool) "counter typed" true
+    (counter.Test_util.Prom.f_type = Test_util.Prom.Counter);
+  (match counter.Test_util.Prom.f_samples with
+  | [ s ] ->
+    Alcotest.(check (float 0.0)) "counter value" 41.0 s.Test_util.Prom.s_value
+  | _ -> Alcotest.fail "counter sample count");
+  let summary = find "zkdet_sizes_bytes" in
+  Alcotest.(check bool) "histogram exposed as summary" true
+    (summary.Test_util.Prom.f_type = Test_util.Prom.Summary);
+  let hist = find "zkdet_sizes_bytes_buckets" in
+  Alcotest.(check bool) "sibling le-bucket family" true
+    (hist.Test_util.Prom.f_type = Test_util.Prom.Histogram);
+  (* The escaped span path must round-trip through the parser's unescape:
+     the raw label value contains the quote and backslash again. *)
+  let spans = find "zkdet_span_calls" in
+  let paths =
+    List.filter_map
+      (fun s -> List.assoc_opt "path" s.Test_util.Prom.s_labels)
+      spans.Test_util.Prom.f_samples
+  in
+  Alcotest.(check bool) "hostile span path escaped and recovered" true
+    (List.exists
+       (fun p ->
+         p = "outer phase/inner\"quoted\\path")
+       paths);
+  (* All four GC span families are present and typed. *)
+  List.iter
+    (fun n ->
+      ignore (find n))
+    [ "zkdet_span_minor_words"; "zkdet_span_major_words";
+      "zkdet_span_minor_collections"; "zkdet_span_major_collections" ]
+
+(* Rolling windows: recording with windows enabled makes the trailing-60s
+   aggregation visible (and typed) without touching the snapshot. *)
+let rolling_windows () =
+  with_recording @@ fun () ->
+  Telemetry.set_window_enabled true;
+  Fun.protect ~finally:(fun () -> Telemetry.set_window_enabled false)
+  @@ fun () ->
+  Telemetry.count "win.counter" 5;
+  for i = 1 to 50 do
+    Telemetry.observe "win.lat" (float_of_int i)
+  done;
+  let stats = Telemetry.window_snapshot () in
+  let stat n =
+    match List.find_opt (fun s -> s.Telemetry.w_name = n) stats with
+    | Some s -> s
+    | None -> Alcotest.failf "window stat %s missing" n
+  in
+  let c = stat "win.counter" in
+  Alcotest.(check int) "counter increments visible" 5 c.Telemetry.w_count;
+  Alcotest.(check bool) "rate positive" true (c.Telemetry.w_rate > 0.0);
+  let l = stat "win.lat" in
+  Alcotest.(check int) "samples visible" 50 l.Telemetry.w_samples;
+  Alcotest.(check bool) "window quantiles ordered" true
+    (l.Telemetry.w_p50 <= l.Telemetry.w_p99
+    && l.Telemetry.w_p99 <= l.Telemetry.w_max);
+  (* The window exposition is itself conformant Prometheus text. *)
+  let text = Telemetry.window_to_prometheus () in
+  (try ignore (Test_util.Prom.parse text)
+   with Failure m -> Alcotest.failf "window exposition not conformant: %s" m);
+  (* Windows never leak into the deterministic snapshot: the snapshot has
+     the same counters whether windows were on or off. *)
+  let r = Telemetry.snapshot () in
+  Alcotest.(check (option int)) "snapshot unchanged by windows" (Some 5)
+    (Report.find_counter r "win.counter")
+
+(* Windows off (the default): recording must leave the window layer empty. *)
+let windows_off_by_default () =
+  with_recording @@ fun () ->
+  Telemetry.count "silent" 3;
+  Alcotest.(check bool) "no window stats" true
+    (Telemetry.window_snapshot () = []);
+  Alcotest.(check string) "no window exposition" ""
+    (Telemetry.window_to_prometheus ())
+
 (* Proofs must be byte-identical with telemetry on or off and at any
    domain count: spans wrap the prover's rounds without touching its
    randomness stream, and counting happens outside the field kernels. *)
@@ -204,6 +342,16 @@ let () =
         [ Alcotest.test_case "JSONL round-trip" `Quick jsonl_roundtrip;
           Alcotest.test_case "write_trace file round-trip" `Quick
             write_trace_file ] );
+      ( "profiling",
+        [ Alcotest.test_case "GC allocation attribution" `Quick gc_attribution;
+          Alcotest.test_case "p999 ordering and raw buckets" `Quick
+            p999_ordering ] );
+      ( "prometheus",
+        [ Alcotest.test_case "strict exposition conformance" `Quick
+            prometheus_conformance ] );
+      ( "windows",
+        [ Alcotest.test_case "rolling window aggregation" `Quick rolling_windows;
+          Alcotest.test_case "off by default" `Quick windows_off_by_default ] );
       ( "determinism",
         [ Alcotest.test_case "proof bytes invariant under telemetry" `Quick
             proof_bytes_invariant ] ) ]
